@@ -1,0 +1,48 @@
+//! Figure 5 bench: the headline transient comparison — prints the
+//! reproduced series (match at 10 V, overshoot at 5 V, undershoot at
+//! 15 V) and times one behavioral and one linearized transient.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::fig5::{run, Fig5Options};
+use mems_core::{
+    ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant,
+};
+use mems_spice::solver::SimOptions;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "Figure 5",
+        "linearized equivalent circuit vs behavioral HDL-A model",
+    );
+    let result = run(&Fig5Options::default()).expect("fig5 runs");
+    eprintln!("{}", result.render());
+
+    let sys = TransducerResonatorSystem::table4(TransducerResonatorSystem::fig5_pulse(10.0));
+    let sim = SimOptions::default();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("behavioral_transient_90ms", |b| {
+        b.iter(|| {
+            sys.simulate(
+                TransducerVariant::Behavioral(ElectricalStyle::PaperStyle),
+                90e-3,
+                &sim,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("linearized_transient_90ms", |b| {
+        b.iter(|| {
+            sys.simulate(
+                TransducerVariant::Linearized(LinearizedKind::Secant),
+                90e-3,
+                &sim,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

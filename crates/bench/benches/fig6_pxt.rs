@@ -1,0 +1,35 @@
+//! Figure 6 bench: PXT force extraction from the FE field solution —
+//! prints FE-vs-analytic force (the figure's headline number) and
+//! times the field solve + Maxwell stress integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::fig6;
+use mems_pxt::recipes::PlateGapDut;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "Figure 6",
+        "PXT electrostatic force extraction from FE analysis",
+    );
+    let r = fig6::run().expect("fig6 workflow runs");
+    eprintln!("FE force (Maxwell stress) at 10 V, x = 0 : {:.6e} N", r.force_fe);
+    eprintln!("analytic Table 3 force at the same point : {:.6e} N", r.force_analytic);
+    eprintln!("relative error                           : {:.3e}", r.force_rel_error);
+    eprintln!("C(x) polynomial fit error                : {:.3e}", r.cap_fit_error);
+    eprintln!("generated-model roundtrip force error    : {:.3e}", r.roundtrip_error);
+
+    let dut = PlateGapDut::table4();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(20);
+    group.bench_function("fe_solve_and_force", |b| {
+        b.iter(|| dut.force(10.0, 0.0).unwrap())
+    });
+    group.bench_function("fe_capacitance", |b| {
+        b.iter(|| dut.capacitance(0.0).unwrap())
+    });
+    group.bench_function("full_workflow", |b| b.iter(|| fig6::run().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! §PXT harmonic bench: harmonic FE analysis → rational-function fit
+//! → data-flow HDL model — prints the workflow metrics and times the
+//! harmonic solve and the fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::harmonic;
+use mems_fem::beam::CantileverBeam;
+use mems_fem::FrequencyResponse;
+use mems_pxt::fit_rational;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "§PXT harmonic",
+        "FE frequency response → polynomial filter → data-flow model",
+    );
+    let r = harmonic::run().expect("harmonic workflow runs");
+    eprintln!("cantilever first mode        : {:.1} Hz", r.f1);
+    eprintln!("rational fit error           : {:.3e}", r.fit_error);
+    eprintln!("AC roundtrip error           : {:.3e}", r.ac_roundtrip_error);
+    eprintln!("generated model order        : {}", r.order);
+
+    // Standalone pieces for timing.
+    let width = 50e-6_f64;
+    let thickness = 5e-6_f64;
+    let inertia = width * thickness.powi(3) / 12.0;
+    let beam = CantileverBeam::new(500e-6, 169e9, inertia, 2329.0 * width * thickness, 10)
+        .with_rayleigh_damping(1e4, 0.0);
+    let f1 = beam.natural_frequencies(1).unwrap()[0];
+    let freqs: Vec<f64> = (0..40).map(|i| f1 * (0.2 + 1.8 * i as f64 / 39.0)).collect();
+    let h = beam.harmonic_tip_response(&freqs).unwrap();
+    let response = FrequencyResponse::new(freqs.clone(), h);
+
+    let mut group = c.benchmark_group("harmonic");
+    group.sample_size(20);
+    group.bench_function("fe_harmonic_sweep_40pts", |b| {
+        b.iter(|| beam.harmonic_tip_response(&freqs).unwrap())
+    });
+    group.bench_function("rational_fit_2_2", |b| {
+        b.iter(|| fit_rational(&response, 2, 2).unwrap())
+    });
+    group.bench_function("modal_analysis", |b| {
+        b.iter(|| beam.natural_frequencies(2).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

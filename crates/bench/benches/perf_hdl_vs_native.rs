@@ -1,0 +1,59 @@
+//! The paper's performance claim: "The drawback is a strong penalty
+//! in simulation performance (a factor of 10 was observed)" for
+//! behavioral HDL models vs native circuit elements.
+//!
+//! Criterion times the same fixed-step Fig. 3 transient with the
+//! interpreted HDL-A transducer and with the native linearized
+//! equivalent circuit; the printed ratio is the reproduced "factor".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::perf::run_comparison;
+use mems_core::{
+    ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant,
+};
+use mems_spice::analysis::transient::{run, TranOptions};
+use mems_spice::solver::SimOptions;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "§Comparison",
+        "behavioral HDL model vs native equivalent circuit (\"factor of 10\")",
+    );
+    let r = run_comparison(30e-3, 10e-6, 3).expect("comparison runs");
+    eprintln!(
+        "fixed-step transient, {} steps: behavioral {:.3} ms, native {:.3} ms",
+        r.steps,
+        r.behavioral_seconds * 1e3,
+        r.native_seconds * 1e3
+    );
+    eprintln!(
+        "slowdown factor: {:.1}x (paper observed ~10x on 1997 compilers)",
+        r.slowdown
+    );
+
+    let sys = TransducerResonatorSystem::table4(TransducerResonatorSystem::fig5_pulse(10.0));
+    let sim = SimOptions::default();
+    let opts = TranOptions::fixed_step(20e-3, 10e-6);
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(10);
+    group.bench_function("behavioral_hdl_fixed_step", |b| {
+        b.iter(|| {
+            let mut ckt = sys
+                .build(TransducerVariant::Behavioral(ElectricalStyle::PaperStyle))
+                .unwrap();
+            run(&mut ckt, &opts, &sim).unwrap()
+        })
+    });
+    group.bench_function("native_equivalent_fixed_step", |b| {
+        b.iter(|| {
+            let mut ckt = sys
+                .build(TransducerVariant::Linearized(LinearizedKind::Secant))
+                .unwrap();
+            run(&mut ckt, &opts, &sim).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

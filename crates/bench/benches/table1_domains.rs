@@ -1,0 +1,30 @@
+//! Table 1 bench: generalized variables for different physical
+//! domains — prints the reproduced table and times its construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::analogy::{map_damper, map_mass, map_spring, table1, MechanicalAnalogy};
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner("Table 1", "generalized variables for physical domains");
+    eprintln!("{}", mems_core::analogy::render_table1());
+    eprintln!(
+        "FI analogy (paper's choice): mass → C = m, spring → L = 1/k, damper → R = 1/α"
+    );
+
+    c.bench_function("table1/build_rows", |b| {
+        b.iter(|| std::hint::black_box(table1()))
+    });
+    c.bench_function("table1/fi_mapping", |b| {
+        b.iter(|| {
+            let a = MechanicalAnalogy::ForceCurrent;
+            std::hint::black_box((
+                map_mass(a, 1e-4),
+                map_spring(a, 200.0),
+                map_damper(a, 40e-3),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 2 bench: input impedances and internal energies of the four
+//! transducers — prints the reproduced rows and times the model
+//! evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::tables::table2;
+use mems_core::TransverseElectrostatic;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "Table 2",
+        "impedances and energies of electromechanical transducers",
+    );
+    eprintln!(
+        "{:<30} {:<28} {:>14} {:>14}",
+        "transducer", "impedance", "value", "energy [J]"
+    );
+    for row in table2() {
+        eprintln!(
+            "{:<30} {:<28} {:>14.6e} {:>14.6e}",
+            row.label, row.impedance_desc, row.impedance_value, row.energy_value
+        );
+    }
+    eprintln!("(paper prints C0 = 5.8637 pF; we compute 5.9028 pF — see EXPERIMENTS.md)");
+
+    let t = TransverseElectrostatic::table4();
+    c.bench_function("table2/all_rows", |b| {
+        b.iter(|| std::hint::black_box(table2()))
+    });
+    c.bench_function("table2/capacitance_eval", |b| {
+        b.iter(|| std::hint::black_box(t.capacitance(std::hint::black_box(1e-8))))
+    });
+    c.bench_function("table2/coenergy_eval", |b| {
+        b.iter(|| std::hint::black_box(t.coenergy(10.0, std::hint::black_box(1e-8))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 3 bench: effort expressions derived from the transducer
+//! energies — prints the symbolic-vs-closed-form verification and
+//! times the full energy-recipe derivation (symbolic differentiation
+//! + simplification + HDL generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::tables::table3;
+use mems_core::{ElectricalStyle, TransverseElectrostatic};
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "Table 3",
+        "voltages and forces derived from transducer energies",
+    );
+    eprintln!(
+        "{:<30} {:>16} {:>16} {:>12}",
+        "transducer", "force derived", "force closed", "rel error"
+    );
+    for row in table3().expect("derivations succeed") {
+        eprintln!(
+            "{:<30} {:>16.6e} {:>16.6e} {:>12.3e}",
+            row.label, row.force_derived, row.force_closed, row.rel_error
+        );
+    }
+
+    let model = TransverseElectrostatic::table4().energy_model();
+    c.bench_function("table3/symbolic_derivation", |b| {
+        b.iter(|| std::hint::black_box(model.derive().unwrap()))
+    });
+    c.bench_function("table3/full_hdl_generation", |b| {
+        b.iter(|| {
+            std::hint::black_box(model.to_hdl_source(ElectricalStyle::PaperStyle).unwrap())
+        })
+    });
+    c.bench_function("table3/verify_all_rows", |b| {
+        b.iter(|| std::hint::black_box(table3().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

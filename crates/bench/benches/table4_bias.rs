@@ -1,0 +1,48 @@
+//! Table 4 bench: the transducer–resonator system parameters and the
+//! derived bias quantities (x₀, C₀, Γ) — prints paper-vs-computed and
+//! times the equilibrium solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_core::experiments::tables::{table4, Table4Paper};
+use mems_core::TransverseElectrostatic;
+
+fn bench(c: &mut Criterion) {
+    mems_bench::print_banner("Table 4", "system parameters and derived bias quantities");
+    let d = table4().expect("bias solve succeeds");
+    eprintln!("quantity              paper           computed");
+    eprintln!(
+        "x0  [m]               {:<15.6e} {:<15.6e}",
+        Table4Paper::X0,
+        d.x0
+    );
+    eprintln!(
+        "C0  [F]               {:<15.6e} {:<15.6e}",
+        Table4Paper::C0,
+        d.c0
+    );
+    eprintln!(
+        "Γ   [N/V] (printed)   {:<15.6e} tangent {:.6e} / secant {:.6e}",
+        Table4Paper::GAMMA,
+        d.gamma_tangent,
+        d.gamma_secant
+    );
+    eprintln!(
+        "F0  [N]               {:<15} {:<15.6e}",
+        "(not printed)", d.f0
+    );
+    eprintln!(
+        "note: the paper's printed Γ is inconsistent with its own parameters; \
+         see EXPERIMENTS.md"
+    );
+
+    let t = TransverseElectrostatic::table4();
+    c.bench_function("table4/static_equilibrium_solve", |b| {
+        b.iter(|| std::hint::black_box(t.static_displacement(10.0, 200.0).unwrap()))
+    });
+    c.bench_function("table4/derived_quantities", |b| {
+        b.iter(|| std::hint::black_box(table4().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

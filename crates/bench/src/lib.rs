@@ -1,0 +1,10 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench in `benches/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §4) and prints the reproduced rows/series
+//! once before timing the underlying computation with criterion.
+
+/// Prints a Markdown-style table header once per bench run.
+pub fn print_banner(id: &str, what: &str) {
+    eprintln!("\n=== {id}: {what} ===");
+}

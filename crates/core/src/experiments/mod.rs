@@ -1,0 +1,15 @@
+//! The paper's evaluation, one module per table/figure (see
+//! `DESIGN.md` §4 for the experiment index):
+//!
+//! - [`tables`] — Tables 1–4 (domains, impedances/energies, derived
+//!   efforts, bias quantities);
+//! - [`fig5`] — the linear-vs-behavioral transient comparison;
+//! - [`fig6`] — PXT force extraction from FE fields + model roundtrip;
+//! - [`harmonic`] — the harmonic-analysis → data-flow-model workflow;
+//! - [`perf`] — the "factor of 10" behavioral-model slowdown.
+
+pub mod fig5;
+pub mod fig6;
+pub mod harmonic;
+pub mod perf;
+pub mod tables;

@@ -1,0 +1,50 @@
+//! # mems-core — the paper's methodology
+//!
+//! Reproduction of the modeling methodology of Romanowicz et al.,
+//! *Modeling and Simulation of Electromechanical Transducers in
+//! Microsystems using an Analog Hardware Description Language*
+//! (ED&TC 1997):
+//!
+//! - [`analogy`] — Table 1 and the force–voltage/force–current
+//!   analogies;
+//! - [`energy`] — the 4-step energy recipe mechanized: symbolic
+//!   co-energy → differentiation → complete HDL-A model generation;
+//! - [`transducers`] — the four devices of Fig. 2 with Table 2/3
+//!   closed forms, generated models, and linearized equivalents;
+//! - [`resonator`] / [`system`] — the Fig. 3 transducer–resonator
+//!   system, buildable with the behavioral or the linearized
+//!   transducer;
+//! - [`experiments`] — the paper's evaluation (Tables 1–4, Figs. 5–6,
+//!   the harmonic workflow, the performance comparison).
+//!
+//! # Example: reproduce Fig. 5's headline behaviour
+//!
+//! ```no_run
+//! use mems_core::experiments::fig5;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let result = fig5::run(&fig5::Fig5Options::default())?;
+//! let at_bias = result.row(10.0).unwrap();
+//! assert!(at_bias.static_rel_err() < 0.02); // "converge perfectly"
+//! let low = result.row(5.0).unwrap();
+//! assert!(low.linear_over_nonlinear() > 1.0); // linear overshoots
+//! let high = result.row(15.0).unwrap();
+//! assert!(high.linear_over_nonlinear() < 1.0); // linear undershoots
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analogy;
+pub mod energy;
+pub mod experiments;
+pub mod resonator;
+pub mod system;
+pub mod transducers;
+
+pub use energy::{ElectricalKind, ElectricalStyle, EnergyTransducer};
+pub use resonator::MechanicalResonator;
+pub use system::{TransducerResonatorSystem, TransducerVariant};
+pub use transducers::{
+    ElectrodynamicVoiceCoil, ElectromagneticGap, LinearizedKind, ParallelPlateElectrostatic,
+    TransverseElectrostatic,
+};

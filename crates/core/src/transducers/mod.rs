@@ -1,0 +1,22 @@
+//! The four electromechanical transducers of Fig. 2, with the
+//! closed-form impedances and energies of Table 2, the effort
+//! expressions of Table 3, generated HDL-A models, and linearized
+//! equivalent circuits.
+
+pub mod electrodynamic;
+pub mod electromagnetic;
+pub mod linear;
+pub mod parallel;
+pub mod transverse;
+
+pub use electrodynamic::ElectrodynamicVoiceCoil;
+pub use electromagnetic::ElectromagneticGap;
+pub use linear::{LinearizedKind, LinearizedTransducer};
+pub use parallel::ParallelPlateElectrostatic;
+pub use transverse::TransverseElectrostatic;
+
+/// Vacuum permittivity ε₀ [F/m], as written in Listing 1.
+pub const EPS0: f64 = 8.8542e-12;
+
+/// Vacuum permeability µ₀ [H/m].
+pub const MU0: f64 = 1.256_637_061_4e-6;

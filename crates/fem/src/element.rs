@@ -1,0 +1,208 @@
+//! Q4 bilinear quadrilateral element for the scalar Laplace/Poisson
+//! operator `−∇·(ε∇φ) = 0`.
+
+use mems_numerics::quad::gauss_legendre;
+
+/// Shape functions of the bilinear quad at `(ξ, η) ∈ [−1, 1]²`.
+pub fn shape(xi: f64, eta: f64) -> [f64; 4] {
+    [
+        0.25 * (1.0 - xi) * (1.0 - eta),
+        0.25 * (1.0 + xi) * (1.0 - eta),
+        0.25 * (1.0 + xi) * (1.0 + eta),
+        0.25 * (1.0 - xi) * (1.0 + eta),
+    ]
+}
+
+/// Shape function derivatives `[∂N/∂ξ; ∂N/∂η]` at `(ξ, η)`.
+pub fn shape_derivs(xi: f64, eta: f64) -> [[f64; 4]; 2] {
+    [
+        [
+            -0.25 * (1.0 - eta),
+            0.25 * (1.0 - eta),
+            0.25 * (1.0 + eta),
+            -0.25 * (1.0 + eta),
+        ],
+        [
+            -0.25 * (1.0 - xi),
+            -0.25 * (1.0 + xi),
+            0.25 * (1.0 + xi),
+            0.25 * (1.0 - xi),
+        ],
+    ]
+}
+
+/// Element stiffness matrix `∫ ε ∇Nᵢ·∇Nⱼ dΩ` over a quad with corner
+/// coordinates `xy` (counter-clockwise), permittivity `eps`.
+///
+/// Uses 2×2 Gauss quadrature (exact for the bilinear map on
+/// parallelograms).
+pub fn stiffness(xy: &[(f64, f64); 4], eps: f64) -> [[f64; 4]; 4] {
+    let mut k = [[0.0; 4]; 4];
+    let gauss = gauss_legendre(2);
+    for &(xi, wx) in gauss {
+        for &(eta, wy) in gauss {
+            let dn = shape_derivs(xi, eta);
+            // Jacobian of the isoparametric map.
+            let mut j = [[0.0f64; 2]; 2];
+            for a in 0..4 {
+                j[0][0] += dn[0][a] * xy[a].0;
+                j[0][1] += dn[0][a] * xy[a].1;
+                j[1][0] += dn[1][a] * xy[a].0;
+                j[1][1] += dn[1][a] * xy[a].1;
+            }
+            let det = j[0][0] * j[1][1] - j[0][1] * j[1][0];
+            assert!(det > 0.0, "degenerate element (det J = {det})");
+            let inv = [
+                [j[1][1] / det, -j[0][1] / det],
+                [-j[1][0] / det, j[0][0] / det],
+            ];
+            // Cartesian gradients of the shape functions.
+            let mut grad = [[0.0f64; 4]; 2];
+            for a in 0..4 {
+                grad[0][a] = inv[0][0] * dn[0][a] + inv[0][1] * dn[1][a];
+                grad[1][a] = inv[1][0] * dn[0][a] + inv[1][1] * dn[1][a];
+            }
+            let w = wx * wy * det * eps;
+            for a in 0..4 {
+                for b in 0..4 {
+                    k[a][b] += w * (grad[0][a] * grad[0][b] + grad[1][a] * grad[1][b]);
+                }
+            }
+        }
+    }
+    k
+}
+
+/// Gradient of the interpolated field at element center `(ξ=η=0)`,
+/// given corner coordinates and nodal values.
+pub fn center_gradient(xy: &[(f64, f64); 4], vals: &[f64; 4]) -> (f64, f64) {
+    gradient_at(xy, vals, 0.0, 0.0)
+}
+
+/// Gradient of the interpolated field at a parametric point.
+pub fn gradient_at(xy: &[(f64, f64); 4], vals: &[f64; 4], xi: f64, eta: f64) -> (f64, f64) {
+    let dn = shape_derivs(xi, eta);
+    let mut j = [[0.0f64; 2]; 2];
+    for a in 0..4 {
+        j[0][0] += dn[0][a] * xy[a].0;
+        j[0][1] += dn[0][a] * xy[a].1;
+        j[1][0] += dn[1][a] * xy[a].0;
+        j[1][1] += dn[1][a] * xy[a].1;
+    }
+    let det = j[0][0] * j[1][1] - j[0][1] * j[1][0];
+    let inv = [
+        [j[1][1] / det, -j[0][1] / det],
+        [-j[1][0] / det, j[0][0] / det],
+    ];
+    let mut gx = 0.0;
+    let mut gy = 0.0;
+    for a in 0..4 {
+        let dndx = inv[0][0] * dn[0][a] + inv[0][1] * dn[1][a];
+        let dndy = inv[1][0] * dn[0][a] + inv[1][1] * dn[1][a];
+        gx += dndx * vals[a];
+        gy += dndy * vals[a];
+    }
+    (gx, gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: [(f64, f64); 4] = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+
+    #[test]
+    fn shapes_partition_unity() {
+        for &(xi, eta) in &[(0.0, 0.0), (-1.0, 1.0), (0.3, -0.7)] {
+            let n = shape(xi, eta);
+            let s: f64 = n.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn shapes_are_nodal() {
+        // N_a(node b) = δ_ab at the parametric corners.
+        let corners = [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)];
+        for (b, &(xi, eta)) in corners.iter().enumerate() {
+            let n = shape(xi, eta);
+            for (a, &na) in n.iter().enumerate() {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((na - expect).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_square_stiffness_is_known() {
+        // Classic Q4 Laplace stiffness on the unit square: diagonal 2/3.
+        let k = stiffness(&UNIT, 1.0);
+        for a in 0..4 {
+            assert!((k[a][a] - 2.0 / 3.0).abs() < 1e-12);
+            // Rows sum to zero (constant field has no energy).
+            let row: f64 = k[a].iter().sum();
+            assert!(row.abs() < 1e-13);
+        }
+        // Opposite corner coupling −1/3, adjacent −1/6.
+        assert!((k[0][2] + 1.0 / 3.0).abs() < 1e-12);
+        assert!((k[0][1] + 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stiffness_scales_with_permittivity() {
+        let k1 = stiffness(&UNIT, 1.0);
+        let k2 = stiffness(&UNIT, 8.8542e-12);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!((k2[a][b] - 8.8542e-12 * k1[a][b]).abs() < 1e-24);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_field_energy_is_exact() {
+        // φ = x on the unit square: ∫|∇φ|² = 1. uᵀKu must equal it.
+        let vals = [0.0, 1.0, 1.0, 0.0];
+        let k = stiffness(&UNIT, 1.0);
+        let mut energy = 0.0;
+        for a in 0..4 {
+            for b in 0..4 {
+                energy += vals[a] * k[a][b] * vals[b];
+            }
+        }
+        assert!((energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_of_linear_field() {
+        // φ = 2x + 3y interpolates exactly; gradient recovered.
+        let vals = [0.0, 2.0, 5.0, 3.0];
+        let (gx, gy) = center_gradient(&UNIT, &vals);
+        assert!((gx - 2.0).abs() < 1e-12);
+        assert!((gy - 3.0).abs() < 1e-12);
+        let (gx, gy) = gradient_at(&UNIT, &vals, 0.5, -0.5);
+        assert!((gx - 2.0).abs() < 1e-12);
+        assert!((gy - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distorted_element_still_integrates_constant_gradient() {
+        // A sheared parallelogram: φ = x still gives ∫|∇φ|² = area.
+        let xy = [(0.0, 0.0), (2.0, 0.5), (2.5, 2.0), (0.5, 1.5)];
+        let vals = [xy[0].0, xy[1].0, xy[2].0, xy[3].0];
+        let k = stiffness(&xy, 1.0);
+        let mut energy = 0.0;
+        for a in 0..4 {
+            for b in 0..4 {
+                energy += vals[a] * k[a][b] * vals[b];
+            }
+        }
+        // Shoelace area of the parallelogram-ish quad.
+        let area = 0.5
+            * ((xy[0].0 * xy[1].1 - xy[1].0 * xy[0].1)
+                + (xy[1].0 * xy[2].1 - xy[2].0 * xy[1].1)
+                + (xy[2].0 * xy[3].1 - xy[3].0 * xy[2].1)
+                + (xy[3].0 * xy[0].1 - xy[0].0 * xy[3].1));
+        assert!((energy - area).abs() < area * 0.02, "{energy} vs {area}");
+    }
+}

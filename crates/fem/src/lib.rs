@@ -1,0 +1,43 @@
+//! # mems-fem — finite-element substrate
+//!
+//! Stand-in for the ANSYS field solver the paper's PXT tool drives
+//! ("The FE method is commonly used to solve spatial differential
+//! equations to predict micromachined device behavior"):
+//!
+//! - [`mesh`] — structured quadrilateral meshes with node-set
+//!   selection (electrode surfaces);
+//! - [`element`] — Q4 bilinear Laplace elements (2×2 Gauss);
+//! - [`electrostatics`] — `∇·(ε∇φ) = 0` with Dirichlet electrodes,
+//!   CG solve, field/energy/charge/capacitance extraction;
+//! - [`maxwell`] — electrostatic force via Maxwell stress tensor
+//!   (the paper's `f = ½∮εE²n dS`) cross-checked by virtual work;
+//! - [`beam`] — Euler–Bernoulli cantilevers: static, modal, damped
+//!   harmonic analysis (the "harmonic FE analysis" PXT fits);
+//! - [`harmonic`] — frequency-response containers.
+//!
+//! # Example: Fig. 6's force extraction
+//!
+//! ```
+//! use mems_fem::maxwell::{parallel_plate_problem, maxwell_force_y};
+//!
+//! # fn main() -> mems_numerics::Result<()> {
+//! // Table 4 geometry: 1 cm plate width, 0.15 mm gap, 10 V.
+//! let problem = parallel_plate_problem(0.01, 0.15e-3, 10, 8, 0.0, 10.0)?;
+//! let field = problem.solve()?;
+//! let force_per_depth = maxwell_force_y(&field, 0.075e-3);
+//! let force = force_per_depth * 0.01; // depth 1 cm → A = 1 cm²
+//! assert!((force.abs() - 1.9676e-6).abs() < 1e-9); // Table 3 at x = 0
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod beam;
+pub mod electrostatics;
+pub mod element;
+pub mod harmonic;
+pub mod maxwell;
+pub mod mesh;
+
+pub use electrostatics::{ElectrostaticProblem, PotentialField, EPS0};
+pub use harmonic::FrequencyResponse;
+pub use mesh::StructuredQuadMesh;

@@ -1,0 +1,163 @@
+//! Electrostatic force extraction from a solved field.
+//!
+//! Two independent methods, as production FE tools provide:
+//!
+//! - **Maxwell stress tensor**: `F = ∮ T·n dS` with
+//!   `T_ij = ε(E_i E_j − ½δ_ij|E|²)` — the numerical version of the
+//!   equation PXT uses in the paper (`f = ½∮ε E² n dS` for a
+//!   field-normal surface);
+//! - **virtual work**: `F = −dW/dg` at constant voltage uses
+//!   `F = +dW/dg|_V` co-energy sign (two solves at perturbed gap).
+//!
+//! Their agreement is a strong consistency check on the field
+//! solution (exercised by the test suite and the Fig. 6 bench).
+
+use crate::electrostatics::{ElectrostaticProblem, PotentialField};
+use crate::mesh::StructuredQuadMesh;
+use mems_numerics::Result;
+
+/// Force per unit depth on the electrode *above* a horizontal cut
+/// `y = y_cut` (normal pointing in −y), from the Maxwell stress
+/// tensor integrated along the cut [N/m].
+///
+/// For a parallel-plate field (E purely vertical) this reduces to the
+/// paper's `½ ε E²` per unit area, pulling the plates together.
+pub fn maxwell_force_y(field: &PotentialField, y_cut: f64) -> f64 {
+    let mesh = &field.mesh;
+    let (x0, _, x1, _) = mesh.bounds();
+    let (nx, _) = mesh.shape();
+    let dx = (x1 - x0) / nx as f64;
+    let mut force = 0.0;
+    for i in 0..nx {
+        let xc = x0 + (i as f64 + 0.5) * dx;
+        let Some(e) = mesh.elem_at(xc, y_cut) else {
+            continue;
+        };
+        let (ex, ey) = field.field_at_elem(e);
+        let eps = crate::electrostatics::EPS0 * field.eps_r[e];
+        // Traction on a surface with outward normal −ŷ (surface below
+        // the body we compute the force on): t = T·n.
+        // T_yy = ε(E_y² − ½|E|²), T_xy = ε E_x E_y.
+        let t_yy = eps * (ey * ey - 0.5 * (ex * ex + ey * ey));
+        // Force on the upper body in y: −T_yy integrated over the cut.
+        force += -t_yy * dx;
+        let _ = t_yy;
+        // (T_xy contributes to the x-force; not needed here.)
+    }
+    force
+}
+
+/// Force per unit depth via virtual work at constant voltage:
+/// `F_g = +dW/dg |_V` (co-energy form), evaluated by re-solving the
+/// problem built by `build(gap)` at `gap ± δ`.
+///
+/// Returns the derivative of field energy with respect to the gap
+/// parameter; a negative value means the energy drops as the gap
+/// opens, i.e. the plates attract.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn virtual_work_force(
+    build: impl Fn(f64) -> Result<ElectrostaticProblem>,
+    gap: f64,
+    delta: f64,
+) -> Result<f64> {
+    let wp = build(gap + delta)?.solve()?.energy();
+    let wm = build(gap - delta)?.solve()?.energy();
+    Ok((wp - wm) / (2.0 * delta))
+}
+
+/// Convenience: builds the paper's uniform parallel-plate gap problem
+/// (Fig. 2a geometry without fringe fields, as the paper notes) with
+/// plate width `w`, gap `g`, `nx × ny` elements, potentials `v_bottom`
+/// and `v_top`.
+///
+/// # Errors
+///
+/// Propagates electrode construction failures.
+pub fn parallel_plate_problem(
+    w: f64,
+    g: f64,
+    nx: usize,
+    ny: usize,
+    v_bottom: f64,
+    v_top: f64,
+) -> Result<ElectrostaticProblem> {
+    let mesh = StructuredQuadMesh::rectangle(0.0, 0.0, w, g, nx, ny);
+    let bottom = mesh.bottom_nodes();
+    let top = mesh.top_nodes();
+    let mut p = ElectrostaticProblem::new(mesh, 1.0);
+    p.add_electrode("fixed", bottom, v_bottom)?;
+    p.add_electrode("free", top, v_top)?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::electrostatics::EPS0;
+
+    const W: f64 = 0.01; // 1 cm plate width (depth 1 cm → A = 1 cm²)
+    const GAP: f64 = 0.15e-3;
+
+    #[test]
+    fn maxwell_stress_matches_half_eps_e_squared() {
+        // Fig. 6: PXT computes f = ½∮εE²n dS; for the uniform gap at
+        // 10 V this must equal the Table 3 force at x = 0 (per depth).
+        let p = parallel_plate_problem(W, GAP, 12, 10, 0.0, 10.0).unwrap();
+        let f = p.solve().unwrap();
+        let force = maxwell_force_y(&f, GAP * 0.5);
+        let e = 10.0 / GAP;
+        let expect = -0.5 * EPS0 * e * e * W; // attractive: pulls down
+        assert!(
+            (force - expect).abs() < expect.abs() * 1e-9,
+            "{force:e} vs {expect:e}"
+        );
+        // Scaled to the paper's area (depth = 1 cm): |F| ≈ 1.9676 µN.
+        let f_total = force * 0.01;
+        assert!(
+            (f_total.abs() - 1.9676e-6).abs() < 1e-10,
+            "F = {f_total:e}"
+        );
+    }
+
+    #[test]
+    fn cut_plane_position_does_not_matter() {
+        let p = parallel_plate_problem(W, GAP, 10, 12, 0.0, 5.0).unwrap();
+        let f = p.solve().unwrap();
+        let f1 = maxwell_force_y(&f, GAP * 0.25);
+        let f2 = maxwell_force_y(&f, GAP * 0.75);
+        assert!((f1 - f2).abs() < f1.abs() * 1e-9);
+    }
+
+    #[test]
+    fn virtual_work_agrees_with_maxwell_stress() {
+        let v = 10.0;
+        let force_vw = virtual_work_force(
+            |g| parallel_plate_problem(W, g, 8, 8, 0.0, v),
+            GAP,
+            GAP * 1e-4,
+        )
+        .unwrap();
+        // W(g) = ½ε0·w·V²/g → dW/dg = −½ε0·w·V²/g² < 0 (attraction).
+        let p = parallel_plate_problem(W, GAP, 8, 8, 0.0, v).unwrap();
+        let field = p.solve().unwrap();
+        let force_mx = maxwell_force_y(&field, GAP * 0.5);
+        assert!(
+            (force_vw - force_mx).abs() < force_mx.abs() * 1e-4,
+            "virtual work {force_vw:e} vs Maxwell {force_mx:e}"
+        );
+    }
+
+    #[test]
+    fn force_scales_with_v_squared_and_inverse_gap_squared() {
+        let f = |v: f64, g: f64| {
+            let p = parallel_plate_problem(W, g, 6, 6, 0.0, v).unwrap();
+            maxwell_force_y(&p.solve().unwrap(), g * 0.5)
+        };
+        let f0 = f(5.0, GAP);
+        assert!((f(10.0, GAP) / f0 - 4.0).abs() < 1e-9);
+        assert!((f(5.0, GAP * 2.0) / f0 - 0.25).abs() < 1e-9);
+    }
+}

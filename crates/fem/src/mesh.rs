@@ -1,0 +1,203 @@
+//! Structured quadrilateral meshes on rectangles.
+//!
+//! The electrostatic solver meshes the capacitor gap region; node
+//! sets are selected by coordinate predicates to apply electrode
+//! (Dirichlet) boundary conditions, mirroring how FE tools define
+//! terminal ports as "surfaces on which the intensive variable is
+//! invariant" (paper, §Parameter extraction).
+
+/// A node index.
+pub type NodeIdx = usize;
+
+/// A structured `nx × ny`-element quadrilateral mesh of the rectangle
+/// `[x0, x0+w] × [y0, y0+h]`.
+#[derive(Debug, Clone)]
+pub struct StructuredQuadMesh {
+    nx: usize,
+    ny: usize,
+    x0: f64,
+    y0: f64,
+    w: f64,
+    h: f64,
+    coords: Vec<(f64, f64)>,
+    elems: Vec<[NodeIdx; 4]>,
+}
+
+impl StructuredQuadMesh {
+    /// Meshes the rectangle with `nx × ny` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero element counts or non-positive dimensions.
+    pub fn rectangle(x0: f64, y0: f64, w: f64, h: f64, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "need at least one element per axis");
+        assert!(w > 0.0 && h > 0.0, "rectangle must have positive size");
+        let mut coords = Vec::with_capacity((nx + 1) * (ny + 1));
+        for j in 0..=ny {
+            for i in 0..=nx {
+                coords.push((
+                    x0 + w * i as f64 / nx as f64,
+                    y0 + h * j as f64 / ny as f64,
+                ));
+            }
+        }
+        let mut elems = Vec::with_capacity(nx * ny);
+        let stride = nx + 1;
+        for j in 0..ny {
+            for i in 0..nx {
+                let n0 = j * stride + i;
+                // Counter-clockwise: (i,j), (i+1,j), (i+1,j+1), (i,j+1).
+                elems.push([n0, n0 + 1, n0 + stride + 1, n0 + stride]);
+            }
+        }
+        StructuredQuadMesh {
+            nx,
+            ny,
+            x0,
+            y0,
+            w,
+            h,
+            coords,
+            elems,
+        }
+    }
+
+    /// Elements per axis `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Node coordinates.
+    pub fn coord(&self, n: NodeIdx) -> (f64, f64) {
+        self.coords[n]
+    }
+
+    /// Element connectivity (counter-clockwise node indices).
+    pub fn elem(&self, e: usize) -> [NodeIdx; 4] {
+        self.elems[e]
+    }
+
+    /// All element connectivities.
+    pub fn elems(&self) -> &[[NodeIdx; 4]] {
+        &self.elems
+    }
+
+    /// Domain bounds `(x0, y0, x0+w, y0+h)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        (self.x0, self.y0, self.x0 + self.w, self.y0 + self.h)
+    }
+
+    /// Nodes satisfying a coordinate predicate (electrode selection).
+    pub fn select_nodes(&self, pred: impl Fn(f64, f64) -> bool) -> Vec<NodeIdx> {
+        self.coords
+            .iter()
+            .enumerate()
+            .filter(|(_, (x, y))| pred(*x, *y))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Nodes on the bottom edge (`y = y0`).
+    pub fn bottom_nodes(&self) -> Vec<NodeIdx> {
+        let y0 = self.y0;
+        let tol = self.h * 1e-12;
+        self.select_nodes(move |_, y| (y - y0).abs() <= tol)
+    }
+
+    /// Nodes on the top edge (`y = y0 + h`).
+    pub fn top_nodes(&self) -> Vec<NodeIdx> {
+        let y1 = self.y0 + self.h;
+        let tol = self.h * 1e-12;
+        self.select_nodes(move |_, y| (y - y1).abs() <= tol)
+    }
+
+    /// Element index containing the point, if inside the domain.
+    pub fn elem_at(&self, x: f64, y: f64) -> Option<usize> {
+        let fx = (x - self.x0) / self.w;
+        let fy = (y - self.y0) / self.h;
+        if !(0.0..=1.0).contains(&fx) || !(0.0..=1.0).contains(&fy) {
+            return None;
+        }
+        let i = ((fx * self.nx as f64) as usize).min(self.nx - 1);
+        let j = ((fy * self.ny as f64) as usize).min(self.ny - 1);
+        Some(j * self.nx + i)
+    }
+
+    /// Element centroid.
+    pub fn elem_center(&self, e: usize) -> (f64, f64) {
+        let nodes = self.elems[e];
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for n in nodes {
+            let (x, y) = self.coords[n];
+            cx += x;
+            cy += y;
+        }
+        (cx / 4.0, cy / 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_coords() {
+        let m = StructuredQuadMesh::rectangle(0.0, 0.0, 2.0, 1.0, 4, 2);
+        assert_eq!(m.n_nodes(), 15);
+        assert_eq!(m.n_elems(), 8);
+        assert_eq!(m.coord(0), (0.0, 0.0));
+        assert_eq!(m.coord(14), (2.0, 1.0));
+        assert_eq!(m.shape(), (4, 2));
+    }
+
+    #[test]
+    fn connectivity_is_ccw() {
+        let m = StructuredQuadMesh::rectangle(0.0, 0.0, 1.0, 1.0, 2, 2);
+        let e = m.elem(0);
+        let (x0, y0) = m.coord(e[0]);
+        let (x1, y1) = m.coord(e[1]);
+        let (x2, y2) = m.coord(e[2]);
+        // Shoelace: positive area for CCW.
+        let cross = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0);
+        assert!(cross > 0.0);
+    }
+
+    #[test]
+    fn edge_selection() {
+        let m = StructuredQuadMesh::rectangle(0.0, 0.0, 1.0, 0.5, 3, 2);
+        assert_eq!(m.bottom_nodes().len(), 4);
+        assert_eq!(m.top_nodes().len(), 4);
+        for n in m.top_nodes() {
+            assert!((m.coord(n).1 - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn point_location() {
+        let m = StructuredQuadMesh::rectangle(0.0, 0.0, 1.0, 1.0, 2, 2);
+        assert_eq!(m.elem_at(0.1, 0.1), Some(0));
+        assert_eq!(m.elem_at(0.9, 0.9), Some(3));
+        assert_eq!(m.elem_at(1.5, 0.5), None);
+        // Boundary point maps to the last element.
+        assert_eq!(m.elem_at(1.0, 1.0), Some(3));
+    }
+
+    #[test]
+    fn centers() {
+        let m = StructuredQuadMesh::rectangle(0.0, 0.0, 2.0, 2.0, 2, 2);
+        let (cx, cy) = m.elem_center(0);
+        assert!((cx - 0.5).abs() < 1e-12);
+        assert!((cy - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,427 @@
+//! Compiled (resolved, slot-indexed) model representation.
+//!
+//! [`crate::sema`] lowers the name-based AST into this form once; the
+//! evaluator in [`crate::eval`] then interprets it with dual-number
+//! arithmetic every Newton iteration without any name lookups.
+
+use crate::ast::{BinOp, ObjectKind, UnOp};
+use crate::error::{HdlError, Result};
+use crate::nature::Nature;
+use crate::span::Span;
+
+/// Built-in scalar functions available in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `abs(x)`
+    Abs,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)`
+    Ln,
+    /// `log10(x)`
+    Log10,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `asin(x)`
+    Asin,
+    /// `acos(x)`
+    Acos,
+    /// `atan(x)`
+    Atan,
+    /// `atan2(y, x)`
+    Atan2,
+    /// `sinh(x)`
+    Sinh,
+    /// `cosh(x)`
+    Cosh,
+    /// `tanh(x)`
+    Tanh,
+    /// `pow(x, y)` (same as `x ** y`)
+    Pow,
+    /// `min(x, y)`
+    Min,
+    /// `max(x, y)`
+    Max,
+    /// `sgn(x)`
+    Sgn,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `limit(x, lo, hi)` — clamp with unit pass-through slope inside.
+    Limit,
+}
+
+impl Builtin {
+    /// Resolves a function name; returns the builtin and its arity.
+    pub fn lookup(name: &str) -> Option<(Builtin, usize)> {
+        Some(match name {
+            "abs" => (Builtin::Abs, 1),
+            "sqrt" => (Builtin::Sqrt, 1),
+            "exp" => (Builtin::Exp, 1),
+            "ln" | "log" => (Builtin::Ln, 1),
+            "log10" => (Builtin::Log10, 1),
+            "sin" => (Builtin::Sin, 1),
+            "cos" => (Builtin::Cos, 1),
+            "tan" => (Builtin::Tan, 1),
+            "asin" => (Builtin::Asin, 1),
+            "acos" => (Builtin::Acos, 1),
+            "atan" => (Builtin::Atan, 1),
+            "atan2" => (Builtin::Atan2, 2),
+            "sinh" => (Builtin::Sinh, 1),
+            "cosh" => (Builtin::Cosh, 1),
+            "tanh" => (Builtin::Tanh, 1),
+            "pow" => (Builtin::Pow, 2),
+            "min" => (Builtin::Min, 2),
+            "max" => (Builtin::Max, 2),
+            "sgn" | "sign" => (Builtin::Sgn, 1),
+            "floor" => (Builtin::Floor, 1),
+            "ceil" => (Builtin::Ceil, 1),
+            "limit" => (Builtin::Limit, 3),
+            _ => return None,
+        })
+    }
+}
+
+/// Resolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Literal.
+    Const(f64),
+    /// Generic parameter by slot.
+    Generic(usize),
+    /// Declared object (variable/state/constant/unknown) by slot.
+    Object(usize),
+    /// Across quantity of a branch by slot.
+    Across(usize),
+    /// Simulation time (0 in dc/ac).
+    Time,
+    /// Unary operation.
+    Unary(UnOp, Box<CExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Builtin function call.
+    Call(Builtin, Vec<CExpr>),
+    /// Time derivative call site.
+    Ddt {
+        /// History slot.
+        site: usize,
+        /// Differentiated expression.
+        arg: Box<CExpr>,
+    },
+    /// Time integral call site.
+    Integ {
+        /// History slot.
+        site: usize,
+        /// Integrand.
+        arg: Box<CExpr>,
+        /// Initial condition, folded at elaboration (defaults to 0).
+        ic: f64,
+    },
+    /// Piecewise-linear table lookup call site (`table1d`).
+    Table {
+        /// Table slot (breakpoints folded at elaboration).
+        site: usize,
+        /// Lookup abscissa.
+        arg: Box<CExpr>,
+    },
+}
+
+/// Resolved statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CStmt {
+    /// Object assignment.
+    Assign {
+        /// Target object slot.
+        object: usize,
+        /// Value.
+        value: CExpr,
+    },
+    /// Through-quantity contribution into a branch.
+    Contribute {
+        /// Branch slot.
+        branch: usize,
+        /// Contribution value.
+        value: CExpr,
+    },
+    /// Conditional.
+    If {
+        /// `(condition, body)` arms.
+        arms: Vec<(CExpr, Vec<CStmt>)>,
+        /// Fallback body.
+        otherwise: Vec<CStmt>,
+    },
+    /// Run-time assertion.
+    Assert {
+        /// Condition that must evaluate nonzero.
+        cond: CExpr,
+        /// Failure message.
+        message: String,
+    },
+    /// Diagnostic message.
+    Report {
+        /// Message text.
+        message: String,
+    },
+    /// Implicit-equation residual `lhs − rhs`.
+    Residual {
+        /// Residual row (pairs with the unknown of the same index).
+        index: usize,
+        /// Left side.
+        lhs: CExpr,
+        /// Right side.
+        rhs: CExpr,
+    },
+}
+
+/// A generic parameter slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenericInfo {
+    /// Name (lowercased).
+    pub name: String,
+    /// Folded default value, when declared.
+    pub default: Option<f64>,
+}
+
+/// A pin slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinInfo {
+    /// Name (lowercased).
+    pub name: String,
+    /// Resolved nature.
+    pub nature: Nature,
+}
+
+/// A branch slot: an ordered pin pair sharing a nature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Positive pin slot.
+    pub pin_a: usize,
+    /// Negative pin slot.
+    pub pin_b: usize,
+    /// Nature of both pins.
+    pub nature: Nature,
+}
+
+/// A declared object slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectInfo {
+    /// Name (lowercased).
+    pub name: String,
+    /// Declaration kind.
+    pub kind: ObjectKind,
+    /// Declaration initializer (unfolded; may reference generics).
+    pub init: Option<CExpr>,
+    /// For `Unknown` objects: index among the unknowns.
+    pub unknown_index: Option<usize>,
+}
+
+/// Table breakpoints captured at compile time (folded at elaboration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// `(x, y)` breakpoint expressions (constant-foldable).
+    pub breakpoints: Vec<(CExpr, CExpr)>,
+    /// Source span of the `table1d` call (for diagnostics).
+    pub span: Span,
+}
+
+/// A fully resolved, analysis-ready model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    /// Entity name.
+    pub name: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Generic slots.
+    pub generics: Vec<GenericInfo>,
+    /// Pin slots.
+    pub pins: Vec<PinInfo>,
+    /// Branch slots (all distinct `[a, b]` pairs in the source).
+    pub branches: Vec<BranchInfo>,
+    /// Object slots.
+    pub objects: Vec<ObjectInfo>,
+    /// Number of `UNKNOWN` objects (extra scalar unknowns).
+    pub n_unknowns: usize,
+    /// Number of `ddt` call sites.
+    pub n_ddt_sites: usize,
+    /// Number of `integ` call sites.
+    pub n_integ_sites: usize,
+    /// Table specifications (one per `table1d` call site).
+    pub tables: Vec<TableSpec>,
+    /// One-time initialization program.
+    pub init_program: Vec<CStmt>,
+    /// DC program (falls back to the transient program when the source
+    /// declares no explicit `dc` block).
+    pub dc_program: Vec<CStmt>,
+    /// AC program (same fallback rule).
+    pub ac_program: Vec<CStmt>,
+    /// Transient program.
+    pub tran_program: Vec<CStmt>,
+}
+
+impl CompiledModel {
+    /// Looks up a pin slot by name.
+    pub fn pin_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.pins.iter().position(|p| p.name == lower)
+    }
+
+    /// Looks up a generic slot by name.
+    pub fn generic_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.generics.iter().position(|g| g.name == lower)
+    }
+}
+
+/// Folds a constant expression (generics allowed) to a number.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Elab`] when the expression references run-time
+/// quantities (branches, objects, time, `ddt`/`integ`/`table1d`).
+pub fn fold_const(expr: &CExpr, generics: &[f64]) -> Result<f64> {
+    Ok(match expr {
+        CExpr::Const(v) => *v,
+        CExpr::Generic(i) => generics[*i],
+        CExpr::Unary(UnOp::Neg, e) => -fold_const(e, generics)?,
+        CExpr::Unary(UnOp::Not, e) => {
+            if fold_const(e, generics)? != 0.0 {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        CExpr::Binary(op, a, b) => {
+            let x = fold_const(a, generics)?;
+            let y = fold_const(b, generics)?;
+            fold_binop(*op, x, y)
+        }
+        CExpr::Call(b, args) => {
+            let vals: Vec<f64> = args
+                .iter()
+                .map(|a| fold_const(a, generics))
+                .collect::<Result<_>>()?;
+            fold_builtin(*b, &vals)
+        }
+        other => {
+            return Err(HdlError::Elab(format!(
+                "expression is not a compile-time constant: {other:?}"
+            )))
+        }
+    })
+}
+
+/// Evaluates a binary operator on plain numbers (booleans as 0/1).
+pub fn fold_binop(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Pow => x.powf(y),
+        BinOp::Eq => f64::from(x == y),
+        BinOp::Ne => f64::from(x != y),
+        BinOp::Lt => f64::from(x < y),
+        BinOp::Le => f64::from(x <= y),
+        BinOp::Gt => f64::from(x > y),
+        BinOp::Ge => f64::from(x >= y),
+        BinOp::And => f64::from(x != 0.0 && y != 0.0),
+        BinOp::Or => f64::from(x != 0.0 || y != 0.0),
+    }
+}
+
+/// Evaluates a builtin on plain numbers.
+pub fn fold_builtin(b: Builtin, a: &[f64]) -> f64 {
+    match b {
+        Builtin::Abs => a[0].abs(),
+        Builtin::Sqrt => a[0].sqrt(),
+        Builtin::Exp => a[0].exp(),
+        Builtin::Ln => a[0].ln(),
+        Builtin::Log10 => a[0].log10(),
+        Builtin::Sin => a[0].sin(),
+        Builtin::Cos => a[0].cos(),
+        Builtin::Tan => a[0].tan(),
+        Builtin::Asin => a[0].asin(),
+        Builtin::Acos => a[0].acos(),
+        Builtin::Atan => a[0].atan(),
+        Builtin::Atan2 => a[0].atan2(a[1]),
+        Builtin::Sinh => a[0].sinh(),
+        Builtin::Cosh => a[0].cosh(),
+        Builtin::Tanh => a[0].tanh(),
+        Builtin::Pow => a[0].powf(a[1]),
+        Builtin::Min => a[0].min(a[1]),
+        Builtin::Max => a[0].max(a[1]),
+        Builtin::Sgn => {
+            if a[0] > 0.0 {
+                1.0
+            } else if a[0] < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        Builtin::Floor => a[0].floor(),
+        Builtin::Ceil => a[0].ceil(),
+        Builtin::Limit => a[0].clamp(a[1], a[2]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::lookup("sqrt"), Some((Builtin::Sqrt, 1)));
+        assert_eq!(Builtin::lookup("atan2"), Some((Builtin::Atan2, 2)));
+        assert_eq!(Builtin::lookup("limit"), Some((Builtin::Limit, 3)));
+        assert_eq!(Builtin::lookup("log"), Some((Builtin::Ln, 1)));
+        assert_eq!(Builtin::lookup("nosuch"), None);
+    }
+
+    #[test]
+    fn fold_consts_with_generics() {
+        // 2·g0 + sqrt(g1)
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Binary(
+                BinOp::Mul,
+                Box::new(CExpr::Const(2.0)),
+                Box::new(CExpr::Generic(0)),
+            )),
+            Box::new(CExpr::Call(Builtin::Sqrt, vec![CExpr::Generic(1)])),
+        );
+        assert_eq!(fold_const(&e, &[3.0, 16.0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn fold_rejects_runtime_quantities() {
+        assert!(fold_const(&CExpr::Across(0), &[]).is_err());
+        assert!(fold_const(&CExpr::Time, &[]).is_err());
+        assert!(fold_const(&CExpr::Object(0), &[]).is_err());
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(fold_binop(BinOp::Pow, 2.0, 10.0), 1024.0);
+        assert_eq!(fold_binop(BinOp::Le, 1.0, 1.0), 1.0);
+        assert_eq!(fold_binop(BinOp::And, 1.0, 0.0), 0.0);
+        assert_eq!(fold_binop(BinOp::Or, 0.0, 2.0), 1.0);
+        assert_eq!(fold_binop(BinOp::Ne, 1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn builtin_semantics() {
+        assert_eq!(fold_builtin(Builtin::Sgn, &[-3.0]), -1.0);
+        assert_eq!(fold_builtin(Builtin::Sgn, &[0.0]), 0.0);
+        assert_eq!(fold_builtin(Builtin::Limit, &[5.0, -1.0, 1.0]), 1.0);
+        assert_eq!(fold_builtin(Builtin::Min, &[2.0, -2.0]), -2.0);
+        assert!((fold_builtin(Builtin::Atan2, &[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+    }
+}

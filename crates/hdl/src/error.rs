@@ -1,0 +1,95 @@
+//! Error types for the HDL front end and runtime.
+
+use crate::span::{excerpt, Span};
+use std::fmt;
+
+/// Errors produced while lexing, parsing, analyzing, elaborating or
+/// evaluating HDL-A models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HdlError {
+    /// Lexical error.
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// Syntax error.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// Semantic error (unknown names, nature mismatches, …).
+    Sema {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// Elaboration error (missing generics, bad table data, …).
+    Elab(String),
+    /// Run-time evaluation error (non-finite value, failed assert, …).
+    Eval(String),
+}
+
+impl HdlError {
+    /// The source span, when the error has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            HdlError::Lex { span, .. }
+            | HdlError::Parse { span, .. }
+            | HdlError::Sema { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// Formats the error with a source excerpt and caret.
+    pub fn render(&self, src: &str) -> String {
+        match self.span() {
+            Some(span) => format!("{self}\n{}", excerpt(src, span)),
+            None => self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::Lex { message, .. } => write!(f, "lex error: {message}"),
+            HdlError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            HdlError::Sema { message, .. } => write!(f, "semantic error: {message}"),
+            HdlError::Elab(m) => write!(f, "elaboration error: {m}"),
+            HdlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HdlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_excerpt() {
+        let e = HdlError::Parse {
+            message: "expected `;`".into(),
+            span: Span::new(5, 6),
+        };
+        let r = e.render("x := 1\ny := 2;");
+        assert!(r.contains("parse error"));
+        assert!(r.contains('^'));
+    }
+
+    #[test]
+    fn non_spanned_errors_render_plainly() {
+        let e = HdlError::Eval("division by zero".into());
+        assert_eq!(e.render("src"), "evaluation error: division by zero");
+        assert!(e.span().is_none());
+    }
+}

@@ -1,0 +1,408 @@
+//! Hand-written lexer for the HDL-A subset.
+//!
+//! The language is case-insensitive; identifiers are lowercased during
+//! lexing. Comments run from `--` (VHDL style) or `//` to end of line.
+
+use crate::error::{HdlError, Result};
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes `src` into a token vector terminated by an `Eof` token.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Lex`] on malformed numbers, unterminated
+/// strings, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semicolon),
+                b'.' => {
+                    // Distinguish member access from a leading-dot number like `.5`.
+                    if self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
+                        self.number(start)?
+                    } else {
+                        self.single(TokenKind::Dot)
+                    }
+                }
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'*') {
+                        self.pos += 1;
+                        TokenKind::StarStar
+                    } else {
+                        TokenKind::Star
+                    }
+                }
+                b'/' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::NotEq
+                    } else {
+                        TokenKind::Slash
+                    }
+                }
+                b':' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::Assign
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                b'%' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::Contribute
+                    } else {
+                        return Err(self.err(start, "expected `%=`"));
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            TokenKind::Arrow
+                        }
+                        Some(b'=') => {
+                            self.pos += 1;
+                            TokenKind::EqEq
+                        }
+                        _ => TokenKind::Eq,
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'=') {
+                        self.pos += 1;
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'"' => self.string(start)?,
+                c if c.is_ascii_digit() => self.number(start)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(start),
+                c => {
+                    return Err(self.err(
+                        start,
+                        &format!("unexpected character `{}`", c as char),
+                    ))
+                }
+            };
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'-') if self.bytes.get(self.pos + 1) == Some(&b'-') => {
+                    self.skip_to_eol();
+                }
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                    self.skip_to_eol();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_to_eol(&mut self) {
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            if c == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) -> TokenKind {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = self.src[start..self.pos].to_ascii_lowercase();
+        match Keyword::from_ident(&text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text),
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<TokenKind> {
+        // digits [. digits] [(e|E) [+|-] digits]
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.')
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(u8::is_ascii_digit)
+        {
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        } else if self.peek() == Some(b'.')
+            && !self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            // Trailing dot as in `2.`: consume it (but not `2.v`).
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mark = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. `2end`): back off.
+                self.pos = mark;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let trimmed = text.strip_suffix('.').unwrap_or(text);
+        trimmed
+            .parse::<f64>()
+            .map(TokenKind::Number)
+            .map_err(|_| self.err(start, &format!("malformed number `{text}`")))
+    }
+
+    fn string(&mut self, start: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let content = self.src[content_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(TokenKind::Str(content));
+            }
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        Err(self.err(start, "unterminated string literal"))
+    }
+
+    fn err(&self, start: usize, msg: &str) -> HdlError {
+        HdlError::Lex {
+            message: msg.to_string(),
+            span: Span::new(start, (start + 1).min(self.src.len())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_listing1_fragment() {
+        let toks = kinds("[a, b].i %= e0*er*A/(d + x)*ddt(V);");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::RBracket,
+                TokenKind::Dot,
+                TokenKind::Ident("i".into()),
+                TokenKind::Contribute,
+                TokenKind::Ident("e0".into()),
+                TokenKind::Star,
+                TokenKind::Ident("er".into()),
+                TokenKind::Star,
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::LParen,
+                TokenKind::Ident("d".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Star,
+                TokenKind::Ident("ddt".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("v".into()),
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(kinds("8.8542e-12"), vec![TokenKind::Number(8.8542e-12), TokenKind::Eof]);
+        assert_eq!(kinds("1.0E-4"), vec![TokenKind::Number(1.0e-4), TokenKind::Eof]);
+        assert_eq!(kinds("2e3"), vec![TokenKind::Number(2000.0), TokenKind::Eof]);
+        assert_eq!(kinds("42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("ENTITY entity Entity"),
+            vec![
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Keyword(Keyword::Entity),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        assert_eq!(
+            kinds("Volt V_2"),
+            vec![
+                TokenKind::Ident("volt".into()),
+                TokenKind::Ident("v_2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("x := 1; -- VHDL comment\ny := 2; // C++ comment\nz");
+        assert_eq!(toks.len(), 10);
+        assert_eq!(toks[8], TokenKind::Ident("z".into()));
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds(":= %= => == = /= <= >= ** < >"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::Contribute,
+                TokenKind::Arrow,
+                TokenKind::EqEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::StarStar,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds("\"gap closed\""),
+            vec![TokenKind::Str("gap closed".into()), TokenKind::Eof]
+        );
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("#").is_err());
+        assert!(lex("%").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn minus_is_not_comment_start() {
+        let toks = kinds("a - b");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

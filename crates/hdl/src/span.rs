@@ -1,0 +1,115 @@
+//! Byte-offset source spans and human-readable positions for
+//! diagnostics.
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extracts the spanned text.
+    pub fn slice<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start.min(src.len())..self.end.min(src.len())]
+    }
+}
+
+/// 1-based line and column of a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// Computes the line/column of `offset` in `src`.
+pub fn line_col(src: &str, offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// Renders a one-line source excerpt with a caret under the span.
+pub fn excerpt(src: &str, span: Span) -> String {
+    let lc = line_col(src, span.start);
+    let line_start = src[..span.start.min(src.len())]
+        .rfind('\n')
+        .map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let line = &src[line_start..line_end];
+    let caret_pos = span.start.saturating_sub(line_start);
+    let caret_len = (span.end - span.start).clamp(1, line.len().saturating_sub(caret_pos).max(1));
+    format!(
+        "{line}\n{}{} (line {}, col {})",
+        " ".repeat(caret_pos),
+        "^".repeat(caret_len),
+        lc.line,
+        lc.col
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let s = Span::new(3, 5).merge(Span::new(10, 12));
+        assert_eq!(s, Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 2 });
+        assert_eq!(line_col(src, 6), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn excerpt_points_at_span() {
+        let src = "x := 1;\ny := oops;\n";
+        let pos = src.find("oops").unwrap();
+        let e = excerpt(src, Span::new(pos, pos + 4));
+        assert!(e.contains("y := oops;"));
+        assert!(e.contains("^^^^"));
+        assert!(e.contains("line 2"));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).slice(src), "world");
+    }
+}

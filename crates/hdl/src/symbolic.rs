@@ -1,0 +1,457 @@
+//! Symbolic differentiation and simplification on the AST.
+//!
+//! This mechanizes the paper's modeling recipe ("derive the energy in
+//! the transducer with respect to the state variable of each port to
+//! obtain the respective effort variable"): `mems-core` builds the
+//! internal-energy expression symbolically, differentiates it here,
+//! and emits the resulting effort expressions as HDL-A source.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::error::{HdlError, Result};
+
+/// Differentiates `e` with respect to the identifier `var`.
+///
+/// Supports the algebraic subset used by energy expressions:
+/// arithmetic, `**` with constant exponent, `sqrt`, `exp`, `ln`,
+/// `sin`, `cos`, `tan`, `tanh`, `abs` (away from 0) and `pow`.
+///
+/// # Errors
+///
+/// Returns [`HdlError::Elab`] for constructs without a simple
+/// symbolic derivative (branch reads, `ddt`/`integ`, comparisons).
+pub fn diff(e: &Expr, var: &str) -> Result<Expr> {
+    let var = var.to_ascii_lowercase();
+    diff_inner(e, &var)
+}
+
+fn diff_inner(e: &Expr, var: &str) -> Result<Expr> {
+    Ok(match e {
+        Expr::Num(..) | Expr::Bool(..) => Expr::num(0.0),
+        Expr::Ident(name, _) => {
+            if name == var {
+                Expr::num(1.0)
+            } else {
+                Expr::num(0.0)
+            }
+        }
+        Expr::Unary { op, expr, .. } => match op {
+            UnOp::Neg => Expr::neg(diff_inner(expr, var)?),
+            UnOp::Not => {
+                return Err(HdlError::Elab(
+                    "cannot differentiate a logical expression".into(),
+                ))
+            }
+        },
+        Expr::Binary { op, lhs, rhs, .. } => match op {
+            BinOp::Add => Expr::add(diff_inner(lhs, var)?, diff_inner(rhs, var)?),
+            BinOp::Sub => Expr::sub(diff_inner(lhs, var)?, diff_inner(rhs, var)?),
+            BinOp::Mul => Expr::add(
+                Expr::mul(diff_inner(lhs, var)?, rhs.as_ref().clone()),
+                Expr::mul(lhs.as_ref().clone(), diff_inner(rhs, var)?),
+            ),
+            BinOp::Div => {
+                // (u/v)' = (u'v − uv')/v²
+                let u = lhs.as_ref().clone();
+                let v = rhs.as_ref().clone();
+                Expr::div(
+                    Expr::sub(
+                        Expr::mul(diff_inner(lhs, var)?, v.clone()),
+                        Expr::mul(u, diff_inner(rhs, var)?),
+                    ),
+                    Expr::mul(v.clone(), v),
+                )
+            }
+            BinOp::Pow => {
+                // Constant exponent only: (u^c)' = c·u^(c−1)·u'.
+                let c = match rhs.as_ref() {
+                    Expr::Num(c, _) => *c,
+                    _ => {
+                        return Err(HdlError::Elab(
+                            "`**` with a non-constant exponent is not differentiable \
+                             symbolically here"
+                                .into(),
+                        ))
+                    }
+                };
+                Expr::mul(
+                    Expr::mul(
+                        Expr::num(c),
+                        Expr::bin(BinOp::Pow, lhs.as_ref().clone(), Expr::num(c - 1.0)),
+                    ),
+                    diff_inner(lhs, var)?,
+                )
+            }
+            _ => {
+                return Err(HdlError::Elab(
+                    "cannot differentiate a comparison or logical expression".into(),
+                ))
+            }
+        },
+        Expr::Call { name, args, .. } => {
+            let d_arg = |i: usize| diff_inner(&args[i], var);
+            let arg = |i: usize| args[i].clone();
+            match name.as_str() {
+                "sqrt" => Expr::div(
+                    d_arg(0)?,
+                    Expr::mul(Expr::num(2.0), Expr::call("sqrt", vec![arg(0)])),
+                ),
+                "exp" => Expr::mul(Expr::call("exp", vec![arg(0)]), d_arg(0)?),
+                "ln" | "log" => Expr::div(d_arg(0)?, arg(0)),
+                "sin" => Expr::mul(Expr::call("cos", vec![arg(0)]), d_arg(0)?),
+                "cos" => Expr::neg(Expr::mul(Expr::call("sin", vec![arg(0)]), d_arg(0)?)),
+                "tan" => {
+                    // 1 + tan²
+                    let t = Expr::call("tan", vec![arg(0)]);
+                    Expr::mul(
+                        Expr::add(Expr::num(1.0), Expr::mul(t.clone(), t)),
+                        d_arg(0)?,
+                    )
+                }
+                "tanh" => {
+                    let t = Expr::call("tanh", vec![arg(0)]);
+                    Expr::mul(
+                        Expr::sub(Expr::num(1.0), Expr::mul(t.clone(), t)),
+                        d_arg(0)?,
+                    )
+                }
+                "abs" => Expr::mul(Expr::call("sgn", vec![arg(0)]), d_arg(0)?),
+                "pow" => {
+                    let c = match &args[1] {
+                        Expr::Num(c, _) => *c,
+                        _ => {
+                            return Err(HdlError::Elab(
+                                "`pow` with a non-constant exponent is not \
+                                 differentiable symbolically here"
+                                    .into(),
+                            ))
+                        }
+                    };
+                    Expr::mul(
+                        Expr::mul(
+                            Expr::num(c),
+                            Expr::call("pow", vec![arg(0), Expr::num(c - 1.0)]),
+                        ),
+                        d_arg(0)?,
+                    )
+                }
+                other => {
+                    return Err(HdlError::Elab(format!(
+                        "no symbolic derivative rule for `{other}`"
+                    )))
+                }
+            }
+        }
+        Expr::Branch(_) => {
+            return Err(HdlError::Elab(
+                "branch quantities cannot be differentiated symbolically".into(),
+            ))
+        }
+    })
+}
+
+/// Simplifies an expression: constant folding plus identity/annihilator
+/// rules (`x+0`, `x·1`, `x·0`, `x/1`, `−(−x)`, `x−0`, `0−x`, `x^1`,
+/// `x^0`). Applied bottom-up to a fixed point.
+pub fn simplify(e: &Expr) -> Expr {
+    let mut current = e.clone();
+    for _ in 0..16 {
+        let next = simplify_once(&current);
+        if next.structurally_eq(&current) {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn is_num(e: &Expr, v: f64) -> bool {
+    matches!(e, Expr::Num(x, _) if *x == v)
+}
+
+fn as_num(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Num(v, _) => Some(*v),
+        _ => None,
+    }
+}
+
+fn simplify_once(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary { op, expr, .. } => {
+            let inner = simplify_once(expr);
+            match (op, &inner) {
+                (UnOp::Neg, Expr::Num(v, _)) => Expr::num(-v),
+                (
+                    UnOp::Neg,
+                    Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: inner2,
+                        ..
+                    },
+                ) => inner2.as_ref().clone(),
+                _ => Expr::Unary {
+                    op: *op,
+                    expr: Box::new(inner),
+                    span: e.span(),
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let l = simplify_once(lhs);
+            let r = simplify_once(rhs);
+            // Constant folding.
+            if let (Some(a), Some(b)) = (as_num(&l), as_num(&r)) {
+                if !op.is_boolean() {
+                    return Expr::num(crate::compile::fold_binop(*op, a, b));
+                }
+            }
+            match op {
+                BinOp::Add => {
+                    if is_num(&l, 0.0) {
+                        return r;
+                    }
+                    if is_num(&r, 0.0) {
+                        return l;
+                    }
+                }
+                BinOp::Sub => {
+                    if is_num(&r, 0.0) {
+                        return l;
+                    }
+                    if is_num(&l, 0.0) {
+                        return Expr::neg(r);
+                    }
+                    if l.structurally_eq(&r) {
+                        return Expr::num(0.0);
+                    }
+                }
+                BinOp::Mul => {
+                    if is_num(&l, 0.0) || is_num(&r, 0.0) {
+                        return Expr::num(0.0);
+                    }
+                    if is_num(&l, 1.0) {
+                        return r;
+                    }
+                    if is_num(&r, 1.0) {
+                        return l;
+                    }
+                    if is_num(&l, -1.0) {
+                        return Expr::neg(r);
+                    }
+                    if is_num(&r, -1.0) {
+                        return Expr::neg(l);
+                    }
+                }
+                BinOp::Div => {
+                    if is_num(&r, 1.0) {
+                        return l;
+                    }
+                    if is_num(&l, 0.0) && !is_num(&r, 0.0) {
+                        return Expr::num(0.0);
+                    }
+                }
+                BinOp::Pow => {
+                    if is_num(&r, 1.0) {
+                        return l;
+                    }
+                    if is_num(&r, 0.0) {
+                        return Expr::num(1.0);
+                    }
+                }
+                _ => {}
+            }
+            Expr::bin(*op, l, r)
+        }
+        Expr::Call { name, args, span } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(simplify_once).collect(),
+            span: *span,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Numerically evaluates a closed expression with variable bindings
+/// (test helper and verification hook for the energy methodology).
+///
+/// # Errors
+///
+/// Returns [`HdlError::Eval`] for unbound identifiers or unsupported
+/// nodes.
+pub fn eval_closed(e: &Expr, bindings: &[(&str, f64)]) -> Result<f64> {
+    Ok(match e {
+        Expr::Num(v, _) => *v,
+        Expr::Bool(b, _) => f64::from(*b),
+        Expr::Ident(name, _) => {
+            let lower = name.to_ascii_lowercase();
+            bindings
+                .iter()
+                .find(|(k, _)| k.to_ascii_lowercase() == lower)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| HdlError::Eval(format!("unbound identifier `{name}`")))?
+        }
+        Expr::Unary { op, expr, .. } => {
+            let v = eval_closed(expr, bindings)?;
+            match op {
+                UnOp::Neg => -v,
+                UnOp::Not => f64::from(v == 0.0),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => crate::compile::fold_binop(
+            *op,
+            eval_closed(lhs, bindings)?,
+            eval_closed(rhs, bindings)?,
+        ),
+        Expr::Call { name, args, .. } => {
+            let vals: Vec<f64> = args
+                .iter()
+                .map(|a| eval_closed(a, bindings))
+                .collect::<Result<_>>()?;
+            match crate::compile::Builtin::lookup(name) {
+                Some((b, arity)) if arity == vals.len() => {
+                    crate::compile::fold_builtin(b, &vals)
+                }
+                _ => {
+                    return Err(HdlError::Eval(format!(
+                        "cannot evaluate call to `{name}` here"
+                    )))
+                }
+            }
+        }
+        Expr::Branch(_) => {
+            return Err(HdlError::Eval(
+                "branch quantities cannot be evaluated in a closed expression".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn d(src: &str, var: &str) -> Expr {
+        simplify(&diff(&parse_expr(src).unwrap(), var).unwrap())
+    }
+
+    fn check_against_fd(src: &str, var: &str, bindings: &[(&str, f64)]) {
+        let e = parse_expr(src).unwrap();
+        let de = d(src, var);
+        let x0 = bindings
+            .iter()
+            .find(|(k, _)| *k == var)
+            .map(|(_, v)| *v)
+            .unwrap();
+        let h = 1e-6 * x0.abs().max(1e-3);
+        let mut plus = bindings.to_vec();
+        let mut minus = bindings.to_vec();
+        for (k, v) in plus.iter_mut() {
+            if *k == var {
+                *v = x0 + h;
+            }
+        }
+        for (k, v) in minus.iter_mut() {
+            if *k == var {
+                *v = x0 - h;
+            }
+        }
+        let fd = (eval_closed(&e, &plus).unwrap() - eval_closed(&e, &minus).unwrap())
+            / (2.0 * h);
+        let sym = eval_closed(&de, bindings).unwrap();
+        assert!(
+            (fd - sym).abs() <= 1e-5 * fd.abs().max(1.0),
+            "{src} d/d{var}: fd {fd} vs sym {sym}"
+        );
+    }
+
+    #[test]
+    fn polynomial_rules() {
+        check_against_fd("x*x*x + 2.0*x - 7.0", "x", &[("x", 1.3)]);
+        check_against_fd("(x + 1.0) * (x - 2.0)", "x", &[("x", 0.4)]);
+    }
+
+    #[test]
+    fn quotient_rule() {
+        check_against_fd("1.0 / (d + x)", "x", &[("x", 0.2), ("d", 1.5)]);
+        check_against_fd("x / (x + 1.0)", "x", &[("x", 2.0)]);
+    }
+
+    #[test]
+    fn power_and_sqrt() {
+        check_against_fd("x ** 3.0", "x", &[("x", 1.7)]);
+        check_against_fd("sqrt(x)", "x", &[("x", 4.0)]);
+        check_against_fd("pow(x, 2.0)", "x", &[("x", 3.0)]);
+    }
+
+    #[test]
+    fn transcendental_rules() {
+        check_against_fd("exp(2.0*x)", "x", &[("x", 0.3)]);
+        check_against_fd("ln(x)", "x", &[("x", 2.5)]);
+        check_against_fd("sin(x)*cos(x)", "x", &[("x", 0.8)]);
+        check_against_fd("tanh(x)", "x", &[("x", 0.5)]);
+    }
+
+    #[test]
+    fn transverse_electrostatic_energy_derivative() {
+        // W(q, x) = q²·(d+x)/(2·e0·A): ∂W/∂x = q²/(2·e0·A) — the
+        // electrostatic force in the charge formulation (Table 3 shape).
+        let dw = d("q*q*(d + x) / (2.0*e0*A)", "x");
+        let expect = parse_expr("q*q / (2.0*e0*A)").unwrap();
+        let bindings = [
+            ("q", 2.0e-9),
+            ("d", 1.5e-4),
+            ("x", 1.0e-8),
+            ("e0", 8.8542e-12),
+            ("a", 1.0e-4),
+        ];
+        let got = eval_closed(&dw, &bindings).unwrap();
+        let want = eval_closed(&expect, &bindings).unwrap();
+        assert!((got - want).abs() < want.abs() * 1e-12);
+    }
+
+    #[test]
+    fn voltage_formulation_gives_attractive_force() {
+        // Co-energy W*(v, x) = e0·A·v²/(2(d+x)): F = −∂W*/∂x
+        // = +e0·A·v²/(2(d+x)²)… with the sign convention of Table 3
+        // the plate force is −e0·A·v²/(2(d+x)²).
+        let dw = d("e0*A*v*v / (2.0*(d + x))", "x");
+        let bindings = [
+            ("v", 10.0),
+            ("d", 1.5e-4),
+            ("x", 0.0),
+            ("e0", 8.8542e-12),
+            ("a", 1.0e-4),
+        ];
+        let got = eval_closed(&dw, &bindings).unwrap();
+        let expect = -8.8542e-12 * 1e-4 * 100.0 / (2.0 * 1.5e-4 * 1.5e-4);
+        assert!((got - expect).abs() < expect.abs() * 1e-12);
+    }
+
+    #[test]
+    fn simplify_identities() {
+        assert!(d("x", "x").structurally_eq(&Expr::num(1.0)));
+        assert!(d("y", "x").structurally_eq(&Expr::num(0.0)));
+        assert!(simplify(&parse_expr("x + 0.0").unwrap()).structurally_eq(&Expr::ident("x")));
+        assert!(simplify(&parse_expr("1.0 * x").unwrap()).structurally_eq(&Expr::ident("x")));
+        assert!(simplify(&parse_expr("x * 0.0").unwrap()).structurally_eq(&Expr::num(0.0)));
+        assert!(simplify(&parse_expr("x - x").unwrap()).structurally_eq(&Expr::num(0.0)));
+        assert!(simplify(&parse_expr("x ** 1.0").unwrap()).structurally_eq(&Expr::ident("x")));
+        assert!(simplify(&parse_expr("2.0 + 3.0 * 4.0").unwrap())
+            .structurally_eq(&Expr::num(14.0)));
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(diff(&parse_expr("x > 1.0").unwrap(), "x").is_err());
+        assert!(diff(&parse_expr("x ** y").unwrap(), "x").is_err());
+        assert!(diff(&parse_expr("[a, b].v").unwrap(), "x").is_err());
+        assert!(diff(&parse_expr("floor(x)").unwrap(), "x").is_err());
+    }
+
+    #[test]
+    fn eval_closed_errors() {
+        assert!(eval_closed(&parse_expr("zz + 1.0").unwrap(), &[]).is_err());
+        assert!(eval_closed(&parse_expr("[a,b].v").unwrap(), &[]).is_err());
+    }
+}

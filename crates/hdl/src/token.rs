@@ -1,0 +1,213 @@
+//! Token definitions for the HDL-A lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the language (case-insensitive in source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Entity,
+    Is,
+    Generic,
+    Pin,
+    End,
+    Architecture,
+    Of,
+    Begin,
+    Variable,
+    State,
+    Constant,
+    Unknown,
+    Analog,
+    Relation,
+    Procedural,
+    Equation,
+    For,
+    If,
+    Then,
+    Elsif,
+    Else,
+    Assert,
+    Report,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Parses a keyword from a (lowercased) identifier.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "entity" => Keyword::Entity,
+            "is" => Keyword::Is,
+            "generic" => Keyword::Generic,
+            "pin" => Keyword::Pin,
+            "end" => Keyword::End,
+            "architecture" => Keyword::Architecture,
+            "of" => Keyword::Of,
+            "begin" => Keyword::Begin,
+            "variable" => Keyword::Variable,
+            "state" => Keyword::State,
+            "constant" => Keyword::Constant,
+            "unknown" => Keyword::Unknown,
+            "analog" => Keyword::Analog,
+            "relation" => Keyword::Relation,
+            "procedural" => Keyword::Procedural,
+            "equation" => Keyword::Equation,
+            "for" => Keyword::For,
+            "if" => Keyword::If,
+            "then" => Keyword::Then,
+            "elsif" => Keyword::Elsif,
+            "else" => Keyword::Else,
+            "assert" => Keyword::Assert,
+            "report" => Keyword::Report,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+
+    /// Canonical (upper-case) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Entity => "ENTITY",
+            Keyword::Is => "IS",
+            Keyword::Generic => "GENERIC",
+            Keyword::Pin => "PIN",
+            Keyword::End => "END",
+            Keyword::Architecture => "ARCHITECTURE",
+            Keyword::Of => "OF",
+            Keyword::Begin => "BEGIN",
+            Keyword::Variable => "VARIABLE",
+            Keyword::State => "STATE",
+            Keyword::Constant => "CONSTANT",
+            Keyword::Unknown => "UNKNOWN",
+            Keyword::Analog => "ANALOG",
+            Keyword::Relation => "RELATION",
+            Keyword::Procedural => "PROCEDURAL",
+            Keyword::Equation => "EQUATION",
+            Keyword::For => "FOR",
+            Keyword::If => "IF",
+            Keyword::Then => "THEN",
+            Keyword::Elsif => "ELSIF",
+            Keyword::Else => "ELSE",
+            Keyword::Assert => "ASSERT",
+            Keyword::Report => "REPORT",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (lowercased; the language is case-insensitive).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal (content, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `:=`
+    Assign,
+    /// `%=`
+    Contribute,
+    /// `=>`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `=`
+    Eq,
+    /// `/=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`:=`"),
+            TokenKind::Contribute => write!(f, "`%=`"),
+            TokenKind::Arrow => write!(f, "`=>`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::NotEq => write!(f, "`/=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::StarStar => write!(f, "`**`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}

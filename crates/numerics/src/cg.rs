@@ -1,0 +1,214 @@
+//! Preconditioned conjugate gradient for symmetric positive-definite
+//! systems — the linear solver of the finite-element substrate.
+
+use crate::dense::vecops;
+use crate::sparse::CsrMatrix;
+use crate::{NumericsError, Result};
+
+/// Options for the CG solver.
+#[derive(Debug, Clone)]
+pub struct CgOptions {
+    /// Relative residual target `‖r‖ ≤ rtol·‖b‖`.
+    pub rtol: f64,
+    /// Absolute residual floor (guards `b = 0` edge cases).
+    pub atol: f64,
+    /// Iteration budget; `0` means `10·n`.
+    pub max_iter: usize,
+    /// Use Jacobi (diagonal) preconditioning.
+    pub jacobi: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            rtol: 1e-10,
+            atol: 1e-300,
+            max_iter: 0,
+            jacobi: true,
+        }
+    }
+}
+
+/// Result metadata of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final (true) residual norm.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` for SPD `A` with (optionally preconditioned) CG.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] for non-square `A` or bad `b`;
+/// - [`NumericsError::InvalidInput`] when a non-positive curvature
+///   `pᵀAp ≤ 0` reveals the matrix is not positive definite;
+/// - [`NumericsError::NoConvergence`] when the budget is exhausted.
+pub fn solve_cg(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(NumericsError::DimensionMismatch { expected: n, found: m });
+    }
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    let max_iter = if opts.max_iter == 0 { 10 * n.max(10) } else { opts.max_iter };
+    let mut precond = vec![1.0; n];
+    if opts.jacobi {
+        for (i, d) in a.diagonal().into_iter().enumerate() {
+            if d <= 0.0 {
+                return Err(NumericsError::InvalidInput(format!(
+                    "Jacobi preconditioner needs positive diagonal, d[{i}] = {d}"
+                )));
+            }
+            precond[i] = 1.0 / d;
+        }
+    }
+
+    let bnorm = vecops::norm2(b);
+    let target = (opts.rtol * bnorm).max(opts.atol);
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&precond).map(|(ri, mi)| ri * mi).collect();
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut rnorm = vecops::norm2(&r);
+
+    let mut it = 0;
+    while rnorm > target && it < max_iter {
+        let ap = a.mul_vec(&p)?;
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(NumericsError::InvalidInput(format!(
+                "matrix is not positive definite (p'Ap = {pap:.3e} at iteration {it})"
+            )));
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        for ((zi, ri), mi) in z.iter_mut().zip(&r).zip(&precond) {
+            *zi = ri * mi;
+        }
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+        rnorm = vecops::norm2(&r);
+        it += 1;
+    }
+
+    if rnorm > target {
+        return Err(NumericsError::NoConvergence {
+            iterations: it,
+            residual: rnorm,
+        });
+    }
+    Ok(CgSolution {
+        x,
+        iterations: it,
+        residual: rnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    /// 1-D Poisson matrix (tridiagonal, SPD).
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 2.0);
+            if i > 0 {
+                t.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_poisson_exactly_within_tolerance() {
+        let n = 50;
+        let a = poisson(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.1).sin()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let sol = solve_cg(&a, &b, &CgOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn unpreconditioned_also_converges() {
+        let a = poisson(20);
+        let b = vec![1.0; 20];
+        let sol = solve_cg(
+            &a,
+            &b,
+            &CgOptions {
+                jacobi: false,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap();
+        let r = a.mul_vec(&sol.x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_without_iterations() {
+        let a = poisson(5);
+        let sol = solve_cg(&a, &[0.0; 5], &CgOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, -1.0);
+        let a = t.to_csr();
+        let err = solve_cg(
+            &a,
+            &[1.0, 1.0],
+            &CgOptions {
+                jacobi: false,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_no_convergence() {
+        let a = poisson(100);
+        let b = vec![1.0; 100];
+        let err = solve_cg(
+            &a,
+            &b,
+            &CgOptions {
+                max_iter: 2,
+                ..CgOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumericsError::NoConvergence { iterations: 2, .. }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Scalar forward-mode dual numbers.
+//!
+//! The HDL interpreter uses its own vector-gradient duals (it needs a
+//! gradient per circuit unknown); this scalar version backs the energy
+//! methodology (∂W/∂state → effort) and the test suites that verify
+//! symbolic derivatives against automatic ones.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A first-order dual number `v + ε·d` with `ε² = 0`.
+///
+/// ```
+/// use mems_numerics::Dual64;
+/// // d/dx of x² at x = 3 is 6.
+/// let x = Dual64::variable(3.0);
+/// let y = x * x;
+/// assert_eq!(y.deriv(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dual64 {
+    v: f64,
+    d: f64,
+}
+
+impl Dual64 {
+    /// A constant (zero derivative).
+    pub fn constant(v: f64) -> Self {
+        Dual64 { v, d: 0.0 }
+    }
+
+    /// The differentiation variable (unit derivative).
+    pub fn variable(v: f64) -> Self {
+        Dual64 { v, d: 1.0 }
+    }
+
+    /// Creates a dual with explicit parts.
+    pub fn new(v: f64, d: f64) -> Self {
+        Dual64 { v, d }
+    }
+
+    /// The value part.
+    pub fn value(self) -> f64 {
+        self.v
+    }
+
+    /// The derivative part.
+    pub fn deriv(self) -> f64 {
+        self.d
+    }
+
+    /// Applies a scalar function with known derivative (chain rule).
+    pub fn lift(self, f: f64, df: f64) -> Self {
+        Dual64 {
+            v: f,
+            d: df * self.d,
+        }
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Self {
+        let e = self.v.exp();
+        self.lift(e, e)
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Self {
+        self.lift(self.v.ln(), 1.0 / self.v)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Self {
+        let s = self.v.sqrt();
+        self.lift(s, 0.5 / s)
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Self {
+        self.lift(self.v.sin(), self.v.cos())
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Self {
+        self.lift(self.v.cos(), -self.v.sin())
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Self {
+        let t = self.v.tanh();
+        self.lift(t, 1.0 - t * t)
+    }
+
+    /// Real power with constant exponent.
+    pub fn powf(self, p: f64) -> Self {
+        self.lift(self.v.powf(p), p * self.v.powf(p - 1.0))
+    }
+
+    /// Integer power.
+    pub fn powi(self, p: i32) -> Self {
+        self.lift(self.v.powi(p), f64::from(p) * self.v.powi(p - 1))
+    }
+
+    /// Absolute value (derivative is the sign; zero at the kink).
+    pub fn abs(self) -> Self {
+        self.lift(self.v.abs(), self.v.signum() * if self.v == 0.0 { 0.0 } else { 1.0 })
+    }
+
+    /// Reciprocal.
+    pub fn recip(self) -> Self {
+        self.lift(1.0 / self.v, -1.0 / (self.v * self.v))
+    }
+}
+
+impl Add for Dual64 {
+    type Output = Dual64;
+    fn add(self, rhs: Dual64) -> Dual64 {
+        Dual64::new(self.v + rhs.v, self.d + rhs.d)
+    }
+}
+
+impl Sub for Dual64 {
+    type Output = Dual64;
+    fn sub(self, rhs: Dual64) -> Dual64 {
+        Dual64::new(self.v - rhs.v, self.d - rhs.d)
+    }
+}
+
+impl Mul for Dual64 {
+    type Output = Dual64;
+    fn mul(self, rhs: Dual64) -> Dual64 {
+        Dual64::new(self.v * rhs.v, self.v * rhs.d + self.d * rhs.v)
+    }
+}
+
+impl Div for Dual64 {
+    type Output = Dual64;
+    fn div(self, rhs: Dual64) -> Dual64 {
+        Dual64::new(
+            self.v / rhs.v,
+            (self.d * rhs.v - self.v * rhs.d) / (rhs.v * rhs.v),
+        )
+    }
+}
+
+impl Neg for Dual64 {
+    type Output = Dual64;
+    fn neg(self) -> Dual64 {
+        Dual64::new(-self.v, -self.d)
+    }
+}
+
+impl Add<f64> for Dual64 {
+    type Output = Dual64;
+    fn add(self, rhs: f64) -> Dual64 {
+        Dual64::new(self.v + rhs, self.d)
+    }
+}
+
+impl Mul<f64> for Dual64 {
+    type Output = Dual64;
+    fn mul(self, rhs: f64) -> Dual64 {
+        Dual64::new(self.v * rhs, self.d * rhs)
+    }
+}
+
+impl Sub<f64> for Dual64 {
+    type Output = Dual64;
+    fn sub(self, rhs: f64) -> Dual64 {
+        Dual64::new(self.v - rhs, self.d)
+    }
+}
+
+impl Div<f64> for Dual64 {
+    type Output = Dual64;
+    fn div(self, rhs: f64) -> Dual64 {
+        Dual64::new(self.v / rhs, self.d / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6 * x.abs().max(1.0);
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn arithmetic_derivatives_match_finite_differences() {
+        let x0 = 1.37;
+        let f = |x: f64| (x * x + 3.0 * x) / (x - 0.5);
+        let fx = |x: Dual64| (x * x + x * 3.0) / (x - 0.5);
+        let d = fx(Dual64::variable(x0));
+        assert!((d.value() - f(x0)).abs() < 1e-12);
+        assert!((d.deriv() - fd(f, x0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn transcendental_chain_rule() {
+        let x0 = 0.8;
+        let f = |x: f64| (x.sin() * x.exp()).sqrt();
+        let fx = |x: Dual64| (x.sin() * x.exp()).sqrt();
+        let d = fx(Dual64::variable(x0));
+        assert!((d.deriv() - fd(f, x0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn electrostatic_energy_derivative() {
+        // W(x) = k/(d + x): dW/dx = -k/(d+x)² — the shape of Table 2a.
+        let k = 2.5e-16;
+        let dgap = 1.5e-4;
+        let x0 = 1e-5;
+        let w = |x: Dual64| Dual64::constant(k) / (x + dgap);
+        let d = w(Dual64::variable(x0));
+        let expect = -k / ((dgap + x0) * (dgap + x0));
+        assert!((d.deriv() - expect).abs() < expect.abs() * 1e-12);
+    }
+
+    #[test]
+    fn powers() {
+        let d = Dual64::variable(2.0).powi(3);
+        assert_eq!(d.value(), 8.0);
+        assert_eq!(d.deriv(), 12.0);
+        let d = Dual64::variable(4.0).powf(0.5);
+        assert!((d.deriv() - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn constants_have_zero_derivative() {
+        let c = Dual64::constant(5.0);
+        let x = Dual64::variable(2.0);
+        assert_eq!((c * x).deriv(), 5.0);
+        assert_eq!((c + c).deriv(), 0.0);
+    }
+}

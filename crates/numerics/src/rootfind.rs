@@ -1,0 +1,173 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used by the transducer library to solve static equilibria (e.g.
+//! the DC displacement `k·x = F(v, x)` behind Table 4's `x₀`) and to
+//! locate the electrostatic pull-in point in the relay example.
+
+use crate::{NumericsError, Result};
+
+/// Finds a bracketed root of `f` by bisection.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInput`] when `[a, b]` does not bracket a
+///   sign change;
+/// - [`NumericsError::NoConvergence`] if the budget is exhausted.
+pub fn bisect(f: impl Fn(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Result<f64> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidInput(format!(
+            "bisect: no sign change on [{a}, {b}] (f = {fa:.3e}, {fb:.3e})"
+        )));
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: 200,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Finds a bracketed root of `f` with Brent's method (inverse
+/// quadratic interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+pub fn brent(f: impl Fn(f64) -> f64, a0: f64, b0: f64, tol: f64) -> Result<f64> {
+    let (mut a, mut b) = (a0, b0);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidInput(format!(
+            "brent: no sign change on [{a0}, {b0}]"
+        )));
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for it in 0..200 {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let within = (s > lo.min(b) && s < lo.max(b))
+            || (s > b.min(lo) && s < b.max(lo));
+        let cond = !within
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && (c - d).abs() < tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+        if it == 199 {
+            return Err(NumericsError::NoConvergence {
+                iterations: 200,
+                residual: fb.abs(),
+            });
+        }
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_faster_shape() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unbracketed() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_err());
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn static_deflection_equation_from_table4() {
+        // k·x = ε0·A·V²/(2(d+x)²) with gap-closing sign folded in:
+        // solve g(x) = k·x − F(x) = 0 for the 10 V bias.
+        let (eps0, a, dgap, k, v) = (8.8542e-12, 1e-4, 0.15e-3, 200.0, 10.0);
+        let g = |x: f64| k * x - eps0 * a * v * v / (2.0 * (dgap - x) * (dgap - x));
+        let x0 = brent(g, 0.0, dgap * 0.5, 1e-18).unwrap();
+        // Paper Table 4: dc displacement magnitude 1.0e-8 m.
+        assert!((x0 - 1.0e-8).abs() < 2e-10, "x0 = {x0:e}");
+    }
+
+    #[test]
+    fn brent_on_steep_function() {
+        let r = brent(|x| (x - 0.123).powi(3), -1.0, 1.0, 1e-15).unwrap();
+        assert!((r - 0.123).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,93 @@
+//! Scalar abstraction allowing dense factorizations to work for both
+//! real (`f64`) and complex ([`Complex64`]) matrices.
+
+use crate::complex::Complex64;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A field scalar usable by the dense factorization kernels.
+///
+/// This trait is sealed in spirit: it is implemented for [`f64`] and
+/// [`Complex64`] and downstream code is not expected to add more
+/// implementations (the solvers are only validated for these two).
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection.
+    fn modulus(self) -> f64;
+    /// Builds a scalar from a real value.
+    fn from_f64(v: f64) -> Self;
+    /// Returns `true` if the value is finite.
+    fn is_finite_scalar(self) -> bool;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for Complex64 {
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(v: f64) -> Self {
+        Complex64::from_re(v)
+    }
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<S: Scalar>(xs: &[S]) -> S {
+        let mut acc = S::zero();
+        for &x in xs {
+            acc += x;
+        }
+        acc
+    }
+
+    #[test]
+    fn works_for_both_scalars() {
+        assert_eq!(generic_sum(&[1.0, 2.0, 3.0]), 6.0);
+        let z = generic_sum(&[Complex64::new(1.0, 1.0), Complex64::new(2.0, -1.0)]);
+        assert_eq!(z, Complex64::new(3.0, 0.0));
+        assert_eq!(f64::one().modulus(), 1.0);
+        assert!(Complex64::from_f64(2.0).is_finite_scalar());
+    }
+}

@@ -1,0 +1,283 @@
+//! Data-flow (state-space) model generation from rational
+//! transfer-function fits — the paper's "polynomial filter is fitted
+//! to such a macro model, and thus generating a data flow HDL-A
+//! model".
+//!
+//! The fitted admittance `H(s) = I(s)/V(s)` is realized in controller
+//! canonical form with `UNKNOWN` state variables and `EQUATION`
+//! blocks:
+//!
+//! ```text
+//! x₁' = x₂, …, x_{n−1}' = x_n
+//! x_n' = u − a₀x₁ − … − a_{n−1}x_n        (monic denominator)
+//! y    = c₀x₁ + … + c_{n−1}x_n + k·u     (k = direct feedthrough)
+//! ```
+//!
+//! The `dc` context carries the equilibrium equations instead of the
+//! `integ` forms, so the DC gain is `H(0)` exactly.
+
+use crate::error::{PxtError, Result};
+use crate::ratfit::RationalFit;
+use mems_hdl::ast::Expr;
+use mems_hdl::ast::{
+    Architecture, Block, BranchRef, Ctx, Entity, EquationStmt, Module, ObjectDecl, ObjectKind,
+    PinDecl, Relation, Stmt,
+};
+use mems_hdl::print::print_module;
+use mems_hdl::span::Span;
+
+/// A generated data-flow model.
+#[derive(Debug, Clone)]
+pub struct DataflowModel {
+    /// Entity name.
+    pub name: String,
+    /// State dimension.
+    pub order: usize,
+    /// Direct feedthrough term.
+    pub feedthrough: f64,
+    /// Generated HDL-A source.
+    pub source: String,
+}
+
+/// Generates a one-port admittance model `i = H(s)·v` from a rational
+/// fit.
+///
+/// # Errors
+///
+/// - [`PxtError::BadFit`] for unstable fits (stabilize first) or
+///   improper ones (`deg N > deg D`).
+pub fn generate_dataflow_model(name: &str, fit: &RationalFit) -> Result<DataflowModel> {
+    if !fit.is_stable()? {
+        return Err(PxtError::BadFit(
+            "transfer function has unstable poles; run `stabilize` first".into(),
+        ));
+    }
+    let n = fit.den.degree();
+    let m = fit.num.degree();
+    if m > n {
+        return Err(PxtError::BadFit(format!(
+            "improper transfer function (deg N = {m} > deg D = {n})"
+        )));
+    }
+    if n == 0 {
+        return Err(PxtError::BadFit("constant transfer function".into()));
+    }
+    // Normalize the denominator monic: D(s) = a0 + a1·s + … + s^n.
+    let dn = *fit.den.coeffs().last().expect("nonempty denominator");
+    let a: Vec<f64> = fit.den.coeffs()[..n].iter().map(|c| c / dn).collect();
+    let mut c: Vec<f64> = fit.num.coeffs().iter().map(|v| v / dn).collect();
+    c.resize(n + 1, 0.0);
+    // Split direct feedthrough when deg N == deg D: N = k·D + N'.
+    let k = c[n];
+    let c_state: Vec<f64> = (0..n).map(|i| c[i] - k * a[i]).collect();
+
+    let sp = Span::default();
+    let entity = Entity {
+        name: name.to_string(),
+        generics: vec![],
+        pins: vec![
+            PinDecl {
+                name: "p".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "q".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+        ],
+        span: sp,
+    };
+
+    let state_name = |i: usize| format!("x{}", i + 1);
+
+    // y = Σ c_i·x_{i+1} + k·u
+    let mut y = Expr::mul(Expr::num(k), Expr::ident("u"));
+    for (i, &ci) in c_state.iter().enumerate() {
+        y = Expr::add(y, Expr::mul(Expr::num(ci), Expr::ident(&state_name(i))));
+    }
+    let stmts = vec![
+        Stmt::Assign {
+            target: "u".into(),
+            value: Expr::Branch(BranchRef {
+                pin_a: "p".into(),
+                pin_b: "q".into(),
+                quantity: "v".into(),
+                span: sp,
+            }),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "y".into(),
+            value: y,
+            span: sp,
+        },
+        Stmt::Contribute {
+            branch: BranchRef {
+                pin_a: "p".into(),
+                pin_b: "q".into(),
+                quantity: "i".into(),
+                span: sp,
+            },
+            value: Expr::ident("y"),
+            span: sp,
+        },
+    ];
+
+    // x_n' = u − Σ a_i·x_{i+1}
+    let mut xdot_n = Expr::ident("u");
+    for (i, &ai) in a.iter().enumerate() {
+        xdot_n = Expr::sub(
+            xdot_n,
+            Expr::mul(Expr::num(ai), Expr::ident(&state_name(i))),
+        );
+    }
+    // Dynamic equations (ac, transient): xᵢ == integ(xᵢ₊₁'), chain form.
+    let mut dyn_eqs = Vec::with_capacity(n);
+    for i in 0..n - 1 {
+        dyn_eqs.push(EquationStmt {
+            lhs: Expr::ident(&state_name(i)),
+            rhs: Expr::call("integ", vec![Expr::ident(&state_name(i + 1))]),
+            span: sp,
+        });
+    }
+    dyn_eqs.push(EquationStmt {
+        lhs: Expr::ident(&state_name(n - 1)),
+        rhs: Expr::call("integ", vec![xdot_n.clone()]),
+        span: sp,
+    });
+    // Equilibrium equations (dc): x₂ = … = x_n = 0, x_n' = 0.
+    let mut dc_eqs = Vec::with_capacity(n);
+    for i in 1..n {
+        dc_eqs.push(EquationStmt {
+            lhs: Expr::ident(&state_name(i)),
+            rhs: Expr::num(0.0),
+            span: sp,
+        });
+    }
+    dc_eqs.push(EquationStmt {
+        lhs: xdot_n,
+        rhs: Expr::num(0.0),
+        span: sp,
+    });
+
+    let architecture = Architecture {
+        name: "pxt".into(),
+        entity: name.to_string(),
+        decls: vec![
+            ObjectDecl {
+                kind: ObjectKind::Unknown,
+                names: (0..n).map(state_name).collect(),
+                init: None,
+                span: sp,
+            },
+            ObjectDecl {
+                kind: ObjectKind::Variable,
+                names: vec!["u".into(), "y".into()],
+                init: None,
+                span: sp,
+            },
+        ],
+        relation: Relation {
+            blocks: vec![
+                Block::Procedural {
+                    contexts: vec![Ctx::Dc, Ctx::Ac, Ctx::Transient],
+                    stmts,
+                    span: sp,
+                },
+                Block::Equation {
+                    contexts: vec![Ctx::Ac, Ctx::Transient],
+                    equations: dyn_eqs,
+                    span: sp,
+                },
+                Block::Equation {
+                    contexts: vec![Ctx::Dc],
+                    equations: dc_eqs,
+                    span: sp,
+                },
+            ],
+        },
+        span: sp,
+    };
+    let source = print_module(&Module {
+        entities: vec![entity],
+        architectures: vec![architecture],
+    });
+    Ok(DataflowModel {
+        name: name.to_string(),
+        order: n,
+        feedthrough: k,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_hdl::model::HdlModel;
+    use mems_numerics::poly::Polynomial;
+
+    fn rc_admittance() -> RationalFit {
+        // Series RC admittance: Y(s) = sC/(1 + sRC), R = 1 kΩ, C = 1 µF.
+        let (r, c) = (1e3, 1e-6);
+        RationalFit {
+            num: Polynomial::new(vec![0.0, c]),
+            den: Polynomial::new(vec![1.0, r * c]),
+            max_rel_error: 0.0,
+        }
+    }
+
+    #[test]
+    fn generated_model_compiles_with_dae_blocks() {
+        let model = generate_dataflow_model("yrc", &rc_admittance()).unwrap();
+        assert_eq!(model.order, 1);
+        let compiled = HdlModel::compile(&model.source, "yrc", None).unwrap();
+        assert_eq!(compiled.compiled().n_unknowns, 1);
+        assert_eq!(compiled.compiled().n_integ_sites, 1);
+    }
+
+    #[test]
+    fn feedthrough_split_for_equal_degrees() {
+        // H(s) = (2 + s)/(1 + s): k = 1, residue part 1/(1+s).
+        let fit = RationalFit {
+            num: Polynomial::new(vec![2.0, 1.0]),
+            den: Polynomial::new(vec![1.0, 1.0]),
+            max_rel_error: 0.0,
+        };
+        let model = generate_dataflow_model("ft", &fit).unwrap();
+        assert!((model.feedthrough - 1.0).abs() < 1e-12);
+        HdlModel::compile(&model.source, "ft", None).unwrap();
+    }
+
+    #[test]
+    fn second_order_model_compiles() {
+        // The Table 4 resonator compliance realized as an admittance.
+        let (m, alpha, k) = (1e-4, 40e-3, 200.0);
+        let fit = RationalFit {
+            num: Polynomial::new(vec![1.0 / k]),
+            den: Polynomial::new(vec![1.0, alpha / k, m / k]),
+            max_rel_error: 0.0,
+        };
+        let model = generate_dataflow_model("res2", &fit).unwrap();
+        assert_eq!(model.order, 2);
+        let compiled = HdlModel::compile(&model.source, "res2", None).unwrap();
+        assert_eq!(compiled.compiled().n_unknowns, 2);
+    }
+
+    #[test]
+    fn unstable_and_improper_rejected() {
+        let unstable = RationalFit {
+            num: Polynomial::new(vec![1.0]),
+            den: Polynomial::new(vec![1.0, -1.0]),
+            max_rel_error: 0.0,
+        };
+        assert!(generate_dataflow_model("u", &unstable).is_err());
+        let improper = RationalFit {
+            num: Polynomial::new(vec![1.0, 2.0, 3.0]),
+            den: Polynomial::new(vec![1.0, 1.0]),
+            max_rel_error: 0.0,
+        };
+        assert!(generate_dataflow_model("i", &improper).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! HDL-A model generation from extraction results.
+//!
+//! Three generators, matching the paper's §"Parameter extraction and
+//! model generation":
+//!
+//! - [`poly`] — closed-form polynomial models (`C(x)`, `F = ½V²·C'(x)`)
+//!   fitted from static sweeps;
+//! - [`pwl`] — piecewise-linear table models ("a piecewise linear
+//!   behavioral macro model is created") using the `table1d` builtin;
+//! - [`dataflow`] — state-space models from rational transfer-function
+//!   fits of harmonic analyses ("a data flow HDL-A model").
+
+pub mod dataflow;
+pub mod poly;
+pub mod pwl;
+
+use mems_hdl::ast::Expr;
+use mems_numerics::poly::ScaledPolynomial;
+
+/// Builds the Horner-form expression of a scaled polynomial in the
+/// named variable: `c0 + u·(c1 + u·(…))` with `u = (x − shift)/scale`.
+pub fn horner_expr(p: &ScaledPolynomial, var: &str) -> Expr {
+    let u = Expr::div(
+        Expr::sub(Expr::ident(var), Expr::num(p.shift)),
+        Expr::num(p.scale),
+    );
+    let coeffs = p.poly.coeffs();
+    let mut acc = Expr::num(*coeffs.last().expect("polynomial has coefficients"));
+    for &c in coeffs.iter().rev().skip(1) {
+        acc = Expr::add(Expr::num(c), Expr::mul(u.clone(), acc));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_hdl::symbolic::eval_closed;
+    use mems_numerics::poly::polyfit;
+
+    #[test]
+    fn horner_expression_evaluates_like_polynomial() {
+        let xs: Vec<f64> = (0..12).map(|i| 1.0 + 0.25 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - x + 0.5 * x * x).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        let e = horner_expr(&fit, "x");
+        for &x in &xs {
+            let got = eval_closed(&e, &[("x", x)]).unwrap();
+            assert!((got - fit.eval(x)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Closed-form polynomial model generation.
+//!
+//! From an extracted `C(x)` sweep, generates a complete two-port
+//! electromechanical HDL-A model: the electrical port carries the
+//! full charge-derivative current `i = d(C(x)·V)/dt` (including the
+//! motional term) and the mechanical port the co-energy force
+//! `F = ½·V²·dC/dx` — the paper's energy recipe applied to the
+//! extracted capacitance.
+
+use crate::codegen::horner_expr;
+use crate::error::{PxtError, Result};
+use crate::extract::Extraction1d;
+use mems_hdl::ast::{
+    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl,
+    Relation, Stmt,
+};
+use mems_hdl::ast::Expr;
+use mems_hdl::print::print_module;
+use mems_hdl::span::Span;
+use mems_numerics::poly::{polyfit, ScaledPolynomial};
+
+/// A generated polynomial capacitance model.
+#[derive(Debug, Clone)]
+pub struct PolyCapacitanceModel {
+    /// Entity name.
+    pub name: String,
+    /// The fitted `C(x)` polynomial.
+    pub cap_fit: ScaledPolynomial,
+    /// Maximum relative fit error over the sweep samples.
+    pub max_rel_error: f64,
+    /// The generated HDL-A source text.
+    pub source: String,
+}
+
+/// Fits `C(x)` with degree `deg` and generates the model.
+///
+/// # Errors
+///
+/// - [`PxtError::BadFit`] when the relative fit error exceeds
+///   `max_rel_error`;
+/// - fitting failures.
+pub fn generate_poly_capacitance_model(
+    name: &str,
+    extraction: &Extraction1d,
+    deg: usize,
+    max_rel_error: f64,
+) -> Result<PolyCapacitanceModel> {
+    let fit = polyfit(&extraction.xs, &extraction.ys, deg)?;
+    let mut worst = 0.0f64;
+    for (&x, &y) in extraction.xs.iter().zip(&extraction.ys) {
+        let rel = (fit.eval(x) - y).abs() / y.abs().max(1e-300);
+        worst = worst.max(rel);
+    }
+    if worst > max_rel_error {
+        return Err(PxtError::BadFit(format!(
+            "C(x) degree-{deg} fit error {worst:.3e} exceeds {max_rel_error:.3e}"
+        )));
+    }
+    let source = print_module(&build_module(name, &fit));
+    Ok(PolyCapacitanceModel {
+        name: name.to_string(),
+        cap_fit: fit,
+        max_rel_error: worst,
+        source,
+    })
+}
+
+/// Derivative of a scaled polynomial as another scaled polynomial
+/// (same domain scaling; coefficients divided by `scale`).
+fn derivative_scaled(p: &ScaledPolynomial) -> ScaledPolynomial {
+    let d = p.poly.derivative();
+    let coeffs: Vec<f64> = d.coeffs().iter().map(|c| c / p.scale).collect();
+    ScaledPolynomial {
+        poly: mems_numerics::poly::Polynomial::new(coeffs),
+        shift: p.shift,
+        scale: p.scale,
+    }
+}
+
+fn build_module(name: &str, cap: &ScaledPolynomial) -> Module {
+    let sp = Span::default();
+    let entity = Entity {
+        name: name.to_string(),
+        generics: vec![],
+        pins: vec![
+            PinDecl {
+                name: "a".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "b".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "c".into(),
+                nature: "mechanical1".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "d".into(),
+                nature: "mechanical1".into(),
+                span: sp,
+            },
+        ],
+        span: sp,
+    };
+    let dcap = derivative_scaled(cap);
+    let branch_e = BranchRef {
+        pin_a: "a".into(),
+        pin_b: "b".into(),
+        quantity: "v".into(),
+        span: sp,
+    };
+    let branch_m = BranchRef {
+        pin_a: "c".into(),
+        pin_b: "d".into(),
+        quantity: "tv".into(),
+        span: sp,
+    };
+    let stmts = vec![
+        Stmt::Assign {
+            target: "v".into(),
+            value: Expr::Branch(branch_e),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "s".into(),
+            value: Expr::Branch(branch_m),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "x".into(),
+            value: Expr::call("integ", vec![Expr::ident("s")]),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "cap".into(),
+            value: horner_expr(cap, "x"),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "dcap".into(),
+            value: horner_expr(&dcap, "x"),
+            span: sp,
+        },
+        Stmt::Contribute {
+            branch: BranchRef {
+                pin_a: "a".into(),
+                pin_b: "b".into(),
+                quantity: "i".into(),
+                span: sp,
+            },
+            value: Expr::call(
+                "ddt",
+                vec![Expr::mul(Expr::ident("cap"), Expr::ident("v"))],
+            ),
+            span: sp,
+        },
+        Stmt::Contribute {
+            branch: BranchRef {
+                pin_a: "c".into(),
+                pin_b: "d".into(),
+                quantity: "f".into(),
+                span: sp,
+            },
+            value: Expr::mul(
+                Expr::mul(Expr::num(0.5), Expr::mul(Expr::ident("v"), Expr::ident("v"))),
+                Expr::ident("dcap"),
+            ),
+            span: sp,
+        },
+    ];
+    let architecture = Architecture {
+        name: "pxt".into(),
+        entity: name.to_string(),
+        decls: vec![
+            ObjectDecl {
+                kind: ObjectKind::Variable,
+                names: vec!["x".into(), "cap".into(), "dcap".into()],
+                init: None,
+                span: sp,
+            },
+            ObjectDecl {
+                kind: ObjectKind::State,
+                names: vec!["v".into(), "s".into()],
+                init: None,
+                span: sp,
+            },
+        ],
+        relation: Relation {
+            blocks: vec![Block::Procedural {
+                contexts: vec![Ctx::Dc, Ctx::Ac, Ctx::Transient],
+                stmts,
+                span: sp,
+            }],
+        },
+        span: sp,
+    };
+    Module {
+        entities: vec![entity],
+        architectures: vec![architecture],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_hdl::model::HdlModel;
+
+    fn analytic_extraction() -> Extraction1d {
+        // C(x) = ε0·A/(d + x) over a ±40 µm range around d = 0.15 mm.
+        let (e0, a, d) = (8.8542e-12, 1e-4, 0.15e-3);
+        let xs: Vec<f64> = (0..17).map(|i| -4e-5 + 5e-6 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| e0 * a / (d + x)).collect();
+        Extraction1d {
+            param: "displacement".into(),
+            quantity: "capacitance".into(),
+            xs,
+            ys,
+        }
+    }
+
+    #[test]
+    fn generated_source_compiles() {
+        let model =
+            generate_poly_capacitance_model("captran", &analytic_extraction(), 4, 1e-3)
+                .unwrap();
+        assert!(model.max_rel_error < 1e-3);
+        let compiled = HdlModel::compile(&model.source, "captran", None).unwrap();
+        assert_eq!(compiled.compiled().pins.len(), 4);
+        assert_eq!(compiled.compiled().n_integ_sites, 1);
+        assert_eq!(compiled.compiled().n_ddt_sites, 1);
+    }
+
+    #[test]
+    fn fit_error_gate_rejects_low_degree() {
+        // Degree 0 cannot represent 1/(d+x) to 0.1 %.
+        let err = generate_poly_capacitance_model("bad", &analytic_extraction(), 0, 1e-3)
+            .unwrap_err();
+        assert!(matches!(err, PxtError::BadFit(_)));
+    }
+
+    #[test]
+    fn derivative_polynomial_matches_numeric() {
+        let ext = analytic_extraction();
+        let fit = polyfit(&ext.xs, &ext.ys, 4).unwrap();
+        let dfit = derivative_scaled(&fit);
+        for &x in &ext.xs {
+            let h = 1e-7;
+            let numeric = (fit.eval(x + h) - fit.eval(x - h)) / (2.0 * h);
+            assert!(
+                (dfit.eval(x) - numeric).abs() < numeric.abs() * 1e-5,
+                "at {x}: {} vs {numeric}",
+                dfit.eval(x)
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Piecewise-linear table model generation — the paper's "piecewise
+//! linear behavioral macro model", emitted as `table1d` lookups.
+
+use crate::error::{PxtError, Result};
+use crate::extract::{Extraction1d, Extraction2d};
+use mems_hdl::ast::Expr;
+use mems_hdl::ast::{
+    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl,
+    Relation, Stmt,
+};
+use mems_hdl::print::print_module;
+use mems_hdl::span::Span;
+
+/// A generated table-based model.
+#[derive(Debug, Clone)]
+pub struct PwlModel {
+    /// Entity name.
+    pub name: String,
+    /// Generated HDL-A source.
+    pub source: String,
+}
+
+/// Builds the `table1d(x, x0, y0, …)` call expression.
+fn table_expr(arg: Expr, xs: &[f64], ys: &[f64]) -> Expr {
+    let mut args = vec![arg];
+    for (&x, &y) in xs.iter().zip(ys) {
+        args.push(Expr::num(x));
+        args.push(Expr::num(y));
+    }
+    Expr::call("table1d", args)
+}
+
+/// Generates a two-port electromechanical model from extracted
+/// `C(x)` and `F(V, x)` tables.
+///
+/// The force grid must scale as `V²` (true for any electrostatic
+/// transducer); the generator factors out `F(V, x) = V²·f(x)` using
+/// the reference voltage column and validates the assumption on the
+/// rest of the grid.
+///
+/// # Errors
+///
+/// - [`PxtError::BadFit`] when the grid deviates from `V²` scaling by
+///   more than 1 %;
+/// - [`PxtError::BadRequest`] for degenerate tables.
+pub fn generate_pwl_transducer_model(
+    name: &str,
+    cap: &Extraction1d,
+    force: &Extraction2d,
+) -> Result<PwlModel> {
+    if cap.xs.len() < 2 {
+        return Err(PxtError::BadRequest("capacitance table too small".into()));
+    }
+    // Pick the largest voltage as reference (best relative accuracy).
+    let (iref, &vref) = force
+        .xs
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("finite"))
+        .ok_or_else(|| PxtError::BadRequest("empty force grid".into()))?;
+    if vref == 0.0 {
+        return Err(PxtError::BadRequest(
+            "force grid needs a nonzero voltage".into(),
+        ));
+    }
+    let ny = force.ys.len();
+    let fcoef: Vec<f64> = (0..ny)
+        .map(|j| force.zs[iref * ny + j] / (vref * vref))
+        .collect();
+    // Validate V² scaling across the grid.
+    for (i, &v) in force.xs.iter().enumerate() {
+        for j in 0..ny {
+            let predicted = fcoef[j] * v * v;
+            let actual = force.zs[i * ny + j];
+            let scale = actual.abs().max(fcoef[j].abs() * vref * vref);
+            if scale > 0.0 && (predicted - actual).abs() > scale * 1e-2 {
+                return Err(PxtError::BadFit(format!(
+                    "force grid is not V²-separable at (V, x) = ({v}, {}): \
+                     {actual:e} vs {predicted:e}",
+                    force.ys[j]
+                )));
+            }
+        }
+    }
+
+    let sp = Span::default();
+    let entity = Entity {
+        name: name.to_string(),
+        generics: vec![],
+        pins: vec![
+            PinDecl { name: "a".into(), nature: "electrical".into(), span: sp },
+            PinDecl { name: "b".into(), nature: "electrical".into(), span: sp },
+            PinDecl { name: "c".into(), nature: "mechanical1".into(), span: sp },
+            PinDecl { name: "d".into(), nature: "mechanical1".into(), span: sp },
+        ],
+        span: sp,
+    };
+    let stmts = vec![
+        Stmt::Assign {
+            target: "v".into(),
+            value: Expr::Branch(BranchRef {
+                pin_a: "a".into(),
+                pin_b: "b".into(),
+                quantity: "v".into(),
+                span: sp,
+            }),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "s".into(),
+            value: Expr::Branch(BranchRef {
+                pin_a: "c".into(),
+                pin_b: "d".into(),
+                quantity: "tv".into(),
+                span: sp,
+            }),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "x".into(),
+            value: Expr::call("integ", vec![Expr::ident("s")]),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "cap".into(),
+            value: table_expr(Expr::ident("x"), &cap.xs, &cap.ys),
+            span: sp,
+        },
+        Stmt::Assign {
+            target: "fcoef".into(),
+            value: table_expr(Expr::ident("x"), &force.ys, &fcoef),
+            span: sp,
+        },
+        Stmt::Contribute {
+            branch: BranchRef {
+                pin_a: "a".into(),
+                pin_b: "b".into(),
+                quantity: "i".into(),
+                span: sp,
+            },
+            value: Expr::call("ddt", vec![Expr::mul(Expr::ident("cap"), Expr::ident("v"))]),
+            span: sp,
+        },
+        Stmt::Contribute {
+            branch: BranchRef {
+                pin_a: "c".into(),
+                pin_b: "d".into(),
+                quantity: "f".into(),
+                span: sp,
+            },
+            value: Expr::mul(
+                Expr::mul(Expr::ident("v"), Expr::ident("v")),
+                Expr::ident("fcoef"),
+            ),
+            span: sp,
+        },
+    ];
+    let architecture = Architecture {
+        name: "pxt".into(),
+        entity: name.to_string(),
+        decls: vec![
+            ObjectDecl {
+                kind: ObjectKind::Variable,
+                names: vec!["x".into(), "cap".into(), "fcoef".into()],
+                init: None,
+                span: sp,
+            },
+            ObjectDecl {
+                kind: ObjectKind::State,
+                names: vec!["v".into(), "s".into()],
+                init: None,
+                span: sp,
+            },
+        ],
+        relation: Relation {
+            blocks: vec![Block::Procedural {
+                contexts: vec![Ctx::Dc, Ctx::Ac, Ctx::Transient],
+                stmts,
+                span: sp,
+            }],
+        },
+        span: sp,
+    };
+    let source = print_module(&Module {
+        entities: vec![entity],
+        architectures: vec![architecture],
+    });
+    Ok(PwlModel {
+        name: name.to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_hdl::model::HdlModel;
+
+    const E0: f64 = 8.8542e-12;
+    const AREA: f64 = 1e-4;
+    const GAP: f64 = 0.15e-3;
+
+    fn tables() -> (Extraction1d, Extraction2d) {
+        let xs: Vec<f64> = (0..9).map(|i| -2e-5 + 1e-5 * i as f64).collect();
+        let cap = Extraction1d {
+            param: "displacement".into(),
+            quantity: "capacitance".into(),
+            xs: xs.clone(),
+            ys: xs.iter().map(|x| E0 * AREA / (GAP + x)).collect(),
+        };
+        let vs = vec![5.0, 10.0, 15.0];
+        let mut zs = Vec::new();
+        for &v in &vs {
+            for &x in &xs {
+                zs.push(-E0 * AREA * v * v / (2.0 * (GAP + x) * (GAP + x)));
+            }
+        }
+        let force = Extraction2d {
+            param_x: "voltage".into(),
+            param_y: "displacement".into(),
+            quantity: "force".into(),
+            xs: vs,
+            ys: xs,
+            zs,
+        };
+        (cap, force)
+    }
+
+    #[test]
+    fn generated_pwl_model_compiles_and_has_tables() {
+        let (cap, force) = tables();
+        let model = generate_pwl_transducer_model("pwltran", &cap, &force).unwrap();
+        let compiled = HdlModel::compile(&model.source, "pwltran", None).unwrap();
+        assert_eq!(compiled.compiled().tables.len(), 2);
+        // Elaboration folds the breakpoints.
+        let inst = compiled.instantiate("x1", &[]).unwrap();
+        assert_eq!(inst.model().n_integ_sites, 1);
+    }
+
+    #[test]
+    fn non_separable_grid_is_rejected() {
+        let (cap, mut force) = tables();
+        // Corrupt one entry so F ≠ V²·f(x).
+        force.zs[0] *= 3.0;
+        let err = generate_pwl_transducer_model("bad", &cap, &force).unwrap_err();
+        assert!(matches!(err, PxtError::BadFit(_)));
+    }
+
+    #[test]
+    fn zero_reference_voltage_rejected() {
+        let (cap, mut force) = tables();
+        force.xs = vec![0.0, 0.0, 0.0];
+        assert!(generate_pwl_transducer_model("bad", &cap, &force).is_err());
+    }
+}

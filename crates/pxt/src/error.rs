@@ -1,0 +1,68 @@
+//! Error type for the parameter-extraction tool chain.
+
+use std::fmt;
+
+/// Errors produced by extraction, fitting, code generation or
+/// verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PxtError {
+    /// Numerical failure (FE solve, fitting).
+    Numerics(String),
+    /// Generated model failed to compile or elaborate.
+    Hdl(String),
+    /// Verification simulation failed.
+    Spice(String),
+    /// Invalid extraction request.
+    BadRequest(String),
+    /// The fitted model is unusable (unstable poles, fit error above
+    /// threshold).
+    BadFit(String),
+}
+
+impl fmt::Display for PxtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PxtError::Numerics(m) => write!(f, "numerics: {m}"),
+            PxtError::Hdl(m) => write!(f, "hdl: {m}"),
+            PxtError::Spice(m) => write!(f, "spice: {m}"),
+            PxtError::BadRequest(m) => write!(f, "bad request: {m}"),
+            PxtError::BadFit(m) => write!(f, "bad fit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PxtError {}
+
+impl From<mems_numerics::NumericsError> for PxtError {
+    fn from(e: mems_numerics::NumericsError) -> Self {
+        PxtError::Numerics(e.to_string())
+    }
+}
+
+impl From<mems_hdl::HdlError> for PxtError {
+    fn from(e: mems_hdl::HdlError) -> Self {
+        PxtError::Hdl(e.to_string())
+    }
+}
+
+impl From<mems_spice::SpiceError> for PxtError {
+    fn from(e: mems_spice::SpiceError) -> Self {
+        PxtError::Spice(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PxtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: PxtError = mems_numerics::NumericsError::Singular { index: 2 }.into();
+        assert!(e.to_string().contains("pivot 2"));
+        let e: PxtError = mems_hdl::HdlError::Eval("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

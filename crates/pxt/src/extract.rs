@@ -1,0 +1,199 @@
+//! Boundary-condition sweep driver.
+//!
+//! Mirrors the paper's PXT workflow: "By iterating the variation of
+//! boundary conditions and extracting the parameter of interest, a
+//! piecewise linear behavioral macro model is created."
+
+use crate::error::{PxtError, Result};
+use mems_numerics::pwl::{Pwl1, Pwl2};
+
+/// A 1-D extraction: a macro-parameter sampled against one boundary
+/// condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction1d {
+    /// Swept boundary-condition name (e.g. `displacement`).
+    pub param: String,
+    /// Extracted quantity name (e.g. `capacitance`).
+    pub quantity: String,
+    /// Sweep values.
+    pub xs: Vec<f64>,
+    /// Extracted values.
+    pub ys: Vec<f64>,
+}
+
+impl Extraction1d {
+    /// Builds the piecewise-linear macro model from the samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-validation failures (non-monotonic sweep).
+    pub fn to_pwl(&self) -> Result<Pwl1> {
+        Ok(Pwl1::new(self.xs.clone(), self.ys.clone())?)
+    }
+}
+
+/// A 2-D extraction: a macro-parameter over a boundary-condition grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction2d {
+    /// First swept parameter (rows).
+    pub param_x: String,
+    /// Second swept parameter (columns).
+    pub param_y: String,
+    /// Extracted quantity name.
+    pub quantity: String,
+    /// Row axis.
+    pub xs: Vec<f64>,
+    /// Column axis.
+    pub ys: Vec<f64>,
+    /// Row-major values `zs[i·ys.len() + j] = q(xs[i], ys[j])`.
+    pub zs: Vec<f64>,
+}
+
+impl Extraction2d {
+    /// Builds the bilinear macro model from the grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-validation failures.
+    pub fn to_pwl(&self) -> Result<Pwl2> {
+        Ok(Pwl2::new(self.xs.clone(), self.ys.clone(), self.zs.clone())?)
+    }
+
+    /// Extracts the row `q(·, y)` nearest a column value.
+    pub fn row_at(&self, y: f64) -> Extraction1d {
+        let j = self
+            .ys
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - y).abs().partial_cmp(&(*b - y).abs()).expect("finite axis")
+            })
+            .map(|(j, _)| j)
+            .unwrap_or(0);
+        Extraction1d {
+            param: self.param_x.clone(),
+            quantity: self.quantity.clone(),
+            xs: self.xs.clone(),
+            ys: self.xs.iter().enumerate().map(|(i, _)| self.zs[i * self.ys.len() + j]).collect(),
+        }
+    }
+}
+
+/// Sweeps one boundary condition, evaluating `measure` per point.
+///
+/// # Errors
+///
+/// Requires at least two points; propagates measurement failures with
+/// the failing sweep value attached.
+pub fn extract_1d(
+    param: &str,
+    quantity: &str,
+    values: &[f64],
+    mut measure: impl FnMut(f64) -> Result<f64>,
+) -> Result<Extraction1d> {
+    if values.len() < 2 {
+        return Err(PxtError::BadRequest(format!(
+            "sweep of `{param}` needs at least two points, got {}",
+            values.len()
+        )));
+    }
+    let mut ys = Vec::with_capacity(values.len());
+    for &v in values {
+        let y = measure(v).map_err(|e| {
+            PxtError::Numerics(format!("measuring `{quantity}` at {param} = {v}: {e}"))
+        })?;
+        ys.push(y);
+    }
+    Ok(Extraction1d {
+        param: param.to_string(),
+        quantity: quantity.to_string(),
+        xs: values.to_vec(),
+        ys,
+    })
+}
+
+/// Sweeps a boundary-condition grid.
+///
+/// # Errors
+///
+/// Same contract as [`extract_1d`].
+pub fn extract_2d(
+    param_x: &str,
+    param_y: &str,
+    quantity: &str,
+    xs: &[f64],
+    ys: &[f64],
+    mut measure: impl FnMut(f64, f64) -> Result<f64>,
+) -> Result<Extraction2d> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(PxtError::BadRequest(
+            "2-D sweep needs at least a 2x2 grid".into(),
+        ));
+    }
+    let mut zs = Vec::with_capacity(xs.len() * ys.len());
+    for &x in xs {
+        for &y in ys {
+            let z = measure(x, y).map_err(|e| {
+                PxtError::Numerics(format!(
+                    "measuring `{quantity}` at ({param_x}, {param_y}) = ({x}, {y}): {e}"
+                ))
+            })?;
+            zs.push(z);
+        }
+    }
+    Ok(Extraction2d {
+        param_x: param_x.to_string(),
+        param_y: param_y.to_string(),
+        quantity: quantity.to_string(),
+        xs: xs.to_vec(),
+        ys: ys.to_vec(),
+        zs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_1d_and_table() {
+        let e = extract_1d("x", "f", &[0.0, 1.0, 2.0], |x| Ok(x * x)).unwrap();
+        assert_eq!(e.ys, vec![0.0, 1.0, 4.0]);
+        let t = e.to_pwl().unwrap();
+        assert_eq!(t.eval(1.5), 2.5);
+    }
+
+    #[test]
+    fn sweep_rejects_single_point() {
+        assert!(extract_1d("x", "f", &[1.0], |x| Ok(x)).is_err());
+    }
+
+    #[test]
+    fn failures_carry_context() {
+        let err = extract_1d("gap", "c", &[1.0, -1.0], |x| {
+            if x < 0.0 {
+                Err(PxtError::BadRequest("negative gap".into()))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("gap = -1"));
+    }
+
+    #[test]
+    fn sweep_2d_and_row_extraction() {
+        let e = extract_2d("v", "x", "f", &[1.0, 2.0, 3.0], &[0.0, 1.0], |v, x| {
+            Ok(v * v + 10.0 * x)
+        })
+        .unwrap();
+        assert_eq!(e.zs.len(), 6);
+        let t = e.to_pwl().unwrap();
+        assert_eq!(t.eval(2.0, 0.0), 4.0);
+        assert_eq!(t.eval(2.0, 1.0), 14.0);
+        let row = e.row_at(1.0);
+        assert_eq!(row.ys, vec![11.0, 14.0, 19.0]);
+        let row0 = e.row_at(-5.0);
+        assert_eq!(row0.ys, vec![1.0, 4.0, 9.0]);
+    }
+}

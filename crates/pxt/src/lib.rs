@@ -1,0 +1,46 @@
+//! # mems-pxt — parameter extraction and HDL model generation
+//!
+//! Reproduction of the paper's PXT tool: "A physical parameter
+//! extractor (PXT) based on the numerical integration of nodal (and
+//! element) degrees of freedom has been developed, and interfaces
+//! with ANSYS." Here the FE back end is `mems-fem` and the generated
+//! models are compiled by `mems-hdl` and co-simulated in `mems-spice`.
+//!
+//! Pipeline:
+//!
+//! 1. [`extract`] sweeps boundary conditions over a device under test
+//!    ([`recipes`] provides the paper's plate-gap transducer);
+//! 2. static sweeps become macro models: closed-form polynomial
+//!    ([`codegen::poly`]) or piecewise-linear tables ([`codegen::pwl`]);
+//! 3. harmonic responses are fitted as rational transfer functions
+//!    ([`ratfit`]) and realized as data-flow state-space models
+//!    ([`codegen::dataflow`]);
+//! 4. [`verify`] closes the loop: generated text → compile → simulate
+//!    → compare against the reference data.
+//!
+//! # Example
+//!
+//! ```
+//! use mems_pxt::recipes::{PlateGapDut, capacitance_vs_displacement};
+//! use mems_pxt::codegen::poly::generate_poly_capacitance_model;
+//!
+//! # fn main() -> mems_pxt::Result<()> {
+//! let dut = PlateGapDut::table4();
+//! let sweep: Vec<f64> = (0..7).map(|i| -3e-5 + 1e-5 * i as f64).collect();
+//! let table = capacitance_vs_displacement(&dut, &sweep)?;
+//! let model = generate_poly_capacitance_model("captran", &table, 4, 1e-3)?;
+//! assert!(model.source.contains("ENTITY captran"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codegen;
+pub mod error;
+pub mod extract;
+pub mod ratfit;
+pub mod recipes;
+pub mod verify;
+
+pub use error::{PxtError, Result};
+pub use extract::{Extraction1d, Extraction2d};
+pub use ratfit::{fit_rational, stabilize, RationalFit};

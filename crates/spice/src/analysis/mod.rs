@@ -1,0 +1,6 @@
+//! Analyses: DC operating point, transient, AC, DC sweep.
+
+pub mod ac;
+pub mod dcop;
+pub mod sweep;
+pub mod transient;

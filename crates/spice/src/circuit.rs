@@ -1,0 +1,303 @@
+//! Circuit representation: typed nodes (natures), devices, and the
+//! unknown-vector layout shared by every analysis.
+//!
+//! Unknown ordering: all non-ground nodes first (in creation order),
+//! then each device's internal unknowns (branch currents, HDL
+//! `UNKNOWN` objects) in device order.
+
+use crate::device::Device;
+use crate::error::{Result, SpiceError};
+use mems_hdl::Nature;
+use std::collections::HashMap;
+
+/// Handle to a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The global reference node (shared by every nature).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What kind of scalar an unknown represents — used for per-kind
+/// convergence tolerances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownKind {
+    /// Across value of a node of the given nature.
+    NodeAcross(Nature),
+    /// A device-internal unknown (branch current/force, HDL unknown).
+    Internal,
+}
+
+/// A circuit: nodes plus devices.
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_natures: Vec<Nature>,
+    name_to_node: HashMap<String, NodeId>,
+    devices: Vec<Box<dyn Device>>,
+    device_names: HashMap<String, usize>,
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("nodes", &self.node_names)
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// Creates an empty circuit with a ground node named `0`.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["0".to_string()],
+            node_natures: vec![Nature::Electrical],
+            name_to_node: HashMap::new(),
+            devices: Vec::new(),
+            device_names: HashMap::new(),
+        };
+        c.name_to_node.insert("0".into(), NodeId::GROUND);
+        c.name_to_node.insert("gnd".into(), NodeId::GROUND);
+        c
+    }
+
+    /// The ground node.
+    pub fn ground(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Creates (or returns) a named node of the given nature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Build`] when the name exists with a
+    /// different nature.
+    pub fn node(&mut self, name: &str, nature: Nature) -> Result<NodeId> {
+        if let Some(&id) = self.name_to_node.get(name) {
+            if !id.is_ground() && self.node_natures[id.0] != nature {
+                return Err(SpiceError::Build(format!(
+                    "node `{name}` already exists with nature {}",
+                    self.node_natures[id.0]
+                )));
+            }
+            return Ok(id);
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_natures.push(nature);
+        self.name_to_node.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Shorthand for an electrical node.
+    pub fn enode(&mut self, name: &str) -> Result<NodeId> {
+        self.node(name, Nature::Electrical)
+    }
+
+    /// Shorthand for a translational mechanical node.
+    pub fn mnode(&mut self, name: &str) -> Result<NodeId> {
+        self.node(name, Nature::MechanicalTranslation)
+    }
+
+    /// Looks up a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Node name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Node nature (ground reports electrical).
+    pub fn node_nature(&self, id: NodeId) -> Nature {
+        self.node_natures[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn n_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Adds a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Build`] for duplicate instance names or
+    /// pins referencing other circuits' nodes.
+    pub fn add(&mut self, device: impl Device + 'static) -> Result<()> {
+        self.add_boxed(Box::new(device))
+    }
+
+    /// Adds an already-boxed device.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::add`].
+    pub fn add_boxed(&mut self, device: Box<dyn Device>) -> Result<()> {
+        let name = device.name().to_string();
+        if self.device_names.contains_key(&name) {
+            return Err(SpiceError::Build(format!(
+                "duplicate device name `{name}`"
+            )));
+        }
+        for pin in device.pins() {
+            if pin.0 >= self.node_names.len() {
+                return Err(SpiceError::Build(format!(
+                    "device `{name}` references unknown node id {}",
+                    pin.0
+                )));
+            }
+        }
+        self.device_names.insert(name, self.devices.len());
+        self.devices.push(device);
+        Ok(())
+    }
+
+    /// Immutable device list.
+    pub fn devices(&self) -> &[Box<dyn Device>] {
+        &self.devices
+    }
+
+    /// Mutable device list (used by the analyses).
+    pub fn devices_mut(&mut self) -> &mut [Box<dyn Device>] {
+        &mut self.devices
+    }
+
+    /// Finds a device index by instance name.
+    pub fn device_index(&self, name: &str) -> Option<usize> {
+        self.device_names.get(name).copied()
+    }
+
+    /// Computes the unknown layout, assigning internal-unknown bases
+    /// to devices. Called by every analysis before solving.
+    pub fn layout(&mut self) -> UnknownLayout {
+        let n_nodes = self.node_names.len();
+        let mut kinds: Vec<UnknownKind> = Vec::with_capacity(n_nodes);
+        for i in 1..n_nodes {
+            kinds.push(UnknownKind::NodeAcross(self.node_natures[i]));
+        }
+        let mut labels: Vec<String> = (1..n_nodes)
+            .map(|i| format!("v({})", self.node_names[i]))
+            .collect();
+        let mut next = n_nodes - 1;
+        for dev in &mut self.devices {
+            let n = dev.n_internal();
+            if n > 0 {
+                dev.set_internal_base(next);
+                for k in 0..n {
+                    labels.push(format!("i({},{k})", dev.name()));
+                    kinds.push(UnknownKind::Internal);
+                }
+                next += n;
+            }
+        }
+        UnknownLayout {
+            n_nodes,
+            n_unknowns: next,
+            kinds,
+            labels,
+        }
+    }
+}
+
+/// The unknown-vector layout of a circuit.
+#[derive(Debug, Clone)]
+pub struct UnknownLayout {
+    /// Total node count including ground.
+    pub n_nodes: usize,
+    /// Total unknown count (nodes − 1 + internals).
+    pub n_unknowns: usize,
+    /// Kind of each unknown (tolerance selection).
+    pub kinds: Vec<UnknownKind>,
+    /// Human-readable label per unknown (`v(name)` / `i(dev,k)`).
+    pub labels: Vec<String>,
+}
+
+impl UnknownLayout {
+    /// Unknown index of a node (`None` for ground).
+    pub fn node_unknown(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// Node across value from a solution vector (0 for ground).
+    pub fn node_value(&self, x: &[f64], n: NodeId) -> f64 {
+        match self.node_unknown(n) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::passive::Resistor;
+
+    #[test]
+    fn nodes_are_interned_by_name() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let a2 = c.enode("a").unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(c.n_nodes(), 2);
+        assert_eq!(c.node_name(a), "a");
+        assert!(c.find_node("gnd").unwrap().is_ground());
+    }
+
+    #[test]
+    fn nature_conflicts_are_rejected() {
+        let mut c = Circuit::new();
+        c.enode("x").unwrap();
+        assert!(c.mnode("x").is_err());
+    }
+
+    #[test]
+    fn layout_assigns_unknowns() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let b = c.mnode("b").unwrap();
+        let g = c.ground();
+        c.add(Resistor::new("r1", a, g, 1e3)).unwrap();
+        let layout = c.layout();
+        assert_eq!(layout.n_unknowns, 2);
+        assert_eq!(layout.node_unknown(a), Some(0));
+        assert_eq!(layout.node_unknown(b), Some(1));
+        assert_eq!(layout.node_unknown(g), None);
+        assert_eq!(layout.kinds[0], UnknownKind::NodeAcross(Nature::Electrical));
+        assert_eq!(
+            layout.kinds[1],
+            UnknownKind::NodeAcross(Nature::MechanicalTranslation)
+        );
+        assert_eq!(layout.labels[0], "v(a)");
+        assert_eq!(layout.node_value(&[3.0, 4.0], a), 3.0);
+        assert_eq!(layout.node_value(&[3.0, 4.0], g), 0.0);
+    }
+
+    #[test]
+    fn duplicate_device_names_rejected() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let g = c.ground();
+        c.add(Resistor::new("r1", a, g, 1.0)).unwrap();
+        assert!(c.add(Resistor::new("r1", a, g, 2.0)).is_err());
+        assert_eq!(c.device_index("r1"), Some(0));
+        assert!(c.device_index("zz").is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! Device library: passives, sources, controlled sources, two-port
+//! couplers, mechanical (force–current analogy) elements, and the
+//! behavioral HDL device.
+
+pub mod controlled;
+pub mod coupling;
+pub mod hdl_device;
+pub mod mechanical;
+pub mod passive;
+pub mod sources;
+
+pub use controlled::{Cccs, Ccvs, ProductVccs, Vccs, Vcvs};
+pub use coupling::{Gyrator, IdealTransformer};
+pub use hdl_device::HdlDevice;
+pub use mechanical::{Damper, Mass, Spring};
+pub use passive::{Capacitor, Inductor, Resistor};
+pub use sources::{AcSpec, CurrentSource, VoltageSource};

@@ -1,0 +1,84 @@
+//! Error types of the simulator.
+
+use std::fmt;
+
+/// Errors produced while building circuits or running analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Circuit construction problem (bad nodes, duplicate names, …).
+    Build(String),
+    /// The Newton iteration failed to converge.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: String,
+        /// Detail (iteration counts, worst unknown, time point).
+        detail: String,
+    },
+    /// The linear solver failed (singular matrix — usually a floating
+    /// node or a short loop).
+    Singular(String),
+    /// A device reported an evaluation failure.
+    Device {
+        /// Device instance name.
+        device: String,
+        /// Failure detail.
+        detail: String,
+    },
+    /// The transient engine gave up (step underflow).
+    StepUnderflow {
+        /// Time at which the step size collapsed.
+        time: f64,
+        /// Step size reached.
+        h: f64,
+    },
+    /// Invalid analysis options.
+    BadOptions(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Build(m) => write!(f, "circuit error: {m}"),
+            SpiceError::NoConvergence { analysis, detail } => {
+                write!(f, "{analysis} failed to converge: {detail}")
+            }
+            SpiceError::Singular(m) => write!(f, "singular system: {m}"),
+            SpiceError::Device { device, detail } => {
+                write!(f, "device `{device}`: {detail}")
+            }
+            SpiceError::StepUnderflow { time, h } => {
+                write!(f, "time step underflow at t = {time:.6e} (h = {h:.3e})")
+            }
+            SpiceError::BadOptions(m) => write!(f, "bad options: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+impl From<mems_numerics::NumericsError> for SpiceError {
+    fn from(e: mems_numerics::NumericsError) -> Self {
+        SpiceError::Singular(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SpiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SpiceError::NoConvergence {
+            analysis: "dc operating point".into(),
+            detail: "50 iterations".into(),
+        };
+        assert!(e.to_string().contains("dc operating point"));
+        let e = SpiceError::StepUnderflow { time: 1e-3, h: 1e-18 };
+        assert!(e.to_string().contains("underflow"));
+        let e: SpiceError = mems_numerics::NumericsError::Singular { index: 3 }.into();
+        assert!(matches!(e, SpiceError::Singular(_)));
+    }
+}

@@ -1,0 +1,58 @@
+//! # mems-spice — a multi-nature SPICE-class circuit simulator
+//!
+//! The solver substrate of the paper reproduction: "SPICE simulators
+//! may be used as lumped parameter (discrete variable) analog solvers
+//! to simulate transducers by exploiting electrical-mechanical
+//! analogies". This crate provides:
+//!
+//! - typed nodes over the physical [natures](mems_hdl::Nature) of
+//!   Table 1 (electrical, mechanical translation/rotation, hydraulic,
+//!   thermal, magnetic) sharing one ground;
+//! - a device library: R/L/C, independent sources with waveforms,
+//!   the four controlled sources, the paper's `I = k·V1·V2` product
+//!   source, ideal transformer/gyrator, mechanical sugar (mass,
+//!   spring, damper under the force–current analogy), and the
+//!   [behavioral HDL device](devices::HdlDevice) hosting compiled
+//!   `mems-hdl` models;
+//! - analyses: DC operating point (Newton + gmin/source stepping),
+//!   transient (trapezoidal/BE/Gear-2, LTE step control, breakpoint
+//!   snapping), AC small-signal sweeps, and DC sweeps.
+//!
+//! # Example: the paper's mechanical resonator
+//!
+//! ```
+//! use mems_spice::circuit::Circuit;
+//! use mems_spice::devices::{Mass, Spring, Damper, CurrentSource};
+//! use mems_spice::wave::Waveform;
+//! use mems_spice::analysis::transient::{run, TranOptions};
+//! use mems_spice::solver::SimOptions;
+//!
+//! # fn main() -> mems_spice::error::Result<()> {
+//! let mut ckt = Circuit::new();
+//! let vel = ckt.mnode("vel")?;
+//! let gnd = ckt.ground();
+//! ckt.add(Mass::new("m1", vel, gnd, 1.0e-4))?;      // 0.1 g
+//! ckt.add(Spring::new("k1", vel, gnd, 200.0))?;      // 200 N/m
+//! ckt.add(Damper::new("a1", vel, gnd, 40e-3))?;      // 40 mN·s/m
+//! ckt.add(CurrentSource::new("f1", gnd, vel,         // 1 µN step force
+//!     Waveform::Pwl(vec![(0.0, 0.0), (1e-4, 1e-6)])))?;
+//! let result = run(&mut ckt, &TranOptions::new(50e-3), &SimOptions::default())?;
+//! let displacement = result.integrated_trace("v(vel)", 0.0).unwrap();
+//! assert!(displacement.last().unwrap().abs() > 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod device;
+pub mod devices;
+pub mod error;
+pub mod output;
+pub mod solver;
+pub mod wave;
+
+pub use circuit::{Circuit, NodeId};
+pub use error::{Result, SpiceError};
+pub use solver::SimOptions;
+pub use wave::Waveform;

@@ -1,0 +1,358 @@
+//! Shared Newton–Raphson machinery.
+//!
+//! Every analysis formulates `F(x) = 0` over the unknown vector and
+//! iterates `J·Δ = −F`. Convergence uses SPICE-style mixed criteria:
+//! per-unknown update tolerances (with per-kind absolute floors) and
+//! residual tolerances scaled by the magnitude of the terms that were
+//! summed into each row.
+
+use crate::circuit::{Circuit, UnknownKind, UnknownLayout};
+use crate::device::{LoadCtx, LoadKind};
+use crate::error::{Result, SpiceError};
+use mems_hdl::Nature;
+use mems_numerics::dense::DenseMatrix;
+use mems_numerics::lu::LuFactors;
+
+/// Global simulator options (tolerances, iteration budgets).
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Relative tolerance on unknown updates and residuals.
+    pub reltol: f64,
+    /// Absolute tolerance for electrical node voltages [V].
+    pub abstol_voltage: f64,
+    /// Absolute tolerance for non-electrical across quantities
+    /// (velocities m/s, pressures Pa, …).
+    pub abstol_across: f64,
+    /// Absolute tolerance for internal unknowns (currents A, forces N).
+    pub abstol_internal: f64,
+    /// Newton iteration budget per solve.
+    pub max_iter: usize,
+    /// Leak conductance from every node to ground.
+    pub gmin: f64,
+    /// Maximum per-iteration update magnitude (Newton damping); `0`
+    /// disables limiting.
+    pub max_step: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            reltol: 1e-6,
+            abstol_voltage: 1e-9,
+            abstol_across: 1e-12,
+            abstol_internal: 1e-12,
+            max_iter: 100,
+            gmin: 1e-12,
+            max_step: 0.0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Absolute tolerance for one unknown kind.
+    pub fn abstol(&self, kind: UnknownKind) -> f64 {
+        match kind {
+            UnknownKind::NodeAcross(Nature::Electrical) => self.abstol_voltage,
+            UnknownKind::NodeAcross(_) => self.abstol_across,
+            UnknownKind::Internal => self.abstol_internal,
+        }
+    }
+}
+
+/// Reusable assembly storage (avoids reallocating each iteration).
+pub struct Workspace {
+    /// Jacobian matrix.
+    pub jac: DenseMatrix<f64>,
+    /// Residual vector.
+    pub resid: Vec<f64>,
+    /// Row scales (sums of |terms| per row).
+    pub row_scale: Vec<f64>,
+}
+
+impl Workspace {
+    /// Allocates a workspace for `n` unknowns.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            jac: DenseMatrix::zeros(n, n),
+            resid: vec![0.0; n],
+            row_scale: vec![0.0; n],
+        }
+    }
+}
+
+/// Assembles `F` and `J` at iterate `x`.
+///
+/// # Errors
+///
+/// Propagates device evaluation failures.
+pub fn assemble(
+    circuit: &mut Circuit,
+    layout: &UnknownLayout,
+    kind: LoadKind,
+    gmin: f64,
+    x: &[f64],
+    ws: &mut Workspace,
+) -> Result<()> {
+    ws.jac.fill_zero();
+    ws.resid.iter_mut().for_each(|v| *v = 0.0);
+    ws.row_scale.iter_mut().for_each(|v| *v = 0.0);
+    {
+        let mut ctx = LoadCtx::new(
+            kind,
+            layout,
+            x,
+            &mut ws.jac,
+            &mut ws.resid,
+            &mut ws.row_scale,
+        );
+        for dev in circuit.devices_mut() {
+            dev.load(&mut ctx)?;
+        }
+    }
+    // gmin leak on node rows keeps floating nodes solvable.
+    if gmin > 0.0 {
+        for (k, kind) in layout.kinds.iter().enumerate() {
+            if matches!(kind, UnknownKind::NodeAcross(_)) {
+                ws.resid[k] += gmin * x[k];
+                ws.jac.add_at(k, k, gmin);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Newton solve outcome.
+#[derive(Debug, Clone)]
+pub struct NewtonOutcome {
+    /// The converged solution.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Runs the Newton iteration from `x0`.
+///
+/// # Errors
+///
+/// - [`SpiceError::NoConvergence`] when the budget is exhausted;
+/// - [`SpiceError::Singular`] from the linear solver;
+/// - device errors from assembly.
+pub fn newton(
+    circuit: &mut Circuit,
+    layout: &UnknownLayout,
+    kind: LoadKind,
+    gmin: f64,
+    opts: &SimOptions,
+    x0: &[f64],
+    ws: &mut Workspace,
+) -> Result<NewtonOutcome> {
+    let n = layout.n_unknowns;
+    let mut x = x0.to_vec();
+    for it in 0..opts.max_iter {
+        assemble(circuit, layout, kind, gmin, &x, ws)?;
+        if !ws.jac.all_finite() {
+            return Err(SpiceError::Device {
+                device: "<assembly>".into(),
+                detail: "non-finite Jacobian entry".into(),
+            });
+        }
+        let lu = LuFactors::factor(&ws.jac).map_err(|e| {
+            SpiceError::Singular(format!(
+                "{e} (unknowns: {})",
+                worst_rows(layout, &ws.row_scale)
+            ))
+        })?;
+        let neg_f: Vec<f64> = ws.resid.iter().map(|f| -f).collect();
+        let mut delta = lu.solve(&neg_f)?;
+
+        // Optional damping.
+        if opts.max_step > 0.0 {
+            let worst = delta.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+            if worst > opts.max_step {
+                let k = opts.max_step / worst;
+                delta.iter_mut().for_each(|d| *d *= k);
+            }
+        }
+
+        let mut converged = true;
+        for k in 0..n {
+            let x_new = x[k] + delta[k];
+            let tol = opts.reltol * x[k].abs().max(x_new.abs()) + opts.abstol(layout.kinds[k]);
+            if delta[k].abs() > tol {
+                converged = false;
+            }
+            x[k] = x_new;
+        }
+        // Residual criterion on the *pre-update* residual: a row must
+        // be small relative to the terms that built it.
+        if converged {
+            for k in 0..n {
+                let tol = opts.reltol * ws.row_scale[k] + opts.abstol(layout.kinds[k]);
+                if ws.resid[k].abs() > tol {
+                    converged = false;
+                    break;
+                }
+            }
+        }
+        if converged {
+            return Ok(NewtonOutcome {
+                x,
+                iterations: it + 1,
+            });
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "newton".into(),
+        detail: format!("{} iterations exhausted", opts.max_iter),
+    })
+}
+
+fn worst_rows(layout: &UnknownLayout, row_scale: &[f64]) -> String {
+    let mut idx: Vec<usize> = (0..row_scale.len()).collect();
+    idx.sort_by(|&a, &b| {
+        row_scale[a]
+            .partial_cmp(&row_scale[b])
+            .expect("finite scales")
+    });
+    idx.iter()
+        .take(3)
+        .map(|&i| layout.labels[i].as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::devices::controlled::ProductVccs;
+    use crate::devices::passive::Resistor;
+    use crate::devices::sources::{CurrentSource, VoltageSource};
+    use crate::wave::Waveform;
+
+    fn dc_kind() -> LoadKind {
+        LoadKind::Dc {
+            gmin: 0.0,
+            source_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let b = c.enode("b").unwrap();
+        let g = c.ground();
+        c.add(VoltageSource::new("v1", a, g, Waveform::Dc(10.0)))
+            .unwrap();
+        c.add(Resistor::new("r1", a, b, 1e3)).unwrap();
+        c.add(Resistor::new("r2", b, g, 3e3)).unwrap();
+        let layout = c.layout();
+        let mut ws = Workspace::new(layout.n_unknowns);
+        let opts = SimOptions::default();
+        let out = newton(
+            &mut c,
+            &layout,
+            dc_kind(),
+            opts.gmin,
+            &opts,
+            &vec![0.0; layout.n_unknowns],
+            &mut ws,
+        )
+        .unwrap();
+        let va = layout.node_value(&out.x, a);
+        let vb = layout.node_value(&out.x, b);
+        assert!((va - 10.0).abs() < 1e-9);
+        assert!((vb - 7.5).abs() < 1e-8);
+        // Branch current of the source: −10 V across 4 kΩ total.
+        let j = out.x[2];
+        assert!((j + 2.5e-3).abs() < 1e-9, "source current {j}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let g = c.ground();
+        c.add(CurrentSource::new("i1", g, a, Waveform::Dc(1e-3)))
+            .unwrap();
+        c.add(Resistor::new("r1", a, g, 2e3)).unwrap();
+        let layout = c.layout();
+        let mut ws = Workspace::new(layout.n_unknowns);
+        let opts = SimOptions::default();
+        let out = newton(
+            &mut c,
+            &layout,
+            dc_kind(),
+            opts.gmin,
+            &opts,
+            &[0.0],
+            &mut ws,
+        )
+        .unwrap();
+        // 1 mA pushed into node a across 2 kΩ → 2 V (gmin shifts ~nV).
+        assert!((out.x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_product_source_converges() {
+        // i = k·v·v with a 1 A pull-up: v² = 1/k → v = sqrt(1/k).
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let g = c.ground();
+        c.add(CurrentSource::new("i1", g, a, Waveform::Dc(1.0)))
+            .unwrap();
+        c.add(ProductVccs::new("q1", a, g, a, g, a, g, 0.25)).unwrap();
+        let layout = c.layout();
+        let mut ws = Workspace::new(layout.n_unknowns);
+        let opts = SimOptions::default();
+        let out = newton(
+            &mut c,
+            &layout,
+            dc_kind(),
+            opts.gmin,
+            &opts,
+            &[1.0],
+            &mut ws,
+        )
+        .unwrap();
+        assert!((out.x[0] - 2.0).abs() < 1e-9, "v = {}", out.x[0]);
+        assert!(out.iterations < 20);
+    }
+
+    #[test]
+    fn floating_node_is_singular_without_gmin() {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let b = c.enode("b").unwrap();
+        let g = c.ground();
+        c.add(Resistor::new("r1", a, g, 1e3)).unwrap();
+        // b floats.
+        let _ = b;
+        let layout = c.layout();
+        let mut ws = Workspace::new(layout.n_unknowns);
+        let opts = SimOptions::default();
+        let err = newton(
+            &mut c,
+            &layout,
+            dc_kind(),
+            0.0,
+            &opts,
+            &vec![0.0; layout.n_unknowns],
+            &mut ws,
+        );
+        assert!(matches!(err, Err(SpiceError::Singular(_))));
+        // With gmin it solves (b pulled to 0).
+        let out = newton(
+            &mut c,
+            &layout,
+            dc_kind(),
+            1e-12,
+            &opts,
+            &vec![0.0; layout.n_unknowns],
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(out.x[1], 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end: the paper's Listing 1 transducer hosted as a
+//! behavioral device, coupled to the Fig. 3 mechanical resonator.
+
+use mems_hdl::model::HdlModel;
+use mems_numerics::rootfind::brent;
+use mems_spice::analysis::transient::{run, TranOptions};
+use mems_spice::circuit::Circuit;
+use mems_spice::devices::{Damper, HdlDevice, Mass, Spring, VoltageSource};
+use mems_spice::solver::SimOptions;
+use mems_spice::wave::Waveform;
+
+const LISTING1: &str = r#"
+ENTITY eletran IS
+ GENERIC (A, d, er : analog);
+ PIN (a, b : electrical; c, d : mechanical1);
+END ENTITY eletran;
+ARCHITECTURE a OF eletran IS
+VARIABLE e0, x : analog;
+STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, d].tv;
+      x := integ(S);
+      [a, b].i %= e0*er*A/(d + x)*ddt(V);
+      [c, d].f %= -e0*er*A*V*V/(2.0*(d+x)*(d+x));
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+
+const E0: f64 = 8.8542e-12;
+const AREA: f64 = 1.0e-4;
+const GAP: f64 = 0.15e-3;
+const MASS: f64 = 1.0e-4;
+const K: f64 = 200.0;
+const ALPHA: f64 = 40e-3;
+
+/// Builds the Fig. 3/4 system: pulse-driven transducer + resonator.
+fn build_system(level: f64) -> Circuit {
+    let model = HdlModel::compile(LISTING1, "eletran", None).unwrap();
+    let mut ckt = Circuit::new();
+    let e = ckt.enode("drive").unwrap();
+    let vel = ckt.mnode("vel").unwrap();
+    let gnd = ckt.ground();
+    ckt.add(VoltageSource::new(
+        "vsrc",
+        e,
+        gnd,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: level,
+            delay: 2e-3,
+            rise: 5e-3,
+            fall: 5e-3,
+            width: 120e-3,
+            period: 0.0,
+        },
+    ))
+    .unwrap();
+    ckt.add(
+        HdlDevice::new(
+            "xducer",
+            &model,
+            &[("a", AREA), ("d", GAP), ("er", 1.0)],
+            &[e, gnd, vel, gnd],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    ckt.add(Mass::new("m1", vel, gnd, MASS)).unwrap();
+    ckt.add(Spring::new("k1", vel, gnd, K)).unwrap();
+    ckt.add(Damper::new("d1", vel, gnd, ALPHA)).unwrap();
+    ckt
+}
+
+/// Static solution of k·x = ε0·A·V²/(2(d+x)²).
+fn static_displacement(v: f64) -> f64 {
+    brent(
+        |x| K * x - E0 * AREA * v * v / (2.0 * (GAP + x) * (GAP + x)),
+        0.0,
+        GAP,
+        1e-20,
+    )
+    .unwrap()
+}
+
+#[test]
+fn table4_static_displacement_is_1e_minus_8() {
+    // The paper's Table 4: x0 = 1.0e-8 m at v0 = 10 V.
+    let x0 = static_displacement(10.0);
+    assert!(
+        (x0 - 1.0e-8).abs() < 2e-10,
+        "x0 = {x0:e}, paper says 1.0e-8"
+    );
+}
+
+#[test]
+fn transducer_resonator_settles_at_static_deflection() {
+    let mut ckt = build_system(10.0);
+    let res = run(&mut ckt, &TranOptions::new(90e-3), &SimOptions::default()).unwrap();
+    // Displacement read two ways: spring force / k, and ∫velocity.
+    let x_spring: Vec<f64> = res
+        .trace("i(k1,0)")
+        .unwrap()
+        .iter()
+        .map(|f| f / K)
+        .collect();
+    let x_integrated = res.integrated_trace("v(vel)", 0.0).unwrap();
+    let expect = static_displacement(10.0);
+    let settled = mems_numerics::stats::settled_value(&x_spring, 0.05);
+    assert!(
+        (settled - expect).abs() < expect * 0.02,
+        "settled {settled:e} vs static {expect:e}"
+    );
+    // Both displacement readouts agree.
+    let diff = mems_numerics::stats::max_abs_diff(&x_spring, &x_integrated);
+    assert!(diff < expect * 0.05, "spring vs integral diverge: {diff:e}");
+}
+
+#[test]
+fn response_rings_at_resonator_frequency() {
+    let mut ckt = build_system(10.0);
+    let res = run(&mut ckt, &TranOptions::new(60e-3), &SimOptions::default()).unwrap();
+    let x: Vec<f64> = res
+        .trace("i(k1,0)")
+        .unwrap()
+        .iter()
+        .map(|f| f / K)
+        .collect();
+    // Free damped ringing lives after the ramp (t > 7 ms); the forced
+    // ramp response would bias the crossing estimate.
+    let start = res
+        .time
+        .iter()
+        .position(|t| *t > 7e-3)
+        .expect("sim reaches 7 ms");
+    let f_est = mems_numerics::stats::crossing_frequency(&res.time[start..], &x[start..])
+        .expect("under-damped response oscillates");
+    let wn = (K / MASS).sqrt();
+    let zeta = ALPHA / (2.0 * (K * MASS).sqrt());
+    let fd = wn * (1.0 - zeta * zeta).sqrt() / (2.0 * std::f64::consts::PI);
+    assert!(
+        (f_est - fd).abs() < fd * 0.08,
+        "rings at {f_est} Hz, expected ≈{fd} Hz"
+    );
+}
+
+#[test]
+fn force_scales_quadratically_with_voltage() {
+    // Settled displacement ratios ≈ V² ratios (small x ≪ d).
+    let mut settled = Vec::new();
+    for level in [5.0, 10.0, 15.0] {
+        let mut ckt = build_system(level);
+        let res = run(&mut ckt, &TranOptions::new(90e-3), &SimOptions::default()).unwrap();
+        let x: Vec<f64> = res
+            .trace("i(k1,0)")
+            .unwrap()
+            .iter()
+            .map(|f| f / K)
+            .collect();
+        settled.push(mems_numerics::stats::settled_value(&x, 0.05));
+    }
+    let r105 = settled[1] / settled[0];
+    let r1510 = settled[2] / settled[1];
+    assert!((r105 - 4.0).abs() < 0.1, "x(10)/x(5) = {r105}");
+    assert!((r1510 - 2.25).abs() < 0.1, "x(15)/x(10) = {r1510}");
+}
+
+#[test]
+fn electrical_side_draws_displacement_current() {
+    // During the rise the source must supply i ≈ C·dV/dt ≈ 5.9 pF × 2 kV/s.
+    let mut ckt = build_system(10.0);
+    let res = run(&mut ckt, &TranOptions::new(12e-3), &SimOptions::default()).unwrap();
+    let i_src = res.trace("i(vsrc,0)").unwrap();
+    // Mid-rise sample (t ≈ 4.5 ms): dV/dt = 10/5e-3 = 2000 V/s.
+    let mid = res
+        .time
+        .iter()
+        .position(|t| *t > 4.5e-3)
+        .expect("sim reaches 4.5 ms");
+    let c0 = E0 * AREA / GAP;
+    let expect = -c0 * 2000.0; // source current convention: into node
+    assert!(
+        (i_src[mid] - expect).abs() < expect.abs() * 0.15,
+        "i = {} vs {expect}",
+        i_src[mid]
+    );
+}

@@ -1,0 +1,150 @@
+//! Multi-domain tests: Table 1's non-electrical natures flowing
+//! through the same MNA core — thermal RC cooling, hydraulic
+//! resistance networks, and a rotational inertia — plus an HDL
+//! behavioral device bridging two non-electrical domains.
+
+use mems_hdl::model::HdlModel;
+use mems_hdl::Nature;
+use mems_spice::analysis::transient::{run, TranOptions};
+use mems_spice::circuit::Circuit;
+use mems_spice::devices::{Capacitor, CurrentSource, HdlDevice, Resistor, VoltageSource};
+use mems_spice::solver::SimOptions;
+use mems_spice::wave::Waveform;
+
+#[test]
+fn thermal_rc_cools_exponentially() {
+    // Thermal nature: across = temperature, through = heat flow.
+    // A heated mass (thermal capacitance 0.5 J/K) cooling through a
+    // thermal resistance 20 K/W: τ = 10 s.
+    let mut ckt = Circuit::new();
+    let t_node = ckt.node("chip", Nature::Thermal).unwrap();
+    let gnd = ckt.ground();
+    ckt.add(Capacitor::new("cth", t_node, gnd, 0.5)).unwrap();
+    ckt.add(Resistor::new("rth", t_node, gnd, 20.0)).unwrap();
+    // Heat pulse: 1 W for 2 s establishes ~ the step response, then
+    // free cooling.
+    ckt.add(CurrentSource::new(
+        "heater",
+        gnd,
+        t_node,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-3,
+            fall: 1e-3,
+            width: 30.0,
+            period: 0.0,
+        },
+    ))
+    .unwrap();
+    let res = run(&mut ckt, &TranOptions::new(30.0), &SimOptions::default()).unwrap();
+    let temp = res.node_trace("chip").unwrap();
+    // Steady state: ΔT = P·Rth = 20 K, approached with τ = 10 s.
+    let t_end = *res.time.last().unwrap();
+    let expect = 20.0 * (1.0 - (-t_end / 10.0).exp());
+    let got = *temp.last().unwrap();
+    assert!((got - expect).abs() < 0.2, "T = {got} vs {expect}");
+}
+
+#[test]
+fn hydraulic_divider_balances_flows() {
+    // Hydraulic nature: across = pressure, through = volume flow.
+    // A pressure source across two flow restrictions in series.
+    let mut ckt = Circuit::new();
+    let p_in = ckt.node("inlet", Nature::Hydraulic).unwrap();
+    let p_mid = ckt.node("junction", Nature::Hydraulic).unwrap();
+    let gnd = ckt.ground();
+    ckt.add(VoltageSource::new("pump", p_in, gnd, Waveform::Dc(1e5)))
+        .unwrap(); // 1 bar
+    ckt.add(Resistor::new("pipe1", p_in, p_mid, 1e6)).unwrap(); // Pa·s/m³
+    ckt.add(Resistor::new("pipe2", p_mid, gnd, 3e6)).unwrap();
+    let op = mems_spice::analysis::dcop::solve(&mut ckt, &SimOptions::default()).unwrap();
+    // Pressure divider: 3/4 of a bar at the junction.
+    assert!((op.v(p_mid) - 7.5e4).abs() < 1.0, "p = {}", op.v(p_mid));
+    // Flow through the pump: 1e5 / 4e6 = 0.025 m³/s.
+    let q = op.by_label("i(pump,0)").unwrap();
+    assert!((q + 2.5e-2).abs() < 1e-6, "flow {q}");
+}
+
+#[test]
+fn rotational_inertia_spins_up() {
+    // Rotational nature: across = angular velocity, through = torque.
+    // Inertia J = 1e-6 kg·m² driven by 1e-3 N·m against a viscous
+    // bearing 1e-4 N·m·s: final ω = 10 rad/s, τ = J/b = 10 ms.
+    let mut ckt = Circuit::new();
+    let w = ckt.node("shaft", Nature::MechanicalRotation).unwrap();
+    let gnd = ckt.ground();
+    ckt.add(Capacitor::new("j1", w, gnd, 1e-6)).unwrap();
+    ckt.add(Resistor::new("b1", w, gnd, 1.0 / 1e-4)).unwrap();
+    ckt.add(CurrentSource::new(
+        "motor",
+        gnd,
+        w,
+        Waveform::Pwl(vec![(0.0, 0.0), (1e-4, 1e-3)]),
+    ))
+    .unwrap();
+    let res = run(&mut ckt, &TranOptions::new(60e-3), &SimOptions::default()).unwrap();
+    let omega = res.node_trace("shaft").unwrap();
+    let got = *omega.last().unwrap();
+    assert!((got - 10.0).abs() < 0.05, "ω = {got}");
+}
+
+#[test]
+fn hdl_device_bridges_thermal_and_electrical() {
+    // A behavioral self-heating resistor: electrical power flows into
+    // the thermal net as heat, and the resistance rises with
+    // temperature — a two-nature HDL model beyond the paper's pairs.
+    let src = r#"
+ENTITY heatres IS
+  GENERIC (r0, tc : analog);
+  PIN (p, q : electrical; th, tl : thermal);
+END ENTITY heatres;
+ARCHITECTURE a OF heatres IS
+VARIABLE r, vpq, dt : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      vpq := [p, q].v;
+      dt := [th, tl].temp;
+      r := r0 * (1.0 + tc * dt);
+      [p, q].i %= vpq / r;
+      -- Dissipated power enters the thermal node as heat flow.
+      [th, tl].hflow %= -vpq * vpq / r;
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let model = HdlModel::compile(src, "heatres", None).unwrap();
+    let mut ckt = Circuit::new();
+    let p = ckt.enode("p").unwrap();
+    let hot = ckt.node("hot", Nature::Thermal).unwrap();
+    let gnd = ckt.ground();
+    ckt.add(VoltageSource::new("v1", p, gnd, Waveform::Dc(5.0)))
+        .unwrap();
+    ckt.add(
+        HdlDevice::new(
+            "rh",
+            &model,
+            &[("r0", 100.0), ("tc", 4e-3)],
+            &[p, gnd, hot, gnd],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    // Thermal path: 50 K/W to ambient.
+    ckt.add(Resistor::new("rth", hot, gnd, 50.0)).unwrap();
+    let op = mems_spice::analysis::dcop::solve(&mut ckt, &SimOptions::default()).unwrap();
+    let dt = op.v(hot);
+    // Self-consistent solution: ΔT = Rth·V²/(r0(1+tc·ΔT)) →
+    // 0.2·ΔT² + 50·ΔT? No: quadratic 100·tc·ΔT² + 100·ΔT − 50·25 = 0.
+    let (a, b, c) = (100.0_f64 * 4e-3, 100.0_f64, -50.0_f64 * 25.0);
+    let expect = (-b + (b * b - 4.0 * a * c).sqrt()) / (2.0 * a);
+    assert!(
+        (dt - expect).abs() < expect * 1e-6,
+        "ΔT = {dt} vs {expect}"
+    );
+    // The heated resistance reduces the current below V/r0.
+    let i = op.by_label("i(v1,0)").unwrap().abs();
+    assert!(i < 5.0 / 100.0);
+    assert!((i - 5.0 / (100.0 * (1.0 + 4e-3 * dt))).abs() < 1e-9);
+}

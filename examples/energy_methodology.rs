@@ -1,0 +1,59 @@
+//! The paper's 4-step energy recipe, mechanized: for each of the four
+//! transducers of Fig. 2, express the internal (co-)energy, derive it
+//! symbolically with respect to each port state, and emit a complete
+//! HDL-A model — regenerating Listing 1 and its three siblings.
+//!
+//! ```sh
+//! cargo run --example energy_methodology
+//! ```
+
+use mems::core::{
+    ElectricalStyle, ElectrodynamicVoiceCoil, ElectromagneticGap, ParallelPlateElectrostatic,
+    TransverseElectrostatic,
+};
+use mems::hdl::print::print_expr;
+use mems::hdl::HdlModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let a = TransverseElectrostatic::table4();
+    let b = ParallelPlateElectrostatic::example();
+    let c = ElectromagneticGap::example();
+    let d = ElectrodynamicVoiceCoil::example();
+
+    let models = [
+        ("a) transverse electrostatic", a.energy_model()),
+        ("b) parallel electrostatic", b.energy_model()),
+        ("c) electromagnetic", c.energy_model()),
+        ("d) electrodynamic", d.energy_model()),
+    ];
+
+    for (label, energy_model) in models {
+        println!("=== {label} ===");
+        println!("co-energy W* = {}", print_expr(&energy_model.coenergy));
+        let derived = energy_model.derive()?;
+        println!(
+            "∂W*/∂{}  (charge / flux linkage) = {}",
+            energy_model.electrical_symbol,
+            print_expr(&derived.state_conjugate)
+        );
+        println!("∂W*/∂x  (force, Table 3)        = {}", print_expr(&derived.force));
+        let src = energy_model.to_hdl_source(ElectricalStyle::PaperStyle)?;
+        println!("\ngenerated HDL-A model:\n{src}");
+        // Prove the generated text is a valid model.
+        let compiled = HdlModel::compile(&src, &energy_model.entity, None)
+            .map_err(|e| e.render(&src))?;
+        println!(
+            "→ compiles: {} pins, {} unknowns, {} integ/{} ddt sites\n",
+            compiled.compiled().pins.len(),
+            compiled.compiled().n_unknowns,
+            compiled.compiled().n_integ_sites,
+            compiled.compiled().n_ddt_sites,
+        );
+    }
+    println!(
+        "Note: the paper's Listing 1 writes the electrical flow as C(x)·ddt(V)\n\
+         (PaperStyle above); pass ElectricalStyle::Full to include the motional\n\
+         term ddt(C(x)·V) that full energy conservation requires."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Figure 6 workflow: PXT extracting transducer characteristics from
+//! finite-element field solutions, generating an HDL-A model, and
+//! verifying it against the analytic device.
+//!
+//! ```sh
+//! cargo run --release --example pxt_extraction
+//! ```
+
+use mems::core::experiments::fig6;
+use mems::core::experiments::harmonic;
+use mems::pxt::recipes::{capacitance_vs_displacement, force_vs_voltage_displacement, PlateGapDut};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig. 6: electrostatic force from the FE field solution ==\n");
+    let r = fig6::run()?;
+    println!("FE (Maxwell stress) force at 10 V, x = 0:  {:.6e} N", r.force_fe);
+    println!("analytic Table 3 force at the same point:  {:.6e} N", r.force_analytic);
+    println!("relative error:                            {:.3e}", r.force_rel_error);
+    println!("(fringe field not modeled, as in the paper)\n");
+
+    println!("== static sweeps (\"iterating the variation of boundary conditions\") ==\n");
+    let dut = PlateGapDut::table4();
+    let xs: Vec<f64> = (0..7).map(|i| -3e-5 + 1e-5 * i as f64).collect();
+    let cap = capacitance_vs_displacement(&dut, &xs)?;
+    println!("displacement [m]   capacitance [F]");
+    for (x, c) in cap.xs.iter().zip(&cap.ys) {
+        println!("{x:>13.3e}   {c:.6e}");
+    }
+    let force = force_vs_voltage_displacement(&dut, &[5.0, 10.0, 15.0], &[-1e-5, 0.0, 1e-5])?;
+    println!("\nforce grid F(V, x) [N]:");
+    print!("{:>8}", "V\\x");
+    for x in &force.ys {
+        print!("{x:>14.1e}");
+    }
+    println!();
+    for (i, v) in force.xs.iter().enumerate() {
+        print!("{v:>8.1}");
+        for j in 0..force.ys.len() {
+            print!("{:>14.4e}", force.zs[i * force.ys.len() + j]);
+        }
+        println!();
+    }
+
+    println!("\n== generated HDL-A model (polynomial C(x), fit err {:.2e}) ==\n", r.cap_fit_error);
+    println!("{}", r.generated_source);
+    println!(
+        "round-trip force error of the generated model vs the analytic device: {:.3e}\n",
+        r.roundtrip_error
+    );
+
+    println!("== harmonic workflow: beam FE response → rational fit → data-flow model ==\n");
+    let h = harmonic::run()?;
+    println!("cantilever first mode:          {:.1} Hz", h.f1);
+    println!("rational fit error:             {:.3e}", h.fit_error);
+    println!("AC round-trip error (simulator): {:.3e}", h.ac_roundtrip_error);
+    println!("\ngenerated data-flow model:\n{}", h.generated_source);
+    Ok(())
+}

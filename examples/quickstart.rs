@@ -1,0 +1,121 @@
+//! Quickstart: compile the paper's Listing 1 verbatim, couple the
+//! transducer to the Table 4 resonator, run a transient, and print
+//! the displacement response.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mems::hdl::HdlModel;
+use mems::spice::analysis::transient::{run, TranOptions};
+use mems::spice::circuit::Circuit;
+use mems::spice::devices::{Damper, HdlDevice, Mass, Spring, VoltageSource};
+use mems::spice::output::ascii_plot;
+use mems::spice::solver::SimOptions;
+use mems::spice::wave::Waveform;
+
+/// Listing 1 of the paper, verbatim.
+const LISTING1: &str = r#"
+ENTITY eletran IS
+ GENERIC (A, d, er : analog);
+ PIN (a, b : electrical; c, d : mechanical1);
+END ENTITY eletran;
+ARCHITECTURE a OF eletran IS
+VARIABLE e0, x : analog;
+STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, d].tv;
+      x := integ(S);
+      [a, b].i %= e0*er*A/(d + x)*ddt(V);
+      [c, d].f %= -e0*er*A*V*V/(2.0*(d+x)*(d+x));
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Listing 1: compiling the HDL-A transducer model ==");
+    let model = HdlModel::compile(LISTING1, "eletran", None)
+        .map_err(|e| e.render(LISTING1))?;
+    println!(
+        "entity `{}`, {} pins, {} ddt site(s), {} integ site(s)\n",
+        model.compiled().name,
+        model.compiled().pins.len(),
+        model.compiled().n_ddt_sites,
+        model.compiled().n_integ_sites,
+    );
+
+    println!("== Fig. 3 system: transducer + resonator (Table 4) ==");
+    let mut ckt = Circuit::new();
+    let drive = ckt.enode("drive")?;
+    let vel = ckt.mnode("vel")?;
+    let gnd = ckt.ground();
+    // 10 V pulse with the paper's "finite rise and fall time".
+    ckt.add(VoltageSource::new(
+        "vsrc",
+        drive,
+        gnd,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 10.0,
+            delay: 2e-3,
+            rise: 5e-3,
+            fall: 5e-3,
+            width: 50e-3,
+            period: 0.0,
+        },
+    ))?;
+    ckt.add(HdlDevice::new(
+        "xducer",
+        &model,
+        &[("a", 1.0e-4), ("d", 0.15e-3), ("er", 1.0)],
+        &[drive, gnd, vel, gnd],
+    )?)?;
+    ckt.add(Mass::new("m1", vel, gnd, 1.0e-4))?;
+    ckt.add(Spring::new("k1", vel, gnd, 200.0))?;
+    ckt.add(Damper::new("d1", vel, gnd, 40e-3))?;
+
+    let result = run(&mut ckt, &TranOptions::new(90e-3), &SimOptions::default())?;
+    println!(
+        "transient: {} accepted steps, {} Newton iterations, {} rejected\n",
+        result.time.len(),
+        result.total_newton_iterations,
+        result.rejected_steps
+    );
+
+    // Displacement = spring force / k (the spring branch current under
+    // the force-current analogy).
+    let x: Vec<f64> = result
+        .trace("i(k1,0)")
+        .expect("spring force trace")
+        .iter()
+        .map(|f| f / 200.0)
+        .collect();
+    let v = result.node_trace("drive").expect("drive trace");
+
+    println!(
+        "{}",
+        ascii_plot("drive voltage [V]", &result.time, &[("v(t)", &v)], 10, 72)
+    );
+    println!(
+        "{}",
+        ascii_plot("displacement [m]", &result.time, &[("x(t)", &x)], 14, 72)
+    );
+
+    // Average over the flat pulse top (40–55 ms), past the ring-up.
+    let top: Vec<f64> = result
+        .time
+        .iter()
+        .zip(&x)
+        .filter(|(t, _)| (40e-3..55e-3).contains(*t))
+        .map(|(_, xi)| *xi)
+        .collect();
+    let settled = top.iter().sum::<f64>() / top.len() as f64;
+    println!("settled displacement during pulse ≈ {settled:.4e} m");
+    println!("paper's Table 4 static displacement: 1.0e-8 m");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # mems — facade crate
+//!
+//! Re-exports the full tool chain reproducing Romanowicz et al.,
+//! *Modeling and Simulation of Electromechanical Transducers in
+//! Microsystems using an Analog Hardware Description Language*
+//! (ED&TC / DATE 1997):
+//!
+//! - [`numerics`] — linear algebra, automatic differentiation, fitting;
+//! - [`hdl`] — the analog hardware description language (HDL-A subset);
+//! - [`spice`] — the multi-nature SPICE-class MNA simulator;
+//! - [`fem`] — the finite-element substrate (electrostatics + beams);
+//! - [`pxt`] — parameter extraction and HDL model generation;
+//! - [`core`] — the paper's methodology: energy-based transducer
+//!   models, linearized equivalents, and the experiment suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mems::core::experiments::fig5;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let result = fig5::run(&fig5::Fig5Options::fast())?;
+//! // At the 10 V linearization point the linear and behavioral models agree.
+//! let row = result.row(10.0).unwrap();
+//! assert!(row.static_rel_err() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+pub use mems_core as core;
+pub use mems_fem as fem;
+pub use mems_hdl as hdl;
+pub use mems_numerics as numerics;
+pub use mems_pxt as pxt;
+pub use mems_spice as spice;

@@ -1,0 +1,111 @@
+//! Integration test: the HDL behavioral transducer's AC small-signal
+//! response (exact `jω` linearization of the dual-number evaluator)
+//! agrees with the Tilmans-style linearized equivalent circuit built
+//! from native primitives — at the bias point they are the same
+//! two-port by construction.
+
+use mems::core::{LinearizedKind, MechanicalResonator, TransverseElectrostatic};
+use mems::hdl::HdlModel;
+use mems::numerics::Complex64;
+use mems::spice::analysis::ac::{run as run_ac, FreqSweep};
+use mems::spice::circuit::Circuit;
+use mems::spice::devices::{AcSpec, CurrentSource, Gyrator, HdlDevice, VoltageSource};
+use mems::spice::solver::SimOptions;
+use mems::spice::wave::Waveform;
+
+/// Gap-referenced model biased *at* the operating displacement: the
+/// rest gap generic is set to `d + x0` so the AC linearization of the
+/// HDL model and the native equivalent circuit share the same bias.
+fn hdl_ac_response(freqs: &[f64]) -> Vec<Complex64> {
+    let t = TransverseElectrostatic::table4();
+    let x0 = t.static_displacement(10.0, 200.0).unwrap();
+    let src = t.hdl_source(mems::core::ElectricalStyle::PaperStyle).unwrap();
+    let model = HdlModel::compile(&src, "eletran", None).unwrap();
+    let mut ckt = Circuit::new();
+    let drive = ckt.enode("drive").unwrap();
+    let vel = ckt.mnode("vel").unwrap();
+    let gnd = ckt.ground();
+    ckt.add(
+        VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()),
+    )
+    .unwrap();
+    ckt.add(
+        HdlDevice::new(
+            "x1",
+            &model,
+            &[("d", t.gap + x0)],
+            &[drive, gnd, vel, gnd],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    MechanicalResonator::table4()
+        .build(&mut ckt, "res", vel)
+        .unwrap();
+    let ac = run_ac(&mut ckt, &FreqSweep::List(freqs.to_vec()), &SimOptions::default()).unwrap();
+    ac.phasors("v(vel)").unwrap()
+}
+
+fn native_ac_response(freqs: &[f64]) -> Vec<Complex64> {
+    let t = TransverseElectrostatic::table4();
+    let x0 = t.static_displacement(10.0, 200.0).unwrap();
+    let lin = t.linearized(10.0, x0, LinearizedKind::TangentBias);
+    let mut ckt = Circuit::new();
+    let drive = ckt.enode("drive").unwrap();
+    let vel = ckt.mnode("vel").unwrap();
+    let gnd = ckt.ground();
+    ckt.add(
+        VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()),
+    )
+    .unwrap();
+    // The AC small-signal equivalent: C0 + gyrator Γ_tan + spring k_e,
+    // all referenced to the bias (the DC pieces don't affect AC).
+    ckt.add(mems::spice::devices::Capacitor::new("c0", drive, gnd, lin.c0))
+        .unwrap();
+    ckt.add(Gyrator::new("gy", drive, gnd, vel, gnd, lin.gamma_tangent))
+        .unwrap();
+    ckt.add(mems::spice::devices::Spring::new("ke", vel, gnd, lin.k_e))
+        .unwrap();
+    // Keep the DC operating point identical (not that AC cares).
+    ckt.add(CurrentSource::new("f0", gnd, vel, Waveform::Dc(-lin.f0)))
+        .unwrap();
+    MechanicalResonator::table4()
+        .build(&mut ckt, "res", vel)
+        .unwrap();
+    let ac = run_ac(&mut ckt, &FreqSweep::List(freqs.to_vec()), &SimOptions::default()).unwrap();
+    ac.phasors("v(vel)").unwrap()
+}
+
+#[test]
+fn hdl_small_signal_equals_native_linearized_two_port() {
+    // Sweep through the mechanical resonance (~225 Hz).
+    let freqs: Vec<f64> = vec![10.0, 50.0, 150.0, 225.0, 300.0, 1000.0, 10000.0];
+    let hdl = hdl_ac_response(&freqs);
+    let native = native_ac_response(&freqs);
+    let scale = hdl.iter().map(|z| z.abs()).fold(0.0, f64::max);
+    for ((f, a), b) in freqs.iter().zip(&hdl).zip(&native) {
+        let err = (*a - *b).abs() / scale;
+        assert!(
+            err < 1e-6,
+            "at {f} Hz: HDL {a} vs native {b} (rel {err:.2e})"
+        );
+    }
+}
+
+#[test]
+fn velocity_response_peaks_at_resonance() {
+    let freqs: Vec<f64> = (1..=60).map(|i| i as f64 * 10.0).collect();
+    let hdl = hdl_ac_response(&freqs);
+    let mags: Vec<f64> = hdl.iter().map(|z| z.abs()).collect();
+    let (peak_idx, _) = mags
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .unwrap();
+    let f_peak = freqs[peak_idx];
+    // Velocity resonance of the RLC (FI analogy) sits at f0 ≈ 225 Hz.
+    assert!(
+        (200.0..=250.0).contains(&f_peak),
+        "velocity peak at {f_peak} Hz"
+    );
+}

@@ -1,0 +1,73 @@
+//! Integration test: energy bookkeeping of the conservative
+//! transducer ("All the transducers presented are considered
+//! conservative") — electrical energy in equals mechanical energy
+//! delivered plus field energy stored, within integration tolerance.
+
+use mems::core::{ElectricalStyle, TransducerResonatorSystem, TransducerVariant};
+use mems::numerics::quad::trapezoid;
+use mems::spice::analysis::transient::{run, TranOptions};
+use mems::spice::solver::SimOptions;
+
+#[test]
+fn transducer_power_balance_holds() {
+    // Use the Full electrical style: the paper-style model omits the
+    // motional current, so only the full model is exactly conservative.
+    let sys = TransducerResonatorSystem::table4(TransducerResonatorSystem::fig5_pulse(10.0));
+    let mut ckt = sys
+        .build(TransducerVariant::Behavioral(ElectricalStyle::Full))
+        .unwrap();
+    let result = run(
+        &mut ckt,
+        &TranOptions::fixed_step(30e-3, 5e-6),
+        &SimOptions::default(),
+    )
+    .unwrap();
+
+    let v = result.node_trace("drive").unwrap();
+    let vel = result.node_trace("vel").unwrap();
+    // The source branch current flows from node `drive` through the
+    // source; current drawn by the transducer is −i(vsrc).
+    let i_src = result.trace("i(vsrc,0)").unwrap();
+    let i_in: Vec<f64> = i_src.iter().map(|i| -i).collect();
+
+    // Electrical energy delivered to the transducer: ∫ v·i dt.
+    let p_elec: Vec<f64> = v.iter().zip(&i_in).map(|(v, i)| v * i).collect();
+    let e_elec = trapezoid(&result.time, &p_elec);
+
+    // Mechanical energy delivered by the transducer to the resonator:
+    // ∫ F·velocity dt, where F is the net force into the mechanical
+    // node = m·dv/dt + k·x + α·v. Read it from the resonator's own
+    // elements: F_net = i(res_m is not a branch) — use component sum.
+    let f_spring = result.trace("i(res_k,0)").unwrap();
+    // Damper force α·vel; mass force m·dvel/dt via finite differences.
+    let m = sys.resonator.mass;
+    let alpha = sys.resonator.damping;
+    let mut p_mech = Vec::with_capacity(vel.len());
+    for n in 0..vel.len() {
+        let dv = if n == 0 {
+            0.0
+        } else {
+            (vel[n] - vel[n - 1]) / (result.time[n] - result.time[n - 1])
+        };
+        let f_net = m * dv + f_spring[n] + alpha * vel[n];
+        p_mech.push(f_net * vel[n]);
+    }
+    let e_mech = trapezoid(&result.time, &p_mech);
+
+    // Energy stored in the transducer field at the end: ½·C(x)·V².
+    let x_final: f64 = trapezoid(&result.time, &vel);
+    let c_final = 8.8542e-12 * 1e-4 / (0.15e-3 + x_final);
+    let v_final = *v.last().unwrap();
+    let e_stored = 0.5 * c_final * v_final * v_final;
+
+    // Balance: e_elec = e_mech + e_stored (within a few % for the
+    // trapezoid post-processing of a discrete trace).
+    let residual = (e_elec - e_mech - e_stored).abs();
+    let scale = e_elec.abs().max(e_stored);
+    assert!(
+        residual < scale * 0.05,
+        "energy imbalance: in {e_elec:.4e}, mech {e_mech:.4e}, stored {e_stored:.4e}"
+    );
+    // Sanity: the numbers are non-trivial.
+    assert!(e_elec > 1e-10, "no electrical energy flowed: {e_elec:.3e}");
+}

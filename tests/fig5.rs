@@ -1,0 +1,75 @@
+//! Integration test: the Figure 5 experiment end-to-end through the
+//! facade crate — HDL front end, behavioral device, multi-nature
+//! transient solver, linearized equivalent circuit.
+
+use mems::core::experiments::fig5::{run, Fig5Options};
+use mems::core::{ElectricalStyle, LinearizedKind};
+
+#[test]
+fn headline_shape_match_overshoot_undershoot() {
+    let result = run(&Fig5Options::default()).unwrap();
+    let r5 = result.row(5.0).unwrap();
+    let r10 = result.row(10.0).unwrap();
+    let r15 = result.row(15.0).unwrap();
+
+    // "converge perfectly for a quasi-static load of 10 V".
+    assert!(r10.static_rel_err() < 0.01, "10 V: {}", r10.static_rel_err());
+    // Secant linearization: settled ratio V0/V exactly (force ∝ V vs V²).
+    assert!((r5.linear_over_nonlinear() - 2.0).abs() < 0.05);
+    assert!((r15.linear_over_nonlinear() - 2.0 / 3.0).abs() < 0.03);
+    // Displacement magnitudes follow V² (up to the small gap change):
+    // 2.5 / 10 / 22.5 nm-ish.
+    assert!((r5.x_nonlinear - 2.46e-9).abs() < 1e-10);
+    assert!((r10.x_nonlinear - 9.84e-9).abs() < 2e-10);
+    assert!((r15.x_nonlinear - 2.21e-8).abs() < 5e-10);
+}
+
+#[test]
+fn under_damped_transient_peaks_before_settling() {
+    // ζ ≈ 0.14: the step response overshoots by exp(−πζ/√(1−ζ²)) ≈ 64 %
+    // for an ideal step; the 5 ms ramp reduces it, but a clear peak
+    // above the settled value must remain in both models.
+    let result = run(&Fig5Options {
+        levels: vec![10.0],
+        ..Fig5Options::default()
+    })
+    .unwrap();
+    let r = result.row(10.0).unwrap();
+    assert!(
+        r.peak_nonlinear > r.x_nonlinear * 1.05,
+        "no ringing: peak {} vs settled {}",
+        r.peak_nonlinear,
+        r.x_nonlinear
+    );
+    assert!(r.peak_linear > r.x_linear * 1.05);
+}
+
+#[test]
+fn tangent_bias_linearization_also_matches_at_bias() {
+    let result = run(&Fig5Options {
+        levels: vec![10.0],
+        linearized: LinearizedKind::TangentBias,
+        ..Fig5Options::default()
+    })
+    .unwrap();
+    let r = result.row(10.0).unwrap();
+    assert!(r.static_rel_err() < 0.02, "{}", r.static_rel_err());
+}
+
+#[test]
+fn full_electrical_style_gives_same_mechanics() {
+    let paper = run(&Fig5Options {
+        levels: vec![15.0],
+        ..Fig5Options::default()
+    })
+    .unwrap();
+    let full = run(&Fig5Options {
+        levels: vec![15.0],
+        style: ElectricalStyle::Full,
+        ..Fig5Options::default()
+    })
+    .unwrap();
+    let a = paper.row(15.0).unwrap().x_nonlinear;
+    let b = full.row(15.0).unwrap().x_nonlinear;
+    assert!((a - b).abs() < a.abs() * 0.01, "{a} vs {b}");
+}

@@ -1,0 +1,127 @@
+//! Integration test: the HDL-compiled behavioral transducer agrees
+//! with native closed-form physics, and the generated models agree
+//! with the hand-written Listing 1.
+
+use mems::core::{ElectricalStyle, TransverseElectrostatic};
+use mems::hdl::HdlModel;
+use mems::spice::analysis::transient::{run, TranOptions};
+use mems::spice::circuit::Circuit;
+use mems::spice::devices::{Damper, HdlDevice, Mass, Spring, VoltageSource};
+use mems::spice::solver::SimOptions;
+use mems::spice::wave::Waveform;
+
+const LISTING1: &str = r#"
+ENTITY eletran IS
+ GENERIC (A, d, er : analog);
+ PIN (a, b : electrical; c, d : mechanical1);
+END ENTITY eletran;
+ARCHITECTURE a OF eletran IS
+VARIABLE e0, x : analog;
+STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, d].tv;
+      x := integ(S);
+      [a, b].i %= e0*er*A/(d + x)*ddt(V);
+      [c, d].f %= -e0*er*A*V*V/(2.0*(d+x)*(d+x));
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+
+fn simulate_with(model: &HdlModel, generics: &[(&str, f64)]) -> Vec<f64> {
+    let mut ckt = Circuit::new();
+    let drive = ckt.enode("drive").unwrap();
+    let vel = ckt.mnode("vel").unwrap();
+    let gnd = ckt.ground();
+    ckt.add(VoltageSource::new(
+        "vsrc",
+        drive,
+        gnd,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 10.0,
+            delay: 1e-3,
+            rise: 4e-3,
+            fall: 4e-3,
+            width: 60e-3,
+            period: 0.0,
+        },
+    ))
+    .unwrap();
+    ckt.add(HdlDevice::new("x1", model, generics, &[drive, gnd, vel, gnd]).unwrap())
+        .unwrap();
+    ckt.add(Mass::new("m1", vel, gnd, 1e-4)).unwrap();
+    ckt.add(Spring::new("k1", vel, gnd, 200.0)).unwrap();
+    ckt.add(Damper::new("d1", vel, gnd, 40e-3)).unwrap();
+    let res = run(
+        &mut ckt,
+        &TranOptions::fixed_step(40e-3, 2e-5),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    res.trace("i(k1,0)")
+        .unwrap()
+        .iter()
+        .map(|f| f / 200.0)
+        .collect()
+}
+
+#[test]
+fn listing1_verbatim_equals_energy_generated_model() {
+    let hand_written = HdlModel::compile(LISTING1, "eletran", None).unwrap();
+    let x_hand = simulate_with(
+        &hand_written,
+        &[("a", 1e-4), ("d", 0.15e-3), ("er", 1.0)],
+    );
+
+    let generated_src = TransverseElectrostatic::table4()
+        .hdl_source(ElectricalStyle::PaperStyle)
+        .unwrap();
+    let generated = HdlModel::compile(&generated_src, "eletran", None).unwrap();
+    // The generated model's generics carry Table 4 defaults.
+    let x_gen = simulate_with(&generated, &[]);
+
+    assert_eq!(x_hand.len(), x_gen.len(), "fixed-step runs must align");
+    let diff = mems::numerics::stats::max_abs_diff(&x_hand, &x_gen);
+    let scale = x_hand.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    assert!(
+        diff < scale * 1e-9,
+        "hand-written vs generated diverge: {diff:e} (scale {scale:e})"
+    );
+}
+
+#[test]
+fn settled_displacement_matches_closed_form_equilibrium() {
+    let model = HdlModel::compile(LISTING1, "eletran", None).unwrap();
+    let x = simulate_with(&model, &[("a", 1e-4), ("d", 0.15e-3), ("er", 1.0)]);
+    let settled = mems::numerics::stats::settled_value(&x, 0.05);
+    let expect = TransverseElectrostatic::table4()
+        .static_displacement(10.0, 200.0)
+        .unwrap();
+    assert!(
+        (settled - expect).abs() < expect * 0.01,
+        "settled {settled:e} vs equilibrium {expect:e}"
+    );
+}
+
+#[test]
+fn generic_override_scales_the_response() {
+    let model = HdlModel::compile(LISTING1, "eletran", None).unwrap();
+    let x_full = simulate_with(&model, &[("a", 1e-4), ("d", 0.15e-3), ("er", 1.0)]);
+    // Half the area → half the force → half the displacement.
+    let x_half = simulate_with(&model, &[("a", 0.5e-4), ("d", 0.15e-3), ("er", 1.0)]);
+    let s_full = mems::numerics::stats::settled_value(&x_full, 0.05);
+    let s_half = mems::numerics::stats::settled_value(&x_half, 0.05);
+    assert!(
+        (s_full / s_half - 2.0).abs() < 0.02,
+        "area scaling broken: {s_full:e} vs {s_half:e}"
+    );
+    // εr = 2 doubles the force.
+    let x_er2 = simulate_with(&model, &[("a", 1e-4), ("d", 0.15e-3), ("er", 2.0)]);
+    let s_er2 = mems::numerics::stats::settled_value(&x_er2, 0.05);
+    assert!((s_er2 / s_full - 2.0).abs() < 0.03);
+}

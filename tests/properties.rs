@@ -1,0 +1,148 @@
+//! Cross-crate property-based tests (proptest): invariants of the
+//! numerical substrate, the HDL front end, and the transducer
+//! physics under randomized inputs.
+
+use mems::hdl::parser::{parse_expr, parse};
+use mems::hdl::print::{print_expr, print_module};
+use mems::hdl::symbolic::{diff, eval_closed, simplify};
+use mems::numerics::dense::DenseMatrix;
+use mems::numerics::lu::LuFactors;
+use mems::numerics::poly::{polyfit, Polynomial};
+use mems::numerics::pwl::Pwl1;
+use mems::core::TransverseElectrostatic;
+use proptest::prelude::*;
+
+proptest! {
+    /// LU solve round-trips A·x = b for random well-conditioned
+    /// matrices (diagonally dominant by construction).
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        seed in proptest::collection::vec(-1.0f64..1.0, 16),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| {
+            let v = seed[i * 4 + j];
+            if i == j { v + 8.0 } else { v }
+        });
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-9);
+        }
+    }
+
+    /// Polynomial fit of exact polynomial data reproduces it anywhere
+    /// in the fitted range.
+    #[test]
+    fn polyfit_interpolates_exact_data(
+        c0 in -2.0f64..2.0,
+        c1 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+        probe in 0.0f64..1.0,
+    ) {
+        let p = Polynomial::new(vec![c0, c1, c2]);
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 / 11.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| p.eval(*x)).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        prop_assert!((fit.eval(probe) - p.eval(probe)).abs() < 1e-9);
+    }
+
+    /// PWL tables are exact at breakpoints and within the convex hull
+    /// of neighbouring values between them.
+    #[test]
+    fn pwl_interpolation_is_bounded(
+        ys in proptest::collection::vec(-5.0f64..5.0, 6),
+        t in 0.0f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let table = Pwl1::new(xs, ys.clone()).unwrap();
+        for (i, y) in ys.iter().enumerate() {
+            prop_assert!((table.eval(i as f64) - y).abs() < 1e-12);
+        }
+        // Between breakpoints 2 and 3.
+        let v = table.eval(2.0 + t);
+        let lo = ys[2].min(ys[3]) - 1e-12;
+        let hi = ys[2].max(ys[3]) + 1e-12;
+        prop_assert!((lo..=hi).contains(&v));
+    }
+
+    /// The HDL expression pretty-printer round-trips through the
+    /// parser (print ∘ parse = identity up to spans).
+    #[test]
+    fn expr_print_parse_round_trip(
+        a in 1.0f64..100.0,
+        b in 1.0f64..100.0,
+        pick in 0usize..6,
+    ) {
+        let src = match pick {
+            0 => format!("{a} + x * {b}"),
+            1 => format!("-({a} - x) / ({b} + x)"),
+            2 => format!("sin({a} * x) * cos(x / {b})"),
+            3 => format!("x ** 2.0 + sqrt({a})"),
+            4 => format!("[p, q].v * {a} - {b}"),
+            _ => format!("max(x, {a}) + min(x, {b})"),
+        };
+        let e1 = parse_expr(&src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed).unwrap();
+        prop_assert!(e1.structurally_eq(&e2), "{src} → {printed}");
+    }
+
+    /// Symbolic differentiation agrees with central finite differences
+    /// on random rational expressions.
+    #[test]
+    fn symbolic_diff_matches_finite_difference(
+        c in 0.5f64..3.0,
+        x0 in 0.5f64..2.0,
+    ) {
+        let src = format!("{c} * x * x / ({c} + x) + sqrt(x)");
+        let e = parse_expr(&src).unwrap();
+        let d = simplify(&diff(&e, "x").unwrap());
+        let f = |x: f64| eval_closed(&e, &[("x", x)]).unwrap();
+        let h = 1e-6;
+        let fd = (f(x0 + h) - f(x0 - h)) / (2.0 * h);
+        let sym = eval_closed(&d, &[("x", x0)]).unwrap();
+        prop_assert!((fd - sym).abs() < 1e-4 * fd.abs().max(1.0));
+    }
+
+    /// Transducer physics invariants: the electrostatic force is
+    /// strictly attractive, monotone in |v| and in the gap.
+    #[test]
+    fn transverse_force_invariants(
+        v in 0.1f64..50.0,
+        x in 0.0f64..1.0e-4,
+    ) {
+        let t = TransverseElectrostatic::table4();
+        let f = t.force(v, x);
+        prop_assert!(f < 0.0, "force must be attractive");
+        // Symmetric in voltage sign.
+        prop_assert!((t.force(-v, x) - f).abs() < f.abs() * 1e-12);
+        // Larger gap → weaker attraction.
+        prop_assert!(t.force(v, x + 1e-5).abs() < f.abs());
+        // Larger voltage → stronger attraction.
+        prop_assert!(t.force(v * 1.1, x).abs() > f.abs());
+        // Consistent with the energy derivative (finite difference).
+        let h = 1e-9;
+        let dw = (t.coenergy(v, x + h) - t.coenergy(v, x - h)) / (2.0 * h);
+        prop_assert!((dw - f).abs() < f.abs() * 1e-4);
+    }
+
+    /// The generated HDL source of the energy methodology always
+    /// parses back and preserves the entity interface.
+    #[test]
+    fn generated_models_always_parse(
+        area in 1e-6f64..1e-3,
+        gap in 1e-5f64..1e-3,
+    ) {
+        let t = TransverseElectrostatic { area, gap, eps_r: 1.0 };
+        let src = t.hdl_source(mems::core::ElectricalStyle::PaperStyle).unwrap();
+        let module = parse(&src).unwrap();
+        prop_assert_eq!(module.entities.len(), 1);
+        prop_assert_eq!(module.entities[0].pins.len(), 4);
+        // Idempotent print.
+        let printed = print_module(&module);
+        let module2 = parse(&printed).unwrap();
+        prop_assert_eq!(print_module(&module2), printed);
+    }
+}

@@ -1,0 +1,49 @@
+//! Integration test: the full PXT loop — FE characterization →
+//! extraction tables → HDL-A model generation → compile → simulate →
+//! compare with the analytic transducer (paper Fig. 6 plus the
+//! piecewise-linear and harmonic variants).
+
+use mems::core::experiments::{fig6, harmonic};
+use mems::core::TransverseElectrostatic;
+use mems::pxt::codegen::pwl::generate_pwl_transducer_model;
+use mems::pxt::recipes::{
+    capacitance_vs_displacement, force_vs_voltage_displacement, PlateGapDut,
+};
+use mems::pxt::verify::verify_static_force;
+
+#[test]
+fn fig6_fe_force_matches_table3() {
+    let r = fig6::run().unwrap();
+    assert!(r.force_rel_error < 1e-6, "FE error {}", r.force_rel_error);
+    assert!((r.force_analytic + 1.9676e-6).abs() < 1e-9);
+    assert!(r.roundtrip_error < 5e-3, "roundtrip {}", r.roundtrip_error);
+}
+
+#[test]
+fn pwl_table_model_roundtrips_within_table_resolution() {
+    let dut = PlateGapDut::table4();
+    let analytic = TransverseElectrostatic::table4();
+    let xs: Vec<f64> = (0..9).map(|i| -2e-5 + 1e-5 * i as f64).collect();
+    let cap = capacitance_vs_displacement(&dut, &xs).unwrap();
+    let force = force_vs_voltage_displacement(&dut, &[5.0, 10.0, 15.0], &xs).unwrap();
+    let model = generate_pwl_transducer_model("pwltran", &cap, &force).unwrap();
+    // Verify at points *between* breakpoints — the table interpolates.
+    let samples: Vec<(f64, f64, f64)> = [(10.0, 5e-6), (7.5, -5e-6), (12.0, 1.5e-5)]
+        .iter()
+        .map(|&(v, x)| (v, x, analytic.force(v, x)))
+        .collect();
+    let err = verify_static_force(&model.source, "pwltran", &samples).unwrap();
+    // PWL segments over 10 µm on a 1/g² curve: sub-percent error.
+    assert!(err < 1e-2, "PWL roundtrip error {err}");
+}
+
+#[test]
+fn harmonic_dataflow_roundtrips() {
+    let r = harmonic::run().unwrap();
+    assert!(r.fit_error < 0.05, "fit error {}", r.fit_error);
+    assert!(
+        r.ac_roundtrip_error < 1e-6,
+        "AC roundtrip {}",
+        r.ac_roundtrip_error
+    );
+}
