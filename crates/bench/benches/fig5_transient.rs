@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mems_core::experiments::fig5::{run, Fig5Options};
-use mems_core::{
-    ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant,
-};
+use mems_core::{ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant};
 use mems_spice::solver::SimOptions;
 
 fn bench(c: &mut Criterion) {

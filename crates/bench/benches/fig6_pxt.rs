@@ -12,11 +12,26 @@ fn bench(c: &mut Criterion) {
         "PXT electrostatic force extraction from FE analysis",
     );
     let r = fig6::run().expect("fig6 workflow runs");
-    eprintln!("FE force (Maxwell stress) at 10 V, x = 0 : {:.6e} N", r.force_fe);
-    eprintln!("analytic Table 3 force at the same point : {:.6e} N", r.force_analytic);
-    eprintln!("relative error                           : {:.3e}", r.force_rel_error);
-    eprintln!("C(x) polynomial fit error                : {:.3e}", r.cap_fit_error);
-    eprintln!("generated-model roundtrip force error    : {:.3e}", r.roundtrip_error);
+    eprintln!(
+        "FE force (Maxwell stress) at 10 V, x = 0 : {:.6e} N",
+        r.force_fe
+    );
+    eprintln!(
+        "analytic Table 3 force at the same point : {:.6e} N",
+        r.force_analytic
+    );
+    eprintln!(
+        "relative error                           : {:.3e}",
+        r.force_rel_error
+    );
+    eprintln!(
+        "C(x) polynomial fit error                : {:.3e}",
+        r.cap_fit_error
+    );
+    eprintln!(
+        "generated-model roundtrip force error    : {:.3e}",
+        r.roundtrip_error
+    );
 
     let dut = PlateGapDut::table4();
     let mut group = c.benchmark_group("fig6");

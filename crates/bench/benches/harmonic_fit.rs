@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     let r = harmonic::run().expect("harmonic workflow runs");
     eprintln!("cantilever first mode        : {:.1} Hz", r.f1);
     eprintln!("rational fit error           : {:.3e}", r.fit_error);
-    eprintln!("AC roundtrip error           : {:.3e}", r.ac_roundtrip_error);
+    eprintln!(
+        "AC roundtrip error           : {:.3e}",
+        r.ac_roundtrip_error
+    );
     eprintln!("generated model order        : {}", r.order);
 
     // Standalone pieces for timing.
@@ -26,7 +29,9 @@ fn bench(c: &mut Criterion) {
     let beam = CantileverBeam::new(500e-6, 169e9, inertia, 2329.0 * width * thickness, 10)
         .with_rayleigh_damping(1e4, 0.0);
     let f1 = beam.natural_frequencies(1).unwrap()[0];
-    let freqs: Vec<f64> = (0..40).map(|i| f1 * (0.2 + 1.8 * i as f64 / 39.0)).collect();
+    let freqs: Vec<f64> = (0..40)
+        .map(|i| f1 * (0.2 + 1.8 * i as f64 / 39.0))
+        .collect();
     let h = beam.harmonic_tip_response(&freqs).unwrap();
     let response = FrequencyResponse::new(freqs.clone(), h);
 

@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mems_core::experiments::perf::run_comparison;
-use mems_core::{
-    ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant,
-};
+use mems_core::{ElectricalStyle, LinearizedKind, TransducerResonatorSystem, TransducerVariant};
 use mems_spice::analysis::transient::{run, TranOptions};
 use mems_spice::solver::SimOptions;
 

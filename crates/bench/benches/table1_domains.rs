@@ -7,9 +7,7 @@ use mems_core::analogy::{map_damper, map_mass, map_spring, table1, MechanicalAna
 fn bench(c: &mut Criterion) {
     mems_bench::print_banner("Table 1", "generalized variables for physical domains");
     eprintln!("{}", mems_core::analogy::render_table1());
-    eprintln!(
-        "FI analogy (paper's choice): mass → C = m, spring → L = 1/k, damper → R = 1/α"
-    );
+    eprintln!("FI analogy (paper's choice): mass → C = m, spring → L = 1/k, damper → R = 1/α");
 
     c.bench_function("table1/build_rows", |b| {
         b.iter(|| std::hint::black_box(table1()))

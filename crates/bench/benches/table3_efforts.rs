@@ -28,9 +28,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(model.derive().unwrap()))
     });
     c.bench_function("table3/full_hdl_generation", |b| {
-        b.iter(|| {
-            std::hint::black_box(model.to_hdl_source(ElectricalStyle::PaperStyle).unwrap())
-        })
+        b.iter(|| std::hint::black_box(model.to_hdl_source(ElectricalStyle::PaperStyle).unwrap()))
     });
     c.bench_function("table3/verify_all_rows", |b| {
         b.iter(|| std::hint::black_box(table3().unwrap()))

@@ -41,9 +41,8 @@ pub fn table1() -> Vec<DomainVariables> {
 /// Renders Table 1 as aligned text (used by the Table 1 bench).
 pub fn render_table1() -> String {
     let rows = table1();
-    let mut out = String::from(
-        "Domain                  Effort              Flow                 State\n",
-    );
+    let mut out =
+        String::from("Domain                  Effort              Flow                 State\n");
     for r in rows {
         out.push_str(&format!(
             "{:<22}  {:<18}  {:<19}  {} [{}]\n",
@@ -175,10 +174,7 @@ mod tests {
     #[test]
     fn effort_times_flow_is_power_in_every_domain() {
         // Dimensional spot checks for the power product of Table 1.
-        let units: Vec<(&str, &str)> = table1()
-            .iter()
-            .map(|r| (r.effort.1, r.flow.1))
-            .collect();
+        let units: Vec<(&str, &str)> = table1().iter().map(|r| (r.effort.1, r.flow.1)).collect();
         assert!(units.contains(&("N", "m/s")));
         assert!(units.contains(&("V", "A")));
         assert!(units.contains(&("Pa", "m³/s")));

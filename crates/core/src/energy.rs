@@ -113,10 +113,26 @@ impl EnergyTransducer {
                 })
                 .collect(),
             pins: vec![
-                PinDecl { name: "a".into(), nature: "electrical".into(), span: sp },
-                PinDecl { name: "b".into(), nature: "electrical".into(), span: sp },
-                PinDecl { name: "c".into(), nature: "mechanical1".into(), span: sp },
-                PinDecl { name: "d".into(), nature: "mechanical1".into(), span: sp },
+                PinDecl {
+                    name: "a".into(),
+                    nature: "electrical".into(),
+                    span: sp,
+                },
+                PinDecl {
+                    name: "b".into(),
+                    nature: "electrical".into(),
+                    span: sp,
+                },
+                PinDecl {
+                    name: "c".into(),
+                    nature: "mechanical1".into(),
+                    span: sp,
+                },
+                PinDecl {
+                    name: "d".into(),
+                    nature: "mechanical1".into(),
+                    span: sp,
+                },
             ],
             span: sp,
         };
@@ -380,9 +396,7 @@ fn contains_ident(e: &Expr, name: &str) -> bool {
     match e {
         Expr::Ident(n, _) => n == name,
         Expr::Unary { expr, .. } => contains_ident(expr, name),
-        Expr::Binary { lhs, rhs, .. } => {
-            contains_ident(lhs, name) || contains_ident(rhs, name)
-        }
+        Expr::Binary { lhs, rhs, .. } => contains_ident(lhs, name) || contains_ident(rhs, name),
         Expr::Call { args, .. } => args.iter().any(|a| contains_ident(a, name)),
         _ => false,
     }
@@ -465,10 +479,8 @@ mod tests {
                 ("d".into(), None),
                 ("n".into(), None),
             ],
-            coenergy: parse_expr(
-                "1.2566370614e-6 * area * n * n * i * i / (4.0 * (d + x))",
-            )
-            .unwrap(),
+            coenergy: parse_expr("1.2566370614e-6 * area * n * n * i * i / (4.0 * (d + x))")
+                .unwrap(),
             electrical: ElectricalKind::CurrentControlled,
             electrical_symbol: "i".into(),
         };

@@ -91,17 +91,13 @@ pub struct Fig5Result {
 impl Fig5Result {
     /// Looks up the row for a level.
     pub fn row(&self, level: f64) -> Option<&Fig5Row> {
-        self.rows
-            .iter()
-            .find(|r| (r.level - level).abs() < 1e-9)
+        self.rows.iter().find(|r| (r.level - level).abs() < 1e-9)
     }
 
     /// Renders the comparison as a Markdown-ish table (used by the
     /// bench and EXPERIMENTS.md).
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "level [V]  x_nonlinear [m]  x_linear [m]   lin/nl   verdict\n",
-        );
+        let mut out = String::from("level [V]  x_nonlinear [m]  x_linear [m]   lin/nl   verdict\n");
         for r in &self.rows {
             let ratio = r.linear_over_nonlinear();
             let verdict = if (ratio - 1.0).abs() < 0.05 {
@@ -129,13 +125,8 @@ pub fn run(opts: &Fig5Options) -> Result<Fig5Result> {
     let sim = SimOptions::default();
     let mut rows = Vec::with_capacity(opts.levels.len());
     for &level in &opts.levels {
-        let sys =
-            TransducerResonatorSystem::table4(TransducerResonatorSystem::fig5_pulse(level));
-        let nl = sys.simulate(
-            TransducerVariant::Behavioral(opts.style),
-            opts.t_stop,
-            &sim,
-        )?;
+        let sys = TransducerResonatorSystem::table4(TransducerResonatorSystem::fig5_pulse(level));
+        let nl = sys.simulate(TransducerVariant::Behavioral(opts.style), opts.t_stop, &sim)?;
         let lin = sys.simulate(
             TransducerVariant::Linearized(opts.linearized),
             opts.t_stop,

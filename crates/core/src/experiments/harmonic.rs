@@ -61,8 +61,7 @@ pub fn run() -> Result<HarmonicResult> {
     // Generate the data-flow model and verify it by AC analysis.
     let model = generate_dataflow_model("beamtf", &fit)?;
     let reference: Vec<Complex64> = freqs.iter().map(|&f| fit.eval(f)).collect();
-    let ac_roundtrip_error =
-        verify_admittance_ac(&model.source, "beamtf", &freqs, &reference)?;
+    let ac_roundtrip_error = verify_admittance_ac(&model.source, "beamtf", &freqs, &reference)?;
 
     Ok(HarmonicResult {
         f1,

@@ -245,12 +245,8 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert!((rows[0].impedance_value - 5.9028e-12).abs() < 1e-15);
         // Energy = ½CV² consistency on every capacitive/inductive row.
-        assert!(
-            (rows[0].energy_value - 0.5 * rows[0].impedance_value * 100.0).abs() < 1e-22
-        );
-        assert!(
-            (rows[2].energy_value - 0.5 * rows[2].impedance_value * 0.01).abs() < 1e-18
-        );
+        assert!((rows[0].energy_value - 0.5 * rows[0].impedance_value * 100.0).abs() < 1e-22);
+        assert!((rows[2].energy_value - 0.5 * rows[2].impedance_value * 0.01).abs() < 1e-18);
     }
 
     #[test]

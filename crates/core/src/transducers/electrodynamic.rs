@@ -81,7 +81,10 @@ impl ElectrodynamicVoiceCoil {
             coenergy: Expr::add(
                 Expr::div(
                     Expr::mul(
-                        Expr::mul(Expr::num(MU0), Expr::mul(Expr::ident("n"), Expr::ident("r"))),
+                        Expr::mul(
+                            Expr::num(MU0),
+                            Expr::mul(Expr::ident("n"), Expr::ident("r")),
+                        ),
                         Expr::mul(Expr::ident("i"), Expr::ident("i")),
                     ),
                     Expr::num(4.0),

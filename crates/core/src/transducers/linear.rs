@@ -83,12 +83,7 @@ impl LinearizedTransducer {
         mech: NodeId,
     ) -> Result<()> {
         let gnd = circuit.ground();
-        circuit.add(Capacitor::new(
-            &format!("{name}_c0"),
-            elec,
-            gnd,
-            self.c0,
-        ))?;
+        circuit.add(Capacitor::new(&format!("{name}_c0"), elec, gnd, self.c0))?;
         match self.kind {
             LinearizedKind::Secant => {
                 // i₁ = Γ·(velocity) on the electrical side,
@@ -129,12 +124,7 @@ impl LinearizedTransducer {
                 ))?;
                 // Electrostatic spring.
                 if self.k_e > 0.0 {
-                    circuit.add(Spring::new(
-                        &format!("{name}_ke"),
-                        mech,
-                        gnd,
-                        self.k_e,
-                    ))?;
+                    circuit.add(Spring::new(&format!("{name}_ke"), mech, gnd, self.k_e))?;
                 }
             }
         }
@@ -183,10 +173,7 @@ mod tests {
     fn settled_displacement(ckt: &mut Circuit) -> f64 {
         let res = run(ckt, &TranOptions::new(90e-3), &SimOptions::default()).unwrap();
         let f = res.trace("i(k1,0)").unwrap();
-        mems_numerics::stats::settled_value(
-            &f.iter().map(|v| v / 200.0).collect::<Vec<_>>(),
-            0.05,
-        )
+        mems_numerics::stats::settled_value(&f.iter().map(|v| v / 200.0).collect::<Vec<_>>(), 0.05)
     }
 
     #[test]

@@ -129,8 +129,7 @@ mod tests {
         ];
         let f_sym = mems_hdl::symbolic::eval_closed(&derived.force, &bindings).unwrap();
         assert!((f_sym - t.force(10.0, 1e-4)).abs() < f_sym.abs() * 1e-12);
-        let q_sym =
-            mems_hdl::symbolic::eval_closed(&derived.state_conjugate, &bindings).unwrap();
+        let q_sym = mems_hdl::symbolic::eval_closed(&derived.state_conjugate, &bindings).unwrap();
         assert!((q_sym - t.capacitance(1e-4) * 10.0).abs() < q_sym.abs() * 1e-12);
     }
 

@@ -1,0 +1,138 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container this workspace builds in has no network access, so
+//! the real crates.io `criterion` cannot be fetched. This shim
+//! implements the small API subset the `mems-bench` targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`] — with plain wall-clock
+//! timing and median-of-samples reporting instead of the full
+//! statistical machinery. Swap the path dependency for the real crate
+//! when networked benchmarking is wanted; no bench source changes are
+//! needed.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one closure under the given id.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    let mut per_sample: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        b.iterations = 0;
+        f(&mut b);
+        if b.iterations > 0 {
+            per_sample.push(b.elapsed.as_secs_f64() / b.iterations as f64);
+        }
+    }
+    per_sample.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_sample.get(per_sample.len() / 2).copied().unwrap_or(0.0);
+    eprintln!("  {id}: median {:.3e} s/iter ({samples} samples)", median);
+}
+
+/// Timing handle passed to the benchmarked closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of the
+/// `std` hint for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -34,7 +34,13 @@ impl CantileverBeam {
     /// # Panics
     ///
     /// Panics on non-positive parameters.
-    pub fn new(length: f64, youngs: f64, inertia: f64, mass_per_length: f64, n_elems: usize) -> Self {
+    pub fn new(
+        length: f64,
+        youngs: f64,
+        inertia: f64,
+        mass_per_length: f64,
+        n_elems: usize,
+    ) -> Self {
         assert!(
             length > 0.0 && youngs > 0.0 && inertia > 0.0 && mass_per_length > 0.0,
             "beam parameters must be positive"
@@ -79,9 +85,19 @@ impl CantileverBeam {
         let m = self.mass_per_length * l / 420.0;
         let me = [
             [156.0 * m, 22.0 * l * m, 54.0 * m, -13.0 * l * m],
-            [22.0 * l * m, 4.0 * l * l * m, 13.0 * l * m, -3.0 * l * l * m],
+            [
+                22.0 * l * m,
+                4.0 * l * l * m,
+                13.0 * l * m,
+                -3.0 * l * l * m,
+            ],
             [54.0 * m, 13.0 * l * m, 156.0 * m, -22.0 * l * m],
-            [-13.0 * l * m, -3.0 * l * l * m, -22.0 * l * m, 4.0 * l * l * m],
+            [
+                -13.0 * l * m,
+                -3.0 * l * l * m,
+                -22.0 * l * m,
+                4.0 * l * l * m,
+            ],
         ];
         (ke, me)
     }
@@ -257,9 +273,9 @@ mod tests {
         let freqs = beam.natural_frequencies(2).unwrap();
         // ω₁ = (1.8751)²·√(EI/(ρA·L⁴))
         let lam1 = 1.875_104_068_711_961_f64;
-        let w1 = lam1 * lam1
-            * (beam.youngs * beam.inertia / (beam.mass_per_length * beam.length.powi(4)))
-                .sqrt();
+        let w1 = lam1
+            * lam1
+            * (beam.youngs * beam.inertia / (beam.mass_per_length * beam.length.powi(4))).sqrt();
         let f1 = w1 / (2.0 * std::f64::consts::PI);
         assert!(
             (freqs[0] - f1).abs() < f1 * 1e-4,
@@ -298,7 +314,9 @@ mod tests {
     fn phase_crosses_minus_ninety_at_resonance() {
         let beam = si_cantilever(8).with_rayleigh_damping(100.0, 1e-9);
         let f1 = beam.natural_frequencies(1).unwrap()[0];
-        let h = beam.harmonic_tip_response(&[f1 * 0.9, f1, f1 * 1.1]).unwrap();
+        let h = beam
+            .harmonic_tip_response(&[f1 * 0.9, f1, f1 * 1.1])
+            .unwrap();
         let phases: Vec<f64> = h.iter().map(|z| z.arg().to_degrees()).collect();
         assert!(phases[0] > -90.0);
         assert!(phases[2] < -90.0);

@@ -137,11 +137,11 @@ mod tests {
     fn unit_square_stiffness_is_known() {
         // Classic Q4 Laplace stiffness on the unit square: diagonal 2/3.
         let k = stiffness(&UNIT, 1.0);
-        for a in 0..4 {
-            assert!((k[a][a] - 2.0 / 3.0).abs() < 1e-12);
+        for (a, row) in k.iter().enumerate() {
+            assert!((row[a] - 2.0 / 3.0).abs() < 1e-12);
             // Rows sum to zero (constant field has no energy).
-            let row: f64 = k[a].iter().sum();
-            assert!(row.abs() < 1e-13);
+            let sum: f64 = row.iter().sum();
+            assert!(sum.abs() < 1e-13);
         }
         // Opposite corner coupling −1/3, adjacent −1/6.
         assert!((k[0][2] + 1.0 / 3.0).abs() < 1e-12);

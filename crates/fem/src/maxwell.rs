@@ -116,10 +116,7 @@ mod tests {
         );
         // Scaled to the paper's area (depth = 1 cm): |F| ≈ 1.9676 µN.
         let f_total = force * 0.01;
-        assert!(
-            (f_total.abs() - 1.9676e-6).abs() < 1e-10,
-            "F = {f_total:e}"
-        );
+        assert!((f_total.abs() - 1.9676e-6).abs() < 1e-10, "F = {f_total:e}");
     }
 
     #[test]

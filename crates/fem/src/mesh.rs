@@ -35,10 +35,7 @@ impl StructuredQuadMesh {
         let mut coords = Vec::with_capacity((nx + 1) * (ny + 1));
         for j in 0..=ny {
             for i in 0..=nx {
-                coords.push((
-                    x0 + w * i as f64 / nx as f64,
-                    y0 + h * j as f64 / ny as f64,
-                ));
+                coords.push((x0 + w * i as f64 / nx as f64, y0 + h * j as f64 / ny as f64));
             }
         }
         let mut elems = Vec::with_capacity(nx * ny);

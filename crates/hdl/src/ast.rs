@@ -27,7 +27,7 @@ impl Module {
     pub fn architecture(&self, entity: &str, arch: Option<&str>) -> Option<&Architecture> {
         self.architectures
             .iter()
-            .find(|a| a.entity == entity && arch.map_or(true, |n| a.name == n))
+            .find(|a| a.entity == entity && arch.is_none_or(|n| a.name == n))
     }
 }
 
@@ -295,8 +295,14 @@ impl BinOp {
     pub fn is_boolean(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -349,9 +355,7 @@ impl Expr {
         match self {
             Expr::Num(_, s) | Expr::Bool(_, s) | Expr::Ident(_, s) => *s,
             Expr::Branch(b) => b.span,
-            Expr::Call { span, .. } | Expr::Unary { span, .. } | Expr::Binary { span, .. } => {
-                *span
-            }
+            Expr::Call { span, .. } | Expr::Unary { span, .. } | Expr::Binary { span, .. } => *span,
         }
     }
 
@@ -376,26 +380,33 @@ impl Expr {
     }
 
     /// Convenience constructor: `lhs + rhs`.
+    // These are static constructors on an AST type, not arithmetic on
+    // values — the `ops` traits don't fit (no `self`, span-less).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Add, lhs, rhs)
     }
 
     /// Convenience constructor: `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Sub, lhs, rhs)
     }
 
     /// Convenience constructor: `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Mul, lhs, rhs)
     }
 
     /// Convenience constructor: `lhs / rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Div, lhs, rhs)
     }
 
     /// Convenience constructor: unary negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(e: Expr) -> Expr {
         Expr::Unary {
             op: UnOp::Neg,
@@ -424,20 +435,38 @@ impl Expr {
                 a.pin_a == b.pin_a && a.pin_b == b.pin_b && a.quantity == b.quantity
             }
             (
-                Expr::Call { name: n1, args: a1, .. },
-                Expr::Call { name: n2, args: a2, .. },
+                Expr::Call {
+                    name: n1, args: a1, ..
+                },
+                Expr::Call {
+                    name: n2, args: a2, ..
+                },
             ) => {
                 n1 == n2
                     && a1.len() == a2.len()
                     && a1.iter().zip(a2).all(|(x, y)| x.structurally_eq(y))
             }
             (
-                Expr::Unary { op: o1, expr: e1, .. },
-                Expr::Unary { op: o2, expr: e2, .. },
+                Expr::Unary {
+                    op: o1, expr: e1, ..
+                },
+                Expr::Unary {
+                    op: o2, expr: e2, ..
+                },
             ) => o1 == o2 && e1.structurally_eq(e2),
             (
-                Expr::Binary { op: o1, lhs: l1, rhs: r1, .. },
-                Expr::Binary { op: o2, lhs: l2, rhs: r2, .. },
+                Expr::Binary {
+                    op: o1,
+                    lhs: l1,
+                    rhs: r1,
+                    ..
+                },
+                Expr::Binary {
+                    op: o2,
+                    lhs: l2,
+                    rhs: r2,
+                    ..
+                },
             ) => o1 == o2 && l1.structurally_eq(l2) && r1.structurally_eq(r2),
             _ => false,
         }
@@ -461,7 +490,11 @@ mod tests {
     fn builders_produce_expected_shapes() {
         let e = Expr::mul(Expr::ident("A"), Expr::num(2.0));
         match &e {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => match lhs.as_ref() {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => match lhs.as_ref() {
                 Expr::Ident(n, _) => assert_eq!(n, "a"),
                 other => panic!("unexpected lhs {other:?}"),
             },

@@ -422,6 +422,8 @@ mod tests {
         assert_eq!(fold_builtin(Builtin::Sgn, &[0.0]), 0.0);
         assert_eq!(fold_builtin(Builtin::Limit, &[5.0, -1.0, 1.0]), 1.0);
         assert_eq!(fold_builtin(Builtin::Min, &[2.0, -2.0]), -2.0);
-        assert!((fold_builtin(Builtin::Atan2, &[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+        assert!(
+            (fold_builtin(Builtin::Atan2, &[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-15
+        );
     }
 }

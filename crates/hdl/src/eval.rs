@@ -21,6 +21,8 @@ use mems_numerics::pwl::Pwl1;
 use mems_numerics::Complex64;
 
 /// A scalar with a (dense) gradient over the circuit unknowns.
+// `len` is the gradient dimension; an "empty" AD scalar has no meaning.
+#[allow(clippy::len_without_is_empty)]
 pub trait AdScalar: Clone + std::fmt::Debug {
     /// Gradient entry type.
     type Grad: Copy;
@@ -147,8 +149,7 @@ impl AdScalar for DualReal {
     fn chain2(f: f64, dfa: f64, a: &Self, dfb: f64, b: &Self) -> Self {
         DualReal {
             v: f,
-            g: a
-                .g
+            g: a.g
                 .iter()
                 .zip(&b.g)
                 .map(|(x, y)| dfa * x + dfb * y)
@@ -273,8 +274,7 @@ impl AdScalar for DualComplex {
     fn chain2(f: f64, dfa: f64, a: &Self, dfb: f64, b: &Self) -> Self {
         DualComplex {
             v: f,
-            g: a
-                .g
+            g: a.g
                 .iter()
                 .zip(&b.g)
                 .map(|(x, y)| *x * dfa + *y * dfb)
@@ -718,7 +718,13 @@ impl<'a, S: AdScalar> Evaluator<'a, S> {
                 // at the very first evaluation is wrong; instead treat
                 // the pre-step value as x_prev = committed or current).
                 let (x_prev, dx_prev, x_prev2, h_prev, have2) = if hist.primed {
-                    (hist.x_prev, hist.dx_prev, hist.x_prev2, hist.h_prev, hist.primed2)
+                    (
+                        hist.x_prev,
+                        hist.dx_prev,
+                        hist.x_prev2,
+                        hist.h_prev,
+                        hist.primed2,
+                    )
                 } else {
                     (x.value(), 0.0, x.value(), h, false)
                 };

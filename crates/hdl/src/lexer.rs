@@ -129,12 +129,7 @@ impl<'s> Lexer<'s> {
                 b'"' => self.string(start)?,
                 c if c.is_ascii_digit() => self.number(start)?,
                 c if c.is_ascii_alphabetic() || c == b'_' => self.ident(start),
-                c => {
-                    return Err(self.err(
-                        start,
-                        &format!("unexpected character `{}`", c as char),
-                    ))
-                }
+                c => return Err(self.err(start, &format!("unexpected character `{}`", c as char))),
             };
             out.push(Token {
                 kind,
@@ -196,11 +191,7 @@ impl<'s> Lexer<'s> {
         while self.peek().is_some_and(|c| c.is_ascii_digit()) {
             self.pos += 1;
         }
-        if self.peek() == Some(b'.')
-            && self
-                .bytes
-                .get(self.pos + 1)
-                .is_some_and(u8::is_ascii_digit)
+        if self.peek() == Some(b'.') && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
         {
             self.pos += 1;
             while self.peek().is_some_and(|c| c.is_ascii_digit()) {
@@ -309,9 +300,18 @@ mod tests {
 
     #[test]
     fn numbers_with_exponents() {
-        assert_eq!(kinds("8.8542e-12"), vec![TokenKind::Number(8.8542e-12), TokenKind::Eof]);
-        assert_eq!(kinds("1.0E-4"), vec![TokenKind::Number(1.0e-4), TokenKind::Eof]);
-        assert_eq!(kinds("2e3"), vec![TokenKind::Number(2000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("8.8542e-12"),
+            vec![TokenKind::Number(8.8542e-12), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("1.0E-4"),
+            vec![TokenKind::Number(1.0e-4), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("2e3"),
+            vec![TokenKind::Number(2000.0), TokenKind::Eof]
+        );
         assert_eq!(kinds("42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
         assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5), TokenKind::Eof]);
     }

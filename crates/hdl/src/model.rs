@@ -80,12 +80,8 @@ impl HdlModel {
     /// failures in the `init` program.
     pub fn instantiate(&self, name: &str, generics: &[(&str, f64)]) -> Result<Instance> {
         // Bind generics.
-        let mut values: Vec<Option<f64>> = self
-            .compiled
-            .generics
-            .iter()
-            .map(|g| g.default)
-            .collect();
+        let mut values: Vec<Option<f64>> =
+            self.compiled.generics.iter().map(|g| g.default).collect();
         for (gname, gval) in generics {
             let idx = self.compiled.generic_index(gname).ok_or_else(|| {
                 HdlError::Elab(format!(
@@ -269,11 +265,7 @@ impl Instance {
 
 /// Folds a constant expression allowing reads of already-folded
 /// objects (constants in declaration order).
-fn fold_with_objects(
-    expr: &CExpr,
-    generics: &[f64],
-    objects: &[Option<f64>],
-) -> Result<f64> {
+fn fold_with_objects(expr: &CExpr, generics: &[f64], objects: &[Option<f64>]) -> Result<f64> {
     Ok(match expr {
         CExpr::Const(v) => *v,
         CExpr::Generic(i) => generics[*i],

@@ -43,11 +43,7 @@ pub fn parse(src: &str) -> Result<Module> {
             Tk::Eof => return Ok(module),
             Tk::Keyword(Kw::Entity) => module.entities.push(p.entity()?),
             Tk::Keyword(Kw::Architecture) => module.architectures.push(p.architecture()?),
-            other => {
-                return Err(p.error(format!(
-                    "expected ENTITY or ARCHITECTURE, found {other}"
-                )))
-            }
+            other => return Err(p.error(format!("expected ENTITY or ARCHITECTURE, found {other}"))),
         }
     }
 }
@@ -432,9 +428,7 @@ impl Parser {
                             self.bump();
                             s
                         }
-                        other => {
-                            return Err(self.error(format!("expected string, found {other}")))
-                        }
+                        other => return Err(self.error(format!("expected string, found {other}"))),
                     }
                 } else {
                     "assertion failed".to_string()
@@ -752,7 +746,10 @@ END ARCHITECTURE a;
         let e = &m.entities[0];
         assert_eq!(e.name, "eletran");
         assert_eq!(
-            e.generics.iter().map(|g| g.name.as_str()).collect::<Vec<_>>(),
+            e.generics
+                .iter()
+                .map(|g| g.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["a", "d", "er"]
         );
         assert_eq!(e.pins.len(), 4);
@@ -766,7 +763,9 @@ END ARCHITECTURE a;
         assert_eq!(a.decls[1].kind, ObjectKind::State);
         assert_eq!(a.relation.blocks.len(), 2);
         match &a.relation.blocks[1] {
-            Block::Procedural { contexts, stmts, .. } => {
+            Block::Procedural {
+                contexts, stmts, ..
+            } => {
                 assert_eq!(contexts, &vec![Ctx::Ac, Ctx::Transient]);
                 assert_eq!(stmts.len(), 5);
                 assert!(matches!(stmts[4], Stmt::Contribute { .. }));
@@ -779,7 +778,11 @@ END ARCHITECTURE a;
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -791,7 +794,11 @@ END ARCHITECTURE a;
         // -a*b parses as (-a)*b.
         let e = parse_expr("-a*b").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(*lhs, Expr::Unary { op: UnOp::Neg, .. }));
             }
             other => panic!("{other:?}"),
@@ -802,7 +809,11 @@ END ARCHITECTURE a;
     fn power_is_right_associative() {
         let e = parse_expr("2 ** 3 ** 2").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Pow, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Pow,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Pow, .. }));
             }
             other => panic!("{other:?}"),
@@ -813,7 +824,11 @@ END ARCHITECTURE a;
     fn branch_reads_in_expressions() {
         let e = parse_expr("[a, b].v * 2.0").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => match *lhs {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => match *lhs {
                 Expr::Branch(b) => {
                     assert_eq!(b.pin_a, "a");
                     assert_eq!(b.pin_b, "b");
@@ -848,7 +863,9 @@ END ARCHITECTURE a;
         let m = parse(src).unwrap();
         match &m.architectures[0].relation.blocks[0] {
             Block::Procedural { stmts, .. } => match &stmts[0] {
-                Stmt::If { arms, otherwise, .. } => {
+                Stmt::If {
+                    arms, otherwise, ..
+                } => {
                     assert_eq!(arms.len(), 2);
                     assert_eq!(otherwise.len(), 1);
                 }
@@ -875,8 +892,12 @@ END ARCHITECTURE a;
         let m = parse(src).unwrap();
         match &m.architectures[0].relation.blocks[0] {
             Block::Procedural { stmts, .. } => {
-                assert!(matches!(&stmts[0], Stmt::Assert { message, .. } if message == "overvoltage"));
-                assert!(matches!(&stmts[1], Stmt::Report { message, .. } if message == "evaluated"));
+                assert!(
+                    matches!(&stmts[0], Stmt::Assert { message, .. } if message == "overvoltage")
+                );
+                assert!(
+                    matches!(&stmts[1], Stmt::Report { message, .. } if message == "evaluated")
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -901,7 +922,11 @@ END ARCHITECTURE a;
         let default = m.entities[0].generics[0].default.as_ref().unwrap();
         assert!(default.structurally_eq(&Expr::num(2.0)));
         match &m.architectures[0].relation.blocks[1] {
-            Block::Equation { equations, contexts, .. } => {
+            Block::Equation {
+                equations,
+                contexts,
+                ..
+            } => {
                 assert_eq!(equations.len(), 1);
                 assert_eq!(contexts.len(), 3);
             }

@@ -76,7 +76,9 @@ pub fn print_architecture(a: &Architecture) -> String {
     out.push_str("BEGIN\n  RELATION\n");
     for b in &a.relation.blocks {
         match b {
-            Block::Procedural { contexts, stmts, .. } => {
+            Block::Procedural {
+                contexts, stmts, ..
+            } => {
                 let ctxs: Vec<&str> = contexts.iter().map(|c| c.name()).collect();
                 out.push_str(&format!("    PROCEDURAL FOR {} =>\n", ctxs.join(", ")));
                 for s in stmts {

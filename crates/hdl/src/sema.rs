@@ -4,8 +4,8 @@
 
 use crate::ast::{self, Block, Ctx, Expr, ObjectKind, Stmt};
 use crate::compile::{
-    fold_const, Builtin, BranchInfo, CExpr, CStmt, CompiledModel, GenericInfo, ObjectInfo,
-    PinInfo, TableSpec,
+    fold_const, BranchInfo, Builtin, CExpr, CStmt, CompiledModel, GenericInfo, ObjectInfo, PinInfo,
+    TableSpec,
 };
 use crate::error::{HdlError, Result};
 use crate::nature::{Nature, QuantityKind};
@@ -98,10 +98,7 @@ impl<'a> Lowering<'a> {
     fn declare_interface(&mut self) -> Result<()> {
         for g in &self.ent.generics {
             if self.generic_slots.contains_key(&g.name) {
-                return Err(Self::err(
-                    format!("duplicate generic `{}`", g.name),
-                    g.span,
-                ));
+                return Err(Self::err(format!("duplicate generic `{}`", g.name), g.span));
             }
             let default = match &g.default {
                 Some(e) => {
@@ -126,9 +123,8 @@ impl<'a> Lowering<'a> {
             if self.pin_slots.contains_key(&p.name) {
                 return Err(Self::err(format!("duplicate pin `{}`", p.name), p.span));
             }
-            let nature = Nature::from_name(&p.nature).ok_or_else(|| {
-                Self::err(format!("unknown nature `{}`", p.nature), p.span)
-            })?;
+            let nature = Nature::from_name(&p.nature)
+                .ok_or_else(|| Self::err(format!("unknown nature `{}`", p.nature), p.span))?;
             self.pin_slots.insert(p.name.clone(), self.pins.len());
             self.pins.push(PinInfo {
                 name: p.name.clone(),
@@ -303,13 +299,7 @@ impl<'a> Lowering<'a> {
         })
     }
 
-    fn lower_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        span: Span,
-        pos: ExprPos,
-    ) -> Result<CExpr> {
+    fn lower_call(&mut self, name: &str, args: &[Expr], span: Span, pos: ExprPos) -> Result<CExpr> {
         match name {
             "ddt" => {
                 if pos != ExprPos::Runtime {
@@ -371,7 +361,7 @@ impl<'a> Lowering<'a> {
                         span,
                     ));
                 }
-                if args.len() < 5 || args.len() % 2 == 0 {
+                if args.len() < 5 || args.len().is_multiple_of(2) {
                     return Err(Self::err(
                         "`table1d(x, x0, y0, x1, y1, …)` needs an abscissa plus at \
                          least two breakpoint pairs"
@@ -400,9 +390,8 @@ impl<'a> Lowering<'a> {
                 Ok(CExpr::Time)
             }
             _ => {
-                let (builtin, arity) = Builtin::lookup(name).ok_or_else(|| {
-                    Self::err(format!("unknown function `{name}`"), span)
-                })?;
+                let (builtin, arity) = Builtin::lookup(name)
+                    .ok_or_else(|| Self::err(format!("unknown function `{name}`"), span))?;
                 if args.len() != arity {
                     return Err(Self::err(
                         format!("`{name}` takes {arity} argument(s), got {}", args.len()),
@@ -447,9 +436,7 @@ impl<'a> Lowering<'a> {
                                     self.has_ac_block = true;
                                     self.ac_program.extend(lowered.iter().cloned());
                                 }
-                                Ctx::Transient => {
-                                    self.tran_program.extend(lowered.iter().cloned())
-                                }
+                                Ctx::Transient => self.tran_program.extend(lowered.iter().cloned()),
                                 Ctx::Init => unreachable!("checked above"),
                             }
                         }
@@ -537,9 +524,10 @@ impl<'a> Lowering<'a> {
                     value,
                     span,
                 } => {
-                    let slot = *self.object_slots.get(target).ok_or_else(|| {
-                        Self::err(format!("unknown object `{target}`"), *span)
-                    })?;
+                    let slot = *self
+                        .object_slots
+                        .get(target)
+                        .ok_or_else(|| Self::err(format!("unknown object `{target}`"), *span))?;
                     match self.objects[slot].kind {
                         ObjectKind::Variable | ObjectKind::State => {}
                         ObjectKind::Constant => {
@@ -591,9 +579,7 @@ impl<'a> Lowering<'a> {
                     }
                 }
                 Stmt::If {
-                    arms,
-                    otherwise,
-                    ..
+                    arms, otherwise, ..
                 } => {
                     let mut carms = Vec::with_capacity(arms.len());
                     for (cond, body) in arms {
@@ -607,11 +593,7 @@ impl<'a> Lowering<'a> {
                         otherwise: self.lower_stmts(otherwise, init_ctx)?,
                     }
                 }
-                Stmt::Assert {
-                    cond,
-                    message,
-                    ..
-                } => CStmt::Assert {
+                Stmt::Assert { cond, message, .. } => CStmt::Assert {
                     cond: self.lower_expr(cond, pos)?,
                     message: message.clone(),
                 },
@@ -956,14 +938,20 @@ END ARCHITECTURE a;"#;
     fn duplicate_names_rejected() {
         let src = "ENTITY x IS GENERIC (g, g : analog); END ENTITY x;
                    ARCHITECTURE a OF x IS BEGIN RELATION END RELATION; END ARCHITECTURE a;";
-        assert!(compile_src(src, "x").unwrap_err().to_string().contains("duplicate"));
+        assert!(compile_src(src, "x")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]
     fn missing_entity_reports_cleanly() {
-        let err = compile_src("ENTITY y IS END ENTITY y;
-            ARCHITECTURE a OF y IS BEGIN RELATION END RELATION; END ARCHITECTURE a;", "zz")
-            .unwrap_err();
+        let err = compile_src(
+            "ENTITY y IS END ENTITY y;
+            ARCHITECTURE a OF y IS BEGIN RELATION END RELATION; END ARCHITECTURE a;",
+            "zz",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("no entity"));
     }
 }

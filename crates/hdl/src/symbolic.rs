@@ -308,9 +308,7 @@ pub fn eval_closed(e: &Expr, bindings: &[(&str, f64)]) -> Result<f64> {
                 .map(|a| eval_closed(a, bindings))
                 .collect::<Result<_>>()?;
             match crate::compile::Builtin::lookup(name) {
-                Some((b, arity)) if arity == vals.len() => {
-                    crate::compile::fold_builtin(b, &vals)
-                }
+                Some((b, arity)) if arity == vals.len() => crate::compile::fold_builtin(b, &vals),
                 _ => {
                     return Err(HdlError::Eval(format!(
                         "cannot evaluate call to `{name}` here"
@@ -356,8 +354,7 @@ mod tests {
                 *v = x0 - h;
             }
         }
-        let fd = (eval_closed(&e, &plus).unwrap() - eval_closed(&e, &minus).unwrap())
-            / (2.0 * h);
+        let fd = (eval_closed(&e, &plus).unwrap() - eval_closed(&e, &minus).unwrap()) / (2.0 * h);
         let sym = eval_closed(&de, bindings).unwrap();
         assert!(
             (fd - sym).abs() <= 1e-5 * fd.abs().max(1.0),
@@ -437,8 +434,7 @@ mod tests {
         assert!(simplify(&parse_expr("x * 0.0").unwrap()).structurally_eq(&Expr::num(0.0)));
         assert!(simplify(&parse_expr("x - x").unwrap()).structurally_eq(&Expr::num(0.0)));
         assert!(simplify(&parse_expr("x ** 1.0").unwrap()).structurally_eq(&Expr::ident("x")));
-        assert!(simplify(&parse_expr("2.0 + 3.0 * 4.0").unwrap())
-            .structurally_eq(&Expr::num(14.0)));
+        assert!(simplify(&parse_expr("2.0 + 3.0 * 4.0").unwrap()).structurally_eq(&Expr::num(14.0)));
     }
 
     #[test]

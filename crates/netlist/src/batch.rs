@@ -1,0 +1,495 @@
+//! Batch scenario engine: `.STEP` parameter sweeps and `.MC` Monte
+//! Carlo, re-elaborating the deck per point and running points in
+//! parallel across threads.
+//!
+//! Determinism: every point's parameter values are derived from a
+//! splitmix64 hash of `(seed, point index, variable index)` — never
+//! from execution order — so results are bit-identical for any thread
+//! count. Per-point failures (non-convergence, pull-in asserts, …) are
+//! recorded and the batch continues: a Monte Carlo run that loses a
+//! few collapsed points still reports yield.
+
+use crate::ast::{Deck, McDist, StepValues};
+use crate::elab::{run_elaborated, AnalysisOutcome, DeckRun, Elaborator, ParamEnv};
+use crate::error::{NetlistError, Result};
+use mems_numerics::stats::{self, TraceStats};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Batch execution options.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+}
+
+/// One batch point's parameter assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPoint {
+    /// Point index (stable across thread counts).
+    pub index: usize,
+    /// Ordered `(param, value)` overrides for this point.
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl BatchPoint {
+    fn env(&self) -> ParamEnv {
+        self.overrides.iter().cloned().collect()
+    }
+}
+
+/// A scalar extracted from one point's analyses, e.g.
+/// `tran:v(out):settled`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (`analysis:label:statistic`).
+    pub name: String,
+    /// Value at this point.
+    pub value: f64,
+}
+
+/// Outcome of one batch point.
+#[derive(Debug)]
+pub struct PointResult {
+    /// The parameter assignment.
+    pub point: BatchPoint,
+    /// Extracted metrics, or the failure description.
+    pub outcome: std::result::Result<Vec<Metric>, String>,
+}
+
+/// A finished batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-point results, ordered by point index.
+    pub points: Vec<PointResult>,
+    /// Thread count actually used.
+    pub threads_used: usize,
+}
+
+impl BatchResult {
+    /// Points that simulated successfully.
+    pub fn ok_count(&self) -> usize {
+        self.points.iter().filter(|p| p.outcome.is_ok()).count()
+    }
+
+    /// Aggregates each metric across successful points
+    /// (name → statistics), sorted by metric name.
+    pub fn aggregate(&self) -> Vec<(String, TraceStats)> {
+        let mut by_name: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for p in &self.points {
+            if let Ok(metrics) = &p.outcome {
+                for m in metrics {
+                    by_name.entry(m.name.clone()).or_default().push(m.value);
+                }
+            }
+        }
+        by_name
+            .into_iter()
+            .filter_map(|(name, values)| stats::stats(&values).map(|s| (name, s)))
+            .collect()
+    }
+}
+
+/// Expands the deck's `.STEP`/`.MC` cards into the point list.
+///
+/// `.STEP` alone yields its range/list; `.MC` alone yields `n`
+/// sampled points; both together yield the cross product (each sweep
+/// value Monte-Carlo'd).
+///
+/// # Errors
+///
+/// [`NetlistError::Elab`] when the deck has neither card, when a
+/// swept/perturbed parameter has no `.PARAM` definition, or when a
+/// range is malformed.
+pub fn batch_points(deck: &Deck) -> Result<Vec<BatchPoint>> {
+    let nominal = crate::elab::param_env(deck, &ParamEnv::new())?;
+    let step_sets: Vec<Vec<(String, f64)>> = match &deck.step {
+        Some(card) => {
+            if !nominal.contains_key(&card.param) {
+                return Err(NetlistError::elab_at(
+                    format!("`.STEP` sweeps undeclared parameter `{}`", card.param),
+                    card.span,
+                ));
+            }
+            let values = match &card.values {
+                StepValues::Range { start, stop, step } => {
+                    let (v0, v1, dv) = (
+                        start.eval(&nominal)?,
+                        stop.eval(&nominal)?,
+                        step.eval(&nominal)?,
+                    );
+                    crate::elab::linear_points(v0, v1, dv)
+                        .ok_or_else(|| NetlistError::elab_at("bad `.STEP` range", card.span))?
+                }
+                StepValues::List(exprs) => {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        out.push(e.eval(&nominal)?);
+                    }
+                    out
+                }
+            };
+            values
+                .into_iter()
+                .map(|v| vec![(card.param.clone(), v)])
+                .collect()
+        }
+        None => vec![Vec::new()],
+    };
+
+    let mc_sets: Vec<Vec<(String, f64)>> = match &deck.mc {
+        Some(card) => {
+            let n = card.n.eval(&nominal)?.round();
+            if !(1.0..=1e6).contains(&n) {
+                return Err(NetlistError::elab_at(
+                    format!("`.MC` point count must be in 1..=1e6, got {n}"),
+                    card.span,
+                ));
+            }
+            let seed = match &card.seed {
+                Some(e) => e.eval(&nominal)?.abs() as u64,
+                None => 1,
+            };
+            let mut vars = Vec::with_capacity(card.vars.len());
+            for v in &card.vars {
+                let nominal_value = *nominal.get(&v.param).ok_or_else(|| {
+                    NetlistError::elab_at(
+                        format!("`.MC` perturbs undeclared parameter `{}`", v.param),
+                        card.span,
+                    )
+                })?;
+                vars.push((
+                    v.param.clone(),
+                    nominal_value,
+                    v.tol.eval(&nominal)?,
+                    v.dist,
+                ));
+            }
+            (0..n as usize)
+                .map(|i| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(j, (name, nom, tol, dist))| {
+                            (name.clone(), sample(seed, i, j, *nom, *tol, *dist))
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        None => vec![Vec::new()],
+    };
+
+    if deck.step.is_none() && deck.mc.is_none() {
+        return Err(NetlistError::Elab {
+            message: "deck has no `.STEP` or `.MC` card to batch over".into(),
+            span: None,
+        });
+    }
+
+    let mut points = Vec::with_capacity(step_sets.len() * mc_sets.len());
+    for s in &step_sets {
+        for m in &mc_sets {
+            let mut overrides = s.clone();
+            overrides.extend(m.iter().cloned());
+            points.push(BatchPoint {
+                index: points.len(),
+                overrides,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Deterministic per-(seed, point, variable) sample.
+fn sample(seed: u64, point: usize, var: usize, nominal: f64, tol: f64, dist: McDist) -> f64 {
+    let key = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((point as u64) << 20)
+        .wrapping_add(var as u64);
+    match dist {
+        McDist::Uniform => {
+            let u = unit(splitmix64(key));
+            nominal * (1.0 + tol * (2.0 * u - 1.0))
+        }
+        McDist::Gauss => {
+            // Box–Muller; tol is the 3σ bound.
+            let u1 = unit(splitmix64(key)).max(1e-12);
+            let u2 = unit(splitmix64(key.wrapping_add(0x5bf0_3635)));
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            nominal * (1.0 + tol / 3.0 * z)
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs the deck's batch: expands points, simulates them across
+/// worker threads, and extracts metrics.
+///
+/// # Errors
+///
+/// Point-expansion errors abort; per-point simulation failures are
+/// recorded in the result instead.
+pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
+    let points = batch_points(deck)?;
+    // Fail fast on decks whose models don't compile at all.
+    Elaborator::new(deck)?;
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    }
+    .min(points.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PointResult>>> = {
+        let mut v = Vec::with_capacity(points.len());
+        v.resize_with(points.len(), || None);
+        Mutex::new(v)
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Each worker compiles its own model set: HdlModel is
+                // cheap to build and this keeps the hot path lock-free.
+                let elab = match Elaborator::new(deck) {
+                    Ok(e) => e,
+                    Err(_) => return, // already surfaced by the fail-fast above
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let point = points[i].clone();
+                    let outcome = simulate_point(&elab, &point);
+                    results.lock().expect("no poisoned batch lock")[i] =
+                        Some(PointResult { point, outcome });
+                }
+            });
+        }
+    });
+
+    let points = results
+        .into_inner()
+        .expect("no poisoned batch lock")
+        .into_iter()
+        .map(|p| p.expect("every point visited"))
+        .collect();
+    Ok(BatchResult {
+        points,
+        threads_used: threads,
+    })
+}
+
+fn simulate_point(
+    elab: &Elaborator<'_>,
+    point: &BatchPoint,
+) -> std::result::Result<Vec<Metric>, String> {
+    match run_elaborated(elab, &point.env()) {
+        Ok(run) => Ok(extract_metrics(elab.deck(), &run)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Flattens a point's analyses into scalar metrics.
+fn extract_metrics(deck: &Deck, run: &DeckRun) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let mut push = |name: String, value: f64| out.push(Metric { name, value });
+    for (card, outcome) in &run.outcomes {
+        let kind = card.kind_name();
+        match outcome {
+            AnalysisOutcome::Op(op) => {
+                for label in deck.print_labels(kind, &op.layout.labels) {
+                    if let Some(v) = op.by_label(&label) {
+                        push(format!("op:{label}"), v);
+                    }
+                }
+            }
+            AnalysisOutcome::Dc { result, .. } => {
+                let all = result
+                    .points
+                    .first()
+                    .map(|p| p.layout.labels.clone())
+                    .unwrap_or_default();
+                for label in deck.print_labels(kind, &all) {
+                    if let Some(trace) = result.trace(&label) {
+                        if let Some(last) = trace.last() {
+                            push(format!("dc:{label}:last"), *last);
+                        }
+                        if let Some((_, peak)) = stats::peak(&trace) {
+                            push(format!("dc:{label}:peak"), peak);
+                        }
+                    }
+                }
+            }
+            AnalysisOutcome::Ac(ac) => {
+                for label in deck.print_labels(kind, &ac.labels) {
+                    if let Some(mag) = ac.magnitude(&label) {
+                        if let Some((i, peak)) = stats::peak(&mag) {
+                            push(format!("ac:{label}:peak_mag"), peak.abs());
+                            push(format!("ac:{label}:f_peak"), ac.freqs[i]);
+                        }
+                    }
+                }
+            }
+            AnalysisOutcome::Tran(tr) => {
+                for label in deck.print_labels(kind, &tr.labels) {
+                    if let Some(trace) = tr.trace(&label) {
+                        push(
+                            format!("tran:{label}:settled"),
+                            stats::settled_value(&trace, 0.1),
+                        );
+                        if let Some((_, peak)) = stats::peak(&trace) {
+                            push(format!("tran:{label}:peak"), peak);
+                        }
+                        if let Some(s) = stats::stats(&trace) {
+                            push(format!("tran:{label}:rms"), s.rms);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STEP_DECK: &str = "\
+stepped divider
+.param vin=10 rbot=1k
+Vs in 0 {vin}
+R1 in out 1k
+R2 out 0 {rbot}
+.op
+.print op v(out)
+.step param rbot 500 2000 500
+";
+
+    #[test]
+    fn step_points_expand_inclusively() {
+        let deck = Deck::parse(STEP_DECK).unwrap();
+        let points = batch_points(&deck).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].overrides, vec![("rbot".to_string(), 500.0)]);
+        assert_eq!(points[3].overrides, vec![("rbot".to_string(), 2000.0)]);
+    }
+
+    #[test]
+    fn step_batch_matches_analytic_divider() {
+        let deck = Deck::parse(STEP_DECK).unwrap();
+        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        assert_eq!(result.ok_count(), 4);
+        for p in &result.points {
+            let rbot = p.point.overrides[0].1;
+            let expect = 10.0 * rbot / (1000.0 + rbot);
+            let metrics = p.outcome.as_ref().unwrap();
+            let vout = metrics
+                .iter()
+                .find(|m| m.name == "op:v(out)")
+                .expect("metric present");
+            assert!((vout.value - expect).abs() < 1e-6);
+        }
+        let agg = result.aggregate();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].1.n, 4);
+    }
+
+    #[test]
+    fn mc_points_are_deterministic_and_within_tolerance() {
+        let deck = Deck::parse(
+            "mc divider\n.param r=1000\nVs in 0 5\nR1 in out {r}\nR2 out 0 1k\n.op\n.mc 40 seed=9 r tol=0.05\n",
+        )
+        .unwrap();
+        let a = batch_points(&deck).unwrap();
+        let b = batch_points(&deck).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        for p in &a {
+            let r = p.overrides[0].1;
+            assert!((950.0..=1050.0).contains(&r), "r = {r}");
+        }
+        // Not all identical.
+        assert!(a.iter().any(|p| p.overrides[0].1 != a[0].overrides[0].1));
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let deck = Deck::parse(
+            "mc divider\n.param r=1000\nVs in 0 5\nR1 in out {r}\nR2 out 0 1k\n.op\n.print op v(out)\n.mc 32 seed=3 r tol=0.1\n",
+        )
+        .unwrap();
+        let one = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
+        let many = run_batch(&deck, &BatchOptions { threads: 8 }).unwrap();
+        assert_eq!(one.points.len(), 32);
+        assert_eq!(one.threads_used, 1);
+        for (p1, pn) in one.points.iter().zip(&many.points) {
+            assert_eq!(p1.point, pn.point);
+            let (m1, mn) = (p1.outcome.as_ref().unwrap(), pn.outcome.as_ref().unwrap());
+            assert_eq!(m1.len(), mn.len());
+            for (a, b) in m1.iter().zip(mn) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn step_times_mc_is_a_cross_product() {
+        let deck = Deck::parse(
+            "x\n.param a=1 b=2\nVs in 0 {a}\nR1 in 0 {b}\n.op\n.step param a 1 3 1\n.mc 4 b tol=0.1\n",
+        )
+        .unwrap();
+        let points = batch_points(&deck).unwrap();
+        assert_eq!(points.len(), 12);
+        assert_eq!(points[0].overrides.len(), 2);
+    }
+
+    #[test]
+    fn gauss_sampling_stays_reasonable() {
+        let deck = Deck::parse(
+            "g\n.param m=1\nVs in 0 1\nR1 in 0 {m}\n.op\n.mc 200 m tol=0.09 dist=gauss\n",
+        )
+        .unwrap();
+        let points = batch_points(&deck).unwrap();
+        let vals: Vec<f64> = points.iter().map(|p| p.overrides[0].1).collect();
+        let s = stats::stats(&vals).unwrap();
+        assert!((s.mean - 1.0).abs() < 0.01, "mean = {}", s.mean);
+        // σ = 0.03 ⇒ essentially everything within ±5σ.
+        assert!(s.min > 0.85 && s.max < 1.15, "range [{}, {}]", s.min, s.max);
+    }
+
+    #[test]
+    fn batch_without_cards_is_an_error() {
+        let deck = Deck::parse("t\nR1 a 0 1\n.op\n").unwrap();
+        assert!(batch_points(&deck).is_err());
+    }
+
+    #[test]
+    fn failed_points_are_recorded_not_fatal() {
+        // rbot sweeps through 0 ⇒ that point fails to build.
+        let deck = Deck::parse(
+            "f\n.param rbot=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {rbot}\n.op\n.step param rbot LIST 1k 0 2k\n",
+        )
+        .unwrap();
+        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        assert_eq!(result.points.len(), 3);
+        assert_eq!(result.ok_count(), 2);
+        assert!(result.points[1].outcome.is_err());
+    }
+}

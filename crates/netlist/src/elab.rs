@@ -1,0 +1,833 @@
+//! Elaboration: deck AST → [`mems_spice::Circuit`], plus analysis
+//! dispatch for the deck's analysis cards.
+//!
+//! Elaboration is re-runnable with parameter overrides — the batch
+//! engine calls [`Elaborator::build`] once per `.STEP`/`.MC` point —
+//! and node natures flow from three sources: explicit `.NODE`
+//! declarations, mechanical sugar (mass/spring/damper nodes default to
+//! `mechanical1`), and HDL entity pin declarations.
+
+use crate::ast::*;
+use crate::error::{NetlistError, Result};
+use crate::expr::NumExpr;
+use mems_hdl::model::HdlModel;
+use mems_hdl::Nature;
+use mems_spice::analysis::ac::{run as run_ac, FreqSweep};
+use mems_spice::analysis::dcop;
+use mems_spice::analysis::sweep::{dc_sweep, SweepResult};
+use mems_spice::analysis::transient::{run as run_tran, TranOptions};
+use mems_spice::circuit::Circuit;
+use mems_spice::devices::{
+    AcSpec, Capacitor, Cccs, Ccvs, CurrentSource, Damper, Gyrator, HdlDevice, IdealTransformer,
+    Inductor, Mass, ProductVccs, Resistor, Spring, Vccs, Vcvs, VoltageSource,
+};
+use mems_spice::output::{AcResult, OpSolution, TranResult};
+use mems_spice::solver::SimOptions;
+use mems_spice::wave::Waveform;
+use std::collections::HashMap;
+
+/// Parameter environment: lower-cased name → value.
+pub type ParamEnv = HashMap<String, f64>;
+
+/// Evaluates the deck's `.PARAM` chain under `overrides` (override
+/// wins over the defining expression; later definitions may reference
+/// earlier ones).
+///
+/// # Errors
+///
+/// Propagates expression-evaluation failures with their spans.
+pub fn param_env(deck: &Deck, overrides: &ParamEnv) -> Result<ParamEnv> {
+    let mut env = ParamEnv::new();
+    for p in &deck.params {
+        let v = match overrides.get(&p.name) {
+            Some(o) => *o,
+            None => p.value.eval(&env)?,
+        };
+        env.insert(p.name.clone(), v);
+    }
+    Ok(env)
+}
+
+/// A deck with its HDL entities compiled, ready to build circuits.
+pub struct Elaborator<'d> {
+    deck: &'d Deck,
+    models: HashMap<String, HdlModel>,
+}
+
+impl<'d> Elaborator<'d> {
+    /// Compiles every entity the deck's `X` cards reference, searching
+    /// the inline `.HDL` blocks and `.INCLUDE`d sources in order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Elab`] pointing at the `X` card for unknown
+    /// entities; [`NetlistError::Hdl`] (with the HDL compiler's own
+    /// rendered excerpt) for models that fail to compile.
+    pub fn new(deck: &'d Deck) -> Result<Self> {
+        let mut models = HashMap::new();
+        for card in &deck.devices {
+            if let DeviceCard::HdlInstance {
+                entity,
+                entity_span,
+                ..
+            } = card
+            {
+                if models.contains_key(entity) {
+                    continue;
+                }
+                let block = deck
+                    .hdl_blocks
+                    .iter()
+                    .find(|b| declares_entity(&b.text, entity))
+                    .ok_or_else(|| {
+                        NetlistError::elab_at(
+                            format!("no `.HDL` block or `.INCLUDE` declares entity `{entity}`"),
+                            *entity_span,
+                        )
+                    })?;
+                let model = HdlModel::compile(&block.text, entity, None)
+                    .map_err(|e| NetlistError::Hdl(e.render(&block.text)))?;
+                models.insert(entity.clone(), model);
+            }
+        }
+        Ok(Elaborator { deck, models })
+    }
+
+    /// The deck being elaborated.
+    pub fn deck(&self) -> &Deck {
+        self.deck
+    }
+
+    /// Builds the circuit under `overrides`, optionally forcing one
+    /// independent source to a DC level (the `.DC` source sweep).
+    ///
+    /// # Errors
+    ///
+    /// Expression, node-nature, and circuit-construction failures, all
+    /// attributed to their cards.
+    pub fn build(
+        &self,
+        overrides: &ParamEnv,
+        source_dc: Option<(&str, f64)>,
+    ) -> Result<(Circuit, ParamEnv)> {
+        let env = param_env(self.deck, overrides)?;
+        let mut ckt = Circuit::new();
+
+        for decl in &self.deck.node_decls {
+            for n in &decl.nodes {
+                ckt.node(n, decl.nature)
+                    .map_err(|e| NetlistError::elab_at(e.to_string(), decl.span))?;
+            }
+        }
+
+        for card in &self.deck.devices {
+            self.build_device(&mut ckt, card, &env, source_dc)?;
+        }
+        Ok((ckt, env))
+    }
+
+    fn build_device(
+        &self,
+        ckt: &mut Circuit,
+        card: &DeviceCard,
+        env: &ParamEnv,
+        source_dc: Option<(&str, f64)>,
+    ) -> Result<()> {
+        let span = card.span();
+        let ev = |e: &NumExpr| e.eval(env);
+        // Nature defaulting: an existing node keeps its declared
+        // nature (sources and couplers are nature-agnostic — a `V`
+        // card on a mechanical node is a velocity source); the card's
+        // default nature applies only when it creates the node.
+        let node = |ckt: &mut Circuit, name: &str, nature: Nature| match ckt.find_node(name) {
+            Some(id) => Ok(id),
+            None => ckt
+                .node(name, nature)
+                .map_err(|e| NetlistError::elab_at(e.to_string(), span)),
+        };
+        let add = |ckt: &mut Circuit, dev: Box<dyn mems_spice::device::Device>| {
+            ckt.add_boxed(dev)
+                .map_err(|e| NetlistError::elab_at(e.to_string(), span))
+        };
+        match card {
+            DeviceCard::Passive {
+                kind,
+                name,
+                a,
+                b,
+                value,
+                ..
+            } => {
+                let v = ev(value)?;
+                let mech = matches!(
+                    kind,
+                    PassiveKind::Mass | PassiveKind::Spring | PassiveKind::Damper
+                );
+                let nature = if mech {
+                    Nature::MechanicalTranslation
+                } else {
+                    Nature::Electrical
+                };
+                let na = node(ckt, a, nature)?;
+                let nb = node(ckt, b, nature)?;
+                check_positive(*kind, v, value)?;
+                let dev: Box<dyn mems_spice::device::Device> = match kind {
+                    PassiveKind::Resistor => Box::new(Resistor::new(name, na, nb, v)),
+                    PassiveKind::Capacitor => Box::new(Capacitor::new(name, na, nb, v)),
+                    PassiveKind::Inductor => Box::new(Inductor::new(name, na, nb, v)),
+                    PassiveKind::Mass => Box::new(Mass::new(name, na, nb, v)),
+                    PassiveKind::Spring => Box::new(Spring::new(name, na, nb, v)),
+                    PassiveKind::Damper => Box::new(Damper::new(name, na, nb, v)),
+                };
+                add(ckt, dev)
+            }
+            DeviceCard::Source {
+                kind,
+                name,
+                a,
+                b,
+                wave,
+                ac,
+                ..
+            } => {
+                let na = node(ckt, a, Nature::Electrical)?;
+                let nb = node(ckt, b, Nature::Electrical)?;
+                let waveform = match source_dc {
+                    Some((target, level)) if target == name => Waveform::Dc(level),
+                    _ => self.build_wave(wave, env, span)?,
+                };
+                let ac_spec = match ac {
+                    Some((mag, phase)) => Some(AcSpec {
+                        mag: ev(mag)?,
+                        phase_deg: phase.as_ref().map_or(Ok(0.0), &ev)?,
+                    }),
+                    None => None,
+                };
+                let dev: Box<dyn mems_spice::device::Device> = match kind {
+                    SourceKind::Voltage => {
+                        let mut s = VoltageSource::new(name, na, nb, waveform);
+                        if let Some(spec) = ac_spec {
+                            s = s.with_ac(spec);
+                        }
+                        Box::new(s)
+                    }
+                    SourceKind::Current => {
+                        let mut s = CurrentSource::new(name, na, nb, waveform);
+                        if let Some(spec) = ac_spec {
+                            s = s.with_ac(spec);
+                        }
+                        Box::new(s)
+                    }
+                };
+                add(ckt, dev)
+            }
+            DeviceCard::Controlled {
+                kind,
+                name,
+                nodes,
+                value,
+                ..
+            } => {
+                let v = ev(value)?;
+                let [op, on, cp, cn] = nodes;
+                let op = node(ckt, op, Nature::Electrical)?;
+                let on = node(ckt, on, Nature::Electrical)?;
+                let cp = node(ckt, cp, Nature::Electrical)?;
+                let cn = node(ckt, cn, Nature::Electrical)?;
+                let dev: Box<dyn mems_spice::device::Device> = match kind {
+                    ControlledKind::Vcvs => Box::new(Vcvs::new(name, op, on, cp, cn, v)),
+                    ControlledKind::Vccs => Box::new(Vccs::new(name, op, on, cp, cn, v)),
+                    ControlledKind::Cccs => Box::new(Cccs::new(name, op, on, cp, cn, v)),
+                    ControlledKind::Ccvs => Box::new(Ccvs::new(name, op, on, cp, cn, v)),
+                };
+                add(ckt, dev)
+            }
+            DeviceCard::Product {
+                name, nodes, value, ..
+            } => {
+                let v = ev(value)?;
+                let mut ids = [mems_spice::circuit::NodeId::GROUND; 6];
+                for (i, n) in nodes.iter().enumerate() {
+                    ids[i] = node(ckt, n, Nature::Electrical)?;
+                }
+                add(
+                    ckt,
+                    Box::new(ProductVccs::new(
+                        name, ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], v,
+                    )),
+                )
+            }
+            DeviceCard::TwoPort {
+                kind,
+                name,
+                nodes,
+                value,
+                ..
+            } => {
+                let v = ev(value)?;
+                let [p1, n1, p2, n2] = nodes;
+                let p1 = node(ckt, p1, Nature::Electrical)?;
+                let n1 = node(ckt, n1, Nature::Electrical)?;
+                let p2 = node(ckt, p2, Nature::Electrical)?;
+                let n2 = node(ckt, n2, Nature::Electrical)?;
+                let dev: Box<dyn mems_spice::device::Device> = match kind {
+                    TwoPortKind::Transformer => {
+                        Box::new(IdealTransformer::new(name, p1, n1, p2, n2, v))
+                    }
+                    TwoPortKind::Gyrator => Box::new(Gyrator::new(name, p1, n1, p2, n2, v)),
+                };
+                add(ckt, dev)
+            }
+            DeviceCard::HdlInstance {
+                name,
+                nodes,
+                entity,
+                entity_span,
+                generics,
+                ..
+            } => {
+                let model = self.models.get(entity).ok_or_else(|| {
+                    NetlistError::elab_at(
+                        format!("entity `{entity}` was not compiled"),
+                        *entity_span,
+                    )
+                })?;
+                let pins = &model.compiled().pins;
+                if nodes.len() != pins.len() {
+                    return Err(NetlistError::elab_at(
+                        format!(
+                            "entity `{entity}` has {} pins but {} nodes are connected",
+                            pins.len(),
+                            nodes.len()
+                        ),
+                        span,
+                    ));
+                }
+                // Strict here: the entity's pin declarations are the
+                // ground truth for connected node natures.
+                let mut ids = Vec::with_capacity(nodes.len());
+                for (n, pin) in nodes.iter().zip(pins) {
+                    ids.push(
+                        ckt.node(n, pin.nature)
+                            .map_err(|e| NetlistError::elab_at(e.to_string(), span))?,
+                    );
+                }
+                let mut bound: Vec<(String, f64)> = Vec::with_capacity(generics.len());
+                for (gname, gexpr) in generics {
+                    bound.push((gname.clone(), gexpr.eval(env)?));
+                }
+                let bound_refs: Vec<(&str, f64)> =
+                    bound.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let dev = HdlDevice::new(name, model, &bound_refs, &ids)
+                    .map_err(|e| NetlistError::elab_at(e.to_string(), span))?;
+                add(ckt, Box::new(dev))
+            }
+        }
+    }
+
+    fn build_wave(
+        &self,
+        wave: &WaveSpec,
+        env: &ParamEnv,
+        span: mems_hdl::span::Span,
+    ) -> Result<Waveform> {
+        let evs =
+            |args: &[NumExpr]| -> Result<Vec<f64>> { args.iter().map(|a| a.eval(env)).collect() };
+        let need = |args: &[NumExpr], min: usize, max: usize, what: &str| -> Result<()> {
+            if args.len() < min || args.len() > max {
+                return Err(NetlistError::elab_at(
+                    format!("`{what}` takes {min}..={max} arguments, got {}", args.len()),
+                    span,
+                ));
+            }
+            Ok(())
+        };
+        Ok(match wave {
+            WaveSpec::Dc(v) => Waveform::Dc(v.eval(env)?),
+            WaveSpec::Pulse(args) => {
+                need(args, 6, 7, "PULSE")?;
+                let v = evs(args)?;
+                Waveform::Pulse {
+                    v1: v[0],
+                    v2: v[1],
+                    delay: v[2],
+                    rise: v[3],
+                    fall: v[4],
+                    width: v[5],
+                    period: v.get(6).copied().unwrap_or(0.0),
+                }
+            }
+            WaveSpec::Sin(args) => {
+                need(args, 3, 5, "SIN")?;
+                let v = evs(args)?;
+                Waveform::Sin {
+                    offset: v[0],
+                    ampl: v[1],
+                    freq: v[2],
+                    delay: v.get(3).copied().unwrap_or(0.0),
+                    theta: v.get(4).copied().unwrap_or(0.0),
+                }
+            }
+            WaveSpec::Pwl(args) => {
+                if args.len() < 2 || args.len() % 2 != 0 {
+                    return Err(NetlistError::elab_at(
+                        format!(
+                            "`PWL` needs an even number of (time, value) arguments, got {}",
+                            args.len()
+                        ),
+                        span,
+                    ));
+                }
+                let v = evs(args)?;
+                let points: Vec<(f64, f64)> = v.chunks(2).map(|p| (p[0], p[1])).collect();
+                for w in points.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err(NetlistError::elab_at(
+                            format!(
+                                "`PWL` times must strictly increase ({} then {})",
+                                w[0].0, w[1].0
+                            ),
+                            span,
+                        ));
+                    }
+                }
+                Waveform::Pwl(points)
+            }
+            WaveSpec::Exp(args) => {
+                need(args, 6, 6, "EXP")?;
+                let v = evs(args)?;
+                Waveform::Exp {
+                    v1: v[0],
+                    v2: v[1],
+                    td1: v[2],
+                    tau1: v[3],
+                    td2: v[4],
+                    tau2: v[5],
+                }
+            }
+        })
+    }
+}
+
+/// Rejects non-physical element values with a spanned diagnostic
+/// (instead of the device constructors' panics).
+fn check_positive(kind: PassiveKind, v: f64, value: &NumExpr) -> Result<()> {
+    let bad = match kind {
+        PassiveKind::Resistor => v == 0.0 || !v.is_finite(),
+        _ => v <= 0.0 || !v.is_finite(),
+    };
+    if bad {
+        let what = match kind {
+            PassiveKind::Resistor => "resistance must be nonzero and finite",
+            PassiveKind::Capacitor => "capacitance must be positive",
+            PassiveKind::Inductor => "inductance must be positive",
+            PassiveKind::Mass => "mass must be positive",
+            PassiveKind::Spring => "stiffness must be positive",
+            PassiveKind::Damper => "damping must be positive",
+        };
+        return Err(NetlistError::elab_at(
+            format!("{what}, got {v:.6e}"),
+            value.span,
+        ));
+    }
+    Ok(())
+}
+
+/// Case-insensitively checks whether HDL source text declares
+/// `ENTITY <name>` as a whole word.
+fn declares_entity(src: &str, name: &str) -> bool {
+    let hay = src.to_ascii_lowercase();
+    let needle = format!("entity {name}");
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(&needle) {
+        let end = from + pos + needle.len();
+        let boundary = hay[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Result of one analysis card.
+#[derive(Debug, Clone)]
+pub enum AnalysisOutcome {
+    /// `.OP` operating point.
+    Op(OpSolution),
+    /// `.DC` sweep: swept variable name, values, per-point solutions.
+    Dc {
+        /// `v(source)` or `param(name)` — for table headers.
+        var: String,
+        /// Result with `values` and per-point operating points.
+        result: SweepResult,
+    },
+    /// `.AC` sweep.
+    Ac(AcResult),
+    /// `.TRAN` waveforms.
+    Tran(TranResult),
+}
+
+/// Results of every analysis card of a deck, in deck order.
+#[derive(Debug)]
+pub struct DeckRun {
+    /// Deck title.
+    pub title: String,
+    /// `(card, outcome)` pairs.
+    pub outcomes: Vec<(AnalysisCard, AnalysisOutcome)>,
+}
+
+/// Builds [`SimOptions`] from the deck's `.OPTIONS` cards.
+///
+/// # Errors
+///
+/// Unknown option names are spanned parse-stage errors.
+pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
+    let mut sim = SimOptions::default();
+    for (name, value) in &deck.options {
+        let v = value.eval(env)?;
+        match name.as_str() {
+            "reltol" => sim.reltol = v,
+            "abstol" | "vntol" => sim.abstol_voltage = v,
+            "abstol_across" => sim.abstol_across = v,
+            "abstol_internal" => sim.abstol_internal = v,
+            "maxiter" | "itl1" => sim.max_iter = v as usize,
+            "gmin" => sim.gmin = v,
+            "maxstep" => sim.max_step = v,
+            _ => {
+                return Err(NetlistError::elab_at(
+                    format!("unknown option `{name}`"),
+                    value.span,
+                ))
+            }
+        }
+    }
+    Ok(sim)
+}
+
+/// Runs every analysis card of the deck (no batch) and collects the
+/// outcomes.
+///
+/// # Errors
+///
+/// Propagates elaboration and simulation failures.
+pub fn run_deck(deck: &Deck) -> Result<DeckRun> {
+    run_deck_with(deck, &ParamEnv::new())
+}
+
+/// [`run_deck`] under parameter overrides (one batch point).
+///
+/// # Errors
+///
+/// As [`run_deck`].
+pub fn run_deck_with(deck: &Deck, overrides: &ParamEnv) -> Result<DeckRun> {
+    let elab = Elaborator::new(deck)?;
+    run_elaborated(&elab, overrides)
+}
+
+/// Runs the deck's analyses from an existing [`Elaborator`] (the
+/// batch engine reuses compiled HDL models across points).
+///
+/// # Errors
+///
+/// As [`run_deck`].
+pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<DeckRun> {
+    let deck = elab.deck();
+    let (_, env) = elab.build(overrides, None)?;
+    let sim = sim_options(deck, &env)?;
+    let mut outcomes = Vec::new();
+    for card in &deck.analyses {
+        let outcome = match card {
+            AnalysisCard::Op { .. } => {
+                let (mut ckt, _) = elab.build(overrides, None)?;
+                AnalysisOutcome::Op(dcop::solve(&mut ckt, &sim)?)
+            }
+            AnalysisCard::Dc {
+                sweep: var,
+                start,
+                stop,
+                step,
+                span,
+            } => {
+                let (v0, v1, dv) = (start.eval(&env)?, stop.eval(&env)?, step.eval(&env)?);
+                let values = linear_points(v0, v1, dv)
+                    .ok_or_else(|| NetlistError::elab_at("bad `.DC` range", *span))?;
+                let (var_name, result) =
+                    match var {
+                        DcSweepVar::Source(src) => {
+                            if !deck.devices.iter().any(
+                                |d| matches!(d, DeviceCard::Source { name, .. } if name == src),
+                            ) {
+                                return Err(NetlistError::elab_at(
+                                    format!("`.DC` sweeps unknown source `{src}`"),
+                                    *span,
+                                ));
+                            }
+                            let result = dc_sweep(
+                                |v| {
+                                    elab.build(overrides, Some((src.as_str(), v)))
+                                        .map(|(c, _)| c)
+                                        .map_err(to_spice_build)
+                                },
+                                &values,
+                                &sim,
+                            )?;
+                            (format!("v({src})"), result)
+                        }
+                        DcSweepVar::Param(p) => {
+                            if !deck.params.iter().any(|d| &d.name == p) {
+                                return Err(NetlistError::elab_at(
+                                    format!("`.DC PARAM` sweeps undeclared parameter `{p}`"),
+                                    *span,
+                                ));
+                            }
+                            let result = dc_sweep(
+                                |v| {
+                                    let mut o = overrides.clone();
+                                    o.insert(p.clone(), v);
+                                    elab.build(&o, None).map(|(c, _)| c).map_err(to_spice_build)
+                                },
+                                &values,
+                                &sim,
+                            )?;
+                            (format!("param({p})"), result)
+                        }
+                    };
+                AnalysisOutcome::Dc {
+                    var: var_name,
+                    result,
+                }
+            }
+            AnalysisCard::Ac {
+                sweep: spec,
+                span: _,
+            } => {
+                let fs = match spec {
+                    AcSweepSpec::Decade { n, fstart, fstop } => FreqSweep::Decade {
+                        start: fstart.eval(&env)?,
+                        stop: fstop.eval(&env)?,
+                        points_per_decade: n.eval(&env)?.round().max(1.0) as usize,
+                    },
+                    AcSweepSpec::Linear { n, fstart, fstop } => FreqSweep::Linear {
+                        start: fstart.eval(&env)?,
+                        stop: fstop.eval(&env)?,
+                        points: n.eval(&env)?.round().max(2.0) as usize,
+                    },
+                    AcSweepSpec::List(fs) => {
+                        let mut out = Vec::with_capacity(fs.len());
+                        for f in fs {
+                            out.push(f.eval(&env)?);
+                        }
+                        FreqSweep::List(out)
+                    }
+                };
+                let (mut ckt, _) = elab.build(overrides, None)?;
+                AnalysisOutcome::Ac(run_ac(&mut ckt, &fs, &sim)?)
+            }
+            AnalysisCard::Tran {
+                tstep,
+                tstop,
+                fixed,
+                span,
+            } => {
+                let (h, t1) = (tstep.eval(&env)?, tstop.eval(&env)?);
+                if !(h > 0.0 && t1 > 0.0 && h < t1) {
+                    return Err(NetlistError::elab_at(
+                        format!("bad `.TRAN` times (tstep {h:.3e}, tstop {t1:.3e})"),
+                        *span,
+                    ));
+                }
+                let opts = if *fixed {
+                    TranOptions::fixed_step(t1, h)
+                } else {
+                    // `tstep` is both the initial and the maximum step
+                    // (SPICE's `tmax` defaulting), so deck authors
+                    // control output resolution directly.
+                    let mut o = TranOptions::new(t1);
+                    o.h_init = Some(h);
+                    o.h_max = Some(h);
+                    o
+                };
+                let (mut ckt, _) = elab.build(overrides, None)?;
+                AnalysisOutcome::Tran(run_tran(&mut ckt, &opts, &sim)?)
+            }
+        };
+        outcomes.push((card.clone(), outcome));
+    }
+    Ok(DeckRun {
+        title: deck.title.clone(),
+        outcomes,
+    })
+}
+
+/// Maps elaboration failures inside a sweep closure into the
+/// simulator's error type (the closure must return `SpiceError`).
+fn to_spice_build(e: NetlistError) -> mems_spice::SpiceError {
+    mems_spice::SpiceError::Build(e.to_string())
+}
+
+/// Inclusive linear range with sign-checked step.
+pub(crate) fn linear_points(start: f64, stop: f64, step: f64) -> Option<Vec<f64>> {
+    if step == 0.0 || !step.is_finite() || !start.is_finite() || !stop.is_finite() {
+        return None;
+    }
+    let step = if (stop - start).signum() == step.signum() || start == stop {
+        step
+    } else {
+        -step
+    };
+    let n = ((stop - start) / step).round() as i64;
+    if !(0..=1_000_000).contains(&n) {
+        return None;
+    }
+    Some((0..=n).map(|i| start + step * i as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn divider_deck() -> Deck {
+        Deck::parse(
+            "divider\n\
+             .param vin=6 rtop=1k\n\
+             Vs in 0 {vin}\n\
+             R1 in out {rtop}\n\
+             R2 out 0 2k\n\
+             .op\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn elaborates_and_runs_op() {
+        let deck = divider_deck();
+        let run = run_deck(&deck).unwrap();
+        assert_eq!(run.outcomes.len(), 1);
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                let v = op.by_label("v(out)").unwrap();
+                assert!((v - 4.0).abs() < 1e-6, "v(out) = {v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrides_redefine_params() {
+        let deck = divider_deck();
+        let mut o = ParamEnv::new();
+        o.insert("vin".into(), 12.0);
+        let run = run_deck_with(&deck, &o).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                assert!((op.by_label("v(out)").unwrap() - 8.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_source_sweep_runs() {
+        let deck =
+            Deck::parse("sweep\nVs in 0 1\nR1 in out 1k\nR2 out 0 1k\n.dc vs 0 4 1\n").unwrap();
+        let run = run_deck(&deck).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Dc { var, result } => {
+                assert_eq!(var, "v(vs)");
+                assert_eq!(result.values, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+                let out = result.trace("v(out)").unwrap();
+                assert!((out[4] - 2.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mechanical_sugar_defaults_natures() {
+        let deck = Deck::parse(
+            "resonator\n\
+             Is 0 vel PWL(0 0 1m 1u)\n\
+             .node mechanical1 vel\n\
+             Mm vel 0 1e-4\n\
+             Kk vel 0 200\n\
+             Dd vel 0 40m\n\
+             .tran 0.1m 50m\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Tran(tr) => {
+                let x = tr.integrated_trace("v(vel)", 0.0).unwrap();
+                // 1 µN / (200 N/m) = 5 nm static deflection.
+                let tail = x.last().copied().unwrap();
+                assert!((tail - 5e-9).abs() < 0.1e-9, "x(end) = {tail:e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hdl_pin_nature_conflicts_are_caught() {
+        // `tip` is declared electrical, but the entity's c/dd pins
+        // are mechanical1 — X pins enforce the entity's natures.
+        let deck = Deck::parse(
+            "t\n\
+             .node electrical tip\n\
+             .hdl\n\
+             ENTITY et IS\n\
+              GENERIC (g : analog := 1.0);\n\
+              PIN (a, b : electrical; c, dd : mechanical1);\n\
+             END ENTITY et;\n\
+             ARCHITECTURE a OF et IS\n\
+             BEGIN\n\
+               RELATION\n\
+                 PROCEDURAL FOR dc, ac, transient =>\n\
+                   [a, b].i %= g * [a, b].v;\n\
+               END RELATION;\n\
+             END ARCHITECTURE a;\n\
+             .endhdl\n\
+             Vs in 0 1\n\
+             X1 in 0 tip 0 et\n\
+             .op\n",
+        )
+        .unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        assert!(
+            err.to_string().contains("already exists with nature"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_entity_is_spanned() {
+        let deck = Deck::parse("t\nX1 a 0 b 0 ghost\n.op\n").unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        let r = err.render(&deck.source);
+        assert!(r.contains("no `.HDL` block"), "{r}");
+        assert!(r.contains("ghost"), "{r}");
+    }
+
+    #[test]
+    fn entity_scan_respects_word_boundaries() {
+        assert!(declares_entity("ENTITY relay IS", "relay"));
+        assert!(!declares_entity("ENTITY relay2 IS", "relay"));
+        assert!(declares_entity(
+            "entity a is\nend;\nENTITY relay IS",
+            "relay"
+        ));
+    }
+
+    #[test]
+    fn zero_valued_elements_are_rejected_with_span() {
+        let src = "t\nC1 a 0 0\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        let r = err.render(src);
+        assert!(r.contains("capacitance must be positive"), "{r}");
+        assert!(r.contains("line 2"), "{r}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type of the deck frontend, following the `mems-hdl` span
+//! idiom: parse-stage errors carry byte spans into the deck text and
+//! render with a caret excerpt.
+
+use mems_hdl::span::{excerpt, Span};
+use std::fmt;
+
+/// Errors produced while lexing, parsing, elaborating, or running a
+/// deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// Syntax error in the deck text.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Where in the deck source.
+        span: Span,
+    },
+    /// Elaboration error (unknown entity, bad node nature, parameter
+    /// evaluation failure, …). Carries a span when the failing card is
+    /// known.
+    Elab {
+        /// What went wrong.
+        message: String,
+        /// Where in the deck source, when attributable.
+        span: Option<Span>,
+    },
+    /// An embedded HDL-A model failed to compile; the message already
+    /// includes the HDL compiler's own rendered excerpt.
+    Hdl(String),
+    /// The simulator rejected the elaborated circuit or failed to
+    /// converge.
+    Spice(mems_spice::SpiceError),
+    /// An `.INCLUDE` file could not be read.
+    Io(String),
+}
+
+impl NetlistError {
+    /// Creates a parse error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        NetlistError::Parse {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates an elaboration error attached to a card.
+    pub fn elab_at(message: impl Into<String>, span: Span) -> Self {
+        NetlistError::Elab {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// The deck-source span, when the error has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            NetlistError::Parse { span, .. } => Some(*span),
+            NetlistError::Elab { span, .. } => *span,
+            _ => None,
+        }
+    }
+
+    /// Formats the error with a one-line source excerpt and caret.
+    pub fn render(&self, src: &str) -> String {
+        match self.span() {
+            Some(span) => format!("{self}\n{}", excerpt(src, span)),
+            None => self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { message, .. } => write!(f, "deck parse error: {message}"),
+            NetlistError::Elab { message, .. } => write!(f, "deck elaboration error: {message}"),
+            NetlistError::Hdl(m) => write!(f, "hdl error: {m}"),
+            NetlistError::Spice(e) => write!(f, "simulation error: {e}"),
+            NetlistError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl From<mems_spice::SpiceError> for NetlistError {
+    fn from(e: mems_spice::SpiceError) -> Self {
+        NetlistError::Spice(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_caret() {
+        let src = "title\nR1 a b oops\n";
+        let pos = src.find("oops").unwrap();
+        let e = NetlistError::parse("bad value", Span::new(pos, pos + 4));
+        let r = e.render(src);
+        assert!(r.contains("deck parse error: bad value"));
+        assert!(r.contains("^^^^"));
+        assert!(r.contains("line 2"));
+    }
+
+    #[test]
+    fn spanless_errors_render_plainly() {
+        let e = NetlistError::Io("missing file".into());
+        assert_eq!(e.render("src"), "io error: missing file");
+        assert!(e.span().is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! # mems-netlist — SPICE-deck frontend and batch scenario runner
+//!
+//! The paper's premise is that "SPICE simulators may be used as lumped
+//! parameter analog solvers" for electromechanical transducers — and a
+//! SPICE simulator is *driven by decks*. This crate turns the
+//! `mems-spice` library into a tool: a deck parser with spanned
+//! diagnostics, an elaborator lowering decks to
+//! [`mems_spice::Circuit`]s, analysis dispatch, and a parallel
+//! `.STEP`/`.MC` batch engine with deterministic seeded sampling.
+//!
+//! ## Deck format
+//!
+//! Line-oriented SPICE style: first line is the title, `*` comments,
+//! `;` trailing comments, `+` continuations, `.END` stops parsing.
+//! Values take SPICE magnitude suffixes (`1k`, `10MEG`, `2.5u`) and
+//! `{…}` parameter expressions.
+//!
+//! Device cards (letters are case-insensitive):
+//!
+//! | card | device |
+//! |------|--------|
+//! | `Rxx a b v` / `Cxx` / `Lxx` | resistor / capacitor / inductor |
+//! | `Vxx a b <wave>` / `Ixx` | sources (`DC`, `PULSE`, `SIN`, `PWL`, `EXP`; optional `AC mag [phase]`) |
+//! | `Exx`/`Gxx`/`Fxx`/`Hxx o+ o− c+ c− g` | the four controlled sources |
+//! | `Bxx o+ o− c1+ c1− c2+ c2− k` | product source `i = k·v1·v2` |
+//! | `Mxx v 0 m` / `Kxx` / `Dxx` | mass / spring / damper (mechanical sugar; nodes default to `mechanical1`) |
+//! | `Txx p1 n1 p2 n2 n` / `Yxx … g` | ideal transformer / gyrator |
+//! | `Xxx n1 … entity [gen=v …]` | HDL-A entity instance |
+//!
+//! Dot cards: `.PARAM name=expr`, `.NODE <nature> n…` (typed
+//! multi-nature nodes), `.HDL`/`.ENDHDL` (inline HDL-A source),
+//! `.INCLUDE "file"` (HDL-A source from disk), `.OP`, `.DC`, `.AC`,
+//! `.TRAN`, `.PRINT`, `.OPTIONS`, `.STEP`, `.MC`, `.END`.
+//!
+//! ## Example
+//!
+//! ```
+//! use mems_netlist::{Deck, run_deck, AnalysisOutcome};
+//!
+//! # fn main() -> mems_netlist::Result<()> {
+//! let deck = Deck::parse(
+//!     "paper fig. 3 resonator\n\
+//!      .param k=200 m=1e-4 alpha=40e-3\n\
+//!      Is 0 vel PWL(0 0 0.1m 1u)   ; 1 uN step force\n\
+//!      Mm1 vel 0 {m}\n\
+//!      Kk1 vel 0 {k}\n\
+//!      Dd1 vel 0 {alpha}\n\
+//!      .tran 0.5m 50m\n\
+//!      .print tran v(vel)\n",
+//! )?;
+//! let run = run_deck(&deck)?;
+//! match &run.outcomes[0].1 {
+//!     AnalysisOutcome::Tran(tr) => {
+//!         let x = tr.integrated_trace("v(vel)", 0.0).unwrap();
+//!         assert!((x.last().unwrap() - 5e-9).abs() < 1e-9); // F/k
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The batch engine ([`run_batch`]) expands `.STEP` sweeps and `.MC`
+//! Monte Carlo into a point list, re-elaborates per point, and runs
+//! points across worker threads; sampling is keyed on `(seed, point,
+//! variable)` so results are independent of thread count.
+
+pub mod ast;
+pub mod batch;
+pub mod elab;
+pub mod error;
+pub mod expr;
+pub mod parser;
+pub mod report;
+pub mod token;
+
+pub use ast::{AnalysisCard, Deck, DeviceCard};
+pub use batch::{batch_points, run_batch, BatchOptions, BatchResult};
+pub use elab::{run_deck, run_deck_with, AnalysisOutcome, DeckRun, Elaborator};
+pub use error::{NetlistError, Result};
+pub use parser::{FsResolver, IncludeResolver, NoIncludes};

@@ -1,0 +1,843 @@
+//! Card parser: lexed logical lines → [`Deck`] AST.
+
+use crate::ast::*;
+use crate::error::{NetlistError, Result};
+use crate::expr::{parse_arg, parse_expr, Cursor, NumExpr};
+use crate::token::{lex, LogicalLine, RawBlock, Token, TokenKind};
+use mems_hdl::Nature;
+
+/// Resolves `.INCLUDE` file names to their contents.
+pub trait IncludeResolver {
+    /// Reads the named include (HDL-A source).
+    fn read(&mut self, path: &str) -> std::io::Result<String>;
+}
+
+/// Resolver that refuses every include (pure in-memory parsing).
+pub struct NoIncludes;
+
+impl IncludeResolver for NoIncludes {
+    fn read(&mut self, path: &str) -> std::io::Result<String> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            format!("includes are disabled (requested `{path}`)"),
+        ))
+    }
+}
+
+/// Resolver reading includes relative to a base directory.
+pub struct FsResolver {
+    /// Directory `.INCLUDE` paths are resolved against.
+    pub base: std::path::PathBuf,
+}
+
+impl IncludeResolver for FsResolver {
+    fn read(&mut self, path: &str) -> std::io::Result<String> {
+        std::fs::read_to_string(self.base.join(path))
+    }
+}
+
+impl Deck {
+    /// Parses a deck from source, refusing `.INCLUDE` cards.
+    ///
+    /// # Errors
+    ///
+    /// Returns spanned [`NetlistError::Parse`] diagnostics; render
+    /// them against the deck text with [`NetlistError::render`].
+    pub fn parse(src: &str) -> Result<Deck> {
+        Deck::parse_with_includes(src, &mut NoIncludes)
+    }
+
+    /// Parses a deck, resolving `.INCLUDE` cards through `includes`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deck::parse`], plus [`NetlistError::Io`] for unreadable
+    /// includes.
+    pub fn parse_with_includes(src: &str, includes: &mut dyn IncludeResolver) -> Result<Deck> {
+        let lexed = lex(src)?;
+        let mut deck = Deck {
+            title: lexed.title,
+            source: src.to_string(),
+            devices: Vec::new(),
+            params: Vec::new(),
+            node_decls: Vec::new(),
+            hdl_blocks: lexed.hdl_blocks,
+            analyses: Vec::new(),
+            step: None,
+            mc: None,
+            prints: Vec::new(),
+            options: Vec::new(),
+        };
+        for line in &lexed.lines {
+            parse_card(&mut deck, line, includes)?;
+        }
+        Ok(deck)
+    }
+}
+
+fn parse_card(
+    deck: &mut Deck,
+    line: &LogicalLine,
+    includes: &mut dyn IncludeResolver,
+) -> Result<()> {
+    let head = &line.tokens[0];
+    if head.kind != TokenKind::Word {
+        return Err(NetlistError::parse(
+            format!("expected a card name, found `{}`", head.text),
+            head.span,
+        ));
+    }
+    let mut c = Cursor::new(&line.tokens[1..], line.span);
+    let lower = head.lower();
+    if let Some(card) = lower.strip_prefix('.') {
+        return parse_dot_card(deck, card, head, &mut c, includes);
+    }
+    let device = parse_device_card(head, &mut c, line.span)?;
+    expect_exhausted(&c)?;
+    deck.devices.push(device);
+    Ok(())
+}
+
+fn expect_exhausted(c: &Cursor<'_>) -> Result<()> {
+    match c.peek() {
+        None => Ok(()),
+        Some(t) => Err(NetlistError::parse(
+            format!("unexpected trailing `{}`", t.text),
+            t.span,
+        )),
+    }
+}
+
+fn node_name(c: &mut Cursor<'_>, what: &str) -> Result<String> {
+    Ok(c.expect_word(what)?.lower())
+}
+
+fn parse_device_card(
+    head: &Token,
+    c: &mut Cursor<'_>,
+    span: mems_hdl::span::Span,
+) -> Result<DeviceCard> {
+    let name = head.lower();
+    let letter = name.chars().next().expect("nonempty token");
+    if name.len() < 2 {
+        return Err(NetlistError::parse(
+            format!(
+                "device name `{}` needs at least one character after the type letter",
+                head.text
+            ),
+            head.span,
+        ));
+    }
+    match letter {
+        'r' | 'c' | 'l' | 'm' | 'k' | 'd' => {
+            let kind = match letter {
+                'r' => PassiveKind::Resistor,
+                'c' => PassiveKind::Capacitor,
+                'l' => PassiveKind::Inductor,
+                'm' => PassiveKind::Mass,
+                'k' => PassiveKind::Spring,
+                _ => PassiveKind::Damper,
+            };
+            let a = node_name(c, "a node name")?;
+            let b = node_name(c, "a node name")?;
+            let value = parse_arg(c)?;
+            Ok(DeviceCard::Passive {
+                kind,
+                name,
+                a,
+                b,
+                value,
+                span,
+            })
+        }
+        'v' | 'i' => {
+            let kind = if letter == 'v' {
+                SourceKind::Voltage
+            } else {
+                SourceKind::Current
+            };
+            let a = node_name(c, "a node name")?;
+            let b = node_name(c, "a node name")?;
+            let wave = parse_wave(c)?;
+            let ac = parse_ac_suffix(c)?;
+            Ok(DeviceCard::Source {
+                kind,
+                name,
+                a,
+                b,
+                wave,
+                ac,
+                span,
+            })
+        }
+        'e' | 'g' | 'f' | 'h' => {
+            let kind = match letter {
+                'e' => ControlledKind::Vcvs,
+                'g' => ControlledKind::Vccs,
+                'f' => ControlledKind::Cccs,
+                _ => ControlledKind::Ccvs,
+            };
+            let nodes = [
+                node_name(c, "the output + node")?,
+                node_name(c, "the output − node")?,
+                node_name(c, "the control + node")?,
+                node_name(c, "the control − node")?,
+            ];
+            let value = parse_arg(c)?;
+            Ok(DeviceCard::Controlled {
+                kind,
+                name,
+                nodes,
+                value,
+                span,
+            })
+        }
+        'b' => {
+            let nodes = [
+                node_name(c, "the output + node")?,
+                node_name(c, "the output − node")?,
+                node_name(c, "control 1 + node")?,
+                node_name(c, "control 1 − node")?,
+                node_name(c, "control 2 + node")?,
+                node_name(c, "control 2 − node")?,
+            ];
+            let value = parse_arg(c)?;
+            Ok(DeviceCard::Product {
+                name,
+                nodes,
+                value,
+                span,
+            })
+        }
+        't' | 'y' => {
+            let kind = if letter == 't' {
+                TwoPortKind::Transformer
+            } else {
+                TwoPortKind::Gyrator
+            };
+            let nodes = [
+                node_name(c, "port 1 + node")?,
+                node_name(c, "port 1 − node")?,
+                node_name(c, "port 2 + node")?,
+                node_name(c, "port 2 − node")?,
+            ];
+            let value = parse_arg(c)?;
+            Ok(DeviceCard::TwoPort {
+                kind,
+                name,
+                nodes,
+                value,
+                span,
+            })
+        }
+        'x' => parse_hdl_instance(name, c, span),
+        other => Err(NetlistError::parse(
+            format!("unknown device letter `{other}` (supported: R C L V I E G F H B M K D T Y X)"),
+            head.span,
+        )),
+    }
+}
+
+/// `Xname n1 n2 … entity [gen=expr …]` — the positional run ends at
+/// the first `name=` pair (or the card end); its last word is the
+/// entity, the rest are pins.
+fn parse_hdl_instance(
+    name: String,
+    c: &mut Cursor<'_>,
+    span: mems_hdl::span::Span,
+) -> Result<DeviceCard> {
+    let mut positional: Vec<&Token> = Vec::new();
+    while let Some(t) = c.peek() {
+        if t.kind != TokenKind::Word || c.peek_at(1).is_some_and(|n| n.kind == TokenKind::Eq) {
+            break;
+        }
+        positional.push(t);
+        c.next();
+    }
+    let entity_tok = positional.pop().ok_or_else(|| {
+        NetlistError::parse("`X` instance needs pins and an entity name", c.here())
+    })?;
+    if positional.is_empty() {
+        return Err(NetlistError::parse(
+            format!(
+                "`X` instance of `{}` connects no pins (write `X… node… {} […]`)",
+                entity_tok.text, entity_tok.text
+            ),
+            entity_tok.span,
+        ));
+    }
+    let mut generics = Vec::new();
+    while let Some(t) = c.peek() {
+        if t.kind != TokenKind::Word {
+            break;
+        }
+        let gname = t.lower();
+        let _ = c.next();
+        c.expect(TokenKind::Eq, "`=`")?;
+        let value = parse_arg(c)?;
+        generics.push((gname, value));
+    }
+    expect_exhausted(c)?;
+    Ok(DeviceCard::HdlInstance {
+        name,
+        nodes: positional.iter().map(|t| t.lower()).collect(),
+        entity: entity_tok.lower(),
+        entity_span: entity_tok.span,
+        generics,
+        span,
+    })
+}
+
+/// Parses a source's waveform: `DC v`, a bare value, or
+/// `PULSE(…)`, `SIN(…)`, `PWL(…)`, `EXP(…)`.
+fn parse_wave(c: &mut Cursor<'_>) -> Result<WaveSpec> {
+    if let Some(t) = c.peek() {
+        if t.kind == TokenKind::Word {
+            let kw = t.lower();
+            match kw.as_str() {
+                "dc" => {
+                    c.next();
+                    return Ok(WaveSpec::Dc(parse_arg(c)?));
+                }
+                "pulse" | "sin" | "pwl" | "exp"
+                    if c.peek_at(1).is_some_and(|n| n.kind == TokenKind::LParen) =>
+                {
+                    c.next();
+                    let args = parse_paren_args(c)?;
+                    return Ok(match kw.as_str() {
+                        "pulse" => WaveSpec::Pulse(args),
+                        "sin" => WaveSpec::Sin(args),
+                        "pwl" => WaveSpec::Pwl(args),
+                        _ => WaveSpec::Exp(args),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(WaveSpec::Dc(parse_arg(c)?))
+}
+
+/// `( arg arg … )` with optional commas.
+fn parse_paren_args(c: &mut Cursor<'_>) -> Result<Vec<NumExpr>> {
+    c.expect(TokenKind::LParen, "`(`")?;
+    let mut args = Vec::new();
+    loop {
+        match c.peek() {
+            Some(t) if t.kind == TokenKind::RParen => {
+                c.next();
+                return Ok(args);
+            }
+            Some(t) if t.kind == TokenKind::Comma => {
+                c.next();
+            }
+            Some(_) => args.push(parse_arg(c)?),
+            None => {
+                return Err(NetlistError::parse(
+                    "unclosed `(` in argument list",
+                    c.here(),
+                ))
+            }
+        }
+    }
+}
+
+/// Optional trailing `AC mag [phase]`.
+fn parse_ac_suffix(c: &mut Cursor<'_>) -> Result<Option<(NumExpr, Option<NumExpr>)>> {
+    if c.peek().is_some_and(|t| t.is("ac")) {
+        c.next();
+        let mag = parse_arg(c)?;
+        let phase = if c.at_end() {
+            None
+        } else {
+            Some(parse_arg(c)?)
+        };
+        expect_exhausted(c)?;
+        return Ok(Some((mag, phase)));
+    }
+    expect_exhausted(c)?;
+    Ok(None)
+}
+
+fn parse_dot_card(
+    deck: &mut Deck,
+    card: &str,
+    head: &Token,
+    c: &mut Cursor<'_>,
+    includes: &mut dyn IncludeResolver,
+) -> Result<()> {
+    match card {
+        "param" => {
+            while !c.at_end() {
+                let name_tok = c.expect_word("a parameter name")?;
+                let name = name_tok.lower();
+                let span = name_tok.span;
+                c.expect(TokenKind::Eq, "`=`")?;
+                let value = parse_expr(c)?;
+                deck.params.push(ParamDef { name, value, span });
+            }
+            Ok(())
+        }
+        "node" => {
+            let nat_tok = c.expect_word("a nature name")?;
+            let nature = Nature::from_name(&nat_tok.lower()).ok_or_else(|| {
+                NetlistError::parse(
+                    format!(
+                        "unknown nature `{}` (one of: {})",
+                        nat_tok.text,
+                        Nature::ALL.map(|n| n.name()).join(", ")
+                    ),
+                    nat_tok.span,
+                )
+            })?;
+            let mut nodes = Vec::new();
+            while !c.at_end() {
+                nodes.push(node_name(c, "a node name")?);
+            }
+            if nodes.is_empty() {
+                return Err(NetlistError::parse("`.NODE` declares no nodes", head.span));
+            }
+            deck.node_decls.push(NodeDecl {
+                nature,
+                nodes,
+                span: head.span.merge(c.line_span),
+            });
+            Ok(())
+        }
+        "include" => {
+            let file_tok = match c.next() {
+                Some(t) if matches!(t.kind, TokenKind::Str | TokenKind::Word) => t,
+                _ => {
+                    return Err(NetlistError::parse(
+                        "`.INCLUDE` needs a file name",
+                        head.span,
+                    ))
+                }
+            };
+            expect_exhausted(c)?;
+            let text = includes.read(&file_tok.text).map_err(|e| {
+                NetlistError::Io(format!("cannot read include `{}`: {e}", file_tok.text))
+            })?;
+            deck.hdl_blocks.push(RawBlock {
+                text,
+                span: head.span.merge(file_tok.span),
+            });
+            Ok(())
+        }
+        "op" => {
+            expect_exhausted(c)?;
+            deck.analyses.push(AnalysisCard::Op { span: head.span });
+            Ok(())
+        }
+        "dc" => {
+            let var_tok = c.expect_word("a source name or `PARAM`")?;
+            let sweep = if var_tok.is("param") {
+                DcSweepVar::Param(c.expect_word("a parameter name")?.lower())
+            } else {
+                DcSweepVar::Source(var_tok.lower())
+            };
+            let start = parse_arg(c)?;
+            let stop = parse_arg(c)?;
+            let step = parse_arg(c)?;
+            expect_exhausted(c)?;
+            deck.analyses.push(AnalysisCard::Dc {
+                sweep,
+                start,
+                stop,
+                step,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "ac" => {
+            let shape_tok = c.expect_word("`DEC`, `LIN`, or `LIST`")?;
+            let sweep = match shape_tok.lower().as_str() {
+                "dec" => AcSweepSpec::Decade {
+                    n: parse_arg(c)?,
+                    fstart: parse_arg(c)?,
+                    fstop: parse_arg(c)?,
+                },
+                "lin" => AcSweepSpec::Linear {
+                    n: parse_arg(c)?,
+                    fstart: parse_arg(c)?,
+                    fstop: parse_arg(c)?,
+                },
+                "list" => {
+                    let mut fs = Vec::new();
+                    while !c.at_end() {
+                        fs.push(parse_arg(c)?);
+                    }
+                    AcSweepSpec::List(fs)
+                }
+                other => {
+                    return Err(NetlistError::parse(
+                        format!("unknown `.AC` sweep `{other}` (DEC, LIN, or LIST)"),
+                        shape_tok.span,
+                    ))
+                }
+            };
+            expect_exhausted(c)?;
+            deck.analyses.push(AnalysisCard::Ac {
+                sweep,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "tran" => {
+            let tstep = parse_arg(c)?;
+            let tstop = parse_arg(c)?;
+            let fixed = if c.peek().is_some_and(|t| t.is("fixed")) {
+                c.next();
+                true
+            } else {
+                false
+            };
+            expect_exhausted(c)?;
+            deck.analyses.push(AnalysisCard::Tran {
+                tstep,
+                tstop,
+                fixed,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "step" => {
+            if deck.step.is_some() {
+                return Err(NetlistError::parse(
+                    "only one `.STEP` card per deck",
+                    head.span,
+                ));
+            }
+            let mut var_tok = c.expect_word("`PARAM` or a parameter name")?;
+            if var_tok.is("param") {
+                var_tok = c.expect_word("a parameter name")?;
+            }
+            let param = var_tok.lower();
+            let values = if c.peek().is_some_and(|t| t.is("list")) {
+                c.next();
+                let mut vs = Vec::new();
+                while !c.at_end() {
+                    vs.push(parse_arg(c)?);
+                }
+                if vs.is_empty() {
+                    return Err(NetlistError::parse(
+                        "`.STEP … LIST` needs at least one value",
+                        head.span,
+                    ));
+                }
+                StepValues::List(vs)
+            } else {
+                let start = parse_arg(c)?;
+                let stop = parse_arg(c)?;
+                let step = parse_arg(c)?;
+                expect_exhausted(c)?;
+                StepValues::Range { start, stop, step }
+            };
+            deck.step = Some(StepCard {
+                param,
+                values,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "mc" => {
+            if deck.mc.is_some() {
+                return Err(NetlistError::parse(
+                    "only one `.MC` card per deck",
+                    head.span,
+                ));
+            }
+            let n = parse_arg(c)?;
+            let mut seed = None;
+            let mut vars = Vec::new();
+            while let Some(t) = c.peek() {
+                if t.is("seed") && c.peek_at(1).is_some_and(|n| n.kind == TokenKind::Eq) {
+                    c.next();
+                    c.next();
+                    seed = Some(parse_arg(c)?);
+                    continue;
+                }
+                let param = c.expect_word("a parameter name")?.lower();
+                let tol_kw = c.expect_word("`TOL`")?;
+                if !tol_kw.is("tol") {
+                    return Err(NetlistError::parse(
+                        format!("expected `TOL=…` after parameter, found `{}`", tol_kw.text),
+                        tol_kw.span,
+                    ));
+                }
+                c.expect(TokenKind::Eq, "`=`")?;
+                let tol = parse_arg(c)?;
+                let mut dist = McDist::Uniform;
+                if c.peek().is_some_and(|t| t.is("dist")) {
+                    c.next();
+                    c.expect(TokenKind::Eq, "`=`")?;
+                    let d = c.expect_word("`UNIFORM` or `GAUSS`")?;
+                    dist = match d.lower().as_str() {
+                        "uniform" => McDist::Uniform,
+                        "gauss" | "gaussian" | "normal" => McDist::Gauss,
+                        other => {
+                            return Err(NetlistError::parse(
+                                format!("unknown distribution `{other}`"),
+                                d.span,
+                            ))
+                        }
+                    };
+                }
+                vars.push(McVar { param, tol, dist });
+            }
+            if vars.is_empty() {
+                return Err(NetlistError::parse(
+                    "`.MC` needs at least one `param TOL=…` entry",
+                    head.span,
+                ));
+            }
+            deck.mc = Some(McCard {
+                n,
+                seed,
+                vars,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "print" | "save" => {
+            let analysis = match c.peek() {
+                Some(t)
+                    if t.kind == TokenKind::Word
+                        && matches!(t.lower().as_str(), "op" | "dc" | "ac" | "tran") =>
+                {
+                    let kind = t.lower();
+                    c.next();
+                    Some(kind)
+                }
+                _ => None,
+            };
+            let mut labels = Vec::new();
+            while !c.at_end() {
+                labels.push(parse_trace_label(c)?);
+            }
+            if labels.is_empty() {
+                return Err(NetlistError::parse("`.PRINT` selects no traces", head.span));
+            }
+            deck.prints.push(PrintCard {
+                analysis,
+                labels,
+                span: head.span,
+            });
+            Ok(())
+        }
+        "options" | "option" => {
+            while !c.at_end() {
+                let name = c.expect_word("an option name")?.lower();
+                c.expect(TokenKind::Eq, "`=`")?;
+                let value = parse_expr(c)?;
+                deck.options.push((name, value));
+            }
+            Ok(())
+        }
+        other => Err(NetlistError::parse(
+            format!("unknown card `.{other}`"),
+            head.span,
+        )),
+    }
+}
+
+/// Reassembles a trace label like `v(out)` or `i(k1,0)` from tokens.
+fn parse_trace_label(c: &mut Cursor<'_>) -> Result<String> {
+    let head = c.expect_word("a trace label like `v(out)`")?;
+    let mut label = head.lower();
+    if c.peek().is_some_and(|t| t.kind == TokenKind::LParen) {
+        c.next();
+        label.push('(');
+        let mut first = true;
+        loop {
+            match c.next() {
+                Some(t) if t.kind == TokenKind::RParen => break,
+                Some(t) if t.kind == TokenKind::Comma => {
+                    label.push(',');
+                    first = true;
+                }
+                Some(t) if t.kind == TokenKind::Word => {
+                    if !first {
+                        label.push(' ');
+                    }
+                    label.push_str(&t.lower());
+                    first = false;
+                }
+                Some(t) => {
+                    return Err(NetlistError::parse(
+                        format!("unexpected `{}` in trace label", t.text),
+                        t.span,
+                    ))
+                }
+                None => {
+                    return Err(NetlistError::parse(
+                        "unclosed `(` in trace label",
+                        head.span,
+                    ))
+                }
+            }
+        }
+        label.push(')');
+    }
+    Ok(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_deck() {
+        let src = "\
+demo deck
+.param vtop=5 r={2*1k}
+.node mechanical1 vel
+R1 in out {r}
+C1 out 0 1u
+Vs in 0 PULSE(0 {vtop} 1m 1m 1m 10m)
+Gd out 0 vel 0 2.5
+.op
+.tran 10u 20m
+.print tran v(out) i(c1,0)
+.options reltol=1e-8
+";
+        let deck = Deck::parse(src).unwrap();
+        assert_eq!(deck.title, "demo deck");
+        assert_eq!(deck.params.len(), 2);
+        assert_eq!(deck.devices.len(), 4);
+        assert_eq!(deck.analyses.len(), 2);
+        assert_eq!(deck.prints[0].labels, vec!["v(out)", "i(c1,0)"]);
+        assert_eq!(deck.options[0].0, "reltol");
+        match &deck.devices[2] {
+            DeviceCard::Source { kind, wave, .. } => {
+                assert_eq!(*kind, SourceKind::Voltage);
+                assert!(matches!(wave, WaveSpec::Pulse(args) if args.len() == 6));
+            }
+            other => panic!("expected source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_x_instances() {
+        let src = "t\nXt1 a 0 vel 0 eletran A=1e-4 d=0.15m er=1.0\n";
+        let deck = Deck::parse(src).unwrap();
+        match &deck.devices[0] {
+            DeviceCard::HdlInstance {
+                nodes,
+                entity,
+                generics,
+                ..
+            } => {
+                assert_eq!(nodes, &["a", "0", "vel", "0"]);
+                assert_eq!(entity, "eletran");
+                assert_eq!(generics.len(), 3);
+                assert_eq!(generics[1].0, "d");
+            }
+            other => panic!("expected X instance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_args_stay_separate() {
+        let src = "t\nVs a 0 PWL(0 -5 1m 5)\n";
+        let deck = Deck::parse(src).unwrap();
+        match &deck.devices[0] {
+            DeviceCard::Source {
+                wave: WaveSpec::Pwl(args),
+                ..
+            } => {
+                assert_eq!(args.len(), 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_and_mc_cards() {
+        let src = "t\n.param k=200\n.step param k 100 300 50\n";
+        let deck = Deck::parse(src).unwrap();
+        let step = deck.step.unwrap();
+        assert_eq!(step.param, "k");
+        assert!(matches!(step.values, StepValues::Range { .. }));
+
+        let src = "t\n.param k=200 m=1e-4\n.mc 32 seed=7 k tol=0.05 m tol=0.1 dist=gauss\n";
+        let deck = Deck::parse(src).unwrap();
+        let mc = deck.mc.unwrap();
+        assert_eq!(mc.vars.len(), 2);
+        assert_eq!(mc.vars[1].dist, McDist::Gauss);
+        assert!(mc.seed.is_some());
+    }
+
+    #[test]
+    fn golden_error_unknown_card() {
+        let src = "t\n.bogus 1 2 3\n";
+        let err = Deck::parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert_eq!(
+            rendered,
+            "deck parse error: unknown card `.bogus`\n\
+             .bogus 1 2 3\n\
+             ^^^^^^ (line 2, col 1)"
+        );
+    }
+
+    #[test]
+    fn golden_error_missing_node() {
+        let src = "t\nR1 a\n";
+        let err = Deck::parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert_eq!(
+            rendered,
+            "deck parse error: expected a node name before end of card\nR1 a\n    ^ (line 2, col 5)"
+        );
+    }
+
+    #[test]
+    fn golden_error_bad_nature() {
+        let src = "t\n.node quantum q1\n";
+        let err = Deck::parse(src).unwrap_err();
+        assert!(err.render(src).contains("unknown nature `quantum`"));
+        assert!(err.render(src).contains("line 2"));
+    }
+
+    #[test]
+    fn golden_error_bad_value() {
+        let src = "t\nC1 a 0 4..7k\n";
+        let err = Deck::parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(
+            rendered.contains("neither a number nor a parameter name"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("4..7k"), "{rendered}");
+        assert!(rendered.contains("line 2"), "{rendered}");
+    }
+
+    #[test]
+    fn x_without_pins_is_an_error() {
+        let src = "t\nX1 eletran\n";
+        let err = Deck::parse(src).unwrap_err();
+        assert!(err.to_string().contains("connects no pins"));
+    }
+
+    #[test]
+    fn includes_are_refused_by_default() {
+        let src = "t\n.include \"models.hdl\"\n";
+        let err = Deck::parse(src).unwrap_err();
+        assert!(matches!(err, NetlistError::Io(_)));
+    }
+
+    #[test]
+    fn include_resolver_feeds_hdl_blocks() {
+        struct Fixed;
+        impl IncludeResolver for Fixed {
+            fn read(&mut self, _: &str) -> std::io::Result<String> {
+                Ok("ENTITY probe IS\nEND ENTITY probe;".into())
+            }
+        }
+        let src = "t\n.include \"models.hdl\"\n";
+        let deck = Deck::parse_with_includes(src, &mut Fixed).unwrap();
+        assert_eq!(deck.hdl_blocks.len(), 1);
+        assert!(deck.hdl_blocks[0].text.contains("ENTITY probe"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Rendering deck and batch results as aligned text tables and CSV.
+
+use crate::ast::Deck;
+use crate::batch::BatchResult;
+use crate::elab::{AnalysisOutcome, DeckRun};
+use std::fmt::Write as _;
+
+/// Renders an aligned table: header row + data rows.
+fn table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, headers);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+fn fmt_val(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if (1e-3..1e6).contains(&v.abs()) {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.6e}")
+    }
+}
+
+/// Labels the deck selects for an analysis kind (`.PRINT` filters, or
+/// everything when no `.PRINT` matches) — see [`Deck::print_labels`].
+pub fn selected_labels(deck: &Deck, kind: &str, all: &[String]) -> Vec<String> {
+    deck.print_labels(kind, all)
+}
+
+/// Renders one analysis outcome as an aligned table.
+pub fn outcome_table(deck: &Deck, outcome: &AnalysisOutcome) -> String {
+    match outcome {
+        AnalysisOutcome::Op(op) => {
+            let labels = selected_labels(deck, "op", &op.layout.labels);
+            let rows: Vec<Vec<String>> = labels
+                .iter()
+                .filter_map(|l| op.by_label(l).map(|v| vec![l.clone(), fmt_val(v)]))
+                .collect();
+            format!(
+                "operating point ({} iterations)\n{}",
+                op.iterations,
+                table(&["unknown".into(), "value".into()], &rows)
+            )
+        }
+        AnalysisOutcome::Dc { var, result } => {
+            let all = result
+                .points
+                .first()
+                .map(|p| p.layout.labels.clone())
+                .unwrap_or_default();
+            let labels = selected_labels(deck, "dc", &all);
+            let mut headers = vec![var.clone()];
+            headers.extend(labels.iter().cloned());
+            let rows: Vec<Vec<String>> = result
+                .values
+                .iter()
+                .zip(&result.points)
+                .map(|(v, op)| {
+                    let mut row = vec![fmt_val(*v)];
+                    row.extend(
+                        labels
+                            .iter()
+                            .map(|l| op.by_label(l).map_or("-".into(), fmt_val)),
+                    );
+                    row
+                })
+                .collect();
+            format!("dc sweep over {var}\n{}", table(&headers, &rows))
+        }
+        AnalysisOutcome::Ac(ac) => {
+            let labels = selected_labels(deck, "ac", &ac.labels);
+            let mut headers = vec!["freq [Hz]".to_string()];
+            for l in &labels {
+                headers.push(format!("|{l}|"));
+                headers.push(format!("arg({l}) [deg]"));
+            }
+            let mags: Vec<Vec<f64>> = labels.iter().filter_map(|l| ac.magnitude(l)).collect();
+            let phases: Vec<Vec<f64>> = labels.iter().filter_map(|l| ac.phase_deg(l)).collect();
+            let rows: Vec<Vec<String>> = ac
+                .freqs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let mut row = vec![fmt_val(*f)];
+                    for (m, p) in mags.iter().zip(&phases) {
+                        row.push(fmt_val(m[i]));
+                        row.push(format!("{:+.2}", p[i]));
+                    }
+                    row
+                })
+                .collect();
+            format!(
+                "ac sweep ({} points)\n{}",
+                ac.freqs.len(),
+                table(&headers, &rows)
+            )
+        }
+        AnalysisOutcome::Tran(tr) => {
+            let labels = selected_labels(deck, "tran", &tr.labels);
+            let mut headers = vec!["time [s]".to_string()];
+            headers.extend(labels.iter().cloned());
+            let cols: Vec<Option<usize>> = labels.iter().map(|l| tr.column(l)).collect();
+            let rows: Vec<Vec<String>> = tr
+                .time
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mut row = vec![format!("{t:.6e}")];
+                    for c in &cols {
+                        row.push(c.map_or("-".into(), |c| fmt_val(tr.samples[i][c])));
+                    }
+                    row
+                })
+                .collect();
+            format!(
+                "transient ({} accepted steps, {} newton iterations, {} rejected)\n{}",
+                tr.time.len(),
+                tr.total_newton_iterations,
+                tr.rejected_steps,
+                table(&headers, &rows)
+            )
+        }
+    }
+}
+
+/// Renders one analysis outcome as CSV.
+pub fn outcome_csv(deck: &Deck, outcome: &AnalysisOutcome) -> String {
+    match outcome {
+        AnalysisOutcome::Op(op) => {
+            let labels = selected_labels(deck, "op", &op.layout.labels);
+            let mut out = String::from("unknown,value\n");
+            for l in &labels {
+                if let Some(v) = op.by_label(l) {
+                    let _ = writeln!(out, "{l},{v:.9e}");
+                }
+            }
+            out
+        }
+        AnalysisOutcome::Dc { var, result } => {
+            let all = result
+                .points
+                .first()
+                .map(|p| p.layout.labels.clone())
+                .unwrap_or_default();
+            let labels = selected_labels(deck, "dc", &all);
+            let mut out = var.clone();
+            for l in &labels {
+                let _ = write!(out, ",{l}");
+            }
+            out.push('\n');
+            for (v, op) in result.values.iter().zip(&result.points) {
+                let _ = write!(out, "{v:.9e}");
+                for l in &labels {
+                    match op.by_label(l) {
+                        Some(x) => {
+                            let _ = write!(out, ",{x:.9e}");
+                        }
+                        None => out.push_str(",nan"),
+                    }
+                }
+                out.push('\n');
+            }
+            out
+        }
+        AnalysisOutcome::Ac(ac) => {
+            let labels = selected_labels(deck, "ac", &ac.labels);
+            let mut out = String::from("freq");
+            for l in &labels {
+                let _ = write!(out, ",mag({l}),phase_deg({l})");
+            }
+            out.push('\n');
+            let mags: Vec<Vec<f64>> = labels.iter().filter_map(|l| ac.magnitude(l)).collect();
+            let phases: Vec<Vec<f64>> = labels.iter().filter_map(|l| ac.phase_deg(l)).collect();
+            for (i, f) in ac.freqs.iter().enumerate() {
+                let _ = write!(out, "{f:.9e}");
+                for (m, p) in mags.iter().zip(&phases) {
+                    let _ = write!(out, ",{:.9e},{:.9e}", m[i], p[i]);
+                }
+                out.push('\n');
+            }
+            out
+        }
+        AnalysisOutcome::Tran(tr) => {
+            let labels = selected_labels(deck, "tran", &tr.labels);
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            tr.to_csv(&refs)
+        }
+    }
+}
+
+/// Renders the whole run (all analyses) as tables.
+pub fn run_report(deck: &Deck, run: &DeckRun) -> String {
+    let mut out = format!("deck: {}\n", run.title);
+    for (card, outcome) in &run.outcomes {
+        let _ = writeln!(out, "\n== .{} ==", card.kind_name());
+        out.push_str(&outcome_table(deck, outcome));
+    }
+    out
+}
+
+/// Renders a batch result: per-point table + aggregate statistics.
+pub fn batch_report(result: &BatchResult) -> String {
+    let mut param_names: Vec<String> = Vec::new();
+    let mut metric_names: Vec<String> = Vec::new();
+    for p in &result.points {
+        for (name, _) in &p.point.overrides {
+            if !param_names.contains(name) {
+                param_names.push(name.clone());
+            }
+        }
+        if let Ok(metrics) = &p.outcome {
+            for m in metrics {
+                if !metric_names.contains(&m.name) {
+                    metric_names.push(m.name.clone());
+                }
+            }
+        }
+    }
+    let mut headers = vec!["#".to_string()];
+    headers.extend(param_names.iter().cloned());
+    headers.extend(metric_names.iter().cloned());
+    headers.push("status".into());
+    let rows: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.point.index.to_string()];
+            for name in &param_names {
+                let v = p.point.overrides.iter().find(|(n, _)| n == name);
+                row.push(v.map_or("-".into(), |(_, v)| fmt_val(*v)));
+            }
+            match &p.outcome {
+                Ok(metrics) => {
+                    for name in &metric_names {
+                        let m = metrics.iter().find(|m| &m.name == name);
+                        row.push(m.map_or("-".into(), |m| fmt_val(m.value)));
+                    }
+                    row.push("ok".into());
+                }
+                Err(e) => {
+                    for _ in &metric_names {
+                        row.push("-".into());
+                    }
+                    row.push(format!("FAIL: {e}"));
+                }
+            }
+            row
+        })
+        .collect();
+    let mut out = format!(
+        "batch: {} points, {} ok, {} threads\n{}",
+        result.points.len(),
+        result.ok_count(),
+        result.threads_used,
+        table(&headers, &rows)
+    );
+    let agg = result.aggregate();
+    if !agg.is_empty() {
+        out.push_str("\naggregate statistics (ok points)\n");
+        let headers = ["metric", "min", "max", "mean", "rms", "n"].map(String::from);
+        let rows: Vec<Vec<String>> = agg
+            .iter()
+            .map(|(name, s)| {
+                vec![
+                    name.clone(),
+                    fmt_val(s.min),
+                    fmt_val(s.max),
+                    fmt_val(s.mean),
+                    fmt_val(s.rms),
+                    s.n.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&table(&headers, &rows));
+    }
+    out
+}
+
+/// Renders a batch result as CSV (one row per point).
+pub fn batch_csv(result: &BatchResult) -> String {
+    let mut param_names: Vec<String> = Vec::new();
+    let mut metric_names: Vec<String> = Vec::new();
+    for p in &result.points {
+        for (name, _) in &p.point.overrides {
+            if !param_names.contains(name) {
+                param_names.push(name.clone());
+            }
+        }
+        if let Ok(metrics) = &p.outcome {
+            for m in metrics {
+                if !metric_names.contains(&m.name) {
+                    metric_names.push(m.name.clone());
+                }
+            }
+        }
+    }
+    let mut out = String::from("point");
+    for n in &param_names {
+        let _ = write!(out, ",{n}");
+    }
+    for n in &metric_names {
+        let _ = write!(out, ",{n}");
+    }
+    out.push_str(",status\n");
+    for p in &result.points {
+        let _ = write!(out, "{}", p.point.index);
+        for name in &param_names {
+            match p.point.overrides.iter().find(|(n, _)| n == name) {
+                Some((_, v)) => {
+                    let _ = write!(out, ",{v:.9e}");
+                }
+                None => out.push_str(",nan"),
+            }
+        }
+        match &p.outcome {
+            Ok(metrics) => {
+                for name in &metric_names {
+                    match metrics.iter().find(|m| &m.name == name) {
+                        Some(m) => {
+                            let _ = write!(out, ",{:.9e}", m.value);
+                        }
+                        None => out.push_str(",nan"),
+                    }
+                }
+                out.push_str(",ok\n");
+            }
+            Err(e) => {
+                for _ in &metric_names {
+                    out.push_str(",nan");
+                }
+                let _ = writeln!(out, ",\"{}\"", e.replace('"', "'"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{run_batch, BatchOptions};
+    use crate::elab::run_deck;
+
+    #[test]
+    fn op_table_and_csv_render() {
+        let deck = Deck::parse("t\nVs in 0 2\nR1 in out 1k\nR2 out 0 1k\n.op\n.print op v(out)\n")
+            .unwrap();
+        let run = run_deck(&deck).unwrap();
+        let report = run_report(&deck, &run);
+        assert!(report.contains("v(out)"), "{report}");
+        assert!(report.contains("1.000000"), "{report}");
+        let csv = outcome_csv(&deck, &run.outcomes[0].1);
+        assert!(csv.starts_with("unknown,value\n"));
+        assert!(csv.contains("v(out),"), "{csv}");
+    }
+
+    #[test]
+    fn batch_report_includes_stats_and_failures() {
+        let deck = Deck::parse(
+            "f\n.param r=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {r}\n.op\n.print op v(out)\n.step param r LIST 1k 0 3k\n",
+        )
+        .unwrap();
+        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let report = batch_report(&result);
+        assert!(report.contains("3 points, 2 ok"), "{report}");
+        assert!(report.contains("FAIL"), "{report}");
+        assert!(report.contains("aggregate statistics"), "{report}");
+        let csv = batch_csv(&result);
+        assert!(csv.lines().count() == 4, "{csv}");
+        assert!(csv.contains(",ok"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Deck lexer: physical lines → logical lines → spanned tokens.
+//!
+//! SPICE decks are line-oriented: the first line is the title, `*`
+//! starts a comment line, `;` a trailing comment, and a leading `+`
+//! continues the previous card. `.HDL … .ENDHDL` blocks are captured
+//! raw (the HDL-A compiler has its own front end). Every token keeps
+//! its byte span into the original deck text so diagnostics point at
+//! real source.
+
+use crate::error::{NetlistError, Result};
+use mems_hdl::span::Span;
+
+/// What a token lexically is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier / card name / node name / unit-suffixed number —
+    /// any bare word.
+    Word,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `+`, `-`, `*`, `/`, `**` — expression operators.
+    Op,
+    /// A double-quoted string (quotes stripped in `text`).
+    Str,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// Raw text (original case preserved; quotes stripped for `Str`).
+    pub text: String,
+    /// Byte span in the deck source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Lower-cased text (SPICE cards are case-insensitive).
+    pub fn lower(&self) -> String {
+        self.text.to_ascii_lowercase()
+    }
+
+    /// Case-insensitive keyword match.
+    pub fn is(&self, kw: &str) -> bool {
+        self.text.eq_ignore_ascii_case(kw)
+    }
+}
+
+/// One logical card: tokens of a line plus its continuations.
+#[derive(Debug, Clone)]
+pub struct LogicalLine {
+    /// The card's tokens in order.
+    pub tokens: Vec<Token>,
+    /// Span covering the full logical line.
+    pub span: Span,
+}
+
+/// A raw `.HDL`/`.ENDHDL` (or `.INCLUDE`d) HDL-A source block.
+#[derive(Debug, Clone)]
+pub struct RawBlock {
+    /// The verbatim HDL-A source text.
+    pub text: String,
+    /// Where the block sits in the deck (the `.HDL` card for inline
+    /// blocks; the `.INCLUDE` card for included files).
+    pub span: Span,
+}
+
+/// Lexer output: title, cards, raw HDL blocks.
+#[derive(Debug, Clone)]
+pub struct LexedDeck {
+    /// The deck's first line, verbatim.
+    pub title: String,
+    /// Logical card lines in deck order (dot cards included; `.HDL`
+    /// block bodies and `.END` excluded).
+    pub lines: Vec<LogicalLine>,
+    /// Inline `.HDL … .ENDHDL` blocks in deck order.
+    pub hdl_blocks: Vec<RawBlock>,
+}
+
+/// Splits the deck into logical lines and raw HDL blocks.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for stray continuations, unclosed
+/// `.HDL` blocks, unterminated strings, or characters the deck syntax
+/// has no meaning for.
+pub fn lex(src: &str) -> Result<LexedDeck> {
+    let mut lines_iter = line_spans(src).into_iter();
+    let title = match lines_iter.next() {
+        Some((s, e)) => src[s..e].trim().to_string(),
+        None => String::new(),
+    };
+
+    let mut lines: Vec<LogicalLine> = Vec::new();
+    let mut hdl_blocks: Vec<RawBlock> = Vec::new();
+    let mut in_hdl: Option<(usize, usize)> = None; // (card start, body start)
+    let mut ended = false;
+
+    for (start, end) in lines_iter {
+        let line = &src[start..end];
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        if let Some((hdl_span_start, body_start)) = in_hdl {
+            if trimmed.to_ascii_lowercase().starts_with(".endhdl") {
+                hdl_blocks.push(RawBlock {
+                    text: src[body_start..start].to_string(),
+                    span: Span::new(hdl_span_start, start + indent + ".endhdl".len()),
+                });
+                in_hdl = None;
+            }
+            continue;
+        }
+        if ended || trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        if lower.starts_with(".hdl") && lower[4..].trim().is_empty() {
+            in_hdl = Some((start + indent, end + 1));
+            continue;
+        }
+        if lower == ".end" || lower.starts_with(".end ") {
+            ended = true;
+            continue;
+        }
+        let tokens = lex_line(src, start + indent, end)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('+') {
+            // Continuation: splice onto the previous card (minus the
+            // leading `+` operator token).
+            match lines.last_mut() {
+                Some(prev) => {
+                    prev.span = prev.span.merge(Span::new(start + indent, end));
+                    prev.tokens.extend(tokens.into_iter().skip(1));
+                }
+                None => {
+                    return Err(NetlistError::parse(
+                        "continuation line with no card to continue",
+                        Span::new(start + indent, start + indent + 1),
+                    ))
+                }
+            }
+            continue;
+        }
+        lines.push(LogicalLine {
+            span: Span::new(start + indent, end),
+            tokens,
+        });
+    }
+    if let Some((hdl_start, _)) = in_hdl {
+        return Err(NetlistError::parse(
+            "`.HDL` block is never closed by `.ENDHDL`",
+            Span::new(hdl_start, hdl_start + 4),
+        ));
+    }
+    Ok(LexedDeck {
+        title,
+        lines,
+        hdl_blocks,
+    })
+}
+
+/// Byte ranges of each line (newline excluded; a CR before the LF is
+/// excluded too, so CRLF decks lex like LF ones).
+fn line_spans(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, c) in src.char_indices() {
+        if c == '\n' {
+            let end = if i > start && bytes[i - 1] == b'\r' {
+                i - 1
+            } else {
+                i
+            };
+            out.push((start, end));
+            start = i + 1;
+        }
+    }
+    if start < src.len() {
+        let mut end = src.len();
+        if bytes[end - 1] == b'\r' {
+            end -= 1;
+        }
+        out.push((start, end));
+    }
+    out
+}
+
+/// Tokenizes one physical line `[start, end)`.
+fn lex_line(src: &str, start: usize, end: usize) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = start;
+    while i < end {
+        let c = bytes[i] as char;
+        if c == ';' {
+            break; // trailing comment
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let tok_start = i;
+        let (kind, len) = match c {
+            '(' => (TokenKind::LParen, 1),
+            ')' => (TokenKind::RParen, 1),
+            '{' => (TokenKind::LBrace, 1),
+            '}' => (TokenKind::RBrace, 1),
+            '=' => (TokenKind::Eq, 1),
+            ',' => (TokenKind::Comma, 1),
+            '+' | '-' | '/' => (TokenKind::Op, 1),
+            '*' => {
+                if i + 1 < end && bytes[i + 1] == b'*' {
+                    (TokenKind::Op, 2)
+                } else {
+                    (TokenKind::Op, 1)
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                while j < end && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= end {
+                    return Err(NetlistError::parse(
+                        "unterminated string",
+                        Span::new(i, end),
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: src[i + 1..j].to_string(),
+                    span: Span::new(i, j + 1),
+                });
+                i = j + 1;
+                continue;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '.' => {
+                let mut j = i;
+                while j < end {
+                    let cj = bytes[j] as char;
+                    // A sign is part of the word only as an exponent
+                    // sign inside a number: 1e-6.
+                    let exponent_sign = (cj == '+' || cj == '-')
+                        && j > i
+                        && matches!(bytes[j - 1], b'e' | b'E')
+                        && (bytes[i] as char).is_ascii_digit()
+                        && j + 1 < end
+                        && (bytes[j + 1] as char).is_ascii_digit();
+                    if cj.is_ascii_alphanumeric() || cj == '_' || cj == '.' || exponent_sign {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                (TokenKind::Word, j - i)
+            }
+            other => {
+                return Err(NetlistError::parse(
+                    format!("unexpected character `{other}`"),
+                    Span::new(i, i + other.len_utf8()),
+                ))
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: src[tok_start..tok_start + len].to_string(),
+            span: Span::new(tok_start, tok_start + len),
+        });
+        i = tok_start + len;
+    }
+    Ok(tokens)
+}
+
+/// Parses a SPICE-style number with magnitude suffix: `1k`, `2.5m`,
+/// `10MEG`, `1e-6`, `100n`, `10pF` (trailing unit letters ignored).
+pub fn parse_number(text: &str) -> Option<f64> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    // Mantissa: digits [. digits] [e [+|-] digits]
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i == 0 || (i == 1 && bytes[0] == b'.') {
+        return None;
+    }
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        let digits_start = j;
+        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            j += 1;
+        }
+        if j > digits_start {
+            i = j;
+        }
+    }
+    let mantissa: f64 = text[..i].parse().ok()?;
+    let suffix = text[i..].to_ascii_lowercase();
+    if !suffix.chars().all(|c| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with("mil") {
+        25.4e-6
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            // Any other letters are a unit annotation (V, A, Hz, …).
+            Some(_) => 1.0,
+        }
+    };
+    Some(mantissa * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Option<f64>, b: f64) {
+        let a = a.expect("parses");
+        assert!((a - b).abs() <= b.abs() * 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        close(parse_number("1k"), 1e3);
+        close(parse_number("10MEG"), 1e7);
+        close(parse_number("2.5m"), 2.5e-3);
+        close(parse_number("100n"), 1e-7);
+        close(parse_number("1e-6"), 1e-6);
+        close(parse_number("10pF"), 1e-11);
+        close(parse_number("3.3V"), 3.3);
+        assert_eq!(parse_number("1e"), Some(1.0)); // bare e → unit letter
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number(""), None);
+    }
+
+    #[test]
+    fn title_comments_continuations() {
+        let deck = "my deck\n* a comment\nR1 a b 1k\n+ ; trailing only\nV1 a 0 DC 5\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.title, "my deck");
+        assert_eq!(lexed.lines.len(), 2);
+        assert_eq!(lexed.lines[0].tokens[0].text, "R1");
+        assert_eq!(lexed.lines[1].tokens[0].text, "V1");
+    }
+
+    #[test]
+    fn continuation_merges_tokens() {
+        let deck = "t\nV1 in 0 PWL(0 0\n+ 1m 5)\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.lines.len(), 1);
+        let texts: Vec<&str> = lexed.lines[0]
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            texts,
+            vec!["V1", "in", "0", "PWL", "(", "0", "0", "1m", "5", ")"]
+        );
+    }
+
+    #[test]
+    fn hdl_blocks_are_captured_raw() {
+        let deck = "t\n.HDL\nENTITY e IS\n* not a comment here\nEND ENTITY e;\n.ENDHDL\nR1 a 0 1\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.hdl_blocks.len(), 1);
+        assert!(lexed.hdl_blocks[0].text.contains("* not a comment here"));
+        assert_eq!(lexed.lines.len(), 1);
+    }
+
+    #[test]
+    fn unclosed_hdl_is_an_error() {
+        let deck = "t\n.HDL\nENTITY e IS\n";
+        let err = lex(deck).unwrap_err();
+        assert!(err.to_string().contains("never closed"));
+    }
+
+    #[test]
+    fn end_card_stops_lexing() {
+        let deck = "t\nR1 a 0 1\n.END\ngarbage $$$\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.lines.len(), 1);
+    }
+
+    #[test]
+    fn stray_continuation_is_an_error() {
+        let deck = "t\n+ R1 a 0 1\n";
+        assert!(lex(deck).is_err());
+    }
+
+    #[test]
+    fn crlf_decks_lex_like_lf_decks() {
+        let deck = "t\r\nR1 a 0 1k\r\n.END\r\ngarbage\r\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.title, "t");
+        assert_eq!(lexed.lines.len(), 1);
+        let texts: Vec<&str> = lexed.lines[0]
+            .tokens
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(texts, vec!["R1", "a", "0", "1k"]);
+        // Final line without a trailing newline keeps its CR out too.
+        let lexed = lex("t\r\nV1 a 0 5\r").unwrap();
+        assert_eq!(lexed.lines[0].tokens.last().unwrap().text, "5");
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let deck = "t\nR1 node1 0 4.7k\n";
+        let lexed = lex(deck).unwrap();
+        let tok = &lexed.lines[0].tokens[3];
+        assert_eq!(tok.span.slice(deck), "4.7k");
+    }
+}

@@ -51,7 +51,10 @@ pub struct CgSolution {
 pub fn solve_cg(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution> {
     let (n, m) = a.shape();
     if n != m {
-        return Err(NumericsError::DimensionMismatch { expected: n, found: m });
+        return Err(NumericsError::DimensionMismatch {
+            expected: n,
+            found: m,
+        });
     }
     if b.len() != n {
         return Err(NumericsError::DimensionMismatch {
@@ -59,7 +62,11 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], opts: &CgOptions) -> Result<CgSolution
             found: b.len(),
         });
     }
-    let max_iter = if opts.max_iter == 0 { 10 * n.max(10) } else { opts.max_iter };
+    let max_iter = if opts.max_iter == 0 {
+        10 * n.max(10)
+    } else {
+        opts.max_iter
+    };
     let mut precond = vec![1.0; n];
     if opts.jacobi {
         for (i, d) in a.diagonal().into_iter().enumerate() {
@@ -209,6 +216,9 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, NumericsError::NoConvergence { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            NumericsError::NoConvergence { iterations: 2, .. }
+        ));
     }
 }

@@ -180,6 +180,8 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division by multiplication with the reciprocal — intended.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -304,7 +306,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-5.0, -12.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-5.0, -12.0),
+        ] {
             let z = Complex64::new(re, im);
             let s = z.sqrt();
             assert!((s * s - z).abs() < 1e-12, "sqrt({z}) = {s}");

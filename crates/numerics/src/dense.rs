@@ -59,7 +59,11 @@ impl<S: Scalar> DenseMatrix<S> {
             assert_eq!(row.len(), c, "ragged rows in DenseMatrix::from_rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at each entry.
@@ -100,7 +104,9 @@ impl<S: Scalar> DenseMatrix<S> {
 
     /// The main diagonal.
     pub fn diagonal(&self) -> Vec<S> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Raw data slice, row-major.
@@ -199,7 +205,9 @@ impl<S: Scalar> DenseMatrix<S> {
 impl DenseMatrix<f64> {
     /// Lifts a real matrix into the complex field.
     pub fn to_complex(&self) -> DenseMatrix<Complex64> {
-        DenseMatrix::from_fn(self.rows, self.cols, |i, j| Complex64::from_re(self[(i, j)]))
+        DenseMatrix::from_fn(self.rows, self.cols, |i, j| {
+            Complex64::from_re(self[(i, j)])
+        })
     }
 
     /// Symmetry defect `max |a_ij - a_ji|` (useful for SPD checks).
@@ -305,7 +313,10 @@ mod tests {
         let a = DenseMatrix::<f64>::zeros(2, 3);
         assert!(matches!(
             a.mul_vec(&[1.0, 2.0]),
-            Err(NumericsError::DimensionMismatch { expected: 3, found: 2 })
+            Err(NumericsError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            })
         ));
     }
 

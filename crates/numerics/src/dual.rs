@@ -101,7 +101,10 @@ impl Dual64 {
 
     /// Absolute value (derivative is the sign; zero at the kink).
     pub fn abs(self) -> Self {
-        self.lift(self.v.abs(), self.v.signum() * if self.v == 0.0 { 0.0 } else { 1.0 })
+        self.lift(
+            self.v.abs(),
+            self.v.signum() * if self.v == 0.0 { 0.0 } else { 1.0 },
+        )
     }
 
     /// Reciprocal.

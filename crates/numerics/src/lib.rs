@@ -35,6 +35,10 @@
 //! # }
 //! ```
 
+// Index-based loops mirror the textbook matrix math they implement,
+// and `!(x > y)` comparisons are deliberate NaN-rejecting guards.
+#![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+
 pub mod cg;
 pub mod complex;
 pub mod dense;

@@ -75,7 +75,11 @@ impl<S: Scalar> LuFactors<S> {
                 }
             }
         }
-        Ok(LuFactors { lu, perm, perm_sign })
+        Ok(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Order of the factored matrix.

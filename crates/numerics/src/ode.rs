@@ -158,9 +158,17 @@ pub fn rk4(
     ys.push(y.clone());
     for _ in 0..steps {
         let k1 = f(t, &y);
-        let y2: Vec<f64> = y.iter().zip(&k1).map(|(yi, ki)| yi + 0.5 * h * ki).collect();
+        let y2: Vec<f64> = y
+            .iter()
+            .zip(&k1)
+            .map(|(yi, ki)| yi + 0.5 * h * ki)
+            .collect();
         let k2 = f(t + 0.5 * h, &y2);
-        let y3: Vec<f64> = y.iter().zip(&k2).map(|(yi, ki)| yi + 0.5 * h * ki).collect();
+        let y3: Vec<f64> = y
+            .iter()
+            .zip(&k2)
+            .map(|(yi, ki)| yi + 0.5 * h * ki)
+            .collect();
         let k3 = f(t + 0.5 * h, &y3);
         let y4: Vec<f64> = y.iter().zip(&k3).map(|(yi, ki)| yi + h * ki).collect();
         let k4 = f(t + h, &y4);

@@ -120,11 +120,7 @@ impl Polynomial {
         let monic: Vec<f64> = self.coeffs.iter().map(|c| c / lead).collect();
         let poly = Polynomial { coeffs: monic };
         // Initial guesses on a non-real circle (Aberth-style).
-        let radius = 1.0
-            + poly.coeffs[..n]
-                .iter()
-                .map(|c| c.abs())
-                .fold(0.0, f64::max);
+        let radius = 1.0 + poly.coeffs[..n].iter().map(|c| c.abs()).fold(0.0, f64::max);
         let mut z: Vec<Complex64> = (0..n)
             .map(|k| {
                 let angle = 2.0 * std::f64::consts::PI * (k as f64) / (n as f64) + 0.4;
@@ -143,11 +139,11 @@ impl Polynomial {
                 }
                 if denom.abs() == 0.0 {
                     // Perturb coincident estimates.
-                    z[i] = z[i] + Complex64::new(1e-8, 1e-8);
+                    z[i] += Complex64::new(1e-8, 1e-8);
                     continue;
                 }
                 let step = poly.eval_complex(z[i]) / denom;
-                z[i] = z[i] - step;
+                z[i] -= step;
                 max_step = max_step.max(step.abs());
             }
             if max_step < 1e-13 * radius.max(1.0) {
@@ -305,7 +301,10 @@ mod tests {
     #[test]
     fn polyfit_recovers_exact_cubic() {
         let xs: Vec<f64> = (0..20).map(|i| 1.0 + 0.05 * i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 0.5 - x + 2.0 * x * x - 0.25 * x * x * x).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.5 - x + 2.0 * x * x - 0.25 * x * x * x)
+            .collect();
         let fit = polyfit(&xs, &ys, 3).unwrap();
         for &x in &xs {
             assert!((fit.eval(x) - (0.5 - x + 2.0 * x * x - 0.25 * x * x * x)).abs() < 1e-10);

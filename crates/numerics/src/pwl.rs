@@ -126,11 +126,7 @@ impl Pwl1 {
     /// Segment slope at `x` (the derivative almost everywhere).
     pub fn deriv(&self, x: f64) -> f64 {
         match self.extrapolation {
-            Extrapolation::Clamp
-                if x < self.xs[0] || x > *self.xs.last().expect("nonempty") =>
-            {
-                0.0
-            }
+            Extrapolation::Clamp if x < self.xs[0] || x > *self.xs.last().expect("nonempty") => 0.0,
             _ => {
                 let i = self.segment(x);
                 (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i])
@@ -223,7 +219,9 @@ impl Pwl2 {
         let z10 = z(i + 1, j);
         let z01 = z(i, j + 1);
         let z11 = z(i + 1, j + 1);
-        z00 * (1.0 - tx) * (1.0 - ty) + z10 * tx * (1.0 - ty) + z01 * (1.0 - tx) * ty
+        z00 * (1.0 - tx) * (1.0 - ty)
+            + z10 * tx * (1.0 - ty)
+            + z01 * (1.0 - tx) * ty
             + z11 * tx * ty
     }
 

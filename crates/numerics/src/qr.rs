@@ -204,11 +204,7 @@ mod tests {
     fn least_squares_minimizes_residual() {
         // Inconsistent system: check the normal-equation optimality
         // condition Aᵀ(Ax − b) ≈ 0.
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.0][..],
-            &[1.0, 1.0][..],
-            &[1.0, 2.0][..],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0][..], &[1.0, 2.0][..]]);
         let b = [1.0, 0.0, 2.0];
         let x = least_squares(&a, &b).unwrap();
         let ax = a.mul_vec(&x).unwrap();
@@ -234,11 +230,7 @@ mod tests {
         // Column 2 = 2 × column 1 and b = column 1: the LS solution is
         // non-unique. QR either flags singularity or returns *some*
         // x with A·x ≈ b; both are acceptable contracts.
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0][..],
-            &[2.0, 4.0][..],
-            &[3.0, 6.0][..],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..], &[3.0, 6.0][..]]);
         let b = [1.0, 2.0, 3.0];
         match QrFactors::factor(&a) {
             Err(NumericsError::Singular { .. }) => {}

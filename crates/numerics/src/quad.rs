@@ -19,7 +19,7 @@ pub fn gauss_legendre(order: usize) -> &'static [(f64, f64)] {
     ];
     const P3: [(f64, f64); 3] = [
         (-0.774_596_669_241_483_4, 0.555_555_555_555_555_6),
-        (0.0, 0.888_888_888_888_888_9),
+        (0.0, 0.888_888_888_888_889),
         (0.774_596_669_241_483_4, 0.555_555_555_555_555_6),
     ];
     const P4: [(f64, f64); 4] = [
@@ -92,9 +92,9 @@ mod tests {
         // order n is exact through degree 2n-1.
         for order in 1..=5 {
             let deg = 2 * order - 1;
-            let exact = 2.0 / (deg as f64 + 1.0) * if deg % 2 == 0 { 1.0 } else { 0.0 }
-                + if deg % 2 == 0 { 0.0 } else { 0.0 };
-            // ∫_{-1}^{1} x^deg dx = 0 for odd deg; use x^(deg-1) for even check.
+            // deg = 2·order − 1 is odd, and ∫_{-1}^{1} x^odd dx = 0;
+            // the even-degree check below uses x^(deg-1).
+            let exact = 0.0;
             let got = gauss_integrate(|x| x.powi(deg as i32), -1.0, 1.0, order);
             assert!((got - exact).abs() < 1e-13, "order {order} deg {deg}");
             let even = deg - 1;

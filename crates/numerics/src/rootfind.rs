@@ -88,8 +88,7 @@ pub fn brent(f: impl Fn(f64) -> f64, a0: f64, b0: f64, tol: f64) -> Result<f64> 
             b - fb * (b - a) / (fb - fa)
         };
         let lo = (3.0 * a + b) / 4.0;
-        let within = (s > lo.min(b) && s < lo.max(b))
-            || (s > b.min(lo) && s < b.max(lo));
+        let within = (s > lo.min(b) && s < lo.max(b)) || (s > b.min(lo) && s < b.max(lo));
         let cond = !within
             || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)

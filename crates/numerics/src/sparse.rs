@@ -59,7 +59,7 @@ impl TripletMatrix {
     /// Converts to CSR, summing duplicate coordinates.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
         // Merge duplicates into (i, j, sum) runs.
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
         for (i, j, v) in sorted {
@@ -153,7 +153,9 @@ impl CsrMatrix {
 
     /// Extracts the diagonal (zeros where unstored).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Converts to a dense matrix (tests and small problems only).

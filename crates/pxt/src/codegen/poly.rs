@@ -10,11 +10,11 @@
 use crate::codegen::horner_expr;
 use crate::error::{PxtError, Result};
 use crate::extract::Extraction1d;
-use mems_hdl::ast::{
-    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl,
-    Relation, Stmt,
-};
 use mems_hdl::ast::Expr;
+use mems_hdl::ast::{
+    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl, Relation,
+    Stmt,
+};
 use mems_hdl::print::print_module;
 use mems_hdl::span::Span;
 use mems_numerics::poly::{polyfit, ScaledPolynomial};
@@ -152,10 +152,7 @@ fn build_module(name: &str, cap: &ScaledPolynomial) -> Module {
                 quantity: "i".into(),
                 span: sp,
             },
-            value: Expr::call(
-                "ddt",
-                vec![Expr::mul(Expr::ident("cap"), Expr::ident("v"))],
-            ),
+            value: Expr::call("ddt", vec![Expr::mul(Expr::ident("cap"), Expr::ident("v"))]),
             span: sp,
         },
         Stmt::Contribute {
@@ -166,7 +163,10 @@ fn build_module(name: &str, cap: &ScaledPolynomial) -> Module {
                 span: sp,
             },
             value: Expr::mul(
-                Expr::mul(Expr::num(0.5), Expr::mul(Expr::ident("v"), Expr::ident("v"))),
+                Expr::mul(
+                    Expr::num(0.5),
+                    Expr::mul(Expr::ident("v"), Expr::ident("v")),
+                ),
                 Expr::ident("dcap"),
             ),
             span: sp,
@@ -225,8 +225,7 @@ mod tests {
     #[test]
     fn generated_source_compiles() {
         let model =
-            generate_poly_capacitance_model("captran", &analytic_extraction(), 4, 1e-3)
-                .unwrap();
+            generate_poly_capacitance_model("captran", &analytic_extraction(), 4, 1e-3).unwrap();
         assert!(model.max_rel_error < 1e-3);
         let compiled = HdlModel::compile(&model.source, "captran", None).unwrap();
         assert_eq!(compiled.compiled().pins.len(), 4);
@@ -237,8 +236,8 @@ mod tests {
     #[test]
     fn fit_error_gate_rejects_low_degree() {
         // Degree 0 cannot represent 1/(d+x) to 0.1 %.
-        let err = generate_poly_capacitance_model("bad", &analytic_extraction(), 0, 1e-3)
-            .unwrap_err();
+        let err =
+            generate_poly_capacitance_model("bad", &analytic_extraction(), 0, 1e-3).unwrap_err();
         assert!(matches!(err, PxtError::BadFit(_)));
     }
 

@@ -5,8 +5,8 @@ use crate::error::{PxtError, Result};
 use crate::extract::{Extraction1d, Extraction2d};
 use mems_hdl::ast::Expr;
 use mems_hdl::ast::{
-    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl,
-    Relation, Stmt,
+    Architecture, Block, BranchRef, Ctx, Entity, Module, ObjectDecl, ObjectKind, PinDecl, Relation,
+    Stmt,
 };
 use mems_hdl::print::print_module;
 use mems_hdl::span::Span;
@@ -69,10 +69,10 @@ pub fn generate_pwl_transducer_model(
         .collect();
     // Validate V² scaling across the grid.
     for (i, &v) in force.xs.iter().enumerate() {
-        for j in 0..ny {
-            let predicted = fcoef[j] * v * v;
+        for (j, &fc) in fcoef.iter().enumerate() {
+            let predicted = fc * v * v;
             let actual = force.zs[i * ny + j];
-            let scale = actual.abs().max(fcoef[j].abs() * vref * vref);
+            let scale = actual.abs().max(fc.abs() * vref * vref);
             if scale > 0.0 && (predicted - actual).abs() > scale * 1e-2 {
                 return Err(PxtError::BadFit(format!(
                     "force grid is not V²-separable at (V, x) = ({v}, {}): \
@@ -88,10 +88,26 @@ pub fn generate_pwl_transducer_model(
         name: name.to_string(),
         generics: vec![],
         pins: vec![
-            PinDecl { name: "a".into(), nature: "electrical".into(), span: sp },
-            PinDecl { name: "b".into(), nature: "electrical".into(), span: sp },
-            PinDecl { name: "c".into(), nature: "mechanical1".into(), span: sp },
-            PinDecl { name: "d".into(), nature: "mechanical1".into(), span: sp },
+            PinDecl {
+                name: "a".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "b".into(),
+                nature: "electrical".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "c".into(),
+                nature: "mechanical1".into(),
+                span: sp,
+            },
+            PinDecl {
+                name: "d".into(),
+                nature: "mechanical1".into(),
+                span: sp,
+            },
         ],
         span: sp,
     };

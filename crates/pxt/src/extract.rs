@@ -56,7 +56,11 @@ impl Extraction2d {
     ///
     /// Propagates table-validation failures.
     pub fn to_pwl(&self) -> Result<Pwl2> {
-        Ok(Pwl2::new(self.xs.clone(), self.ys.clone(), self.zs.clone())?)
+        Ok(Pwl2::new(
+            self.xs.clone(),
+            self.ys.clone(),
+            self.zs.clone(),
+        )?)
     }
 
     /// Extracts the row `q(·, y)` nearest a column value.
@@ -66,7 +70,10 @@ impl Extraction2d {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                (*a - y).abs().partial_cmp(&(*b - y).abs()).expect("finite axis")
+                (*a - y)
+                    .abs()
+                    .partial_cmp(&(*b - y).abs())
+                    .expect("finite axis")
             })
             .map(|(j, _)| j)
             .unwrap_or(0);
@@ -74,7 +81,12 @@ impl Extraction2d {
             param: self.param_x.clone(),
             quantity: self.quantity.clone(),
             xs: self.xs.clone(),
-            ys: self.xs.iter().enumerate().map(|(i, _)| self.zs[i * self.ys.len() + j]).collect(),
+            ys: self
+                .xs
+                .iter()
+                .enumerate()
+                .map(|(i, _)| self.zs[i * self.ys.len() + j])
+                .collect(),
         }
     }
 }
@@ -165,7 +177,7 @@ mod tests {
 
     #[test]
     fn sweep_rejects_single_point() {
-        assert!(extract_1d("x", "f", &[1.0], |x| Ok(x)).is_err());
+        assert!(extract_1d("x", "f", &[1.0], Ok).is_err());
     }
 
     #[test]

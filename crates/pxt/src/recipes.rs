@@ -67,8 +67,7 @@ impl PlateGapDut {
     pub fn capacitance(&self, displacement: f64) -> Result<f64> {
         let g = self.gap + displacement;
         let v_probe = 1.0;
-        let problem =
-            parallel_plate_problem(self.width, g, self.nx, self.ny, 0.0, v_probe)?;
+        let problem = parallel_plate_problem(self.width, g, self.nx, self.ny, 0.0, v_probe)?;
         let field = problem.solve()?;
         Ok(field.capacitance_per_depth(v_probe) * self.depth)
     }
@@ -147,8 +146,7 @@ mod tests {
             ny: 6,
             ..PlateGapDut::table4()
         };
-        let grid =
-            force_vs_voltage_displacement(&dut, &[5.0, 10.0], &[0.0, 3e-5]).unwrap();
+        let grid = force_vs_voltage_displacement(&dut, &[5.0, 10.0], &[0.0, 3e-5]).unwrap();
         let f = |v: f64, x: f64| -EPS0 * dut.area() * v * v / (2.0 * (dut.gap + x).powi(2));
         for (i, &v) in grid.xs.iter().enumerate() {
             for (j, &x) in grid.ys.iter().enumerate() {

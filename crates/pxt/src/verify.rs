@@ -5,13 +5,13 @@
 use crate::error::{PxtError, Result};
 use mems_hdl::eval::{AdScalar, DualReal, EvalEnv};
 use mems_hdl::model::HdlModel;
+use mems_numerics::Complex64;
 use mems_spice::analysis::ac::{run_with_op, FreqSweep};
 use mems_spice::analysis::dcop;
 use mems_spice::circuit::Circuit;
 use mems_spice::devices::{AcSpec, HdlDevice, VoltageSource};
 use mems_spice::solver::SimOptions;
 use mems_spice::wave::Waveform;
-use mems_numerics::Complex64;
 
 /// Evaluation probe: feeds fixed across values into a compiled
 /// two-port model (electrical + mechanical) and records the
@@ -27,7 +27,11 @@ impl EvalEnv<DualReal> for Probe {
         2
     }
     fn across(&self, branch: usize) -> DualReal {
-        let v = if branch == 0 { self.v_elec } else { self.v_mech };
+        let v = if branch == 0 {
+            self.v_elec
+        } else {
+            self.v_mech
+        };
         DualReal::variable(v, 2, branch.min(1))
     }
     fn unknown(&self, _index: usize) -> DualReal {
@@ -52,11 +56,7 @@ impl EvalEnv<DualReal> for Probe {
 /// # Errors
 ///
 /// Propagates compile/elaboration/evaluation failures.
-pub fn verify_static_force(
-    source: &str,
-    entity: &str,
-    samples: &[(f64, f64, f64)],
-) -> Result<f64> {
+pub fn verify_static_force(source: &str, entity: &str, samples: &[(f64, f64, f64)]) -> Result<f64> {
     let model = HdlModel::compile(source, entity, None)?;
     let mut worst = 0.0f64;
     for &(v, x, f_ref) in samples {
@@ -77,7 +77,12 @@ pub fn verify_static_force(
             v_mech: x / h,
             contributions: Vec::new(),
         };
-        inst.eval_transient(h, h, mems_numerics::ode::IntegrationMethod::BackwardEuler, &mut env)?;
+        inst.eval_transient(
+            h,
+            h,
+            mems_numerics::ode::IntegrationMethod::BackwardEuler,
+            &mut env,
+        )?;
         inst.commit_transient(h);
         // Read the settled force at zero velocity.
         let mut env = Probe {
@@ -92,9 +97,7 @@ pub fn verify_static_force(
             .rev()
             .find(|(b, _)| *b == 1)
             .map(|(_, f)| *f)
-            .ok_or_else(|| {
-                PxtError::BadFit("model contributed no mechanical force".into())
-            })?;
+            .ok_or_else(|| PxtError::BadFit("model contributed no mechanical force".into()))?;
         let rel = (force - f_ref).abs() / f_ref.abs().max(1e-300);
         worst = worst.max(rel);
     }
@@ -135,7 +138,11 @@ pub fn verify_admittance_ac(
     let i_src = ac
         .phasors("i(vs,0)")
         .ok_or_else(|| PxtError::Spice("missing source current trace".into()))?;
-    let scale = reference.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1e-300);
+    let scale = reference
+        .iter()
+        .map(|z| z.abs())
+        .fold(0.0, f64::max)
+        .max(1e-300);
     let mut worst = 0.0f64;
     for (i, r) in i_src.iter().zip(reference) {
         let h_model = -*i;

@@ -103,7 +103,7 @@ impl FreqSweep {
 pub fn run(circuit: &mut Circuit, sweep: &FreqSweep, sim: &SimOptions) -> Result<AcResult> {
     let freqs = sweep.frequencies()?;
     let op = super::dcop::solve(circuit, sim)?;
-    Ok(run_with_op(circuit, &freqs, &op)?)
+    run_with_op(circuit, &freqs, &op)
 }
 
 /// Runs the sweep against an already-solved operating point.
@@ -189,10 +189,8 @@ mod tests {
         let a = c.enode("a").unwrap();
         let b = c.enode("b").unwrap();
         let g = c.ground();
-        c.add(
-            VoltageSource::new("v1", a, g, Waveform::Dc(0.0)).with_ac(AcSpec::unit()),
-        )
-        .unwrap();
+        c.add(VoltageSource::new("v1", a, g, Waveform::Dc(0.0)).with_ac(AcSpec::unit()))
+            .unwrap();
         c.add(Resistor::new("r1", a, b, 1e3)).unwrap();
         c.add(Capacitor::new("c1", b, g, 1e-6)).unwrap();
         // Corner at 1/(2πRC) ≈ 159.15 Hz.
@@ -218,20 +216,13 @@ mod tests {
         let b = c.enode("b").unwrap();
         let d = c.enode("d").unwrap();
         let g = c.ground();
-        c.add(
-            VoltageSource::new("v1", a, g, Waveform::Dc(0.0)).with_ac(AcSpec::unit()),
-        )
-        .unwrap();
+        c.add(VoltageSource::new("v1", a, g, Waveform::Dc(0.0)).with_ac(AcSpec::unit()))
+            .unwrap();
         c.add(Resistor::new("r1", a, b, 10.0)).unwrap();
         c.add(Inductor::new("l1", b, d, 1e-3)).unwrap();
         c.add(Capacitor::new("c1", d, g, 1e-6)).unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3f64 * 1e-6).sqrt());
-        let res = run(
-            &mut c,
-            &FreqSweep::List(vec![f0]),
-            &SimOptions::default(),
-        )
-        .unwrap();
+        let res = run(&mut c, &FreqSweep::List(vec![f0]), &SimOptions::default()).unwrap();
         // At resonance the current is v/R → 0.1 A.
         let i = res.magnitude("i(l1,0)").unwrap()[0];
         assert!((i - 0.1).abs() < 1e-6, "resonant current {i}");

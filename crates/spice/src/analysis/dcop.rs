@@ -16,9 +16,28 @@ use crate::solver::{newton, SimOptions, Workspace};
 ///
 /// Returns [`SpiceError::NoConvergence`] when every homotopy fails.
 pub fn solve(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSolution> {
+    solve_from(circuit, opts, None)
+}
+
+/// [`solve`] warm-started from a previous solution: plain Newton runs
+/// from `guess` first (a sweep's previous point is usually a few
+/// iterations away), falling back to the cold-start homotopies when it
+/// diverges. A `guess` of the wrong length is ignored.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_from(
+    circuit: &mut Circuit,
+    opts: &SimOptions,
+    guess: Option<&[f64]>,
+) -> Result<OpSolution> {
     let layout = circuit.layout();
     let mut ws = Workspace::new(layout.n_unknowns);
-    let x0 = vec![0.0; layout.n_unknowns];
+    let x0 = match guess {
+        Some(g) if g.len() == layout.n_unknowns => g.to_vec(),
+        _ => vec![0.0; layout.n_unknowns],
+    };
 
     // 1. Plain Newton.
     let direct = newton(
@@ -35,8 +54,13 @@ pub fn solve(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSolution> {
     );
     let outcome = match direct {
         Ok(o) => Ok(o),
-        Err(_) => gmin_stepping(circuit, &layout, opts, &x0, &mut ws)
-            .or_else(|_| source_stepping(circuit, &layout, opts, &x0, &mut ws)),
+        Err(_) => {
+            // Homotopies always restart from zero: a bad warm-start
+            // guess must not poison the fallback path.
+            let zeros = vec![0.0; layout.n_unknowns];
+            gmin_stepping(circuit, &layout, opts, &zeros, &mut ws)
+                .or_else(|_| source_stepping(circuit, &layout, opts, &zeros, &mut ws))
+        }
     };
     let outcome = outcome.map_err(|e| SpiceError::NoConvergence {
         analysis: "dc operating point".into(),
@@ -44,7 +68,14 @@ pub fn solve(circuit: &mut Circuit, opts: &SimOptions) -> Result<OpSolution> {
     })?;
 
     for dev in circuit.devices_mut() {
-        dev.commit(&outcome.x, &layout, CommitKind { is_dc: true, h: 0.0 });
+        dev.commit(
+            &outcome.x,
+            &layout,
+            CommitKind {
+                is_dc: true,
+                h: 0.0,
+            },
+        );
     }
     Ok(OpSolution {
         x: outcome.x,

@@ -68,6 +68,8 @@ impl TranOptions {
 /// - [`SpiceError::StepUnderflow`] when step halving bottoms out;
 /// - [`SpiceError::BadOptions`] for a non-positive horizon.
 pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Result<TranResult> {
+    // `!(x > 0.0)` (rather than `x <= 0.0`) also rejects a NaN horizon.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(opts.t_stop > 0.0) {
         return Err(SpiceError::BadOptions(format!(
             "t_stop must be positive, got {}",
@@ -116,7 +118,7 @@ pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Resul
 
     while t < opts.t_stop * (1.0 - 1e-12) {
         loop_count += 1;
-        if trace && loop_count % 1000 == 0 {
+        if trace && loop_count.is_multiple_of(1000) {
             eprintln!(
                 "[tran] loop {loop_count}: t = {t:.9e}, h = {h:.3e}, accepted {}, rejected {}",
                 result.time.len(),
@@ -136,7 +138,10 @@ pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Resul
             // Forced tiny step onto a breakpoint is fine; anything else
             // means the controller collapsed.
             if !snapped {
-                return Err(SpiceError::StepUnderflow { time: t, h: h_attempt });
+                return Err(SpiceError::StepUnderflow {
+                    time: t,
+                    h: h_attempt,
+                });
             }
         }
 
@@ -172,8 +177,7 @@ pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Resul
                             // Reject and retry with a smaller step.
                             result.rejected_steps += 1;
                             let order = opts.method.order() as f64;
-                            let shrink =
-                                (1.0 / worst).powf(1.0 / (order + 1.0)).clamp(0.1, 0.9);
+                            let shrink = (1.0 / worst).powf(1.0 / (order + 1.0)).clamp(0.1, 0.9);
                             h = (h_attempt * shrink).max(h_min);
                             continue;
                         }
@@ -306,8 +310,7 @@ mod tests {
             "settled displacement {settled}"
         );
         // Ring frequency ≈ damped natural frequency.
-        let f_est =
-            mems_numerics::stats::crossing_frequency(&res.time, &x).expect("oscillates");
+        let f_est = mems_numerics::stats::crossing_frequency(&res.time, &x).expect("oscillates");
         let wn = (200.0f64 / 1e-4).sqrt();
         let zeta = 40e-3 / (2.0 * (200.0f64 * 1e-4).sqrt());
         let fd = wn * (1.0 - zeta * zeta).sqrt() / (2.0 * std::f64::consts::PI);

@@ -149,9 +149,7 @@ impl Circuit {
     pub fn add_boxed(&mut self, device: Box<dyn Device>) -> Result<()> {
         let name = device.name().to_string();
         if self.device_names.contains_key(&name) {
-            return Err(SpiceError::Build(format!(
-                "duplicate device name `{name}`"
-            )));
+            return Err(SpiceError::Build(format!("duplicate device name `{name}`")));
         }
         for pin in device.pins() {
             if pin.0 >= self.node_names.len() {

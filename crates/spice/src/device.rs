@@ -130,13 +130,7 @@ impl<'a> LoadCtx<'a> {
     /// Stamps a through quantity `i` flowing from node `a` into the
     /// device and out at node `b`, with Jacobian entries
     /// `di_d[(unknown, ∂i/∂unknown)]`.
-    pub fn through(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        i: f64,
-        di_d: &[(Option<usize>, f64)],
-    ) {
+    pub fn through(&mut self, a: NodeId, b: NodeId, i: f64, di_d: &[(Option<usize>, f64)]) {
         let ra = self.node_unknown(a);
         let rb = self.node_unknown(b);
         self.residual(ra, i);

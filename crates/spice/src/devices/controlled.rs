@@ -74,7 +74,14 @@ pub struct Vcvs {
 
 impl Vcvs {
     /// `v(out_p, out_n) = gain·v(cp, cn)`.
-    pub fn new(name: &str, out_p: NodeId, out_n: NodeId, cp: NodeId, cn: NodeId, gain: f64) -> Self {
+    pub fn new(
+        name: &str,
+        out_p: NodeId,
+        out_n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Self {
         Vcvs {
             name: name.to_string(),
             pins: [out_p, out_n, cp, cn],
@@ -328,6 +335,8 @@ pub struct ProductVccs {
 
 impl ProductVccs {
     /// `i(out_p → out_n) = k · v(c1p, c1n) · v(c2p, c2n)`.
+    // Six pins + name + coefficient: inherent to a three-port device.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         out_p: NodeId,
@@ -379,12 +388,7 @@ impl Device for ProductVccs {
         let g2 = self.k * v1;
         let (a1, b1) = (ctx.node_unknown(c1p), ctx.node_unknown(c1n));
         let (a2, b2) = (ctx.node_unknown(c2p), ctx.node_unknown(c2n));
-        ctx.through(
-            op,
-            on,
-            i,
-            &[(a1, g1), (b1, -g1), (a2, g2), (b2, -g2)],
-        );
+        ctx.through(op, on, i, &[(a1, g1), (b1, -g1), (a2, g2), (b2, -g2)]);
         Ok(())
     }
 

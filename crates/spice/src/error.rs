@@ -76,7 +76,10 @@ mod tests {
             detail: "50 iterations".into(),
         };
         assert!(e.to_string().contains("dc operating point"));
-        let e = SpiceError::StepUnderflow { time: 1e-3, h: 1e-18 };
+        let e = SpiceError::StepUnderflow {
+            time: 1e-3,
+            h: 1e-18,
+        };
         assert!(e.to_string().contains("underflow"));
         let e: SpiceError = mems_numerics::NumericsError::Singular { index: 3 }.into();
         assert!(matches!(e, SpiceError::Singular(_)));

@@ -262,7 +262,10 @@ mod tests {
         assert_eq!(r.trace("v(a)").unwrap(), vec![0.0, 1.0, 2.0]);
         assert_eq!(r.node_trace("a").unwrap(), vec![0.0, 1.0, 2.0]);
         // ∫ t dt = t²/2 → [0, 0.5, 2.0]
-        assert_eq!(r.integrated_trace("v(a)", 0.0).unwrap(), vec![0.0, 0.5, 2.0]);
+        assert_eq!(
+            r.integrated_trace("v(a)", 0.0).unwrap(),
+            vec![0.0, 0.5, 2.0]
+        );
         assert!(r.trace("nope").is_none());
     }
 

@@ -302,7 +302,8 @@ mod tests {
         let g = c.ground();
         c.add(CurrentSource::new("i1", g, a, Waveform::Dc(1.0)))
             .unwrap();
-        c.add(ProductVccs::new("q1", a, g, a, g, a, g, 0.25)).unwrap();
+        c.add(ProductVccs::new("q1", a, g, a, g, a, g, 0.25))
+            .unwrap();
         let layout = c.layout();
         let mut ws = Workspace::new(layout.n_unknowns);
         let opts = SimOptions::default();

@@ -109,7 +109,11 @@ impl Waveform {
                     *offset
                 } else {
                     let dt = t - delay;
-                    let damp = if *theta != 0.0 { (-dt * theta).exp() } else { 1.0 };
+                    let damp = if *theta != 0.0 {
+                        (-dt * theta).exp()
+                    } else {
+                        1.0
+                    };
                     offset + ampl * damp * (2.0 * std::f64::consts::PI * freq * dt).sin()
                 }
             }

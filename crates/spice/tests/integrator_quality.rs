@@ -44,9 +44,8 @@ fn rc_error(method: IntegrationMethod, h: f64) -> f64 {
     let tau = r * cap;
     let w = 2.0 * std::f64::consts::PI * f0;
     let wt = w * tau;
-    let exact = |t: f64| {
-        ((w * t).sin() - wt * (w * t).cos() + wt * (-t / tau).exp()) / (1.0 + wt * wt)
-    };
+    let exact =
+        |t: f64| ((w * t).sin() - wt * (w * t).cos() + wt * (-t / tau).exp()) / (1.0 + wt * wt);
     // Measure in periodic steady state (t > 10τ): the first step is a
     // backward-Euler restart whose O(h) derivative error decays with
     // the circuit's own time constant and would otherwise mask the

@@ -139,10 +139,7 @@ END ARCHITECTURE a;
     // 0.2·ΔT² + 50·ΔT? No: quadratic 100·tc·ΔT² + 100·ΔT − 50·25 = 0.
     let (a, b, c) = (100.0_f64 * 4e-3, 100.0_f64, -50.0_f64 * 25.0);
     let expect = (-b + (b * b - 4.0 * a * c).sqrt()) / (2.0 * a);
-    assert!(
-        (dt - expect).abs() < expect * 1e-6,
-        "ΔT = {dt} vs {expect}"
-    );
+    assert!((dt - expect).abs() < expect * 1e-6, "ΔT = {dt} vs {expect}");
     // The heated resistance reduces the current below V/r0.
     let i = op.by_label("i(v1,0)").unwrap().abs();
     assert!(i < 5.0 / 100.0);

@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         ckt.add(vs)?;
         ckt.add(Resistor::new("rcoil", vin, coil_node, 7.2))?;
-        ckt.add(HdlDevice::new("vc", &model, &[], &[coil_node, gnd, cone, gnd])?)?;
+        ckt.add(HdlDevice::new(
+            "vc",
+            &model,
+            &[],
+            &[coil_node, gnd, cone, gnd],
+        )?)?;
         ckt.add(Mass::new("mcone", cone, gnd, m))?;
         ckt.add(Spring::new("ksusp", cone, gnd, k))?;
         ckt.add(Damper::new("dsusp", cone, gnd, alpha))?;
@@ -108,7 +113,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!(
         "{}",
-        ascii_plot("cone displacement [m], 2 V / 300 Hz burst", &res.time, &[("x", &x)], 12, 72)
+        ascii_plot(
+            "cone displacement [m], 2 V / 300 Hz burst",
+            &res.time,
+            &[("x", &x)],
+            12,
+            72
+        )
     );
     let peak = x.iter().fold(0.0f64, |mx, v| mx.max(v.abs()));
     println!("peak excursion {peak:.3e} m");

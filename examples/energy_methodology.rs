@@ -36,12 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             energy_model.electrical_symbol,
             print_expr(&derived.state_conjugate)
         );
-        println!("∂W*/∂x  (force, Table 3)        = {}", print_expr(&derived.force));
+        println!(
+            "∂W*/∂x  (force, Table 3)        = {}",
+            print_expr(&derived.force)
+        );
         let src = energy_model.to_hdl_source(ElectricalStyle::PaperStyle)?;
         println!("\ngenerated HDL-A model:\n{src}");
         // Prove the generated text is a valid model.
-        let compiled = HdlModel::compile(&src, &energy_model.entity, None)
-            .map_err(|e| e.render(&src))?;
+        let compiled =
+            HdlModel::compile(&src, &energy_model.entity, None).map_err(|e| e.render(&src))?;
         println!(
             "→ compiles: {} pins, {} unknowns, {} integ/{} ddt sites\n",
             compiled.compiled().pins.len(),

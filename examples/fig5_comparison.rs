@@ -7,8 +7,8 @@
 //! ```
 
 use mems::core::experiments::fig5;
-use mems::core::{ElectricalStyle, TransducerResonatorSystem, TransducerVariant};
 use mems::core::LinearizedKind;
+use mems::core::{ElectricalStyle, TransducerResonatorSystem, TransducerVariant};
 use mems::spice::output::ascii_plot;
 use mems::spice::solver::SimOptions;
 
@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect()
     };
-    let ts: Vec<f64> = (0..grid).map(|i| 0.18 * i as f64 / (grid - 1) as f64).collect();
+    let ts: Vec<f64> = (0..grid)
+        .map(|i| 0.18 * i as f64 / (grid - 1) as f64)
+        .collect();
     let x_nl = resample(&nl.time, &nl.x);
     let x_lin = resample(&lin.time, &lin.x);
     println!(

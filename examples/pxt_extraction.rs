@@ -13,9 +13,18 @@ use mems::pxt::recipes::{capacitance_vs_displacement, force_vs_voltage_displacem
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Fig. 6: electrostatic force from the FE field solution ==\n");
     let r = fig6::run()?;
-    println!("FE (Maxwell stress) force at 10 V, x = 0:  {:.6e} N", r.force_fe);
-    println!("analytic Table 3 force at the same point:  {:.6e} N", r.force_analytic);
-    println!("relative error:                            {:.3e}", r.force_rel_error);
+    println!(
+        "FE (Maxwell stress) force at 10 V, x = 0:  {:.6e} N",
+        r.force_fe
+    );
+    println!(
+        "analytic Table 3 force at the same point:  {:.6e} N",
+        r.force_analytic
+    );
+    println!(
+        "relative error:                            {:.3e}",
+        r.force_rel_error
+    );
     println!("(fringe field not modeled, as in the paper)\n");
 
     println!("== static sweeps (\"iterating the variation of boundary conditions\") ==\n");
@@ -41,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    println!("\n== generated HDL-A model (polynomial C(x), fit err {:.2e}) ==\n", r.cap_fit_error);
+    println!(
+        "\n== generated HDL-A model (polynomial C(x), fit err {:.2e}) ==\n",
+        r.cap_fit_error
+    );
     println!("{}", r.generated_source);
     println!(
         "round-trip force error of the generated model vs the analytic device: {:.3e}\n",
@@ -52,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = harmonic::run()?;
     println!("cantilever first mode:          {:.1} Hz", h.f1);
     println!("rational fit error:             {:.3e}", h.fit_error);
-    println!("AC round-trip error (simulator): {:.3e}", h.ac_roundtrip_error);
+    println!(
+        "AC round-trip error (simulator): {:.3e}",
+        h.ac_roundtrip_error
+    );
     println!("\ngenerated data-flow model:\n{}", h.generated_source);
     Ok(())
 }

@@ -39,8 +39,7 @@ END ARCHITECTURE a;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Listing 1: compiling the HDL-A transducer model ==");
-    let model = HdlModel::compile(LISTING1, "eletran", None)
-        .map_err(|e| e.render(LISTING1))?;
+    let model = HdlModel::compile(LISTING1, "eletran", None).map_err(|e| e.render(LISTING1))?;
     println!(
         "entity `{}`, {} pins, {} ddt site(s), {} integ site(s)\n",
         model.compiled().name,

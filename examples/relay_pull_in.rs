@@ -72,7 +72,12 @@ fn run_at(level: f64, model: &HdlModel) -> Result<(f64, Option<String>), SpiceEr
         gnd,
         Waveform::Pwl(vec![(0.0, 0.0), (50e-6, level)]),
     ))?;
-    ckt.add(HdlDevice::new("x1", model, &[("area", AREA), ("d", GAP)], &[drive, gnd, tip, gnd])?)?;
+    ckt.add(HdlDevice::new(
+        "x1",
+        model,
+        &[("area", AREA), ("d", GAP)],
+        &[drive, gnd, tip, gnd],
+    )?)?;
     ckt.add(Mass::new("m1", tip, gnd, M))?;
     ckt.add(Spring::new("k1", tip, gnd, K))?;
     ckt.add(Damper::new("d1", tip, gnd, ALPHA))?;
@@ -102,8 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_pi = pull_in_voltage();
     println!("analytic pull-in voltage V_pi = {v_pi:.3} V");
     println!("analytic pull-in travel d/3 = {:.3e} m\n", GAP / 3.0);
-    let model = HdlModel::compile(RELAY_MODEL, "relay", None)
-        .map_err(|e| e.render(RELAY_MODEL))?;
+    let model = HdlModel::compile(RELAY_MODEL, "relay", None).map_err(|e| e.render(RELAY_MODEL))?;
 
     println!("bias [V]   settled x [m]      state");
     let mut first_collapsed: Option<f64> = None;
@@ -112,7 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (x, note) = run_at(level, &model)?;
         match note {
             None => {
-                println!("{level:>7.3}    {x:>12.4e}     stable (x/d = {:.3})", x / GAP);
+                println!(
+                    "{level:>7.3}    {x:>12.4e}     stable (x/d = {:.3})",
+                    x / GAP
+                );
             }
             Some(msg) => {
                 println!("{level:>7.3}    {:>12}     PULLED IN ({msg})", "-");
@@ -123,7 +130,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let collapsed_at = first_collapsed.expect("a bias above V_pi must pull in");
     println!(
         "\nnon-linear model pulls in between {:.0}% and {:.0}% of the analytic V_pi;",
-        95, collapsed_at * 100.0
+        95,
+        collapsed_at * 100.0
     );
     println!(
         "a linearized equivalent circuit (constant Γ, C0) never pulls in — the\n\

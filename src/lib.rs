@@ -11,7 +11,9 @@
 //! - [`fem`] — the finite-element substrate (electrostatics + beams);
 //! - [`pxt`] — parameter extraction and HDL model generation;
 //! - [`core`] — the paper's methodology: energy-based transducer
-//!   models, linearized equivalents, and the experiment suite.
+//!   models, linearized equivalents, and the experiment suite;
+//! - [`netlist`] — the SPICE-deck frontend and `.STEP`/`.MC` batch
+//!   engine behind the `mems` CLI (`mems run deck.cir`).
 //!
 //! # Quickstart
 //!
@@ -29,6 +31,7 @@
 pub use mems_core as core;
 pub use mems_fem as fem;
 pub use mems_hdl as hdl;
+pub use mems_netlist as netlist;
 pub use mems_numerics as numerics;
 pub use mems_pxt as pxt;
 pub use mems_spice as spice;

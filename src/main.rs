@@ -1,0 +1,222 @@
+//! `mems` — the command-line driver for the SPICE-deck frontend.
+//!
+//! ```sh
+//! mems check deck.cir              # parse + elaborate, report problems
+//! mems run deck.cir                # run the deck's analyses, print tables
+//! mems run deck.cir --csv out.csv  # CSV instead ("-" = stdout)
+//! mems sweep deck.cir --threads 8  # run the .STEP/.MC batch in parallel
+//! ```
+
+use mems_netlist::{report, run_deck, BatchOptions, Deck, FsResolver, NetlistError};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mems — SPICE-deck frontend for the MEMS transducer tool chain
+
+USAGE:
+    mems <COMMAND> <deck.cir> [OPTIONS]
+
+COMMANDS:
+    check    Parse and elaborate the deck; report diagnostics and a summary
+    run      Run the deck's analysis cards (.OP/.DC/.AC/.TRAN)
+    sweep    Run the deck's .STEP/.MC batch across worker threads
+
+OPTIONS:
+    --csv [FILE]     Emit CSV instead of tables (FILE defaults to `-` = stdout)
+    --threads N      Worker threads for `sweep` (default: all cores)
+    -h, --help       Show this help
+    -V, --version    Show the version
+";
+
+struct Args {
+    command: String,
+    deck_path: PathBuf,
+    csv: Option<String>,
+    threads: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut command = None;
+    let mut deck_path = None;
+    let mut csv = None;
+    let mut threads = 0usize;
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "-V" | "--version" => return Err(format!("mems {}", env!("CARGO_PKG_VERSION"))),
+            "--csv" => {
+                // Optional value: the next token is the output file
+                // unless it is another option (`-` alone means stdout).
+                let next_is_value = it.peek().is_some_and(|n| !n.starts_with('-') || *n == "-");
+                csv = Some(if next_is_value {
+                    it.next().expect("peeked").clone()
+                } else {
+                    "-".to_string()
+                });
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => {
+                if command.is_none() {
+                    command = Some(other.to_string());
+                } else if deck_path.is_none() {
+                    deck_path = Some(PathBuf::from(other));
+                } else {
+                    return Err(format!("unexpected argument `{other}`"));
+                }
+            }
+        }
+    }
+    let command = command.ok_or_else(|| "missing command".to_string())?;
+    if !matches!(command.as_str(), "check" | "run" | "sweep") {
+        return Err(format!("unknown command `{command}`"));
+    }
+    let deck_path = deck_path.ok_or_else(|| "missing deck file".to_string())?;
+    Ok(Args {
+        command,
+        deck_path,
+        csv,
+        threads,
+    })
+}
+
+fn load_deck(path: &Path) -> Result<Deck, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let base = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    let mut resolver = FsResolver { base };
+    Deck::parse_with_includes(&src, &mut resolver).map_err(|e| e.render(&src))
+}
+
+fn emit(csv_target: &str, content: &str) -> Result<(), String> {
+    if csv_target == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(csv_target, content).map_err(|e| format!("cannot write `{csv_target}`: {e}"))
+    }
+}
+
+fn cmd_check(deck: &Deck) -> Result<(), String> {
+    let elab = mems_netlist::Elaborator::new(deck).map_err(|e| e.render(&deck.source))?;
+    let (mut ckt, env) = elab
+        .build(&Default::default(), None)
+        .map_err(|e| e.render(&deck.source))?;
+    let layout = ckt.layout();
+    println!("deck:      {}", deck.title);
+    println!("nodes:     {} (+ ground)", layout.n_nodes - 1);
+    println!("devices:   {}", ckt.devices().len());
+    println!("unknowns:  {}", layout.n_unknowns);
+    if !env.is_empty() {
+        let mut names: Vec<_> = env.iter().collect();
+        names.sort_by(|a, b| a.0.cmp(b.0));
+        println!(
+            "params:    {}",
+            names
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.6e}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!(
+        "analyses:  {}",
+        deck.analyses
+            .iter()
+            .map(|a| format!(".{}", a.kind_name()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    match mems_netlist::batch_points(deck) {
+        Ok(points) => println!("batch:     {} points", points.len()),
+        Err(NetlistError::Elab { span: None, .. }) => println!("batch:     (no .STEP/.MC)"),
+        Err(e) => return Err(e.render(&deck.source)),
+    }
+    println!("ok");
+    Ok(())
+}
+
+fn cmd_run(deck: &Deck, csv: Option<&str>) -> Result<(), String> {
+    let run = run_deck(deck).map_err(|e| e.render(&deck.source))?;
+    match csv {
+        Some(target) => {
+            let mut out = String::new();
+            for (i, (card, outcome)) in run.outcomes.iter().enumerate() {
+                if run.outcomes.len() > 1 {
+                    out.push_str(&format!("# analysis {} (.{})\n", i, card.kind_name()));
+                }
+                out.push_str(&report::outcome_csv(deck, outcome));
+            }
+            emit(target, &out)
+        }
+        None => {
+            print!("{}", report::run_report(deck, &run));
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sweep(deck: &Deck, csv: Option<&str>, threads: usize) -> Result<(), String> {
+    let result = mems_netlist::run_batch(deck, &BatchOptions { threads })
+        .map_err(|e| e.render(&deck.source))?;
+    match csv {
+        Some(target) => emit(target, &report::batch_csv(&result)),
+        None => {
+            print!("{}", report::batch_report(&result));
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) if msg.starts_with("mems ") => {
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let deck = match load_deck(&args.deck_path) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match args.command.as_str() {
+        "check" => cmd_check(&deck),
+        "run" => cmd_run(&deck, args.csv.as_deref()),
+        "sweep" => cmd_sweep(&deck, args.csv.as_deref(), args.threads),
+        _ => unreachable!("validated in parse_args"),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,30 +19,27 @@ use mems::spice::wave::Waveform;
 fn hdl_ac_response(freqs: &[f64]) -> Vec<Complex64> {
     let t = TransverseElectrostatic::table4();
     let x0 = t.static_displacement(10.0, 200.0).unwrap();
-    let src = t.hdl_source(mems::core::ElectricalStyle::PaperStyle).unwrap();
+    let src = t
+        .hdl_source(mems::core::ElectricalStyle::PaperStyle)
+        .unwrap();
     let model = HdlModel::compile(&src, "eletran", None).unwrap();
     let mut ckt = Circuit::new();
     let drive = ckt.enode("drive").unwrap();
     let vel = ckt.mnode("vel").unwrap();
     let gnd = ckt.ground();
-    ckt.add(
-        VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()),
-    )
-    .unwrap();
-    ckt.add(
-        HdlDevice::new(
-            "x1",
-            &model,
-            &[("d", t.gap + x0)],
-            &[drive, gnd, vel, gnd],
-        )
-        .unwrap(),
-    )
-    .unwrap();
+    ckt.add(VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()))
+        .unwrap();
+    ckt.add(HdlDevice::new("x1", &model, &[("d", t.gap + x0)], &[drive, gnd, vel, gnd]).unwrap())
+        .unwrap();
     MechanicalResonator::table4()
         .build(&mut ckt, "res", vel)
         .unwrap();
-    let ac = run_ac(&mut ckt, &FreqSweep::List(freqs.to_vec()), &SimOptions::default()).unwrap();
+    let ac = run_ac(
+        &mut ckt,
+        &FreqSweep::List(freqs.to_vec()),
+        &SimOptions::default(),
+    )
+    .unwrap();
     ac.phasors("v(vel)").unwrap()
 }
 
@@ -54,14 +51,14 @@ fn native_ac_response(freqs: &[f64]) -> Vec<Complex64> {
     let drive = ckt.enode("drive").unwrap();
     let vel = ckt.mnode("vel").unwrap();
     let gnd = ckt.ground();
-    ckt.add(
-        VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()),
-    )
-    .unwrap();
+    ckt.add(VoltageSource::new("vsrc", drive, gnd, Waveform::Dc(10.0)).with_ac(AcSpec::unit()))
+        .unwrap();
     // The AC small-signal equivalent: C0 + gyrator Γ_tan + spring k_e,
     // all referenced to the bias (the DC pieces don't affect AC).
-    ckt.add(mems::spice::devices::Capacitor::new("c0", drive, gnd, lin.c0))
-        .unwrap();
+    ckt.add(mems::spice::devices::Capacitor::new(
+        "c0", drive, gnd, lin.c0,
+    ))
+    .unwrap();
     ckt.add(Gyrator::new("gy", drive, gnd, vel, gnd, lin.gamma_tangent))
         .unwrap();
     ckt.add(mems::spice::devices::Spring::new("ke", vel, gnd, lin.k_e))
@@ -72,7 +69,12 @@ fn native_ac_response(freqs: &[f64]) -> Vec<Complex64> {
     MechanicalResonator::table4()
         .build(&mut ckt, "res", vel)
         .unwrap();
-    let ac = run_ac(&mut ckt, &FreqSweep::List(freqs.to_vec()), &SimOptions::default()).unwrap();
+    let ac = run_ac(
+        &mut ckt,
+        &FreqSweep::List(freqs.to_vec()),
+        &SimOptions::default(),
+    )
+    .unwrap();
     ac.phasors("v(vel)").unwrap()
 }
 

@@ -1,0 +1,305 @@
+//! Integration tests for the shipped example decks
+//! (`examples/decks/*.cir`): every deck must parse, elaborate, and
+//! run — and the Listing-1 eletran deck must reproduce the hand-built
+//! `mems_spice` API run exactly.
+
+use mems::netlist::{
+    batch_points, run_batch, run_deck, AnalysisOutcome, BatchOptions, Deck, Elaborator,
+};
+use mems::numerics::rootfind::brent;
+use mems::numerics::stats::settled_value;
+use mems::spice::analysis::transient::{run as run_tran, TranOptions};
+use mems::spice::circuit::Circuit;
+use mems::spice::devices::{Damper, HdlDevice, Mass, Spring, VoltageSource};
+use mems::spice::solver::SimOptions;
+use mems::spice::wave::Waveform;
+
+fn deck_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/decks")
+        .join(name)
+}
+
+fn load(name: &str) -> Deck {
+    let path = deck_path(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Deck::parse(&src).unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)))
+}
+
+#[test]
+fn every_shipped_deck_parses_and_elaborates() {
+    let dir = deck_path("");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/decks exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "cir") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let deck =
+            Deck::parse(&src).unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let elab = Elaborator::new(&deck)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let (mut ckt, _) = elab
+            .build(&Default::default(), None)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        assert!(ckt.layout().n_unknowns > 0, "{}", path.display());
+        assert!(
+            !deck.analyses.is_empty(),
+            "{} declares no analyses",
+            path.display()
+        );
+    }
+    assert!(seen >= 3, "expected at least 3 shipped decks, found {seen}");
+}
+
+// Constants of the Listing-1 / Fig. 3 system (paper Table 4).
+const E0: f64 = 8.8542e-12;
+const AREA: f64 = 1.0e-4;
+const GAP: f64 = 0.15e-3;
+const MASS: f64 = 1.0e-4;
+const K: f64 = 200.0;
+const ALPHA: f64 = 40e-3;
+
+const LISTING1: &str = r#"
+ENTITY eletran IS
+ GENERIC (A, d, er : analog);
+ PIN (a, b : electrical; c, d : mechanical1);
+END ENTITY eletran;
+ARCHITECTURE a OF eletran IS
+VARIABLE e0, x : analog;
+STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, d].tv;
+      x := integ(S);
+      [a, b].i %= e0*er*A/(d + x)*ddt(V);
+      [c, d].f %= -e0*er*A*V*V/(2.0*(d+x)*(d+x));
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+
+/// Hand-built equivalent of `eletran_transient.cir`: same names, same
+/// device order (hence the same unknown layout), same waveform, same
+/// integration options.
+fn build_eletran_api_circuit() -> Circuit {
+    let model = mems::hdl::HdlModel::compile(LISTING1, "eletran", None).unwrap();
+    let mut ckt = Circuit::new();
+    let drive = ckt.enode("drive").unwrap();
+    let vel = ckt.mnode("vel").unwrap();
+    let gnd = ckt.ground();
+    ckt.add(VoltageSource::new(
+        "vsrc",
+        drive,
+        gnd,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 10.0,
+            delay: 2e-3,
+            rise: 5e-3,
+            fall: 5e-3,
+            width: 120e-3,
+            period: 0.0,
+        },
+    ))
+    .unwrap();
+    ckt.add(
+        HdlDevice::new(
+            "xducer",
+            &model,
+            &[("a", AREA), ("d", GAP), ("er", 1.0)],
+            &[drive, gnd, vel, gnd],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    ckt.add(Mass::new("mm1", vel, gnd, MASS)).unwrap();
+    ckt.add(Spring::new("kk1", vel, gnd, K)).unwrap();
+    ckt.add(Damper::new("dd1", vel, gnd, ALPHA)).unwrap();
+    ckt
+}
+
+/// Acceptance: the deck run and the equivalent hand-built API run
+/// agree within 1e-9 relative error.
+#[test]
+fn eletran_deck_matches_api_run_to_1e9() {
+    let deck = load("eletran_transient.cir");
+    let run = run_deck(&deck).unwrap();
+    let deck_tran = match &run.outcomes[0].1 {
+        AnalysisOutcome::Tran(tr) => tr,
+        other => panic!("expected .TRAN outcome, got {other:?}"),
+    };
+
+    let mut ckt = build_eletran_api_circuit();
+    // Mirror the deck's `.TRAN 0.2m 90m`: tstep is both h_init and h_max.
+    let mut opts = TranOptions::new(90e-3);
+    opts.h_init = Some(0.2e-3);
+    opts.h_max = Some(0.2e-3);
+    let api_tran = run_tran(&mut ckt, &opts, &SimOptions::default()).unwrap();
+
+    assert_eq!(deck_tran.time.len(), api_tran.time.len());
+    assert_eq!(deck_tran.labels, api_tran.labels);
+    for label in ["v(drive)", "v(vel)", "i(kk1,0)"] {
+        let a = deck_tran.trace(label).unwrap();
+        let b = api_tran.trace(label).unwrap();
+        let scale = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-9 * scale,
+                "{label}[{i}]: deck {x:e} vs api {y:e} (scale {scale:e})"
+            );
+        }
+    }
+
+    // And both reproduce the paper's Table 4 static deflection.
+    let x_spring: Vec<f64> = deck_tran
+        .trace("i(kk1,0)")
+        .unwrap()
+        .iter()
+        .map(|f| f / K)
+        .collect();
+    let settled = settled_value(&x_spring, 0.05);
+    assert!(
+        (settled - 1.0e-8).abs() < 3e-10,
+        "settled x = {settled:e}, Table 4 says 1.0e-8"
+    );
+}
+
+#[test]
+fn relay_deck_dc_sweep_tracks_static_equilibrium() {
+    let deck = load("relay_pull_in.cir");
+    let run = run_deck(&deck).unwrap();
+    let (var, result) = match &run.outcomes[0].1 {
+        AnalysisOutcome::Dc { var, result } => (var, result),
+        other => panic!("expected .DC outcome, got {other:?}"),
+    };
+    assert_eq!(var, "v(vbias)");
+    let x = result.trace("i(xrelay,0)").unwrap();
+
+    // Monotone gap closing, zero at zero bias.
+    assert_eq!(x[0], 0.0);
+    for w in x.windows(2) {
+        assert!(w[1] > w[0] - 1e-15, "displacement must rise: {w:?}");
+    }
+
+    // Each point solves k·x = ε0·A·v²/(2(d−x)²) — compare to Brent.
+    let (area, gap, k) = (4e-8, 2e-6, 5.0);
+    for (v, xi) in result.values.iter().zip(&x) {
+        if *v == 0.0 {
+            continue;
+        }
+        let expect = brent(
+            |x| k * x - E0 * area * v * v / (2.0 * (gap - x) * (gap - x)),
+            0.0,
+            gap / 3.0,
+            1e-20,
+        )
+        .unwrap();
+        assert!(
+            (xi - expect).abs() < expect.abs() * 1e-6 + 1e-15,
+            "v = {v}: deck {xi:e} vs brent {expect:e}"
+        );
+    }
+
+    // The sweep's final point approaches (but stays below) the
+    // pull-in travel d/3.
+    let last = *x.last().unwrap();
+    assert!(last > 0.3e-6 && last < gap / 3.0, "x(5.5 V) = {last:e}");
+}
+
+#[test]
+fn speaker_deck_ac_peaks_near_damped_resonance() {
+    let deck = load("speaker_ac.cir");
+    let run = run_deck(&deck).unwrap();
+    let ac = match &run.outcomes[0].1 {
+        AnalysisOutcome::Ac(ac) => ac,
+        other => panic!("expected .AC outcome, got {other:?}"),
+    };
+    let mag = ac.magnitude("v(cone)").unwrap();
+    let (peak_idx, peak) = mag
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+        .unwrap();
+    let f_peak = ac.freqs[peak_idx];
+    // Mechanical f0 ≈ 195 Hz; the voice-coil coupling shifts and damps
+    // the velocity resonance but keeps it in the same octave.
+    assert!(
+        (140.0..=280.0).contains(&f_peak),
+        "velocity peak at {f_peak} Hz"
+    );
+    // Response rolls off on both sides of the peak.
+    assert!(*peak > 2.0 * mag[0], "peak {peak} vs LF {}", mag[0]);
+    assert!(
+        *peak > 2.0 * mag.last().unwrap(),
+        "peak {peak} vs HF {}",
+        mag.last().unwrap()
+    );
+}
+
+/// Acceptance: a ≥32-point deck batch runs in parallel with
+/// identical results for any thread count.
+#[test]
+fn deck_batch_is_deterministic_across_thread_counts() {
+    let src = "\
+relay spring-spread monte carlo
+.param area=4e-8 gap=2e-6 k=5
+.HDL
+ENTITY relaydc IS
+  GENERIC (area, d, k : analog; er : analog := 1.0);
+  PIN (a, b : electrical);
+END ENTITY relaydc;
+ARCHITECTURE a OF relaydc IS
+CONSTANT e0 : analog := 8.8542e-12;
+VARIABLE v : analog;
+UNKNOWN x : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      v := [a, b].v;
+      [a, b].i %= e0*er*area/(d - x)*ddt(v);
+    EQUATION FOR dc, ac, transient =>
+      k*x == e0*er*area*v*v/(2.0*(d - x)*(d - x));
+  END RELATION;
+END ARCHITECTURE a;
+.ENDHDL
+Vbias drive 0 DC 5
+Xrelay drive 0 relaydc area={area} d={gap} k={k}
+.OP
+.PRINT op i(xrelay,0)
+.MC 36 SEED=2026 k TOL=0.1
+.END
+";
+    let deck = Deck::parse(src).unwrap();
+    assert_eq!(batch_points(&deck).unwrap().len(), 36);
+
+    let serial = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
+    let parallel = run_batch(&deck, &BatchOptions { threads: 6 }).unwrap();
+    assert_eq!(serial.threads_used, 1);
+    assert_eq!(parallel.threads_used, 6);
+    assert_eq!(serial.ok_count(), 36);
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.point, b.point);
+        let (ma, mb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert_eq!(ma.len(), mb.len());
+        for (x, y) in ma.iter().zip(mb) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+        }
+    }
+    // The spread actually moves the displacement (the batch is not
+    // degenerate): softer springs deflect further.
+    let agg = serial.aggregate();
+    let (_, stats) = agg
+        .iter()
+        .find(|(name, _)| name == "op:i(xrelay,0)")
+        .expect("displacement metric aggregated");
+    assert_eq!(stats.n, 36);
+    assert!(stats.max > stats.min * 1.05, "{stats:?}");
+}

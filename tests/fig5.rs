@@ -13,7 +13,11 @@ fn headline_shape_match_overshoot_undershoot() {
     let r15 = result.row(15.0).unwrap();
 
     // "converge perfectly for a quasi-static load of 10 V".
-    assert!(r10.static_rel_err() < 0.01, "10 V: {}", r10.static_rel_err());
+    assert!(
+        r10.static_rel_err() < 0.01,
+        "10 V: {}",
+        r10.static_rel_err()
+    );
     // Secant linearization: settled ratio V0/V exactly (force ∝ V vs V²).
     assert!((r5.linear_over_nonlinear() - 2.0).abs() < 0.05);
     assert!((r15.linear_over_nonlinear() - 2.0 / 3.0).abs() < 0.03);

@@ -73,10 +73,7 @@ fn simulate_with(model: &HdlModel, generics: &[(&str, f64)]) -> Vec<f64> {
 #[test]
 fn listing1_verbatim_equals_energy_generated_model() {
     let hand_written = HdlModel::compile(LISTING1, "eletran", None).unwrap();
-    let x_hand = simulate_with(
-        &hand_written,
-        &[("a", 1e-4), ("d", 0.15e-3), ("er", 1.0)],
-    );
+    let x_hand = simulate_with(&hand_written, &[("a", 1e-4), ("d", 0.15e-3), ("er", 1.0)]);
 
     let generated_src = TransverseElectrostatic::table4()
         .hdl_source(ElectricalStyle::PaperStyle)

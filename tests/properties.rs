@@ -2,14 +2,14 @@
 //! numerical substrate, the HDL front end, and the transducer
 //! physics under randomized inputs.
 
-use mems::hdl::parser::{parse_expr, parse};
+use mems::core::TransverseElectrostatic;
+use mems::hdl::parser::{parse, parse_expr};
 use mems::hdl::print::{print_expr, print_module};
 use mems::hdl::symbolic::{diff, eval_closed, simplify};
 use mems::numerics::dense::DenseMatrix;
 use mems::numerics::lu::LuFactors;
 use mems::numerics::poly::{polyfit, Polynomial};
 use mems::numerics::pwl::Pwl1;
-use mems::core::TransverseElectrostatic;
 use proptest::prelude::*;
 
 proptest! {

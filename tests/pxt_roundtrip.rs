@@ -6,9 +6,7 @@
 use mems::core::experiments::{fig6, harmonic};
 use mems::core::TransverseElectrostatic;
 use mems::pxt::codegen::pwl::generate_pwl_transducer_model;
-use mems::pxt::recipes::{
-    capacitance_vs_displacement, force_vs_voltage_displacement, PlateGapDut,
-};
+use mems::pxt::recipes::{capacitance_vs_displacement, force_vs_voltage_displacement, PlateGapDut};
 use mems::pxt::verify::verify_static_force;
 
 #[test]
