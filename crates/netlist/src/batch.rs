@@ -4,15 +4,24 @@
 //!
 //! Determinism: every point's parameter values are derived from a
 //! splitmix64 hash of `(seed, point index, variable index)` — never
-//! from execution order — so results are bit-identical for any thread
-//! count. Per-point failures (non-convergence, pull-in asserts, …) are
+//! from execution order — and transient warm-start guesses come from
+//! a sequential pre-chain, so on the dense matrix backend results are
+//! bit-identical for any thread count. (On the forced-sparse backend
+//! a worker's pivot order is chosen at its first factorization and
+//! replayed for its later points, so multi-threaded sparse batches
+//! are deterministic to solver tolerance rather than to the last
+//! bit.) Per-point failures (non-convergence, pull-in asserts, …) are
 //! recorded and the batch continues: a Monte Carlo run that loses a
 //! few collapsed points still reports yield.
 
-use crate::ast::{Deck, McDist, StepValues};
-use crate::elab::{run_elaborated, AnalysisOutcome, DeckRun, Elaborator, ParamEnv};
+use crate::ast::{AnalysisCard, Deck, McDist, StepValues};
+use crate::elab::{
+    run_elaborated_ctx, sim_options, AnalysisOutcome, DeckRun, Elaborator, ParamEnv, RunCtx,
+};
 use crate::error::{NetlistError, Result};
 use mems_numerics::stats::{self, TraceStats};
+use mems_spice::analysis::dcop;
+use mems_spice::solver::Workspace;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -243,7 +252,17 @@ fn unit(raw: u64) -> f64 {
 pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
     let points = batch_points(deck)?;
     // Fail fast on decks whose models don't compile at all.
-    Elaborator::new(deck)?;
+    let chain_elab = Elaborator::new(deck)?;
+
+    // Transient warm-start chain: a transient run's own integration
+    // dwarfs its initial DC solve, so for `.TRAN` decks the operating
+    // points are pre-solved *sequentially*, each warm-started from the
+    // previous point's solution, and handed to the workers as Newton
+    // guesses. Doing this on one thread (rather than letting each
+    // worker warm-start from whatever point it happened to finish
+    // last) keeps every point's guess — and therefore its converged
+    // bits — independent of the thread count.
+    let op_guesses = warm_start_chain(deck, &chain_elab, &points);
 
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -268,13 +287,19 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
                     Ok(e) => e,
                     Err(_) => return, // already surfaced by the fail-fast above
                 };
+                // One reusable context per worker: all points share a
+                // topology, so the assembly workspace — including the
+                // sparse backend's symbolic factorization — carries
+                // across every point this worker simulates.
+                let mut ctx = RunCtx::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
                         break;
                     }
                     let point = points[i].clone();
-                    let outcome = simulate_point(&elab, &point);
+                    ctx.op_guess = op_guesses.as_ref().and_then(|g| g[i].clone());
+                    let outcome = simulate_point(&elab, &point, &mut ctx);
                     results.lock().expect("no poisoned batch lock")[i] =
                         Some(PointResult { point, outcome });
                 }
@@ -294,11 +319,51 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
     })
 }
 
+/// Pre-solves each point's DC operating point sequentially (previous
+/// point's solution as Newton guess) for decks with `.TRAN` cards.
+/// Returns `None` when the deck has no transient analysis or only one
+/// point; per-point failures yield `None` guesses (the point itself
+/// will surface its error when simulated).
+fn warm_start_chain(
+    deck: &Deck,
+    elab: &Elaborator<'_>,
+    points: &[BatchPoint],
+) -> Option<Vec<Option<Vec<f64>>>> {
+    let has_tran = deck
+        .analyses
+        .iter()
+        .any(|c| matches!(c, AnalysisCard::Tran { .. }));
+    if !has_tran || points.len() < 2 {
+        return None;
+    }
+    let mut ws: Option<Workspace> = None;
+    let mut prev: Option<Vec<f64>> = None;
+    let mut guesses = Vec::with_capacity(points.len());
+    for point in points {
+        let guess = elab
+            .build(&point.env(), None)
+            .ok()
+            .and_then(|(mut ckt, env)| {
+                let sim = sim_options(deck, &env).ok()?;
+                let ws = ws.get_or_insert_with(|| Workspace::with_backend(0, sim.matrix));
+                dcop::solve_in(&mut ckt, &sim, prev.as_deref(), ws)
+                    .ok()
+                    .map(|op| op.x)
+            });
+        if guess.is_some() {
+            prev.clone_from(&guess);
+        }
+        guesses.push(guess);
+    }
+    Some(guesses)
+}
+
 fn simulate_point(
     elab: &Elaborator<'_>,
     point: &BatchPoint,
+    ctx: &mut RunCtx,
 ) -> std::result::Result<Vec<Metric>, String> {
-    match run_elaborated(elab, &point.env()) {
+    match run_elaborated_ctx(elab, &point.env(), ctx) {
         Ok(run) => Ok(extract_metrics(elab.deck(), &run)),
         Err(e) => Err(e.to_string()),
     }
@@ -446,6 +511,43 @@ R2 out 0 {rbot}
                 assert_eq!(a.name, b.name);
                 assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}", a.name);
             }
+        }
+    }
+
+    #[test]
+    fn tran_step_warm_start_is_thread_count_invariant() {
+        // A `.TRAN` batch triggers the sequential DC warm-start
+        // pre-chain; the chain (not worker completion order) supplies
+        // every point's Newton guess, so results stay bit-identical
+        // for any thread count on the dense backend.
+        let deck = Deck::parse(
+            "warm\n.param k=200\nId 0 vel PWL(0 0 1m 1u)\n.node mechanical1 vel\n\
+             Mm vel 0 1e-4\nKk vel 0 {k}\nDd vel 0 40m\n.tran 1m 20m\n\
+             .print tran i(kk,0)\n.step param k 150 250 25\n",
+        )
+        .unwrap();
+        let chain = warm_start_chain(
+            &deck,
+            &Elaborator::new(&deck).unwrap(),
+            &batch_points(&deck).unwrap(),
+        )
+        .expect("tran deck builds a warm-start chain");
+        assert_eq!(chain.len(), 5);
+        assert!(chain.iter().all(Option::is_some), "all points solve");
+        let one = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
+        let many = run_batch(&deck, &BatchOptions { threads: 4 }).unwrap();
+        assert_eq!(one.ok_count(), 5);
+        for (p1, pn) in one.points.iter().zip(&many.points) {
+            let (m1, mn) = (p1.outcome.as_ref().unwrap(), pn.outcome.as_ref().unwrap());
+            for (a, b) in m1.iter().zip(mn) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}", a.name);
+            }
+            // The settled spring force equals the 1 µN drive.
+            let settled = m1
+                .iter()
+                .find(|m| m.name == "tran:i(kk,0):settled")
+                .expect("settled metric");
+            assert!((settled.value - 1e-6).abs() < 2e-8, "{}", settled.value);
         }
     }
 

@@ -12,10 +12,11 @@ use crate::error::{NetlistError, Result};
 use crate::expr::NumExpr;
 use mems_hdl::model::HdlModel;
 use mems_hdl::Nature;
-use mems_spice::analysis::ac::{run as run_ac, FreqSweep};
+use mems_numerics::Complex64;
+use mems_spice::analysis::ac::{run_with_op_in as run_ac_with_op_in, FreqSweep};
 use mems_spice::analysis::dcop;
-use mems_spice::analysis::sweep::{dc_sweep, SweepResult};
-use mems_spice::analysis::transient::{run as run_tran, TranOptions};
+use mems_spice::analysis::sweep::{dc_sweep_in, SweepResult};
+use mems_spice::analysis::transient::{run_in as run_tran_in, TranOptions};
 use mems_spice::circuit::Circuit;
 use mems_spice::devices::{
     AcSpec, Capacitor, Cccs, Ccvs, CurrentSource, Damper, Gyrator, HdlDevice, IdealTransformer,
@@ -23,7 +24,10 @@ use mems_spice::devices::{
 };
 use mems_spice::output::{AcResult, OpSolution, TranResult};
 use mems_spice::solver::SimOptions;
+use mems_spice::solver::Workspace;
+use mems_spice::system::{new_system, SystemMatrix};
 use mems_spice::wave::Waveform;
+use mems_spice::MatrixBackend;
 use std::collections::HashMap;
 
 /// Parameter environment: lower-cased name → value.
@@ -497,6 +501,16 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
             "maxiter" | "itl1" => sim.max_iter = v as usize,
             "gmin" => sim.gmin = v,
             "maxstep" => sim.max_step = v,
+            // `sparse=1` forces the sparse LU backend, `sparse=0` the
+            // dense one; without the option the backend is picked by
+            // unknown count.
+            "sparse" => {
+                sim.matrix = if v != 0.0 {
+                    MatrixBackend::Sparse
+                } else {
+                    MatrixBackend::Dense
+                }
+            }
             _ => {
                 return Err(NetlistError::elab_at(
                     format!("unknown option `{name}`"),
@@ -506,6 +520,47 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
         }
     }
     Ok(sim)
+}
+
+/// Reusable per-runner state threaded through repeated
+/// [`run_elaborated_ctx`] calls — the structure-reuse hook for the
+/// `.STEP`/`.MC` batch engine. Every point of a batch elaborates the
+/// same topology, so the assembly workspace (and the sparse backend's
+/// symbolic factorization living inside it) is shared across points,
+/// and a deterministic operating-point guess can warm-start each
+/// point's Newton solves.
+#[derive(Default)]
+pub struct RunCtx {
+    /// Shared assembly workspace (lazily sized to the circuit).
+    pub ws: Option<Workspace>,
+    /// Shared complex system for `.AC` analyses, with the backend it
+    /// was built for (rebuilt on an order or backend change).
+    ac_sys: Option<(Box<dyn SystemMatrix<Complex64>>, MatrixBackend)>,
+    /// Newton guess for DC operating points (e.g. the previous batch
+    /// point's solved operating point).
+    pub op_guess: Option<Vec<f64>>,
+}
+
+impl RunCtx {
+    fn workspace(&mut self, backend: MatrixBackend) -> &mut Workspace {
+        self.ws
+            .get_or_insert_with(|| Workspace::with_backend(0, backend))
+    }
+
+    /// The shared complex (AC) system matrix, re-targeted to `n`
+    /// unknowns under `backend`. Cached structure survives between
+    /// calls with matching order and backend — the batch-point reuse
+    /// mirror of [`Workspace::ensure`].
+    fn ac_system(&mut self, n: usize, backend: MatrixBackend) -> &mut dyn SystemMatrix<Complex64> {
+        let stale = self
+            .ac_sys
+            .as_ref()
+            .is_none_or(|(sys, b)| sys.n() != n || b.resolve(n) != backend.resolve(n));
+        if stale {
+            self.ac_sys = Some((new_system(n, backend), backend));
+        }
+        self.ac_sys.as_mut().expect("just ensured").0.as_mut()
+    }
 }
 
 /// Runs every analysis card of the deck (no batch) and collects the
@@ -535,6 +590,20 @@ pub fn run_deck_with(deck: &Deck, overrides: &ParamEnv) -> Result<DeckRun> {
 ///
 /// As [`run_deck`].
 pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<DeckRun> {
+    run_elaborated_ctx(elab, overrides, &mut RunCtx::default())
+}
+
+/// [`run_elaborated`] with caller-owned reusable state (see
+/// [`RunCtx`]).
+///
+/// # Errors
+///
+/// As [`run_deck`].
+pub fn run_elaborated_ctx(
+    elab: &Elaborator<'_>,
+    overrides: &ParamEnv,
+    ctx: &mut RunCtx,
+) -> Result<DeckRun> {
     let deck = elab.deck();
     let (_, env) = elab.build(overrides, None)?;
     let sim = sim_options(deck, &env)?;
@@ -543,7 +612,9 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
         let outcome = match card {
             AnalysisCard::Op { .. } => {
                 let (mut ckt, _) = elab.build(overrides, None)?;
-                AnalysisOutcome::Op(dcop::solve(&mut ckt, &sim)?)
+                let guess = ctx.op_guess.clone();
+                let ws = ctx.workspace(sim.matrix);
+                AnalysisOutcome::Op(dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ws)?)
             }
             AnalysisCard::Dc {
                 sweep: var,
@@ -566,7 +637,7 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                                     *span,
                                 ));
                             }
-                            let result = dc_sweep(
+                            let result = dc_sweep_in(
                                 |v| {
                                     elab.build(overrides, Some((src.as_str(), v)))
                                         .map(|(c, _)| c)
@@ -574,6 +645,7 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                                 },
                                 &values,
                                 &sim,
+                                ctx.workspace(sim.matrix),
                             )?;
                             (format!("v({src})"), result)
                         }
@@ -584,7 +656,7 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                                     *span,
                                 ));
                             }
-                            let result = dc_sweep(
+                            let result = dc_sweep_in(
                                 |v| {
                                     let mut o = overrides.clone();
                                     o.insert(p.clone(), v);
@@ -592,6 +664,7 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                                 },
                                 &values,
                                 &sim,
+                                ctx.workspace(sim.matrix),
                             )?;
                             (format!("param({p})"), result)
                         }
@@ -625,7 +698,16 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                     }
                 };
                 let (mut ckt, _) = elab.build(overrides, None)?;
-                AnalysisOutcome::Ac(run_ac(&mut ckt, &fs, &sim)?)
+                // Same reuse shape as the other analyses: operating
+                // point through the shared real workspace (with the
+                // warm-start guess), frequency sweep through the
+                // shared complex system.
+                let freqs = fs.frequencies().map_err(NetlistError::from)?;
+                let guess = ctx.op_guess.clone();
+                let op =
+                    dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ctx.workspace(sim.matrix))?;
+                let sys = ctx.ac_system(op.layout.n_unknowns, sim.matrix);
+                AnalysisOutcome::Ac(run_ac_with_op_in(&mut ckt, &freqs, &op, sys)?)
             }
             AnalysisCard::Tran {
                 tstep,
@@ -652,7 +734,9 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
                     o
                 };
                 let (mut ckt, _) = elab.build(overrides, None)?;
-                AnalysisOutcome::Tran(run_tran(&mut ckt, &opts, &sim)?)
+                let guess = ctx.op_guess.clone();
+                let ws = ctx.workspace(sim.matrix);
+                AnalysisOutcome::Tran(run_tran_in(&mut ckt, &opts, &sim, guess.as_deref(), ws)?)
             }
         };
         outcomes.push((card.clone(), outcome));

@@ -76,6 +76,9 @@ pub mod token;
 
 pub use ast::{AnalysisCard, Deck, DeviceCard};
 pub use batch::{batch_points, run_batch, BatchOptions, BatchResult};
-pub use elab::{run_deck, run_deck_with, AnalysisOutcome, DeckRun, Elaborator};
+pub use elab::{
+    run_deck, run_deck_with, run_elaborated, run_elaborated_ctx, AnalysisOutcome, DeckRun,
+    Elaborator, RunCtx,
+};
 pub use error::{NetlistError, Result};
 pub use parser::{FsResolver, IncludeResolver, NoIncludes};

@@ -300,6 +300,194 @@ pub fn batch_report(result: &BatchResult) -> String {
     out
 }
 
+// ---------------------------------------------------------------
+// JSON rendering (hand-rolled: the offline workspace has no serde).
+// ---------------------------------------------------------------
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON value (`null` for NaN/infinite, which
+/// JSON cannot represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.12e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_num_array(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|&v| json_num(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `{"label": [..], ...}` from label → trace pairs.
+fn json_trace_object(traces: &[(String, Vec<f64>)]) -> String {
+    let items: Vec<String> = traces
+        .iter()
+        .map(|(l, vs)| format!("\"{}\":{}", json_escape(l), json_num_array(vs)))
+        .collect();
+    format!("{{{}}}", items.join(","))
+}
+
+/// Renders one analysis outcome as a JSON object.
+pub fn outcome_json(deck: &Deck, outcome: &AnalysisOutcome) -> String {
+    match outcome {
+        AnalysisOutcome::Op(op) => {
+            let labels = selected_labels(deck, "op", &op.layout.labels);
+            let values: Vec<String> = labels
+                .iter()
+                .filter_map(|l| {
+                    op.by_label(l)
+                        .map(|v| format!("\"{}\":{}", json_escape(l), json_num(v)))
+                })
+                .collect();
+            format!(
+                "{{\"kind\":\"op\",\"iterations\":{},\"values\":{{{}}}}}",
+                op.iterations,
+                values.join(",")
+            )
+        }
+        AnalysisOutcome::Dc { var, result } => {
+            let all = result
+                .points
+                .first()
+                .map(|p| p.layout.labels.clone())
+                .unwrap_or_default();
+            let labels = selected_labels(deck, "dc", &all);
+            let traces: Vec<(String, Vec<f64>)> = labels
+                .iter()
+                .filter_map(|l| result.trace(l).map(|t| (l.clone(), t)))
+                .collect();
+            format!(
+                "{{\"kind\":\"dc\",\"var\":\"{}\",\"values\":{},\"traces\":{}}}",
+                json_escape(var),
+                json_num_array(&result.values),
+                json_trace_object(&traces)
+            )
+        }
+        AnalysisOutcome::Ac(ac) => {
+            let labels = selected_labels(deck, "ac", &ac.labels);
+            let mags: Vec<(String, Vec<f64>)> = labels
+                .iter()
+                .filter_map(|l| ac.magnitude(l).map(|m| (l.clone(), m)))
+                .collect();
+            let phases: Vec<(String, Vec<f64>)> = labels
+                .iter()
+                .filter_map(|l| ac.phase_deg(l).map(|p| (l.clone(), p)))
+                .collect();
+            format!(
+                "{{\"kind\":\"ac\",\"freqs\":{},\"magnitude\":{},\"phase_deg\":{}}}",
+                json_num_array(&ac.freqs),
+                json_trace_object(&mags),
+                json_trace_object(&phases)
+            )
+        }
+        AnalysisOutcome::Tran(tr) => {
+            let labels = selected_labels(deck, "tran", &tr.labels);
+            let traces: Vec<(String, Vec<f64>)> = labels
+                .iter()
+                .filter_map(|l| tr.trace(l).map(|t| (l.clone(), t)))
+                .collect();
+            format!(
+                "{{\"kind\":\"tran\",\"newton_iterations\":{},\"rejected_steps\":{},\"time\":{},\"traces\":{}}}",
+                tr.total_newton_iterations,
+                tr.rejected_steps,
+                json_num_array(&tr.time),
+                json_trace_object(&traces)
+            )
+        }
+    }
+}
+
+/// Renders a whole deck run as a JSON document:
+/// `{"deck": …, "analyses": […]}`.
+pub fn run_json(deck: &Deck, run: &DeckRun) -> String {
+    let analyses: Vec<String> = run
+        .outcomes
+        .iter()
+        .map(|(_, outcome)| outcome_json(deck, outcome))
+        .collect();
+    format!(
+        "{{\"deck\":\"{}\",\"analyses\":[{}]}}\n",
+        json_escape(&run.title),
+        analyses.join(",")
+    )
+}
+
+/// Renders a batch result as a JSON document: per-point parameter
+/// overrides, metrics or failure log, and aggregate statistics.
+pub fn batch_json(result: &BatchResult) -> String {
+    let points: Vec<String> = result
+        .points
+        .iter()
+        .map(|p| {
+            let params: Vec<String> = p
+                .point
+                .overrides
+                .iter()
+                .map(|(n, v)| format!("\"{}\":{}", json_escape(n), json_num(*v)))
+                .collect();
+            let body = match &p.outcome {
+                Ok(metrics) => {
+                    let ms: Vec<String> = metrics
+                        .iter()
+                        .map(|m| format!("\"{}\":{}", json_escape(&m.name), json_num(m.value)))
+                        .collect();
+                    format!("\"status\":\"ok\",\"metrics\":{{{}}}", ms.join(","))
+                }
+                Err(e) => format!("\"status\":\"fail\",\"error\":\"{}\"", json_escape(e)),
+            };
+            format!(
+                "{{\"index\":{},\"params\":{{{}}},{}}}",
+                p.point.index,
+                params.join(","),
+                body
+            )
+        })
+        .collect();
+    let agg: Vec<String> = result
+        .aggregate()
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "\"{}\":{{\"min\":{},\"max\":{},\"mean\":{},\"rms\":{},\"n\":{}}}",
+                json_escape(name),
+                json_num(s.min),
+                json_num(s.max),
+                json_num(s.mean),
+                json_num(s.rms),
+                s.n
+            )
+        })
+        .collect();
+    format!(
+        "{{\"total\":{},\"ok\":{},\"threads\":{},\"points\":[{}],\"aggregate\":{{{}}}}}\n",
+        result.points.len(),
+        result.ok_count(),
+        result.threads_used,
+        points.join(","),
+        agg.join(",")
+    )
+}
+
 /// Renders a batch result as CSV (one row per point).
 pub fn batch_csv(result: &BatchResult) -> String {
     let mut param_names: Vec<String> = Vec::new();
@@ -376,6 +564,73 @@ mod tests {
         let csv = outcome_csv(&deck, &run.outcomes[0].1);
         assert!(csv.starts_with("unknown,value\n"));
         assert!(csv.contains("v(out),"), "{csv}");
+    }
+
+    #[test]
+    fn run_json_is_wellformed_and_has_values() {
+        let deck = Deck::parse(
+            "json \"deck\"\nVs in 0 2\nR1 in out 1k\nR2 out 0 1k\n.op\n.print op v(out)\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        let json = run_json(&deck, &run);
+        assert!(json.contains("\"kind\":\"op\""), "{json}");
+        assert!(json.contains("\"v(out)\":9.99999999"), "{json}");
+        // The quote in the title must be escaped.
+        assert!(json.contains("json \\\"deck\\\""), "{json}");
+        assert_json_balanced(&json);
+    }
+
+    #[test]
+    fn batch_json_reports_failures_and_aggregate() {
+        let deck = Deck::parse(
+            "f\n.param r=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {r}\n.op\n.print op v(out)\n.step param r LIST 1k 0 3k\n",
+        )
+        .unwrap();
+        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let json = batch_json(&result);
+        assert!(json.contains("\"total\":3"), "{json}");
+        assert!(json.contains("\"ok\":2"), "{json}");
+        assert!(json.contains("\"status\":\"fail\""), "{json}");
+        assert!(json.contains("\"error\":"), "{json}");
+        assert!(json.contains("\"aggregate\""), "{json}");
+        assert!(json.contains("\"op:v(out)\""), "{json}");
+        assert_json_balanced(&json);
+    }
+
+    #[test]
+    fn json_numbers_handle_non_finite() {
+        assert_eq!(super::json_num(f64::NAN), "null");
+        assert_eq!(super::json_num(f64::INFINITY), "null");
+        assert!(super::json_num(1.5).starts_with("1.5"));
+    }
+
+    /// Cheap structural check: braces/brackets balance outside strings.
+    fn assert_json_balanced(json: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON: {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+        assert!(!in_str, "unterminated string: {json}");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod quad;
 pub mod rootfind;
 pub mod scalar;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod stats;
 
 pub use complex::Complex64;

@@ -6,8 +6,7 @@ use crate::device::AcLoadCtx;
 use crate::error::{Result, SpiceError};
 use crate::output::{AcResult, OpSolution};
 use crate::solver::SimOptions;
-use mems_numerics::dense::DenseMatrix;
-use mems_numerics::lu::LuFactors;
+use crate::system::{new_system, MatrixBackend, SystemMatrix};
 use mems_numerics::Complex64;
 
 /// Frequency sweep specification.
@@ -103,30 +102,74 @@ impl FreqSweep {
 pub fn run(circuit: &mut Circuit, sweep: &FreqSweep, sim: &SimOptions) -> Result<AcResult> {
     let freqs = sweep.frequencies()?;
     let op = super::dcop::solve(circuit, sim)?;
-    run_with_op(circuit, &freqs, &op)
+    run_with_op_backend(circuit, &freqs, &op, sim.matrix)
 }
 
-/// Runs the sweep against an already-solved operating point.
+/// Runs the sweep against an already-solved operating point (automatic
+/// backend selection).
 ///
 /// # Errors
 ///
 /// Returns singular-system and device errors.
 pub fn run_with_op(circuit: &mut Circuit, freqs: &[f64], op: &OpSolution) -> Result<AcResult> {
+    run_with_op_backend(circuit, freqs, op, MatrixBackend::Auto)
+}
+
+/// [`run_with_op`] with an explicit matrix backend. The complex
+/// system is assembled through [`SystemMatrix`], so all frequency
+/// points share one sparsity pattern — on the sparse backend the
+/// symbolic factorization from the first point is replayed
+/// numeric-only for every further point.
+///
+/// # Errors
+///
+/// As [`run_with_op`].
+pub fn run_with_op_backend(
+    circuit: &mut Circuit,
+    freqs: &[f64],
+    op: &OpSolution,
+    backend: MatrixBackend,
+) -> Result<AcResult> {
+    let mut sys: Box<dyn SystemMatrix<Complex64>> = new_system(op.layout.n_unknowns, backend);
+    run_with_op_in(circuit, freqs, op, sys.as_mut())
+}
+
+/// [`run_with_op`] over a caller-owned complex system matrix: batch
+/// engines hand the same system to every `.STEP`/`.MC` point, so the
+/// sparse backend's pattern discovery and symbolic analysis happen
+/// once per worker rather than once per point. The system's order
+/// must match the operating point's unknown count.
+///
+/// # Errors
+///
+/// As [`run_with_op`], plus a build error on an order mismatch.
+pub fn run_with_op_in(
+    circuit: &mut Circuit,
+    freqs: &[f64],
+    op: &OpSolution,
+    sys: &mut dyn SystemMatrix<Complex64>,
+) -> Result<AcResult> {
     let layout = &op.layout;
     let n = layout.n_unknowns;
+    if sys.n() != n {
+        return Err(SpiceError::Build(format!(
+            "AC system matrix order {} does not match {} unknowns",
+            sys.n(),
+            n
+        )));
+    }
     let mut result = AcResult {
         freqs: freqs.to_vec(),
         labels: layout.labels.clone(),
         data: Vec::with_capacity(freqs.len()),
     };
-    let mut jac = DenseMatrix::<Complex64>::zeros(n, n);
     let mut rhs = vec![Complex64::ZERO; n];
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        jac.fill_zero();
+        sys.clear();
         rhs.iter_mut().for_each(|v| *v = Complex64::ZERO);
         {
-            let mut ctx = AcLoadCtx::new(omega, layout, &op.x, &mut jac, &mut rhs);
+            let mut ctx = AcLoadCtx::new(omega, layout, &op.x, &mut *sys, &mut rhs);
             for dev in circuit.devices_mut() {
                 dev.load_ac(&mut ctx)?;
             }
@@ -134,12 +177,12 @@ pub fn run_with_op(circuit: &mut Circuit, freqs: &[f64], op: &OpSolution) -> Res
         // gmin on node diagonals keeps floating nodes benign.
         for (k, kind) in layout.kinds.iter().enumerate() {
             if matches!(kind, crate::circuit::UnknownKind::NodeAcross(_)) {
-                jac.add_at(k, k, Complex64::from_re(1e-12));
+                sys.add(k, k, Complex64::from_re(1e-12));
             }
         }
-        let lu = LuFactors::factor(&jac)
+        sys.factor()
             .map_err(|e| SpiceError::Singular(format!("AC at {f} Hz: {e}")))?;
-        let x = lu.solve(&rhs)?;
+        let x = sys.solve(&rhs)?;
         result.data.push(x);
     }
     Ok(result)

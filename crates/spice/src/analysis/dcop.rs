@@ -32,8 +32,28 @@ pub fn solve_from(
     opts: &SimOptions,
     guess: Option<&[f64]>,
 ) -> Result<OpSolution> {
+    let mut ws = Workspace::with_backend(0, opts.matrix);
+    solve_in(circuit, opts, guess, &mut ws)
+}
+
+/// [`solve_from`] over a caller-owned [`Workspace`], the reuse hook
+/// for sweeps, transients, and `.STEP`/`.MC` batch points: when the
+/// workspace already matches the circuit's unknown count (same
+/// topology), its cached structure — notably the sparse backend's
+/// sparsity pattern and symbolic factorization — carries over and
+/// only the numeric factorization is redone.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_in(
+    circuit: &mut Circuit,
+    opts: &SimOptions,
+    guess: Option<&[f64]>,
+    ws: &mut Workspace,
+) -> Result<OpSolution> {
     let layout = circuit.layout();
-    let mut ws = Workspace::new(layout.n_unknowns);
+    ws.ensure(layout.n_unknowns, opts.matrix);
     let x0 = match guess {
         Some(g) if g.len() == layout.n_unknowns => g.to_vec(),
         _ => vec![0.0; layout.n_unknowns],
@@ -50,7 +70,7 @@ pub fn solve_from(
         opts.gmin,
         opts,
         &x0,
-        &mut ws,
+        ws,
     );
     let outcome = match direct {
         Ok(o) => Ok(o),
@@ -58,8 +78,8 @@ pub fn solve_from(
             // Homotopies always restart from zero: a bad warm-start
             // guess must not poison the fallback path.
             let zeros = vec![0.0; layout.n_unknowns];
-            gmin_stepping(circuit, &layout, opts, &zeros, &mut ws)
-                .or_else(|_| source_stepping(circuit, &layout, opts, &zeros, &mut ws))
+            gmin_stepping(circuit, &layout, opts, &zeros, ws)
+                .or_else(|_| source_stepping(circuit, &layout, opts, &zeros, ws))
         }
     };
     let outcome = outcome.map_err(|e| SpiceError::NoConvergence {

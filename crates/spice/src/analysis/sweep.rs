@@ -8,7 +8,7 @@
 use crate::circuit::Circuit;
 use crate::error::Result;
 use crate::output::OpSolution;
-use crate::solver::SimOptions;
+use crate::solver::{SimOptions, Workspace};
 
 /// Result of a DC sweep.
 #[derive(Debug, Clone)]
@@ -37,9 +37,27 @@ impl SweepResult {
 /// Propagates build and convergence failures (the failing sweep value
 /// is included in the error detail).
 pub fn dc_sweep(
+    build: impl FnMut(f64) -> Result<Circuit>,
+    values: &[f64],
+    sim: &SimOptions,
+) -> Result<SweepResult> {
+    let mut ws = Workspace::with_backend(0, sim.matrix);
+    dc_sweep_in(build, values, sim, &mut ws)
+}
+
+/// [`dc_sweep`] over a caller-owned [`Workspace`]: besides the
+/// warm-start, every point shares one assembly workspace (and, on the
+/// sparse backend, one symbolic factorization — the rebuilt circuits
+/// have identical topology).
+///
+/// # Errors
+///
+/// As [`dc_sweep`].
+pub fn dc_sweep_in(
     mut build: impl FnMut(f64) -> Result<Circuit>,
     values: &[f64],
     sim: &SimOptions,
+    ws: &mut Workspace,
 ) -> Result<SweepResult> {
     let mut result = SweepResult {
         values: values.to_vec(),
@@ -48,7 +66,7 @@ pub fn dc_sweep(
     let mut prev: Option<Vec<f64>> = None;
     for &v in values {
         let mut circuit = build(v)?;
-        let op = super::dcop::solve_from(&mut circuit, sim, prev.as_deref()).map_err(|e| {
+        let op = super::dcop::solve_in(&mut circuit, sim, prev.as_deref(), ws).map_err(|e| {
             crate::error::SpiceError::NoConvergence {
                 analysis: format!("dc sweep at value {v}"),
                 detail: e.to_string(),

@@ -68,6 +68,43 @@ impl TranOptions {
 /// - [`SpiceError::StepUnderflow`] when step halving bottoms out;
 /// - [`SpiceError::BadOptions`] for a non-positive horizon.
 pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Result<TranResult> {
+    run_from(circuit, opts, sim, None)
+}
+
+/// [`run`] with a Newton guess for the initial DC operating point
+/// (e.g. the previous `.STEP` batch point's operating point — same
+/// topology, nearby parameter values). A wrong-length guess is
+/// ignored; a bad guess only costs the usual homotopy fallbacks.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_from(
+    circuit: &mut Circuit,
+    opts: &TranOptions,
+    sim: &SimOptions,
+    op_guess: Option<&[f64]>,
+) -> Result<TranResult> {
+    let mut ws = Workspace::with_backend(0, sim.matrix);
+    run_in(circuit, opts, sim, op_guess, &mut ws)
+}
+
+/// [`run_from`] over a caller-owned [`Workspace`] (see
+/// [`dcop::solve_in`](super::dcop::solve_in) for the reuse contract).
+/// The DC operating point and every transient step share the
+/// workspace, so the sparse backend analyzes the Jacobian structure
+/// once for the whole run.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_in(
+    circuit: &mut Circuit,
+    opts: &TranOptions,
+    sim: &SimOptions,
+    op_guess: Option<&[f64]>,
+    ws: &mut Workspace,
+) -> Result<TranResult> {
     // `!(x > 0.0)` (rather than `x <= 0.0`) also rejects a NaN horizon.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(opts.t_stop > 0.0) {
@@ -91,9 +128,8 @@ pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Resul
     breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
 
     // Operating point at t = 0 (also commits device histories).
-    let op = super::dcop::solve(circuit, sim)?;
+    let op = super::dcop::solve_in(circuit, sim, op_guess, ws)?;
     let layout = op.layout.clone();
-    let mut ws = Workspace::new(layout.n_unknowns);
 
     let mut result = TranResult {
         time: vec![0.0],
@@ -156,7 +192,7 @@ pub fn run(circuit: &mut Circuit, opts: &TranOptions, sim: &SimOptions) -> Resul
             h: h_attempt,
             method,
         };
-        let solve = newton(circuit, &layout, kind, sim.gmin, sim, &x, &mut ws);
+        let solve = newton(circuit, &layout, kind, sim.gmin, sim, &x, ws);
         match solve {
             Ok(out) => {
                 result.total_newton_iterations += out.iterations;

@@ -15,7 +15,7 @@
 
 use crate::circuit::{NodeId, UnknownLayout};
 use crate::error::Result;
-use mems_numerics::dense::DenseMatrix;
+use crate::system::SystemMatrix;
 use mems_numerics::ode::IntegrationMethod;
 use mems_numerics::Complex64;
 
@@ -65,7 +65,7 @@ pub struct LoadCtx<'a> {
     pub kind: LoadKind,
     layout: &'a UnknownLayout,
     x: &'a [f64],
-    jac: &'a mut DenseMatrix<f64>,
+    jac: &'a mut dyn SystemMatrix<f64>,
     resid: &'a mut [f64],
     row_scale: &'a mut [f64],
 }
@@ -76,7 +76,7 @@ impl<'a> LoadCtx<'a> {
         kind: LoadKind,
         layout: &'a UnknownLayout,
         x: &'a [f64],
-        jac: &'a mut DenseMatrix<f64>,
+        jac: &'a mut dyn SystemMatrix<f64>,
         resid: &'a mut [f64],
         row_scale: &'a mut [f64],
     ) -> Self {
@@ -114,7 +114,7 @@ impl<'a> LoadCtx<'a> {
     /// silently dropped.
     pub fn stamp(&mut self, row: Option<usize>, col: Option<usize>, g: f64) {
         if let (Some(r), Some(c)) = (row, col) {
-            self.jac.add_at(r, c, g);
+            self.jac.add(r, c, g);
         }
     }
 
@@ -161,7 +161,7 @@ pub struct AcLoadCtx<'a> {
     layout: &'a UnknownLayout,
     /// DC operating-point solution.
     op: &'a [f64],
-    jac: &'a mut DenseMatrix<Complex64>,
+    jac: &'a mut dyn SystemMatrix<Complex64>,
     rhs: &'a mut [Complex64],
 }
 
@@ -171,7 +171,7 @@ impl<'a> AcLoadCtx<'a> {
         omega: f64,
         layout: &'a UnknownLayout,
         op: &'a [f64],
-        jac: &'a mut DenseMatrix<Complex64>,
+        jac: &'a mut dyn SystemMatrix<Complex64>,
         rhs: &'a mut [Complex64],
     ) -> Self {
         AcLoadCtx {
@@ -206,7 +206,7 @@ impl<'a> AcLoadCtx<'a> {
     /// Adds a complex admittance entry.
     pub fn stamp(&mut self, row: Option<usize>, col: Option<usize>, y: Complex64) {
         if let (Some(r), Some(c)) = (row, col) {
-            self.jac.add_at(r, c, y);
+            self.jac.add(r, c, y);
         }
     }
 

@@ -50,9 +50,11 @@ pub mod devices;
 pub mod error;
 pub mod output;
 pub mod solver;
+pub mod system;
 pub mod wave;
 
 pub use circuit::{Circuit, NodeId};
 pub use error::{Result, SpiceError};
 pub use solver::SimOptions;
+pub use system::{MatrixBackend, SystemMatrix};
 pub use wave::Waveform;

@@ -9,9 +9,8 @@
 use crate::circuit::{Circuit, UnknownKind, UnknownLayout};
 use crate::device::{LoadCtx, LoadKind};
 use crate::error::{Result, SpiceError};
+use crate::system::{new_system, MatrixBackend, SystemMatrix};
 use mems_hdl::Nature;
-use mems_numerics::dense::DenseMatrix;
-use mems_numerics::lu::LuFactors;
 
 /// Global simulator options (tolerances, iteration budgets).
 #[derive(Debug, Clone)]
@@ -32,6 +31,11 @@ pub struct SimOptions {
     /// Maximum per-iteration update magnitude (Newton damping); `0`
     /// disables limiting.
     pub max_step: f64,
+    /// Linear-algebra backend (deck option `sparse=0/1`; `Auto`
+    /// switches to sparse at
+    /// [`AUTO_SPARSE_THRESHOLD`](crate::system::AUTO_SPARSE_THRESHOLD)
+    /// unknowns).
+    pub matrix: MatrixBackend,
 }
 
 impl Default for SimOptions {
@@ -44,6 +48,7 @@ impl Default for SimOptions {
             max_iter: 100,
             gmin: 1e-12,
             max_step: 0.0,
+            matrix: MatrixBackend::Auto,
         }
     }
 }
@@ -59,24 +64,52 @@ impl SimOptions {
     }
 }
 
-/// Reusable assembly storage (avoids reallocating each iteration).
+/// Reusable assembly storage (avoids reallocating each iteration —
+/// and, on the sparse backend, carries the sparsity pattern and
+/// symbolic factorization across Newton iterations, transient steps,
+/// analyses, and batch points with identical structure).
 pub struct Workspace {
-    /// Jacobian matrix.
-    pub jac: DenseMatrix<f64>,
+    /// System (Jacobian) matrix behind the backend-agnostic trait.
+    pub sys: Box<dyn SystemMatrix<f64>>,
     /// Residual vector.
     pub resid: Vec<f64>,
     /// Row scales (sums of |terms| per row).
     pub row_scale: Vec<f64>,
+    backend: MatrixBackend,
 }
 
 impl Workspace {
-    /// Allocates a workspace for `n` unknowns.
+    /// Allocates a workspace for `n` unknowns with automatic backend
+    /// selection.
     pub fn new(n: usize) -> Self {
+        Self::with_backend(n, MatrixBackend::Auto)
+    }
+
+    /// Allocates a workspace with an explicit backend policy.
+    pub fn with_backend(n: usize, backend: MatrixBackend) -> Self {
         Workspace {
-            jac: DenseMatrix::zeros(n, n),
+            sys: new_system(n, backend),
             resid: vec![0.0; n],
             row_scale: vec![0.0; n],
+            backend,
         }
+    }
+
+    /// Unknown count the workspace is sized for.
+    pub fn n(&self) -> usize {
+        self.sys.n()
+    }
+
+    /// Re-targets the workspace to `n` unknowns under `backend`,
+    /// keeping all cached structure (sparsity pattern, symbolic
+    /// factorization) when both already match. This is the reuse hook
+    /// for sweeps and `.STEP`/`.MC` batches: same topology → same
+    /// layout → the expensive analysis happens once.
+    pub fn ensure(&mut self, n: usize, backend: MatrixBackend) {
+        if self.sys.n() == n && self.backend.resolve(n) == backend.resolve(n) {
+            return;
+        }
+        *self = Workspace::with_backend(n, backend);
     }
 }
 
@@ -93,7 +126,7 @@ pub fn assemble(
     x: &[f64],
     ws: &mut Workspace,
 ) -> Result<()> {
-    ws.jac.fill_zero();
+    ws.sys.clear();
     ws.resid.iter_mut().for_each(|v| *v = 0.0);
     ws.row_scale.iter_mut().for_each(|v| *v = 0.0);
     {
@@ -101,7 +134,7 @@ pub fn assemble(
             kind,
             layout,
             x,
-            &mut ws.jac,
+            ws.sys.as_mut(),
             &mut ws.resid,
             &mut ws.row_scale,
         );
@@ -114,7 +147,7 @@ pub fn assemble(
         for (k, kind) in layout.kinds.iter().enumerate() {
             if matches!(kind, UnknownKind::NodeAcross(_)) {
                 ws.resid[k] += gmin * x[k];
-                ws.jac.add_at(k, k, gmin);
+                ws.sys.add(k, k, gmin);
             }
         }
     }
@@ -150,20 +183,20 @@ pub fn newton(
     let mut x = x0.to_vec();
     for it in 0..opts.max_iter {
         assemble(circuit, layout, kind, gmin, &x, ws)?;
-        if !ws.jac.all_finite() {
+        if !ws.sys.all_finite() {
             return Err(SpiceError::Device {
                 device: "<assembly>".into(),
                 detail: "non-finite Jacobian entry".into(),
             });
         }
-        let lu = LuFactors::factor(&ws.jac).map_err(|e| {
+        ws.sys.factor().map_err(|e| {
             SpiceError::Singular(format!(
                 "{e} (unknowns: {})",
                 worst_rows(layout, &ws.row_scale)
             ))
         })?;
         let neg_f: Vec<f64> = ws.resid.iter().map(|f| -f).collect();
-        let mut delta = lu.solve(&neg_f)?;
+        let mut delta = ws.sys.solve(&neg_f)?;
 
         // Optional damping.
         if opts.max_step > 0.0 {

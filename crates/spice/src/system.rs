@@ -1,0 +1,461 @@
+//! The backend-agnostic system matrix: every analysis stamps its MNA
+//! Jacobian (or complex AC admittance matrix) through the
+//! [`SystemMatrix`] trait and solves through the same interface, so
+//! the choice between a dense LU and the sparse
+//! Gilbert–Peierls factorization is a per-circuit policy decision, not
+//! a per-analysis code path.
+//!
+//! Two implementations:
+//!
+//! - [`DenseSystem`]: a [`DenseMatrix`] refactored from scratch each
+//!   [`factor`](SystemMatrix::factor) — the right default for the
+//!   paper-scale circuits of a few dozen unknowns.
+//! - [`SparseSystem`]: a growable sparsity pattern over
+//!   [`SparseLu`], with split symbolic/numeric factorization. The
+//!   pattern is discovered from the stamps themselves (a stamp at a
+//!   new coordinate grows the pattern and invalidates the symbolic
+//!   analysis), and once the pattern is stable every subsequent
+//!   [`factor`](SystemMatrix::factor) is a numeric-only
+//!   [`SparseLu::refactor`] — the hot path for Newton iterations,
+//!   transient steps, AC frequency points, and `.STEP`/`.MC` batch
+//!   points that share one topology.
+//!
+//! Backend selection is [`MatrixBackend`]: `Auto` switches to sparse
+//! at [`AUTO_SPARSE_THRESHOLD`] unknowns, and
+//! [`SimOptions::matrix`](crate::solver::SimOptions) (deck option
+//! `sparse=0/1`) overrides it either way.
+
+use mems_numerics::dense::DenseMatrix;
+use mems_numerics::lu::LuFactors;
+use mems_numerics::scalar::Scalar;
+use mems_numerics::sparse_lu::{CscView, SparseLu};
+use mems_numerics::{NumericsError, Result};
+use std::collections::HashMap;
+
+/// Unknown count at which `Auto` switches from dense to sparse.
+///
+/// Dense LU is `O(n³)` with a small constant; the sparse path wins
+/// once the Jacobian is big *and* mostly structural zeros, which for
+/// MNA matrices (a handful of entries per device) is around here.
+pub const AUTO_SPARSE_THRESHOLD: usize = 50;
+
+/// Which linear-algebra backend assembles and solves the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixBackend {
+    /// Pick by unknown count ([`AUTO_SPARSE_THRESHOLD`]).
+    #[default]
+    Auto,
+    /// Force the dense LU path.
+    Dense,
+    /// Force the sparse LU path.
+    Sparse,
+}
+
+impl MatrixBackend {
+    /// Resolves `Auto` against an unknown count.
+    pub fn resolve(self, n: usize) -> MatrixBackend {
+        match self {
+            MatrixBackend::Auto => {
+                if n >= AUTO_SPARSE_THRESHOLD {
+                    MatrixBackend::Sparse
+                } else {
+                    MatrixBackend::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// A square system matrix that devices stamp into and analyses solve
+/// through.
+///
+/// The lifecycle per solve is `clear → add… → factor → solve…`;
+/// implementations may cache whatever structure survives between
+/// cycles (the sparse backend keeps its sparsity pattern and symbolic
+/// factorization).
+pub trait SystemMatrix<S: Scalar>: Send {
+    /// Matrix order.
+    fn n(&self) -> usize;
+
+    /// Zeroes all values, keeping cached structure.
+    fn clear(&mut self);
+
+    /// Accumulates `v` at `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, v: S);
+
+    /// `true` when every stored value is finite.
+    fn all_finite(&self) -> bool;
+
+    /// Factorizes the current values.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Singular`] for singular systems.
+    fn factor(&mut self) -> Result<()>;
+
+    /// Solves `A·x = b` against the last [`factor`](Self::factor).
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatches, or calling before a successful factor.
+    fn solve(&self, b: &[S]) -> Result<Vec<S>>;
+
+    /// Which concrete backend this is, for reports and tests.
+    fn backend(&self) -> MatrixBackend;
+
+    /// Value at `(row, col)` — diagnostic/test accessor, zero when
+    /// unstamped.
+    fn get(&self, row: usize, col: usize) -> S;
+}
+
+/// Builds a system matrix of order `n` for the (resolved) backend.
+pub fn new_system<S: Scalar + Send + 'static>(
+    n: usize,
+    backend: MatrixBackend,
+) -> Box<dyn SystemMatrix<S>> {
+    match backend.resolve(n) {
+        MatrixBackend::Sparse => Box::new(SparseSystem::new(n)),
+        _ => Box::new(DenseSystem::new(n)),
+    }
+}
+
+/// Dense backend: [`DenseMatrix`] + full pivoted LU per factor.
+pub struct DenseSystem<S: Scalar> {
+    m: DenseMatrix<S>,
+    lu: Option<LuFactors<S>>,
+}
+
+impl<S: Scalar> DenseSystem<S> {
+    /// Zero-filled dense system of order `n`.
+    pub fn new(n: usize) -> Self {
+        DenseSystem {
+            m: DenseMatrix::zeros(n, n),
+            lu: None,
+        }
+    }
+}
+
+impl<S: Scalar + Send + 'static> SystemMatrix<S> for DenseSystem<S> {
+    fn n(&self) -> usize {
+        self.m.rows()
+    }
+
+    fn clear(&mut self) {
+        self.m.fill_zero();
+        self.lu = None;
+    }
+
+    fn add(&mut self, row: usize, col: usize, v: S) {
+        self.m.add_at(row, col, v);
+    }
+
+    fn all_finite(&self) -> bool {
+        self.m.all_finite()
+    }
+
+    fn factor(&mut self) -> Result<()> {
+        self.lu = Some(LuFactors::factor(&self.m)?);
+        Ok(())
+    }
+
+    fn solve(&self, b: &[S]) -> Result<Vec<S>> {
+        match &self.lu {
+            Some(lu) => lu.solve(b),
+            None => Err(NumericsError::InvalidInput(
+                "solve called before factor".into(),
+            )),
+        }
+    }
+
+    fn backend(&self) -> MatrixBackend {
+        MatrixBackend::Dense
+    }
+
+    fn get(&self, row: usize, col: usize) -> S {
+        self.m[(row, col)]
+    }
+}
+
+/// Sparse backend: growable stamp pattern + split symbolic/numeric LU.
+pub struct SparseSystem<S: Scalar> {
+    n: usize,
+    /// `(row << 32 | col)` → slot in [`vals`](Self::vals).
+    slots: HashMap<u64, usize>,
+    /// Slot → coordinate, in insertion order.
+    coords: Vec<(u32, u32)>,
+    /// Assembled values, by slot.
+    vals: Vec<S>,
+    /// CSC image of the pattern (rebuilt when the pattern grows).
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    csc_vals: Vec<S>,
+    /// Slot → position in the CSC value array.
+    slot_to_pos: Vec<usize>,
+    pattern_dirty: bool,
+    lu: Option<SparseLu<S>>,
+    factored: bool,
+}
+
+impl<S: Scalar> SparseSystem<S> {
+    /// Empty sparse system of order `n` (pattern grows with stamps).
+    pub fn new(n: usize) -> Self {
+        SparseSystem {
+            n,
+            slots: HashMap::new(),
+            coords: Vec::new(),
+            vals: Vec::new(),
+            col_ptr: Vec::new(),
+            row_idx: Vec::new(),
+            csc_vals: Vec::new(),
+            slot_to_pos: Vec::new(),
+            pattern_dirty: true,
+            lu: None,
+            factored: false,
+        }
+    }
+
+    /// Structural nonzero count of the current pattern.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` when the next factor can replay the recorded symbolic
+    /// factorization (pattern stable and analyzed).
+    pub fn has_symbolic(&self) -> bool {
+        !self.pattern_dirty && self.lu.is_some()
+    }
+
+    fn rebuild_csc(&mut self) {
+        // Sort slots by (col, row) to build the CSC image, remembering
+        // where each slot landed.
+        let mut order: Vec<usize> = (0..self.coords.len()).collect();
+        order.sort_unstable_by_key(|&s| (self.coords[s].1, self.coords[s].0));
+        self.col_ptr = vec![0; self.n + 1];
+        self.row_idx = Vec::with_capacity(order.len());
+        self.csc_vals = vec![S::zero(); order.len()];
+        self.slot_to_pos = vec![0; order.len()];
+        for (pos, &slot) in order.iter().enumerate() {
+            let (r, c) = self.coords[slot];
+            self.col_ptr[c as usize + 1] += 1;
+            self.row_idx.push(r as usize);
+            self.slot_to_pos[slot] = pos;
+        }
+        for c in 0..self.n {
+            self.col_ptr[c + 1] += self.col_ptr[c];
+        }
+        self.pattern_dirty = false;
+        self.lu = None;
+    }
+}
+
+impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn clear(&mut self) {
+        self.vals.iter_mut().for_each(|v| *v = S::zero());
+        self.factored = false;
+    }
+
+    fn add(&mut self, row: usize, col: usize, v: S) {
+        debug_assert!(row < self.n && col < self.n, "stamp out of bounds");
+        let key = ((row as u64) << 32) | col as u64;
+        match self.slots.get(&key) {
+            Some(&slot) => self.vals[slot] += v,
+            None => {
+                let slot = self.vals.len();
+                self.slots.insert(key, slot);
+                self.coords.push((row as u32, col as u32));
+                self.vals.push(v);
+                // A new structural entry invalidates the symbolic
+                // analysis; the pattern only ever grows, so devices
+                // whose Jacobian entries come and go (HDL models with
+                // locally-zero derivatives) converge on a stable
+                // superset after the first few assemblies.
+                self.pattern_dirty = true;
+            }
+        }
+    }
+
+    fn all_finite(&self) -> bool {
+        self.vals.iter().all(|v| v.is_finite_scalar())
+    }
+
+    fn factor(&mut self) -> Result<()> {
+        self.factored = false;
+        if self.pattern_dirty {
+            self.rebuild_csc();
+        }
+        for (slot, &pos) in self.slot_to_pos.iter().enumerate() {
+            self.csc_vals[pos] = self.vals[slot];
+        }
+        let view = CscView {
+            n: self.n,
+            col_ptr: &self.col_ptr,
+            row_idx: &self.row_idx,
+            values: &self.csc_vals,
+        };
+        match &mut self.lu {
+            Some(lu) => {
+                // Numeric-only replay; a dead pivot means the values
+                // moved too far from the analyzed ones — fall back to
+                // a full re-pivoting factorization.
+                if lu.refactor(&view).is_err() {
+                    self.lu = Some(SparseLu::factor(&view)?);
+                }
+            }
+            None => {
+                self.lu = Some(SparseLu::factor(&view)?);
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    fn solve(&self, b: &[S]) -> Result<Vec<S>> {
+        match (&self.lu, self.factored) {
+            (Some(lu), true) => lu.solve(b),
+            _ => Err(NumericsError::InvalidInput(
+                "solve called before factor".into(),
+            )),
+        }
+    }
+
+    fn backend(&self) -> MatrixBackend {
+        MatrixBackend::Sparse
+    }
+
+    fn get(&self, row: usize, col: usize) -> S {
+        let key = ((row as u64) << 32) | col as u64;
+        self.slots
+            .get(&key)
+            .map_or_else(S::zero, |&slot| self.vals[slot])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp_all<S: Scalar + 'static>(
+        sys: &mut dyn SystemMatrix<S>,
+        entries: &[(usize, usize, S)],
+    ) {
+        for &(r, c, v) in entries {
+            sys.add(r, c, v);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_a_small_solve() {
+        let entries = [
+            (0usize, 0usize, 2.0),
+            (0, 1, 1.0),
+            (1, 0, -1.0),
+            (1, 1, 3.0),
+            (1, 2, 0.5),
+            (2, 2, 1.5),
+        ];
+        let b = [1.0, -2.0, 3.0];
+        let mut dense = DenseSystem::<f64>::new(3);
+        let mut sparse = SparseSystem::<f64>::new(3);
+        stamp_all(&mut dense, &entries);
+        stamp_all(&mut sparse, &entries);
+        dense.factor().unwrap();
+        sparse.factor().unwrap();
+        let xd = dense.solve(&b).unwrap();
+        let xs = sparse.solve(&b).unwrap();
+        for (d, s) in xd.iter().zip(&xs) {
+            assert!((d - s).abs() < 1e-13, "{xd:?} vs {xs:?}");
+        }
+        assert_eq!(dense.get(0, 1), 1.0);
+        assert_eq!(sparse.get(0, 1), 1.0);
+        assert_eq!(sparse.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn sparse_reuses_symbolic_across_value_changes() {
+        let mut sys = SparseSystem::<f64>::new(2);
+        sys.add(0, 0, 2.0);
+        sys.add(1, 1, 4.0);
+        sys.add(0, 1, 1.0);
+        sys.factor().unwrap();
+        assert!(sys.has_symbolic());
+        sys.clear();
+        sys.add(0, 0, 3.0);
+        sys.add(1, 1, 5.0);
+        sys.add(0, 1, 1.0);
+        assert!(sys.has_symbolic(), "clear must keep the pattern");
+        sys.factor().unwrap();
+        let x = sys.solve(&[7.0, 10.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[0] - (7.0 - 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_growth_invalidates_symbolic() {
+        let mut sys = SparseSystem::<f64>::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        sys.factor().unwrap();
+        sys.clear();
+        sys.add(0, 0, 1.0);
+        sys.add(1, 1, 1.0);
+        sys.add(1, 0, 0.5); // new structural entry
+        assert!(!sys.has_symbolic());
+        sys.factor().unwrap();
+        let x = sys.solve(&[1.0, 1.5]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert_eq!(sys.nnz(), 3);
+    }
+
+    #[test]
+    fn singular_sparse_system_errors() {
+        let mut sys = SparseSystem::<f64>::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, 2.0);
+        sys.add(1, 0, 2.0);
+        sys.add(1, 1, 4.0);
+        assert!(matches!(sys.factor(), Err(NumericsError::Singular { .. })));
+        assert!(sys.solve(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn refactor_falls_back_to_full_factor_on_dead_pivot() {
+        let mut sys = SparseSystem::<f64>::new(2);
+        sys.add(0, 0, 1.0);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 3.0);
+        sys.factor().unwrap();
+        // New values make the replayed (0,0) pivot exactly zero; the
+        // fallback full factorization must re-pivot and still solve.
+        sys.clear();
+        sys.add(0, 0, 0.0);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 3.0);
+        sys.factor().unwrap();
+        let x = sys.solve(&[2.0, 5.0]).unwrap();
+        assert!((x[0] + 1.0).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_size() {
+        assert_eq!(MatrixBackend::Auto.resolve(10), MatrixBackend::Dense);
+        assert_eq!(
+            MatrixBackend::Auto.resolve(AUTO_SPARSE_THRESHOLD),
+            MatrixBackend::Sparse
+        );
+        assert_eq!(MatrixBackend::Dense.resolve(1000), MatrixBackend::Dense);
+        assert_eq!(MatrixBackend::Sparse.resolve(2), MatrixBackend::Sparse);
+        let sys = new_system::<f64>(100, MatrixBackend::Auto);
+        assert_eq!(sys.backend(), MatrixBackend::Sparse);
+        let sys = new_system::<f64>(10, MatrixBackend::Auto);
+        assert_eq!(sys.backend(), MatrixBackend::Dense);
+    }
+}

@@ -4,7 +4,9 @@
 //! mems check deck.cir              # parse + elaborate, report problems
 //! mems run deck.cir                # run the deck's analyses, print tables
 //! mems run deck.cir --csv out.csv  # CSV instead ("-" = stdout)
+//! mems run deck.cir --json         # machine-readable report on stdout
 //! mems sweep deck.cir --threads 8  # run the .STEP/.MC batch in parallel
+//! mems sweep deck.cir --json pts.json  # per-point metrics + failure logs
 //! ```
 
 use mems_netlist::{report, run_deck, BatchOptions, Deck, FsResolver, NetlistError};
@@ -24,6 +26,9 @@ COMMANDS:
 
 OPTIONS:
     --csv [FILE]     Emit CSV instead of tables (FILE defaults to `-` = stdout)
+    --json [FILE]    Emit a machine-readable JSON report (per-point metrics
+                     and failure logs for `sweep`; FILE defaults to `-`;
+                     mutually exclusive with --csv)
     --threads N      Worker threads for `sweep` (default: all cores)
     -h, --help       Show this help
     -V, --version    Show the version
@@ -33,29 +38,35 @@ struct Args {
     command: String,
     deck_path: PathBuf,
     csv: Option<String>,
+    json: Option<String>,
     threads: usize,
+}
+
+/// Takes an option's optional value: the next token is consumed as
+/// the output file unless it is another option (`-` alone means
+/// stdout, the default).
+fn optional_value<'a>(it: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>) -> String {
+    let next_is_value = it.peek().is_some_and(|n| !n.starts_with('-') || *n == "-");
+    if next_is_value {
+        it.next().expect("peeked").clone()
+    } else {
+        "-".to_string()
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut command = None;
     let mut deck_path = None;
     let mut csv = None;
+    let mut json = None;
     let mut threads = 0usize;
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-h" | "--help" => return Err(String::new()),
             "-V" | "--version" => return Err(format!("mems {}", env!("CARGO_PKG_VERSION"))),
-            "--csv" => {
-                // Optional value: the next token is the output file
-                // unless it is another option (`-` alone means stdout).
-                let next_is_value = it.peek().is_some_and(|n| !n.starts_with('-') || *n == "-");
-                csv = Some(if next_is_value {
-                    it.next().expect("peeked").clone()
-                } else {
-                    "-".to_string()
-                });
-            }
+            "--csv" => csv = Some(optional_value(&mut it)),
+            "--json" => json = Some(optional_value(&mut it)),
             "--threads" => {
                 let v = it
                     .next()
@@ -83,10 +94,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err(format!("unknown command `{command}`"));
     }
     let deck_path = deck_path.ok_or_else(|| "missing deck file".to_string())?;
+    if csv.is_some() && json.is_some() {
+        return Err("--csv and --json are mutually exclusive".to_string());
+    }
     Ok(Args {
         command,
         deck_path,
         csv,
+        json,
         threads,
     })
 }
@@ -150,10 +165,11 @@ fn cmd_check(deck: &Deck) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(deck: &Deck, csv: Option<&str>) -> Result<(), String> {
+fn cmd_run(deck: &Deck, csv: Option<&str>, json: Option<&str>) -> Result<(), String> {
     let run = run_deck(deck).map_err(|e| e.render(&deck.source))?;
-    match csv {
-        Some(target) => {
+    match (json, csv) {
+        (Some(target), _) => emit(target, &report::run_json(deck, &run)),
+        (None, Some(target)) => {
             let mut out = String::new();
             for (i, (card, outcome)) in run.outcomes.iter().enumerate() {
                 if run.outcomes.len() > 1 {
@@ -163,19 +179,25 @@ fn cmd_run(deck: &Deck, csv: Option<&str>) -> Result<(), String> {
             }
             emit(target, &out)
         }
-        None => {
+        (None, None) => {
             print!("{}", report::run_report(deck, &run));
             Ok(())
         }
     }
 }
 
-fn cmd_sweep(deck: &Deck, csv: Option<&str>, threads: usize) -> Result<(), String> {
+fn cmd_sweep(
+    deck: &Deck,
+    csv: Option<&str>,
+    json: Option<&str>,
+    threads: usize,
+) -> Result<(), String> {
     let result = mems_netlist::run_batch(deck, &BatchOptions { threads })
         .map_err(|e| e.render(&deck.source))?;
-    match csv {
-        Some(target) => emit(target, &report::batch_csv(&result)),
-        None => {
+    match (json, csv) {
+        (Some(target), _) => emit(target, &report::batch_json(&result)),
+        (None, Some(target)) => emit(target, &report::batch_csv(&result)),
+        (None, None) => {
             print!("{}", report::batch_report(&result));
             Ok(())
         }
@@ -208,8 +230,13 @@ fn main() -> ExitCode {
     };
     let outcome = match args.command.as_str() {
         "check" => cmd_check(&deck),
-        "run" => cmd_run(&deck, args.csv.as_deref()),
-        "sweep" => cmd_sweep(&deck, args.csv.as_deref(), args.threads),
+        "run" => cmd_run(&deck, args.csv.as_deref(), args.json.as_deref()),
+        "sweep" => cmd_sweep(
+            &deck,
+            args.csv.as_deref(),
+            args.json.as_deref(),
+            args.threads,
+        ),
         _ => unreachable!("validated in parse_args"),
     };
     match outcome {

@@ -1,0 +1,242 @@
+//! Dense vs sparse backend agreement: the two [`SystemMatrix`]
+//! implementations must be interchangeable on real workloads.
+//!
+//! The deck option `sparse=0/1` forces the backend, so each test runs
+//! the identical deck through both linear-algebra paths and compares
+//! the physics to tight tolerances (the backends factor in different
+//! orders, so bit-equality is not expected — 1e-10 relative is).
+
+use mems::netlist::{run_deck, AnalysisOutcome, Deck};
+use mems::numerics::sparse_lu::{CscMatrix, SparseLu};
+use mems::numerics::NumericsError;
+use mems::spice::analysis::dcop;
+use mems::spice::circuit::Circuit;
+use mems::spice::devices::Resistor;
+use mems::spice::solver::SimOptions;
+use mems::spice::system::{DenseSystem, SparseSystem, SystemMatrix};
+use mems::spice::{MatrixBackend, SpiceError};
+
+fn load_deck(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/decks")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Injects a `.options sparse=…` line after the title line.
+fn with_backend(src: &str, sparse: bool) -> String {
+    let mut lines: Vec<&str> = src.lines().collect();
+    let opt = if sparse {
+        ".options sparse=1"
+    } else {
+        ".options sparse=0"
+    };
+    lines.insert(1, opt);
+    lines.join("\n")
+}
+
+fn run_variant(src: &str, sparse: bool) -> Vec<(String, AnalysisOutcome)> {
+    let src = with_backend(src, sparse);
+    let deck = Deck::parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+    let run = run_deck(&deck).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+    run.outcomes
+        .into_iter()
+        .map(|(card, outcome)| (card.kind_name().to_string(), outcome))
+        .collect()
+}
+
+/// Asserts two traces agree to `rel` relative to the trace scale.
+fn assert_traces_agree(label: &str, a: &[f64], b: &[f64], rel: f64) {
+    assert_eq!(a.len(), b.len(), "{label}: trace lengths differ");
+    let scale = a
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= rel * scale,
+            "{label}[{i}]: dense {x:e} vs sparse {y:e} (scale {scale:e})"
+        );
+    }
+}
+
+#[test]
+fn eletran_deck_backends_agree() {
+    // Fixed-step transient so both backends take the identical step
+    // sequence; the adaptive controller's accept/reject decisions
+    // could otherwise diverge on last-bit differences.
+    let src = load_deck("eletran_transient.cir").replace(".TRAN 0.2m 90m", ".TRAN 0.2m 30m fixed");
+    assert!(src.contains("fixed"), "replacement failed: deck changed?");
+    let dense = run_variant(&src, false);
+    let sparse = run_variant(&src, true);
+    assert_eq!(dense.len(), sparse.len());
+    for ((_, d), (_, s)) in dense.iter().zip(&sparse) {
+        match (d, s) {
+            (AnalysisOutcome::Tran(td), AnalysisOutcome::Tran(ts)) => {
+                assert_traces_agree("time", &td.time, &ts.time, 1e-12);
+                for label in ["v(vel)", "i(kk1,0)", "v(drive)"] {
+                    let a = td.trace(label).unwrap_or_else(|| panic!("{label} missing"));
+                    let b = ts.trace(label).unwrap_or_else(|| panic!("{label} missing"));
+                    assert_traces_agree(label, &a, &b, 1e-10);
+                }
+            }
+            other => panic!("unexpected outcome pair {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn relay_pull_in_sweep_backends_agree() {
+    let src = load_deck("relay_pull_in.cir");
+    let dense = run_variant(&src, false);
+    let sparse = run_variant(&src, true);
+    for ((_, d), (_, s)) in dense.iter().zip(&sparse) {
+        match (d, s) {
+            (AnalysisOutcome::Dc { result: rd, .. }, AnalysisOutcome::Dc { result: rs, .. }) => {
+                assert_eq!(rd.values, rs.values);
+                // Plate displacement is the relay's internal unknown —
+                // the stiff quantity that would expose factorization
+                // differences first.
+                for label in ["i(xrelay,0)", "v(drive)"] {
+                    let a = rd.trace(label).unwrap_or_else(|| panic!("{label} missing"));
+                    let b = rs.trace(label).unwrap_or_else(|| panic!("{label} missing"));
+                    assert_traces_agree(label, &a, &b, 1e-10);
+                }
+            }
+            other => panic!("unexpected outcome pair {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn speaker_ac_backends_agree() {
+    // Complex (AC) assembly goes through the same SystemMatrix
+    // abstraction — check it too.
+    let src = load_deck("speaker_ac.cir");
+    let dense = run_variant(&src, false);
+    let sparse = run_variant(&src, true);
+    for ((_, d), (_, s)) in dense.iter().zip(&sparse) {
+        match (d, s) {
+            (AnalysisOutcome::Ac(ad), AnalysisOutcome::Ac(as_)) => {
+                assert_eq!(ad.freqs, as_.freqs);
+                for label in &ad.labels {
+                    let (Some(md), Some(ms)) = (ad.magnitude(label), as_.magnitude(label)) else {
+                        continue;
+                    };
+                    assert_traces_agree(label, &md, &ms, 1e-10);
+                }
+            }
+            other => panic!("unexpected outcome pair {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn randomly_stamped_spd_system_agrees() {
+    // A pseudo-random symmetric positive-definite system stamped
+    // through both backends must solve to the same vector.
+    let n = 120;
+    let mut lcg = 0x12345678u64;
+    let mut rand = move || {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((lcg >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    // B with ~5 entries per row; A = Bᵀ·B + n·I is SPD.
+    let mut b_entries: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        b_entries.push((i, i, 2.0 + rand()));
+        for _ in 0..4 {
+            let j = ((rand().abs() * n as f64) as usize).min(n - 1);
+            b_entries.push((i, j, rand()));
+        }
+    }
+    let mut a = vec![vec![0.0f64; n]; n];
+    for &(i, j, v) in &b_entries {
+        for &(i2, j2, v2) in &b_entries {
+            if i == i2 {
+                a[j][j2] += v * v2;
+            }
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += n as f64;
+    }
+    let rhs: Vec<f64> = (0..n).map(|_| rand()).collect();
+
+    let mut dense = DenseSystem::<f64>::new(n);
+    let mut sparse = SparseSystem::<f64>::new(n);
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                dense.add(i, j, v);
+                sparse.add(i, j, v);
+            }
+        }
+    }
+    dense.factor().unwrap();
+    sparse.factor().unwrap();
+    let xd = dense.solve(&rhs).unwrap();
+    let xs = sparse.solve(&rhs).unwrap();
+    assert_traces_agree("spd solve", &xd, &xs, 1e-12);
+
+    // Re-stamp with perturbed values: the sparse side replays its
+    // symbolic factorization (numeric-only refactor) and must still
+    // agree with a from-scratch dense factorization.
+    assert!(sparse.has_symbolic());
+    dense.clear();
+    sparse.clear();
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                let v = v * 1.25 + if i == j { 1.0 } else { 0.0 };
+                dense.add(i, j, v);
+                sparse.add(i, j, v);
+            }
+        }
+    }
+    assert!(sparse.has_symbolic(), "clear must keep the pattern");
+    dense.factor().unwrap();
+    sparse.factor().unwrap();
+    let xd = dense.solve(&rhs).unwrap();
+    let xs = sparse.solve(&rhs).unwrap();
+    assert_traces_agree("spd refactor solve", &xd, &xs, 1e-12);
+}
+
+#[test]
+fn singular_circuit_errors_on_both_backends() {
+    for backend in [MatrixBackend::Dense, MatrixBackend::Sparse] {
+        let mut c = Circuit::new();
+        let a = c.enode("a").unwrap();
+        let b = c.enode("b").unwrap();
+        let g = c.ground();
+        c.add(Resistor::new("r1", a, g, 1e3)).unwrap();
+        let _ = b; // floating node
+        let mut opts = SimOptions {
+            gmin: 0.0, // no leak: the floating node is singular
+            ..SimOptions::default()
+        };
+        opts.matrix = backend;
+        let err = dcop::solve(&mut c, &opts);
+        match err {
+            Err(SpiceError::NoConvergence { detail, .. }) => {
+                assert!(
+                    detail.contains("singular"),
+                    "{backend:?}: expected a singular-system detail, got {detail}"
+                );
+            }
+            other => panic!("{backend:?}: expected failure, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn singular_sparse_lu_reports_column() {
+    // Rank-1 2×2 matrix: the sparse LU itself must flag singularity.
+    let csc = CscMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)]);
+    match SparseLu::<f64>::factor(&csc.view()) {
+        Err(NumericsError::Singular { index }) => assert_eq!(index, 1),
+        other => panic!("expected singular, got {other:?}"),
+    }
+}
