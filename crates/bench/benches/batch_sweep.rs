@@ -60,12 +60,12 @@ fn bench_batch(c: &mut Criterion) {
         let src = ladder_deck(SECTIONS, sparse);
         let deck = Deck::parse(&src).expect("ladder deck parses");
         // Sanity outside the timed region: every point must simulate.
-        let check = run_batch(&deck, &BatchOptions { threads: 1 }).expect("batch runs");
+        let check = run_batch(&deck, &BatchOptions::with_threads(1)).expect("batch runs");
         assert_eq!(check.ok_count(), STEP_POINTS, "{id}: points failed");
         let mut group = c.benchmark_group("step_sweep_100pt_121unknowns");
         group.sample_size(10);
         group.bench_function(id, |b| {
-            b.iter(|| run_batch(&deck, &BatchOptions { threads: 1 }).expect("batch runs"))
+            b.iter(|| run_batch(&deck, &BatchOptions::with_threads(1)).expect("batch runs"))
         });
         group.finish();
     }

@@ -337,6 +337,14 @@ pub fn fold_binop(op: BinOp, x: f64, y: f64) -> f64 {
 }
 
 /// Evaluates a builtin on plain numbers.
+///
+/// Matches the runtime (dual-number) evaluator's value semantics
+/// operator by operator — including the comparison-based `min`/`max`/
+/// `limit` selection, which differs from `f64::min`/`f64::clamp` on
+/// NaN operands (NaN comparisons are false, so the *second* operand
+/// wins for `min`/`max` and a NaN input passes through `limit`) and
+/// never panics on an inverted `limit` window. The bytecode
+/// compiler's constant folder relies on this equality.
 pub fn fold_builtin(b: Builtin, a: &[f64]) -> f64 {
     match b {
         Builtin::Abs => a[0].abs(),
@@ -355,8 +363,20 @@ pub fn fold_builtin(b: Builtin, a: &[f64]) -> f64 {
         Builtin::Cosh => a[0].cosh(),
         Builtin::Tanh => a[0].tanh(),
         Builtin::Pow => a[0].powf(a[1]),
-        Builtin::Min => a[0].min(a[1]),
-        Builtin::Max => a[0].max(a[1]),
+        Builtin::Min => {
+            if a[0] <= a[1] {
+                a[0]
+            } else {
+                a[1]
+            }
+        }
+        Builtin::Max => {
+            if a[0] >= a[1] {
+                a[0]
+            } else {
+                a[1]
+            }
+        }
         Builtin::Sgn => {
             if a[0] > 0.0 {
                 1.0
@@ -368,7 +388,15 @@ pub fn fold_builtin(b: Builtin, a: &[f64]) -> f64 {
         }
         Builtin::Floor => a[0].floor(),
         Builtin::Ceil => a[0].ceil(),
-        Builtin::Limit => a[0].clamp(a[1], a[2]),
+        Builtin::Limit => {
+            if a[0] < a[1] {
+                a[1]
+            } else if a[0] > a[2] {
+                a[2]
+            } else {
+                a[0]
+            }
+        }
     }
 }
 
@@ -425,5 +453,81 @@ mod tests {
         assert!(
             (fold_builtin(Builtin::Atan2, &[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-15
         );
+    }
+
+    #[test]
+    fn binop_division_edge_cases() {
+        // Division never errors at fold time: IEEE semantics flow
+        // through exactly as the runtime evaluator computes them.
+        assert_eq!(fold_binop(BinOp::Div, 1.0, 0.0), f64::INFINITY);
+        assert_eq!(fold_binop(BinOp::Div, -1.0, 0.0), f64::NEG_INFINITY);
+        assert!(fold_binop(BinOp::Div, 0.0, 0.0).is_nan());
+        assert_eq!(fold_binop(BinOp::Pow, 0.0, -1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn binop_nan_propagation() {
+        let nan = f64::NAN;
+        assert!(fold_binop(BinOp::Add, nan, 1.0).is_nan());
+        assert!(fold_binop(BinOp::Mul, nan, 0.0).is_nan());
+        // Comparisons with NaN are false → 0.0 …
+        assert_eq!(fold_binop(BinOp::Lt, nan, 1.0), 0.0);
+        assert_eq!(fold_binop(BinOp::Ge, nan, 1.0), 0.0);
+        assert_eq!(fold_binop(BinOp::Eq, nan, nan), 0.0);
+        // … except `!=`, which is true for NaN.
+        assert_eq!(fold_binop(BinOp::Ne, nan, nan), 1.0);
+        // Logical operators treat NaN as truthy (NaN != 0.0), exactly
+        // like the runtime evaluator's zero test.
+        assert_eq!(fold_binop(BinOp::And, nan, 1.0), 1.0);
+        assert_eq!(fold_binop(BinOp::Or, nan, 0.0), 1.0);
+    }
+
+    #[test]
+    fn builtin_domain_errors_yield_nan_not_panics() {
+        assert!(fold_builtin(Builtin::Sqrt, &[-1.0]).is_nan());
+        assert!(fold_builtin(Builtin::Ln, &[-1.0]).is_nan());
+        assert_eq!(fold_builtin(Builtin::Ln, &[0.0]), f64::NEG_INFINITY);
+        assert!(fold_builtin(Builtin::Asin, &[2.0]).is_nan());
+        assert!(fold_builtin(Builtin::Acos, &[-2.0]).is_nan());
+        assert_eq!(fold_builtin(Builtin::Log10, &[0.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn selection_builtins_match_runtime_on_nan() {
+        // The runtime evaluator selects by comparison (`v0 <= v1`,
+        // `v0 >= v1`): a NaN first operand fails the comparison and
+        // the *second* operand wins — unlike `f64::min`/`f64::max`,
+        // which prefer the non-NaN argument symmetrically.
+        let nan = f64::NAN;
+        assert_eq!(fold_builtin(Builtin::Min, &[nan, 1.0]), 1.0);
+        assert!(fold_builtin(Builtin::Min, &[1.0, nan]).is_nan());
+        assert_eq!(fold_builtin(Builtin::Max, &[nan, -1.0]), -1.0);
+        assert!(fold_builtin(Builtin::Max, &[-1.0, nan]).is_nan());
+        // `limit` passes NaN through (both guards compare false) and
+        // tolerates an inverted window without panicking (`clamp`
+        // would abort the process on lo > hi).
+        assert!(fold_builtin(Builtin::Limit, &[nan, -1.0, 1.0]).is_nan());
+        assert_eq!(fold_builtin(Builtin::Limit, &[0.5, 1.0, -1.0]), 1.0);
+        assert_eq!(fold_builtin(Builtin::Limit, &[-0.5, -1.0, 1.0]), -0.5);
+    }
+
+    #[test]
+    fn fold_const_propagates_nan_through_trees() {
+        // sqrt(g0 − 2) with g0 = 1 → NaN, and NaN flows through the
+        // enclosing arithmetic instead of erroring.
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Call(
+                Builtin::Sqrt,
+                vec![CExpr::Binary(
+                    BinOp::Sub,
+                    Box::new(CExpr::Generic(0)),
+                    Box::new(CExpr::Const(2.0)),
+                )],
+            )),
+            Box::new(CExpr::Const(1.0)),
+        );
+        assert!(fold_const(&e, &[1.0]).unwrap().is_nan());
+        assert_eq!(fold_const(&e, &[6.0]).unwrap(), 3.0);
     }
 }

@@ -57,6 +57,54 @@ pub trait AdScalar: Clone + std::fmt::Debug {
     /// AC semantics of `integ`: op value `y0`, gradients scaled by
     /// `1/(jω)`.
     fn ac_integ(&self, omega: f64, y0: f64) -> Self;
+
+    // In-place variants used by the bytecode VM in
+    // [`crate::bytecode`]: semantically identical to the allocating
+    // methods above (same operations in the same order, so results
+    // are bit-identical), but reusing the receiver's gradient buffer.
+    // The defaults delegate to the allocating methods; [`DualReal`]
+    // and [`DualComplex`] override them.
+
+    /// `self = constant(v)` reusing the gradient buffer.
+    fn set_constant(&mut self, v: f64) {
+        *self = Self::constant(v, self.len());
+    }
+    /// `self = self + o` in place.
+    fn add_assign(&mut self, o: &Self) {
+        *self = self.add(o);
+    }
+    /// `self = self − o` in place.
+    fn sub_assign(&mut self, o: &Self) {
+        *self = self.sub(o);
+    }
+    /// `self = self · o` in place (product rule).
+    fn mul_assign(&mut self, o: &Self) {
+        *self = self.mul(o);
+    }
+    /// `self = self / o` in place (quotient rule).
+    fn div_assign(&mut self, o: &Self) {
+        *self = self.div(o);
+    }
+    /// `self = −self` in place.
+    fn neg_assign(&mut self) {
+        *self = self.neg();
+    }
+    /// `self = self.chain(f, df)` in place.
+    fn chain_assign(&mut self, f: f64, df: f64) {
+        *self = self.chain(f, df);
+    }
+    /// `self = chain2(f, dfa, self, dfb, b)` in place.
+    fn chain2_assign(&mut self, f: f64, dfa: f64, dfb: f64, b: &Self) {
+        *self = Self::chain2(f, dfa, self, dfb, b);
+    }
+    /// `self = self.ac_ddt(omega)` in place.
+    fn ac_ddt_assign(&mut self, omega: f64) {
+        *self = self.ac_ddt(omega);
+    }
+    /// `self = self.ac_integ(omega, y0)` in place.
+    fn ac_integ_assign(&mut self, omega: f64, y0: f64) {
+        *self = self.ac_integ(omega, y0);
+    }
 }
 
 /// Real-valued dual: value + gradient per unknown.
@@ -167,6 +215,71 @@ impl AdScalar for DualReal {
 
     fn ac_integ(&self, _omega: f64, y0: f64) -> Self {
         DualReal::constant(y0, self.len())
+    }
+
+    fn set_constant(&mut self, v: f64) {
+        self.v = v;
+        self.g.fill(0.0);
+    }
+
+    fn add_assign(&mut self, o: &Self) {
+        self.v += o.v;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a += b;
+        }
+    }
+
+    fn sub_assign(&mut self, o: &Self) {
+        self.v -= o.v;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a -= b;
+        }
+    }
+
+    fn mul_assign(&mut self, o: &Self) {
+        // Gradients first: the product rule reads the pre-update value.
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a = *a * o.v + *b * self.v;
+        }
+        self.v *= o.v;
+    }
+
+    fn div_assign(&mut self, o: &Self) {
+        let inv = 1.0 / o.v;
+        let v = self.v * inv;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a = (*a - v * *b) * inv;
+        }
+        self.v = v;
+    }
+
+    fn neg_assign(&mut self) {
+        self.v = -self.v;
+        for a in &mut self.g {
+            *a = -*a;
+        }
+    }
+
+    fn chain_assign(&mut self, f: f64, df: f64) {
+        self.v = f;
+        for a in &mut self.g {
+            *a *= df;
+        }
+    }
+
+    fn chain2_assign(&mut self, f: f64, dfa: f64, dfb: f64, b: &Self) {
+        self.v = f;
+        for (x, y) in self.g.iter_mut().zip(&b.g) {
+            *x = dfa * *x + dfb * *y;
+        }
+    }
+
+    fn ac_ddt_assign(&mut self, _omega: f64) {
+        self.set_constant(0.0);
+    }
+
+    fn ac_integ_assign(&mut self, _omega: f64, y0: f64) {
+        self.set_constant(y0);
     }
 }
 
@@ -292,6 +405,78 @@ impl AdScalar for DualComplex {
 
     fn ac_integ(&self, omega: f64, y0: f64) -> Self {
         self.scale_grads(y0, Complex64::new(0.0, omega).recip())
+    }
+
+    fn set_constant(&mut self, v: f64) {
+        self.v = v;
+        self.g.fill(Complex64::ZERO);
+    }
+
+    fn add_assign(&mut self, o: &Self) {
+        self.v += o.v;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a += *b;
+        }
+    }
+
+    fn sub_assign(&mut self, o: &Self) {
+        self.v -= o.v;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a -= *b;
+        }
+    }
+
+    fn mul_assign(&mut self, o: &Self) {
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a = *a * o.v + *b * self.v;
+        }
+        self.v *= o.v;
+    }
+
+    fn div_assign(&mut self, o: &Self) {
+        let inv = 1.0 / o.v;
+        let v = self.v * inv;
+        for (a, b) in self.g.iter_mut().zip(&o.g) {
+            *a = (*a - *b * v) * inv;
+        }
+        self.v = v;
+    }
+
+    fn neg_assign(&mut self) {
+        self.v = -self.v;
+        for a in &mut self.g {
+            *a = -*a;
+        }
+    }
+
+    fn chain_assign(&mut self, f: f64, df: f64) {
+        self.v = f;
+        for a in &mut self.g {
+            *a = *a * df;
+        }
+    }
+
+    fn chain2_assign(&mut self, f: f64, dfa: f64, dfb: f64, b: &Self) {
+        self.v = f;
+        for (x, y) in self.g.iter_mut().zip(&b.g) {
+            *x = *x * dfa + *y * dfb;
+        }
+    }
+
+    fn ac_ddt_assign(&mut self, omega: f64) {
+        let k = Complex64::new(0.0, omega);
+        self.v = 0.0;
+        for z in &mut self.g {
+            *z *= k;
+        }
+    }
+
+    fn ac_integ_assign(&mut self, omega: f64, y0: f64) {
+        let k = Complex64::new(0.0, omega).recip();
+        self.v = y0;
+        for z in &mut self.g {
+            *z *= k;
+        }
     }
 }
 
@@ -633,37 +818,11 @@ impl<'a, S: AdScalar> Evaluator<'a, S> {
         let a0 = &args[0];
         let v0 = a0.value();
         Ok(match b {
-            Builtin::Abs => a0.chain(v0.abs(), if v0 < 0.0 { -1.0 } else { 1.0 }),
-            Builtin::Sqrt => {
-                let s = v0.sqrt();
-                a0.chain(s, 0.5 / s)
-            }
-            Builtin::Exp => {
-                let e = v0.exp();
-                a0.chain(e, e)
-            }
-            Builtin::Ln => a0.chain(v0.ln(), 1.0 / v0),
-            Builtin::Log10 => a0.chain(v0.log10(), 1.0 / (v0 * std::f64::consts::LN_10)),
-            Builtin::Sin => a0.chain(v0.sin(), v0.cos()),
-            Builtin::Cos => a0.chain(v0.cos(), -v0.sin()),
-            Builtin::Tan => {
-                let t = v0.tan();
-                a0.chain(t, 1.0 + t * t)
-            }
-            Builtin::Asin => a0.chain(v0.asin(), 1.0 / (1.0 - v0 * v0).sqrt()),
-            Builtin::Acos => a0.chain(v0.acos(), -1.0 / (1.0 - v0 * v0).sqrt()),
-            Builtin::Atan => a0.chain(v0.atan(), 1.0 / (1.0 + v0 * v0)),
             Builtin::Atan2 => {
                 let y = v0;
                 let x = args[1].value();
                 let denom = x * x + y * y;
                 S::chain2(y.atan2(x), x / denom, a0, -y / denom, &args[1])
-            }
-            Builtin::Sinh => a0.chain(v0.sinh(), v0.cosh()),
-            Builtin::Cosh => a0.chain(v0.cosh(), v0.sinh()),
-            Builtin::Tanh => {
-                let t = v0.tanh();
-                a0.chain(t, 1.0 - t * t)
             }
             Builtin::Pow => pow_impl(a0, &args[1], self.n),
             Builtin::Min => {
@@ -680,18 +839,10 @@ impl<'a, S: AdScalar> Evaluator<'a, S> {
                     args[1].clone()
                 }
             }
-            Builtin::Sgn => S::constant(
-                if v0 > 0.0 {
-                    1.0
-                } else if v0 < 0.0 {
-                    -1.0
-                } else {
-                    0.0
-                },
-                self.n,
-            ),
-            Builtin::Floor => S::constant(v0.floor(), self.n),
-            Builtin::Ceil => S::constant(v0.ceil(), self.n),
+            Builtin::Sgn | Builtin::Floor | Builtin::Ceil => {
+                let (f, _) = chain_coeffs(b, v0);
+                S::constant(f, self.n)
+            }
             Builtin::Limit => {
                 let (lo, hi) = (args[1].value(), args[2].value());
                 if v0 < lo {
@@ -702,81 +853,210 @@ impl<'a, S: AdScalar> Evaluator<'a, S> {
                     a0.clone()
                 }
             }
+            _ => {
+                let (f, df) = chain_coeffs(b, v0);
+                a0.chain(f, df)
+            }
         })
     }
 
     fn ddt(&mut self, site: usize, x: &S) -> S {
-        match self.analysis {
-            Analysis::Dc => {
+        match plan_ddt(self.analysis, &self.state.ddt_sites[site], x.value()) {
+            DdtPlan::DcZero => {
                 self.state.scratch_ddt[site] = (x.value(), 0.0);
                 S::constant(0.0, self.n)
             }
-            Analysis::Transient { h, method, .. } => {
-                let hist = self.state.ddt_sites[site];
-                // A site with no committed history yet differentiates
-                // against an implicit flat start (BE from x itself → 0
-                // at the very first evaluation is wrong; instead treat
-                // the pre-step value as x_prev = committed or current).
-                let (x_prev, dx_prev, x_prev2, h_prev, have2) = if hist.primed {
-                    (
-                        hist.x_prev,
-                        hist.dx_prev,
-                        hist.x_prev2,
-                        hist.h_prev,
-                        hist.primed2,
-                    )
-                } else {
-                    (x.value(), 0.0, x.value(), h, false)
-                };
-                let effective = match method {
-                    IntegrationMethod::Trapezoidal if !hist.primed => {
-                        IntegrationMethod::BackwardEuler
-                    }
-                    m => m,
-                };
-                let f = DiffFormula::new(effective, h, x_prev, dx_prev, x_prev2, h_prev, have2);
-                let out = x.chain(f.ddt(x.value()), f.c0);
-                self.state.scratch_ddt[site] = (x.value(), out.value());
-                out
+            DdtPlan::Chain { f, df } => {
+                self.state.scratch_ddt[site] = (x.value(), f);
+                x.chain(f, df)
             }
-            Analysis::Ac { omega } => x.ac_ddt(omega),
+            DdtPlan::Ac { omega } => x.ac_ddt(omega),
         }
     }
 
     fn integ(&mut self, site: usize, x: &S, ic: f64) -> S {
-        match self.analysis {
-            Analysis::Dc => {
-                let hist = self.state.integ_sites[site];
-                let y = if hist.primed { hist.y_prev } else { ic };
+        match plan_integ(self.analysis, &self.state.integ_sites[site], x.value(), ic) {
+            IntegPlan::DcConst { y } => {
                 self.state.scratch_integ[site] = (y, x.value());
                 S::constant(y, self.n)
             }
-            Analysis::Transient { h, method, .. } => {
-                let hist = self.state.integ_sites[site];
-                let (y_prev, x_prev) = if hist.primed {
-                    (hist.y_prev, hist.x_prev)
-                } else {
-                    (ic, x.value())
-                };
-                let f = IntegFormula::new(method, h, y_prev, x_prev);
-                let out = x.chain(f.integ(x.value()), f.gain);
-                self.state.scratch_integ[site] = (out.value(), x.value());
-                out
+            IntegPlan::Chain { f, gain } => {
+                self.state.scratch_integ[site] = (f, x.value());
+                x.chain(f, gain)
             }
-            Analysis::Ac { omega } => {
-                let hist = self.state.integ_sites[site];
-                let y0 = if hist.primed { hist.y_prev } else { ic };
-                x.ac_integ(omega, y0)
+            IntegPlan::Ac { omega, y0 } => x.ac_integ(omega, y0),
+        }
+    }
+}
+
+/// What a `ddt` call site must do under the current analysis: shared
+/// by the tree-walking evaluator and the bytecode VM so the two
+/// produce bit-identical numerics.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DdtPlan {
+    /// DC: result is the zero constant.
+    DcZero,
+    /// Transient: `out = chain(f, df)` of the argument.
+    Chain {
+        /// Result value (`d/dt` of the argument under the formula).
+        f: f64,
+        /// Jacobian gain (`∂(ddt x)/∂x`).
+        df: f64,
+    },
+    /// AC: gradients scale by `jω`, value 0.
+    Ac {
+        /// Angular frequency.
+        omega: f64,
+    },
+}
+
+/// Computes the [`DdtPlan`] of a site from its committed history and
+/// the argument value `xv`.
+pub(crate) fn plan_ddt(analysis: Analysis, hist: &DdtHistory, xv: f64) -> DdtPlan {
+    match analysis {
+        Analysis::Dc => DdtPlan::DcZero,
+        Analysis::Transient { h, method, .. } => {
+            // A site with no committed history yet differentiates
+            // against an implicit flat start (BE from x itself → 0
+            // at the very first evaluation is wrong; instead treat
+            // the pre-step value as x_prev = committed or current).
+            let (x_prev, dx_prev, x_prev2, h_prev, have2) = if hist.primed {
+                (
+                    hist.x_prev,
+                    hist.dx_prev,
+                    hist.x_prev2,
+                    hist.h_prev,
+                    hist.primed2,
+                )
+            } else {
+                (xv, 0.0, xv, h, false)
+            };
+            let effective = match method {
+                IntegrationMethod::Trapezoidal if !hist.primed => IntegrationMethod::BackwardEuler,
+                m => m,
+            };
+            let f = DiffFormula::new(effective, h, x_prev, dx_prev, x_prev2, h_prev, have2);
+            DdtPlan::Chain {
+                f: f.ddt(xv),
+                df: f.c0,
             }
+        }
+        Analysis::Ac { omega } => DdtPlan::Ac { omega },
+    }
+}
+
+/// What an `integ` call site must do under the current analysis.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IntegPlan {
+    /// DC: result is the committed integral (or the IC).
+    DcConst {
+        /// Constant result value.
+        y: f64,
+    },
+    /// Transient: `out = chain(f, gain)` of the integrand.
+    Chain {
+        /// Result value (the integral at the step end).
+        f: f64,
+        /// Jacobian gain (`∂(integ x)/∂x`).
+        gain: f64,
+    },
+    /// AC: gradients scale by `1/(jω)`, value `y0`.
+    Ac {
+        /// Angular frequency.
+        omega: f64,
+        /// Operating-point value of the integral.
+        y0: f64,
+    },
+}
+
+/// Computes the [`IntegPlan`] of a site from its committed history,
+/// the integrand value `xv`, and the initial condition `ic`.
+pub(crate) fn plan_integ(analysis: Analysis, hist: &IntegHistory, xv: f64, ic: f64) -> IntegPlan {
+    match analysis {
+        Analysis::Dc => IntegPlan::DcConst {
+            y: if hist.primed { hist.y_prev } else { ic },
+        },
+        Analysis::Transient { h, method, .. } => {
+            let (y_prev, x_prev) = if hist.primed {
+                (hist.y_prev, hist.x_prev)
+            } else {
+                (ic, xv)
+            };
+            let f = IntegFormula::new(method, h, y_prev, x_prev);
+            IntegPlan::Chain {
+                f: f.integ(xv),
+                gain: f.gain,
+            }
+        }
+        Analysis::Ac { omega } => IntegPlan::Ac {
+            omega,
+            y0: if hist.primed { hist.y_prev } else { ic },
+        },
+    }
+}
+
+/// `(value, derivative)` of the chain-rule builtins at `v0`. `Sgn`,
+/// `Floor`, and `Ceil` report derivative 0 (they evaluate to
+/// gradient-free constants); the selection builtins (`Min`/`Max`/
+/// `Limit`) and the two-sided `Atan2`/`Pow` are not chain-shaped and
+/// must not be routed here.
+pub(crate) fn chain_coeffs(b: Builtin, v0: f64) -> (f64, f64) {
+    match b {
+        Builtin::Abs => (v0.abs(), if v0 < 0.0 { -1.0 } else { 1.0 }),
+        Builtin::Sqrt => {
+            let s = v0.sqrt();
+            (s, 0.5 / s)
+        }
+        Builtin::Exp => {
+            let e = v0.exp();
+            (e, e)
+        }
+        Builtin::Ln => (v0.ln(), 1.0 / v0),
+        Builtin::Log10 => (v0.log10(), 1.0 / (v0 * std::f64::consts::LN_10)),
+        Builtin::Sin => (v0.sin(), v0.cos()),
+        Builtin::Cos => (v0.cos(), -v0.sin()),
+        Builtin::Tan => {
+            let t = v0.tan();
+            (t, 1.0 + t * t)
+        }
+        Builtin::Asin => (v0.asin(), 1.0 / (1.0 - v0 * v0).sqrt()),
+        Builtin::Acos => (v0.acos(), -1.0 / (1.0 - v0 * v0).sqrt()),
+        Builtin::Atan => (v0.atan(), 1.0 / (1.0 + v0 * v0)),
+        Builtin::Sinh => (v0.sinh(), v0.cosh()),
+        Builtin::Cosh => (v0.cosh(), v0.sinh()),
+        Builtin::Tanh => {
+            let t = v0.tanh();
+            (t, 1.0 - t * t)
+        }
+        Builtin::Sgn => (
+            if v0 > 0.0 {
+                1.0
+            } else if v0 < 0.0 {
+                -1.0
+            } else {
+                0.0
+            },
+            0.0,
+        ),
+        Builtin::Floor => (v0.floor(), 0.0),
+        Builtin::Ceil => (v0.ceil(), 0.0),
+        Builtin::Atan2 | Builtin::Pow | Builtin::Min | Builtin::Max | Builtin::Limit => {
+            unreachable!("{b:?} is not a chain-rule builtin")
         }
     }
 }
 
 /// `a ** b` with dual arithmetic (guards the log term at `a ≤ 0`).
-fn pow_impl<S: AdScalar>(a: &S, b: &S, _n: usize) -> S {
-    let (x, y) = (a.value(), b.value());
+pub(crate) fn pow_impl<S: AdScalar>(a: &S, b: &S, _n: usize) -> S {
+    let (f, dfa, dfb) = pow_coeffs(a.value(), b.value());
+    S::chain2(f, dfa, a, dfb, b)
+}
+
+/// `(value, ∂/∂a, ∂/∂b)` of `a ** b` — the scalar core of
+/// [`pow_impl`], shared with the bytecode VM.
+pub(crate) fn pow_coeffs(x: f64, y: f64) -> (f64, f64, f64) {
     let f = x.powf(y);
     let dfa = if x == 0.0 { 0.0 } else { y * x.powf(y - 1.0) };
     let dfb = if x > 0.0 { f * x.ln() } else { 0.0 };
-    S::chain2(f, dfa, a, dfb, b)
+    (f, dfa, dfb)
 }

@@ -47,6 +47,10 @@
 //! - [`eval`] — dual-number interpreter: real gradients for DC and
 //!   transient Newton iterations, complex gradients for exact AC
 //!   small-signal linearization (`ddt → jω`, `integ → 1/(jω)`);
+//! - [`bytecode`] — the same semantics compiled to a flat
+//!   stack-machine tape executed over reusable register banks (the
+//!   default evaluator: no per-node gradient allocation on the
+//!   Newton hot path);
 //! - [`model`] — elaboration (`init` blocks, generic binding, table
 //!   folding) and the [`model::Instance`] API the simulator hosts;
 //! - [`symbolic`] — expression differentiation for the energy
@@ -65,6 +69,7 @@
 //! practice.
 
 pub mod ast;
+pub mod bytecode;
 pub mod compile;
 pub mod error;
 pub mod eval;
@@ -79,5 +84,5 @@ pub mod symbolic;
 pub mod token;
 
 pub use error::{HdlError, Result};
-pub use model::{HdlModel, Instance};
+pub use model::{EvalMode, HdlModel, Instance};
 pub use nature::{Nature, QuantityKind};

@@ -25,6 +25,7 @@
 //! ```
 
 use crate::ast::ObjectKind;
+use crate::bytecode::{run_pass_bytecode, BytecodeModel, RegBank};
 use crate::compile::{fold_binop, fold_builtin, CExpr, CStmt, CompiledModel};
 use crate::error::{HdlError, Result};
 use crate::eval::{run_pass, Analysis, DualComplex, DualReal, EvalEnv, InstanceState};
@@ -34,10 +35,23 @@ use mems_numerics::ode::IntegrationMethod;
 use mems_numerics::pwl::Pwl1;
 use std::sync::Arc;
 
+/// Which evaluator an [`Instance`] runs its analysis passes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// The flat bytecode VM with reusable register banks (default —
+    /// the per-Newton-iteration hot path).
+    #[default]
+    Bytecode,
+    /// The reference tree-walking interpreter (differential testing,
+    /// benchmarking).
+    TreeWalk,
+}
+
 /// A compiled HDL-A model ready for instantiation.
 #[derive(Debug, Clone)]
 pub struct HdlModel {
     compiled: Arc<CompiledModel>,
+    bytecode: Arc<BytecodeModel>,
     source: Arc<str>,
 }
 
@@ -53,8 +67,10 @@ impl HdlModel {
     pub fn compile(src: &str, entity: &str, arch: Option<&str>) -> Result<Self> {
         let module = parse(src)?;
         let compiled = sema::compile(&module, entity, arch)?;
+        let bytecode = BytecodeModel::compile(&compiled);
         Ok(HdlModel {
             compiled: Arc::new(compiled),
+            bytecode: Arc::new(bytecode),
             source: Arc::from(src),
         })
     }
@@ -62,6 +78,11 @@ impl HdlModel {
     /// The compiled representation.
     pub fn compiled(&self) -> &CompiledModel {
         &self.compiled
+    }
+
+    /// The compiled bytecode tapes.
+    pub fn bytecode(&self) -> &BytecodeModel {
+        &self.bytecode
     }
 
     /// The original source text.
@@ -152,11 +173,15 @@ impl HdlModel {
 
         Ok(Instance {
             model: Arc::clone(&self.compiled),
+            bytecode: Arc::clone(&self.bytecode),
             name: name.to_string(),
             generics: bound,
             init_values,
             tables,
             state,
+            mode: EvalMode::default(),
+            bank_real: RegBank::default(),
+            bank_complex: RegBank::default(),
         })
     }
 }
@@ -165,12 +190,16 @@ impl HdlModel {
 #[derive(Debug, Clone)]
 pub struct Instance {
     model: Arc<CompiledModel>,
+    bytecode: Arc<BytecodeModel>,
     name: String,
     generics: Vec<f64>,
     init_values: Vec<Option<f64>>,
     tables: Vec<Pwl1>,
     /// Run-time state (histories, committed values, reports).
     pub state: InstanceState,
+    mode: EvalMode,
+    bank_real: RegBank<DualReal>,
+    bank_complex: RegBank<DualComplex>,
 }
 
 impl Instance {
@@ -195,21 +224,51 @@ impl Instance {
         self.model.n_unknowns
     }
 
+    /// The evaluator this instance runs with.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Selects the evaluator (bytecode VM by default; the tree walk
+    /// is kept for differential testing and benchmarking).
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
+    }
+
+    /// Evaluates one real-gradient analysis pass under the selected
+    /// evaluator.
+    fn eval_real(&mut self, analysis: Analysis, env: &mut dyn EvalEnv<DualReal>) -> Result<()> {
+        match self.mode {
+            EvalMode::Bytecode => run_pass_bytecode(
+                &self.model,
+                &self.bytecode,
+                analysis,
+                &self.generics,
+                &self.init_values,
+                &self.tables,
+                &mut self.state,
+                &mut self.bank_real,
+                env,
+            ),
+            EvalMode::TreeWalk => run_pass(
+                &self.model,
+                analysis,
+                &self.generics,
+                &self.init_values,
+                &self.tables,
+                &mut self.state,
+                env,
+            ),
+        }
+    }
+
     /// Evaluates the DC program.
     ///
     /// # Errors
     ///
     /// Propagates evaluation failures (non-finite values, assertions).
     pub fn eval_dc(&mut self, env: &mut dyn EvalEnv<DualReal>) -> Result<()> {
-        run_pass(
-            &self.model,
-            Analysis::Dc,
-            &self.generics,
-            &self.init_values,
-            &self.tables,
-            &mut self.state,
-            env,
-        )
+        self.eval_real(Analysis::Dc, env)
     }
 
     /// Evaluates the transient program at time `t` with step `h`.
@@ -224,15 +283,7 @@ impl Instance {
         method: IntegrationMethod,
         env: &mut dyn EvalEnv<DualReal>,
     ) -> Result<()> {
-        run_pass(
-            &self.model,
-            Analysis::Transient { t, h, method },
-            &self.generics,
-            &self.init_values,
-            &self.tables,
-            &mut self.state,
-            env,
-        )
+        self.eval_real(Analysis::Transient { t, h, method }, env)
     }
 
     /// Evaluates the AC program at angular frequency `omega`.
@@ -241,15 +292,29 @@ impl Instance {
     ///
     /// Propagates evaluation failures.
     pub fn eval_ac(&mut self, omega: f64, env: &mut dyn EvalEnv<DualComplex>) -> Result<()> {
-        run_pass(
-            &self.model,
-            Analysis::Ac { omega },
-            &self.generics,
-            &self.init_values,
-            &self.tables,
-            &mut self.state,
-            env,
-        )
+        let analysis = Analysis::Ac { omega };
+        match self.mode {
+            EvalMode::Bytecode => run_pass_bytecode(
+                &self.model,
+                &self.bytecode,
+                analysis,
+                &self.generics,
+                &self.init_values,
+                &self.tables,
+                &mut self.state,
+                &mut self.bank_complex,
+                env,
+            ),
+            EvalMode::TreeWalk => run_pass(
+                &self.model,
+                analysis,
+                &self.generics,
+                &self.init_values,
+                &self.tables,
+                &mut self.state,
+                env,
+            ),
+        }
     }
 
     /// Commits the latest converged DC evaluation as initial history.

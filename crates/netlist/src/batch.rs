@@ -1,6 +1,9 @@
 //! Batch scenario engine: `.STEP` parameter sweeps and `.MC` Monte
-//! Carlo, re-elaborating the deck per point and running points in
-//! parallel across threads.
+//! Carlo, running points in parallel across threads. Each worker
+//! elaborates the deck once and re-binds parameters in place through
+//! the devices' `set_param` path per point (see
+//! [`crate::elab::Elaborator::patch`]); `BatchOptions::reelaborate`
+//! forces the old rebuild-per-point behavior, which is bit-identical.
 //!
 //! Determinism: every point's parameter values are derived from a
 //! splitmix64 hash of `(seed, point index, variable index)` — never
@@ -21,6 +24,7 @@ use crate::elab::{
 use crate::error::{NetlistError, Result};
 use mems_numerics::stats::{self, TraceStats};
 use mems_spice::analysis::dcop;
+use mems_spice::circuit::Circuit;
 use mems_spice::solver::Workspace;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,6 +35,24 @@ use std::sync::Mutex;
 pub struct BatchOptions {
     /// Worker threads (`0` = all available cores).
     pub threads: usize,
+    /// Forces per-point re-elaboration (parse tree → circuit) instead
+    /// of the default elaborate-once path, where each worker builds
+    /// its circuits once and re-binds parameters in place through the
+    /// devices' `set_param` hooks. The two paths are bit-identical
+    /// (enforced by tests); this switch exists for differential
+    /// testing and benchmarking.
+    pub reelaborate: bool,
+}
+
+impl BatchOptions {
+    /// Options with a fixed worker count and the default
+    /// elaborate-once path.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        }
+    }
 }
 
 /// One batch point's parameter assignment.
@@ -262,7 +284,7 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
     // worker warm-start from whatever point it happened to finish
     // last) keeps every point's guess — and therefore its converged
     // bits — independent of the thread count.
-    let op_guesses = warm_start_chain(deck, &chain_elab, &points);
+    let op_guesses = warm_start_chain(deck, &chain_elab, &points, opts.reelaborate);
 
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -289,9 +311,15 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
                 };
                 // One reusable context per worker: all points share a
                 // topology, so the assembly workspace — including the
-                // sparse backend's symbolic factorization — carries
-                // across every point this worker simulates.
-                let mut ctx = RunCtx::default();
+                // sparse backend's symbolic factorization — AND the
+                // elaborated circuits themselves (parameter-patched in
+                // place via `set_param`, unless `reelaborate` opts
+                // out) carry across every point this worker simulates.
+                let mut ctx = if opts.reelaborate {
+                    RunCtx::without_reuse()
+                } else {
+                    RunCtx::default()
+                };
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
@@ -323,11 +351,14 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
 /// point's solution as Newton guess) for decks with `.TRAN` cards.
 /// Returns `None` when the deck has no transient analysis or only one
 /// point; per-point failures yield `None` guesses (the point itself
-/// will surface its error when simulated).
+/// will surface its error when simulated). The chain runs
+/// elaborate-once itself: one circuit, parameter-patched per point
+/// (unless `reelaborate`).
 fn warm_start_chain(
     deck: &Deck,
     elab: &Elaborator<'_>,
     points: &[BatchPoint],
+    reelaborate: bool,
 ) -> Option<Vec<Option<Vec<f64>>>> {
     let has_tran = deck
         .analyses
@@ -338,18 +369,26 @@ fn warm_start_chain(
     }
     let mut ws: Option<Workspace> = None;
     let mut prev: Option<Vec<f64>> = None;
+    let mut cached: Option<Circuit> = None;
     let mut guesses = Vec::with_capacity(points.len());
     for point in points {
-        let guess = elab
-            .build(&point.env(), None)
-            .ok()
-            .and_then(|(mut ckt, env)| {
-                let sim = sim_options(deck, &env).ok()?;
-                let ws = ws.get_or_insert_with(|| Workspace::with_backend(0, sim.matrix));
-                dcop::solve_in(&mut ckt, &sim, prev.as_deref(), ws)
-                    .ok()
-                    .map(|op| op.x)
-            });
+        let overrides = point.env();
+        // Patch the chain's one circuit in place; fall back to a
+        // fresh build on the first point or when patching is
+        // disabled. Failures yield a `None` guess (the point itself
+        // surfaces its error when simulated).
+        let from = if reelaborate { None } else { cached.take() };
+        let ckt = crate::elab::patch_or_build(elab, from, &overrides, None).ok();
+        let guess = ckt.and_then(|mut ckt| {
+            let env = crate::elab::param_env(deck, &overrides).ok()?;
+            let sim = sim_options(deck, &env).ok()?;
+            let ws = ws.get_or_insert_with(|| Workspace::with_backend(0, sim.matrix));
+            let op = dcop::solve_in(&mut ckt, &sim, prev.as_deref(), ws).ok();
+            if !reelaborate {
+                cached = Some(ckt);
+            }
+            op.map(|op| op.x)
+        });
         if guess.is_some() {
             prev.clone_from(&guess);
         }
@@ -458,7 +497,7 @@ R2 out 0 {rbot}
     #[test]
     fn step_batch_matches_analytic_divider() {
         let deck = Deck::parse(STEP_DECK).unwrap();
-        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
         assert_eq!(result.ok_count(), 4);
         for p in &result.points {
             let rbot = p.point.overrides[0].1;
@@ -499,8 +538,8 @@ R2 out 0 {rbot}
             "mc divider\n.param r=1000\nVs in 0 5\nR1 in out {r}\nR2 out 0 1k\n.op\n.print op v(out)\n.mc 32 seed=3 r tol=0.1\n",
         )
         .unwrap();
-        let one = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
-        let many = run_batch(&deck, &BatchOptions { threads: 8 }).unwrap();
+        let one = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+        let many = run_batch(&deck, &BatchOptions::with_threads(8)).unwrap();
         assert_eq!(one.points.len(), 32);
         assert_eq!(one.threads_used, 1);
         for (p1, pn) in one.points.iter().zip(&many.points) {
@@ -530,12 +569,13 @@ R2 out 0 {rbot}
             &deck,
             &Elaborator::new(&deck).unwrap(),
             &batch_points(&deck).unwrap(),
+            false,
         )
         .expect("tran deck builds a warm-start chain");
         assert_eq!(chain.len(), 5);
         assert!(chain.iter().all(Option::is_some), "all points solve");
-        let one = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
-        let many = run_batch(&deck, &BatchOptions { threads: 4 }).unwrap();
+        let one = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+        let many = run_batch(&deck, &BatchOptions::with_threads(4)).unwrap();
         assert_eq!(one.ok_count(), 5);
         for (p1, pn) in one.points.iter().zip(&many.points) {
             let (m1, mn) = (p1.outcome.as_ref().unwrap(), pn.outcome.as_ref().unwrap());
@@ -589,7 +629,7 @@ R2 out 0 {rbot}
             "f\n.param rbot=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {rbot}\n.op\n.step param rbot LIST 1k 0 2k\n",
         )
         .unwrap();
-        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
         assert_eq!(result.points.len(), 3);
         assert_eq!(result.ok_count(), 2);
         assert!(result.points[1].outcome.is_err());

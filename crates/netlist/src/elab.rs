@@ -15,7 +15,7 @@ use mems_hdl::Nature;
 use mems_numerics::Complex64;
 use mems_spice::analysis::ac::{run_with_op_in as run_ac_with_op_in, FreqSweep};
 use mems_spice::analysis::dcop;
-use mems_spice::analysis::sweep::{dc_sweep_in, SweepResult};
+use mems_spice::analysis::sweep::{dc_sweep_reuse_in, SweepResult};
 use mems_spice::analysis::transient::{run_in as run_tran_in, TranOptions};
 use mems_spice::circuit::Circuit;
 use mems_spice::devices::{
@@ -329,6 +329,185 @@ impl<'d> Elaborator<'d> {
         }
     }
 
+    /// Re-binds every card-derived parameter of `ckt` in place under
+    /// `overrides` — the elaborate-once `set_param` path. The circuit
+    /// must have been built by this elaborator (same deck): device
+    /// order mirrors card order. Each setter also resets the device's
+    /// dynamic state (integration histories, HDL instance state), so
+    /// a patched circuit is bit-identical to a freshly built one.
+    ///
+    /// Returns `Ok(false)` when some device does not expose the
+    /// `set_param` hook (callers fall back to [`Elaborator::build`]);
+    /// the circuit may be partially patched in that case and must not
+    /// be reused.
+    ///
+    /// # Errors
+    ///
+    /// The same spanned expression/validation failures as
+    /// [`Elaborator::build`] (e.g. a swept value making a resistance
+    /// zero).
+    pub fn patch(
+        &self,
+        ckt: &mut Circuit,
+        overrides: &ParamEnv,
+        source_dc: Option<(&str, f64)>,
+    ) -> Result<bool> {
+        let env = param_env(self.deck, overrides)?;
+        if ckt.devices().len() != self.deck.devices.len() {
+            return Ok(false);
+        }
+        for (i, card) in self.deck.devices.iter().enumerate() {
+            if !self.patch_device(ckt, i, card, &env, source_dc)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn patch_device(
+        &self,
+        ckt: &mut Circuit,
+        index: usize,
+        card: &DeviceCard,
+        env: &ParamEnv,
+        source_dc: Option<(&str, f64)>,
+    ) -> Result<bool> {
+        /// Downcasts through the `Device::as_any_mut` hook.
+        fn cast<T: 'static>(dev: &mut Box<dyn mems_spice::device::Device>) -> Option<&mut T> {
+            dev.as_any_mut()?.downcast_mut::<T>()
+        }
+        let span = card.span();
+        let ev = |e: &NumExpr| e.eval(env);
+        let dev = &mut ckt.devices_mut()[index];
+        match card {
+            DeviceCard::Passive {
+                kind, name, value, ..
+            } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let v = ev(value)?;
+                check_positive(*kind, v, value)?;
+                let done = match kind {
+                    PassiveKind::Resistor => {
+                        cast::<Resistor>(dev).map(|d| d.set_resistance(v)).is_some()
+                    }
+                    PassiveKind::Capacitor => cast::<Capacitor>(dev)
+                        .map(|d| d.set_capacitance(v))
+                        .is_some(),
+                    PassiveKind::Inductor => {
+                        cast::<Inductor>(dev).map(|d| d.set_inductance(v)).is_some()
+                    }
+                    PassiveKind::Mass => cast::<Mass>(dev).map(|d| d.set_mass(v)).is_some(),
+                    PassiveKind::Spring => {
+                        cast::<Spring>(dev).map(|d| d.set_stiffness(v)).is_some()
+                    }
+                    PassiveKind::Damper => cast::<Damper>(dev).map(|d| d.set_damping(v)).is_some(),
+                };
+                Ok(done)
+            }
+            DeviceCard::Source {
+                kind,
+                name,
+                wave,
+                ac,
+                ..
+            } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let waveform = match source_dc {
+                    Some((target, level)) if target == name => Waveform::Dc(level),
+                    _ => self.build_wave(wave, env, span)?,
+                };
+                let ac_spec = match ac {
+                    Some((mag, phase)) => Some(AcSpec {
+                        mag: ev(mag)?,
+                        phase_deg: phase.as_ref().map_or(Ok(0.0), &ev)?,
+                    }),
+                    None => None,
+                };
+                let done = match kind {
+                    SourceKind::Voltage => cast::<VoltageSource>(dev)
+                        .map(|d| {
+                            d.set_wave(waveform);
+                            d.set_ac(ac_spec);
+                        })
+                        .is_some(),
+                    SourceKind::Current => cast::<CurrentSource>(dev)
+                        .map(|d| {
+                            d.set_wave(waveform);
+                            d.set_ac(ac_spec);
+                        })
+                        .is_some(),
+                };
+                Ok(done)
+            }
+            DeviceCard::Controlled {
+                kind, name, value, ..
+            } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let v = ev(value)?;
+                let done = match kind {
+                    ControlledKind::Vcvs => cast::<Vcvs>(dev).map(|d| d.set_gain(v)).is_some(),
+                    ControlledKind::Vccs => cast::<Vccs>(dev).map(|d| d.set_gm(v)).is_some(),
+                    ControlledKind::Cccs => cast::<Cccs>(dev).map(|d| d.set_gain(v)).is_some(),
+                    ControlledKind::Ccvs => cast::<Ccvs>(dev)
+                        .map(|d| d.set_transresistance(v))
+                        .is_some(),
+                };
+                Ok(done)
+            }
+            DeviceCard::Product { name, value, .. } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let v = ev(value)?;
+                Ok(cast::<ProductVccs>(dev)
+                    .map(|d| d.set_coefficient(v))
+                    .is_some())
+            }
+            DeviceCard::TwoPort {
+                kind, name, value, ..
+            } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let v = ev(value)?;
+                let done = match kind {
+                    TwoPortKind::Transformer => cast::<IdealTransformer>(dev)
+                        .map(|d| d.set_ratio(v))
+                        .is_some(),
+                    TwoPortKind::Gyrator => {
+                        cast::<Gyrator>(dev).map(|d| d.set_conductance(v)).is_some()
+                    }
+                };
+                Ok(done)
+            }
+            DeviceCard::HdlInstance { name, generics, .. } => {
+                if dev.name() != name {
+                    return Ok(false);
+                }
+                let mut bound: Vec<(String, f64)> = Vec::with_capacity(generics.len());
+                for (gname, gexpr) in generics {
+                    bound.push((gname.clone(), gexpr.eval(env)?));
+                }
+                let bound_refs: Vec<(&str, f64)> =
+                    bound.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                match cast::<HdlDevice>(dev) {
+                    Some(d) => {
+                        d.set_generics(&bound_refs)
+                            .map_err(|e| NetlistError::elab_at(e.to_string(), span))?;
+                        Ok(true)
+                    }
+                    None => Ok(false),
+                }
+            }
+        }
+    }
+
     fn build_wave(
         &self,
         wave: &WaveSpec,
@@ -527,9 +706,11 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
 /// `.STEP`/`.MC` batch engine. Every point of a batch elaborates the
 /// same topology, so the assembly workspace (and the sparse backend's
 /// symbolic factorization living inside it) is shared across points,
-/// and a deterministic operating-point guess can warm-start each
-/// point's Newton solves.
-#[derive(Default)]
+/// a deterministic operating-point guess can warm-start each point's
+/// Newton solves, and — with `reuse_circuits` (the default) — the
+/// elaborated circuits themselves persist across points, re-bound in
+/// place through the devices' `set_param` path instead of rebuilt
+/// from the parse tree.
 pub struct RunCtx {
     /// Shared assembly workspace (lazily sized to the circuit).
     pub ws: Option<Workspace>,
@@ -539,12 +720,74 @@ pub struct RunCtx {
     /// Newton guess for DC operating points (e.g. the previous batch
     /// point's solved operating point).
     pub op_guess: Option<Vec<f64>>,
+    /// Cached circuits, one per analysis-card slot, patched in place
+    /// per point.
+    ckts: HashMap<usize, Circuit>,
+    /// Fingerprint of the deck the cached circuits were built from.
+    /// A context reused across *different* decks (the cache is keyed
+    /// by analysis-slot index only) must not patch another deck's
+    /// circuits — name/kind checks could pass on boilerplate device
+    /// names while the node wiring differs.
+    deck_fp: Option<u64>,
+    /// When `true` (default), circuits are cached across points and
+    /// parameter-patched; when `false`, every analysis re-elaborates
+    /// the deck (the pre-elaborate-once behavior, kept for
+    /// differential testing and benchmarking).
+    pub reuse_circuits: bool,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx {
+            ws: None,
+            ac_sys: None,
+            op_guess: None,
+            ckts: HashMap::new(),
+            deck_fp: None,
+            reuse_circuits: true,
+        }
+    }
 }
 
 impl RunCtx {
+    /// A context that re-elaborates the deck per point instead of
+    /// patching cached circuits.
+    pub fn without_reuse() -> Self {
+        RunCtx {
+            reuse_circuits: false,
+            ..RunCtx::default()
+        }
+    }
+
     fn workspace(&mut self, backend: MatrixBackend) -> &mut Workspace {
         self.ws
             .get_or_insert_with(|| Workspace::with_backend(0, backend))
+    }
+
+    /// Drops cached circuits that belong to a different deck. Called
+    /// at the top of every [`run_elaborated_ctx`] with a hash of the
+    /// deck's source text.
+    fn bind_deck(&mut self, fp: u64) {
+        if self.deck_fp != Some(fp) {
+            self.ckts.clear();
+            self.deck_fp = Some(fp);
+        }
+    }
+
+    /// Hands out the cached circuit of an analysis slot, if any.
+    fn take_circuit(&mut self, slot: usize) -> Option<Circuit> {
+        if self.reuse_circuits {
+            self.ckts.remove(&slot)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a circuit to its slot for the next point.
+    fn stash_circuit(&mut self, slot: usize, ckt: Circuit) {
+        if self.reuse_circuits {
+            self.ckts.insert(slot, ckt);
+        }
     }
 
     /// The shared complex (AC) system matrix, re-targeted to `n`
@@ -593,6 +836,48 @@ pub fn run_elaborated(elab: &Elaborator<'_>, overrides: &ParamEnv) -> Result<Dec
     run_elaborated_ctx(elab, overrides, &mut RunCtx::default())
 }
 
+/// Obtains the circuit for one analysis slot: patches the slot's
+/// cached circuit in place when the context reuses circuits and every
+/// device supports `set_param`, otherwise re-elaborates.
+///
+/// # Errors
+///
+/// Propagates the (identical) expression/validation failures of the
+/// patch and build paths.
+fn obtain_circuit(
+    elab: &Elaborator<'_>,
+    ctx: &mut RunCtx,
+    slot: usize,
+    overrides: &ParamEnv,
+    source_dc: Option<(&str, f64)>,
+) -> Result<Circuit> {
+    let cached = ctx.take_circuit(slot);
+    patch_or_build(elab, cached, overrides, source_dc)
+}
+
+/// The one patch-or-build fallback every reuse site shares: patches
+/// `prev` in place when given and every device supports `set_param`,
+/// otherwise re-elaborates. A partially patched circuit is dropped,
+/// never reused.
+///
+/// # Errors
+///
+/// The (identical) expression/validation failures of the patch and
+/// build paths.
+pub(crate) fn patch_or_build(
+    elab: &Elaborator<'_>,
+    prev: Option<Circuit>,
+    overrides: &ParamEnv,
+    source_dc: Option<(&str, f64)>,
+) -> Result<Circuit> {
+    if let Some(mut ckt) = prev {
+        if elab.patch(&mut ckt, overrides, source_dc)? {
+            return Ok(ckt);
+        }
+    }
+    elab.build(overrides, source_dc).map(|(c, _)| c)
+}
+
 /// [`run_elaborated`] with caller-owned reusable state (see
 /// [`RunCtx`]).
 ///
@@ -605,16 +890,30 @@ pub fn run_elaborated_ctx(
     ctx: &mut RunCtx,
 ) -> Result<DeckRun> {
     let deck = elab.deck();
-    let (_, env) = elab.build(overrides, None)?;
+    {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        deck.source.hash(&mut h);
+        ctx.bind_deck(h.finish());
+    }
+    let env = param_env(deck, overrides)?;
     let sim = sim_options(deck, &env)?;
+    if deck.analyses.is_empty() {
+        // No analysis card will ever build the circuit, but invalid
+        // device cards must still surface (a zero-valued resistor in
+        // a deck without `.OP` is a deck error, not a silent no-op).
+        elab.build(overrides, None)?;
+    }
     let mut outcomes = Vec::new();
-    for card in &deck.analyses {
+    for (slot, card) in deck.analyses.iter().enumerate() {
         let outcome = match card {
             AnalysisCard::Op { .. } => {
-                let (mut ckt, _) = elab.build(overrides, None)?;
+                let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
                 let ws = ctx.workspace(sim.matrix);
-                AnalysisOutcome::Op(dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ws)?)
+                let op = dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ws)?;
+                ctx.stash_circuit(slot, ckt);
+                AnalysisOutcome::Op(op)
             }
             AnalysisCard::Dc {
                 sweep: var,
@@ -626,7 +925,13 @@ pub fn run_elaborated_ctx(
                 let (v0, v1, dv) = (start.eval(&env)?, stop.eval(&env)?, step.eval(&env)?);
                 let values = linear_points(v0, v1, dv)
                     .ok_or_else(|| NetlistError::elab_at("bad `.DC` range", *span))?;
-                let (var_name, result) =
+                // The sweep patches one circuit across its values
+                // (handed back point to point by
+                // `dc_sweep_reuse_in`), seeded from the slot's cached
+                // circuit and stashed again afterwards.
+                let reuse = ctx.reuse_circuits;
+                let mut seed = ctx.take_circuit(slot);
+                let (var_name, result, last) =
                     match var {
                         DcSweepVar::Source(src) => {
                             if !deck.devices.iter().any(
@@ -637,17 +942,21 @@ pub fn run_elaborated_ctx(
                                     *span,
                                 ));
                             }
-                            let result = dc_sweep_in(
-                                |v| {
-                                    elab.build(overrides, Some((src.as_str(), v)))
-                                        .map(|(c, _)| c)
+                            let (result, last) = dc_sweep_reuse_in(
+                                |v, prev| {
+                                    let from = if reuse {
+                                        prev.or_else(|| seed.take())
+                                    } else {
+                                        None
+                                    };
+                                    patch_or_build(elab, from, overrides, Some((src.as_str(), v)))
                                         .map_err(to_spice_build)
                                 },
                                 &values,
                                 &sim,
                                 ctx.workspace(sim.matrix),
                             )?;
-                            (format!("v({src})"), result)
+                            (format!("v({src})"), result, last)
                         }
                         DcSweepVar::Param(p) => {
                             if !deck.params.iter().any(|d| &d.name == p) {
@@ -656,19 +965,27 @@ pub fn run_elaborated_ctx(
                                     *span,
                                 ));
                             }
-                            let result = dc_sweep_in(
-                                |v| {
+                            let (result, last) = dc_sweep_reuse_in(
+                                |v, prev| {
                                     let mut o = overrides.clone();
                                     o.insert(p.clone(), v);
-                                    elab.build(&o, None).map(|(c, _)| c).map_err(to_spice_build)
+                                    let from = if reuse {
+                                        prev.or_else(|| seed.take())
+                                    } else {
+                                        None
+                                    };
+                                    patch_or_build(elab, from, &o, None).map_err(to_spice_build)
                                 },
                                 &values,
                                 &sim,
                                 ctx.workspace(sim.matrix),
                             )?;
-                            (format!("param({p})"), result)
+                            (format!("param({p})"), result, last)
                         }
                     };
+                if let Some(ckt) = last {
+                    ctx.stash_circuit(slot, ckt);
+                }
                 AnalysisOutcome::Dc {
                     var: var_name,
                     result,
@@ -697,7 +1014,7 @@ pub fn run_elaborated_ctx(
                         FreqSweep::List(out)
                     }
                 };
-                let (mut ckt, _) = elab.build(overrides, None)?;
+                let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 // Same reuse shape as the other analyses: operating
                 // point through the shared real workspace (with the
                 // warm-start guess), frequency sweep through the
@@ -707,7 +1024,9 @@ pub fn run_elaborated_ctx(
                 let op =
                     dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ctx.workspace(sim.matrix))?;
                 let sys = ctx.ac_system(op.layout.n_unknowns, sim.matrix);
-                AnalysisOutcome::Ac(run_ac_with_op_in(&mut ckt, &freqs, &op, sys)?)
+                let ac = run_ac_with_op_in(&mut ckt, &freqs, &op, sys)?;
+                ctx.stash_circuit(slot, ckt);
+                AnalysisOutcome::Ac(ac)
             }
             AnalysisCard::Tran {
                 tstep,
@@ -733,10 +1052,12 @@ pub fn run_elaborated_ctx(
                     o.h_max = Some(h);
                     o
                 };
-                let (mut ckt, _) = elab.build(overrides, None)?;
+                let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
                 let ws = ctx.workspace(sim.matrix);
-                AnalysisOutcome::Tran(run_tran_in(&mut ckt, &opts, &sim, guess.as_deref(), ws)?)
+                let tr = run_tran_in(&mut ckt, &opts, &sim, guess.as_deref(), ws)?;
+                ctx.stash_circuit(slot, ckt);
+                AnalysisOutcome::Tran(tr)
             }
         };
         outcomes.push((card.clone(), outcome));
@@ -913,5 +1234,120 @@ mod tests {
         let r = err.render(src);
         assert!(r.contains("capacitance must be positive"), "{r}");
         assert!(r.contains("line 2"), "{r}");
+    }
+
+    /// Every card kind the elaborator can build must also be
+    /// patchable — a single unpatchable device silently downgrades
+    /// the whole deck to rebuild-per-point (this is the regression
+    /// test for the VCVS `as_any_mut` gap).
+    #[test]
+    fn every_card_kind_is_patchable() {
+        let deck = Deck::parse(
+            "all kinds\n\
+             .param g=2 r=1k\n\
+             .hdl\n\
+             ENTITY e1 IS\n\
+              GENERIC (k : analog := 1.0);\n\
+              PIN (a, b : electrical);\n\
+             END ENTITY e1;\n\
+             ARCHITECTURE a OF e1 IS\n\
+             BEGIN\n\
+               RELATION\n\
+                 PROCEDURAL FOR dc, ac, transient =>\n\
+                   [a, b].i %= k * [a, b].v;\n\
+               END RELATION;\n\
+             END ARCHITECTURE a;\n\
+             .endhdl\n\
+             Vs in 0 SIN(0 1 1k) AC 1 0\n\
+             Is in 0 PULSE(0 1m 0 1u 1u 1m 2m)\n\
+             R1 in out {r}\n\
+             C1 out 0 1n\n\
+             L1 out 0 1m\n\
+             E1 e1o 0 in 0 {g}\n\
+             G1 g1o 0 in 0 {g}\n\
+             F1 f1o 0 in 0 {g}\n\
+             H1 h1o 0 in 0 {g}\n\
+             B1 b1o 0 in 0 out 0 {g}\n\
+             T1 e1o 0 t1o 0 2\n\
+             Y1 g1o 0 y1o 0 0.5\n\
+             Rl1 t1o 0 1k\n\
+             Rl2 y1o 0 1k\n\
+             Rl3 e1o 0 1k\n\
+             Rl4 g1o 0 1k\n\
+             Rl5 f1o 0 1k\n\
+             Rl6 h1o 0 1k\n\
+             Rl7 b1o 0 1k\n\
+             Mm vel 0 1e-4\n\
+             Kk vel 0 200\n\
+             Dd vel 0 40m\n\
+             X1 in 0 e1\n\
+             .op\n",
+        )
+        .unwrap();
+        let elab = Elaborator::new(&deck).unwrap();
+        let (mut ckt, _) = elab.build(&ParamEnv::new(), None).unwrap();
+        let mut over = ParamEnv::new();
+        over.insert("g".into(), 3.0);
+        over.insert("r".into(), 2.0e3);
+        assert!(
+            elab.patch(&mut ckt, &over, None).unwrap(),
+            "every device kind must take the set_param path"
+        );
+        // The re-bound values actually landed in the devices.
+        let e1 = ckt.device_index("e1").unwrap();
+        let vcvs = ckt.devices_mut()[e1]
+            .as_any_mut()
+            .and_then(|d| d.downcast_mut::<Vcvs>())
+            .expect("E card builds a Vcvs");
+        assert_eq!(vcvs.gain(), 3.0);
+        let r1 = ckt.device_index("r1").unwrap();
+        let res = ckt.devices_mut()[r1]
+            .as_any_mut()
+            .and_then(|d| d.downcast_mut::<Resistor>())
+            .expect("R card builds a Resistor");
+        assert_eq!(res.resistance(), 2.0e3);
+    }
+
+    /// A deck with no analysis cards still validates its devices
+    /// (`run_elaborated_ctx` only builds circuits per analysis card,
+    /// so the empty case needs an explicit validation build).
+    #[test]
+    fn deck_without_analyses_still_validates_devices() {
+        let src = "t\nVs in 0 5\nR1 in out 0\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        assert!(
+            err.to_string().contains("resistance must be nonzero"),
+            "{err}"
+        );
+        // A valid zero-analysis deck still runs (empty outcome list).
+        let ok = Deck::parse("t\nVs in 0 5\nR1 in 0 1k\n").unwrap();
+        assert!(run_deck(&ok).unwrap().outcomes.is_empty());
+    }
+
+    /// A context reused across *different* decks must not patch the
+    /// other deck's circuits, even when device names/kinds coincide.
+    #[test]
+    fn runctx_does_not_cross_patch_between_decks() {
+        // Same device names and kinds, different wiring: deck A is a
+        // divider (v(out) = vin/2), deck B ties R2 across the source
+        // instead (v(out) = vin).
+        let deck_a =
+            Deck::parse("a\n.param vin=6\nVs in 0 {vin}\nR1 in out 1k\nR2 out 0 1k\n.op\n")
+                .unwrap();
+        let deck_b =
+            Deck::parse("b\n.param vin=6\nVs in 0 {vin}\nR1 in out 1k\nR2 in out 1k\n.op\n")
+                .unwrap();
+        let mut ctx = RunCtx::default();
+        let ea = Elaborator::new(&deck_a).unwrap();
+        let eb = Elaborator::new(&deck_b).unwrap();
+        let ra = run_elaborated_ctx(&ea, &ParamEnv::new(), &mut ctx).unwrap();
+        let rb = run_elaborated_ctx(&eb, &ParamEnv::new(), &mut ctx).unwrap();
+        let v = |run: &DeckRun| match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => op.by_label("v(out)").unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert!((v(&ra) - 3.0).abs() < 1e-6, "divider: {}", v(&ra));
+        assert!((v(&rb) - 6.0).abs() < 1e-6, "direct tie: {}", v(&rb));
     }
 }

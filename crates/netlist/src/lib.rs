@@ -61,8 +61,9 @@
 //! ```
 //!
 //! The batch engine ([`run_batch`]) expands `.STEP` sweeps and `.MC`
-//! Monte Carlo into a point list, re-elaborates per point, and runs
-//! points across worker threads; sampling is keyed on `(seed, point,
+//! Monte Carlo into a point list and runs points across worker
+//! threads — each worker elaborates the deck once and patches device
+//! parameters in place per point; sampling is keyed on `(seed, point,
 //! variable)` so results are independent of thread count.
 
 pub mod ast;

@@ -587,7 +587,7 @@ mod tests {
             "f\n.param r=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {r}\n.op\n.print op v(out)\n.step param r LIST 1k 0 3k\n",
         )
         .unwrap();
-        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
         let json = batch_json(&result);
         assert!(json.contains("\"total\":3"), "{json}");
         assert!(json.contains("\"ok\":2"), "{json}");
@@ -639,7 +639,7 @@ mod tests {
             "f\n.param r=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {r}\n.op\n.print op v(out)\n.step param r LIST 1k 0 3k\n",
         )
         .unwrap();
-        let result = run_batch(&deck, &BatchOptions { threads: 2 }).unwrap();
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
         let report = batch_report(&result);
         assert!(report.contains("3 points, 2 ok"), "{report}");
         assert!(report.contains("FAIL"), "{report}");

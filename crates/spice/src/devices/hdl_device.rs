@@ -17,6 +17,7 @@ use mems_numerics::Complex64;
 
 /// A behavioral device wrapping an elaborated HDL-A instance.
 pub struct HdlDevice {
+    model: HdlModel,
     instance: Instance,
     pins: Vec<NodeId>,
     branches: Vec<BranchInfo>,
@@ -70,6 +71,7 @@ impl HdlDevice {
         let branches = compiled.branches.clone();
         let n_unknowns = compiled.n_unknowns;
         Ok(HdlDevice {
+            model: model.clone(),
             instance,
             pins: nodes.to_vec(),
             branches,
@@ -82,6 +84,37 @@ impl HdlDevice {
     /// The hosted instance (model introspection, state access).
     pub fn instance(&self) -> &Instance {
         &self.instance
+    }
+
+    /// Mutable access to the hosted instance (evaluator selection,
+    /// state manipulation in tests).
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// Re-binds the generics by re-elaborating the instance in place
+    /// (elaborate-once batches): the fresh instance re-runs the
+    /// `init` program, re-folds the tables, and starts from pristine
+    /// history — exactly the state a rebuilt deck would produce. The
+    /// selected evaluator carries over.
+    ///
+    /// # Errors
+    ///
+    /// Same failures as [`HdlDevice::new`] (unknown/missing generics,
+    /// bad table axes, `init` assertions).
+    pub fn set_generics(&mut self, generics: &[(&str, f64)]) -> Result<()> {
+        let mode = self.instance.eval_mode();
+        let mut instance = self
+            .model
+            .instantiate(self.instance.name(), generics)
+            .map_err(|e| SpiceError::Device {
+                device: self.instance.name().to_string(),
+                detail: e.to_string(),
+            })?;
+        instance.set_eval_mode(mode);
+        self.instance = instance;
+        self.last_reports.clear();
+        Ok(())
     }
 
     /// Local gradient slot count: one per pin, then one per unknown.
@@ -302,5 +335,9 @@ impl Device for HdlDevice {
         } else {
             self.instance.commit_transient(kind.h);
         }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }

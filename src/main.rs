@@ -30,6 +30,8 @@ OPTIONS:
                      and failure logs for `sweep`; FILE defaults to `-`;
                      mutually exclusive with --csv)
     --threads N      Worker threads for `sweep` (default: all cores)
+    --reelaborate    Rebuild the circuit per batch point instead of the
+                     default elaborate-once in-place parameter patching
     -h, --help       Show this help
     -V, --version    Show the version
 ";
@@ -40,6 +42,7 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     threads: usize,
+    reelaborate: bool,
 }
 
 /// Takes an option's optional value: the next token is consumed as
@@ -60,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut csv = None;
     let mut json = None;
     let mut threads = 0usize;
+    let mut reelaborate = false;
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -67,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-V" | "--version" => return Err(format!("mems {}", env!("CARGO_PKG_VERSION"))),
             "--csv" => csv = Some(optional_value(&mut it)),
             "--json" => json = Some(optional_value(&mut it)),
+            "--reelaborate" => reelaborate = true,
             "--threads" => {
                 let v = it
                     .next()
@@ -103,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         csv,
         json,
         threads,
+        reelaborate,
     })
 }
 
@@ -191,9 +197,16 @@ fn cmd_sweep(
     csv: Option<&str>,
     json: Option<&str>,
     threads: usize,
+    reelaborate: bool,
 ) -> Result<(), String> {
-    let result = mems_netlist::run_batch(deck, &BatchOptions { threads })
-        .map_err(|e| e.render(&deck.source))?;
+    let result = mems_netlist::run_batch(
+        deck,
+        &BatchOptions {
+            threads,
+            reelaborate,
+        },
+    )
+    .map_err(|e| e.render(&deck.source))?;
     match (json, csv) {
         (Some(target), _) => emit(target, &report::batch_json(&result)),
         (None, Some(target)) => emit(target, &report::batch_csv(&result)),
@@ -236,6 +249,7 @@ fn main() -> ExitCode {
             args.csv.as_deref(),
             args.json.as_deref(),
             args.threads,
+            args.reelaborate,
         ),
         _ => unreachable!("validated in parse_args"),
     };

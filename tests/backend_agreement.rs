@@ -240,3 +240,41 @@ fn singular_sparse_lu_reports_column() {
         other => panic!("expected singular, got {other:?}"),
     }
 }
+
+/// The elaborate-once `set_param` path composes with the forced-sparse
+/// backend: a single-worker `.STEP` batch (fixed point order ⇒ a
+/// deterministic pivot-replay sequence) is bit-identical whether each
+/// point patches the cached circuit or re-elaborates the deck.
+#[test]
+fn sparse_batch_patching_matches_reelaboration() {
+    use mems::netlist::{run_batch, BatchOptions};
+    use std::fmt::Write as _;
+    // A 60-section nonlinear ladder, well past the sparse threshold.
+    let mut src =
+        String::from("sparse ladder step\n.options sparse=1\n.param rload=1k\nVs n0 0 5\n");
+    for i in 1..=60 {
+        let _ = writeln!(src, "R{i} n{} n{i} 100", i - 1);
+    }
+    let _ = writeln!(src, "Bq n60 0 n60 0 n60 0 1e-4");
+    let _ = writeln!(src, "Rl n60 0 {{rload}}");
+    src.push_str(".op\n.print op v(n60)\n.step param rload 500 2000 250\n");
+    let deck = Deck::parse(&src).unwrap();
+
+    let patched = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+    let rebuilt = run_batch(
+        &deck,
+        &BatchOptions {
+            threads: 1,
+            reelaborate: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(patched.ok_count(), 7);
+    for (a, b) in patched.points.iter().zip(&rebuilt.points) {
+        let (ma, mb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        for (x, y) in ma.iter().zip(mb) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+        }
+    }
+}

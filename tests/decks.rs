@@ -279,8 +279,8 @@ Xrelay drive 0 relaydc area={area} d={gap} k={k}
     let deck = Deck::parse(src).unwrap();
     assert_eq!(batch_points(&deck).unwrap().len(), 36);
 
-    let serial = run_batch(&deck, &BatchOptions { threads: 1 }).unwrap();
-    let parallel = run_batch(&deck, &BatchOptions { threads: 6 }).unwrap();
+    let serial = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+    let parallel = run_batch(&deck, &BatchOptions::with_threads(6)).unwrap();
     assert_eq!(serial.threads_used, 1);
     assert_eq!(parallel.threads_used, 6);
     assert_eq!(serial.ok_count(), 36);
@@ -302,4 +302,168 @@ Xrelay drive 0 relaydc area={area} d={gap} k={k}
         .expect("displacement metric aggregated");
     assert_eq!(stats.n, 36);
     assert!(stats.max > stats.min * 1.05, "{stats:?}");
+}
+
+// ---------------------------------------------------------------
+// Elaborate-once (`set_param`) invariance
+// ---------------------------------------------------------------
+
+/// Asserts two deck runs are bit-identical outcome by outcome.
+fn assert_runs_bit_identical(a: &mems::netlist::DeckRun, b: &mems::netlist::DeckRun, what: &str) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{what}: outcome count");
+    let bits_eq = |x: &[f64], y: &[f64], ctx: &str| {
+        assert_eq!(x.len(), y.len(), "{what}/{ctx}: length");
+        for (i, (p, q)) in x.iter().zip(y).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{what}/{ctx}[{i}]: {p:e} vs {q:e}"
+            );
+        }
+    };
+    for (i, ((_, oa), (_, ob))) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        match (oa, ob) {
+            (AnalysisOutcome::Op(x), AnalysisOutcome::Op(y)) => {
+                assert_eq!(x.layout.labels, y.layout.labels);
+                bits_eq(&x.x, &y.x, &format!("op{i}"));
+            }
+            (AnalysisOutcome::Dc { result: x, .. }, AnalysisOutcome::Dc { result: y, .. }) => {
+                bits_eq(&x.values, &y.values, &format!("dc{i}.values"));
+                assert_eq!(x.points.len(), y.points.len());
+                for (k, (p, q)) in x.points.iter().zip(&y.points).enumerate() {
+                    bits_eq(&p.x, &q.x, &format!("dc{i}.pt{k}"));
+                }
+            }
+            (AnalysisOutcome::Ac(x), AnalysisOutcome::Ac(y)) => {
+                bits_eq(&x.freqs, &y.freqs, &format!("ac{i}.freqs"));
+                assert_eq!(x.labels, y.labels);
+                assert_eq!(x.data.len(), y.data.len());
+                for (k, (p, q)) in x.data.iter().zip(&y.data).enumerate() {
+                    for (j, (z, w)) in p.iter().zip(q).enumerate() {
+                        assert_eq!(
+                            (z.re.to_bits(), z.im.to_bits()),
+                            (w.re.to_bits(), w.im.to_bits()),
+                            "{what}/ac{i}.row{k}[{j}]"
+                        );
+                    }
+                }
+            }
+            (AnalysisOutcome::Tran(x), AnalysisOutcome::Tran(y)) => {
+                bits_eq(&x.time, &y.time, &format!("tran{i}.time"));
+                assert_eq!(x.labels, y.labels);
+                assert_eq!(x.samples.len(), y.samples.len());
+                for (k, (p, q)) in x.samples.iter().zip(&y.samples).enumerate() {
+                    bits_eq(p, q, &format!("tran{i}.row{k}"));
+                }
+            }
+            (a, b) => panic!("{what}: outcome {i} kind mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Acceptance: every shipped deck produces bit-identical results
+/// whether each point re-elaborates the parse tree or patches the
+/// cached circuit through the devices' `set_param` hooks — including
+/// repeated runs over one context (exercising the patch path) and a
+/// perturbed parameter (exercising actual re-binding, not just
+/// same-value rewrites).
+#[test]
+fn elaborate_once_matches_reelaboration_on_every_deck() {
+    use mems::netlist::{run_elaborated_ctx, RunCtx};
+    let dir = deck_path("");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/decks exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "cir") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let deck = Deck::parse(&src).unwrap();
+        let elab = Elaborator::new(&deck).unwrap();
+        let nominal = Default::default();
+
+        // Baseline: the pre-elaborate-once behavior.
+        let baseline = run_elaborated_ctx(&elab, &nominal, &mut RunCtx::without_reuse()).unwrap();
+
+        // One reusing context, run twice: the first run builds and
+        // caches, the second patches every circuit in place.
+        let mut ctx = RunCtx::default();
+        let first = run_elaborated_ctx(&elab, &nominal, &mut ctx).unwrap();
+        let patched = run_elaborated_ctx(&elab, &nominal, &mut ctx).unwrap();
+        assert_runs_bit_identical(&baseline, &first, &format!("{name}: build vs no-reuse"));
+        assert_runs_bit_identical(&baseline, &patched, &format!("{name}: patch vs no-reuse"));
+
+        // Perturb the deck's first parameter: the patched circuit
+        // must match a freshly built one under the same override.
+        let param = deck.params.first().expect("shipped decks declare params");
+        let mut over = mems::netlist::elab::ParamEnv::new();
+        over.insert(
+            param.name.clone(),
+            param.value.eval(&Default::default()).unwrap() * 1.05,
+        );
+        let fresh = run_elaborated_ctx(&elab, &over, &mut RunCtx::without_reuse()).unwrap();
+        let repatch = run_elaborated_ctx(&elab, &over, &mut ctx).unwrap();
+        assert_runs_bit_identical(&fresh, &repatch, &format!("{name}: perturbed"));
+    }
+    assert!(seen >= 4, "expected all 4 shipped decks, found {seen}");
+}
+
+/// Acceptance: the `.STEP` batch of `resonator_step.cir` is
+/// bit-identical between the elaborate-once default and forced
+/// re-elaboration, and stays thread-count invariant with patching on.
+#[test]
+fn resonator_step_batch_patching_is_bit_identical_and_thread_invariant() {
+    let deck = load("resonator_step.cir");
+    let patched_1 = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+    let rebuilt_1 = run_batch(
+        &deck,
+        &BatchOptions {
+            threads: 1,
+            reelaborate: true,
+        },
+    )
+    .unwrap();
+    let patched_4 = run_batch(&deck, &BatchOptions::with_threads(4)).unwrap();
+
+    assert!(patched_1.ok_count() >= 5, "all points solve");
+    for other in [&rebuilt_1, &patched_4] {
+        assert_eq!(patched_1.points.len(), other.points.len());
+        for (a, b) in patched_1.points.iter().zip(&other.points) {
+            assert_eq!(a.point, b.point);
+            let (ma, mb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(ma.len(), mb.len());
+            for (x, y) in ma.iter().zip(mb) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+            }
+        }
+    }
+}
+
+/// Patch errors surface exactly like build errors: a swept value
+/// that zeroes a resistance fails that point (with the same spanned
+/// message) whether the circuit is rebuilt or patched.
+#[test]
+fn patch_validation_matches_build_validation() {
+    let src = "f\n.param rbot=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {rbot}\n.op\n.step param rbot LIST 1k 0 2k\n";
+    let deck = Deck::parse(src).unwrap();
+    let patched = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+    let rebuilt = run_batch(
+        &deck,
+        &BatchOptions {
+            threads: 1,
+            reelaborate: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(patched.ok_count(), 2);
+    assert_eq!(rebuilt.ok_count(), 2);
+    let (pe, re_) = (
+        patched.points[1].outcome.as_ref().unwrap_err(),
+        rebuilt.points[1].outcome.as_ref().unwrap_err(),
+    );
+    assert_eq!(pe, re_, "patch and build report the same failure");
+    assert!(pe.contains("resistance must be nonzero"), "{pe}");
 }
