@@ -187,5 +187,54 @@ fn bench_batch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_eval, bench_batch);
+/// The elaboration-time `init` program: tree interpreter vs the
+/// compiled init tape — the cost `set_generics` pays at every batch
+/// point re-instantiation.
+fn bench_init(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "HDL init program",
+        "per-instantiation init pass: tree interpreter vs init tape",
+    );
+    const BRANCHY: &str = r#"
+ENTITY gapcell IS
+  GENERIC (g0, mode : analog);
+  PIN (p, q : electrical);
+END ENTITY gapcell;
+ARCHITECTURE a OF gapcell IS
+VARIABLE e0, gap, c0, guard : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+      IF mode > 1.5 THEN
+        gap := g0 * 2.0;
+      ELSIF mode > 0.5 THEN
+        gap := limit(g0, 1.0e-6, 1.0e-3);
+      ELSE
+        gap := max(g0, 1.0e-6);
+      END IF;
+      guard := min(gap, 1.0e-3);
+      ASSERT gap > 0.0 REPORT "gap must be positive";
+      c0 := e0 / gap;
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, q].i %= c0 * [p, q].v;
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let model = HdlModel::compile(BRANCHY, "gapcell", None).expect("bench model compiles");
+    let mut group = c.benchmark_group("hdl_init_pass");
+    for (id, bytecode) in [("tree_walk", false), ("init_tape", true)] {
+        let mut k = 0u64;
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                k += 1;
+                let bound = [0.1e-3 + (k % 5) as f64 * 1e-5, (k % 3) as f64];
+                black_box(model.init_values_with(&bound, bytecode).expect("init runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_batch, bench_init);
 criterion_main!(benches);

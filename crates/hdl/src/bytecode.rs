@@ -123,11 +123,8 @@ impl Tape {
     }
 }
 
-/// The three analysis tapes of one [`CompiledModel`].
-///
-/// (The `init` program keeps its plain-`f64` interpreter in
-/// [`crate::model`] — it runs once per elaboration, not per Newton
-/// iteration.)
+/// The compiled tapes of one [`CompiledModel`]: the three analysis
+/// programs plus (when expressible) the `init` program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BytecodeModel {
     /// DC program tape.
@@ -136,15 +133,24 @@ pub struct BytecodeModel {
     pub ac: Tape,
     /// Transient program tape.
     pub tran: Tape,
+    /// `init` program tape, executed with plain-`f64` semantics by
+    /// [`run_init_tape`] at every (re-)elaboration — the hot spot of
+    /// `set_generics` re-instantiation in parametric batches. `None`
+    /// when the program uses constructs the init VM cannot express
+    /// (contributions, residuals, branch/time/history reads);
+    /// [`crate::model`] then falls back to the tree interpreter,
+    /// which reports those with its own diagnostics.
+    pub init: Option<Tape>,
 }
 
 impl BytecodeModel {
-    /// Compiles all analysis programs of a model.
+    /// Compiles all programs of a model.
     pub fn compile(model: &CompiledModel) -> Self {
         BytecodeModel {
             dc: compile_program(&model.dc_program),
             ac: compile_program(&model.ac_program),
             tran: compile_program(&model.tran_program),
+            init: compile_init_program(&model.init_program),
         }
     }
 
@@ -318,6 +324,131 @@ impl Compiler {
             }
         }
     }
+}
+
+/// Compiles the `init` program when every statement is expressible on
+/// the plain-`f64` init VM: assignments, conditionals, assertions,
+/// and reports over constant-foldable expressions (constants,
+/// generics, earlier objects). Programs reaching for run-time
+/// quantities return `None` and keep the tree interpreter, so its
+/// "unsupported statement"/"not a constant expression" diagnostics
+/// are preserved verbatim.
+pub fn compile_init_program(program: &[CStmt]) -> Option<Tape> {
+    fn expr_ok(e: &CExpr) -> bool {
+        match e {
+            CExpr::Const(_) | CExpr::Generic(_) | CExpr::Object(_) => true,
+            CExpr::Unary(_, inner) => expr_ok(inner),
+            CExpr::Binary(_, a, b) => expr_ok(a) && expr_ok(b),
+            CExpr::Call(_, args) => args.iter().all(expr_ok),
+            CExpr::Across(_)
+            | CExpr::Time
+            | CExpr::Ddt { .. }
+            | CExpr::Integ { .. }
+            | CExpr::Table { .. } => false,
+        }
+    }
+    fn stmt_ok(s: &CStmt) -> bool {
+        match s {
+            CStmt::Assign { value, .. } => expr_ok(value),
+            CStmt::If { arms, otherwise } => {
+                arms.iter()
+                    .all(|(c, body)| expr_ok(c) && body.iter().all(stmt_ok))
+                    && otherwise.iter().all(stmt_ok)
+            }
+            CStmt::Assert { cond, .. } => expr_ok(cond),
+            CStmt::Report { .. } => true,
+            CStmt::Contribute { .. } | CStmt::Residual { .. } => false,
+        }
+    }
+    if program.iter().all(stmt_ok) {
+        Some(compile_program(program))
+    } else {
+        None
+    }
+}
+
+/// Executes an `init` tape with plain-`f64` semantics over the
+/// per-instance object value vector (`None` = not yet assigned),
+/// mirroring the tree interpreter (`run_init_program` in
+/// [`crate::model`]) error for error: same unassigned-read message,
+/// same assertion message, reports ignored.
+///
+/// # Errors
+///
+/// [`HdlError::Elab`] on reads of unassigned objects and failed
+/// assertions — bit-compatible with the tree interpreter, which the
+/// differential tests in `tests/bytecode_equivalence.rs` enforce.
+pub fn run_init_tape(
+    model: &CompiledModel,
+    tape: &Tape,
+    generics: &[f64],
+    values: &mut [Option<f64>],
+) -> Result<()> {
+    let mut stack = vec![0.0f64; tape.max_stack];
+    let ops = &tape.ops;
+    let mut pc = 0usize;
+    let mut sp = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            Op::Const(v) => {
+                stack[sp] = *v;
+                sp += 1;
+            }
+            Op::Generic(i) => {
+                stack[sp] = generics[*i as usize];
+                sp += 1;
+            }
+            Op::Object(i) => {
+                stack[sp] = values[*i as usize].ok_or_else(|| {
+                    HdlError::Elab("initializer references an object with no value yet".into())
+                })?;
+                sp += 1;
+            }
+            Op::Neg => stack[sp - 1] = -stack[sp - 1],
+            Op::Not => stack[sp - 1] = f64::from(stack[sp - 1] == 0.0),
+            Op::Bin(op) => {
+                stack[sp - 2] = fold_binop(*op, stack[sp - 2], stack[sp - 1]);
+                sp -= 1;
+            }
+            Op::Call1(b) => stack[sp - 1] = fold_builtin(*b, &stack[sp - 1..sp]),
+            Op::Call2(b) => {
+                stack[sp - 2] = fold_builtin(*b, &stack[sp - 2..sp]);
+                sp -= 1;
+            }
+            Op::Call3(b) => {
+                stack[sp - 3] = fold_builtin(*b, &stack[sp - 3..sp]);
+                sp -= 2;
+            }
+            Op::Store(i) => {
+                sp -= 1;
+                values[*i as usize] = Some(stack[sp]);
+            }
+            Op::Assert(m) => {
+                sp -= 1;
+                if stack[sp] == 0.0 {
+                    return Err(HdlError::Elab(format!(
+                        "init assertion failed in `{}`: {}",
+                        model.name, tape.messages[*m as usize]
+                    )));
+                }
+            }
+            Op::Report(_) => {}
+            Op::JumpIfZero(target) => {
+                sp -= 1;
+                if stack[sp] == 0.0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+            other => unreachable!("{other:?} cannot appear in an init tape"),
+        }
+        pc += 1;
+    }
+    Ok(())
 }
 
 /// Folds a literal-constant expression to its runtime value, or

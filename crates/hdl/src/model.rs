@@ -25,7 +25,7 @@
 //! ```
 
 use crate::ast::ObjectKind;
-use crate::bytecode::{run_pass_bytecode, BytecodeModel, RegBank};
+use crate::bytecode::{run_init_tape, run_pass_bytecode, BytecodeModel, RegBank};
 use crate::compile::{fold_binop, fold_builtin, CExpr, CStmt, CompiledModel};
 use crate::error::{HdlError, Result};
 use crate::eval::{run_pass, Analysis, DualComplex, DualReal, EvalEnv, InstanceState};
@@ -100,50 +100,8 @@ impl HdlModel {
     /// breakpoints that do not form a strictly increasing axis, or
     /// failures in the `init` program.
     pub fn instantiate(&self, name: &str, generics: &[(&str, f64)]) -> Result<Instance> {
-        // Bind generics.
-        let mut values: Vec<Option<f64>> =
-            self.compiled.generics.iter().map(|g| g.default).collect();
-        for (gname, gval) in generics {
-            let idx = self.compiled.generic_index(gname).ok_or_else(|| {
-                HdlError::Elab(format!(
-                    "model `{}` has no generic `{gname}`",
-                    self.compiled.name
-                ))
-            })?;
-            values[idx] = Some(*gval);
-        }
-        let mut bound = Vec::with_capacity(values.len());
-        for (g, v) in self.compiled.generics.iter().zip(values) {
-            bound.push(v.ok_or_else(|| {
-                HdlError::Elab(format!(
-                    "generic `{}` of `{}` has no value and no default",
-                    g.name, self.compiled.name
-                ))
-            })?);
-        }
-
-        // Fold declaration initializers in declaration order.
-        let n_objects = self.compiled.objects.len();
-        let mut init_values: Vec<Option<f64>> = vec![None; n_objects];
-        for (i, obj) in self.compiled.objects.iter().enumerate() {
-            if let Some(init) = &obj.init {
-                let v = fold_with_objects(init, &bound, &init_values).map_err(|e| {
-                    HdlError::Elab(format!(
-                        "initializer of `{}` in `{}`: {e}",
-                        obj.name, self.compiled.name
-                    ))
-                })?;
-                init_values[i] = Some(v);
-            }
-        }
-
-        // Run the init program with a plain f64 interpreter.
-        run_init_program(
-            &self.compiled.init_program,
-            &bound,
-            &mut init_values,
-            &self.compiled,
-        )?;
+        let bound = self.bind_generics(generics)?;
+        let init_values = self.init_values_with(&bound, true)?;
 
         // Elaborate tables.
         let mut tables = Vec::with_capacity(self.compiled.tables.len());
@@ -183,6 +141,76 @@ impl HdlModel {
             bank_real: RegBank::default(),
             bank_complex: RegBank::default(),
         })
+    }
+
+    /// Binds generic values in declaration order, falling back to
+    /// declared defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`HdlError::Elab`] for unknown generics and for generics with
+    /// neither a value nor a default.
+    fn bind_generics(&self, generics: &[(&str, f64)]) -> Result<Vec<f64>> {
+        let mut values: Vec<Option<f64>> =
+            self.compiled.generics.iter().map(|g| g.default).collect();
+        for (gname, gval) in generics {
+            let idx = self.compiled.generic_index(gname).ok_or_else(|| {
+                HdlError::Elab(format!(
+                    "model `{}` has no generic `{gname}`",
+                    self.compiled.name
+                ))
+            })?;
+            values[idx] = Some(*gval);
+        }
+        let mut bound = Vec::with_capacity(values.len());
+        for (g, v) in self.compiled.generics.iter().zip(values) {
+            bound.push(v.ok_or_else(|| {
+                HdlError::Elab(format!(
+                    "generic `{}` of `{}` has no value and no default",
+                    g.name, self.compiled.name
+                ))
+            })?);
+        }
+        Ok(bound)
+    }
+
+    /// Computes the per-object init-value vector for bound generics:
+    /// declaration initializers folded in order, then the `init`
+    /// program — through the compiled init tape when `use_bytecode`
+    /// (and the program compiled; the default in
+    /// [`HdlModel::instantiate`]), otherwise through the reference
+    /// tree interpreter. Public so the differential test harness can
+    /// compare both paths value for value and error for error.
+    ///
+    /// # Errors
+    ///
+    /// Initializer folding failures, unassigned-object reads, and
+    /// failed `init` assertions — identical between both evaluators.
+    pub fn init_values_with(&self, bound: &[f64], use_bytecode: bool) -> Result<Vec<Option<f64>>> {
+        let mut init_values: Vec<Option<f64>> = vec![None; self.compiled.objects.len()];
+        for (i, obj) in self.compiled.objects.iter().enumerate() {
+            if let Some(init) = &obj.init {
+                let v = fold_with_objects(init, bound, &init_values).map_err(|e| {
+                    HdlError::Elab(format!(
+                        "initializer of `{}` in `{}`: {e}",
+                        obj.name, self.compiled.name
+                    ))
+                })?;
+                init_values[i] = Some(v);
+            }
+        }
+        match &self.bytecode.init {
+            Some(tape) if use_bytecode => {
+                run_init_tape(&self.compiled, tape, bound, &mut init_values)?;
+            }
+            _ => run_init_program(
+                &self.compiled.init_program,
+                bound,
+                &mut init_values,
+                &self.compiled,
+            )?,
+        }
+        Ok(init_values)
     }
 }
 

@@ -16,6 +16,15 @@ impl Span {
         Span { start, end }
     }
 
+    /// The same span shifted `delta` bytes to the right (used when
+    /// splicing included sources into a larger virtual buffer).
+    pub fn offset(self, delta: usize) -> Span {
+        Span {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+
     /// The smallest span covering both inputs.
     pub fn merge(self, other: Span) -> Span {
         Span {

@@ -18,6 +18,9 @@ pub struct Deck {
     pub params: Vec<ParamDef>,
     /// `.NODE` nature declarations.
     pub node_decls: Vec<NodeDecl>,
+    /// `.SUBCKT` definitions (one global table — nested and
+    /// `.INCLUDE`d definitions are hoisted here; names are unique).
+    pub subckts: Vec<SubcktDef>,
     /// HDL-A source blocks (inline `.HDL` + `.INCLUDE`d files).
     pub hdl_blocks: Vec<RawBlock>,
     /// Analysis cards in deck order.
@@ -33,6 +36,11 @@ pub struct Deck {
 }
 
 impl Deck {
+    /// Looks up a `.SUBCKT` definition by (lower-cased) name.
+    pub fn subckt(&self, name: &str) -> Option<&SubcktDef> {
+        self.subckts.iter().find(|s| s.name == name)
+    }
+
     /// Labels the deck selects for one analysis kind: `.PRINT` cards
     /// filtered to the available label set, falling back to every
     /// available label when no `.PRINT` selection matches.
@@ -60,6 +68,44 @@ pub struct ParamDef {
     /// Defining expression (may reference earlier parameters).
     pub value: NumExpr,
     /// Span of the definition.
+    pub span: Span,
+}
+
+/// A formal parameter of a `.SUBCKT` header (`PARAMS: name=default`).
+#[derive(Debug, Clone)]
+pub struct FormalParam {
+    /// Lower-cased parameter name.
+    pub name: String,
+    /// Default value, evaluated in the instance scope (outer
+    /// parameters and earlier formals visible). `None` means the
+    /// caller must pass a value.
+    pub default: Option<NumExpr>,
+    /// Span of the formal's name in the header.
+    pub span: Span,
+}
+
+/// A `.SUBCKT name ports… [PARAMS: k=v …]` … `.ENDS` definition.
+///
+/// The body is a scoped sub-deck: device cards, local `.PARAM`s, and
+/// `.NODE` declarations. Body node names that are not ports (and not
+/// ground) are private to each instance and surface flattened as
+/// `<instance-path>.<name>`.
+#[derive(Debug, Clone)]
+pub struct SubcktDef {
+    /// Lower-cased subcircuit name.
+    pub name: String,
+    /// Port node names in header order.
+    pub ports: Vec<String>,
+    /// Formal parameters (`PARAMS:` clause).
+    pub formals: Vec<FormalParam>,
+    /// Body device cards in definition order.
+    pub devices: Vec<DeviceCard>,
+    /// Body `.PARAM` definitions (evaluated in the instance scope,
+    /// shadowing outer parameters).
+    pub params: Vec<ParamDef>,
+    /// Body `.NODE` declarations (names mapped per instance).
+    pub node_decls: Vec<NodeDecl>,
+    /// Span of the `.SUBCKT` header card.
     pub span: Span,
 }
 
@@ -209,18 +255,22 @@ pub enum DeviceCard {
         /// Card span.
         span: Span,
     },
-    /// `X` — instance of an HDL-A entity.
-    HdlInstance {
+    /// `X` — the unified call card: positional node connections plus
+    /// named parameter overrides, resolving to either a `.SUBCKT`
+    /// definition (flattened recursively) or an HDL-A entity.
+    Call {
         /// Instance name.
         name: String,
-        /// Positional pin connections.
+        /// Positional node connections.
         nodes: Vec<String>,
-        /// Entity name (lower-cased).
-        entity: String,
-        /// Span of the entity-name token (for "unknown entity").
-        entity_span: Span,
-        /// `name=expr` generic overrides.
-        generics: Vec<(String, NumExpr)>,
+        /// Callee name (lower-cased): a subcircuit or an entity.
+        callee: String,
+        /// Span of the callee-name token (for "unknown subcircuit or
+        /// entity" diagnostics).
+        callee_span: Span,
+        /// `name=expr` parameter / generic overrides, evaluated in
+        /// the caller's scope.
+        args: Vec<(String, NumExpr)>,
         /// Card span.
         span: Span,
     },
@@ -235,7 +285,7 @@ impl DeviceCard {
             | DeviceCard::Controlled { name, .. }
             | DeviceCard::Product { name, .. }
             | DeviceCard::TwoPort { name, .. }
-            | DeviceCard::HdlInstance { name, .. } => name,
+            | DeviceCard::Call { name, .. } => name,
         }
     }
 
@@ -247,7 +297,7 @@ impl DeviceCard {
             | DeviceCard::Controlled { span, .. }
             | DeviceCard::Product { span, .. }
             | DeviceCard::TwoPort { span, .. }
-            | DeviceCard::HdlInstance { span, .. } => *span,
+            | DeviceCard::Call { span, .. } => *span,
         }
     }
 }

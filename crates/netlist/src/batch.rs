@@ -126,18 +126,36 @@ impl BatchResult {
 ///
 /// `.STEP` alone yields its range/list; `.MC` alone yields `n`
 /// sampled points; both together yield the cross product (each sweep
-/// value Monte-Carlo'd).
+/// value Monte-Carlo'd). Swept/perturbed parameters may be
+/// hierarchical (`x1.gap`, `x1.xcell.k`), addressing a formal or
+/// local `.PARAM` of a subcircuit instance.
 ///
 /// # Errors
 ///
 /// [`NetlistError::Elab`] when the deck has neither card, when a
-/// swept/perturbed parameter has no `.PARAM` definition, or when a
-/// range is malformed.
+/// swept/perturbed parameter is declared in no scope of the
+/// hierarchy, or when a range is malformed.
 pub fn batch_points(deck: &Deck) -> Result<Vec<BatchPoint>> {
+    batch_points_with(&Elaborator::new(deck)?)
+}
+
+/// [`batch_points`] against an existing [`Elaborator`]: its flattened
+/// hierarchy supplies parameter validation and `.MC` nominal values,
+/// so callers that already elaborated (the batch engine, `mems
+/// check`) skip a second flatten-and-compile pass.
+///
+/// # Errors
+///
+/// As [`batch_points`].
+pub fn batch_points_with(elab: &Elaborator<'_>) -> Result<Vec<BatchPoint>> {
+    let deck = elab.deck();
     let nominal = crate::elab::param_env(deck, &ParamEnv::new())?;
     let step_sets: Vec<Vec<(String, f64)>> = match &deck.step {
         Some(card) => {
-            if !nominal.contains_key(&card.param) {
+            // Structural check only: a default-less formal is fine to
+            // sweep — every point supplies its value — so nothing is
+            // *evaluated* here.
+            if !elab.declares_param(&card.param) {
                 return Err(NetlistError::elab_at(
                     format!("`.STEP` sweeps undeclared parameter `{}`", card.param),
                     card.span,
@@ -182,9 +200,15 @@ pub fn batch_points(deck: &Deck) -> Result<Vec<BatchPoint>> {
                 Some(e) => e.eval(&nominal)?.abs() as u64,
                 None => 1,
             };
+            // `.MC` perturbs *around a nominal*, so here every scope
+            // is evaluated: bare deck `.PARAM`s plus qualified
+            // `path.name` instance parameters. (Evaluated only for
+            // `.MC` decks — a `.STEP`-only sweep of a default-less
+            // formal must not trip scope evaluation.)
+            let qualified = elab.qualified_param_env(&ParamEnv::new())?;
             let mut vars = Vec::with_capacity(card.vars.len());
             for v in &card.vars {
-                let nominal_value = *nominal.get(&v.param).ok_or_else(|| {
+                let nominal_value = *qualified.get(&v.param).ok_or_else(|| {
                     NetlistError::elab_at(
                         format!("`.MC` perturbs undeclared parameter `{}`", v.param),
                         card.span,
@@ -272,9 +296,10 @@ fn unit(raw: u64) -> f64 {
 /// Point-expansion errors abort; per-point simulation failures are
 /// recorded in the result instead.
 pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
-    let points = batch_points(deck)?;
-    // Fail fast on decks whose models don't compile at all.
+    // Flattening the hierarchy doubles as the fail-fast check on
+    // decks whose subcircuits or models don't elaborate at all.
     let chain_elab = Elaborator::new(deck)?;
+    let points = batch_points_with(&chain_elab)?;
 
     // Transient warm-start chain: a transient run's own integration
     // dwarfs its initial DC solve, so for `.TRAN` decks the operating
@@ -614,6 +639,89 @@ R2 out 0 {rbot}
         assert!((s.mean - 1.0).abs() < 0.01, "mean = {}", s.mean);
         // σ = 0.03 ⇒ essentially everything within ±5σ.
         assert!(s.min > 0.85 && s.max < 1.15, "range [{}, {}]", s.min, s.max);
+    }
+
+    const HIER_DECK: &str = "\
+hier divider batch
+.param vin=10
+.subckt div in out PARAMS: rbot=1k
+Rt in out 1k
+Rb out 0 {rbot}
+.ends
+Vs in 0 {vin}
+X1 in out div
+.op
+.print op v(out)
+";
+
+    #[test]
+    fn hierarchical_step_addresses_instance_params() {
+        let src = format!("{HIER_DECK}.step param x1.rbot 500 2000 500\n");
+        let deck = Deck::parse(&src).unwrap();
+        let points = batch_points(&deck).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].overrides[0].0, "x1.rbot");
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
+        assert_eq!(result.ok_count(), 4);
+        for p in &result.points {
+            let rbot = p.point.overrides[0].1;
+            let expect = 10.0 * rbot / (1000.0 + rbot);
+            let vout = p.outcome.as_ref().unwrap()[..]
+                .iter()
+                .find(|m| m.name == "op:v(out)")
+                .unwrap();
+            assert!((vout.value - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hierarchical_mc_samples_around_instance_nominal() {
+        // The nominal of `x1.rbot` is the formal's default (1k); the
+        // MC spread must straddle it.
+        let src = format!("{HIER_DECK}.mc 24 seed=5 x1.rbot tol=0.1\n");
+        let deck = Deck::parse(&src).unwrap();
+        let points = batch_points(&deck).unwrap();
+        assert_eq!(points.len(), 24);
+        for p in &points {
+            let r = p.overrides[0].1;
+            assert!((900.0..=1100.0).contains(&r), "r = {r}");
+        }
+        let result = run_batch(&deck, &BatchOptions::with_threads(2)).unwrap();
+        assert_eq!(result.ok_count(), 24);
+    }
+
+    #[test]
+    fn step_may_sweep_a_defaultless_formal() {
+        // `rbot` has no default and no call-site value — only the
+        // `.STEP` supplies it. Point expansion must not evaluate the
+        // scope, and every point binds the formal through its
+        // override.
+        let deck = Deck::parse(
+            "d\n.subckt div in out PARAMS: rbot\nRt in out 1k\nRb out 0 {rbot}\n.ends\n\
+             Vs in 0 10\nX1 in out div\n.op\n.print op v(out)\n\
+             .step param x1.rbot 1k 2k 1k\n",
+        )
+        .unwrap();
+        let points = batch_points(&deck).unwrap();
+        assert_eq!(points.len(), 2);
+        let result = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+        assert_eq!(result.ok_count(), 2);
+        let vout = result.points[1].outcome.as_ref().unwrap()[..]
+            .iter()
+            .find(|m| m.name == "op:v(out)")
+            .unwrap();
+        assert!((vout.value - 10.0 * 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn undeclared_hierarchical_step_param_is_diagnosed() {
+        let src = format!("{HIER_DECK}.step param x1.bogus 1 2 1\n");
+        let deck = Deck::parse(&src).unwrap();
+        let err = batch_points(&deck).expect_err("undeclared param");
+        assert!(
+            err.to_string().contains("undeclared parameter `x1.bogus`"),
+            "{err}"
+        );
     }
 
     #[test]

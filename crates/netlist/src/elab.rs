@@ -1,16 +1,26 @@
 //! Elaboration: deck AST → [`mems_spice::Circuit`], plus analysis
 //! dispatch for the deck's analysis cards.
 //!
-//! Elaboration is re-runnable with parameter overrides — the batch
-//! engine calls [`Elaborator::build`] once per `.STEP`/`.MC` point —
-//! and node natures flow from three sources: explicit `.NODE`
-//! declarations, mechanical sugar (mass/spring/damper nodes default to
-//! `mechanical1`), and HDL entity pin declarations.
+//! Hierarchy is resolved here: [`Elaborator::new`] flattens the
+//! deck's `.SUBCKT` instances **once** into a list of flattened cards
+//! — each carrying its hierarchical instance path (`x1.r1`), its
+//! resolved global node names (`x1.mid`; ports map to the caller's
+//! nodes, ground is shared), and the index of its parameter scope.
+//! [`Elaborator::build`] and [`Elaborator::patch`] then only
+//! re-evaluate the scope environments per `.STEP`/`.MC`/`.DC` point,
+//! so hierarchical decks ride the same elaborate-once batch path as
+//! flat ones.
+//!
+//! Node natures flow from three sources: explicit `.NODE`
+//! declarations (top-level or inside subcircuit bodies), mechanical
+//! sugar (mass/spring/damper nodes default to `mechanical1`), and HDL
+//! entity pin declarations.
 
 use crate::ast::*;
 use crate::error::{NetlistError, Result};
-use crate::expr::NumExpr;
+use crate::expr::{eval_scopes, join_path, NumExpr, ScopeBinding, ScopeInfo, ScopeParam};
 use mems_hdl::model::HdlModel;
+use mems_hdl::span::Span;
 use mems_hdl::Nature;
 use mems_numerics::Complex64;
 use mems_spice::analysis::ac::{run_with_op_in as run_ac_with_op_in, FreqSweep};
@@ -52,49 +62,225 @@ pub fn param_env(deck: &Deck, overrides: &ParamEnv) -> Result<ParamEnv> {
     Ok(env)
 }
 
-/// A deck with its HDL entities compiled, ready to build circuits.
+/// One flattened device: the source card, the scope its expressions
+/// evaluate in, its hierarchical instance name, and its resolved
+/// global node names (positionally matching the card's nodes).
+struct FlatCard<'d> {
+    card: &'d DeviceCard,
+    scope: usize,
+    path: String,
+    nodes: Vec<String>,
+}
+
+/// A `.NODE` declaration with instance-resolved node names.
+struct FlatNodeDecl {
+    nature: Nature,
+    nodes: Vec<String>,
+    span: Span,
+}
+
+/// Resolves a body node name inside an instance: ground stays shared,
+/// ports map to the caller's nodes, anything else is private to the
+/// instance and gets its hierarchical name.
+fn resolve_node(name: &str, port_map: &HashMap<String, String>, prefix: &str) -> String {
+    if name == "0" || name == "gnd" {
+        return "0".to_string();
+    }
+    if let Some(outer) = port_map.get(name) {
+        return outer.clone();
+    }
+    join_path(prefix, name)
+}
+
+/// A deck with its hierarchy flattened and its HDL entities compiled,
+/// ready to build (or re-bind) circuits.
 pub struct Elaborator<'d> {
     deck: &'d Deck,
     models: HashMap<String, HdlModel>,
+    scopes: Vec<ScopeInfo<'d>>,
+    flat: Vec<FlatCard<'d>>,
+    flat_node_decls: Vec<FlatNodeDecl>,
 }
 
 impl<'d> Elaborator<'d> {
-    /// Compiles every entity the deck's `X` cards reference, searching
-    /// the inline `.HDL` blocks and `.INCLUDE`d sources in order.
+    /// Flattens the deck's `.SUBCKT` hierarchy and compiles every HDL
+    /// entity any (possibly nested) `X` card references, searching the
+    /// inline `.HDL` blocks and `.INCLUDE`d sources in order.
     ///
     /// # Errors
     ///
     /// [`NetlistError::Elab`] pointing at the `X` card for unknown
-    /// entities; [`NetlistError::Hdl`] (with the HDL compiler's own
-    /// rendered excerpt) for models that fail to compile.
+    /// callees, port-arity mismatches, unknown parameter overrides,
+    /// and recursive subcircuit instantiation; [`NetlistError::Hdl`]
+    /// (with the HDL compiler's own rendered excerpt) for models that
+    /// fail to compile.
     pub fn new(deck: &'d Deck) -> Result<Self> {
-        let mut models = HashMap::new();
-        for card in &deck.devices {
-            if let DeviceCard::HdlInstance {
-                entity,
-                entity_span,
+        let root = ScopeInfo {
+            parent: 0,
+            path: String::new(),
+            params: deck
+                .params
+                .iter()
+                .map(|p| ScopeParam {
+                    name: p.name.clone(),
+                    binding: ScopeBinding::Local(&p.value),
+                    span: p.span,
+                })
+                .collect(),
+        };
+        let mut elab = Elaborator {
+            deck,
+            models: HashMap::new(),
+            scopes: vec![root],
+            flat: Vec::new(),
+            flat_node_decls: deck
+                .node_decls
+                .iter()
+                .map(|d| FlatNodeDecl {
+                    nature: d.nature,
+                    nodes: d.nodes.clone(),
+                    span: d.span,
+                })
+                .collect(),
+        };
+        let mut stack = Vec::new();
+        elab.flatten_body(&deck.devices, 0, "", &HashMap::new(), &mut stack)?;
+        Ok(elab)
+    }
+
+    /// Flattens one body (the top level or a subcircuit's card list)
+    /// under the given scope, instance-path prefix, and port→outer
+    /// node map.
+    fn flatten_body(
+        &mut self,
+        devices: &'d [DeviceCard],
+        scope: usize,
+        prefix: &str,
+        port_map: &HashMap<String, String>,
+        stack: &mut Vec<String>,
+    ) -> Result<()> {
+        let deck = self.deck;
+        for card in devices {
+            let path = join_path(prefix, card.name());
+            if let DeviceCard::Call {
+                nodes,
+                callee,
+                callee_span,
+                args,
+                span,
                 ..
             } = card
             {
-                if models.contains_key(entity) {
+                if let Some(def) = deck.subckt(callee) {
+                    if stack.iter().any(|s| s == callee) {
+                        return Err(NetlistError::elab_at(
+                            format!(
+                                "recursive subcircuit instantiation: {} → {callee}",
+                                stack.join(" → ")
+                            ),
+                            *callee_span,
+                        ));
+                    }
+                    if nodes.len() != def.ports.len() {
+                        return Err(NetlistError::elab_at(
+                            format!(
+                                "subcircuit `{callee}` has {} ports but {} nodes are connected",
+                                def.ports.len(),
+                                nodes.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                    for (aname, aexpr) in args {
+                        if !def.formals.iter().any(|f| &f.name == aname) {
+                            return Err(NetlistError::elab_at(
+                                format!("subcircuit `{callee}` has no parameter `{aname}`"),
+                                aexpr.span,
+                            ));
+                        }
+                    }
+                    let mut params: Vec<ScopeParam<'d>> = def
+                        .formals
+                        .iter()
+                        .map(|f| ScopeParam {
+                            name: f.name.clone(),
+                            binding: ScopeBinding::Formal {
+                                arg: args.iter().find(|(n, _)| n == &f.name).map(|(_, e)| e),
+                                default: f.default.as_ref(),
+                            },
+                            span: f.span,
+                        })
+                        .collect();
+                    params.extend(def.params.iter().map(|p| ScopeParam {
+                        name: p.name.clone(),
+                        binding: ScopeBinding::Local(&p.value),
+                        span: p.span,
+                    }));
+                    let inner_scope = self.scopes.len();
+                    self.scopes.push(ScopeInfo {
+                        parent: scope,
+                        path: path.clone(),
+                        params,
+                    });
+                    let mut inner_map = HashMap::with_capacity(def.ports.len());
+                    for (port, outer) in def.ports.iter().zip(nodes) {
+                        inner_map.insert(port.clone(), resolve_node(outer, port_map, prefix));
+                    }
+                    for decl in &def.node_decls {
+                        self.flat_node_decls.push(FlatNodeDecl {
+                            nature: decl.nature,
+                            nodes: decl
+                                .nodes
+                                .iter()
+                                .map(|n| resolve_node(n, &inner_map, &path))
+                                .collect(),
+                            span: decl.span,
+                        });
+                    }
+                    stack.push(callee.clone());
+                    self.flatten_body(&def.devices, inner_scope, &path, &inner_map, stack)?;
+                    stack.pop();
                     continue;
                 }
-                let block = deck
-                    .hdl_blocks
-                    .iter()
-                    .find(|b| declares_entity(&b.text, entity))
-                    .ok_or_else(|| {
-                        NetlistError::elab_at(
-                            format!("no `.HDL` block or `.INCLUDE` declares entity `{entity}`"),
-                            *entity_span,
-                        )
-                    })?;
-                let model = HdlModel::compile(&block.text, entity, None)
-                    .map_err(|e| NetlistError::Hdl(e.render(&block.text)))?;
-                models.insert(entity.clone(), model);
+                self.ensure_model(callee, *callee_span)?;
             }
+            let resolved = card_node_names(card)
+                .into_iter()
+                .map(|n| resolve_node(n, port_map, prefix))
+                .collect();
+            self.flat.push(FlatCard {
+                card,
+                scope,
+                path,
+                nodes: resolved,
+            });
         }
-        Ok(Elaborator { deck, models })
+        Ok(())
+    }
+
+    /// Compiles `entity` from the deck's HDL blocks, caching it.
+    fn ensure_model(&mut self, entity: &str, span: Span) -> Result<()> {
+        if self.models.contains_key(entity) {
+            return Ok(());
+        }
+        let block = self
+            .deck
+            .hdl_blocks
+            .iter()
+            .find(|b| declares_entity(&b.text, entity))
+            .ok_or_else(|| {
+                NetlistError::elab_at(
+                    format!(
+                        "no `.SUBCKT` definition and no `.HDL` block or `.INCLUDE` \
+                         declares entity `{entity}`"
+                    ),
+                    span,
+                )
+            })?;
+        let model = HdlModel::compile(&block.text, entity, None)
+            .map_err(|e| NetlistError::Hdl(e.render(&block.text)))?;
+        self.models.insert(entity.to_string(), model);
+        Ok(())
     }
 
     /// The deck being elaborated.
@@ -102,8 +288,53 @@ impl<'d> Elaborator<'d> {
         self.deck
     }
 
+    /// Evaluates every parameter scope of the flattened hierarchy
+    /// under `overrides` (see [`eval_scopes`]).
+    fn scope_envs(&self, overrides: &ParamEnv) -> Result<Vec<ParamEnv>> {
+        eval_scopes(&self.scopes, overrides)
+    }
+
+    /// Every parameter the hierarchy declares under `overrides`,
+    /// keyed by its override name: bare names for deck `.PARAM`s,
+    /// `path.name` for instance-scope formals and locals — the
+    /// universe `.STEP`/`.MC`/`.DC PARAM` cards may address.
+    ///
+    /// # Errors
+    ///
+    /// As [`Elaborator::build`]'s parameter evaluation.
+    pub fn qualified_param_env(&self, overrides: &ParamEnv) -> Result<ParamEnv> {
+        let envs = self.scope_envs(overrides)?;
+        let mut out = ParamEnv::new();
+        for (scope, env) in self.scopes.iter().zip(&envs) {
+            for p in &scope.params {
+                if let Some(v) = env.get(&p.name) {
+                    out.insert(scope.qualified(&p.name), *v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `key` names a declared parameter: a deck `.PARAM` or a
+    /// qualified `path.name` of some instance scope.
+    pub fn declares_param(&self, key: &str) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| s.params.iter().any(|p| s.qualified(&p.name) == key))
+    }
+
+    /// Whether `name` is the (hierarchical) path of an independent
+    /// source in the flattened circuit — the names `.DC` may sweep.
+    pub fn has_source(&self, name: &str) -> bool {
+        self.flat
+            .iter()
+            .any(|fc| matches!(fc.card, DeviceCard::Source { .. }) && fc.path == name)
+    }
+
     /// Builds the circuit under `overrides`, optionally forcing one
-    /// independent source to a DC level (the `.DC` source sweep).
+    /// independent source (by hierarchical path) to a DC level (the
+    /// `.DC` source sweep). Returns the circuit and the root (deck
+    /// scope) parameter environment.
     ///
     /// # Errors
     ///
@@ -114,29 +345,31 @@ impl<'d> Elaborator<'d> {
         overrides: &ParamEnv,
         source_dc: Option<(&str, f64)>,
     ) -> Result<(Circuit, ParamEnv)> {
-        let env = param_env(self.deck, overrides)?;
+        let mut envs = self.scope_envs(overrides)?;
         let mut ckt = Circuit::new();
 
-        for decl in &self.deck.node_decls {
+        for decl in &self.flat_node_decls {
             for n in &decl.nodes {
                 ckt.node(n, decl.nature)
                     .map_err(|e| NetlistError::elab_at(e.to_string(), decl.span))?;
             }
         }
 
-        for card in &self.deck.devices {
-            self.build_device(&mut ckt, card, &env, source_dc)?;
+        for fc in &self.flat {
+            self.build_device(&mut ckt, fc, &envs[fc.scope], source_dc)?;
         }
-        Ok((ckt, env))
+        Ok((ckt, envs.swap_remove(0)))
     }
 
     fn build_device(
         &self,
         ckt: &mut Circuit,
-        card: &DeviceCard,
+        fc: &FlatCard<'_>,
         env: &ParamEnv,
         source_dc: Option<(&str, f64)>,
     ) -> Result<()> {
+        let card = fc.card;
+        let name = fc.path.as_str();
         let span = card.span();
         let ev = |e: &NumExpr| e.eval(env);
         // Nature defaulting: an existing node keeps its declared
@@ -154,14 +387,7 @@ impl<'d> Elaborator<'d> {
                 .map_err(|e| NetlistError::elab_at(e.to_string(), span))
         };
         match card {
-            DeviceCard::Passive {
-                kind,
-                name,
-                a,
-                b,
-                value,
-                ..
-            } => {
+            DeviceCard::Passive { kind, value, .. } => {
                 let v = ev(value)?;
                 let mech = matches!(
                     kind,
@@ -172,8 +398,8 @@ impl<'d> Elaborator<'d> {
                 } else {
                     Nature::Electrical
                 };
-                let na = node(ckt, a, nature)?;
-                let nb = node(ckt, b, nature)?;
+                let na = node(ckt, &fc.nodes[0], nature)?;
+                let nb = node(ckt, &fc.nodes[1], nature)?;
                 check_positive(*kind, v, value)?;
                 let dev: Box<dyn mems_spice::device::Device> = match kind {
                     PassiveKind::Resistor => Box::new(Resistor::new(name, na, nb, v)),
@@ -185,17 +411,9 @@ impl<'d> Elaborator<'d> {
                 };
                 add(ckt, dev)
             }
-            DeviceCard::Source {
-                kind,
-                name,
-                a,
-                b,
-                wave,
-                ac,
-                ..
-            } => {
-                let na = node(ckt, a, Nature::Electrical)?;
-                let nb = node(ckt, b, Nature::Electrical)?;
+            DeviceCard::Source { kind, wave, ac, .. } => {
+                let na = node(ckt, &fc.nodes[0], Nature::Electrical)?;
+                let nb = node(ckt, &fc.nodes[1], Nature::Electrical)?;
                 let waveform = match source_dc {
                     Some((target, level)) if target == name => Waveform::Dc(level),
                     _ => self.build_wave(wave, env, span)?,
@@ -225,19 +443,12 @@ impl<'d> Elaborator<'d> {
                 };
                 add(ckt, dev)
             }
-            DeviceCard::Controlled {
-                kind,
-                name,
-                nodes,
-                value,
-                ..
-            } => {
+            DeviceCard::Controlled { kind, value, .. } => {
                 let v = ev(value)?;
-                let [op, on, cp, cn] = nodes;
-                let op = node(ckt, op, Nature::Electrical)?;
-                let on = node(ckt, on, Nature::Electrical)?;
-                let cp = node(ckt, cp, Nature::Electrical)?;
-                let cn = node(ckt, cn, Nature::Electrical)?;
+                let op = node(ckt, &fc.nodes[0], Nature::Electrical)?;
+                let on = node(ckt, &fc.nodes[1], Nature::Electrical)?;
+                let cp = node(ckt, &fc.nodes[2], Nature::Electrical)?;
+                let cn = node(ckt, &fc.nodes[3], Nature::Electrical)?;
                 let dev: Box<dyn mems_spice::device::Device> = match kind {
                     ControlledKind::Vcvs => Box::new(Vcvs::new(name, op, on, cp, cn, v)),
                     ControlledKind::Vccs => Box::new(Vccs::new(name, op, on, cp, cn, v)),
@@ -246,12 +457,10 @@ impl<'d> Elaborator<'d> {
                 };
                 add(ckt, dev)
             }
-            DeviceCard::Product {
-                name, nodes, value, ..
-            } => {
+            DeviceCard::Product { value, .. } => {
                 let v = ev(value)?;
                 let mut ids = [mems_spice::circuit::NodeId::GROUND; 6];
-                for (i, n) in nodes.iter().enumerate() {
+                for (i, n) in fc.nodes.iter().enumerate() {
                     ids[i] = node(ckt, n, Nature::Electrical)?;
                 }
                 add(
@@ -261,19 +470,12 @@ impl<'d> Elaborator<'d> {
                     )),
                 )
             }
-            DeviceCard::TwoPort {
-                kind,
-                name,
-                nodes,
-                value,
-                ..
-            } => {
+            DeviceCard::TwoPort { kind, value, .. } => {
                 let v = ev(value)?;
-                let [p1, n1, p2, n2] = nodes;
-                let p1 = node(ckt, p1, Nature::Electrical)?;
-                let n1 = node(ckt, n1, Nature::Electrical)?;
-                let p2 = node(ckt, p2, Nature::Electrical)?;
-                let n2 = node(ckt, n2, Nature::Electrical)?;
+                let p1 = node(ckt, &fc.nodes[0], Nature::Electrical)?;
+                let n1 = node(ckt, &fc.nodes[1], Nature::Electrical)?;
+                let p2 = node(ckt, &fc.nodes[2], Nature::Electrical)?;
+                let n2 = node(ckt, &fc.nodes[3], Nature::Electrical)?;
                 let dev: Box<dyn mems_spice::device::Device> = match kind {
                     TwoPortKind::Transformer => {
                         Box::new(IdealTransformer::new(name, p1, n1, p2, n2, v))
@@ -282,42 +484,40 @@ impl<'d> Elaborator<'d> {
                 };
                 add(ckt, dev)
             }
-            DeviceCard::HdlInstance {
-                name,
-                nodes,
-                entity,
-                entity_span,
-                generics,
+            DeviceCard::Call {
+                callee,
+                callee_span,
+                args,
                 ..
             } => {
-                let model = self.models.get(entity).ok_or_else(|| {
+                let model = self.models.get(callee).ok_or_else(|| {
                     NetlistError::elab_at(
-                        format!("entity `{entity}` was not compiled"),
-                        *entity_span,
+                        format!("entity `{callee}` was not compiled"),
+                        *callee_span,
                     )
                 })?;
                 let pins = &model.compiled().pins;
-                if nodes.len() != pins.len() {
+                if fc.nodes.len() != pins.len() {
                     return Err(NetlistError::elab_at(
                         format!(
-                            "entity `{entity}` has {} pins but {} nodes are connected",
+                            "entity `{callee}` has {} pins but {} nodes are connected",
                             pins.len(),
-                            nodes.len()
+                            fc.nodes.len()
                         ),
                         span,
                     ));
                 }
                 // Strict here: the entity's pin declarations are the
                 // ground truth for connected node natures.
-                let mut ids = Vec::with_capacity(nodes.len());
-                for (n, pin) in nodes.iter().zip(pins) {
+                let mut ids = Vec::with_capacity(fc.nodes.len());
+                for (n, pin) in fc.nodes.iter().zip(pins) {
                     ids.push(
                         ckt.node(n, pin.nature)
                             .map_err(|e| NetlistError::elab_at(e.to_string(), span))?,
                     );
                 }
-                let mut bound: Vec<(String, f64)> = Vec::with_capacity(generics.len());
-                for (gname, gexpr) in generics {
+                let mut bound: Vec<(String, f64)> = Vec::with_capacity(args.len());
+                for (gname, gexpr) in args {
                     bound.push((gname.clone(), gexpr.eval(env)?));
                 }
                 let bound_refs: Vec<(&str, f64)> =
@@ -352,12 +552,12 @@ impl<'d> Elaborator<'d> {
         overrides: &ParamEnv,
         source_dc: Option<(&str, f64)>,
     ) -> Result<bool> {
-        let env = param_env(self.deck, overrides)?;
-        if ckt.devices().len() != self.deck.devices.len() {
+        let envs = self.scope_envs(overrides)?;
+        if ckt.devices().len() != self.flat.len() {
             return Ok(false);
         }
-        for (i, card) in self.deck.devices.iter().enumerate() {
-            if !self.patch_device(ckt, i, card, &env, source_dc)? {
+        for (i, fc) in self.flat.iter().enumerate() {
+            if !self.patch_device(ckt, i, fc, &envs[fc.scope], source_dc)? {
                 return Ok(false);
             }
         }
@@ -368,7 +568,7 @@ impl<'d> Elaborator<'d> {
         &self,
         ckt: &mut Circuit,
         index: usize,
-        card: &DeviceCard,
+        fc: &FlatCard<'_>,
         env: &ParamEnv,
         source_dc: Option<(&str, f64)>,
     ) -> Result<bool> {
@@ -376,13 +576,13 @@ impl<'d> Elaborator<'d> {
         fn cast<T: 'static>(dev: &mut Box<dyn mems_spice::device::Device>) -> Option<&mut T> {
             dev.as_any_mut()?.downcast_mut::<T>()
         }
+        let card = fc.card;
+        let name = fc.path.as_str();
         let span = card.span();
         let ev = |e: &NumExpr| e.eval(env);
         let dev = &mut ckt.devices_mut()[index];
         match card {
-            DeviceCard::Passive {
-                kind, name, value, ..
-            } => {
+            DeviceCard::Passive { kind, value, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
@@ -406,13 +606,7 @@ impl<'d> Elaborator<'d> {
                 };
                 Ok(done)
             }
-            DeviceCard::Source {
-                kind,
-                name,
-                wave,
-                ac,
-                ..
-            } => {
+            DeviceCard::Source { kind, wave, ac, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
@@ -443,9 +637,7 @@ impl<'d> Elaborator<'d> {
                 };
                 Ok(done)
             }
-            DeviceCard::Controlled {
-                kind, name, value, ..
-            } => {
+            DeviceCard::Controlled { kind, value, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
@@ -460,7 +652,7 @@ impl<'d> Elaborator<'d> {
                 };
                 Ok(done)
             }
-            DeviceCard::Product { name, value, .. } => {
+            DeviceCard::Product { value, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
@@ -469,9 +661,7 @@ impl<'d> Elaborator<'d> {
                     .map(|d| d.set_coefficient(v))
                     .is_some())
             }
-            DeviceCard::TwoPort {
-                kind, name, value, ..
-            } => {
+            DeviceCard::TwoPort { kind, value, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
@@ -486,12 +676,12 @@ impl<'d> Elaborator<'d> {
                 };
                 Ok(done)
             }
-            DeviceCard::HdlInstance { name, generics, .. } => {
+            DeviceCard::Call { args, .. } => {
                 if dev.name() != name {
                     return Ok(false);
                 }
-                let mut bound: Vec<(String, f64)> = Vec::with_capacity(generics.len());
-                for (gname, gexpr) in generics {
+                let mut bound: Vec<(String, f64)> = Vec::with_capacity(args.len());
+                for (gname, gexpr) in args {
                     bound.push((gname.clone(), gexpr.eval(env)?));
                 }
                 let bound_refs: Vec<(&str, f64)> =
@@ -589,6 +779,21 @@ impl<'d> Elaborator<'d> {
                 }
             }
         })
+    }
+}
+
+/// The node names a card references, in positional order (the shape
+/// [`FlatCard::nodes`] mirrors after hierarchy resolution).
+fn card_node_names(card: &DeviceCard) -> Vec<&str> {
+    match card {
+        DeviceCard::Passive { a, b, .. } | DeviceCard::Source { a, b, .. } => {
+            vec![a.as_str(), b.as_str()]
+        }
+        DeviceCard::Controlled { nodes, .. } | DeviceCard::TwoPort { nodes, .. } => {
+            nodes.iter().map(String::as_str).collect()
+        }
+        DeviceCard::Product { nodes, .. } => nodes.iter().map(String::as_str).collect(),
+        DeviceCard::Call { nodes, .. } => nodes.iter().map(String::as_str).collect(),
     }
 }
 
@@ -891,9 +1096,17 @@ pub fn run_elaborated_ctx(
 ) -> Result<DeckRun> {
     let deck = elab.deck();
     {
+        // The fingerprint covers the definition table: `.SUBCKT`
+        // bodies from `.INCLUDE`d fragments are spliced into
+        // `deck.source` at parse time, and `.INCLUDE`d HDL entities
+        // live in `hdl_blocks` — hash both so a context reused across
+        // decks never patches circuits built from other definitions.
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         deck.source.hash(&mut h);
+        for block in &deck.hdl_blocks {
+            block.text.hash(&mut h);
+        }
         ctx.bind_deck(h.finish());
     }
     let env = param_env(deck, overrides)?;
@@ -931,58 +1144,55 @@ pub fn run_elaborated_ctx(
                 // circuit and stashed again afterwards.
                 let reuse = ctx.reuse_circuits;
                 let mut seed = ctx.take_circuit(slot);
-                let (var_name, result, last) =
-                    match var {
-                        DcSweepVar::Source(src) => {
-                            if !deck.devices.iter().any(
-                                |d| matches!(d, DeviceCard::Source { name, .. } if name == src),
-                            ) {
-                                return Err(NetlistError::elab_at(
-                                    format!("`.DC` sweeps unknown source `{src}`"),
-                                    *span,
-                                ));
-                            }
-                            let (result, last) = dc_sweep_reuse_in(
-                                |v, prev| {
-                                    let from = if reuse {
-                                        prev.or_else(|| seed.take())
-                                    } else {
-                                        None
-                                    };
-                                    patch_or_build(elab, from, overrides, Some((src.as_str(), v)))
-                                        .map_err(to_spice_build)
-                                },
-                                &values,
-                                &sim,
-                                ctx.workspace(sim.matrix),
-                            )?;
-                            (format!("v({src})"), result, last)
+                let (var_name, result, last) = match var {
+                    DcSweepVar::Source(src) => {
+                        if !elab.has_source(src) {
+                            return Err(NetlistError::elab_at(
+                                format!("`.DC` sweeps unknown source `{src}`"),
+                                *span,
+                            ));
                         }
-                        DcSweepVar::Param(p) => {
-                            if !deck.params.iter().any(|d| &d.name == p) {
-                                return Err(NetlistError::elab_at(
-                                    format!("`.DC PARAM` sweeps undeclared parameter `{p}`"),
-                                    *span,
-                                ));
-                            }
-                            let (result, last) = dc_sweep_reuse_in(
-                                |v, prev| {
-                                    let mut o = overrides.clone();
-                                    o.insert(p.clone(), v);
-                                    let from = if reuse {
-                                        prev.or_else(|| seed.take())
-                                    } else {
-                                        None
-                                    };
-                                    patch_or_build(elab, from, &o, None).map_err(to_spice_build)
-                                },
-                                &values,
-                                &sim,
-                                ctx.workspace(sim.matrix),
-                            )?;
-                            (format!("param({p})"), result, last)
+                        let (result, last) = dc_sweep_reuse_in(
+                            |v, prev| {
+                                let from = if reuse {
+                                    prev.or_else(|| seed.take())
+                                } else {
+                                    None
+                                };
+                                patch_or_build(elab, from, overrides, Some((src.as_str(), v)))
+                                    .map_err(to_spice_build)
+                            },
+                            &values,
+                            &sim,
+                            ctx.workspace(sim.matrix),
+                        )?;
+                        (format!("v({src})"), result, last)
+                    }
+                    DcSweepVar::Param(p) => {
+                        if !elab.declares_param(p) {
+                            return Err(NetlistError::elab_at(
+                                format!("`.DC PARAM` sweeps undeclared parameter `{p}`"),
+                                *span,
+                            ));
                         }
-                    };
+                        let (result, last) = dc_sweep_reuse_in(
+                            |v, prev| {
+                                let mut o = overrides.clone();
+                                o.insert(p.clone(), v);
+                                let from = if reuse {
+                                    prev.or_else(|| seed.take())
+                                } else {
+                                    None
+                                };
+                                patch_or_build(elab, from, &o, None).map_err(to_spice_build)
+                            },
+                            &values,
+                            &sim,
+                            ctx.workspace(sim.matrix),
+                        )?;
+                        (format!("param({p})"), result, last)
+                    }
+                };
                 if let Some(ckt) = last {
                     ctx.stash_circuit(slot, ckt);
                 }
@@ -1323,6 +1533,230 @@ mod tests {
         // A valid zero-analysis deck still runs (empty outcome list).
         let ok = Deck::parse("t\nVs in 0 5\nR1 in 0 1k\n").unwrap();
         assert!(run_deck(&ok).unwrap().outcomes.is_empty());
+    }
+
+    // -----------------------------------------------------------
+    // Hierarchical (.SUBCKT) elaboration
+    // -----------------------------------------------------------
+
+    /// Two-level divider: `half` divides by two, `quarter` chains two
+    /// `half`s through a private internal node.
+    const QUARTER_DECK: &str = "\
+quarter
+.param vin=8
+.subckt half in out PARAMS: r=1k
+R1 in out {r}
+R2 out 0 {r}
+.ends half
+.subckt quarter in out
+Xa in mid half
+Xb mid out half r=2k
+.ends quarter
+Vs in 0 {vin}
+Xq in tap quarter
+Rl tap 0 1e9
+.op
+";
+
+    #[test]
+    fn nested_subckts_flatten_with_hierarchical_names() {
+        let deck = Deck::parse(QUARTER_DECK).unwrap();
+        let elab = Elaborator::new(&deck).unwrap();
+        let (ckt, _) = elab.build(&ParamEnv::new(), None).unwrap();
+        // Flattened device paths.
+        for dev in ["vs", "xq.xa.r1", "xq.xa.r2", "xq.xb.r1", "xq.xb.r2", "rl"] {
+            assert!(ckt.device_index(dev).is_some(), "missing `{dev}`");
+        }
+        // The inner node of `quarter` is private and hierarchical;
+        // ports map onto the caller's nodes.
+        assert!(ckt.find_node("xq.mid").is_some());
+        assert!(ckt.find_node("tap").is_some());
+        assert!(ckt.find_node("xq.out").is_none(), "port must not leak");
+        let run = run_deck(&deck).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                // Stage b (2k+2k) loads stage a's midpoint:
+                // v(mid) = 8·(1k∥4k)/(1k + 1k∥4k) = 32/9,
+                // v(tap) = v(mid)/2 = 16/9.
+                let v = op.by_label("v(tap)").unwrap();
+                assert!((v - 16.0 / 9.0).abs() < 1e-4, "v(tap) = {v}");
+                let mid = op.by_label("v(xq.mid)").unwrap();
+                assert!((mid - 32.0 / 9.0).abs() < 1e-4, "v(xq.mid) = {mid}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hierarchical_overrides_rebind_instance_params() {
+        let deck = Deck::parse(QUARTER_DECK).unwrap();
+        // Override the *inner* instance's formal through its path:
+        // xq.xb gets r=6k top / 6k bottom — still a half divider, but
+        // prove the override lands by instead overriding one leg of
+        // xq.xa via its local scope? Formals are per instance: set
+        // xq.xb.r and check nothing else moved.
+        let mut over = ParamEnv::new();
+        over.insert("xq.xb.r".into(), 6.0e3);
+        let run = run_deck_with(&deck, &over).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                // Stage b now loads mid with 12k:
+                // v(mid) = 8·(1k∥12k)/(1k + 1k∥12k) = 3.84,
+                // v(tap) = v(mid)/2 = 1.92.
+                assert!((op.by_label("v(xq.mid)").unwrap() - 3.84).abs() < 1e-4);
+                assert!((op.by_label("v(tap)").unwrap() - 1.92).abs() < 1e-4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An override on a *different* instance path must not leak.
+        let elab = Elaborator::new(&deck).unwrap();
+        let q = elab.qualified_param_env(&over).unwrap();
+        assert_eq!(q.get("xq.xb.r"), Some(&6.0e3));
+        assert_eq!(q.get("xq.xa.r"), Some(&1.0e3));
+        assert_eq!(q.get("vin"), Some(&8.0));
+        assert!(elab.declares_param("xq.xa.r"));
+        assert!(!elab.declares_param("xq.xc.r"));
+    }
+
+    #[test]
+    fn hierarchical_patch_matches_build() {
+        let deck = Deck::parse(QUARTER_DECK).unwrap();
+        let elab = Elaborator::new(&deck).unwrap();
+        let (mut ckt, _) = elab.build(&ParamEnv::new(), None).unwrap();
+        let mut over = ParamEnv::new();
+        over.insert("xq.xa.r".into(), 3.0e3);
+        assert!(
+            elab.patch(&mut ckt, &over, None).unwrap(),
+            "hierarchical decks take the set_param path"
+        );
+        let i = ckt.device_index("xq.xa.r1").unwrap();
+        let r = ckt.devices_mut()[i]
+            .as_any_mut()
+            .and_then(|d| d.downcast_mut::<Resistor>())
+            .unwrap();
+        assert_eq!(r.resistance(), 3.0e3);
+        // Untouched sibling instance keeps its default.
+        let i = ckt.device_index("xq.xb.r1").unwrap();
+        let r = ckt.devices_mut()[i]
+            .as_any_mut()
+            .and_then(|d| d.downcast_mut::<Resistor>())
+            .unwrap();
+        assert_eq!(r.resistance(), 2.0e3);
+    }
+
+    #[test]
+    fn inner_params_shadow_outer_and_defaults_see_outer() {
+        let deck = Deck::parse(
+            "shadow\n\
+             .param r=1k scale=3\n\
+             .subckt cell a b PARAMS: r={500*scale}\n\
+             .param rr={r*2}\n\
+             R1 a b {rr}\n\
+             .ends\n\
+             Vs in 0 1\n\
+             X1 in 0 cell\n\
+             X2 in 0 cell r=100\n\
+             .op\n",
+        )
+        .unwrap();
+        let elab = Elaborator::new(&deck).unwrap();
+        let q = elab.qualified_param_env(&ParamEnv::new()).unwrap();
+        // Default evaluated in the instance scope sees the outer
+        // `scale`; the formal shadows the global `r` for the body.
+        assert_eq!(q.get("x1.r"), Some(&1500.0));
+        assert_eq!(q.get("x1.rr"), Some(&3000.0));
+        // Call-site args win over defaults.
+        assert_eq!(q.get("x2.r"), Some(&100.0));
+        assert_eq!(q.get("x2.rr"), Some(&200.0));
+        assert_eq!(q.get("r"), Some(&1000.0));
+    }
+
+    #[test]
+    fn subckt_diagnostics_have_spans() {
+        // Cycle.
+        let src =
+            "t\n.subckt a p q\nXi p q b\n.ends\n.subckt b p q\nXj p q a\n.ends\nX1 in 0 a\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = Elaborator::new(&deck).err().expect("cycle detected");
+        assert!(err.to_string().contains("recursive subcircuit"), "{err}");
+        assert!(err.span().is_some());
+
+        // Port arity.
+        let src = "t\n.subckt a p q\nR1 p q 1k\n.ends\nX1 in mid out a\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = Elaborator::new(&deck).err().expect("arity checked");
+        assert!(
+            err.to_string()
+                .contains("has 2 ports but 3 nodes are connected"),
+            "{err}"
+        );
+
+        // Unknown parameter override.
+        let src = "t\n.subckt a p q PARAMS: r=1\nR1 p q {r}\n.ends\nX1 in 0 a bogus=2\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = Elaborator::new(&deck).err().expect("unknown arg checked");
+        assert!(err.to_string().contains("no parameter `bogus`"), "{err}");
+
+        // Formal with neither value nor default.
+        let src = "t\n.subckt a p q PARAMS: r\nR1 p q {r}\n.ends\nX1 in 0 a\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        assert!(err.to_string().contains("no value and no default"), "{err}");
+
+        // Unknown callee keeps the entity wording.
+        let src = "t\nX1 a 0 ghost\n.op\n";
+        let deck = Deck::parse(src).unwrap();
+        let err = run_deck(&deck).unwrap_err();
+        assert!(err.to_string().contains("no `.SUBCKT` definition"), "{err}");
+    }
+
+    #[test]
+    fn hierarchical_dc_param_sweep_and_source_sweep() {
+        let deck = Deck::parse(
+            "hdc\n\
+             .subckt div a b PARAMS: rbot=1k\n\
+             Rt a b 1k\n\
+             Rb b 0 {rbot}\n\
+             .ends\n\
+             Vs in 0 6\n\
+             X1 in out div\n\
+             .dc param x1.rbot 1k 3k 1k\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Dc { var, result } => {
+                assert_eq!(var, "param(x1.rbot)");
+                let out = result.trace("v(out)").unwrap();
+                let expect: Vec<f64> = [1.0e3, 2.0e3, 3.0e3]
+                    .iter()
+                    .map(|r| 6.0 * r / (1.0e3 + r))
+                    .collect();
+                for (a, b) in out.iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // A source inside a subcircuit is addressable by path.
+        let deck = Deck::parse(
+            "hsrc\n\
+             .subckt src p\nVs p 0 1\n.ends\n\
+             X1 in src\n\
+             R1 in 0 1k\n\
+             .dc x1.vs 0 2 1\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Dc { var, result } => {
+                assert_eq!(var, "v(x1.vs)");
+                let out = result.trace("v(in)").unwrap();
+                assert_eq!(out.len(), 3);
+                assert!((out[2] - 2.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     /// A context reused across *different* decks must not patch the

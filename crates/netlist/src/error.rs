@@ -31,6 +31,9 @@ pub enum NetlistError {
     /// The simulator rejected the elaborated circuit or failed to
     /// converge.
     Spice(mems_spice::SpiceError),
+    /// An `.INCLUDE`d deck fragment failed to parse; the message
+    /// already includes a rendered excerpt of the fragment.
+    Include(String),
     /// An `.INCLUDE` file could not be read.
     Io(String),
 }
@@ -49,6 +52,22 @@ impl NetlistError {
         NetlistError::Elab {
             message: message.into(),
             span: Some(span),
+        }
+    }
+
+    /// The same error with its span (when any) shifted `delta` bytes
+    /// right — for diagnostics raised inside spliced include text.
+    pub fn offset(self, delta: usize) -> Self {
+        match self {
+            NetlistError::Parse { message, span } => NetlistError::Parse {
+                message,
+                span: span.offset(delta),
+            },
+            NetlistError::Elab { message, span } => NetlistError::Elab {
+                message,
+                span: span.map(|s| s.offset(delta)),
+            },
+            other => other,
         }
     }
 
@@ -77,6 +96,7 @@ impl fmt::Display for NetlistError {
             NetlistError::Elab { message, .. } => write!(f, "deck elaboration error: {message}"),
             NetlistError::Hdl(m) => write!(f, "hdl error: {m}"),
             NetlistError::Spice(e) => write!(f, "simulation error: {e}"),
+            NetlistError::Include(m) => write!(f, "include error: {m}"),
             NetlistError::Io(m) => write!(f, "io error: {m}"),
         }
     }

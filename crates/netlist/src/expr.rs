@@ -152,6 +152,131 @@ impl NumExpr {
     }
 }
 
+// ---------------------------------------------------------------
+// Per-instance parameter scopes (hierarchical `.SUBCKT` elaboration)
+// ---------------------------------------------------------------
+
+/// How one name inside an instance scope gets its value.
+#[derive(Debug, Clone)]
+pub enum ScopeBinding<'d> {
+    /// A `.SUBCKT` formal parameter: the optional call-site argument
+    /// (evaluated in the **caller's** scope) and the optional declared
+    /// default (evaluated in the instance scope, where outer
+    /// parameters and earlier formals are visible).
+    Formal {
+        /// `name=expr` passed on the `X` card, if any.
+        arg: Option<&'d NumExpr>,
+        /// Default from the `PARAMS:` clause, if any.
+        default: Option<&'d NumExpr>,
+    },
+    /// A body `.PARAM`, evaluated in the instance scope (shadows any
+    /// outer parameter of the same name).
+    Local(&'d NumExpr),
+}
+
+/// One named parameter of a scope, in evaluation order.
+#[derive(Debug, Clone)]
+pub struct ScopeParam<'d> {
+    /// Lower-cased name (unqualified).
+    pub name: String,
+    /// Value source.
+    pub binding: ScopeBinding<'d>,
+    /// Span to blame for evaluation failures.
+    pub span: Span,
+}
+
+/// One parameter scope of the flattened hierarchy. Scope 0 is the
+/// deck's global scope (`path` empty); every subcircuit instance adds
+/// a scope whose `path` is its hierarchical instance name (`x1`,
+/// `x1.xcell`, …) and whose lookups fall back outward through
+/// `parent`.
+#[derive(Debug, Clone)]
+pub struct ScopeInfo<'d> {
+    /// Index of the enclosing scope (0 for the root itself).
+    pub parent: usize,
+    /// Hierarchical instance path ("" for the root).
+    pub path: String,
+    /// Parameters declared *in this scope*, in evaluation order
+    /// (formals first, then body `.PARAM`s).
+    pub params: Vec<ScopeParam<'d>>,
+}
+
+/// Joins a hierarchical prefix and a local name with `.` — the one
+/// rule behind instance paths (`x1.r1`), private node names
+/// (`x1.mid`), and parameter override keys (`x1.k`).
+pub fn join_path(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+impl ScopeInfo<'_> {
+    /// The override key of a parameter declared in this scope:
+    /// `name` at the root, `path.name` inside an instance.
+    pub fn qualified(&self, name: &str) -> String {
+        join_path(&self.path, name)
+    }
+}
+
+/// Evaluates every scope of the flattened hierarchy under `overrides`
+/// (parents before children — construction order guarantees
+/// `parent < child`). An override keyed on the qualified name wins
+/// over the scope's own expression — this is how `.STEP`/`.MC`/`.DC
+/// PARAM` points re-bind hierarchical parameters like `x1.gap`.
+///
+/// Each returned environment is self-contained: a clone of the parent
+/// environment with this scope's parameters shadowed in, so inner
+/// definitions hide outer ones and untouched outer names remain
+/// visible to body expressions.
+///
+/// # Errors
+///
+/// Spanned expression failures, plus a diagnostic for a formal with
+/// neither a call-site value nor a default.
+pub fn eval_scopes<'d>(
+    scopes: &[ScopeInfo<'d>],
+    overrides: &HashMap<String, f64>,
+) -> Result<Vec<HashMap<String, f64>>> {
+    let mut envs: Vec<HashMap<String, f64>> = Vec::with_capacity(scopes.len());
+    for (i, scope) in scopes.iter().enumerate() {
+        let mut env = if i == 0 {
+            HashMap::new()
+        } else {
+            envs[scope.parent].clone()
+        };
+        for p in &scope.params {
+            let v = match overrides.get(&scope.qualified(&p.name)) {
+                Some(o) => *o,
+                None => match &p.binding {
+                    ScopeBinding::Local(e) => e.eval(&env)?,
+                    ScopeBinding::Formal { arg: Some(e), .. } => e.eval(&envs[scope.parent])?,
+                    ScopeBinding::Formal {
+                        arg: None,
+                        default: Some(e),
+                    } => e.eval(&env)?,
+                    ScopeBinding::Formal {
+                        arg: None,
+                        default: None,
+                    } => {
+                        return Err(NetlistError::elab_at(
+                            format!(
+                                "parameter `{}` of subcircuit instance `{}` has no value and no default",
+                                p.name, scope.path
+                            ),
+                            p.span,
+                        ))
+                    }
+                },
+            };
+            env.insert(p.name.clone(), v);
+        }
+        envs.push(env);
+    }
+    Ok(envs)
+}
+
 /// Token-stream cursor shared with the card parser.
 pub struct Cursor<'t> {
     tokens: &'t [Token],

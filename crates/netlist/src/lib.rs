@@ -25,12 +25,46 @@
 //! | `Bxx o+ o− c1+ c1− c2+ c2− k` | product source `i = k·v1·v2` |
 //! | `Mxx v 0 m` / `Kxx` / `Dxx` | mass / spring / damper (mechanical sugar; nodes default to `mechanical1`) |
 //! | `Txx p1 n1 p2 n2 n` / `Yxx … g` | ideal transformer / gyrator |
-//! | `Xxx n1 … entity [gen=v …]` | HDL-A entity instance |
+//! | `Xxx n1 … callee [p=v …]` | subcircuit or HDL-A entity instance |
 //!
 //! Dot cards: `.PARAM name=expr`, `.NODE <nature> n…` (typed
-//! multi-nature nodes), `.HDL`/`.ENDHDL` (inline HDL-A source),
-//! `.INCLUDE "file"` (HDL-A source from disk), `.OP`, `.DC`, `.AC`,
-//! `.TRAN`, `.PRINT`, `.OPTIONS`, `.STEP`, `.MC`, `.END`.
+//! multi-nature nodes), `.SUBCKT`/`.ENDS` (hierarchical definitions,
+//! below), `.HDL`/`.ENDHDL` (inline HDL-A source), `.INCLUDE "file"`
+//! (HDL-A source *or* a deck-fragment library from disk), `.OP`,
+//! `.DC`, `.AC`, `.TRAN`, `.PRINT`, `.OPTIONS`, `.STEP`, `.MC`,
+//! `.END`.
+//!
+//! ## Hierarchy: `.SUBCKT` / `.ENDS`
+//!
+//! ```text
+//! .SUBCKT cell drive vel PARAMS: m=1e-4 k=200
+//! Rs drive mid 10          ; `mid` is private: flattens to x1.mid
+//! Kk vel 0 {k}             ; flattens to x1.kk
+//! .param kk2={k*2}         ; local .PARAM, shadows any outer `kk2`
+//! .ENDS cell
+//! X1 in v1 cell k=250      ; named overrides; `in`/`v1` bind the ports
+//! ```
+//!
+//! An `X` card is a unified call: positional nodes, then named
+//! parameter overrides. The callee resolves to a `.SUBCKT` definition
+//! first, else to an HDL-A entity. Subcircuits flatten recursively
+//! (cycles, port-arity mismatches, and unknown parameter names are
+//! spanned diagnostics) with per-instance **parameter scopes**:
+//! formals (call-site args evaluated in the caller's scope; defaults
+//! in the instance scope) and body `.PARAM`s shadow outer names,
+//! while unshadowed outer parameters stay visible. Ground (`0`/`gnd`)
+//! is shared; every other body node is private per instance and
+//! surfaces as `x1.mid` — addressable from `.PRINT`, probes, and CSV/
+//! JSON reports. `.STEP`/`.MC`/`.DC PARAM` accept hierarchical
+//! parameter paths (`x1.k`, `x1.xleg.gap`) and `.DC` sweeps sources
+//! by path (`x1.vs`); all of it rides the elaborate-once batch path —
+//! circuits are flattened once and re-bound in place per point.
+//!
+//! `.SUBCKT` definitions (nested ones included) are hoisted into one
+//! global, duplicate-checked table. `.INCLUDE` accepts library
+//! fragments — files whose first card is a dot card — holding
+//! `.SUBCKT`/`.PARAM`/`.HDL` cards; fragments are spliced into the
+//! deck's virtual source, so their diagnostics carry real excerpts.
 //!
 //! ## Example
 //!
@@ -76,7 +110,7 @@ pub mod report;
 pub mod token;
 
 pub use ast::{AnalysisCard, Deck, DeviceCard};
-pub use batch::{batch_points, run_batch, BatchOptions, BatchResult};
+pub use batch::{batch_points, batch_points_with, run_batch, BatchOptions, BatchResult};
 pub use elab::{
     run_deck, run_deck_with, run_elaborated, run_elaborated_ctx, AnalysisOutcome, DeckRun,
     Elaborator, RunCtx,

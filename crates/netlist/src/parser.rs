@@ -1,10 +1,24 @@
 //! Card parser: lexed logical lines → [`Deck`] AST.
+//!
+//! Hierarchy: `.SUBCKT name ports… [PARAMS: k=v …]` opens a scoped
+//! definition; cards up to the matching `.ENDS` form its body. All
+//! definitions (nested ones included) are hoisted into one global
+//! table with duplicate-name diagnostics. `.INCLUDE` resolves either
+//! HDL-A source (as before) or a *deck fragment* — a library file of
+//! `.SUBCKT`/`.PARAM`/`.HDL` cards, detected by its first card
+//! starting with a dot — which is spliced into the deck's virtual
+//! source so every diagnostic still carries a real excerpt.
 
 use crate::ast::*;
 use crate::error::{NetlistError, Result};
 use crate::expr::{parse_arg, parse_expr, Cursor, NumExpr};
 use crate::token::{lex, LogicalLine, RawBlock, Token, TokenKind};
+use mems_hdl::span::Span;
 use mems_hdl::Nature;
+
+/// Maximum `.INCLUDE` nesting depth (cycle guard for libraries that
+/// include each other).
+const MAX_INCLUDE_DEPTH: usize = 16;
 
 /// Resolves `.INCLUDE` file names to their contents.
 pub trait IncludeResolver {
@@ -61,6 +75,7 @@ impl Deck {
             devices: Vec::new(),
             params: Vec::new(),
             node_decls: Vec::new(),
+            subckts: Vec::new(),
             hdl_blocks: lexed.hdl_blocks,
             analyses: Vec::new(),
             step: None,
@@ -68,18 +83,34 @@ impl Deck {
             prints: Vec::new(),
             options: Vec::new(),
         };
+        let mut ctx = ParseCtx {
+            includes,
+            depth: 0,
+            open: Vec::new(),
+        };
         for line in &lexed.lines {
-            parse_card(&mut deck, line, includes)?;
+            parse_card(&mut deck, line, &mut ctx)?;
+        }
+        if let Some(def) = ctx.open.last() {
+            return Err(NetlistError::parse(
+                format!("`.SUBCKT {}` is never closed by `.ENDS`", def.name),
+                def.span,
+            ));
         }
         Ok(deck)
     }
 }
 
-fn parse_card(
-    deck: &mut Deck,
-    line: &LogicalLine,
-    includes: &mut dyn IncludeResolver,
-) -> Result<()> {
+/// Parser state threaded through the cards: the include resolver (with
+/// a nesting depth guard) and the stack of `.SUBCKT` definitions still
+/// waiting for their `.ENDS`.
+struct ParseCtx<'r> {
+    includes: &'r mut dyn IncludeResolver,
+    depth: usize,
+    open: Vec<SubcktDef>,
+}
+
+fn parse_card(deck: &mut Deck, line: &LogicalLine, ctx: &mut ParseCtx<'_>) -> Result<()> {
     let head = &line.tokens[0];
     if head.kind != TokenKind::Word {
         return Err(NetlistError::parse(
@@ -90,11 +121,14 @@ fn parse_card(
     let mut c = Cursor::new(&line.tokens[1..], line.span);
     let lower = head.lower();
     if let Some(card) = lower.strip_prefix('.') {
-        return parse_dot_card(deck, card, head, &mut c, includes);
+        return parse_dot_card(deck, card, head, &mut c, ctx);
     }
     let device = parse_device_card(head, &mut c, line.span)?;
     expect_exhausted(&c)?;
-    deck.devices.push(device);
+    match ctx.open.last_mut() {
+        Some(def) => def.devices.push(device),
+        None => deck.devices.push(device),
+    }
     Ok(())
 }
 
@@ -230,7 +264,7 @@ fn parse_device_card(
                 span,
             })
         }
-        'x' => parse_hdl_instance(name, c, span),
+        'x' => parse_call(name, c, span),
         other => Err(NetlistError::parse(
             format!("unknown device letter `{other}` (supported: R C L V I E G F H B M K D T Y X)"),
             head.span,
@@ -238,14 +272,11 @@ fn parse_device_card(
     }
 }
 
-/// `Xname n1 n2 … entity [gen=expr …]` — the positional run ends at
+/// `Xname n1 n2 … callee [param=expr …]` — the positional run ends at
 /// the first `name=` pair (or the card end); its last word is the
-/// entity, the rest are pins.
-fn parse_hdl_instance(
-    name: String,
-    c: &mut Cursor<'_>,
-    span: mems_hdl::span::Span,
-) -> Result<DeviceCard> {
+/// callee (a `.SUBCKT` or an HDL entity), the rest are node
+/// connections.
+fn parse_call(name: String, c: &mut Cursor<'_>, span: Span) -> Result<DeviceCard> {
     let mut positional: Vec<&Token> = Vec::new();
     while let Some(t) = c.peek() {
         if t.kind != TokenKind::Word || c.peek_at(1).is_some_and(|n| n.kind == TokenKind::Eq) {
@@ -254,36 +285,45 @@ fn parse_hdl_instance(
         positional.push(t);
         c.next();
     }
-    let entity_tok = positional.pop().ok_or_else(|| {
-        NetlistError::parse("`X` instance needs pins and an entity name", c.here())
+    let callee_tok = positional.pop().ok_or_else(|| {
+        NetlistError::parse(
+            "`X` instance needs nodes and a subcircuit or entity name",
+            c.here(),
+        )
     })?;
     if positional.is_empty() {
         return Err(NetlistError::parse(
             format!(
                 "`X` instance of `{}` connects no pins (write `X… node… {} […]`)",
-                entity_tok.text, entity_tok.text
+                callee_tok.text, callee_tok.text
             ),
-            entity_tok.span,
+            callee_tok.span,
         ));
     }
-    let mut generics = Vec::new();
+    let mut args: Vec<(String, NumExpr)> = Vec::new();
     while let Some(t) = c.peek() {
         if t.kind != TokenKind::Word {
             break;
         }
         let gname = t.lower();
+        if args.iter().any(|(n, _)| n == &gname) {
+            return Err(NetlistError::parse(
+                format!("parameter `{gname}` is passed twice"),
+                t.span,
+            ));
+        }
         let _ = c.next();
         c.expect(TokenKind::Eq, "`=`")?;
         let value = parse_arg(c)?;
-        generics.push((gname, value));
+        args.push((gname, value));
     }
     expect_exhausted(c)?;
-    Ok(DeviceCard::HdlInstance {
+    Ok(DeviceCard::Call {
         name,
         nodes: positional.iter().map(|t| t.lower()).collect(),
-        entity: entity_tok.lower(),
-        entity_span: entity_tok.span,
-        generics,
+        callee: callee_tok.lower(),
+        callee_span: callee_tok.span,
+        args,
         span,
     })
 }
@@ -364,8 +404,16 @@ fn parse_dot_card(
     card: &str,
     head: &Token,
     c: &mut Cursor<'_>,
-    includes: &mut dyn IncludeResolver,
+    ctx: &mut ParseCtx<'_>,
 ) -> Result<()> {
+    // Only device cards, `.PARAM`, `.NODE`, and nested definitions
+    // live inside a `.SUBCKT` body.
+    if !ctx.open.is_empty() && !matches!(card, "param" | "node" | "subckt" | "ends") {
+        return Err(NetlistError::parse(
+            format!("`.{card}` is not allowed inside a `.SUBCKT` definition"),
+            head.span,
+        ));
+    }
     match card {
         "param" => {
             while !c.at_end() {
@@ -374,8 +422,31 @@ fn parse_dot_card(
                 let span = name_tok.span;
                 c.expect(TokenKind::Eq, "`=`")?;
                 let value = parse_expr(c)?;
-                deck.params.push(ParamDef { name, value, span });
+                let def = ParamDef { name, value, span };
+                match ctx.open.last_mut() {
+                    Some(sub) => sub.params.push(def),
+                    None => deck.params.push(def),
+                }
             }
+            Ok(())
+        }
+        "subckt" => parse_subckt_header(deck, head, c, ctx),
+        "ends" => {
+            let def = ctx.open.pop().ok_or_else(|| {
+                NetlistError::parse("`.ENDS` without an open `.SUBCKT`", head.span)
+            })?;
+            if let Some(t) = c.peek() {
+                let named = t.lower();
+                if named != def.name {
+                    return Err(NetlistError::parse(
+                        format!("`.ENDS {named}` closes `.SUBCKT {}`", def.name),
+                        t.span,
+                    ));
+                }
+                c.next();
+            }
+            expect_exhausted(c)?;
+            deck.subckts.push(def);
             Ok(())
         }
         "node" => {
@@ -397,11 +468,15 @@ fn parse_dot_card(
             if nodes.is_empty() {
                 return Err(NetlistError::parse("`.NODE` declares no nodes", head.span));
             }
-            deck.node_decls.push(NodeDecl {
+            let decl = NodeDecl {
                 nature,
                 nodes,
                 span: head.span.merge(c.line_span),
-            });
+            };
+            match ctx.open.last_mut() {
+                Some(sub) => sub.node_decls.push(decl),
+                None => deck.node_decls.push(decl),
+            }
             Ok(())
         }
         "include" => {
@@ -415,14 +490,18 @@ fn parse_dot_card(
                 }
             };
             expect_exhausted(c)?;
-            let text = includes.read(&file_tok.text).map_err(|e| {
+            let text = ctx.includes.read(&file_tok.text).map_err(|e| {
                 NetlistError::Io(format!("cannot read include `{}`: {e}", file_tok.text))
             })?;
-            deck.hdl_blocks.push(RawBlock {
-                text,
-                span: head.span.merge(file_tok.span),
-            });
-            Ok(())
+            if include_is_deck_fragment(&text) {
+                parse_fragment(deck, &file_tok.text, &text, ctx, head.span)
+            } else {
+                deck.hdl_blocks.push(RawBlock {
+                    text,
+                    span: head.span.merge(file_tok.span),
+                });
+                Ok(())
+            }
         }
         "op" => {
             expect_exhausted(c)?;
@@ -641,6 +720,177 @@ fn parse_dot_card(
     }
 }
 
+/// Parses a `.SUBCKT name port… [PARAMS: k=v …]` header and pushes
+/// the open definition onto the stack. Formal parameters start either
+/// at the `PARAMS:` keyword or at the first `name=value` pair.
+fn parse_subckt_header(
+    deck: &mut Deck,
+    head: &Token,
+    c: &mut Cursor<'_>,
+    ctx: &mut ParseCtx<'_>,
+) -> Result<()> {
+    let name_tok = c.expect_word("a subcircuit name")?;
+    let name = name_tok.lower();
+    if deck.subckt(&name).is_some() || ctx.open.iter().any(|d| d.name == name) {
+        return Err(NetlistError::parse(
+            format!("duplicate `.SUBCKT` definition `{name}`"),
+            name_tok.span,
+        ));
+    }
+    let mut ports: Vec<String> = Vec::new();
+    loop {
+        match c.peek() {
+            None => break,
+            Some(t) if t.is("params") => {
+                c.next();
+                if c.peek().is_some_and(|t| t.kind == TokenKind::Colon) {
+                    c.next();
+                }
+                break;
+            }
+            Some(t)
+                if t.kind == TokenKind::Word
+                    && c.peek_at(1).is_some_and(|n| n.kind == TokenKind::Eq) =>
+            {
+                break; // implicit start of the formals
+            }
+            Some(_) => {
+                let port_tok = c.expect_word("a port node name")?;
+                let port = port_tok.lower();
+                if port == "0" || port == "gnd" {
+                    return Err(NetlistError::parse(
+                        "ground cannot be a `.SUBCKT` port (it is shared globally)",
+                        port_tok.span,
+                    ));
+                }
+                if ports.contains(&port) {
+                    return Err(NetlistError::parse(
+                        format!("duplicate port `{port}`"),
+                        port_tok.span,
+                    ));
+                }
+                ports.push(port);
+            }
+        }
+    }
+    if ports.is_empty() {
+        return Err(NetlistError::parse(
+            format!("`.SUBCKT {name}` declares no ports"),
+            name_tok.span,
+        ));
+    }
+    let mut formals: Vec<FormalParam> = Vec::new();
+    while !c.at_end() {
+        let f_tok = c.expect_word("a parameter name")?;
+        let fname = f_tok.lower();
+        if formals.iter().any(|f| f.name == fname) {
+            return Err(NetlistError::parse(
+                format!("duplicate parameter `{fname}`"),
+                f_tok.span,
+            ));
+        }
+        let default = if c.peek().is_some_and(|t| t.kind == TokenKind::Eq) {
+            c.next();
+            Some(parse_expr(c)?)
+        } else {
+            None
+        };
+        formals.push(FormalParam {
+            name: fname,
+            default,
+            span: f_tok.span,
+        });
+    }
+    ctx.open.push(SubcktDef {
+        name,
+        ports,
+        formals,
+        devices: Vec::new(),
+        params: Vec::new(),
+        node_decls: Vec::new(),
+        span: head.span.merge(name_tok.span),
+    });
+    Ok(())
+}
+
+/// Heuristic separating the two `.INCLUDE` payloads: a *deck
+/// fragment* (library of `.SUBCKT`/`.PARAM`/`.HDL` cards) leads with a
+/// dot card; anything else (HDL-A source leads with `ENTITY`) keeps
+/// the old raw-HDL behavior.
+fn include_is_deck_fragment(text: &str) -> bool {
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('*') {
+            continue;
+        }
+        return t.starts_with('.');
+    }
+    false
+}
+
+/// Parses an included deck fragment. The fragment is appended to the
+/// deck's virtual source (`Deck::source`) and lexed with offset
+/// spans, so its cards — and any diagnostics they later raise — point
+/// at real text. Fragment-level parse errors are rendered here, since
+/// the caller only holds the on-disk deck text.
+fn parse_fragment(
+    deck: &mut Deck,
+    path: &str,
+    text: &str,
+    ctx: &mut ParseCtx<'_>,
+    include_span: Span,
+) -> Result<()> {
+    if ctx.depth >= MAX_INCLUDE_DEPTH {
+        return Err(NetlistError::parse(
+            format!("`.INCLUDE` nesting deeper than {MAX_INCLUDE_DEPTH} (include cycle?)"),
+            include_span,
+        ));
+    }
+    // Splice: a comment header (which the sub-lexer consumes as the
+    // fragment's title line) followed by the fragment text, all
+    // appended to the virtual source at `base`.
+    deck.source.push('\n');
+    let base = deck.source.len();
+    let wrapped = format!("* .include \"{path}\"\n{text}");
+    deck.source.push_str(&wrapped);
+    let render_in = |deck: &Deck, e: NetlistError| match e.span() {
+        Some(_) => NetlistError::Include(format!(
+            "in `.INCLUDE`d file `{path}`: {}",
+            e.render(&deck.source)
+        )),
+        None => e,
+    };
+    let mut lexed = lex(&wrapped).map_err(|e| render_in(deck, e.offset(base)))?;
+    for line in &mut lexed.lines {
+        line.span = line.span.offset(base);
+        for t in &mut line.tokens {
+            t.span = t.span.offset(base);
+        }
+    }
+    for mut block in lexed.hdl_blocks {
+        block.span = block.span.offset(base);
+        deck.hdl_blocks.push(block);
+    }
+    let open_before = ctx.open.len();
+    ctx.depth += 1;
+    let outcome = (|| {
+        for line in &lexed.lines {
+            parse_card(deck, line, ctx)?;
+        }
+        if ctx.open.len() > open_before {
+            let def = ctx.open.last().expect("checked non-empty");
+            return Err(NetlistError::parse(
+                format!("`.SUBCKT {}` is never closed by `.ENDS`", def.name),
+                def.span,
+            ));
+        }
+        Ok(())
+    })();
+    ctx.depth -= 1;
+    ctx.open.truncate(open_before);
+    outcome.map_err(|e| render_in(deck, e))
+}
+
 /// Reassembles a trace label like `v(out)` or `i(k1,0)` from tokens.
 fn parse_trace_label(c: &mut Cursor<'_>) -> Result<String> {
     let head = c.expect_word("a trace label like `v(out)`")?;
@@ -722,19 +972,159 @@ Gd out 0 vel 0 2.5
         let src = "t\nXt1 a 0 vel 0 eletran A=1e-4 d=0.15m er=1.0\n";
         let deck = Deck::parse(src).unwrap();
         match &deck.devices[0] {
-            DeviceCard::HdlInstance {
+            DeviceCard::Call {
                 nodes,
-                entity,
-                generics,
+                callee,
+                args,
                 ..
             } => {
                 assert_eq!(nodes, &["a", "0", "vel", "0"]);
-                assert_eq!(entity, "eletran");
-                assert_eq!(generics.len(), 3);
-                assert_eq!(generics[1].0, "d");
+                assert_eq!(callee, "eletran");
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[1].0, "d");
             }
             other => panic!("expected X instance, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_subckt_definitions() {
+        let src = "\
+t
+.subckt cell in vel PARAMS: k=200 m={1e-4} alpha
+Rs in mid 10
+.param kk={k*2}
+.node mechanical1 vel
+Kk1 vel 0 {kk}
+.ends cell
+X1 a v1 cell k=300
+";
+        let deck = Deck::parse(src).unwrap();
+        assert_eq!(deck.subckts.len(), 1);
+        let def = &deck.subckts[0];
+        assert_eq!(def.name, "cell");
+        assert_eq!(def.ports, vec!["in", "vel"]);
+        assert_eq!(def.formals.len(), 3);
+        assert_eq!(def.formals[0].name, "k");
+        assert!(def.formals[0].default.is_some());
+        assert!(def.formals[2].default.is_none(), "bare formal");
+        assert_eq!(def.devices.len(), 2);
+        assert_eq!(def.params.len(), 1);
+        assert_eq!(def.node_decls.len(), 1);
+        // The body cards stayed out of the top level.
+        assert_eq!(deck.devices.len(), 1);
+        assert!(deck.params.is_empty());
+    }
+
+    #[test]
+    fn subckt_formals_without_params_keyword() {
+        let src = "t\n.subckt div a b r1=1k r2=1k\nRa a m {r1}\nRb m b {r2}\n.ends\n";
+        let deck = Deck::parse(src).unwrap();
+        let def = &deck.subckts[0];
+        assert_eq!(def.ports, vec!["a", "b"]);
+        assert_eq!(def.formals.len(), 2);
+    }
+
+    #[test]
+    fn nested_subckt_definitions_are_hoisted() {
+        let src = "\
+t
+.subckt outer a b
+.subckt inner p q
+Rq p q 1k
+.ends inner
+Xi a b inner
+.ends outer
+";
+        let deck = Deck::parse(src).unwrap();
+        let names: Vec<&str> = deck.subckts.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["inner", "outer"]);
+        assert_eq!(deck.subckt("outer").unwrap().devices.len(), 1);
+    }
+
+    #[test]
+    fn subckt_diagnostics() {
+        let dup = "t\n.subckt a p q\nR1 p q 1\n.ends\n.subckt a p q\nR1 p q 1\n.ends\n";
+        let err = Deck::parse(dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate `.SUBCKT`"), "{err}");
+
+        let unclosed = "t\n.subckt a p q\nR1 p q 1\n";
+        let err = Deck::parse(unclosed).unwrap_err();
+        assert!(err.to_string().contains("never closed"), "{err}");
+
+        let stray = "t\n.ends\n";
+        let err = Deck::parse(stray).unwrap_err();
+        assert!(err.to_string().contains("without an open"), "{err}");
+
+        let misnamed = "t\n.subckt a p q\nR1 p q 1\n.ends b\n";
+        let err = Deck::parse(misnamed).unwrap_err();
+        assert!(err.to_string().contains("closes `.SUBCKT a`"), "{err}");
+
+        let ground_port = "t\n.subckt a p 0\nR1 p 0 1\n.ends\n";
+        let err = Deck::parse(ground_port).unwrap_err();
+        assert!(err.to_string().contains("ground cannot be"), "{err}");
+
+        let analysis_inside = "t\n.subckt a p q\n.tran 1m 10m\n.ends\n";
+        let err = Deck::parse(analysis_inside).unwrap_err();
+        assert!(
+            err.to_string().contains("not allowed inside a `.SUBCKT`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn include_deck_fragments_splice_subckts_and_params() {
+        struct Lib;
+        impl IncludeResolver for Lib {
+            fn read(&mut self, path: &str) -> std::io::Result<String> {
+                match path {
+                    "cells.lib" => Ok("* cell library\n.param gbase=2\n.subckt gcell a b PARAMS: g=1\nGd a 0 b 0 {g*gbase}\n.ends gcell\n".into()),
+                    other => Err(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        other.to_string(),
+                    )),
+                }
+            }
+        }
+        let src = "t\n.include \"cells.lib\"\nX1 in out gcell g=3\nVs in 0 1\nRl out 0 1k\n.op\n";
+        let deck = Deck::parse_with_includes(src, &mut Lib).unwrap();
+        assert_eq!(deck.subckts.len(), 1);
+        assert_eq!(deck.params.len(), 1, "library .PARAM lands in the deck");
+        // The fragment is spliced into the virtual source, so its
+        // spans render real text.
+        let def = &deck.subckts[0];
+        assert!(def.span.slice(&deck.source).starts_with(".subckt gcell"));
+    }
+
+    #[test]
+    fn duplicate_subckt_across_include_is_diagnosed() {
+        struct Lib;
+        impl IncludeResolver for Lib {
+            fn read(&mut self, _: &str) -> std::io::Result<String> {
+                Ok(".subckt cell a b\nR1 a b 1k\n.ends\n".into())
+            }
+        }
+        let src = "t\n.subckt cell a b\nR1 a b 2k\n.ends\n.include \"lib\"\n.op\n";
+        let err = Deck::parse_with_includes(src, &mut Lib).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("duplicate `.SUBCKT` definition `cell`"),
+            "{msg}"
+        );
+        assert!(msg.contains("in `.INCLUDE`d file `lib`"), "{msg}");
+    }
+
+    #[test]
+    fn include_fragments_nest_with_depth_guard() {
+        struct Cyclic;
+        impl IncludeResolver for Cyclic {
+            fn read(&mut self, _: &str) -> std::io::Result<String> {
+                Ok(".include \"self.lib\"\n".into())
+            }
+        }
+        let src = "t\n.include \"self.lib\"\n";
+        let err = Deck::parse_with_includes(src, &mut Cyclic).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper"), "{err}");
     }
 
     #[test]
@@ -811,6 +1201,19 @@ Gd out 0 vel 0 2.5
         );
         assert!(rendered.contains("4..7k"), "{rendered}");
         assert!(rendered.contains("line 2"), "{rendered}");
+    }
+
+    #[test]
+    fn duplicate_call_args_are_diagnosed() {
+        // The subcircuit and HDL-entity paths resolve named args
+        // differently (first-wins vs last-wins), so a doubled name is
+        // a parse error rather than a silent pick.
+        let src = "t\nX1 a 0 vel 0 eletran A=1e-4 a=2e-4\n";
+        let err = Deck::parse(src).unwrap_err();
+        assert!(
+            err.to_string().contains("parameter `a` is passed twice"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -301,6 +301,145 @@ pub fn batch_report(result: &BatchResult) -> String {
 }
 
 // ---------------------------------------------------------------
+// ASCII plots (`mems plot`)
+// ---------------------------------------------------------------
+
+/// Normalizes a `--probe` argument into a trace label: full labels
+/// (`v(x1.mid)`, `i(kk,0)`) pass through, bare (possibly
+/// hierarchical) node paths get wrapped as `v(…)`.
+pub fn normalize_probe(probe: &str) -> String {
+    let p = probe.to_ascii_lowercase();
+    if p.contains('(') {
+        p
+    } else {
+        format!("v({p})")
+    }
+}
+
+/// Resolves the labels one analysis should plot: explicit probes
+/// (every one must exist) or the deck's `.PRINT` selection.
+fn plot_labels(
+    deck: &Deck,
+    kind: &str,
+    all: &[String],
+    probes: &[String],
+) -> Result<Vec<String>, String> {
+    if probes.is_empty() {
+        return Ok(selected_labels(deck, kind, all));
+    }
+    let chosen: Vec<String> = probes.iter().map(|p| normalize_probe(p)).collect();
+    for c in &chosen {
+        if !all.contains(c) {
+            return Err(format!(
+                "probe `{c}` does not name a trace of the .{kind} analysis (available: {})",
+                all.join(", ")
+            ));
+        }
+    }
+    Ok(chosen)
+}
+
+/// Renders one analysis outcome as an ASCII plot
+/// ([`mems_spice::output::ascii_plot`]): traces over time for
+/// `.TRAN`, magnitude over frequency for `.AC`, traces over the swept
+/// variable for `.DC`. `.OP` has no axis and falls back to its table.
+///
+/// # Errors
+///
+/// A message when a probe matches no trace of the analysis.
+pub fn outcome_plot(
+    deck: &Deck,
+    outcome: &AnalysisOutcome,
+    probes: &[String],
+    rows: usize,
+    cols: usize,
+) -> Result<String, String> {
+    match outcome {
+        AnalysisOutcome::Op(_) => Ok(outcome_table(deck, outcome)),
+        AnalysisOutcome::Dc { var, result } => {
+            let all = result
+                .points
+                .first()
+                .map(|p| p.layout.labels.clone())
+                .unwrap_or_default();
+            let labels = plot_labels(deck, "dc", &all, probes)?;
+            Ok(render_plot(
+                &format!("dc sweep over {var}"),
+                &result.values,
+                labels
+                    .iter()
+                    .filter_map(|l| result.trace(l).map(|t| (l.clone(), t)))
+                    .collect(),
+                rows,
+                cols,
+            ))
+        }
+        AnalysisOutcome::Ac(ac) => {
+            let labels = plot_labels(deck, "ac", &ac.labels, probes)?;
+            Ok(render_plot(
+                &format!("ac sweep ({} points, magnitude)", ac.freqs.len()),
+                &ac.freqs,
+                labels
+                    .iter()
+                    .filter_map(|l| ac.magnitude(l).map(|m| (format!("|{l}|"), m)))
+                    .collect(),
+                rows,
+                cols,
+            ))
+        }
+        AnalysisOutcome::Tran(tr) => {
+            let labels = plot_labels(deck, "tran", &tr.labels, probes)?;
+            Ok(render_plot(
+                &format!("transient ({} steps)", tr.time.len()),
+                &tr.time,
+                labels
+                    .iter()
+                    .filter_map(|l| tr.trace(l).map(|t| (l.clone(), t)))
+                    .collect(),
+                rows,
+                cols,
+            ))
+        }
+    }
+}
+
+/// Feeds named traces through [`mems_spice::output::ascii_plot`] (the
+/// owned-to-borrowed series conversion all three sweep kinds share).
+fn render_plot(
+    title: &str,
+    xs: &[f64],
+    traces: Vec<(String, Vec<f64>)>,
+    rows: usize,
+    cols: usize,
+) -> String {
+    let series: Vec<(&str, &[f64])> = traces
+        .iter()
+        .map(|(l, t)| (l.as_str(), t.as_slice()))
+        .collect();
+    mems_spice::output::ascii_plot(title, xs, &series, rows, cols)
+}
+
+/// Renders every analysis of a run as ASCII plots (`mems plot`).
+///
+/// # Errors
+///
+/// The first unmatched probe.
+pub fn run_plot(
+    deck: &Deck,
+    run: &DeckRun,
+    probes: &[String],
+    rows: usize,
+    cols: usize,
+) -> Result<String, String> {
+    let mut out = format!("deck: {}\n", run.title);
+    for (card, outcome) in &run.outcomes {
+        let _ = writeln!(out, "\n== .{} ==", card.kind_name());
+        out.push_str(&outcome_plot(deck, outcome, probes, rows, cols)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------
 // JSON rendering (hand-rolled: the offline workspace has no serde).
 // ---------------------------------------------------------------
 
@@ -631,6 +770,36 @@ mod tests {
         }
         assert_eq!(depth, 0, "unbalanced JSON: {json}");
         assert!(!in_str, "unterminated string: {json}");
+    }
+
+    #[test]
+    fn probe_normalization_wraps_bare_node_paths() {
+        assert_eq!(normalize_probe("x1.mid"), "v(x1.mid)");
+        assert_eq!(normalize_probe("V(X1.MID)"), "v(x1.mid)");
+        assert_eq!(normalize_probe("i(kk,0)"), "i(kk,0)");
+    }
+
+    #[test]
+    fn plots_render_for_every_analysis_kind() {
+        let deck = Deck::parse(
+            "p\n.subckt div a b\nRt a m 1k\nRb m b 1k\n.ends\n\
+             Vs in 0 SIN(0 1 1k) AC 1 0\nX1 in 0 div\n\
+             .op\n.dc vs 0 2 1\n.ac lin 5 10 1k\n.tran 0.1m 2m\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        // Default selection renders all four analyses.
+        let all = run_plot(&deck, &run, &[], 8, 40).unwrap();
+        assert!(all.contains("== .tran =="), "{all}");
+        assert!(all.contains("dc sweep over v(vs)"), "{all}");
+        assert!(all.contains("magnitude"), "{all}");
+        // A hierarchical bare-node probe resolves the private node.
+        let hier = run_plot(&deck, &run, &["x1.m".to_string()], 8, 40).unwrap();
+        assert!(hier.contains("v(x1.m)"), "{hier}");
+        // Unknown probes list what exists.
+        let err = run_plot(&deck, &run, &["nope".to_string()], 8, 40).unwrap_err();
+        assert!(err.contains("probe `v(nope)`"), "{err}");
+        assert!(err.contains("available"), "{err}");
     }
 
     #[test]

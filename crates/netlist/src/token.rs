@@ -28,6 +28,8 @@ pub enum TokenKind {
     Eq,
     /// `,`
     Comma,
+    /// `:` (the `PARAMS:` keyword of `.SUBCKT` headers)
+    Colon,
     /// `+`, `-`, `*`, `/`, `**` — expression operators.
     Op,
     /// A double-quoted string (quotes stripped in `text`).
@@ -221,6 +223,7 @@ fn lex_line(src: &str, start: usize, end: usize) -> Result<Vec<Token>> {
             '}' => (TokenKind::RBrace, 1),
             '=' => (TokenKind::Eq, 1),
             ',' => (TokenKind::Comma, 1),
+            ':' => (TokenKind::Colon, 1),
             '+' | '-' | '/' => (TokenKind::Op, 1),
             '*' => {
                 if i + 1 < end && bytes[i + 1] == b'*' {

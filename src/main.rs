@@ -5,6 +5,7 @@
 //! mems run deck.cir                # run the deck's analyses, print tables
 //! mems run deck.cir --csv out.csv  # CSV instead ("-" = stdout)
 //! mems run deck.cir --json         # machine-readable report on stdout
+//! mems plot deck.cir --probe x1.mid    # terminal ASCII plots
 //! mems sweep deck.cir --threads 8  # run the .STEP/.MC batch in parallel
 //! mems sweep deck.cir --json pts.json  # per-point metrics + failure logs
 //! ```
@@ -22,6 +23,7 @@ USAGE:
 COMMANDS:
     check    Parse and elaborate the deck; report diagnostics and a summary
     run      Run the deck's analysis cards (.OP/.DC/.AC/.TRAN)
+    plot     Run the deck and render terminal ASCII plots of the traces
     sweep    Run the deck's .STEP/.MC batch across worker threads
 
 OPTIONS:
@@ -29,6 +31,11 @@ OPTIONS:
     --json [FILE]    Emit a machine-readable JSON report (per-point metrics
                      and failure logs for `sweep`; FILE defaults to `-`;
                      mutually exclusive with --csv)
+    --probe TRACE    Trace to plot (repeatable; `v(x1.mid)`, `i(kk,0)`, or a
+                     bare — possibly hierarchical — node path like `x1.mid`;
+                     default: the deck's .PRINT selection)
+    --rows N         Plot height in rows (default 16)
+    --cols N         Plot width in columns (default 72)
     --threads N      Worker threads for `sweep` (default: all cores)
     --reelaborate    Rebuild the circuit per batch point instead of the
                      default elaborate-once in-place parameter patching
@@ -41,6 +48,9 @@ struct Args {
     deck_path: PathBuf,
     csv: Option<String>,
     json: Option<String>,
+    probes: Vec<String>,
+    rows: usize,
+    cols: usize,
     threads: usize,
     reelaborate: bool,
 }
@@ -62,16 +72,37 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut deck_path = None;
     let mut csv = None;
     let mut json = None;
+    let mut probes = Vec::new();
+    let mut rows = 16usize;
+    let mut cols = 72usize;
     let mut threads = 0usize;
     let mut reelaborate = false;
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
+        let count = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                     what: &str|
+         -> Result<usize, String> {
+            let v = it.next().ok_or_else(|| format!("{what} needs a value"))?;
+            let n: usize = v.parse().map_err(|_| format!("bad {what} value `{v}`"))?;
+            if n == 0 {
+                return Err(format!("{what} must be at least 1"));
+            }
+            Ok(n)
+        };
         match arg.as_str() {
             "-h" | "--help" => return Err(String::new()),
             "-V" | "--version" => return Err(format!("mems {}", env!("CARGO_PKG_VERSION"))),
             "--csv" => csv = Some(optional_value(&mut it)),
             "--json" => json = Some(optional_value(&mut it)),
             "--reelaborate" => reelaborate = true,
+            "--probe" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--probe needs a trace or node name".to_string())?;
+                probes.push(v.clone());
+            }
+            "--rows" => rows = count(&mut it, "--rows")?,
+            "--cols" => cols = count(&mut it, "--cols")?,
             "--threads" => {
                 let v = it
                     .next()
@@ -95,7 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     let command = command.ok_or_else(|| "missing command".to_string())?;
-    if !matches!(command.as_str(), "check" | "run" | "sweep") {
+    if !matches!(command.as_str(), "check" | "run" | "plot" | "sweep") {
         return Err(format!("unknown command `{command}`"));
     }
     let deck_path = deck_path.ok_or_else(|| "missing deck file".to_string())?;
@@ -107,6 +138,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         deck_path,
         csv,
         json,
+        probes,
+        rows,
+        cols,
         threads,
         reelaborate,
     })
@@ -162,7 +196,7 @@ fn cmd_check(deck: &Deck) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(" ")
     );
-    match mems_netlist::batch_points(deck) {
+    match mems_netlist::batch_points_with(&elab) {
         Ok(points) => println!("batch:     {} points", points.len()),
         Err(NetlistError::Elab { span: None, .. }) => println!("batch:     (no .STEP/.MC)"),
         Err(e) => return Err(e.render(&deck.source)),
@@ -190,6 +224,16 @@ fn cmd_run(deck: &Deck, csv: Option<&str>, json: Option<&str>) -> Result<(), Str
             Ok(())
         }
     }
+}
+
+fn cmd_plot(deck: &Deck, probes: &[String], rows: usize, cols: usize) -> Result<(), String> {
+    let run = run_deck(deck).map_err(|e| e.render(&deck.source))?;
+    if run.outcomes.is_empty() {
+        return Err("deck declares no analyses to plot".to_string());
+    }
+    let rendered = report::run_plot(deck, &run, probes, rows, cols)?;
+    print!("{rendered}");
+    Ok(())
 }
 
 fn cmd_sweep(
@@ -244,6 +288,7 @@ fn main() -> ExitCode {
     let outcome = match args.command.as_str() {
         "check" => cmd_check(&deck),
         "run" => cmd_run(&deck, args.csv.as_deref(), args.json.as_deref()),
+        "plot" => cmd_plot(&deck, &args.probes, args.rows, args.cols),
         "sweep" => cmd_sweep(
             &deck,
             args.csv.as_deref(),

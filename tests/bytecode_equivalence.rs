@@ -939,3 +939,173 @@ fn runtime_errors_match() {
         assert_eq!(ea.to_string(), eb.to_string());
     }
 }
+
+// ---------------------------------------------------------------
+// `init` program: compiled tape vs tree interpreter
+// ---------------------------------------------------------------
+
+/// Asserts both init evaluators produce bit-identical value vectors —
+/// or identical error messages — for every generic binding given.
+fn assert_init_paths_agree(src: &str, entity: &str, bindings: &[Vec<f64>]) {
+    let model = HdlModel::compile(src, entity, None).unwrap();
+    assert!(
+        model.bytecode().init.is_some(),
+        "{entity}: init program should compile to a tape"
+    );
+    for bound in bindings {
+        let tree = model.init_values_with(bound, false);
+        let tape = model.init_values_with(bound, true);
+        match (tree, tape) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    match (x, y) {
+                        (Some(p), Some(q)) => assert_eq!(
+                            p.to_bits(),
+                            q.to_bits(),
+                            "{entity} object {i} under {bound:?}: {p:e} vs {q:e}"
+                        ),
+                        (None, None) => {}
+                        other => panic!("{entity} object {i} under {bound:?}: {other:?}"),
+                    }
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{entity} under {bound:?}");
+            }
+            (a, b) => panic!("{entity} under {bound:?}: one path failed: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn init_tape_matches_tree_walk_on_branchy_programs() {
+    // Branches on generics, shadowed assignments, selection builtins,
+    // derived constants — the shapes `init` blocks actually take.
+    let src = r#"
+ENTITY gapcell IS
+  GENERIC (g0, mode : analog);
+  PIN (p, q : electrical);
+END ENTITY gapcell;
+ARCHITECTURE a OF gapcell IS
+VARIABLE e0, gap, c0, guard : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+      IF mode > 1.5 THEN
+        gap := g0 * 2.0;
+      ELSIF mode > 0.5 THEN
+        gap := limit(g0, 1.0e-6, 1.0e-3);
+      ELSE
+        gap := max(g0, 1.0e-6);
+      END IF;
+      guard := min(gap, 1.0e-3);
+      ASSERT gap > 0.0 REPORT "gap must be positive";
+      c0 := e0 / gap;
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, q].i %= c0 * [p, q].v;
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let mut bindings = vec![
+        vec![0.15e-3, 0.0],
+        vec![0.15e-3, 1.0],
+        vec![0.15e-3, 2.0],
+        vec![1.0e-9, 1.0],
+        vec![-1.0, 0.0],          // max() keeps it positive
+        vec![-1.0, 2.0],          // assertion fails on both paths
+        vec![f64::NAN, 0.0],      // NaN flows identically
+        vec![f64::INFINITY, 1.0], // limit() clamps
+    ];
+    // A deterministic spray of additional points.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..64 {
+        x = x.wrapping_mul(0xd1342543de82ef95).wrapping_add(1);
+        let g0 = ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e-3;
+        let mode = ((x >> 3) % 3) as f64;
+        bindings.push(vec![g0, mode]);
+    }
+    assert_init_paths_agree(src, "gapcell", &bindings);
+}
+
+#[test]
+fn init_tape_matches_tree_walk_on_listing1() {
+    let src = r#"
+ENTITY eletran IS
+ GENERIC (A, d, er : analog);
+ PIN (a, b : electrical; c, d : mechanical1);
+END ENTITY eletran;
+ARCHITECTURE a OF eletran IS
+VARIABLE e0, x : analog;
+STATE V, S : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      e0 := 8.8542e-12;
+    PROCEDURAL FOR ac, transient =>
+      V := [a, b].v;
+      S := [c, d].tv;
+      x := integ(S);
+      [a, b].i %= e0*er*A/(d + x)*ddt(V);
+      [c, d].f %= -e0*er*A*V*V/(2.0*(d+x)*(d+x));
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    assert_init_paths_agree(
+        src,
+        "eletran",
+        &[vec![1.0e-4, 0.15e-3, 1.0], vec![2.0e-4, 1.0e-4, 3.9]],
+    );
+}
+
+#[test]
+fn init_unassigned_read_errors_identically() {
+    // `gap` is read before any assignment: both evaluators must
+    // refuse with the same message.
+    let src = r#"
+ENTITY broken IS
+  GENERIC (g0 : analog := 1.0);
+  PIN (p, q : electrical);
+END ENTITY broken;
+ARCHITECTURE a OF broken IS
+VARIABLE gap, c0 : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      c0 := gap * g0;
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, q].i %= c0 * [p, q].v;
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let model = HdlModel::compile(src, "broken", None).unwrap();
+    let tree = model.init_values_with(&[1.0], false).unwrap_err();
+    let tape = model.init_values_with(&[1.0], true).unwrap_err();
+    assert_eq!(tree.to_string(), tape.to_string());
+    assert!(tree.to_string().contains("no value yet"), "{tree}");
+}
+
+#[test]
+fn unsupported_init_programs_fall_back_to_tree_walk() {
+    // A hand-built init program with a contribution: inexpressible on
+    // the init VM, so compile_init_program declines and the model
+    // keeps the tree interpreter (whose "unsupported statement"
+    // diagnostic fires at elaboration).
+    use mems::hdl::bytecode::compile_init_program;
+    let contribute = vec![CStmt::Contribute {
+        branch: 0,
+        value: CExpr::Const(1.0),
+    }];
+    assert!(compile_init_program(&contribute).is_none());
+    let across = vec![CStmt::Assign {
+        object: 0,
+        value: CExpr::Across(0),
+    }];
+    assert!(compile_init_program(&across).is_none());
+    let fine = vec![CStmt::Assign {
+        object: 0,
+        value: CExpr::Call(Builtin::Sqrt, vec![CExpr::Generic(0)]),
+    }];
+    assert!(compile_init_program(&fine).is_some());
+}

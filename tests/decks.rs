@@ -4,7 +4,7 @@
 //! `mems_spice` API run exactly.
 
 use mems::netlist::{
-    batch_points, run_batch, run_deck, AnalysisOutcome, BatchOptions, Deck, Elaborator,
+    batch_points, run_batch, run_deck, AnalysisOutcome, BatchOptions, Deck, Elaborator, FsResolver,
 };
 use mems::numerics::rootfind::brent;
 use mems::numerics::stats::settled_value;
@@ -24,7 +24,11 @@ fn load(name: &str) -> Deck {
     let path = deck_path(name);
     let src = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-    Deck::parse(&src).unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)))
+    let mut resolver = FsResolver {
+        base: deck_path(""),
+    };
+    Deck::parse_with_includes(&src, &mut resolver)
+        .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)))
 }
 
 #[test]
@@ -38,8 +42,11 @@ fn every_shipped_deck_parses_and_elaborates() {
         }
         seen += 1;
         let src = std::fs::read_to_string(&path).unwrap();
-        let deck =
-            Deck::parse(&src).unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let mut resolver = FsResolver {
+            base: deck_path(""),
+        };
+        let deck = Deck::parse_with_includes(&src, &mut resolver)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
         let elab = Elaborator::new(&deck)
             .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
         let (mut ckt, _) = elab
@@ -52,7 +59,7 @@ fn every_shipped_deck_parses_and_elaborates() {
             path.display()
         );
     }
-    assert!(seen >= 3, "expected at least 3 shipped decks, found {seen}");
+    assert!(seen >= 5, "expected at least 5 shipped decks, found {seen}");
 }
 
 // Constants of the Listing-1 / Fig. 3 system (paper Table 4).
@@ -380,7 +387,10 @@ fn elaborate_once_matches_reelaboration_on_every_deck() {
         seen += 1;
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let src = std::fs::read_to_string(&path).unwrap();
-        let deck = Deck::parse(&src).unwrap();
+        let mut resolver = FsResolver {
+            base: deck_path(""),
+        };
+        let deck = Deck::parse_with_includes(&src, &mut resolver).unwrap();
         let elab = Elaborator::new(&deck).unwrap();
         let nominal = Default::default();
 
@@ -407,7 +417,7 @@ fn elaborate_once_matches_reelaboration_on_every_deck() {
         let repatch = run_elaborated_ctx(&elab, &over, &mut ctx).unwrap();
         assert_runs_bit_identical(&fresh, &repatch, &format!("{name}: perturbed"));
     }
-    assert!(seen >= 4, "expected all 4 shipped decks, found {seen}");
+    assert!(seen >= 5, "expected all 5 shipped decks, found {seen}");
 }
 
 /// Acceptance: the `.STEP` batch of `resonator_step.cir` is
@@ -466,4 +476,151 @@ fn patch_validation_matches_build_validation() {
     );
     assert_eq!(pe, re_, "patch and build report the same failure");
     assert!(pe.contains("resistance must be nonzero"), "{pe}");
+}
+
+// ---------------------------------------------------------------
+// Hierarchical (.SUBCKT) decks
+// ---------------------------------------------------------------
+
+/// Acceptance: a two-level nested deck flattens **bit-identically**
+/// to its hand-flattened equivalent across `.OP`, `.AC`, and `.TRAN`.
+/// Only instance/node *names* differ between the two decks (the
+/// hierarchy prefixes); device order, node creation order, and every
+/// value are the same, so the solver trajectories must agree to the
+/// last bit. Compared positionally (labels intentionally differ).
+#[test]
+fn nested_subckt_deck_flattens_bit_identically_to_hand_flat() {
+    let nested = Deck::parse(
+        "nested rc chain\n\
+         .param rtop=1k\n\
+         .subckt stage in out PARAMS: r=1k c=100n\n\
+         Rt in out {r}\n\
+         Cb out 0 {c}\n\
+         .ends stage\n\
+         Vs in 0 SIN(0 1 1k) AC 1 0\n\
+         X1 in a stage r={rtop}\n\
+         X2 a b stage c=50n\n\
+         Rl b 0 1meg\n\
+         .op\n\
+         .ac dec 5 10 100k\n\
+         .tran 10u 2m\n",
+    )
+    .unwrap();
+    let flat = Deck::parse(
+        "hand-flattened rc chain\n\
+         .param rtop=1k\n\
+         Vs in 0 SIN(0 1 1k) AC 1 0\n\
+         Rt1 in a {rtop}\n\
+         Cb1 a 0 100n\n\
+         Rt2 a b 1k\n\
+         Cb2 b 0 50n\n\
+         Rl b 0 1meg\n\
+         .op\n\
+         .ac dec 5 10 100k\n\
+         .tran 10u 2m\n",
+    )
+    .unwrap();
+    let rn = run_deck(&nested).unwrap();
+    let rf = run_deck(&flat).unwrap();
+    assert_eq!(rn.outcomes.len(), rf.outcomes.len());
+    let bits_eq = |x: &[f64], y: &[f64], ctx: &str| {
+        assert_eq!(x.len(), y.len(), "{ctx}: length");
+        for (i, (p, q)) in x.iter().zip(y).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{ctx}[{i}]: {p:e} vs {q:e}");
+        }
+    };
+    for (i, ((_, on), (_, of))) in rn.outcomes.iter().zip(&rf.outcomes).enumerate() {
+        match (on, of) {
+            (AnalysisOutcome::Op(a), AnalysisOutcome::Op(b)) => {
+                // Ports map straight onto the caller's nodes, so this
+                // deck (no private nodes) even shares its node labels
+                // with the hand-flat one.
+                assert_eq!(a.layout.labels[1], "v(a)");
+                assert_eq!(b.layout.labels[1], "v(a)");
+                bits_eq(&a.x, &b.x, &format!("op{i}"));
+            }
+            (AnalysisOutcome::Ac(a), AnalysisOutcome::Ac(b)) => {
+                bits_eq(&a.freqs, &b.freqs, "ac.freqs");
+                assert_eq!(a.data.len(), b.data.len());
+                for (k, (p, q)) in a.data.iter().zip(&b.data).enumerate() {
+                    for (j, (z, w)) in p.iter().zip(q).enumerate() {
+                        assert_eq!(
+                            (z.re.to_bits(), z.im.to_bits()),
+                            (w.re.to_bits(), w.im.to_bits()),
+                            "ac row {k} col {j}"
+                        );
+                    }
+                }
+            }
+            (AnalysisOutcome::Tran(a), AnalysisOutcome::Tran(b)) => {
+                bits_eq(&a.time, &b.time, "tran.time");
+                assert_eq!(a.samples.len(), b.samples.len());
+                for (k, (p, q)) in a.samples.iter().zip(&b.samples).enumerate() {
+                    bits_eq(p, q, &format!("tran row {k}"));
+                }
+            }
+            (a, b) => panic!("outcome {i} kind mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// Acceptance: the shipped two-level bridge deck's hierarchical
+/// `.STEP` (over `x1.k`) is bit-identical between the elaborate-once
+/// patch path and forced re-elaboration, and thread-count invariant.
+#[test]
+fn bridge_deck_hierarchical_step_patch_equals_rebuild_across_threads() {
+    let deck = load("bridge_cells.cir");
+    let points = batch_points(&deck).unwrap();
+    assert_eq!(points.len(), 3);
+    assert_eq!(points[0].overrides, vec![("x1.k".to_string(), 150.0)]);
+
+    let patched_1 = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+    let rebuilt_1 = run_batch(
+        &deck,
+        &BatchOptions {
+            threads: 1,
+            reelaborate: true,
+        },
+    )
+    .unwrap();
+    let patched_4 = run_batch(&deck, &BatchOptions::with_threads(4)).unwrap();
+    assert_eq!(patched_1.ok_count(), 3, "all hierarchical points solve");
+    for other in [&rebuilt_1, &patched_4] {
+        for (a, b) in patched_1.points.iter().zip(&other.points) {
+            assert_eq!(a.point, b.point);
+            let (ma, mb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(ma.len(), mb.len());
+            for (x, y) in ma.iter().zip(mb) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+            }
+        }
+    }
+    // The sweep only moves instance X1: its settled spring force
+    // stays the electrostatic drive force (the suspension always
+    // balances it), while X2's metrics are untouched across points.
+    let m = |p: usize, name: &str| {
+        patched_1.points[p].outcome.as_ref().unwrap()[..]
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name}"))
+            .value
+    };
+    let f_expected = E0 * AREA * 100.0 / (2.0 * GAP * GAP);
+    for p in 0..3 {
+        let f = m(p, "tran:i(x1.kk,0):settled");
+        assert!((f - f_expected).abs() < 0.02 * f_expected, "{f:e}");
+    }
+    // X2 is only perturbed through the (weak) electrical coupling of
+    // the shared drive node — its peak velocity barely moves while
+    // X1's softens visibly.
+    let v2_spread = (m(0, "tran:v(v2):peak") - m(2, "tran:v(v2):peak")).abs();
+    assert!(
+        v2_spread < 1e-4 * m(0, "tran:v(v2):peak").abs(),
+        "{v2_spread:e}"
+    );
+    assert!(
+        m(0, "tran:v(v1):peak") > 1.2 * m(2, "tran:v(v1):peak"),
+        "softer x1 spring must ring further"
+    );
 }
