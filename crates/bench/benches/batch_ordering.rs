@@ -1,0 +1,146 @@
+//! Fill-reducing ordering on the meshed scale tier: natural-order vs
+//! AMD-permuted sparse LU.
+//!
+//! Kernel groups factor the MNA matrix of an N×M grid of
+//! electromechanical cells (the same structure
+//! `mems_netlist::gen::grid_deck` elaborates: a 5-point electrical
+//! stencil with a gyrator-coupled velocity node and spring-force
+//! branch per edge) at n ≈ 100 / 400 / 1600 unknowns, timing the full
+//! symbolic+numeric factorization and the numeric-only refactor under
+//! both orderings. The fill (nnz of L and U) is printed per size —
+//! the quantity the ordering actually optimizes.
+//!
+//! A deck-level group runs the generated grid deck end-to-end
+//! (`.OP` through the netlist frontend) with `order=natural` vs
+//! `order=amd` on the forced-sparse backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mems_netlist::gen::{grid_deck_with, GridDeckOptions};
+use mems_netlist::{run_deck, Deck};
+use mems_numerics::ordering::amd_order;
+use mems_numerics::sparse_lu::{CscMatrix, SparseLu};
+
+/// Assembles the DC/transient-style MNA matrix of a `rows × cols`
+/// electromechanical cell grid: per edge an R‖C link (conductance
+/// stamp), a gyrator coupling into a private velocity unknown
+/// (mass/damper on the diagonal), and a spring-force branch row.
+/// Matches the sparsity structure `grid_deck` produces, at
+/// `n = rows·cols + 2·edges`.
+fn grid_mna(rows: usize, cols: usize) -> (usize, CscMatrix<f64>) {
+    let nn = rows * cols;
+    let node = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((node(r, c), node(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((node(r, c), node(r + 1, c)));
+            }
+        }
+    }
+    let n = nn + 2 * edges.len();
+    let (g, gm, alpha, m_h, k_h) = (1e-3, 2e-4, 2e-3, 1e-2, 5e-2);
+    let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(12 * edges.len());
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        let vel = nn + 2 * e;
+        let fb = nn + 2 * e + 1;
+        // Electrical link.
+        t.push((a, a, g));
+        t.push((b, b, g));
+        t.push((a, b, -g));
+        t.push((b, a, -g));
+        // Gyrator coupling (skew): current into the electrical nodes
+        // from the velocity, force into the velocity from the
+        // electrical across.
+        t.push((vel, a, gm));
+        t.push((vel, b, -gm));
+        t.push((a, vel, -gm));
+        t.push((b, vel, gm));
+        // Mass + damper on the velocity diagonal.
+        t.push((vel, vel, alpha + m_h));
+        // Spring-force branch: vel row carries the force, the branch
+        // row relates force and integrated velocity.
+        t.push((vel, fb, 1.0));
+        t.push((fb, vel, -k_h));
+        t.push((fb, fb, 1.0));
+    }
+    // Drive tie at one corner, load at the other: keeps the system
+    // nonsingular exactly like the deck's source + load do.
+    t.push((0, 0, 1.0));
+    t.push((nn - 1, nn - 1, 1e-3));
+    (n, CscMatrix::from_triplets(n, &t))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "batch_ordering",
+        "natural vs AMD fill/factor/refactor on grid-cell MNA matrices",
+    );
+    // n = rows·cols + 2·edges ⇒ 105 / 412 / 1636 unknowns.
+    for (rows, cols) in [(5usize, 5usize), (9, 10), (18, 19)] {
+        let (n, csc) = grid_mna(rows, cols);
+        let order = amd_order(n, &csc.col_ptr, &csc.row_idx);
+        let lu_nat = SparseLu::factor(&csc.view()).expect("natural factors");
+        let lu_amd = SparseLu::factor_ordered(&csc.view(), &order).expect("amd factors");
+        let (ln, un) = lu_nat.nnz();
+        let (la, ua) = lu_amd.nnz();
+        eprintln!(
+            "  n={n} ({rows}x{cols} grid): fill natural L+U = {} | amd L+U = {} ({:.2}x less)",
+            ln + un,
+            la + ua,
+            (ln + un) as f64 / (la + ua) as f64
+        );
+        let mut group = c.benchmark_group(&format!("ordering_lu_n{n}"));
+        group.sample_size(10);
+        group.bench_function("natural_factor", |b| {
+            b.iter(|| SparseLu::factor(&csc.view()).expect("factors"))
+        });
+        group.bench_function("amd_factor", |b| {
+            b.iter(|| SparseLu::factor_ordered(&csc.view(), &order).expect("factors"))
+        });
+        group.bench_function("amd_order_symbolic", |b| {
+            b.iter(|| amd_order(n, &csc.col_ptr, &csc.row_idx))
+        });
+        let mut nat = lu_nat.clone();
+        group.bench_function("natural_refactor", |b| {
+            b.iter(|| nat.refactor(&csc.view()).expect("refactors"))
+        });
+        let mut amd = lu_amd.clone();
+        group.bench_function("amd_refactor", |b| {
+            b.iter(|| amd.refactor(&csc.view()).expect("refactors"))
+        });
+        group.finish();
+    }
+}
+
+fn bench_grid_deck(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "grid deck .OP",
+        "end-to-end generated grid deck, sparse backend, order=natural vs order=amd",
+    );
+    for order in ["natural", "amd"] {
+        let src = grid_deck_with(
+            18,
+            19,
+            &GridDeckOptions {
+                options: format!("sparse=1 order={order}"),
+                ac: false,
+                tran: false,
+                step_points: 0,
+            },
+        );
+        let deck = Deck::parse(&src).expect("grid deck parses");
+        run_deck(&deck).expect("grid deck solves"); // sanity, untimed
+        let mut group = c.benchmark_group("grid_deck_op_1637unknowns");
+        group.sample_size(10);
+        group.bench_function(&format!("order_{order}"), |b| {
+            b.iter(|| run_deck(&deck).expect("solves"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels, bench_grid_deck);
+criterion_main!(benches);

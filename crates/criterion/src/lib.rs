@@ -9,7 +9,18 @@
 //! statistical machinery. Swap the path dependency for the real crate
 //! when networked benchmarking is wanted; no bench source changes are
 //! needed.
+//!
+//! Two environment hooks drive the `tools/bench-summary.sh` perf
+//! trajectory:
+//!
+//! - `MEMS_BENCH_QUICK=1` clamps the per-benchmark sample count to 3
+//!   (fast smoke numbers instead of stable medians);
+//! - `MEMS_BENCH_JSONL=<path>` appends one `"group/id": median`
+//!   JSON-object line per benchmark, which the script assembles into
+//!   `BENCH_<n>.json` so future PRs can diff named medians instead of
+//!   quoting prose.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Entry point handed to each registered benchmark function.
@@ -29,6 +40,7 @@ impl Criterion {
         eprintln!("\nbench group: {name}");
         BenchmarkGroup {
             sample_size: self.sample_size,
+            name: name.to_string(),
             _parent: self,
         }
     }
@@ -38,7 +50,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        run_bench(id, id, self.sample_size, f);
         self
     }
 }
@@ -46,6 +58,7 @@ impl Criterion {
 /// A group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     sample_size: usize,
+    name: String,
     _parent: &'a mut Criterion,
 }
 
@@ -61,7 +74,8 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(id, self.sample_size, f);
+        let qualified = format!("{}/{id}", self.name);
+        run_bench(id, &qualified, self.sample_size, f);
         self
     }
 
@@ -69,10 +83,15 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(self) {}
 }
 
-fn run_bench<F>(id: &str, samples: usize, mut f: F)
+fn run_bench<F>(id: &str, qualified: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let samples = if std::env::var_os("MEMS_BENCH_QUICK").is_some() {
+        samples.min(3)
+    } else {
+        samples
+    };
     let mut b = Bencher {
         elapsed: Duration::ZERO,
         iterations: 0,
@@ -89,6 +108,18 @@ where
     per_sample.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = per_sample.get(per_sample.len() / 2).copied().unwrap_or(0.0);
     eprintln!("  {id}: median {:.3e} s/iter ({samples} samples)", median);
+    if let Some(path) = std::env::var_os("MEMS_BENCH_JSONL") {
+        // One `"name": value` line per benchmark; bench-summary wraps
+        // the lines into a JSON object. Failures to record must not
+        // fail the bench itself.
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "\"{qualified}\": {median:e}");
+        }
+    }
 }
 
 /// Timing handle passed to the benchmarked closure.

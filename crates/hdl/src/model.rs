@@ -25,7 +25,7 @@
 //! ```
 
 use crate::ast::ObjectKind;
-use crate::bytecode::{run_init_tape, run_pass_bytecode, BytecodeModel, RegBank};
+use crate::bytecode::{run_init_tape, run_pass_bytecode, run_table_fold, BytecodeModel, RegBank};
 use crate::compile::{fold_binop, fold_builtin, CExpr, CStmt, CompiledModel};
 use crate::error::{HdlError, Result};
 use crate::eval::{run_pass, Analysis, DualComplex, DualReal, EvalEnv, InstanceState};
@@ -102,24 +102,7 @@ impl HdlModel {
     pub fn instantiate(&self, name: &str, generics: &[(&str, f64)]) -> Result<Instance> {
         let bound = self.bind_generics(generics)?;
         let init_values = self.init_values_with(&bound, true)?;
-
-        // Elaborate tables.
-        let mut tables = Vec::with_capacity(self.compiled.tables.len());
-        for spec in &self.compiled.tables {
-            let mut xs = Vec::with_capacity(spec.breakpoints.len());
-            let mut ys = Vec::with_capacity(spec.breakpoints.len());
-            for (bx, by) in &spec.breakpoints {
-                xs.push(fold_with_objects(bx, &bound, &init_values)?);
-                ys.push(fold_with_objects(by, &bound, &init_values)?);
-            }
-            let table = Pwl1::new(xs, ys).map_err(|e| {
-                HdlError::Elab(format!(
-                    "invalid table1d breakpoints in `{}`: {e}",
-                    self.compiled.name
-                ))
-            })?;
-            tables.push(table);
-        }
+        let tables = self.fold_tables_with(&bound, &init_values, true)?;
 
         // Seed committed state values from their initializers.
         let mut state = InstanceState::for_model(&self.compiled);
@@ -211,6 +194,52 @@ impl HdlModel {
             )?,
         }
         Ok(init_values)
+    }
+
+    /// Elaborates the model's `table1d` breakpoint tables for bound
+    /// generics — through the compiled fold tape when `use_bytecode`
+    /// (and every breakpoint compiled; the default in
+    /// [`HdlModel::instantiate`]), otherwise through the reference
+    /// tree folder. Public so the differential harness can compare
+    /// both paths breakpoint for breakpoint and error for error.
+    ///
+    /// # Errors
+    ///
+    /// Unassigned-object reads, non-constant breakpoint expressions
+    /// (tree path only — such models never compile a fold tape), and
+    /// non-increasing axes — identical messages on both paths.
+    pub fn fold_tables_with(
+        &self,
+        bound: &[f64],
+        init_values: &[Option<f64>],
+        use_bytecode: bool,
+    ) -> Result<Vec<Pwl1>> {
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = match &self.bytecode.table_fold {
+            Some(fold) if use_bytecode => run_table_fold(fold, bound, init_values)?,
+            _ => {
+                let mut out = Vec::with_capacity(self.compiled.tables.len());
+                for spec in &self.compiled.tables {
+                    let mut xs = Vec::with_capacity(spec.breakpoints.len());
+                    let mut ys = Vec::with_capacity(spec.breakpoints.len());
+                    for (bx, by) in &spec.breakpoints {
+                        xs.push(fold_with_objects(bx, bound, init_values)?);
+                        ys.push(fold_with_objects(by, bound, init_values)?);
+                    }
+                    out.push((xs, ys));
+                }
+                out
+            }
+        };
+        let mut tables = Vec::with_capacity(pairs.len());
+        for (xs, ys) in pairs {
+            tables.push(Pwl1::new(xs, ys).map_err(|e| {
+                HdlError::Elab(format!(
+                    "invalid table1d breakpoints in `{}`: {e}",
+                    self.compiled.name
+                ))
+            })?);
+        }
+        Ok(tables)
     }
 }
 

@@ -407,7 +407,7 @@ fn warm_start_chain(
         let guess = ckt.and_then(|mut ckt| {
             let env = crate::elab::param_env(deck, &overrides).ok()?;
             let sim = sim_options(deck, &env).ok()?;
-            let ws = ws.get_or_insert_with(|| Workspace::with_backend(0, sim.matrix));
+            let ws = ws.get_or_insert_with(|| Workspace::with_policy(0, sim.matrix, sim.ordering));
             let op = dcop::solve_in(&mut ckt, &sim, prev.as_deref(), ws).ok();
             if !reelaborate {
                 cached = Some(ckt);

@@ -35,7 +35,7 @@ use mems_spice::devices::{
 use mems_spice::output::{AcResult, OpSolution, TranResult};
 use mems_spice::solver::SimOptions;
 use mems_spice::solver::Workspace;
-use mems_spice::system::{new_system, SystemMatrix};
+use mems_spice::system::{new_system_with, FillOrdering, SystemMatrix};
 use mems_spice::wave::Waveform;
 use mems_spice::MatrixBackend;
 use std::collections::HashMap;
@@ -876,6 +876,12 @@ pub struct DeckRun {
 pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
     let mut sim = SimOptions::default();
     for (name, value) in &deck.options {
+        // `order=amd|natural` is a keyword option: the value is a bare
+        // word, not a numeric expression.
+        if name == "order" {
+            sim.ordering = fill_ordering(value)?;
+            continue;
+        }
         let v = value.eval(env)?;
         match name.as_str() {
             "reltol" => sim.reltol = v,
@@ -906,6 +912,18 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
     Ok(sim)
 }
 
+/// Parses the `order=` option value (`amd` or `natural`).
+fn fill_ordering(value: &NumExpr) -> Result<FillOrdering> {
+    match &value.node {
+        crate::expr::ExprNode::Ident(w) if w == "amd" => Ok(FillOrdering::Amd),
+        crate::expr::ExprNode::Ident(w) if w == "natural" => Ok(FillOrdering::Natural),
+        _ => Err(NetlistError::elab_at(
+            "option `order` takes `amd` or `natural`",
+            value.span,
+        )),
+    }
+}
+
 /// Reusable per-runner state threaded through repeated
 /// [`run_elaborated_ctx`] calls — the structure-reuse hook for the
 /// `.STEP`/`.MC` batch engine. Every point of a batch elaborates the
@@ -919,9 +937,13 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
 pub struct RunCtx {
     /// Shared assembly workspace (lazily sized to the circuit).
     pub ws: Option<Workspace>,
-    /// Shared complex system for `.AC` analyses, with the backend it
-    /// was built for (rebuilt on an order or backend change).
-    ac_sys: Option<(Box<dyn SystemMatrix<Complex64>>, MatrixBackend)>,
+    /// Shared complex system for `.AC` analyses, with the backend and
+    /// ordering it was built for (rebuilt when any of them change).
+    ac_sys: Option<(
+        Box<dyn SystemMatrix<Complex64>>,
+        MatrixBackend,
+        FillOrdering,
+    )>,
     /// Newton guess for DC operating points (e.g. the previous batch
     /// point's solved operating point).
     pub op_guess: Option<Vec<f64>>,
@@ -964,9 +986,9 @@ impl RunCtx {
         }
     }
 
-    fn workspace(&mut self, backend: MatrixBackend) -> &mut Workspace {
+    fn workspace(&mut self, backend: MatrixBackend, ordering: FillOrdering) -> &mut Workspace {
         self.ws
-            .get_or_insert_with(|| Workspace::with_backend(0, backend))
+            .get_or_insert_with(|| Workspace::with_policy(0, backend, ordering))
     }
 
     /// Drops cached circuits that belong to a different deck. Called
@@ -999,13 +1021,19 @@ impl RunCtx {
     /// unknowns under `backend`. Cached structure survives between
     /// calls with matching order and backend — the batch-point reuse
     /// mirror of [`Workspace::ensure`].
-    fn ac_system(&mut self, n: usize, backend: MatrixBackend) -> &mut dyn SystemMatrix<Complex64> {
-        let stale = self
-            .ac_sys
-            .as_ref()
-            .is_none_or(|(sys, b)| sys.n() != n || b.resolve(n) != backend.resolve(n));
+    fn ac_system(
+        &mut self,
+        n: usize,
+        backend: MatrixBackend,
+        ordering: FillOrdering,
+    ) -> &mut dyn SystemMatrix<Complex64> {
+        let stale = self.ac_sys.as_ref().is_none_or(|(sys, b, o)| {
+            sys.n() != n
+                || b.resolve(n) != backend.resolve(n)
+                || (*o != ordering && backend.resolve(n) == MatrixBackend::Sparse)
+        });
         if stale {
-            self.ac_sys = Some((new_system(n, backend), backend));
+            self.ac_sys = Some((new_system_with(n, backend, ordering), backend, ordering));
         }
         self.ac_sys.as_mut().expect("just ensured").0.as_mut()
     }
@@ -1123,7 +1151,7 @@ pub fn run_elaborated_ctx(
             AnalysisCard::Op { .. } => {
                 let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
-                let ws = ctx.workspace(sim.matrix);
+                let ws = ctx.workspace(sim.matrix, sim.ordering);
                 let op = dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ws)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Op(op)
@@ -1164,7 +1192,7 @@ pub fn run_elaborated_ctx(
                             },
                             &values,
                             &sim,
-                            ctx.workspace(sim.matrix),
+                            ctx.workspace(sim.matrix, sim.ordering),
                         )?;
                         (format!("v({src})"), result, last)
                     }
@@ -1188,7 +1216,7 @@ pub fn run_elaborated_ctx(
                             },
                             &values,
                             &sim,
-                            ctx.workspace(sim.matrix),
+                            ctx.workspace(sim.matrix, sim.ordering),
                         )?;
                         (format!("param({p})"), result, last)
                     }
@@ -1231,9 +1259,13 @@ pub fn run_elaborated_ctx(
                 // shared complex system.
                 let freqs = fs.frequencies().map_err(NetlistError::from)?;
                 let guess = ctx.op_guess.clone();
-                let op =
-                    dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ctx.workspace(sim.matrix))?;
-                let sys = ctx.ac_system(op.layout.n_unknowns, sim.matrix);
+                let op = dcop::solve_in(
+                    &mut ckt,
+                    &sim,
+                    guess.as_deref(),
+                    ctx.workspace(sim.matrix, sim.ordering),
+                )?;
+                let sys = ctx.ac_system(op.layout.n_unknowns, sim.matrix, sim.ordering);
                 let ac = run_ac_with_op_in(&mut ckt, &freqs, &op, sys)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Ac(ac)
@@ -1264,7 +1296,7 @@ pub fn run_elaborated_ctx(
                 };
                 let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
-                let ws = ctx.workspace(sim.matrix);
+                let ws = ctx.workspace(sim.matrix, sim.ordering);
                 let tr = run_tran_in(&mut ckt, &opts, &sim, guess.as_deref(), ws)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Tran(tr)

@@ -1,0 +1,200 @@
+//! Generated meshed workloads.
+//!
+//! The shipped example decks are paper-scale (a few dozen unknowns);
+//! the solver-stack work (sparse LU, symbolic reuse, fill-reducing
+//! ordering) only shows its character on *meshed* topologies. This
+//! module generates a parameterized N×M grid of electromechanical
+//! cells out of the existing `.SUBCKT` machinery: every grid edge is
+//! a `gcell` instance — an R‖C electrical link whose branch is
+//! gyrator-coupled to a private spring/mass/damper resonator — so the
+//! MNA pattern is a 5-point electrical stencil with a mechanical
+//! velocity node and a spring-force branch hanging off every edge
+//! (`n ≈ 5·rows·cols`). A corner is
+//! driven, the opposite corner carries a quadratic sink (so operating
+//! points stay nonlinear and cost several Newton iterations) plus a
+//! load.
+//!
+//! Used by the `batch_ordering` bench (natural vs AMD fill/factor at
+//! n ≈ 100/400/1600), the backend-agreement tests (dense ≡ sparse ≡
+//! sparse+AMD), and as the source of `examples/decks/grid_cells.cir`.
+
+use std::fmt::Write as _;
+
+/// Knobs for [`grid_deck_with`].
+#[derive(Debug, Clone)]
+pub struct GridDeckOptions {
+    /// Body of the `.OPTIONS` card (empty = no card). The default
+    /// forces the sparse backend so the ordering actually engages.
+    pub options: String,
+    /// Add an `.AC` decade sweep (and give the drive an `AC 1` spec).
+    pub ac: bool,
+    /// Drive with a pulse and add a short `.TRAN` card.
+    pub tran: bool,
+    /// Add a `.STEP` over the cell resistance with this many points
+    /// (`0` = no `.STEP`).
+    pub step_points: usize,
+}
+
+impl Default for GridDeckOptions {
+    fn default() -> Self {
+        GridDeckOptions {
+            options: "sparse=1".to_string(),
+            ac: false,
+            tran: false,
+            step_points: 0,
+        }
+    }
+}
+
+/// [`grid_deck_with`] under the default options (`.OP` only, sparse
+/// backend forced).
+pub fn grid_deck(rows: usize, cols: usize) -> String {
+    grid_deck_with(rows, cols, &GridDeckOptions::default())
+}
+
+/// Unknown-count estimate for a `rows × cols` grid deck: the
+/// electrical grid nodes, one mechanical velocity node plus one
+/// spring-force branch per edge cell, and the drive branch.
+pub fn grid_unknowns(rows: usize, cols: usize) -> usize {
+    let edges = rows * (cols - 1) + (rows - 1) * cols;
+    rows * cols + 2 * edges + 1
+}
+
+/// Generates the grid deck text (parse it with
+/// [`crate::Deck::parse`]).
+///
+/// # Panics
+///
+/// Panics when `rows` or `cols` is zero or the grid has a single
+/// node (no edges to place cells on).
+pub fn grid_deck_with(rows: usize, cols: usize, opts: &GridDeckOptions) -> String {
+    assert!(
+        rows >= 1 && cols >= 1 && rows * cols >= 2,
+        "degenerate grid"
+    );
+    let mut d = String::new();
+    let node = |r: usize, c: usize| format!("n{r}_{c}");
+    let corner = node(rows - 1, cols - 1);
+    let _ = writeln!(
+        d,
+        "generated {rows}x{cols} electromechanical cell grid (~{} unknowns)",
+        grid_unknowns(rows, cols)
+    );
+    let _ = writeln!(d, ".param rcell=1k ccell=10n gm=2e-4");
+    // One cell per grid edge: R‖C link + gyrator-coupled suspension.
+    let _ = writeln!(d, ".subckt gcell a b PARAMS: r={{rcell}}");
+    let _ = writeln!(d, "Rc a b {{r}}");
+    let _ = writeln!(d, "Cc a b {{ccell}}");
+    let _ = writeln!(d, "Mm vel 0 1e-5");
+    let _ = writeln!(d, "Kk vel 0 50");
+    let _ = writeln!(d, "Dd vel 0 2e-3");
+    let _ = writeln!(d, "Gxm vel 0 a b {{gm}}");
+    let _ = writeln!(d, "Gmx a b vel 0 {{0-gm}}");
+    let _ = writeln!(d, ".ends gcell");
+    if opts.tran {
+        let _ = writeln!(
+            d,
+            "Vs {} 0 PULSE(0 5 0.1m 0.2m 0.2m 5m){}",
+            node(0, 0),
+            ac_spec(opts)
+        );
+    } else {
+        let _ = writeln!(d, "Vs {} 0 5{}", node(0, 0), ac_spec(opts));
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let _ = writeln!(d, "Xh{r}_{c} {} {} gcell", node(r, c), node(r, c + 1));
+            }
+            if r + 1 < rows {
+                let _ = writeln!(d, "Xv{r}_{c} {} {} gcell", node(r, c), node(r + 1, c));
+            }
+        }
+    }
+    // Quadratic sink keeps every operating point nonlinear.
+    let _ = writeln!(d, "Bq {corner} 0 {corner} 0 {corner} 0 1e-4");
+    let _ = writeln!(d, "Rl {corner} 0 1k");
+    let _ = writeln!(d, ".op");
+    let _ = writeln!(d, ".print op v({corner})");
+    if opts.ac {
+        let _ = writeln!(d, ".ac dec 3 10 10k");
+        let _ = writeln!(d, ".print ac v({corner})");
+    }
+    if opts.tran {
+        let _ = writeln!(d, ".tran 0.2m 4m");
+        let _ = writeln!(d, ".print tran v({corner})");
+    }
+    if opts.step_points > 1 {
+        let (lo, hi) = (800usize, 1200usize);
+        let step = (hi - lo) / (opts.step_points - 1);
+        let _ = writeln!(
+            d,
+            ".step param rcell {lo} {} {}",
+            lo + step * (opts.step_points - 1),
+            step.max(1)
+        );
+    }
+    if !opts.options.is_empty() {
+        let _ = writeln!(d, ".options {}", opts.options);
+    }
+    let _ = writeln!(d, ".end");
+    d
+}
+
+fn ac_spec(opts: &GridDeckOptions) -> &'static str {
+    if opts.ac {
+        " AC 1"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_deck, AnalysisOutcome, Deck};
+
+    #[test]
+    fn generated_deck_parses_and_solves() {
+        let src = grid_deck(4, 4);
+        let deck = Deck::parse(&src).expect("grid deck parses");
+        let run = run_deck(&deck).expect("grid deck solves");
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                let v = op.by_label("v(n3_3)").expect("corner trace");
+                assert!(v.is_finite() && v > 0.0 && v < 5.0, "v(corner) = {v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_estimate_matches_elaboration() {
+        let src = grid_deck(4, 5);
+        let deck = Deck::parse(&src).unwrap();
+        let elab = crate::Elaborator::new(&deck).unwrap();
+        let (mut ckt, _) = elab.build(&Default::default(), None).unwrap();
+        assert_eq!(ckt.layout().n_unknowns, grid_unknowns(4, 5));
+    }
+
+    #[test]
+    fn optional_cards_appear() {
+        let src = grid_deck_with(
+            3,
+            3,
+            &GridDeckOptions {
+                options: "sparse=1 order=natural".into(),
+                ac: true,
+                tran: false,
+                step_points: 5,
+            },
+        );
+        assert!(src.contains(".ac dec"));
+        assert!(src.contains("AC 1"));
+        assert!(src.contains(".step param rcell"));
+        assert!(src.contains(".options sparse=1 order=natural"));
+        let deck = Deck::parse(&src).unwrap();
+        assert_eq!(deck.analyses.len(), 2);
+        assert!(deck.step.is_some());
+    }
+}

@@ -105,6 +105,7 @@ pub mod batch;
 pub mod elab;
 pub mod error;
 pub mod expr;
+pub mod gen;
 pub mod parser;
 pub mod report;
 pub mod token;

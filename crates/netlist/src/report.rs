@@ -339,9 +339,40 @@ fn plot_labels(
     Ok(chosen)
 }
 
+/// Rendering options for `mems plot`.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Plot height in character rows.
+    pub rows: usize,
+    /// Plot width in character columns.
+    pub cols: usize,
+    /// `.AC` only: plot magnitude over `log10(frequency)` instead of
+    /// the raw frequency axis (`--log-x`). Non-positive frequencies
+    /// are dropped from the plot.
+    pub log_x: bool,
+    /// `.AC` only: plot magnitude in dB, `20·log10(|·|)` (`--db`).
+    pub db: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            rows: 16,
+            cols: 72,
+            log_x: false,
+            db: false,
+        }
+    }
+}
+
+/// Magnitude floor for the dB axis: a structural zero plots at
+/// −360 dB instead of collapsing the plot to `-inf`.
+const DB_FLOOR_MAG: f64 = 1e-18;
+
 /// Renders one analysis outcome as an ASCII plot
 /// ([`mems_spice::output::ascii_plot`]): traces over time for
-/// `.TRAN`, magnitude over frequency for `.AC`, traces over the swept
+/// `.TRAN`, magnitude over frequency for `.AC` (optionally with
+/// log-frequency x-axis and/or dB y-axis), traces over the swept
 /// variable for `.DC`. `.OP` has no axis and falls back to its table.
 ///
 /// # Errors
@@ -351,9 +382,9 @@ pub fn outcome_plot(
     deck: &Deck,
     outcome: &AnalysisOutcome,
     probes: &[String],
-    rows: usize,
-    cols: usize,
+    opts: &PlotOptions,
 ) -> Result<String, String> {
+    let (rows, cols) = (opts.rows, opts.cols);
     match outcome {
         AnalysisOutcome::Op(_) => Ok(outcome_table(deck, outcome)),
         AnalysisOutcome::Dc { var, result } => {
@@ -376,13 +407,58 @@ pub fn outcome_plot(
         }
         AnalysisOutcome::Ac(ac) => {
             let labels = plot_labels(deck, "ac", &ac.labels, probes)?;
+            // Axis transforms: keep the (frequency, magnitude) pairs
+            // aligned when `log_x` drops non-positive frequencies.
+            let keep: Vec<usize> = ac
+                .freqs
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| !opts.log_x || f > 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            let xs: Vec<f64> = keep
+                .iter()
+                .map(|&i| {
+                    if opts.log_x {
+                        ac.freqs[i].log10()
+                    } else {
+                        ac.freqs[i]
+                    }
+                })
+                .collect();
+            let traces: Vec<(String, Vec<f64>)> = labels
+                .iter()
+                .filter_map(|l| {
+                    ac.magnitude(l).map(|m| {
+                        let ys: Vec<f64> = keep
+                            .iter()
+                            .map(|&i| {
+                                if opts.db {
+                                    20.0 * m[i].max(DB_FLOOR_MAG).log10()
+                                } else {
+                                    m[i]
+                                }
+                            })
+                            .collect();
+                        let name = if opts.db {
+                            format!("dB({l})")
+                        } else {
+                            format!("|{l}|")
+                        };
+                        (name, ys)
+                    })
+                })
+                .collect();
+            let axes = match (opts.log_x, opts.db) {
+                (true, true) => "dB over log10(f)",
+                (true, false) => "magnitude over log10(f)",
+                (false, true) => "dB",
+                (false, false) => "magnitude",
+            };
             Ok(render_plot(
-                &format!("ac sweep ({} points, magnitude)", ac.freqs.len()),
-                &ac.freqs,
-                labels
-                    .iter()
-                    .filter_map(|l| ac.magnitude(l).map(|m| (format!("|{l}|"), m)))
-                    .collect(),
+                &format!("ac sweep ({} points, {axes})", xs.len()),
+                &xs,
+                traces,
                 rows,
                 cols,
             ))
@@ -428,13 +504,12 @@ pub fn run_plot(
     deck: &Deck,
     run: &DeckRun,
     probes: &[String],
-    rows: usize,
-    cols: usize,
+    opts: &PlotOptions,
 ) -> Result<String, String> {
     let mut out = format!("deck: {}\n", run.title);
     for (card, outcome) in &run.outcomes {
         let _ = writeln!(out, "\n== .{} ==", card.kind_name());
-        out.push_str(&outcome_plot(deck, outcome, probes, rows, cols)?);
+        out.push_str(&outcome_plot(deck, outcome, probes, opts)?);
     }
     Ok(out)
 }
@@ -788,18 +863,60 @@ mod tests {
         )
         .unwrap();
         let run = run_deck(&deck).unwrap();
+        let small = PlotOptions {
+            rows: 8,
+            cols: 40,
+            ..PlotOptions::default()
+        };
         // Default selection renders all four analyses.
-        let all = run_plot(&deck, &run, &[], 8, 40).unwrap();
+        let all = run_plot(&deck, &run, &[], &small).unwrap();
         assert!(all.contains("== .tran =="), "{all}");
         assert!(all.contains("dc sweep over v(vs)"), "{all}");
         assert!(all.contains("magnitude"), "{all}");
         // A hierarchical bare-node probe resolves the private node.
-        let hier = run_plot(&deck, &run, &["x1.m".to_string()], 8, 40).unwrap();
+        let hier = run_plot(&deck, &run, &["x1.m".to_string()], &small).unwrap();
         assert!(hier.contains("v(x1.m)"), "{hier}");
         // Unknown probes list what exists.
-        let err = run_plot(&deck, &run, &["nope".to_string()], 8, 40).unwrap_err();
+        let err = run_plot(&deck, &run, &["nope".to_string()], &small).unwrap_err();
         assert!(err.contains("probe `v(nope)`"), "{err}");
         assert!(err.contains("available"), "{err}");
+    }
+
+    #[test]
+    fn ac_plot_log_axis_and_db() {
+        let deck = Deck::parse(
+            "lowpass\nVs in 0 0 AC 1\nR1 in out 1k\nC1 out 0 1u\n\
+             .ac dec 3 10 10k\n.print ac v(out)\n",
+        )
+        .unwrap();
+        let run = run_deck(&deck).unwrap();
+        let log_db = PlotOptions {
+            rows: 8,
+            cols: 40,
+            log_x: true,
+            db: true,
+        };
+        let plot = run_plot(&deck, &run, &[], &log_db).unwrap();
+        assert!(plot.contains("dB over log10(f)"), "{plot}");
+        assert!(plot.contains("dB(v(out))"), "{plot}");
+        // x axis runs in decades now: log10(10) = 1 .. log10(10k) = 4.
+        assert!(plot.contains("x: 1.000e0 .. 4.000e0"), "{plot}");
+        // The dB axis is negative-valued past the corner.
+        let y_line = plot
+            .lines()
+            .find(|l| l.contains("y:"))
+            .expect("y range line");
+        assert!(y_line.contains("-"), "{y_line}");
+        // log-x alone keeps the linear magnitude axis.
+        let log_only = PlotOptions {
+            rows: 8,
+            cols: 40,
+            log_x: true,
+            db: false,
+        };
+        let plot = run_plot(&deck, &run, &[], &log_only).unwrap();
+        assert!(plot.contains("magnitude over log10(f)"), "{plot}");
+        assert!(plot.contains("|v(out)|"), "{plot}");
     }
 
     #[test]

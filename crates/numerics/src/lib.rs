@@ -18,6 +18,8 @@
 //! - [`rootfind`] — bisection and Brent's method;
 //! - [`ode`] — integrator coefficients (BE/TR/BDF2) and an RK4
 //!   reference integrator used by the test suites;
+//! - [`ordering`] — AMD-style fill-reducing elimination orderings for
+//!   the sparse LU;
 //! - [`stats`] — trace statistics shared by the experiment harness.
 //!
 //! # Example
@@ -45,6 +47,7 @@ pub mod dense;
 pub mod dual;
 pub mod lu;
 pub mod ode;
+pub mod ordering;
 pub mod poly;
 pub mod pwl;
 pub mod qr;

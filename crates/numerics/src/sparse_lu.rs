@@ -11,6 +11,13 @@
 //! `.STEP`/`.MC` batch point with identical topology) changes values,
 //! not structure, so the expensive reachability analysis is paid once.
 //!
+//! [`SparseLu::factor_ordered`] additionally accepts a fill-reducing
+//! *column* pre-ordering (e.g. [`crate::ordering::amd_order`]):
+//! columns are eliminated in the permuted order while the
+//! threshold/diagonal-preference row pivoting stays in charge of
+//! stability, factoring `P·A·Q = L·U`. [`SparseLu::refactor`] replays
+//! whichever order was analyzed.
+//!
 //! Generic over [`Scalar`], so the same kernel factors the real
 //! DC/transient Jacobian and the complex AC system.
 
@@ -71,10 +78,14 @@ pub struct SparseLu<S: Scalar = f64> {
     perm: Vec<usize>,
     /// Inverse permutation: `pinv[perm[k]] == k`.
     pinv: Vec<usize>,
+    /// Column pre-ordering: `cperm[k]` = original column eliminated at
+    /// step `k`. `None` means natural order.
+    cperm: Option<Vec<usize>>,
 }
 
 impl<S: Scalar> SparseLu<S> {
-    /// Full factorization: symbolic analysis + numeric elimination.
+    /// Full factorization: symbolic analysis + numeric elimination,
+    /// eliminating columns in their natural order.
     ///
     /// # Errors
     ///
@@ -82,6 +93,35 @@ impl<S: Scalar> SparseLu<S> {
     /// (structurally or numerically singular), and
     /// [`NumericsError::InvalidInput`] for malformed input.
     pub fn factor(a: &CscView<'_, S>) -> Result<Self> {
+        Self::factor_impl(a, None)
+    }
+
+    /// [`factor`](Self::factor) with a fill-reducing column
+    /// pre-ordering: `col_order[k]` names the original column
+    /// eliminated at step `k` (typically
+    /// [`crate::ordering::amd_order`] of the pattern). Row pivoting
+    /// (threshold + diagonal preference, where "diagonal" means the
+    /// original diagonal entry of the eliminated column) is unchanged,
+    /// so the ordering trades fill, never stability.
+    /// [`refactor`](Self::refactor) and [`solve`](Self::solve)
+    /// transparently replay/undo the permutation.
+    ///
+    /// # Errors
+    ///
+    /// As [`factor`](Self::factor), plus
+    /// [`NumericsError::InvalidInput`] when `col_order` is not a
+    /// permutation of `0..n`.
+    pub fn factor_ordered(a: &CscView<'_, S>, col_order: &[usize]) -> Result<Self> {
+        if !crate::ordering::is_permutation(col_order, a.n) {
+            return Err(NumericsError::InvalidInput(format!(
+                "column order is not a permutation of 0..{}",
+                a.n
+            )));
+        }
+        Self::factor_impl(a, Some(col_order))
+    }
+
+    fn factor_impl(a: &CscView<'_, S>, col_order: Option<&[usize]>) -> Result<Self> {
         let n = a.n;
         if a.col_ptr.len() != n + 1 || a.row_idx.len() != a.values.len() {
             return Err(NumericsError::InvalidInput(
@@ -100,6 +140,7 @@ impl<S: Scalar> SparseLu<S> {
             udiag: vec![S::zero(); n],
             perm: vec![EMPTY; n],
             pinv: vec![EMPTY; n],
+            cperm: col_order.map(<[usize]>::to_vec),
         };
         f.lp.push(0);
         f.up.push(0);
@@ -110,8 +151,10 @@ impl<S: Scalar> SparseLu<S> {
         let mut pattern: Vec<usize> = Vec::with_capacity(n);
         let mut dfs_stack: Vec<(usize, usize)> = Vec::with_capacity(n);
 
-        for j in 0..n {
-            let stamp = j + 1;
+        for k in 0..n {
+            // Original column eliminated at this step.
+            let j = col_order.map_or(k, |q| q[k]);
+            let stamp = k + 1;
             pattern.clear();
             // Reachability DFS from the pattern of A[:,j] through the
             // columns of L built so far. Postorder gives reverse
@@ -207,9 +250,9 @@ impl<S: Scalar> SparseLu<S> {
                 best
             };
             let pivot = x[pivot_row];
-            f.perm[j] = pivot_row;
-            f.pinv[pivot_row] = j;
-            f.udiag[j] = pivot;
+            f.perm[k] = pivot_row;
+            f.pinv[pivot_row] = k;
+            f.udiag[k] = pivot;
             // Remaining non-pivotal pattern rows become L[:,j].
             for &i in &pattern {
                 if f.pinv[i] == EMPTY {
@@ -249,24 +292,26 @@ impl<S: Scalar> SparseLu<S> {
             )));
         }
         let mut x = vec![S::zero(); self.n];
-        for j in 0..self.n {
+        for k in 0..self.n {
+            // Original column eliminated at step `k`.
+            let j = self.cperm.as_ref().map_or(k, |q| q[k]);
             for p in a.col_ptr[j]..a.col_ptr[j + 1] {
                 x[a.row_idx[p]] += a.values[p];
             }
             // Replay the recorded elimination order.
-            for q in self.up[j]..self.up[j + 1] {
-                let k = self.ui[q];
-                let xk = x[self.perm[k]];
+            for q in self.up[k]..self.up[k + 1] {
+                let s = self.ui[q];
+                let xk = x[self.perm[s]];
                 self.ux[q] = xk;
                 if xk != S::zero() {
-                    for p in self.lp[k]..self.lp[k + 1] {
+                    for p in self.lp[s]..self.lp[s + 1] {
                         let r = self.li[p];
                         let delta = self.lx[p] * xk;
                         x[r] -= delta;
                     }
                 }
             }
-            let pivot_row = self.perm[j];
+            let pivot_row = self.perm[k];
             let pivot = x[pivot_row];
             // Stability guard: the replayed pivot must still dominate
             // its column the way threshold pivoting would demand —
@@ -274,21 +319,21 @@ impl<S: Scalar> SparseLu<S> {
             // sweep's reactive stamps, a homotopy ramp) would
             // otherwise cause silent element growth.
             let mut col_max = pivot.modulus();
-            for p in self.lp[j]..self.lp[j + 1] {
+            for p in self.lp[k]..self.lp[k + 1] {
                 col_max = col_max.max(x[self.li[p]].modulus());
             }
             let pm = pivot.modulus();
             if !(pm > 0.0) || !pm.is_finite() || pm < PIVOT_TAU * col_max {
                 return Err(NumericsError::Singular { index: j });
             }
-            self.udiag[j] = pivot;
-            for p in self.lp[j]..self.lp[j + 1] {
+            self.udiag[k] = pivot;
+            for p in self.lp[k]..self.lp[k + 1] {
                 let r = self.li[p];
                 self.lx[p] = x[r] / pivot;
                 x[r] = S::zero();
             }
             // Clear the U part of the accumulator.
-            for q in self.up[j]..self.up[j + 1] {
+            for q in self.up[k]..self.up[k + 1] {
                 x[self.perm[self.ui[q]]] = S::zero();
             }
             x[pivot_row] = S::zero();
@@ -304,6 +349,12 @@ impl<S: Scalar> SparseLu<S> {
     /// Stored nonzeros `(nnz(L), nnz(U))` including the U diagonal.
     pub fn nnz(&self) -> (usize, usize) {
         (self.li.len(), self.ui.len() + self.n)
+    }
+
+    /// The column order the factors were analyzed with (`None` =
+    /// natural order).
+    pub fn col_order(&self) -> Option<&[usize]> {
+        self.cperm.as_deref()
     }
 
     /// Solves `A·x = b` using the current factors.
@@ -343,7 +394,18 @@ impl<S: Scalar> SparseLu<S> {
                 }
             }
         }
-        Ok(y)
+        // Undo the column pre-ordering: step `k` solved for original
+        // unknown `cperm[k]`.
+        match &self.cperm {
+            None => Ok(y),
+            Some(q) => {
+                let mut out = vec![S::zero(); n];
+                for (k, &j) in q.iter().enumerate() {
+                    out[j] = y[k];
+                }
+                Ok(out)
+            }
+        }
     }
 }
 
@@ -638,6 +700,123 @@ mod tests {
         let b = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)];
         let x = lu.solve(&b).unwrap();
         // Residual check A·x = b.
+        let ax0 = entries[0].2 * x[0] + entries[1].2 * x[1];
+        let ax1 = entries[2].2 * x[0] + entries[3].2 * x[1];
+        assert!((ax0 - b[0]).abs() < 1e-12);
+        assert!((ax1 - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordered_factor_matches_natural_and_dense() {
+        let mut rng = Lcg(99);
+        for n in [6usize, 20, 45] {
+            let mut a = DenseMatrix::<f64>::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if rng.next_f64().abs() < 0.25 {
+                        a[(i, j)] = rng.next_f64();
+                    }
+                }
+                a[(i, i)] += 3.0;
+            }
+            let csc = dense_to_csc(&a);
+            let order = crate::ordering::amd_order(n, &csc.col_ptr, &csc.row_idx);
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+            let x_ord = SparseLu::factor_ordered(&csc.view(), &order)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            let x_nat = SparseLu::factor(&csc.view()).unwrap().solve(&b).unwrap();
+            let x_dense = LuFactors::factor(&a).unwrap().solve(&b).unwrap();
+            for i in 0..n {
+                assert!((x_ord[i] - x_dense[i]).abs() < 1e-9, "n = {n} col {i}");
+                assert!((x_ord[i] - x_nat[i]).abs() < 1e-9, "n = {n} col {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_refactor_replays_the_permutation() {
+        // Arrow pattern: natural order fills completely, AMD leaves
+        // the hub last. Refactor with fresh values must match a fresh
+        // ordered factorization.
+        let n = 20;
+        let mut pattern = vec![];
+        for i in 0..n {
+            pattern.push((i, i));
+            if i > 0 {
+                pattern.push((0, i));
+                pattern.push((i, 0));
+            }
+        }
+        let mut rng = Lcg(3);
+        let vals = |rng: &mut Lcg| -> Vec<f64> {
+            pattern
+                .iter()
+                .map(|&(i, j)| {
+                    if i == j {
+                        5.0 + rng.next_f64()
+                    } else {
+                        rng.next_f64()
+                    }
+                })
+                .collect()
+        };
+        let va = vals(&mut rng);
+        let vb = vals(&mut rng);
+        let t = |vs: &[f64]| -> Vec<(usize, usize, f64)> {
+            pattern
+                .iter()
+                .zip(vs)
+                .map(|(&(i, j), &v)| (i, j, v))
+                .collect()
+        };
+        let csc_a = CscMatrix::from_triplets(n, &t(&va));
+        let csc_b = CscMatrix::from_triplets(n, &t(&vb));
+        let order = crate::ordering::amd_order(n, &csc_a.col_ptr, &csc_a.row_idx);
+        let mut lu = SparseLu::factor_ordered(&csc_a.view(), &order).unwrap();
+        let (lnz_ord, _) = lu.nnz();
+        let (lnz_nat, _) = SparseLu::factor(&csc_a.view()).unwrap().nnz();
+        assert!(
+            lnz_ord < lnz_nat,
+            "ordered fill {lnz_ord} must beat natural {lnz_nat}"
+        );
+        lu.refactor(&csc_b.view()).unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let x_re = lu.solve(&b).unwrap();
+        let x_fresh = SparseLu::factor_ordered(&csc_b.view(), &order)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for (r, f) in x_re.iter().zip(&x_fresh) {
+            assert!((r - f).abs() < 1e-10, "{r} vs {f}");
+        }
+    }
+
+    #[test]
+    fn ordered_factor_rejects_bad_permutations() {
+        let csc = CscMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        for bad in [&[0usize, 0][..], &[0][..], &[1, 2][..]] {
+            assert!(matches!(
+                SparseLu::<f64>::factor_ordered(&csc.view(), bad),
+                Err(NumericsError::InvalidInput(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn ordered_complex_systems_solve() {
+        let j = Complex64::J;
+        let entries = [
+            (0usize, 0usize, Complex64::new(1.0, 1.0)),
+            (0, 1, j),
+            (1, 0, Complex64::new(2.0, -1.0)),
+            (1, 1, Complex64::new(0.0, 3.0)),
+        ];
+        let csc = CscMatrix::from_triplets(2, &entries);
+        let lu = SparseLu::factor_ordered(&csc.view(), &[1, 0]).unwrap();
+        let b = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)];
+        let x = lu.solve(&b).unwrap();
         let ax0 = entries[0].2 * x[0] + entries[1].2 * x[1];
         let ax1 = entries[2].2 * x[0] + entries[3].2 * x[1];
         assert!((ax0 - b[0]).abs() < 1e-12);

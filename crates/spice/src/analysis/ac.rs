@@ -6,7 +6,7 @@ use crate::device::AcLoadCtx;
 use crate::error::{Result, SpiceError};
 use crate::output::{AcResult, OpSolution};
 use crate::solver::SimOptions;
-use crate::system::{new_system, MatrixBackend, SystemMatrix};
+use crate::system::{new_system_with, FillOrdering, MatrixBackend, SystemMatrix};
 use mems_numerics::Complex64;
 
 /// Frequency sweep specification.
@@ -102,7 +102,7 @@ impl FreqSweep {
 pub fn run(circuit: &mut Circuit, sweep: &FreqSweep, sim: &SimOptions) -> Result<AcResult> {
     let freqs = sweep.frequencies()?;
     let op = super::dcop::solve(circuit, sim)?;
-    run_with_op_backend(circuit, &freqs, &op, sim.matrix)
+    run_with_op_ordered(circuit, &freqs, &op, sim.matrix, sim.ordering)
 }
 
 /// Runs the sweep against an already-solved operating point (automatic
@@ -130,7 +130,24 @@ pub fn run_with_op_backend(
     op: &OpSolution,
     backend: MatrixBackend,
 ) -> Result<AcResult> {
-    let mut sys: Box<dyn SystemMatrix<Complex64>> = new_system(op.layout.n_unknowns, backend);
+    run_with_op_ordered(circuit, freqs, op, backend, FillOrdering::default())
+}
+
+/// [`run_with_op_backend`] with an explicit sparse fill-reducing
+/// ordering (ignored on the dense path).
+///
+/// # Errors
+///
+/// As [`run_with_op`].
+pub fn run_with_op_ordered(
+    circuit: &mut Circuit,
+    freqs: &[f64],
+    op: &OpSolution,
+    backend: MatrixBackend,
+    ordering: FillOrdering,
+) -> Result<AcResult> {
+    let mut sys: Box<dyn SystemMatrix<Complex64>> =
+        new_system_with(op.layout.n_unknowns, backend, ordering);
     run_with_op_in(circuit, freqs, op, sys.as_mut())
 }
 

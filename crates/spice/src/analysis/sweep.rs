@@ -42,7 +42,7 @@ pub fn dc_sweep(
     values: &[f64],
     sim: &SimOptions,
 ) -> Result<SweepResult> {
-    let mut ws = Workspace::with_backend(0, sim.matrix);
+    let mut ws = Workspace::with_policy(0, sim.matrix, sim.ordering);
     dc_sweep_in(build, values, sim, &mut ws)
 }
 

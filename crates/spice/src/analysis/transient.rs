@@ -85,7 +85,7 @@ pub fn run_from(
     sim: &SimOptions,
     op_guess: Option<&[f64]>,
 ) -> Result<TranResult> {
-    let mut ws = Workspace::with_backend(0, sim.matrix);
+    let mut ws = Workspace::with_policy(0, sim.matrix, sim.ordering);
     run_in(circuit, opts, sim, op_guess, &mut ws)
 }
 

@@ -56,5 +56,5 @@ pub mod wave;
 pub use circuit::{Circuit, NodeId};
 pub use error::{Result, SpiceError};
 pub use solver::SimOptions;
-pub use system::{MatrixBackend, SystemMatrix};
+pub use system::{FillOrdering, MatrixBackend, SystemMatrix};
 pub use wave::Waveform;

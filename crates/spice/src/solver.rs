@@ -9,7 +9,7 @@
 use crate::circuit::{Circuit, UnknownKind, UnknownLayout};
 use crate::device::{LoadCtx, LoadKind};
 use crate::error::{Result, SpiceError};
-use crate::system::{new_system, MatrixBackend, SystemMatrix};
+use crate::system::{new_system_with, FillOrdering, MatrixBackend, SystemMatrix};
 use mems_hdl::Nature;
 
 /// Global simulator options (tolerances, iteration budgets).
@@ -36,6 +36,10 @@ pub struct SimOptions {
     /// [`AUTO_SPARSE_THRESHOLD`](crate::system::AUTO_SPARSE_THRESHOLD)
     /// unknowns).
     pub matrix: MatrixBackend,
+    /// Fill-reducing column ordering for the sparse backend (deck
+    /// option `order=amd|natural`; `Amd` by default). Ignored by the
+    /// dense backend.
+    pub ordering: FillOrdering,
 }
 
 impl Default for SimOptions {
@@ -49,6 +53,7 @@ impl Default for SimOptions {
             gmin: 1e-12,
             max_step: 0.0,
             matrix: MatrixBackend::Auto,
+            ordering: FillOrdering::default(),
         }
     }
 }
@@ -76,6 +81,7 @@ pub struct Workspace {
     /// Row scales (sums of |terms| per row).
     pub row_scale: Vec<f64>,
     backend: MatrixBackend,
+    ordering: FillOrdering,
 }
 
 impl Workspace {
@@ -85,13 +91,22 @@ impl Workspace {
         Self::with_backend(n, MatrixBackend::Auto)
     }
 
-    /// Allocates a workspace with an explicit backend policy.
+    /// Allocates a workspace with an explicit backend policy and the
+    /// default fill-reducing ordering.
     pub fn with_backend(n: usize, backend: MatrixBackend) -> Self {
+        Self::with_policy(n, backend, FillOrdering::default())
+    }
+
+    /// Allocates a workspace with explicit backend and sparse-ordering
+    /// policies (the [`SimOptions::matrix`]/[`SimOptions::ordering`]
+    /// pair).
+    pub fn with_policy(n: usize, backend: MatrixBackend, ordering: FillOrdering) -> Self {
         Workspace {
-            sys: new_system(n, backend),
+            sys: new_system_with(n, backend, ordering),
             resid: vec![0.0; n],
             row_scale: vec![0.0; n],
             backend,
+            ordering,
         }
     }
 
@@ -100,16 +115,20 @@ impl Workspace {
         self.sys.n()
     }
 
-    /// Re-targets the workspace to `n` unknowns under `backend`,
-    /// keeping all cached structure (sparsity pattern, symbolic
-    /// factorization) when both already match. This is the reuse hook
-    /// for sweeps and `.STEP`/`.MC` batches: same topology → same
-    /// layout → the expensive analysis happens once.
-    pub fn ensure(&mut self, n: usize, backend: MatrixBackend) {
-        if self.sys.n() == n && self.backend.resolve(n) == backend.resolve(n) {
+    /// Re-targets the workspace to `n` unknowns under `backend` and
+    /// `ordering`, keeping all cached structure (sparsity pattern,
+    /// column ordering, symbolic factorization) when everything
+    /// already matches. This is the reuse hook for sweeps and
+    /// `.STEP`/`.MC` batches: same topology → same layout → the
+    /// expensive analysis happens once.
+    pub fn ensure(&mut self, n: usize, backend: MatrixBackend, ordering: FillOrdering) {
+        let same_backend = self.sys.n() == n && self.backend.resolve(n) == backend.resolve(n);
+        // The ordering only matters on the sparse path.
+        let same_ordering = self.ordering == ordering || backend.resolve(n) == MatrixBackend::Dense;
+        if same_backend && same_ordering {
             return;
         }
-        *self = Workspace::with_backend(n, backend);
+        *self = Workspace::with_policy(n, backend, ordering);
     }
 }
 

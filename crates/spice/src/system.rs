@@ -24,13 +24,23 @@
 //! at [`AUTO_SPARSE_THRESHOLD`] unknowns, and
 //! [`SimOptions::matrix`](crate::solver::SimOptions) (deck option
 //! `sparse=0/1`) overrides it either way.
+//!
+//! The sparse backend additionally applies a fill-reducing
+//! [`FillOrdering`] at symbolic time: when the (re)discovered pattern
+//! stabilizes, [`mems_numerics::ordering::amd_order`] computes a
+//! minimum-degree column order once, and every factorization — first
+//! and replayed — eliminates in that order. Deck option
+//! `order=amd|natural` (default `amd`) selects it.
 
 use mems_numerics::dense::DenseMatrix;
 use mems_numerics::lu::LuFactors;
+use mems_numerics::ordering::amd_order;
 use mems_numerics::scalar::Scalar;
 use mems_numerics::sparse_lu::{CscView, SparseLu};
 use mems_numerics::{NumericsError, Result};
 use std::collections::HashMap;
+
+pub use mems_numerics::ordering::FillOrdering;
 
 /// Unknown count at which `Auto` switches from dense to sparse.
 ///
@@ -109,13 +119,24 @@ pub trait SystemMatrix<S: Scalar>: Send {
     fn get(&self, row: usize, col: usize) -> S;
 }
 
-/// Builds a system matrix of order `n` for the (resolved) backend.
+/// Builds a system matrix of order `n` for the (resolved) backend,
+/// with the default [`FillOrdering`] on the sparse path.
 pub fn new_system<S: Scalar + Send + 'static>(
     n: usize,
     backend: MatrixBackend,
 ) -> Box<dyn SystemMatrix<S>> {
+    new_system_with(n, backend, FillOrdering::default())
+}
+
+/// [`new_system`] with an explicit sparse fill-reducing ordering
+/// (ignored by the dense backend).
+pub fn new_system_with<S: Scalar + Send + 'static>(
+    n: usize,
+    backend: MatrixBackend,
+    ordering: FillOrdering,
+) -> Box<dyn SystemMatrix<S>> {
     match backend.resolve(n) {
-        MatrixBackend::Sparse => Box::new(SparseSystem::new(n)),
+        MatrixBackend::Sparse => Box::new(SparseSystem::with_ordering(n, ordering)),
         _ => Box::new(DenseSystem::new(n)),
     }
 }
@@ -195,11 +216,22 @@ pub struct SparseSystem<S: Scalar> {
     pattern_dirty: bool,
     lu: Option<SparseLu<S>>,
     factored: bool,
+    /// Fill-reducing ordering policy for this system.
+    ordering: FillOrdering,
+    /// Column elimination order computed from the current pattern
+    /// (`None` under [`FillOrdering::Natural`]).
+    col_order: Option<Vec<usize>>,
 }
 
 impl<S: Scalar> SparseSystem<S> {
-    /// Empty sparse system of order `n` (pattern grows with stamps).
+    /// Empty sparse system of order `n` (pattern grows with stamps)
+    /// with the default fill-reducing ordering.
     pub fn new(n: usize) -> Self {
+        Self::with_ordering(n, FillOrdering::default())
+    }
+
+    /// [`new`](Self::new) with an explicit ordering policy.
+    pub fn with_ordering(n: usize, ordering: FillOrdering) -> Self {
         SparseSystem {
             n,
             slots: HashMap::new(),
@@ -212,12 +244,26 @@ impl<S: Scalar> SparseSystem<S> {
             pattern_dirty: true,
             lu: None,
             factored: false,
+            ordering,
+            col_order: None,
         }
     }
 
     /// Structural nonzero count of the current pattern.
     pub fn nnz(&self) -> usize {
         self.vals.len()
+    }
+
+    /// The ordering policy this system eliminates with.
+    pub fn ordering(&self) -> FillOrdering {
+        self.ordering
+    }
+
+    /// Nonzeros `(nnz(L), nnz(U))` of the last factorization, `None`
+    /// before the first successful factor — the fill diagnostic the
+    /// ordering benches report.
+    pub fn factor_nnz(&self) -> Option<(usize, usize)> {
+        self.lu.as_ref().map(SparseLu::nnz)
     }
 
     /// `true` when the next factor can replay the recorded symbolic
@@ -244,6 +290,14 @@ impl<S: Scalar> SparseSystem<S> {
         for c in 0..self.n {
             self.col_ptr[c + 1] += self.col_ptr[c];
         }
+        // Symbolic-time ordering: computed once per (stable) pattern
+        // and reused by every subsequent factor/refactor.
+        self.col_order = match self.ordering {
+            FillOrdering::Amd if self.n > 1 => {
+                Some(amd_order(self.n, &self.col_ptr, &self.row_idx))
+            }
+            _ => None,
+        };
         self.pattern_dirty = false;
         self.lu = None;
     }
@@ -297,17 +351,23 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
             row_idx: &self.row_idx,
             values: &self.csc_vals,
         };
+        let order = self.col_order.as_deref();
+        let fresh = |view: &CscView<'_, S>| match order {
+            Some(q) => SparseLu::factor_ordered(view, q),
+            None => SparseLu::factor(view),
+        };
         match &mut self.lu {
             Some(lu) => {
                 // Numeric-only replay; a dead pivot means the values
                 // moved too far from the analyzed ones — fall back to
-                // a full re-pivoting factorization.
+                // a full re-pivoting factorization (under the same
+                // column order: the fallback re-picks rows only).
                 if lu.refactor(&view).is_err() {
-                    self.lu = Some(SparseLu::factor(&view)?);
+                    self.lu = Some(fresh(&view)?);
                 }
             }
             None => {
-                self.lu = Some(SparseLu::factor(&view)?);
+                self.lu = Some(fresh(&view)?);
             }
         }
         self.factored = true;
@@ -442,6 +502,70 @@ mod tests {
         let x = sys.solve(&[2.0, 5.0]).unwrap();
         assert!((x[0] + 1.0).abs() < 1e-12, "{x:?}");
         assert!((x[1] - 2.0).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn ordering_reduces_fill_and_agrees_with_natural() {
+        // Arrow pattern: natural elimination fills the whole matrix,
+        // AMD keeps it sparse. Same solution either way.
+        let n = 24;
+        let mut entries = Vec::new();
+        for i in 0..n {
+            entries.push((i, i, 4.0 + i as f64 * 0.1));
+            if i > 0 {
+                entries.push((0, i, 0.5));
+                entries.push((i, 0, 0.25));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut amd = SparseSystem::<f64>::with_ordering(n, FillOrdering::Amd);
+        let mut nat = SparseSystem::<f64>::with_ordering(n, FillOrdering::Natural);
+        stamp_all(&mut amd, &entries);
+        stamp_all(&mut nat, &entries);
+        amd.factor().unwrap();
+        nat.factor().unwrap();
+        let (l_amd, _) = amd.factor_nnz().unwrap();
+        let (l_nat, _) = nat.factor_nnz().unwrap();
+        assert!(l_amd < l_nat, "AMD fill {l_amd} vs natural {l_nat}");
+        let xa = amd.solve(&b).unwrap();
+        let xn = nat.solve(&b).unwrap();
+        for (a, n) in xa.iter().zip(&xn) {
+            assert!((a - n).abs() < 1e-11, "{xa:?} vs {xn:?}");
+        }
+        // Symbolic (and the ordering) survive a value-only refactor.
+        amd.clear();
+        stamp_all(&mut amd, &entries);
+        assert!(amd.has_symbolic());
+        amd.factor().unwrap();
+        let xa2 = amd.solve(&b).unwrap();
+        assert_eq!(xa, xa2);
+    }
+
+    #[test]
+    fn ordered_dead_pivot_falls_back_to_full_refactor() {
+        let mut sys = SparseSystem::<f64>::with_ordering(3, FillOrdering::Amd);
+        let entries = [
+            (0usize, 0usize, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (2, 2, 1.0),
+        ];
+        stamp_all(&mut sys, &entries);
+        sys.factor().unwrap();
+        // Kill the replayed pivot; the fallback re-pivots rows under
+        // the same column order and must still solve.
+        sys.clear();
+        sys.add(0, 0, 0.0);
+        sys.add(0, 1, 1.0);
+        sys.add(1, 0, 1.0);
+        sys.add(1, 1, 3.0);
+        sys.add(2, 2, 1.0);
+        sys.factor().unwrap();
+        let x = sys.solve(&[2.0, 5.0, 1.0]).unwrap();
+        assert!((x[0] + 1.0).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-12, "{x:?}");
+        assert!((x[2] - 1.0).abs() < 1e-12, "{x:?}");
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Regenerates `examples/decks/grid_cells.cir` (or any other size of
+//! the meshed scale-tier deck) from the grid generator:
+//!
+//! ```sh
+//! cargo run --example gen_grid_deck -- 4 4 > examples/decks/grid_cells.cir
+//! cargo run --example gen_grid_deck -- 18 19   # the ~1600-unknown tier
+//! ```
+
+use mems::netlist::gen::{grid_deck_with, GridDeckOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4).max(1);
+    let cols: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4).max(2);
+    print!(
+        "{}",
+        grid_deck_with(
+            rows,
+            cols,
+            &GridDeckOptions {
+                options: "sparse=1".into(),
+                ac: true,
+                tran: false,
+                step_points: 5,
+            },
+        )
+    );
+}

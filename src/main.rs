@@ -37,6 +37,10 @@ OPTIONS:
     --rows N         Plot height in rows (default 16)
     --cols N         Plot width in columns (default 72)
     --threads N      Worker threads for `sweep` (default: all cores)
+    --order KIND     Sparse fill-reducing ordering: `amd` (default) or
+                     `natural`; overrides the deck's `.options order=`
+    --log-x          Plot `.AC` magnitude over log10(frequency)
+    --db             Plot `.AC` magnitude in dB (20·log10)
     --reelaborate    Rebuild the circuit per batch point instead of the
                      default elaborate-once in-place parameter patching
     -h, --help       Show this help
@@ -53,6 +57,9 @@ struct Args {
     cols: usize,
     threads: usize,
     reelaborate: bool,
+    order: Option<String>,
+    log_x: bool,
+    db: bool,
 }
 
 /// Takes an option's optional value: the next token is consumed as
@@ -77,6 +84,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut cols = 72usize;
     let mut threads = 0usize;
     let mut reelaborate = false;
+    let mut order = None;
+    let mut log_x = false;
+    let mut db = false;
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         let count = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
@@ -95,6 +105,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--csv" => csv = Some(optional_value(&mut it)),
             "--json" => json = Some(optional_value(&mut it)),
             "--reelaborate" => reelaborate = true,
+            "--log-x" => log_x = true,
+            "--db" => db = true,
+            "--order" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--order needs `amd` or `natural`".to_string())?
+                    .to_ascii_lowercase();
+                if v != "amd" && v != "natural" {
+                    return Err(format!("bad --order value `{v}` (amd or natural)"));
+                }
+                order = Some(v);
+            }
             "--probe" => {
                 let v = it
                     .next()
@@ -143,6 +165,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cols,
         threads,
         reelaborate,
+        order,
+        log_x,
+        db,
     })
 }
 
@@ -226,12 +251,12 @@ fn cmd_run(deck: &Deck, csv: Option<&str>, json: Option<&str>) -> Result<(), Str
     }
 }
 
-fn cmd_plot(deck: &Deck, probes: &[String], rows: usize, cols: usize) -> Result<(), String> {
+fn cmd_plot(deck: &Deck, probes: &[String], opts: &report::PlotOptions) -> Result<(), String> {
     let run = run_deck(deck).map_err(|e| e.render(&deck.source))?;
     if run.outcomes.is_empty() {
         return Err("deck declares no analyses to plot".to_string());
     }
-    let rendered = report::run_plot(deck, &run, probes, rows, cols)?;
+    let rendered = report::run_plot(deck, &run, probes, opts)?;
     print!("{rendered}");
     Ok(())
 }
@@ -278,17 +303,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let deck = match load_deck(&args.deck_path) {
+    let mut deck = match load_deck(&args.deck_path) {
         Ok(d) => d,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(order) = &args.order {
+        // Appended after the deck's own `.OPTIONS`, so the CLI wins
+        // (options apply in order).
+        deck.options.push((
+            "order".to_string(),
+            mems_netlist::expr::NumExpr {
+                node: mems_netlist::expr::ExprNode::Ident(order.clone()),
+                span: mems_hdl::span::Span::new(0, 0),
+            },
+        ));
+    }
     let outcome = match args.command.as_str() {
         "check" => cmd_check(&deck),
         "run" => cmd_run(&deck, args.csv.as_deref(), args.json.as_deref()),
-        "plot" => cmd_plot(&deck, &args.probes, args.rows, args.cols),
+        "plot" => cmd_plot(
+            &deck,
+            &args.probes,
+            &report::PlotOptions {
+                rows: args.rows,
+                cols: args.cols,
+                log_x: args.log_x,
+                db: args.db,
+            },
+        ),
         "sweep" => cmd_sweep(
             &deck,
             args.csv.as_deref(),

@@ -231,6 +231,182 @@ fn singular_circuit_errors_on_both_backends() {
     }
 }
 
+// ---------------------------------------------------------------
+// Fill-reducing ordering: AMD-permuted elimination must be a pure
+// perf lever — identical physics on every shipped deck and on the
+// generated meshed tier.
+// ---------------------------------------------------------------
+
+/// Runs a deck with explicit backend/order options forced on. Options
+/// apply in source order with later entries winning, so the forced
+/// line goes *last* (before any `.end`, which stops parsing) — a
+/// deck-local `.options sparse=1` (e.g. `grid_cells.cir`) must not
+/// override the variant under test.
+fn run_ordered(src: &str, opts: &str) -> Vec<(String, AnalysisOutcome)> {
+    let mut lines: Vec<&str> = src.lines().collect();
+    let opt = format!(".options {opts}");
+    let end = lines
+        .iter()
+        .position(|l| l.trim().eq_ignore_ascii_case(".end"))
+        .unwrap_or(lines.len());
+    lines.insert(end, &opt);
+    let src = lines.join("\n");
+    let deck = {
+        let mut resolver = mems::netlist::FsResolver {
+            base: std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks"),
+        };
+        Deck::parse_with_includes(&src, &mut resolver)
+            .unwrap_or_else(|e| panic!("{}", e.render(&src)))
+    };
+    let run = run_deck(&deck).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+    run.outcomes
+        .into_iter()
+        .map(|(card, outcome)| (card.kind_name().to_string(), outcome))
+        .collect()
+}
+
+/// Compares two runs of the same deck outcome-by-outcome to `rel`.
+fn assert_outcomes_agree(
+    what: &str,
+    a: &[(String, AnalysisOutcome)],
+    b: &[(String, AnalysisOutcome)],
+    rel: f64,
+) {
+    assert_eq!(a.len(), b.len(), "{what}: outcome counts differ");
+    for ((ka, oa), (kb, ob)) in a.iter().zip(b) {
+        assert_eq!(ka, kb, "{what}: analysis kinds differ");
+        match (oa, ob) {
+            (AnalysisOutcome::Op(pa), AnalysisOutcome::Op(pb)) => {
+                assert_traces_agree(&format!("{what}/op"), &pa.x, &pb.x, rel);
+            }
+            (AnalysisOutcome::Dc { result: ra, .. }, AnalysisOutcome::Dc { result: rb, .. }) => {
+                assert_eq!(ra.values, rb.values, "{what}: sweep grids differ");
+                for (pa, pb) in ra.points.iter().zip(&rb.points) {
+                    assert_traces_agree(&format!("{what}/dc"), &pa.x, &pb.x, rel);
+                }
+            }
+            (AnalysisOutcome::Ac(aa), AnalysisOutcome::Ac(ab)) => {
+                assert_eq!(aa.freqs, ab.freqs, "{what}: frequency grids differ");
+                for label in &aa.labels {
+                    let (Some(ma), Some(mb)) = (aa.magnitude(label), ab.magnitude(label)) else {
+                        continue;
+                    };
+                    assert_traces_agree(&format!("{what}/ac {label}"), &ma, &mb, rel);
+                }
+            }
+            (AnalysisOutcome::Tran(ta), AnalysisOutcome::Tran(tb)) => {
+                assert_traces_agree(&format!("{what}/time"), &ta.time, &tb.time, 1e-12);
+                for label in &ta.labels {
+                    let (Some(xa), Some(xb)) = (ta.trace(label), tb.trace(label)) else {
+                        continue;
+                    };
+                    assert_traces_agree(&format!("{what}/tran {label}"), &xa, &xb, rel);
+                }
+            }
+            other => panic!("{what}: unexpected outcome pair {other:?}"),
+        }
+    }
+}
+
+/// Every shipped deck: forced-sparse AMD ≡ forced-sparse natural ≡
+/// dense to ≤ 1e-10. Adaptive `.TRAN` cards are pinned to fixed
+/// stepping so all variants walk the identical time grid.
+#[test]
+fn shipped_decks_agree_across_orderings_and_dense() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/decks exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "cir") {
+            continue;
+        }
+        seen += 1;
+        let raw = std::fs::read_to_string(&path).unwrap();
+        // Pin adaptive transients to a fixed grid (and shorten the
+        // long ones: agreement, not physics, is under test here).
+        let src: String = raw
+            .lines()
+            .map(|l| {
+                let low = l.trim_start().to_ascii_lowercase();
+                if low.starts_with(".tran") && !low.contains("fixed") {
+                    format!("{l} fixed")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let amd = run_ordered(&src, "sparse=1 order=amd");
+        let natural = run_ordered(&src, "sparse=1 order=natural");
+        let dense = run_ordered(&src, "sparse=0");
+        assert_outcomes_agree(&format!("{name}: amd vs natural"), &amd, &natural, 1e-10);
+        assert_outcomes_agree(&format!("{name}: amd vs dense"), &amd, &dense, 1e-10);
+    }
+    assert!(seen >= 6, "expected the shipped decks, found {seen}");
+}
+
+/// The meshed scale tier: a generated grid deck (~340 unknowns, well
+/// past the dense comfort zone) through dense, sparse-natural, and
+/// sparse-AMD — `.OP` and `.AC` agree to 1e-10.
+#[test]
+fn grid_deck_orderings_agree() {
+    let src = mems::netlist::gen::grid_deck_with(
+        8,
+        9,
+        &mems::netlist::gen::GridDeckOptions {
+            options: String::new(), // injected per variant below
+            ac: true,
+            tran: false,
+            step_points: 0,
+        },
+    );
+    let amd = run_ordered(&src, "sparse=1 order=amd");
+    let natural = run_ordered(&src, "sparse=1 order=natural");
+    let dense = run_ordered(&src, "sparse=0");
+    assert_outcomes_agree("grid: amd vs natural", &amd, &natural, 1e-10);
+    assert_outcomes_agree("grid: amd vs dense", &amd, &dense, 1e-10);
+}
+
+/// Ordering composes with the elaborate-once `.STEP` batch engine:
+/// AMD vs natural per-point metrics agree to 1e-10 on the grid deck,
+/// across thread counts.
+#[test]
+fn grid_step_batch_orderings_agree() {
+    use mems::netlist::{run_batch, BatchOptions};
+    let mk = |order: &str| {
+        let src = mems::netlist::gen::grid_deck_with(
+            6,
+            6,
+            &mems::netlist::gen::GridDeckOptions {
+                options: format!("sparse=1 order={order}"),
+                ac: false,
+                tran: false,
+                step_points: 5,
+            },
+        );
+        Deck::parse(&src).unwrap()
+    };
+    let amd = run_batch(&mk("amd"), &BatchOptions::with_threads(2)).unwrap();
+    let natural = run_batch(&mk("natural"), &BatchOptions::with_threads(1)).unwrap();
+    assert_eq!(amd.ok_count(), 5);
+    assert_eq!(natural.ok_count(), 5);
+    for (a, b) in amd.points.iter().zip(&natural.points) {
+        let (ma, mb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        for (x, y) in ma.iter().zip(mb) {
+            assert_eq!(x.name, y.name);
+            let scale = x.value.abs().max(y.value.abs()).max(f64::MIN_POSITIVE);
+            assert!(
+                (x.value - y.value).abs() <= 1e-10 * scale,
+                "{}: {} vs {}",
+                x.name,
+                x.value,
+                y.value
+            );
+        }
+    }
+}
+
 #[test]
 fn singular_sparse_lu_reports_column() {
     // Rank-1 2×2 matrix: the sparse LU itself must flag singularity.

@@ -1109,3 +1109,154 @@ fn unsupported_init_programs_fall_back_to_tree_walk() {
     }];
     assert!(compile_init_program(&fine).is_some());
 }
+
+// ---------------------------------------------------------------
+// table1d breakpoint folding: fold tape vs tree folder
+// ---------------------------------------------------------------
+
+/// Compares both table-fold paths for every binding: bit-identical
+/// breakpoints on success, identical messages on failure.
+fn assert_table_folds_agree(src: &str, entity: &str, bindings: &[Vec<f64>]) {
+    let model = HdlModel::compile(src, entity, None).unwrap();
+    assert!(
+        model.bytecode().table_fold.is_some(),
+        "{entity}: breakpoints should compile to a fold tape"
+    );
+    for bound in bindings {
+        let init = model
+            .init_values_with(bound, true)
+            .unwrap_or_else(|e| panic!("{entity}: init failed under {bound:?}: {e}"));
+        let tree = model.fold_tables_with(bound, &init, false);
+        let tape = model.fold_tables_with(bound, &init, true);
+        match (tree, tape) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (t, (ta, tb)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(ta.xs().len(), tb.xs().len());
+                    for i in 0..ta.xs().len() {
+                        assert_eq!(
+                            ta.xs()[i].to_bits(),
+                            tb.xs()[i].to_bits(),
+                            "{entity} table {t} x[{i}] under {bound:?}"
+                        );
+                        assert_eq!(
+                            ta.ys()[i].to_bits(),
+                            tb.ys()[i].to_bits(),
+                            "{entity} table {t} y[{i}] under {bound:?}"
+                        );
+                    }
+                }
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{entity} under {bound:?}");
+            }
+            (a, b) => panic!("{entity} under {bound:?}: one path failed: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn table_fold_tape_matches_tree_folder() {
+    // Breakpoints over generics and init-derived objects, including a
+    // shape that inverts the axis for some bindings (both paths must
+    // then report the identical invalid-breakpoints error through
+    // `Pwl1::new`).
+    let src = r#"
+ENTITY tcell IS
+  GENERIC (scale, span : analog);
+  PIN (p, q : electrical);
+END ENTITY tcell;
+ARCHITECTURE a OF tcell IS
+VARIABLE x0, gain : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR init =>
+      x0 := 0.0 - span;
+      gain := max(scale, 0.1);
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, q].i %= table1d([p, q].v,
+        x0, 0.0 - gain,
+        x0 * 0.5, 0.0 - gain * 0.5,
+        0.0, 0.0,
+        span * 0.5, gain * 0.5,
+        span, gain);
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let mut bindings = vec![
+        vec![1.0, 1.0],
+        vec![2.5, 0.3],
+        vec![0.0, 2.0],  // gain clamps at 0.1
+        vec![1.0, -1.0], // inverted axis: identical error both paths
+        vec![1.0, 0.0],  // duplicate breakpoints: identical error
+        vec![f64::NAN, 1.0],
+    ];
+    let mut x = 0xc0ffee_u64;
+    for _ in 0..48 {
+        x = x.wrapping_mul(0xd1342543de82ef95).wrapping_add(7);
+        let scale = ((x >> 11) as f64 / (1u64 << 53) as f64) * 4.0;
+        let span = ((x >> 7) as f64 / (1u64 << 57) as f64) * 2.0 - 0.25;
+        bindings.push(vec![scale, span]);
+    }
+    assert_table_folds_agree(src, "tcell", &bindings);
+}
+
+#[test]
+fn table_fold_unassigned_object_errors_identically() {
+    // A breakpoint reads a variable the init program never assigns:
+    // both folders must refuse with the tree folder's message.
+    let src = r#"
+ENTITY tlate IS
+  GENERIC (g : analog := 1.0);
+  PIN (p, q : electrical);
+END ENTITY tlate;
+ARCHITECTURE a OF tlate IS
+VARIABLE never : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      never := [p, q].v;
+      [p, q].i %= table1d([p, q].v, never, 0.0, g, 1.0);
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let model = HdlModel::compile(src, "tlate", None).unwrap();
+    assert!(model.bytecode().table_fold.is_some());
+    let init = model.init_values_with(&[1.0], true).unwrap();
+    let tree = model.fold_tables_with(&[1.0], &init, false).unwrap_err();
+    let tape = model.fold_tables_with(&[1.0], &init, true).unwrap_err();
+    assert_eq!(tree.to_string(), tape.to_string());
+    assert!(tree.to_string().contains("no value yet"), "{tree}");
+    // And the full instantiate path surfaces the same error.
+    let err = model.instantiate("t1", &[]).unwrap_err();
+    assert_eq!(err.to_string(), tree.to_string());
+}
+
+#[test]
+fn runtime_breakpoints_decline_the_fold_tape() {
+    // Inject a runtime-dependent breakpoint into a compiled model:
+    // `compile_table_fold` must decline so the tree folder keeps its
+    // "not a constant expression" diagnostic.
+    use mems::hdl::bytecode::compile_table_fold;
+    let src = r#"
+ENTITY tok IS
+  PIN (p, q : electrical);
+END ENTITY tok;
+ARCHITECTURE a OF tok IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, q].i %= table1d([p, q].v, 0.0, 0.0, 1.0, 2.0);
+  END RELATION;
+END ARCHITECTURE a;
+"#;
+    let model = HdlModel::compile(src, "tok", None).unwrap();
+    assert!(compile_table_fold(model.compiled()).is_some());
+    let mut broken = model.compiled().clone();
+    broken.tables[0].breakpoints[0].0 = CExpr::Across(0);
+    assert!(compile_table_fold(&broken).is_none());
+    // No tables at all → no tape either.
+    let mut empty = model.compiled().clone();
+    empty.tables.clear();
+    assert!(compile_table_fold(&empty).is_none());
+}
