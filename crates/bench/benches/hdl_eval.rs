@@ -174,6 +174,7 @@ fn bench_batch(c: &mut Criterion) {
         let opts = BatchOptions {
             threads: 1,
             reelaborate,
+            cancel: None,
         };
         // Sanity outside the timed region.
         let check = run_batch(&deck, &opts).expect("batch runs");

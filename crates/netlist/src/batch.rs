@@ -27,8 +27,33 @@ use mems_spice::analysis::dcop;
 use mems_spice::circuit::Circuit;
 use mems_spice::solver::Workspace;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation handle: an `Arc<AtomicBool>` the batch
+/// engine (and the `mems serve` job runner) checks **between points**
+/// — a running Newton solve or transient integration is never torn
+/// down mid-step, so cancellation lands on the next point boundary.
+/// Clones share the flag; `cancel()` is sticky.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (visible to every clone, irrevocable).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Batch execution options.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +67,11 @@ pub struct BatchOptions {
     /// (enforced by tests); this switch exists for differential
     /// testing and benchmarking.
     pub reelaborate: bool,
+    /// Cooperative cancellation: when the token trips, workers (and
+    /// the sequential warm-start pre-chain) stop at the next point
+    /// boundary; unvisited points are recorded as cancelled failures
+    /// and [`BatchResult::cancelled`] is set.
+    pub cancel: Option<CancelToken>,
 }
 
 impl BatchOptions {
@@ -89,6 +119,11 @@ pub struct PointResult {
     pub outcome: std::result::Result<Vec<Metric>, String>,
 }
 
+/// The failure message recorded for points a [`CancelToken`] stopped
+/// before they ran (and matched on by the CLI's partial-batch
+/// reporting).
+pub const CANCELLED_POINT: &str = "cancelled before simulation";
+
 /// A finished batch.
 #[derive(Debug)]
 pub struct BatchResult {
@@ -96,6 +131,9 @@ pub struct BatchResult {
     pub points: Vec<PointResult>,
     /// Thread count actually used.
     pub threads_used: usize,
+    /// Whether a [`CancelToken`] stopped the batch early; unvisited
+    /// points carry [`CANCELLED_POINT`] failures.
+    pub cancelled: bool,
 }
 
 impl BatchResult {
@@ -309,7 +347,8 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
     // worker warm-start from whatever point it happened to finish
     // last) keeps every point's guess — and therefore its converged
     // bits — independent of the thread count.
-    let op_guesses = warm_start_chain(deck, &chain_elab, &points, opts.reelaborate);
+    let cancel = opts.cancel.clone().unwrap_or_default();
+    let op_guesses = warm_start_chain(deck, &chain_elab, &points, opts.reelaborate, &cancel);
 
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -346,6 +385,9 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
                     RunCtx::default()
                 };
                 loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
                         break;
@@ -360,15 +402,25 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
         }
     });
 
+    // Cancellation leaves gaps: record them as failed points so the
+    // partial batch still reports its yield with stable indices.
+    let cancelled = cancel.is_cancelled();
     let points = results
         .into_inner()
         .expect("no poisoned batch lock")
         .into_iter()
-        .map(|p| p.expect("every point visited"))
+        .zip(points)
+        .map(|(done, point)| {
+            done.unwrap_or_else(|| PointResult {
+                point,
+                outcome: Err(CANCELLED_POINT.to_string()),
+            })
+        })
         .collect();
     Ok(BatchResult {
         points,
         threads_used: threads,
+        cancelled,
     })
 }
 
@@ -378,12 +430,18 @@ pub fn run_batch(deck: &Deck, opts: &BatchOptions) -> Result<BatchResult> {
 /// point; per-point failures yield `None` guesses (the point itself
 /// will surface its error when simulated). The chain runs
 /// elaborate-once itself: one circuit, parameter-patched per point
-/// (unless `reelaborate`).
-fn warm_start_chain(
+/// (unless `reelaborate`) — and checks `cancel` between points,
+/// leaving the remaining guesses `None`.
+///
+/// Public because the `mems serve` job runner pre-chains the same
+/// guesses before chunking a sweep across its workers, keeping served
+/// results bit-identical to `mems sweep` for any worker count.
+pub fn warm_start_chain(
     deck: &Deck,
     elab: &Elaborator<'_>,
     points: &[BatchPoint],
     reelaborate: bool,
+    cancel: &CancelToken,
 ) -> Option<Vec<Option<Vec<f64>>>> {
     let has_tran = deck
         .analyses
@@ -397,6 +455,10 @@ fn warm_start_chain(
     let mut cached: Option<Circuit> = None;
     let mut guesses = Vec::with_capacity(points.len());
     for point in points {
+        if cancel.is_cancelled() {
+            guesses.resize(points.len(), None);
+            break;
+        }
         let overrides = point.env();
         // Patch the chain's one circuit in place; fall back to a
         // fresh build on the first point or when patching is
@@ -433,8 +495,9 @@ fn simulate_point(
     }
 }
 
-/// Flattens a point's analyses into scalar metrics.
-fn extract_metrics(deck: &Deck, run: &DeckRun) -> Vec<Metric> {
+/// Flattens a point's analyses into scalar metrics (the per-point
+/// payload of `mems sweep` reports and of served sweep jobs).
+pub fn extract_metrics(deck: &Deck, run: &DeckRun) -> Vec<Metric> {
     let mut out = Vec::new();
     let mut push = |name: String, value: f64| out.push(Metric { name, value });
     for (card, outcome) in &run.outcomes {
@@ -595,6 +658,7 @@ R2 out 0 {rbot}
             &Elaborator::new(&deck).unwrap(),
             &batch_points(&deck).unwrap(),
             false,
+            &CancelToken::new(),
         )
         .expect("tran deck builds a warm-start chain");
         assert_eq!(chain.len(), 5);
@@ -728,6 +792,76 @@ X1 in out div
     fn batch_without_cards_is_an_error() {
         let deck = Deck::parse("t\nR1 a 0 1\n.op\n").unwrap();
         assert!(batch_points(&deck).is_err());
+    }
+
+    #[test]
+    fn pre_cancelled_batch_visits_no_points() {
+        let deck = Deck::parse(
+            "c\n.param r=1000\nVs in 0 5\nR1 in out {r}\nR2 out 0 1k\n.op\n.print op v(out)\n.mc 16 seed=2 r tol=0.1\n",
+        )
+        .unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = run_batch(
+            &deck,
+            &BatchOptions {
+                threads: 2,
+                cancel: Some(cancel),
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(result.cancelled);
+        assert_eq!(result.points.len(), 16);
+        assert_eq!(result.ok_count(), 0);
+        for p in &result.points {
+            assert_eq!(p.outcome.as_ref().unwrap_err(), CANCELLED_POINT);
+        }
+    }
+
+    #[test]
+    fn mid_batch_cancellation_stops_at_a_point_boundary() {
+        // A worker-side hook is hard to time deterministically, so
+        // trip the token from a watcher thread while a single-threaded
+        // `.MC` batch with a real transient per point grinds: the
+        // batch must stop early, keep every completed point intact,
+        // and mark the rest cancelled.
+        let deck = Deck::parse(
+            "c\n.param k=200\nId 0 vel PWL(0 0 1m 1u)\n.node mechanical1 vel\n\
+             Mm vel 0 1e-4\nKk vel 0 {k}\nDd vel 0 40m\n.tran 0.2m 30m\n\
+             .print tran i(kk,0)\n.mc 400 seed=7 k tol=0.1\n",
+        )
+        .unwrap();
+        let cancel = CancelToken::new();
+        let watcher = {
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                cancel.cancel();
+            })
+        };
+        let result = run_batch(
+            &deck,
+            &BatchOptions {
+                threads: 1,
+                cancel: Some(cancel),
+                ..BatchOptions::default()
+            },
+        )
+        .unwrap();
+        watcher.join().unwrap();
+        assert!(result.cancelled);
+        assert_eq!(result.points.len(), 400);
+        let cancelled = result
+            .points
+            .iter()
+            .filter(|p| p.outcome.as_ref().is_err_and(|e| e == CANCELLED_POINT))
+            .count();
+        assert!(cancelled > 0, "cancellation raced past the whole batch");
+        // Completed points carry real metrics.
+        for p in result.points.iter().filter(|p| p.outcome.is_ok()) {
+            assert!(!p.outcome.as_ref().unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -924,6 +924,35 @@ fn fill_ordering(value: &NumExpr) -> Result<FillOrdering> {
     }
 }
 
+/// Fingerprint of a deck's *definitions*: its full (include-spliced)
+/// source text plus every HDL block. Two decks with equal
+/// fingerprints elaborate to identical topologies, so cached
+/// circuits, workspaces, and symbolic factorizations built from one
+/// are valid for the other — this is the key of `mems serve`'s
+/// artifact cache and of [`RunCtx`]'s own circuit-cache guard.
+pub fn deck_fingerprint(deck: &Deck) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    deck.source.hash(&mut h);
+    for block in &deck.hdl_blocks {
+        block.text.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Reuse counters a [`RunCtx`] accumulates across
+/// [`run_elaborated_ctx`] calls: how often an analysis slot's circuit
+/// was re-bound in place versus rebuilt from the parse tree. `mems
+/// serve` diffs these around each job chunk to report cache-hit
+/// semantics (`circuits_built == 0` ⇒ the job never re-elaborated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Circuits elaborated from the parse tree (cold path).
+    pub circuits_built: u64,
+    /// Circuits re-bound in place through `set_param` (warm path).
+    pub circuits_patched: u64,
+}
+
 /// Reusable per-runner state threaded through repeated
 /// [`run_elaborated_ctx`] calls — the structure-reuse hook for the
 /// `.STEP`/`.MC` batch engine. Every point of a batch elaborates the
@@ -961,6 +990,8 @@ pub struct RunCtx {
     /// the deck (the pre-elaborate-once behavior, kept for
     /// differential testing and benchmarking).
     pub reuse_circuits: bool,
+    /// Patch-vs-build counters over the context's lifetime.
+    pub stats: RunStats,
 }
 
 impl Default for RunCtx {
@@ -972,6 +1003,7 @@ impl Default for RunCtx {
             ckts: HashMap::new(),
             deck_fp: None,
             reuse_circuits: true,
+            stats: RunStats::default(),
         }
     }
 }
@@ -989,6 +1021,15 @@ impl RunCtx {
     fn workspace(&mut self, backend: MatrixBackend, ordering: FillOrdering) -> &mut Workspace {
         self.ws
             .get_or_insert_with(|| Workspace::with_policy(0, backend, ordering))
+    }
+
+    /// Whether the context carries reusable artifacts from earlier
+    /// runs — cached circuits or an assembly workspace (and with it,
+    /// on the sparse backend, the symbolic factorization + ordering).
+    /// `mems serve` reports this per checkout as warm/cold cache
+    /// evidence.
+    pub fn is_warm(&self) -> bool {
+        self.ws.is_some() || !self.ckts.is_empty()
     }
 
     /// Drops cached circuits that belong to a different deck. Called
@@ -1084,8 +1125,15 @@ fn obtain_circuit(
     overrides: &ParamEnv,
     source_dc: Option<(&str, f64)>,
 ) -> Result<Circuit> {
-    let cached = ctx.take_circuit(slot);
-    patch_or_build(elab, cached, overrides, source_dc)
+    if let Some(mut ckt) = ctx.take_circuit(slot) {
+        if elab.patch(&mut ckt, overrides, source_dc)? {
+            ctx.stats.circuits_patched += 1;
+            return Ok(ckt);
+        }
+    }
+    let (ckt, _) = elab.build(overrides, source_dc)?;
+    ctx.stats.circuits_built += 1;
+    Ok(ckt)
 }
 
 /// The one patch-or-build fallback every reuse site shares: patches
@@ -1123,20 +1171,12 @@ pub fn run_elaborated_ctx(
     ctx: &mut RunCtx,
 ) -> Result<DeckRun> {
     let deck = elab.deck();
-    {
-        // The fingerprint covers the definition table: `.SUBCKT`
-        // bodies from `.INCLUDE`d fragments are spliced into
-        // `deck.source` at parse time, and `.INCLUDE`d HDL entities
-        // live in `hdl_blocks` — hash both so a context reused across
-        // decks never patches circuits built from other definitions.
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        deck.source.hash(&mut h);
-        for block in &deck.hdl_blocks {
-            block.text.hash(&mut h);
-        }
-        ctx.bind_deck(h.finish());
-    }
+    // The fingerprint covers the definition table: `.SUBCKT` bodies
+    // from `.INCLUDE`d fragments are spliced into `deck.source` at
+    // parse time, and `.INCLUDE`d HDL entities live in `hdl_blocks` —
+    // both are hashed so a context reused across decks never patches
+    // circuits built from other definitions.
+    ctx.bind_deck(deck_fingerprint(deck));
     let env = param_env(deck, overrides)?;
     let sim = sim_options(deck, &env)?;
     if deck.analyses.is_empty() {
@@ -1336,6 +1376,18 @@ pub(crate) fn linear_points(start: f64, stop: f64, step: f64) -> Option<Vec<f64>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cached_artifacts_cross_threads() {
+        // `mems serve` keeps owned decks and pooled warm `RunCtx`s
+        // (circuits + symbolic factorizations) behind a shared cache
+        // and hands them to worker threads; this must stay Send.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Deck>();
+        assert_sync::<Deck>();
+        assert_send::<RunCtx>();
+    }
 
     fn divider_deck() -> Deck {
         Deck::parse(

@@ -111,10 +111,13 @@ pub mod report;
 pub mod token;
 
 pub use ast::{AnalysisCard, Deck, DeviceCard};
-pub use batch::{batch_points, batch_points_with, run_batch, BatchOptions, BatchResult};
+pub use batch::{
+    batch_points, batch_points_with, extract_metrics, run_batch, warm_start_chain, BatchOptions,
+    BatchPoint, BatchResult, CancelToken, Metric, PointResult, CANCELLED_POINT,
+};
 pub use elab::{
-    run_deck, run_deck_with, run_elaborated, run_elaborated_ctx, AnalysisOutcome, DeckRun,
-    Elaborator, RunCtx,
+    deck_fingerprint, run_deck, run_deck_with, run_elaborated, run_elaborated_ctx, AnalysisOutcome,
+    DeckRun, Elaborator, ParamEnv, RunCtx, RunStats,
 };
 pub use error::{NetlistError, Result};
 pub use parser::{FsResolver, IncludeResolver, NoIncludes};

@@ -518,8 +518,13 @@ pub fn run_plot(
 // JSON rendering (hand-rolled: the offline workspace has no serde).
 // ---------------------------------------------------------------
 
-/// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escapes a string for a JSON string literal (without the enclosing
+/// quotes). Control characters become `\uXXXX` escapes; non-ASCII
+/// text (hierarchical node names, deck titles) passes through as
+/// UTF-8. Public because the `mems serve` protocol writes
+/// user-supplied strings — deck titles, probe labels, error logs —
+/// through the same writer the CLI reports use.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -539,7 +544,7 @@ fn json_escape(s: &str) -> String {
 
 /// Formats a float as a JSON value (`null` for NaN/infinite, which
 /// JSON cannot represent).
-fn json_num(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.12e}")
     } else {
@@ -646,37 +651,38 @@ pub fn run_json(deck: &Deck, run: &DeckRun) -> String {
     )
 }
 
+/// Renders one batch point as a JSON object — the per-point record
+/// both `mems sweep --json` and the `mems serve` results stream emit,
+/// byte-identical, so served jobs can be diffed against CLI sweeps.
+pub fn point_json(p: &crate::batch::PointResult) -> String {
+    let params: Vec<String> = p
+        .point
+        .overrides
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{}", json_escape(n), json_num(*v)))
+        .collect();
+    let body = match &p.outcome {
+        Ok(metrics) => {
+            let ms: Vec<String> = metrics
+                .iter()
+                .map(|m| format!("\"{}\":{}", json_escape(&m.name), json_num(m.value)))
+                .collect();
+            format!("\"status\":\"ok\",\"metrics\":{{{}}}", ms.join(","))
+        }
+        Err(e) => format!("\"status\":\"fail\",\"error\":\"{}\"", json_escape(e)),
+    };
+    format!(
+        "{{\"index\":{},\"params\":{{{}}},{}}}",
+        p.point.index,
+        params.join(","),
+        body
+    )
+}
+
 /// Renders a batch result as a JSON document: per-point parameter
 /// overrides, metrics or failure log, and aggregate statistics.
 pub fn batch_json(result: &BatchResult) -> String {
-    let points: Vec<String> = result
-        .points
-        .iter()
-        .map(|p| {
-            let params: Vec<String> = p
-                .point
-                .overrides
-                .iter()
-                .map(|(n, v)| format!("\"{}\":{}", json_escape(n), json_num(*v)))
-                .collect();
-            let body = match &p.outcome {
-                Ok(metrics) => {
-                    let ms: Vec<String> = metrics
-                        .iter()
-                        .map(|m| format!("\"{}\":{}", json_escape(&m.name), json_num(m.value)))
-                        .collect();
-                    format!("\"status\":\"ok\",\"metrics\":{{{}}}", ms.join(","))
-                }
-                Err(e) => format!("\"status\":\"fail\",\"error\":\"{}\"", json_escape(e)),
-            };
-            format!(
-                "{{\"index\":{},\"params\":{{{}}},{}}}",
-                p.point.index,
-                params.join(","),
-                body
-            )
-        })
-        .collect();
+    let points: Vec<String> = result.points.iter().map(point_json).collect();
     let agg: Vec<String> = result
         .aggregate()
         .iter()
@@ -761,6 +767,78 @@ pub fn batch_csv(result: &BatchResult) -> String {
     out
 }
 
+// ---------------------------------------------------------------
+// Machine-readable diagnostics (`mems check --json`,
+// `mems serve --check-only`, and serve's 400 responses all emit this
+// one format, so editor/service integrations never scrape the human
+// caret excerpts).
+// ---------------------------------------------------------------
+
+/// One structured diagnostic: severity, message, and (when the
+/// failing card is known) a byte span into the deck source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// `"error"` (the deck frontend currently has no warnings; the
+    /// field exists so the wire format won't change when it does).
+    pub severity: String,
+    /// Human-readable description, without source excerpts.
+    pub message: String,
+    /// Byte span into the (include-spliced) deck source.
+    pub span: Option<mems_hdl::span::Span>,
+}
+
+impl Diagnostic {
+    /// Converts a deck-frontend error into a diagnostic, preserving
+    /// its span when it has one.
+    pub fn from_error(e: &crate::error::NetlistError) -> Self {
+        Diagnostic {
+            severity: "error".to_string(),
+            message: e.to_string(),
+            span: e.span(),
+        }
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset in `src` (column counts
+/// characters, not bytes, so multibyte node names report sensibly).
+fn line_col(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let before = &src[..pos];
+    let line = before.matches('\n').count() + 1;
+    let col = before.rfind('\n').map_or(before.chars().count(), |nl| {
+        before[nl + 1..].chars().count()
+    }) + 1;
+    (line, col)
+}
+
+/// Renders one diagnostic as a JSON object:
+/// `{"severity","message","span":{"start","end","line","col"}|null}`.
+pub fn diagnostic_json(src: &str, d: &Diagnostic) -> String {
+    let span = match d.span {
+        Some(s) => {
+            let (line, col) = line_col(src, s.start);
+            format!(
+                "{{\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}}}",
+                s.start, s.end
+            )
+        }
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"severity\":\"{}\",\"message\":\"{}\",\"span\":{span}}}",
+        json_escape(&d.severity),
+        json_escape(&d.message)
+    )
+}
+
+/// Renders a diagnostic list as a JSON array — the shared payload of
+/// `mems check --json`, `mems serve --check-only`, and serve's
+/// invalid-deck responses.
+pub fn diagnostics_json(src: &str, diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(|d| diagnostic_json(src, d)).collect();
+    format!("[{}]", items.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +895,83 @@ mod tests {
         assert_eq!(super::json_num(f64::NAN), "null");
         assert_eq!(super::json_num(f64::INFINITY), "null");
         assert!(super::json_num(1.5).starts_with("1.5"));
+    }
+
+    #[test]
+    fn json_escape_covers_the_two_char_escapes() {
+        assert_eq!(json_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("line1\nline2"), "line1\\nline2");
+        assert_eq!(json_escape("cr\rtab\t"), "cr\\rtab\\t");
+    }
+
+    #[test]
+    fn json_escape_hexifies_control_chars() {
+        assert_eq!(json_escape("\u{0}"), "\\u0000");
+        assert_eq!(json_escape("bell\u{7}"), "bell\\u0007");
+        assert_eq!(json_escape("esc\u{1b}[0m"), "esc\\u001b[0m");
+        // 0x7f DEL is not in the JSON mandatory-escape set and passes
+        // through, as does everything from 0x20 up.
+        assert_eq!(json_escape("\u{7f}"), "\u{7f}");
+    }
+
+    #[test]
+    fn json_escape_passes_non_ascii_through_as_utf8() {
+        // Hierarchical node names and deck titles are user-supplied
+        // and may carry any UTF-8; the writer must not mangle them.
+        assert_eq!(json_escape("x1.mid"), "x1.mid");
+        assert_eq!(json_escape("xµ.gap"), "xµ.gap");
+        assert_eq!(json_escape("共振器 β→γ"), "共振器 β→γ");
+        assert_eq!(json_escape("emoji \u{1f300} node"), "emoji \u{1f300} node");
+    }
+
+    #[test]
+    fn escaped_strings_embed_in_wellformed_json() {
+        let nasty = "t\u{1}tle \"q\" \\ \n xµ.共振";
+        let doc = format!("{{\"title\":\"{}\"}}", json_escape(nasty));
+        assert_json_balanced(&doc);
+        assert!(!doc.contains('\n'), "{doc}");
+    }
+
+    #[test]
+    fn point_json_matches_batch_json_points() {
+        let deck = Deck::parse(
+            "p\n.param r=1k\nVs in 0 1\nR1 in out 1k\nR2 out 0 {r}\n.op\n.print op v(out)\n.step param r 1k 2k 500\n",
+        )
+        .unwrap();
+        let result = run_batch(&deck, &BatchOptions::with_threads(1)).unwrap();
+        let doc = batch_json(&result);
+        for p in &result.points {
+            let one = point_json(p);
+            assert!(doc.contains(&one), "{one} not embedded in {doc}");
+            assert_json_balanced(&one);
+        }
+    }
+
+    #[test]
+    fn diagnostics_json_carries_span_line_col() {
+        let src = "title\nR1 a b 1k\nbogus card here\n";
+        let err = Deck::parse(src).unwrap_err();
+        let diags = vec![Diagnostic::from_error(&err)];
+        let json = diagnostics_json(src, &diags);
+        assert_json_balanced(&json);
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"line\":3"), "{json}");
+        assert!(json.contains("\"start\":"), "{json}");
+        // Spanless errors serialize with `"span":null`.
+        let io = crate::error::NetlistError::Io("gone".into());
+        let json = diagnostics_json(src, &[Diagnostic::from_error(&io)]);
+        assert!(json.contains("\"span\":null"), "{json}");
+    }
+
+    #[test]
+    fn line_col_is_one_based_and_counts_chars() {
+        let src = "ab\ncdé f\n";
+        assert_eq!(super::line_col(src, 0), (1, 1));
+        assert_eq!(super::line_col(src, 3), (2, 1));
+        // é is 2 bytes; the column after it counts characters.
+        let pos = src.find(" f").unwrap();
+        assert_eq!(super::line_col(src, pos), (2, 4));
     }
 
     /// Cheap structural check: braces/brackets balance outside strings.

@@ -1,0 +1,330 @@
+//! The server-wide artifact cache.
+//!
+//! Keyed on the submitted deck **source text** (verified by equality,
+//! not just by hash), each entry owns the parsed [`Deck`] and a pool
+//! of warm [`RunCtx`]s — elaborated circuits that workers re-bind in
+//! place via the `set_param` patch path, plus assembly workspaces
+//! whose sparse symbolic factorization + AMD ordering survive across
+//! jobs. A re-submitted or parameter-tweaked deck therefore skips
+//! parse, elaborate, *and* symbolic analysis: the second submission's
+//! job reports `circuits_built == 0`.
+//!
+//! [`RunCtx`] itself guards against cross-deck reuse with the deck
+//! fingerprint ([`mems_netlist::deck_fingerprint`]), so a pooled
+//! context handed to the wrong entry would rebuild rather than
+//! mis-patch — the pool keeps that from ever happening, the guard
+//! keeps it from ever mattering.
+
+use mems_netlist::{deck_fingerprint, BatchPoint, Deck, IncludeResolver, NetlistError, RunCtx};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached deck and its reusable simulation artifacts.
+pub struct DeckEntry {
+    /// The submitted source, byte-for-byte (the real cache key).
+    pub source: String,
+    /// The parsed deck.
+    pub deck: Deck,
+    /// Definition fingerprint (`deck_fingerprint`), reported to
+    /// clients as cache metadata.
+    pub fingerprint: u64,
+    /// The deck's expanded `.STEP`/`.MC` point list (`None` when the
+    /// deck has neither card). Point expansion is deterministic —
+    /// `.MC` sampling is keyed on `(seed, point, variable)` — so it is
+    /// computed once at parse time and cloned per submission: a cache
+    /// hit re-runs *nothing*, not even sweep expansion.
+    pub batch_points: Option<Vec<BatchPoint>>,
+    /// Warm run contexts checked out by workers and returned after
+    /// each chunk.
+    pool: Mutex<Vec<RunCtx>>,
+    /// How many submissions resolved to this entry after the first.
+    pub hits: AtomicU64,
+}
+
+/// Cap on pooled contexts per entry; beyond it a returned context is
+/// dropped (its artifacts are cheap to rebuild relative to holding
+/// unbounded memory for idle decks).
+const POOL_CAP: usize = 8;
+
+impl DeckEntry {
+    /// Hands out a warm context (or a cold one when the pool is dry)
+    /// together with a flag telling whether it carries artifacts.
+    pub fn checkout(&self) -> (RunCtx, bool) {
+        match self.pool.lock().expect("no poisoned pool lock").pop() {
+            Some(ctx) => {
+                let warm = ctx.is_warm();
+                (ctx, warm)
+            }
+            None => (RunCtx::default(), false),
+        }
+    }
+
+    /// The point list a job over this deck runs: the expanded
+    /// `.STEP`/`.MC` points, or one empty-override point for plain
+    /// decks (a job is always a stream of ≥ 1 point records).
+    pub fn job_points(&self) -> Vec<BatchPoint> {
+        match &self.batch_points {
+            Some(points) => points.clone(),
+            None => vec![BatchPoint {
+                index: 0,
+                overrides: Vec::new(),
+            }],
+        }
+    }
+
+    /// Returns a context to the pool for the next chunk or job.
+    pub fn checkin(&self, mut ctx: RunCtx) {
+        // A guess chained from one job's last point must not leak
+        // into another job's Newton solves.
+        ctx.op_guess = None;
+        let mut pool = self.pool.lock().expect("no poisoned pool lock");
+        if pool.len() < POOL_CAP {
+            pool.push(ctx);
+        }
+    }
+}
+
+/// What a cache lookup did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The source was already cached; nothing was parsed.
+    Hit,
+    /// The source was parsed and elaboration-checked, then cached.
+    Miss,
+}
+
+/// The fingerprint-keyed deck cache (LRU over submitted sources).
+pub struct ArtifactCache {
+    inner: Mutex<CacheState>,
+    /// Lifetime hit/miss counters, exported on `/v1/health`.
+    pub hits: AtomicU64,
+    /// Lifetime miss counter.
+    pub misses: AtomicU64,
+    /// Max resident entries.
+    cap: usize,
+}
+
+struct CacheState {
+    /// Source-hash → entries with that hash (collisions resolved by
+    /// source equality).
+    by_hash: HashMap<u64, Vec<Arc<DeckEntry>>>,
+    /// LRU order of source hashes + the exact source, oldest first.
+    order: Vec<(u64, usize)>,
+    /// Monotonic use counter backing the LRU order.
+    clock: usize,
+}
+
+impl ArtifactCache {
+    /// An empty cache holding at most `cap` decks.
+    pub fn new(cap: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(CacheState {
+                by_hash: HashMap::new(),
+                order: Vec::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("no poisoned cache lock")
+            .by_hash
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves submitted source text to a cached entry, parsing and
+    /// caching on miss. The parse on the miss path also performs the
+    /// elaborate fail-fast (`Elaborator::new`), so a returned entry is
+    /// always simulatable-or-diagnosed up front.
+    ///
+    /// # Errors
+    ///
+    /// Parse/elaborate diagnostics for the submitted deck.
+    pub fn resolve(
+        &self,
+        source: &str,
+        includes: &mut dyn IncludeResolver,
+    ) -> Result<(Arc<DeckEntry>, Lookup), NetlistError> {
+        let key = source_hash(source);
+        {
+            let mut state = self.inner.lock().expect("no poisoned cache lock");
+            if let Some(candidates) = state.by_hash.get(&key) {
+                if let Some(entry) = candidates.iter().find(|e| e.source == source) {
+                    let entry = Arc::clone(entry);
+                    state.touch(key);
+                    drop(state);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    entry.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((entry, Lookup::Hit));
+                }
+            }
+        }
+
+        // Parse outside the lock: a slow deck must not stall lookups.
+        let deck = Deck::parse_with_includes(source, includes)?;
+        let elab = mems_netlist::Elaborator::new(&deck)?;
+        let batch_points = match mems_netlist::batch_points_with(&elab) {
+            Ok(points) => Some(points),
+            // The span-less elab error is "no .STEP/.MC card" — a
+            // plain single-run deck, not a diagnostic.
+            Err(NetlistError::Elab { span: None, .. }) => None,
+            Err(e) => return Err(e),
+        };
+        drop(elab);
+        let entry = Arc::new(DeckEntry {
+            source: source.to_string(),
+            fingerprint: deck_fingerprint(&deck),
+            batch_points,
+            deck,
+            pool: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+        });
+
+        let mut state = self.inner.lock().expect("no poisoned cache lock");
+        // A racing submitter may have cached the same source while we
+        // parsed; prefer theirs so the warm pool stays shared.
+        if let Some(candidates) = state.by_hash.get(&key) {
+            if let Some(existing) = candidates.iter().find(|e| e.source == source) {
+                let existing = Arc::clone(existing);
+                state.touch(key);
+                drop(state);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                existing.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((existing, Lookup::Hit));
+            }
+        }
+        state
+            .by_hash
+            .entry(key)
+            .or_default()
+            .push(Arc::clone(&entry));
+        state.touch(key);
+        if state.by_hash.values().map(Vec::len).sum::<usize>() > self.cap {
+            state.evict_oldest();
+        }
+        drop(state);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((entry, Lookup::Miss))
+    }
+}
+
+impl CacheState {
+    /// Stamps `key` as most recently used.
+    fn touch(&mut self, key: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.order.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = clock,
+            None => self.order.push((key, clock)),
+        }
+    }
+
+    /// Drops the least recently used hash bucket.
+    fn evict_oldest(&mut self) {
+        if let Some(pos) = self
+            .order
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(pos, _)| pos)
+        {
+            let (key, _) = self.order.swap_remove(pos);
+            self.by_hash.remove(&key);
+        }
+    }
+}
+
+/// Hash of the raw submitted source (pre-parse, pre-include-splice):
+/// the cache must answer before doing any work, so it keys on exactly
+/// the bytes the client sent.
+fn source_hash(source: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    source.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mems_netlist::NoIncludes;
+
+    const DECK: &str = "divider\nVs in 0 6\nR1 in out 1k\nR2 out 0 2k\n.op\n.print op v(out)\n";
+
+    #[test]
+    fn second_resolve_is_a_hit() {
+        let cache = ArtifactCache::new(4);
+        let (a, first) = cache.resolve(DECK, &mut NoIncludes).unwrap();
+        let (b, second) = cache.resolve(DECK, &mut NoIncludes).unwrap();
+        assert_eq!(first, Lookup::Miss);
+        assert_eq!(second, Lookup::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(a.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn different_sources_are_different_entries() {
+        let cache = ArtifactCache::new(4);
+        let (a, _) = cache.resolve(DECK, &mut NoIncludes).unwrap();
+        let tweaked = DECK.replace("2k", "3k");
+        let (b, what) = cache.resolve(&tweaked, &mut NoIncludes).unwrap();
+        assert_eq!(what, Lookup::Miss);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_residency() {
+        let cache = ArtifactCache::new(2);
+        for r2 in ["1k", "2k", "3k"] {
+            let deck = DECK.replace("2k", r2);
+            cache.resolve(&deck, &mut NoIncludes).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // The oldest ("1k") was evicted: resubmitting it misses.
+        let (_, what) = cache
+            .resolve(&DECK.replace("2k", "1k"), &mut NoIncludes)
+            .unwrap();
+        assert_eq!(what, Lookup::Miss);
+    }
+
+    #[test]
+    fn checkout_reports_warmth() {
+        let cache = ArtifactCache::new(4);
+        let (entry, _) = cache.resolve(DECK, &mut NoIncludes).unwrap();
+        let (ctx, warm) = entry.checkout();
+        assert!(!warm);
+        // Run one point so the context accrues artifacts.
+        let elab = mems_netlist::Elaborator::new(&entry.deck).unwrap();
+        let mut ctx = ctx;
+        mems_netlist::run_elaborated_ctx(&elab, &Default::default(), &mut ctx).unwrap();
+        assert_eq!(ctx.stats.circuits_built, 1);
+        entry.checkin(ctx);
+        let (ctx, warm) = entry.checkout();
+        assert!(warm && ctx.is_warm());
+    }
+
+    #[test]
+    fn bad_decks_do_not_enter_the_cache() {
+        let cache = ArtifactCache::new(4);
+        assert!(cache.resolve("t\nbogus card\n", &mut NoIncludes).is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Hand-rolled HTTP/1.1 plumbing for the serve protocol.
+//!
+//! Enough of RFC 9112 for a JSON job API consumed by `curl` and test
+//! harnesses: request line + headers + `Content-Length` bodies in,
+//! fixed-length responses out, per-connection keep-alive. No chunked
+//! transfer coding, no TLS — the daemon is an intranet tool, like the
+//! simulation farms the paper's methodology feeds.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (decks are text; 4 MiB is roomy).
+pub const MAX_BODY: usize = 4 << 20;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Decoded path (`/v1/jobs/42`), query stripped.
+    pub path: String,
+    /// Decoded query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Lowercased header names and their values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when the request carries none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value under `key`.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the encoding problem.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not UTF-8".to_string())
+    }
+}
+
+/// Reads one request off the connection. `Ok(None)` is a clean EOF
+/// (client closed between requests); errors are protocol violations
+/// the caller answers with 400 and a hangup.
+///
+/// # Errors
+///
+/// Malformed request line/headers, bodies over [`MAX_BODY`], or I/O
+/// failures (timeouts included).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
+        _ => return Err(bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("EOF inside headers"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("bad Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target.as_str(), Vec::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Splits and percent-decodes a query string.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// `%XX` + `+`-as-space decoding; bad escapes pass through verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 3 <= bytes.len()
+                && s.is_char_boundary(i + 1)
+                && s.is_char_boundary(i + 3) =>
+            {
+                match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reason phrases for the statuses the protocol emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a JSON response with fixed length and optional extra
+/// headers (e.g. `Retry-After`).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The uniform error body: `{"error":"..."}`.
+pub fn error_body(msg: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\"}}",
+        mems_netlist::report::json_escape(msg)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query("client=ci+box&mode=sweep&title=%E5%85%B1%E6%8C%AF&flag");
+        assert_eq!(q[0], ("client".into(), "ci box".into()));
+        assert_eq!(q[1], ("mode".into(), "sweep".into()));
+        assert_eq!(q[2], ("title".into(), "共振".into()));
+        assert_eq!(q[3], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn percent_decoding_tolerates_bad_escapes() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn requests_round_trip_over_a_socket_pair() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /v1/jobs?client=t HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\ndeck",
+            )
+            .unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query("client"), Some("t"));
+        assert_eq!(req.body_text().unwrap(), "deck");
+        assert!(read_request(&mut reader).unwrap().is_none());
+        writer.join().unwrap();
+    }
+}

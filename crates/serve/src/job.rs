@@ -1,0 +1,266 @@
+//! Job lifecycle: one submitted deck run (single point or a full
+//! `.STEP`/`.MC` batch), its per-point results, cancellation handle,
+//! and the cache/timing metadata the HTTP API reports.
+
+use crate::cache::{DeckEntry, Lookup};
+use mems_netlist::report::{json_escape, point_json};
+use mems_netlist::{BatchPoint, CancelToken, PointResult, RunStats, CANCELLED_POINT};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Chunks are queued, none finished yet.
+    Queued,
+    /// At least one chunk has run; more remain.
+    Running,
+    /// Cancellation requested; workers are still retiring chunks.
+    Cancelling,
+    /// Every point simulated.
+    Done,
+    /// Cancelled by `DELETE`; unvisited points carry
+    /// [`CANCELLED_POINT`] failures. Terminal.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Cancelling => "cancelling",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether no further results can arrive.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Cancelled)
+    }
+}
+
+/// Aggregated run metadata, reported on `GET /v1/jobs/:id`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JobMeta {
+    /// Reuse counters summed over every chunk's context.
+    pub stats: RunStats,
+    /// Whether any chunk checked out a context that already carried
+    /// artifacts (circuits / symbolic factorization).
+    pub warm_checkout: bool,
+    /// Completion stamp from the server's monotonic sequence (0 while
+    /// unfinished) — lets tests assert finish *order* without racing
+    /// on wall-clock.
+    pub finish_seq: u64,
+}
+
+/// One submitted job.
+pub struct Job {
+    /// Server-unique id.
+    pub id: u64,
+    /// Fair-share queue key (from the request's `client` field).
+    pub client: String,
+    /// The cached deck this job runs.
+    pub entry: Arc<DeckEntry>,
+    /// Whether submission hit the artifact cache.
+    pub cache_hit: bool,
+    /// The expanded point list (a single empty-override point for
+    /// decks without `.STEP`/`.MC`).
+    pub points: Vec<BatchPoint>,
+    /// Cooperative cancellation, checked between points.
+    pub cancel: CancelToken,
+    /// Rendered per-point JSON records, filled as points finish.
+    results: Mutex<Vec<Option<String>>>,
+    /// Simulated-point count (monotonic, lock-free readers).
+    completed: AtomicUsize,
+    /// Points cancellation skipped (recorded as [`CANCELLED_POINT`]
+    /// failures, never simulated).
+    skipped: AtomicUsize,
+    /// Chunks remaining (queued or running).
+    chunks_left: AtomicUsize,
+    /// Sequential `.TRAN` warm-start guesses, computed once by the
+    /// first worker to touch the job (exactly the CLI pre-chain, so
+    /// served results stay bit-identical to `mems sweep`).
+    pub guesses: OnceLock<Option<Vec<Option<Vec<f64>>>>>,
+    /// Aggregated metadata.
+    meta: Mutex<JobMeta>,
+    /// Submission wall-clock anchor.
+    pub submitted: Instant,
+    /// Microseconds spent in parse + elaborate fail-fast at submit
+    /// (0 on cache hits — nothing was parsed).
+    pub parse_us: u64,
+    /// First-result / finish latency in µs from `submitted`.
+    first_result_us: AtomicU64,
+    /// Finish latency in µs from `submitted` (0 while unfinished).
+    finished_us: AtomicU64,
+}
+
+impl Job {
+    /// A freshly submitted job over `chunks` scheduler chunks.
+    pub fn new(
+        id: u64,
+        client: String,
+        entry: Arc<DeckEntry>,
+        lookup: Lookup,
+        points: Vec<BatchPoint>,
+        chunks: usize,
+        parse_us: u64,
+    ) -> Self {
+        let n = points.len();
+        Job {
+            id,
+            client,
+            entry,
+            cache_hit: lookup == Lookup::Hit,
+            points,
+            cancel: CancelToken::new(),
+            results: Mutex::new({
+                let mut v = Vec::with_capacity(n);
+                v.resize_with(n, || None);
+                v
+            }),
+            completed: AtomicUsize::new(0),
+            skipped: AtomicUsize::new(0),
+            chunks_left: AtomicUsize::new(chunks),
+            guesses: OnceLock::new(),
+            meta: Mutex::new(JobMeta::default()),
+            submitted: Instant::now(),
+            parse_us,
+            first_result_us: AtomicU64::new(0),
+            finished_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished point (rendered with the same writer as
+    /// `mems sweep --json`, so streams compare byte-for-byte).
+    pub fn record(&self, index: usize, result: &PointResult) {
+        let rendered = point_json(result);
+        self.results.lock().expect("no poisoned results lock")[index] = Some(rendered);
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        let us = self.submitted.elapsed().as_micros() as u64;
+        let _ =
+            self.first_result_us
+                .compare_exchange(0, us.max(1), Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Marks one chunk finished; returns `true` when it was the last
+    /// (the job just reached a terminal state).
+    pub fn finish_chunk(&self, chunk_meta: JobMeta, finish_seq: &AtomicU64) -> bool {
+        {
+            let mut meta = self.meta.lock().expect("no poisoned meta lock");
+            meta.stats.circuits_built += chunk_meta.stats.circuits_built;
+            meta.stats.circuits_patched += chunk_meta.stats.circuits_patched;
+            meta.warm_checkout |= chunk_meta.warm_checkout;
+        }
+        let last = self.chunks_left.fetch_sub(1, Ordering::SeqCst) == 1;
+        if last {
+            self.finished_us.store(
+                (self.submitted.elapsed().as_micros() as u64).max(1),
+                Ordering::SeqCst,
+            );
+            let seq = finish_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            self.meta.lock().expect("no poisoned meta lock").finish_seq = seq;
+        }
+        last
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        let left = self.chunks_left.load(Ordering::SeqCst);
+        if left == 0 {
+            // A job cancelled only after every point simulated is
+            // simply done.
+            if self.skipped.load(Ordering::SeqCst) > 0 {
+                JobState::Cancelled
+            } else {
+                JobState::Done
+            }
+        } else if self.cancel.is_cancelled() {
+            JobState::Cancelling
+        } else if self.completed.load(Ordering::SeqCst) == 0 {
+            JobState::Queued
+        } else {
+            JobState::Running
+        }
+    }
+
+    /// Finished-point count.
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Metadata snapshot.
+    pub fn meta(&self) -> JobMeta {
+        *self.meta.lock().expect("no poisoned meta lock")
+    }
+
+    /// The contiguous run of rendered results starting at `from`
+    /// (stops at the first unfinished point), plus the next cursor.
+    pub fn results_from(&self, from: usize) -> (Vec<String>, usize) {
+        let results = self.results.lock().expect("no poisoned results lock");
+        let mut out = Vec::new();
+        let mut next = from.min(results.len());
+        while let Some(Some(r)) = results.get(next) {
+            out.push(r.clone());
+            next += 1;
+        }
+        (out, next)
+    }
+
+    /// The status document for `GET /v1/jobs/:id` and submit
+    /// responses.
+    pub fn status_json(&self) -> String {
+        let state = self.state();
+        let meta = self.meta();
+        let first = self.first_result_us.load(Ordering::SeqCst);
+        let finished = self.finished_us.load(Ordering::SeqCst);
+        format!(
+            concat!(
+                "{{\"id\":{},\"client\":\"{}\",\"state\":\"{}\",",
+                "\"points\":{},\"completed\":{},\"skipped\":{},",
+                "\"cache\":{{\"hit\":{},\"fingerprint\":\"{:016x}\",",
+                "\"circuits_built\":{},\"circuits_patched\":{},\"warm_checkout\":{}}},",
+                "\"timing\":{{\"parse_us\":{},\"first_result_us\":{},\"finished_us\":{}}},",
+                "\"finish_seq\":{}}}"
+            ),
+            self.id,
+            json_escape(&self.client),
+            state.name(),
+            self.points.len(),
+            self.completed(),
+            self.skipped.load(Ordering::SeqCst),
+            self.cache_hit,
+            self.entry.fingerprint,
+            meta.stats.circuits_built,
+            meta.stats.circuits_patched,
+            meta.warm_checkout,
+            self.parse_us,
+            first,
+            finished,
+            meta.finish_seq,
+        )
+    }
+
+    /// Fills every unvisited point of the range with the cancelled
+    /// marker — called by the worker that retires a cancelled chunk,
+    /// so `results_from` streams a complete (if partly failed) point
+    /// list.
+    pub fn mark_cancelled_gaps(&self, range: std::ops::Range<usize>) {
+        let mut filled = 0usize;
+        let mut results = self.results.lock().expect("no poisoned results lock");
+        for index in range {
+            if results[index].is_none() {
+                results[index] = Some(point_json(&PointResult {
+                    point: self.points[index].clone(),
+                    outcome: Err(CANCELLED_POINT.to_string()),
+                }));
+                filled += 1;
+            }
+        }
+        drop(results);
+        self.skipped.fetch_add(filled, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,57 @@
+//! # mems-serve — the long-lived simulation service
+//!
+//! The paper's methodology — SPICE decks as lumped-parameter models
+//! of electromechanical transducers — pays off when many engineers
+//! iterate against a *shared, warm* simulator instead of cold CLI
+//! runs. This crate is that daemon: an HTTP/1.1 + JSON job API
+//! (hand-rolled over [`std::net::TcpListener`], matching the repo's
+//! offline no-new-deps style) in front of the `mems-netlist` batch
+//! engine.
+//!
+//! ## The artifact cache
+//!
+//! Every submission is keyed on its source text. On a hit, the server
+//! reuses the parsed deck, the expanded `.STEP`/`.MC` point list, and
+//! a pool of warm run contexts whose elaborated circuits are
+//! re-bound in place (`Elaborator::patch`) and whose assembly
+//! workspaces keep the sparse symbolic factorization + AMD ordering.
+//! A re-submitted or parameter-tweaked deck therefore skips parse,
+//! elaborate, sweep expansion, *and* symbolic analysis — its job
+//! metadata reports `circuits_built == 0`.
+//!
+//! ## Fair share, cancellation, backpressure
+//!
+//! Jobs are chunked and scheduled round-robin **per client**, so a
+//! 10k-point Monte Carlo cannot starve a two-point sanity sweep.
+//! `DELETE /v1/jobs/:id` trips a cooperative [`CancelToken`] checked
+//! between points — a running batch stops within one chunk boundary.
+//! Past `queue_cap` active jobs, submissions answer `429` with
+//! `Retry-After`; `POST /v1/shutdown` (and the CLI's Ctrl-C) drains
+//! queued chunks before the process exits.
+//!
+//! ## Endpoints
+//!
+//! | method + path | effect |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a deck (raw text, or JSON `{"deck": …, "client": …}`) |
+//! | `GET /v1/jobs/:id` | job status + cache/timing metadata |
+//! | `GET /v1/jobs/:id/results?from=K` | stream per-point records (byte-identical to `mems sweep --json` points) |
+//! | `DELETE /v1/jobs/:id` | cooperative cancellation |
+//! | `POST /v1/check` | parse/elaborate only; machine-readable diagnostics |
+//! | `GET /v1/health` | liveness + cache counters |
+//! | `POST /v1/shutdown` | graceful drain |
+//!
+//! [`CancelToken`]: mems_netlist::CancelToken
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod sched;
+pub mod server;
+
+pub use cache::{ArtifactCache, DeckEntry, Lookup};
+pub use job::{Job, JobState};
+pub use json::Json;
+pub use sched::Scheduler;
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,232 @@
+//! Fair-share chunk scheduler.
+//!
+//! Jobs are split into fixed-size point chunks and enqueued per
+//! client; workers draw chunks round-robin **across clients**, so a
+//! client streaming a 10k-point `.MC` batch cannot starve another
+//! client's two-point sanity sweep — the small job's chunks interleave
+//! with the big one's. Admission is bounded: past `queue_cap` active
+//! jobs the submit path answers 429 with `Retry-After` instead of
+//! queueing unboundedly.
+
+use crate::job::Job;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A contiguous range of one job's points, the scheduler's work unit
+/// (and the granularity of cancellation: a cancelled job stops within
+/// one chunk boundary).
+pub struct Chunk {
+    /// The owning job.
+    pub job: Arc<Job>,
+    /// First point index.
+    pub start: usize,
+    /// One past the last point index.
+    pub end: usize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The active-job bound is reached — retry later (429).
+    Busy,
+    /// The scheduler is draining for shutdown (503).
+    Draining,
+}
+
+struct State {
+    /// One FIFO of chunks per client, in first-seen order.
+    clients: Vec<(String, VecDeque<Chunk>)>,
+    /// Round-robin cursor over `clients`.
+    cursor: usize,
+    /// Jobs admitted but not yet retired (queued chunks + running).
+    active_jobs: usize,
+    /// Set once: no further admissions, workers exit when drained.
+    draining: bool,
+}
+
+/// The shared scheduler.
+pub struct Scheduler {
+    state: Mutex<State>,
+    ready: Condvar,
+    /// Points per chunk.
+    pub chunk_size: usize,
+    /// Max active jobs before refusing admissions.
+    pub queue_cap: usize,
+}
+
+impl Scheduler {
+    /// A scheduler chunking jobs into `chunk_size`-point slices and
+    /// admitting at most `queue_cap` active jobs.
+    pub fn new(chunk_size: usize, queue_cap: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                clients: Vec::new(),
+                cursor: 0,
+                active_jobs: 0,
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            chunk_size: chunk_size.max(1),
+            queue_cap: queue_cap.max(1),
+        }
+    }
+
+    /// Number of chunks `points` splits into.
+    pub fn chunks_for(&self, points: usize) -> usize {
+        points.max(1).div_ceil(self.chunk_size)
+    }
+
+    /// Admits a job: splits its points into chunks on the owning
+    /// client's queue.
+    ///
+    /// # Errors
+    ///
+    /// [`Refusal::Busy`] at the admission bound, [`Refusal::Draining`]
+    /// during shutdown.
+    pub fn submit(&self, job: &Arc<Job>) -> Result<(), Refusal> {
+        let mut state = self.state.lock().expect("no poisoned sched lock");
+        if state.draining {
+            return Err(Refusal::Draining);
+        }
+        if state.active_jobs >= self.queue_cap {
+            return Err(Refusal::Busy);
+        }
+        state.active_jobs += 1;
+        let queue = match state
+            .clients
+            .iter_mut()
+            .find(|(name, _)| *name == job.client)
+        {
+            Some((_, queue)) => queue,
+            None => {
+                state.clients.push((job.client.clone(), VecDeque::new()));
+                &mut state.clients.last_mut().expect("just pushed").1
+            }
+        };
+        let n = job.points.len().max(1);
+        for start in (0..n).step_by(self.chunk_size) {
+            queue.push_back(Chunk {
+                job: Arc::clone(job),
+                start,
+                end: (start + self.chunk_size).min(n),
+            });
+        }
+        drop(state);
+        self.ready.notify_all();
+        Ok(())
+    }
+
+    /// Blocks for the next chunk, drawn round-robin across clients.
+    /// `None` means the scheduler is draining and empty — the worker
+    /// should exit.
+    pub fn next_chunk(&self) -> Option<Chunk> {
+        let mut state = self.state.lock().expect("no poisoned sched lock");
+        loop {
+            let n = state.clients.len();
+            for step in 0..n {
+                let at = (state.cursor + step) % n;
+                if let Some(chunk) = state.clients[at].1.pop_front() {
+                    // Advance past the served client so the next draw
+                    // starts at its neighbor.
+                    state.cursor = (at + 1) % n;
+                    return Some(chunk);
+                }
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.ready.wait(state).expect("no poisoned sched lock");
+        }
+    }
+
+    /// Marks one job retired (its last chunk finished).
+    pub fn job_retired(&self) {
+        let mut state = self.state.lock().expect("no poisoned sched lock");
+        state.active_jobs = state.active_jobs.saturating_sub(1);
+    }
+
+    /// Starts the drain: no further admissions; queued chunks still
+    /// run; workers exit once the queues are dry.
+    pub fn drain(&self) {
+        self.state.lock().expect("no poisoned sched lock").draining = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether the drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("no poisoned sched lock").draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ArtifactCache;
+    use mems_netlist::{BatchPoint, NoIncludes};
+
+    fn stub_job(id: u64, client: &str, points: usize) -> Arc<Job> {
+        static CACHE: std::sync::OnceLock<ArtifactCache> = std::sync::OnceLock::new();
+        let cache = CACHE.get_or_init(|| ArtifactCache::new(2));
+        let (entry, lookup) = cache
+            .resolve("t\nVs a 0 1\nR1 a 0 1k\n.op\n", &mut NoIncludes)
+            .unwrap();
+        let points = (0..points)
+            .map(|index| BatchPoint {
+                index,
+                overrides: Vec::new(),
+            })
+            .collect();
+        Arc::new(Job::new(id, client.into(), entry, lookup, points, 1, 0))
+    }
+
+    #[test]
+    fn chunks_interleave_across_clients() {
+        let sched = Scheduler::new(2, 16);
+        sched.submit(&stub_job(1, "big", 8)).unwrap();
+        sched.submit(&stub_job(2, "small", 2)).unwrap();
+        let order: Vec<u64> = (0..5).map(|_| sched.next_chunk().unwrap().job.id).collect();
+        // big, small, big, big, big — the small client's one chunk
+        // rides second, not after all four of big's.
+        assert_eq!(order, vec![1, 2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn same_client_chunks_stay_fifo() {
+        let sched = Scheduler::new(4, 16);
+        sched.submit(&stub_job(1, "c", 4)).unwrap();
+        sched.submit(&stub_job(2, "c", 4)).unwrap();
+        assert_eq!(sched.next_chunk().unwrap().job.id, 1);
+        assert_eq!(sched.next_chunk().unwrap().job.id, 2);
+    }
+
+    #[test]
+    fn admission_is_bounded_and_drain_refuses() {
+        let sched = Scheduler::new(4, 2);
+        sched.submit(&stub_job(1, "a", 1)).unwrap();
+        sched.submit(&stub_job(2, "a", 1)).unwrap();
+        assert_eq!(sched.submit(&stub_job(3, "a", 1)), Err(Refusal::Busy));
+        sched.job_retired();
+        sched.submit(&stub_job(4, "a", 1)).unwrap();
+        sched.drain();
+        assert_eq!(sched.submit(&stub_job(5, "a", 1)), Err(Refusal::Draining));
+    }
+
+    #[test]
+    fn drained_empty_scheduler_releases_workers() {
+        let sched = Arc::new(Scheduler::new(4, 4));
+        let worker = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || {
+                let mut served = 0;
+                while sched.next_chunk().is_some() {
+                    served += 1;
+                }
+                served
+            })
+        };
+        sched.submit(&stub_job(1, "a", 8)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        sched.drain();
+        assert_eq!(worker.join().unwrap(), 2);
+    }
+}

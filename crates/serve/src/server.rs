@@ -1,0 +1,488 @@
+//! The daemon: accept loop, connection handling, request routing,
+//! and the worker pool that retires scheduler chunks.
+
+use crate::cache::ArtifactCache;
+use crate::http::{error_body, read_request, respond, Request};
+use crate::job::{Job, JobMeta};
+use crate::json::Json;
+use crate::sched::{Chunk, Refusal, Scheduler};
+use mems_netlist::report::{diagnostics_json, Diagnostic};
+use mems_netlist::{
+    extract_metrics, run_elaborated_ctx, warm_start_chain, Elaborator, FsResolver, IncludeResolver,
+    NoIncludes, ParamEnv, PointResult,
+};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration (the `mems serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address.
+    pub host: String,
+    /// Bind port (`0` = ephemeral; the chosen port is printed and
+    /// exposed via [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads. `0` spawns none — jobs queue forever; the
+    /// check-only mode and the backpressure tests use this.
+    pub workers: usize,
+    /// Points per scheduler chunk (fair-share granularity *and* the
+    /// cancellation latency bound).
+    pub chunk_size: usize,
+    /// Max active jobs before `POST /v1/jobs` answers 429.
+    pub queue_cap: usize,
+    /// Max decks resident in the artifact cache.
+    pub cache_cap: usize,
+    /// Base directory for `.INCLUDE` resolution; `None` rejects
+    /// includes (the safe default for a network-facing daemon).
+    pub include_dir: Option<PathBuf>,
+    /// Lint service mode: only `/v1/check` and `/v1/health` answer;
+    /// job submission is refused.
+    pub check_only: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk_size: 8,
+            queue_cap: 64,
+            cache_cap: 32,
+            include_dir: None,
+            check_only: false,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    cache: ArtifactCache,
+    sched: Scheduler,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    /// Global completion sequence (see [`JobMeta::finish_seq`]).
+    finish_seq: AtomicU64,
+    /// Cleared when shutdown begins; submissions then answer 503.
+    accepting: AtomicBool,
+    include_dir: Option<PathBuf>,
+    check_only: bool,
+    started: Instant,
+}
+
+impl Shared {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("no poisoned registry lock")
+            .get(&id)
+            .cloned()
+    }
+
+    fn resolver(&self) -> Box<dyn IncludeResolver> {
+        match &self.include_dir {
+            Some(base) => Box::new(FsResolver { base: base.clone() }),
+            None => Box::new(NoIncludes),
+        }
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] +
+/// [`Server::join`] detaches the threads (fine for tests; the CLI
+/// always joins).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: accept loop + worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ArtifactCache::new(config.cache_cap),
+            sched: Scheduler::new(config.chunk_size, config.queue_cap),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            finish_seq: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+            include_dir: config.include_dir.clone(),
+            check_only: config.check_only,
+            started: Instant::now(),
+        });
+
+        let workers = (0..if config.check_only { 0 } else { config.workers })
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(chunk) = shared.sched.next_chunk() {
+                        run_chunk(&shared, &chunk);
+                    }
+                })
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if !shared.accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_connection(&shared, stream));
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `--port 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates the graceful drain: no further submissions, queued
+    /// chunks still retire, workers then exit. Idempotent; also
+    /// triggered by `POST /v1/shutdown` and the CLI's Ctrl-C handler.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+
+    /// A detachable shutdown handle (the CLI's signal watcher owns
+    /// one while [`Server::join`] blocks the main thread).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Blocks until the drain completes (accept loop + workers gone).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Initiates the graceful drain (see [`Server::shutdown`]).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+}
+
+fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.accepting.store(false, Ordering::SeqCst);
+    shared.sched.drain();
+    // Self-connect to unblock the accept loop's blocking `incoming`.
+    let _ = TcpStream::connect(addr);
+}
+
+/// Runs one scheduler chunk on a checked-out cache context.
+fn run_chunk(shared: &Shared, chunk: &Chunk) {
+    let job = &chunk.job;
+    let mut meta = JobMeta::default();
+    if !job.cancel.is_cancelled() {
+        let entry = &job.entry;
+        let (mut ctx, warm) = entry.checkout();
+        meta.warm_checkout = warm;
+        // Rebuilding the Elaborator per chunk mirrors the batch
+        // engine's per-worker rebuild: HDL model compilation is cheap,
+        // and the expensive artifacts (circuits, symbolic
+        // factorization) live in the pooled context.
+        if let Ok(elab) = Elaborator::new(&entry.deck) {
+            let guesses = job.guesses.get_or_init(|| {
+                warm_start_chain(&entry.deck, &elab, &job.points, false, &job.cancel)
+            });
+            let before = ctx.stats;
+            for index in chunk.start..chunk.end {
+                if job.cancel.is_cancelled() {
+                    break;
+                }
+                let point = &job.points[index];
+                ctx.op_guess = guesses
+                    .as_ref()
+                    .and_then(|g| g.get(index).cloned().flatten());
+                let env: ParamEnv = point.overrides.iter().cloned().collect();
+                let outcome = match run_elaborated_ctx(&elab, &env, &mut ctx) {
+                    Ok(run) => Ok(extract_metrics(&entry.deck, &run)),
+                    Err(e) => Err(e.to_string()),
+                };
+                job.record(
+                    index,
+                    &PointResult {
+                        point: point.clone(),
+                        outcome,
+                    },
+                );
+            }
+            meta.stats.circuits_built = ctx.stats.circuits_built - before.circuits_built;
+            meta.stats.circuits_patched = ctx.stats.circuits_patched - before.circuits_patched;
+        }
+        entry.checkin(ctx);
+    }
+    if job.cancel.is_cancelled() {
+        job.mark_cancelled_gaps(chunk.start..chunk.end);
+    }
+    if job.finish_chunk(meta, &shared.finish_seq) {
+        shared.sched.job_retired();
+    }
+}
+
+/// Serves one connection (HTTP/1.1 keep-alive loop).
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let close = req.wants_close();
+                if route(shared, &mut stream, &req).is_err() || close {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = respond(&mut stream, 400, &[], &error_body(&e.to_string()));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Dispatches one request.
+fn route(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    let path = req.path.trim_matches('/').to_string();
+    let segments: Vec<&str> = path.split('/').collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "health"]) => health(shared, stream),
+        ("POST", ["v1", "check"]) => check(shared, stream, req),
+        ("POST", ["v1", "jobs"]) => submit(shared, stream, req),
+        ("GET", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
+            (200, job.status_json(), Vec::new())
+        }),
+        ("GET", ["v1", "jobs", id, "results"]) => {
+            let from = req
+                .query("from")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            with_job(shared, stream, id, move |job| {
+                let (points, next) = job.results_from(from);
+                let body = format!(
+                    "{{\"id\":{},\"state\":\"{}\",\"from\":{},\"next\":{},\"total\":{},\"points\":[{}]}}",
+                    job.id,
+                    job.state().name(),
+                    from,
+                    next,
+                    job.points.len(),
+                    points.join(",")
+                );
+                (200, body, Vec::new())
+            })
+        }
+        ("DELETE", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
+            job.cancel.cancel();
+            (202, job.status_json(), Vec::new())
+        }),
+        ("POST", ["v1", "shutdown"]) => {
+            let addr = stream.local_addr()?;
+            respond(stream, 202, &[], "{\"ok\":true,\"draining\":true}")?;
+            initiate_shutdown(shared, addr);
+            Ok(())
+        }
+        _ => respond(stream, 404, &[], &error_body("no such endpoint")),
+    }
+}
+
+/// Looks a job up by its path segment and answers with `f`'s
+/// `(status, body, extra_headers)`.
+fn with_job(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    id: &str,
+    f: impl FnOnce(&Arc<Job>) -> (u16, String, Vec<(&'static str, String)>),
+) -> std::io::Result<()> {
+    let job = id.parse::<u64>().ok().and_then(|id| shared.job(id));
+    match job {
+        Some(job) => {
+            let (status, body, extra) = f(&job);
+            let borrowed: Vec<(&str, &str)> = extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            respond(stream, status, &borrowed, &body)
+        }
+        None => respond(stream, 404, &[], &error_body("no such job")),
+    }
+}
+
+fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
+    let (active, total) = {
+        let jobs = shared.jobs.lock().expect("no poisoned registry lock");
+        let active = jobs.values().filter(|j| !j.state().is_terminal()).count();
+        (active, jobs.len())
+    };
+    let body = format!(
+        concat!(
+            "{{\"ok\":true,\"check_only\":{},\"draining\":{},\"uptime_us\":{},",
+            "\"jobs\":{{\"active\":{},\"total\":{}}},",
+            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}}"
+        ),
+        shared.check_only,
+        shared.sched.is_draining(),
+        shared.started.elapsed().as_micros(),
+        active,
+        total,
+        shared.cache.len(),
+        shared.cache.hits.load(Ordering::Relaxed),
+        shared.cache.misses.load(Ordering::Relaxed),
+    );
+    respond(stream, 200, &[], &body)
+}
+
+/// `POST /v1/check`: parse + elaborate, answer the shared
+/// machine-readable diagnostics format (also emitted by
+/// `mems check --json`).
+fn check(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    let source = match deck_source(req) {
+        Ok(s) => s,
+        Err(msg) => return respond(stream, 400, &[], &error_body(&msg)),
+    };
+    let mut resolver = shared.resolver();
+    let outcome = shared.cache.resolve(&source, &mut *resolver);
+    let body = match outcome {
+        Ok(_) => "{\"ok\":true,\"diagnostics\":[]}".to_string(),
+        Err(e) => format!(
+            "{{\"ok\":false,\"diagnostics\":{}}}",
+            diagnostics_json(&source, &[Diagnostic::from_error(&e)])
+        ),
+    };
+    respond(stream, 200, &[], &body)
+}
+
+/// `POST /v1/jobs`: admit a deck submission.
+fn submit(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    if shared.check_only {
+        return respond(stream, 403, &[], &error_body("server is check-only"));
+    }
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return respond(stream, 503, &[], &error_body("server is shutting down"));
+    }
+    let (source, client) = match submission(req) {
+        Ok(parts) => parts,
+        Err(msg) => return respond(stream, 400, &[], &error_body(&msg)),
+    };
+
+    let t0 = Instant::now();
+    let mut resolver = shared.resolver();
+    let (entry, lookup) = match shared.cache.resolve(&source, &mut *resolver) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            let body = format!(
+                "{{\"error\":\"invalid deck\",\"diagnostics\":{}}}",
+                diagnostics_json(&source, &[Diagnostic::from_error(&e)])
+            );
+            return respond(stream, 400, &[], &body);
+        }
+    };
+    let parse_us = match lookup {
+        crate::cache::Lookup::Hit => 0,
+        crate::cache::Lookup::Miss => t0.elapsed().as_micros() as u64,
+    };
+
+    let points = entry.job_points();
+    let chunks = shared.sched.chunks_for(points.len());
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+    let job = Arc::new(Job::new(
+        id, client, entry, lookup, points, chunks, parse_us,
+    ));
+    match shared.sched.submit(&job) {
+        Ok(()) => {
+            shared
+                .jobs
+                .lock()
+                .expect("no poisoned registry lock")
+                .insert(id, Arc::clone(&job));
+            respond(stream, 201, &[], &job.status_json())
+        }
+        Err(Refusal::Busy) => respond(
+            stream,
+            429,
+            &[("Retry-After", "1")],
+            &error_body("job queue is full"),
+        ),
+        Err(Refusal::Draining) => respond(stream, 503, &[], &error_body("server is shutting down")),
+    }
+}
+
+/// The deck source of a check/submit request: either the `deck`
+/// member of a JSON body, or the raw body for `text/plain`
+/// submissions (the curl-friendly path).
+fn deck_source(req: &Request) -> Result<String, String> {
+    let text = req.body_text()?.to_string();
+    if text.is_empty() {
+        return Err("empty request body".to_string());
+    }
+    let is_json = req
+        .header("content-type")
+        .is_some_and(|ct| ct.to_ascii_lowercase().contains("json"));
+    if !is_json {
+        return Ok(text);
+    }
+    let doc = Json::parse(&text).map_err(|e| format!("bad JSON body: {e}"))?;
+    doc.get("deck")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "JSON body needs a string `deck` member".to_string())
+}
+
+/// Splits a submission into deck source and fair-share client id
+/// (JSON `client` member, else `?client=` query, else `"anon"`).
+fn submission(req: &Request) -> Result<(String, String), String> {
+    let source = deck_source(req)?;
+    let from_json = || -> Option<String> {
+        let doc = Json::parse(req.body_text().ok()?).ok()?;
+        doc.get("client").and_then(Json::as_str).map(str::to_string)
+    };
+    let is_json = req
+        .header("content-type")
+        .is_some_and(|ct| ct.to_ascii_lowercase().contains("json"));
+    let client = if is_json { from_json() } else { None }
+        .or_else(|| req.query("client").map(str::to_string))
+        .unwrap_or_else(|| "anon".to_string());
+    Ok((source, client))
+}

@@ -249,6 +249,18 @@ mod tests {
     use crate::devices::passive::Resistor;
 
     #[test]
+    fn circuits_and_workspaces_cross_threads() {
+        // The batch engine and the `mems serve` artifact cache both
+        // hand built circuits (and their cached symbolic
+        // factorizations) to worker threads. Keep that a compile-time
+        // guarantee, not an accident of today's field types.
+        fn assert_send<T: Send>() {}
+        assert_send::<Circuit>();
+        assert_send::<crate::solver::Workspace>();
+        assert_send::<Box<dyn crate::device::Device>>();
+    }
+
+    #[test]
     fn nodes_are_interned_by_name() {
         let mut c = Circuit::new();
         let a = c.enode("a").unwrap();

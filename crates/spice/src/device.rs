@@ -242,7 +242,11 @@ pub struct CommitKind {
 ///
 /// Implementations stamp residuals/Jacobians in [`Device::load`]
 /// (DC + transient) and complex admittances in [`Device::load_ac`].
-pub trait Device {
+///
+/// `Send` is a supertrait: circuits are built on one thread and run
+/// on another (batch workers, the `mems serve` artifact cache), so
+/// every device must be transferable across threads.
+pub trait Device: Send {
     /// Instance name (unique within a circuit).
     fn name(&self) -> &str;
 

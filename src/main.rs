@@ -2,15 +2,17 @@
 //!
 //! ```sh
 //! mems check deck.cir              # parse + elaborate, report problems
+//! mems check deck.cir --json       # machine-readable diagnostics
 //! mems run deck.cir                # run the deck's analyses, print tables
 //! mems run deck.cir --csv out.csv  # CSV instead ("-" = stdout)
 //! mems run deck.cir --json         # machine-readable report on stdout
 //! mems plot deck.cir --probe x1.mid    # terminal ASCII plots
 //! mems sweep deck.cir --threads 8  # run the .STEP/.MC batch in parallel
 //! mems sweep deck.cir --json pts.json  # per-point metrics + failure logs
+//! mems serve --port 8787           # long-lived simulation service
 //! ```
 
-use mems_netlist::{report, run_deck, BatchOptions, Deck, FsResolver, NetlistError};
+use mems_netlist::{report, run_deck, BatchOptions, CancelToken, Deck, FsResolver, NetlistError};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -19,18 +21,21 @@ mems — SPICE-deck frontend for the MEMS transducer tool chain
 
 USAGE:
     mems <COMMAND> <deck.cir> [OPTIONS]
+    mems serve [OPTIONS]
 
 COMMANDS:
     check    Parse and elaborate the deck; report diagnostics and a summary
     run      Run the deck's analysis cards (.OP/.DC/.AC/.TRAN)
     plot     Run the deck and render terminal ASCII plots of the traces
     sweep    Run the deck's .STEP/.MC batch across worker threads
+    serve    Run the HTTP/1.1 + JSON simulation service (artifact cache,
+             fair-share scheduler; Ctrl-C drains gracefully)
 
 OPTIONS:
     --csv [FILE]     Emit CSV instead of tables (FILE defaults to `-` = stdout)
-    --json [FILE]    Emit a machine-readable JSON report (per-point metrics
-                     and failure logs for `sweep`; FILE defaults to `-`;
-                     mutually exclusive with --csv)
+    --json [FILE]    Emit a machine-readable JSON report (diagnostics for
+                     `check`; per-point metrics and failure logs for `sweep`;
+                     FILE defaults to `-`; mutually exclusive with --csv)
     --probe TRACE    Trace to plot (repeatable; `v(x1.mid)`, `i(kk,0)`, or a
                      bare — possibly hierarchical — node path like `x1.mid`;
                      default: the deck's .PRINT selection)
@@ -43,6 +48,16 @@ OPTIONS:
     --db             Plot `.AC` magnitude in dB (20·log10)
     --reelaborate    Rebuild the circuit per batch point instead of the
                      default elaborate-once in-place parameter patching
+
+SERVE OPTIONS:
+    --host ADDR      Bind address (default 127.0.0.1)
+    --port N         Bind port (default 8787; 0 picks an ephemeral port)
+    --workers N      Simulation worker threads (default: all cores)
+    --chunk N        Points per scheduler chunk (default 8)
+    --queue-cap N    Max active jobs before submissions answer 429 (default 64)
+    --cache-cap N    Max decks resident in the artifact cache (default 32)
+    --include-dir D  Resolve deck .INCLUDEs under D (default: refuse includes)
+    --check-only     Lint service: only /v1/check and /v1/health answer
     -h, --help       Show this help
     -V, --version    Show the version
 ";
@@ -60,6 +75,7 @@ struct Args {
     order: Option<String>,
     log_x: bool,
     db: bool,
+    serve: mems_serve::ServeConfig,
 }
 
 /// Takes an option's optional value: the next token is consumed as
@@ -87,6 +103,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut order = None;
     let mut log_x = false;
     let mut db = false;
+    let mut serve = mems_serve::ServeConfig {
+        port: 8787,
+        ..mems_serve::ServeConfig::default()
+    };
     let mut it = argv.iter().peekable();
     while let Some(arg) = it.next() {
         let count = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
@@ -133,6 +153,36 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --threads value `{v}`"))?;
             }
+            "--host" => {
+                serve.host = it
+                    .next()
+                    .ok_or_else(|| "--host needs an address".to_string())?
+                    .clone();
+            }
+            "--port" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--port needs a value".to_string())?;
+                serve.port = v.parse().map_err(|_| format!("bad --port value `{v}`"))?;
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a value".to_string())?;
+                serve.workers = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value `{v}`"))?;
+            }
+            "--chunk" => serve.chunk_size = count(&mut it, "--chunk")?,
+            "--queue-cap" => serve.queue_cap = count(&mut it, "--queue-cap")?,
+            "--cache-cap" => serve.cache_cap = count(&mut it, "--cache-cap")?,
+            "--include-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--include-dir needs a directory".to_string())?;
+                serve.include_dir = Some(PathBuf::from(v));
+            }
+            "--check-only" => serve.check_only = true,
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -148,10 +198,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     let command = command.ok_or_else(|| "missing command".to_string())?;
-    if !matches!(command.as_str(), "check" | "run" | "plot" | "sweep") {
+    if !matches!(
+        command.as_str(),
+        "check" | "run" | "plot" | "sweep" | "serve"
+    ) {
         return Err(format!("unknown command `{command}`"));
     }
-    let deck_path = deck_path.ok_or_else(|| "missing deck file".to_string())?;
+    let deck_path = if command == "serve" {
+        deck_path.unwrap_or_default()
+    } else {
+        deck_path.ok_or_else(|| "missing deck file".to_string())?
+    };
     if csv.is_some() && json.is_some() {
         return Err("--csv and --json are mutually exclusive".to_string());
     }
@@ -168,7 +225,50 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         order,
         log_x,
         db,
+        serve,
     })
+}
+
+/// SIGINT plumbing without a signal crate: a raw `signal(2)` FFI
+/// registration flips a flag; a watcher thread turns the flag into a
+/// cooperative action (batch cancel or server drain). After the first
+/// Ctrl-C the default disposition is restored, so a second one kills
+/// a stuck process the usual way.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIPPED: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_: i32) {
+        TRIPPED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler and spawns the watcher; `action` runs
+    /// once, on the first Ctrl-C.
+    pub fn watch(action: impl FnOnce() + Send + 'static) {
+        let handler = on_signal as extern "C" fn(i32);
+        unsafe { signal(SIGINT, handler as usize) };
+        std::thread::spawn(move || {
+            while !TRIPPED.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            unsafe { signal(SIGINT, SIG_DFL) };
+            action();
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    /// No signal wiring off Unix; Ctrl-C keeps its default behavior.
+    pub fn watch(_action: impl FnOnce() + Send + 'static) {}
 }
 
 fn load_deck(path: &Path) -> Result<Deck, String> {
@@ -188,6 +288,57 @@ fn emit(csv_target: &str, content: &str) -> Result<(), String> {
         Ok(())
     } else {
         std::fs::write(csv_target, content).map_err(|e| format!("cannot write `{csv_target}`: {e}"))
+    }
+}
+
+/// `mems check --json`: machine-readable diagnostics (the same
+/// format `mems serve`'s `/v1/check` endpoint emits), plus a summary
+/// on success. Parses its own file so parse failures land in the
+/// JSON diagnostics instead of the human excerpt renderer.
+fn cmd_check_json(path: &Path) -> Result<(), String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let base = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    let mut resolver = FsResolver { base };
+    let outcome = (|| -> Result<String, NetlistError> {
+        let deck = Deck::parse_with_includes(&src, &mut resolver)?;
+        let elab = mems_netlist::Elaborator::new(&deck)?;
+        let points = match mems_netlist::batch_points_with(&elab) {
+            Ok(points) => points.len(),
+            Err(NetlistError::Elab { span: None, .. }) => 0,
+            Err(e) => return Err(e),
+        };
+        let (mut ckt, _) = elab.build(&Default::default(), None)?;
+        let layout = ckt.layout();
+        Ok(format!(
+            concat!(
+                "{{\"ok\":true,\"deck\":\"{}\",\"nodes\":{},\"devices\":{},",
+                "\"unknowns\":{},\"batch_points\":{},\"diagnostics\":[]}}"
+            ),
+            report::json_escape(&deck.title),
+            layout.n_nodes - 1,
+            ckt.devices().len(),
+            layout.n_unknowns,
+            points,
+        ))
+    })();
+    match outcome {
+        Ok(body) => {
+            println!("{body}");
+            Ok(())
+        }
+        Err(e) => {
+            println!(
+                "{{\"ok\":false,\"diagnostics\":{}}}",
+                report::diagnostics_json(&src, &[report::Diagnostic::from_error(&e)])
+            );
+            // The JSON on stdout is the report; fail without a
+            // second, human-format rendering on stderr.
+            Err(String::new())
+        }
     }
 }
 
@@ -268,14 +419,32 @@ fn cmd_sweep(
     threads: usize,
     reelaborate: bool,
 ) -> Result<(), String> {
+    // Ctrl-C stops the batch at the next point boundary; the partial
+    // batch still reports (unvisited points carry cancelled errors).
+    let cancel = CancelToken::new();
+    sigint::watch({
+        let cancel = cancel.clone();
+        move || {
+            eprintln!("interrupt: stopping at the next point boundary (Ctrl-C again to kill)");
+            cancel.cancel();
+        }
+    });
     let result = mems_netlist::run_batch(
         deck,
         &BatchOptions {
             threads,
             reelaborate,
+            cancel: Some(cancel),
         },
     )
     .map_err(|e| e.render(&deck.source))?;
+    if result.cancelled {
+        eprintln!(
+            "cancelled: {}/{} points simulated",
+            result.ok_count(),
+            result.points.len()
+        );
+    }
     match (json, csv) {
         (Some(target), _) => emit(target, &report::batch_json(&result)),
         (None, Some(target)) => emit(target, &report::batch_csv(&result)),
@@ -284,6 +453,30 @@ fn cmd_sweep(
             Ok(())
         }
     }
+}
+
+/// `mems serve`: run the daemon until a drain (Ctrl-C or
+/// `POST /v1/shutdown`) completes.
+fn cmd_serve(config: mems_serve::ServeConfig) -> Result<(), String> {
+    let server =
+        mems_serve::Server::start(config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
+    println!(
+        "mems serve listening on http://{}{}",
+        server.addr(),
+        if config.check_only {
+            " (check-only)"
+        } else {
+            ""
+        }
+    );
+    let handle = server.handle();
+    sigint::watch(move || {
+        eprintln!("interrupt: draining (Ctrl-C again to kill)");
+        handle.shutdown();
+    });
+    server.join();
+    println!("mems serve drained");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -303,6 +496,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `serve` needs no deck; `check --json` parses its own so parse
+    // errors land in the machine-readable diagnostics.
+    if args.command == "serve" {
+        return match cmd_serve(args.serve) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.command == "check" && args.json.is_some() {
+        return match cmd_check_json(&args.deck_path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("{msg}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut deck = match load_deck(&args.deck_path) {
         Ok(d) => d,
         Err(msg) => {

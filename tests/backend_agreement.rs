@@ -442,6 +442,7 @@ fn sparse_batch_patching_matches_reelaboration() {
         &BatchOptions {
             threads: 1,
             reelaborate: true,
+            cancel: None,
         },
     )
     .unwrap();

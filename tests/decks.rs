@@ -432,6 +432,7 @@ fn resonator_step_batch_patching_is_bit_identical_and_thread_invariant() {
         &BatchOptions {
             threads: 1,
             reelaborate: true,
+            cancel: None,
         },
     )
     .unwrap();
@@ -465,6 +466,7 @@ fn patch_validation_matches_build_validation() {
         &BatchOptions {
             threads: 1,
             reelaborate: true,
+            cancel: None,
         },
     )
     .unwrap();
@@ -580,6 +582,7 @@ fn bridge_deck_hierarchical_step_patch_equals_rebuild_across_threads() {
         &BatchOptions {
             threads: 1,
             reelaborate: true,
+            cancel: None,
         },
     )
     .unwrap();

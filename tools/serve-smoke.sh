@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke of `mems serve` over real HTTP.
+#
+# Starts the daemon on an ephemeral port, then asserts the protocol's
+# load-bearing promises with curl + jq:
+#   1. a deck submission runs to completion and its streamed points
+#      match `mems sweep --json` byte-for-byte;
+#   2. the second identical submission hits the fingerprint cache
+#      (cache.hit, parse_us == 0, circuits_built == 0, warm checkout);
+#   3. cancellation stops a running .MC batch short of completion;
+#   4. POST /v1/shutdown drains gracefully and the process exits 0.
+#
+# Usage: tools/serve-smoke.sh [path-to-mems-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MEMS=${1:-target/release/mems}
+[ -x "$MEMS" ] || { echo "error: $MEMS not built (cargo build --release)" >&2; exit 1; }
+command -v jq >/dev/null || { echo "error: jq is required" >&2; exit 1; }
+
+WORK=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$MEMS" serve --port 0 --workers 2 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the bind line and extract the ephemeral port.
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|.*listening on http://[0-9.]*:\([0-9]*\).*|\1|p' "$WORK/serve.log")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "error: serve did not bind"; cat "$WORK/serve.log"; exit 1; }
+BASE="http://127.0.0.1:$PORT"
+echo "== mems serve up on $BASE"
+
+wait_done() { # job-id -> final status document
+  local id=$1 doc state
+  for _ in $(seq 1 600); do
+    doc=$(curl -sf "$BASE/v1/jobs/$id")
+    state=$(jq -r .state <<<"$doc")
+    if [ "$state" = done ] || [ "$state" = cancelled ]; then
+      echo "$doc"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: job $id never finished: $doc" >&2
+  return 1
+}
+
+echo "== 1. submit eletran deck (plain run) + resonator .STEP sweep"
+ELETRAN=$(curl -sf -X POST --data-binary @examples/decks/eletran_transient.cir "$BASE/v1/jobs")
+jq -e '.cache.hit == false' <<<"$ELETRAN" >/dev/null
+wait_done "$(jq -r .id <<<"$ELETRAN")" | jq -e '.state == "done" and .completed == 1' >/dev/null
+
+SWEEP1=$(curl -sf -X POST --data-binary @examples/decks/resonator_step.cir "$BASE/v1/jobs")
+ID1=$(jq -r .id <<<"$SWEEP1")
+wait_done "$ID1" | jq -e '.state == "done"' >/dev/null
+
+echo "== 2. streamed results match mems sweep --json byte-for-byte"
+curl -sf "$BASE/v1/jobs/$ID1/results?from=0" | jq -c .points[] >"$WORK/served.jsonl"
+"$MEMS" sweep examples/decks/resonator_step.cir --threads 2 --json - \
+  | jq -c .points[] >"$WORK/cli.jsonl"
+cmp "$WORK/served.jsonl" "$WORK/cli.jsonl"
+
+echo "== 3. second identical submission hits the fingerprint cache"
+SWEEP2=$(curl -sf -X POST --data-binary @examples/decks/resonator_step.cir "$BASE/v1/jobs")
+jq -e '.cache.hit == true and .timing.parse_us == 0' <<<"$SWEEP2" >/dev/null
+DONE2=$(wait_done "$(jq -r .id <<<"$SWEEP2")")
+jq -e '.cache.circuits_built == 0 and .cache.warm_checkout == true' <<<"$DONE2" >/dev/null
+curl -sf "$BASE/v1/jobs/$(jq -r .id <<<"$SWEEP2")/results?from=0" \
+  | jq -c .points[] | cmp - "$WORK/cli.jsonl"
+
+echo "== 4. cancellation stops a running .MC batch"
+cat >"$WORK/mc.cir" <<'EOF'
+smoke mc resonator
+.param k=200 m=1e-4 alpha=40e-3
+Is 0 vel PWL(0 0 0.1m 1u)
+Mm1 vel 0 {m}
+Kk1 vel 0 {k}
+Dd1 vel 0 {alpha}
+.tran 0.02m 100m
+.print tran v(vel)
+.mc 400 seed=7 k tol=0.05 dist=gauss
+EOF
+MC=$(curl -sf -X POST --data-binary @"$WORK/mc.cir" "$BASE/v1/jobs")
+MCID=$(jq -r .id <<<"$MC")
+for _ in $(seq 1 300); do
+  [ "$(curl -sf "$BASE/v1/jobs/$MCID" | jq .completed)" -gt 0 ] && break
+  sleep 0.05
+done
+curl -sf -X DELETE "$BASE/v1/jobs/$MCID" >/dev/null
+wait_done "$MCID" \
+  | jq -e '.state == "cancelled" and .completed < 400 and (.completed + .skipped) == 400' >/dev/null
+
+echo "== 5. graceful shutdown drains"
+curl -sf "$BASE/v1/health" | jq -e '.ok and .cache.hits >= 1' >/dev/null
+curl -sf -X POST "$BASE/v1/shutdown" | jq -e .draining >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+grep -q "mems serve drained" "$WORK/serve.log"
+
+echo "== serve smoke OK"
