@@ -1,45 +1,35 @@
-//! Fill-reducing ordering on the meshed scale tier: natural-order vs
-//! AMD-permuted sparse LU.
+//! Fill-reducing ordering and the supernodal engine on the meshed
+//! scale tiers: natural-order vs AMD-permuted scalar LU at n ≈ 100 /
+//! 400 / 1600, then scalar-AMD vs supernodal at n ≈ 6.4k (3-D grid),
+//! 8.2k (FEM quad mesh), 12.8k and 50.6k (2-D grids).
 //!
-//! Kernel groups factor the MNA matrix of an N×M grid of
-//! electromechanical cells (the same structure
-//! `mems_netlist::gen::grid_deck` elaborates: a 5-point electrical
-//! stencil with a gyrator-coupled velocity node and spring-force
-//! branch per edge) at n ≈ 100 / 400 / 1600 unknowns, timing the full
-//! symbolic+numeric factorization and the numeric-only refactor under
-//! both orderings. The fill (nnz of L and U) is printed per size —
-//! the quantity the ordering actually optimizes.
+//! Kernel groups factor the MNA matrix of a grid of electromechanical
+//! cells (the same structure `mems_netlist::gen::grid_deck` /
+//! `grid3d_deck` elaborate: an electrical stencil with a
+//! gyrator-coupled velocity node and spring-force branch per edge),
+//! timing the full symbolic+numeric factorization and the
+//! numeric-only refactor. The fill (nnz of L and U) is printed per
+//! size — the quantity the ordering actually optimizes.
 //!
 //! A deck-level group runs the generated grid deck end-to-end
 //! (`.OP` through the netlist frontend) with `order=natural` vs
 //! `order=amd` on the forced-sparse backend.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mems_fem::mesh::StructuredQuadMesh;
 use mems_netlist::gen::{grid_deck_with, GridDeckOptions};
 use mems_netlist::{run_deck, Deck};
-use mems_numerics::ordering::amd_order;
+use mems_numerics::ordering::{amd_order, FillOrdering};
 use mems_numerics::sparse_lu::{CscMatrix, SparseLu};
+use mems_numerics::supernodal::SupernodalLu;
 
-/// Assembles the DC/transient-style MNA matrix of a `rows × cols`
-/// electromechanical cell grid: per edge an R‖C link (conductance
-/// stamp), a gyrator coupling into a private velocity unknown
-/// (mass/damper on the diagonal), and a spring-force branch row.
-/// Matches the sparsity structure `grid_deck` produces, at
-/// `n = rows·cols + 2·edges`.
-fn grid_mna(rows: usize, cols: usize) -> (usize, CscMatrix<f64>) {
-    let nn = rows * cols;
-    let node = |r: usize, c: usize| r * cols + c;
-    let mut edges = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                edges.push((node(r, c), node(r, c + 1)));
-            }
-            if r + 1 < rows {
-                edges.push((node(r, c), node(r + 1, c)));
-            }
-        }
-    }
+/// Assembles the DC/transient-style MNA matrix of an
+/// electromechanical cell graph over `nn` electrical nodes and the
+/// given edge list: per edge an R‖C link (conductance stamp), a
+/// gyrator coupling into a private velocity unknown (mass/damper on
+/// the diagonal), and a spring-force branch row. Matches the sparsity
+/// structure the deck generators produce, at `n = nn + 2·edges`.
+fn edges_mna(nn: usize, edges: &[(usize, usize)]) -> (usize, CscMatrix<f64>) {
     let n = nn + 2 * edges.len();
     let (g, gm, alpha, m_h, k_h) = (1e-3, 2e-4, 2e-3, 1e-2, 5e-2);
     let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(12 * edges.len());
@@ -71,6 +61,69 @@ fn grid_mna(rows: usize, cols: usize) -> (usize, CscMatrix<f64>) {
     t.push((0, 0, 1.0));
     t.push((nn - 1, nn - 1, 1e-3));
     (n, CscMatrix::from_triplets(n, &t))
+}
+
+/// 5-point-stencil edge list of a `rows × cols` grid.
+fn grid_edges(rows: usize, cols: usize) -> (usize, Vec<(usize, usize)>) {
+    let node = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((node(r, c), node(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((node(r, c), node(r + 1, c)));
+            }
+        }
+    }
+    (rows * cols, edges)
+}
+
+/// 7-point-stencil edge list of an `nx × ny × nz` grid — the
+/// structure `grid3d_deck` elaborates.
+fn grid3d_edges(nx: usize, ny: usize, nz: usize) -> (usize, Vec<(usize, usize)>) {
+    let node = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((node(x, y, z), node(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((node(x, y, z), node(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((node(x, y, z), node(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    (nx * ny * nz, edges)
+}
+
+/// Unique element edges of a structured FEM quad mesh — the
+/// "imported mesh" tier: cells riding a mesh that came from the
+/// plate/membrane discretization rather than a synthetic grid.
+fn fem_mesh_edges(nx: usize, ny: usize) -> (usize, Vec<(usize, usize)>) {
+    let mesh = StructuredQuadMesh::rectangle(0.0, 0.0, 1.0, 1.0, nx, ny);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for quad in mesh.elems() {
+        for k in 0..4 {
+            let (a, b) = (quad[k], quad[(k + 1) % 4]);
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    (mesh.n_nodes(), edges)
+}
+
+/// Grid MNA by grid shape (the historic n ≈ 100/400/1600 tiers).
+fn grid_mna(rows: usize, cols: usize) -> (usize, CscMatrix<f64>) {
+    let (nn, edges) = grid_edges(rows, cols);
+    edges_mna(nn, &edges)
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -115,6 +168,66 @@ fn bench_kernels(c: &mut Criterion) {
     }
 }
 
+/// The scale tiers the supernodal engine was built for: scalar-AMD vs
+/// supernodal factor/refactor on meshed MNA systems at n ≈ 6.4k–50k.
+/// `threads = 0` lets [`mems_numerics::par`] resolve the budget
+/// (hardware cores, `MEMS_FACTOR_THREADS` override) — on a single-core
+/// host every level runs inline, so the numbers isolate the
+/// algorithmic win (symbolic-once + dense panels over per-column DFS).
+fn bench_supernodal(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "supernodal tiers",
+        "scalar-AMD vs supernodal level-scheduled LU on large meshed MNA",
+    );
+    let tiers = vec![
+        ("grid3d_10", grid3d_edges(10, 10, 10)),
+        ("femquad_40", fem_mesh_edges(40, 40)),
+        ("grid_51", grid_edges(51, 51)),
+        ("grid_101", grid_edges(101, 101)),
+    ];
+    for (tag, (nn, edges)) in &tiers {
+        let (n, csc) = edges_mna(*nn, edges);
+        let view = csc.view();
+        let snl = SupernodalLu::<f64>::factor(&view, FillOrdering::Amd, 0).expect("snl factors");
+        let (lnz, unz) = snl.nnz();
+        eprintln!(
+            "  n={n} ({tag}): supernodal fill L+U = {} | {} supernodes, {} levels, {} thread(s)",
+            lnz + unz,
+            snl.supernodes(),
+            snl.levels(),
+            snl.threads_used(),
+        );
+        let mut group = c.benchmark_group(&format!("ordering_lu_n{n}_{tag}"));
+        group.sample_size(10);
+        // The scalar engine is the PR-6 baseline; past ~20k unknowns a
+        // single factor takes whole seconds, so the largest tier is
+        // supernodal-only (the baseline datum exists at n≈13k).
+        if n < 60_000 {
+            let order = amd_order(n, &csc.col_ptr, &csc.row_idx);
+            let mut scalar = SparseLu::factor_ordered(&view, &order).expect("factors");
+            let (sl, su) = scalar.nnz();
+            eprintln!("    scalar-AMD fill L+U = {}", sl + su);
+            group.bench_function("scalar_amd_factor", |b| {
+                b.iter(|| SparseLu::factor_ordered(&view, &order).expect("factors"))
+            });
+            group.bench_function("scalar_amd_refactor", |b| {
+                b.iter(|| scalar.refactor(&view).expect("refactors"))
+            });
+        }
+        group.bench_function("amd_order_symbolic", |b| {
+            b.iter(|| amd_order(n, &csc.col_ptr, &csc.row_idx))
+        });
+        group.bench_function("snl_factor", |b| {
+            b.iter(|| SupernodalLu::<f64>::factor(&view, FillOrdering::Amd, 0).expect("factors"))
+        });
+        let mut warm = SupernodalLu::<f64>::factor(&view, FillOrdering::Amd, 0).expect("factors");
+        group.bench_function("snl_refactor", |b| {
+            b.iter(|| warm.refactor(&view).expect("refactors"))
+        });
+        group.finish();
+    }
+}
+
 fn bench_grid_deck(c: &mut Criterion) {
     mems_bench::print_banner(
         "grid deck .OP",
@@ -142,5 +255,5 @@ fn bench_grid_deck(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_kernels, bench_grid_deck);
+criterion_group!(benches, bench_kernels, bench_supernodal, bench_grid_deck);
 criterion_main!(benches);

@@ -35,7 +35,7 @@ use mems_spice::devices::{
 use mems_spice::output::{AcResult, OpSolution, TranResult};
 use mems_spice::solver::SimOptions;
 use mems_spice::solver::Workspace;
-use mems_spice::system::{new_system_with, FillOrdering, SystemMatrix};
+use mems_spice::system::{new_system_solver, FactorKind, FillOrdering, SolverStats, SystemMatrix};
 use mems_spice::wave::Waveform;
 use mems_spice::MatrixBackend;
 use std::collections::HashMap;
@@ -866,6 +866,11 @@ pub struct DeckRun {
     pub title: String,
     /// `(card, outcome)` pairs.
     pub outcomes: Vec<(AnalysisCard, AnalysisOutcome)>,
+    /// Linear-solver statistics per system the run factored, labeled
+    /// `"real"` (the shared Newton/transient workspace) and `"ac"`
+    /// (the shared complex system). Counters accumulate over the
+    /// [`RunCtx`]'s lifetime, so batch points report running totals.
+    pub solver: Vec<(String, SolverStats)>,
 }
 
 /// Builds [`SimOptions`] from the deck's `.OPTIONS` cards.
@@ -882,6 +887,12 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
             sim.ordering = fill_ordering(value)?;
             continue;
         }
+        // `factor=auto|scalar|super` picks the sparse numeric
+        // factorization path; also a keyword option.
+        if name == "factor" {
+            sim.factor = factor_kind(value)?;
+            continue;
+        }
         let v = value.eval(env)?;
         match name.as_str() {
             "reltol" => sim.reltol = v,
@@ -889,6 +900,7 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
             "abstol_across" => sim.abstol_across = v,
             "abstol_internal" => sim.abstol_internal = v,
             "maxiter" | "itl1" => sim.max_iter = v as usize,
+            "factor_threads" => sim.factor_threads = v.max(0.0) as usize,
             "gmin" => sim.gmin = v,
             "maxstep" => sim.max_step = v,
             // `sparse=1` forces the sparse LU backend, `sparse=0` the
@@ -919,6 +931,22 @@ fn fill_ordering(value: &NumExpr) -> Result<FillOrdering> {
         crate::expr::ExprNode::Ident(w) if w == "natural" => Ok(FillOrdering::Natural),
         _ => Err(NetlistError::elab_at(
             "option `order` takes `amd` or `natural`",
+            value.span,
+        )),
+    }
+}
+
+/// Parses the `factor=` option value (`auto`, `scalar`, or
+/// `super`/`supernodal`).
+fn factor_kind(value: &NumExpr) -> Result<FactorKind> {
+    match &value.node {
+        crate::expr::ExprNode::Ident(w) if w == "auto" => Ok(FactorKind::Auto),
+        crate::expr::ExprNode::Ident(w) if w == "scalar" => Ok(FactorKind::Scalar),
+        crate::expr::ExprNode::Ident(w) if w == "super" || w == "supernodal" => {
+            Ok(FactorKind::Supernodal)
+        }
+        _ => Err(NetlistError::elab_at(
+            "option `factor` takes `auto`, `scalar`, or `super`",
             value.span,
         )),
     }
@@ -966,12 +994,16 @@ pub struct RunStats {
 pub struct RunCtx {
     /// Shared assembly workspace (lazily sized to the circuit).
     pub ws: Option<Workspace>,
-    /// Shared complex system for `.AC` analyses, with the backend and
-    /// ordering it was built for (rebuilt when any of them change).
+    /// Shared complex system for `.AC` analyses, with the backend,
+    /// ordering, factorization kind, and thread budget it was built
+    /// for (rebuilt when any of them change).
+    #[allow(clippy::type_complexity)]
     ac_sys: Option<(
         Box<dyn SystemMatrix<Complex64>>,
         MatrixBackend,
         FillOrdering,
+        FactorKind,
+        usize,
     )>,
     /// Newton guess for DC operating points (e.g. the previous batch
     /// point's solved operating point).
@@ -1018,9 +1050,10 @@ impl RunCtx {
         }
     }
 
-    fn workspace(&mut self, backend: MatrixBackend, ordering: FillOrdering) -> &mut Workspace {
-        self.ws
-            .get_or_insert_with(|| Workspace::with_policy(0, backend, ordering))
+    fn workspace(&mut self, sim: &SimOptions) -> &mut Workspace {
+        self.ws.get_or_insert_with(|| {
+            Workspace::with_solver(0, sim.matrix, sim.ordering, sim.factor, sim.factor_threads)
+        })
     }
 
     /// Whether the context carries reusable artifacts from earlier
@@ -1062,19 +1095,24 @@ impl RunCtx {
     /// unknowns under `backend`. Cached structure survives between
     /// calls with matching order and backend — the batch-point reuse
     /// mirror of [`Workspace::ensure`].
-    fn ac_system(
-        &mut self,
-        n: usize,
-        backend: MatrixBackend,
-        ordering: FillOrdering,
-    ) -> &mut dyn SystemMatrix<Complex64> {
-        let stale = self.ac_sys.as_ref().is_none_or(|(sys, b, o)| {
+    fn ac_system(&mut self, n: usize, sim: &SimOptions) -> &mut dyn SystemMatrix<Complex64> {
+        let (backend, ordering) = (sim.matrix, sim.ordering);
+        let (factor, threads) = (sim.factor, sim.factor_threads);
+        let stale = self.ac_sys.as_ref().is_none_or(|(sys, b, o, f, t)| {
+            let sparse = backend.resolve(n) == MatrixBackend::Sparse;
             sys.n() != n
                 || b.resolve(n) != backend.resolve(n)
-                || (*o != ordering && backend.resolve(n) == MatrixBackend::Sparse)
+                || (sparse && *o != ordering)
+                || (sparse && (f.resolve(n) != factor.resolve(n) || *t != threads))
         });
         if stale {
-            self.ac_sys = Some((new_system_with(n, backend, ordering), backend, ordering));
+            self.ac_sys = Some((
+                new_system_solver(n, backend, ordering, factor, threads),
+                backend,
+                ordering,
+                factor,
+                threads,
+            ));
         }
         self.ac_sys.as_mut().expect("just ensured").0.as_mut()
     }
@@ -1191,7 +1229,7 @@ pub fn run_elaborated_ctx(
             AnalysisCard::Op { .. } => {
                 let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
-                let ws = ctx.workspace(sim.matrix, sim.ordering);
+                let ws = ctx.workspace(&sim);
                 let op = dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ws)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Op(op)
@@ -1232,7 +1270,7 @@ pub fn run_elaborated_ctx(
                             },
                             &values,
                             &sim,
-                            ctx.workspace(sim.matrix, sim.ordering),
+                            ctx.workspace(&sim),
                         )?;
                         (format!("v({src})"), result, last)
                     }
@@ -1256,7 +1294,7 @@ pub fn run_elaborated_ctx(
                             },
                             &values,
                             &sim,
-                            ctx.workspace(sim.matrix, sim.ordering),
+                            ctx.workspace(&sim),
                         )?;
                         (format!("param({p})"), result, last)
                     }
@@ -1299,13 +1337,8 @@ pub fn run_elaborated_ctx(
                 // shared complex system.
                 let freqs = fs.frequencies().map_err(NetlistError::from)?;
                 let guess = ctx.op_guess.clone();
-                let op = dcop::solve_in(
-                    &mut ckt,
-                    &sim,
-                    guess.as_deref(),
-                    ctx.workspace(sim.matrix, sim.ordering),
-                )?;
-                let sys = ctx.ac_system(op.layout.n_unknowns, sim.matrix, sim.ordering);
+                let op = dcop::solve_in(&mut ckt, &sim, guess.as_deref(), ctx.workspace(&sim))?;
+                let sys = ctx.ac_system(op.layout.n_unknowns, &sim);
                 let ac = run_ac_with_op_in(&mut ckt, &freqs, &op, sys)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Ac(ac)
@@ -1336,7 +1369,7 @@ pub fn run_elaborated_ctx(
                 };
                 let mut ckt = obtain_circuit(elab, ctx, slot, overrides, None)?;
                 let guess = ctx.op_guess.clone();
-                let ws = ctx.workspace(sim.matrix, sim.ordering);
+                let ws = ctx.workspace(&sim);
                 let tr = run_tran_in(&mut ckt, &opts, &sim, guess.as_deref(), ws)?;
                 ctx.stash_circuit(slot, ckt);
                 AnalysisOutcome::Tran(tr)
@@ -1344,9 +1377,23 @@ pub fn run_elaborated_ctx(
         };
         outcomes.push((card.clone(), outcome));
     }
+    let mut solver = Vec::new();
+    if let Some(ws) = &ctx.ws {
+        let st = ws.sys.solver_stats();
+        if st.factors + st.refactors > 0 {
+            solver.push(("real".to_string(), st));
+        }
+    }
+    if let Some((sys, ..)) = &ctx.ac_sys {
+        let st = sys.solver_stats();
+        if st.factors + st.refactors > 0 {
+            solver.push(("ac".to_string(), st));
+        }
+    }
     Ok(DeckRun {
         title: deck.title.clone(),
         outcomes,
+        solver,
     })
 }
 

@@ -149,6 +149,164 @@ fn ac_spec(opts: &GridDeckOptions) -> &'static str {
     }
 }
 
+/// Unknown-count estimate for an `nx × ny × nz` 3-D grid deck (see
+/// [`grid_unknowns`]; the 3-D stencil has edges along all three axes).
+pub fn grid3d_unknowns(nx: usize, ny: usize, nz: usize) -> usize {
+    let edges = nx.saturating_sub(1) * ny * nz
+        + nx * ny.saturating_sub(1) * nz
+        + nx * ny * nz.saturating_sub(1);
+    nx * ny * nz + 2 * edges + 1
+}
+
+/// [`grid3d_deck_with`] under the default options (`.OP` only, sparse
+/// backend forced) on an `g × g × g` cube.
+pub fn grid3d_deck(g: usize) -> String {
+    grid3d_deck_with(g, g, g, &GridDeckOptions::default())
+}
+
+/// Generates an `nx × ny × nz` 3-D electromechanical cell grid: the
+/// same `gcell` on every edge of a 7-point stencil, so the MNA
+/// pattern is the 3-D analogue of [`grid_deck_with`]'s
+/// (`n ≈ 7·nx·ny·nz`). 3-D stencils fill dramatically more than 2-D
+/// ones under factorization, which is what pushes the meshed tier
+/// towards n ≈ 10⁴–10⁵.
+///
+/// # Panics
+///
+/// Panics on degenerate grids (fewer than two nodes).
+pub fn grid3d_deck_with(nx: usize, ny: usize, nz: usize, opts: &GridDeckOptions) -> String {
+    assert!(
+        nx >= 1 && ny >= 1 && nz >= 1 && nx * ny * nz >= 2,
+        "degenerate grid"
+    );
+    let node = |x: usize, y: usize, z: usize| format!("n{x}_{y}_{z}");
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((node(x, y, z), node(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((node(x, y, z), node(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((node(x, y, z), node(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    let title = format!(
+        "generated {nx}x{ny}x{nz} electromechanical cell grid (~{} unknowns)",
+        grid3d_unknowns(nx, ny, nz)
+    );
+    edge_list_deck(
+        &title,
+        &node(0, 0, 0),
+        &node(nx - 1, ny - 1, nz - 1),
+        &edges,
+        opts,
+    )
+}
+
+/// Unknown-count estimate for [`mesh_deck_with`]: the mesh nodes, one
+/// mechanical velocity node plus one spring-force branch per edge
+/// cell, and the drive branch.
+pub fn mesh_unknowns(n_nodes: usize, n_edges: usize) -> usize {
+    n_nodes + 2 * n_edges + 1
+}
+
+/// Generates a deck from an arbitrary node/edge graph — the import
+/// path for FE meshes (`crates/fem`'s structured meshes, or anything
+/// else that can enumerate its edges). Every edge becomes a `gcell`
+/// instance between `m<i>` nodes; node 0 is driven and node
+/// `n_nodes - 1` carries the quadratic sink + load. The caller
+/// supplies each undirected edge once.
+///
+/// # Panics
+///
+/// Panics when the graph has fewer than two nodes, no edges, or an
+/// edge endpoint out of range.
+pub fn mesh_deck_with(n_nodes: usize, edges: &[(usize, usize)], opts: &GridDeckOptions) -> String {
+    assert!(n_nodes >= 2 && !edges.is_empty(), "degenerate mesh");
+    let named: Vec<(String, String)> = edges
+        .iter()
+        .map(|&(a, b)| {
+            assert!(a < n_nodes && b < n_nodes && a != b, "bad edge ({a},{b})");
+            (format!("m{a}"), format!("m{b}"))
+        })
+        .collect();
+    let title = format!(
+        "generated mesh-import deck: {n_nodes} nodes, {} edges (~{} unknowns)",
+        edges.len(),
+        mesh_unknowns(n_nodes, edges.len())
+    );
+    edge_list_deck(&title, "m0", &format!("m{}", n_nodes - 1), &named, opts)
+}
+
+/// The shared writer behind [`grid3d_deck_with`] and
+/// [`mesh_deck_with`]: one `gcell` per named edge, drive at `drive`,
+/// quadratic sink + load at `sink`.
+fn edge_list_deck(
+    title: &str,
+    drive: &str,
+    sink: &str,
+    edges: &[(String, String)],
+    opts: &GridDeckOptions,
+) -> String {
+    let mut d = String::new();
+    let _ = writeln!(d, "{title}");
+    let _ = writeln!(d, ".param rcell=1k ccell=10n gm=2e-4");
+    let _ = writeln!(d, ".subckt gcell a b PARAMS: r={{rcell}}");
+    let _ = writeln!(d, "Rc a b {{r}}");
+    let _ = writeln!(d, "Cc a b {{ccell}}");
+    let _ = writeln!(d, "Mm vel 0 1e-5");
+    let _ = writeln!(d, "Kk vel 0 50");
+    let _ = writeln!(d, "Dd vel 0 2e-3");
+    let _ = writeln!(d, "Gxm vel 0 a b {{gm}}");
+    let _ = writeln!(d, "Gmx a b vel 0 {{0-gm}}");
+    let _ = writeln!(d, ".ends gcell");
+    if opts.tran {
+        let _ = writeln!(
+            d,
+            "Vs {drive} 0 PULSE(0 5 0.1m 0.2m 0.2m 5m){}",
+            ac_spec(opts)
+        );
+    } else {
+        let _ = writeln!(d, "Vs {drive} 0 5{}", ac_spec(opts));
+    }
+    for (k, (a, b)) in edges.iter().enumerate() {
+        let _ = writeln!(d, "Xe{k} {a} {b} gcell");
+    }
+    let _ = writeln!(d, "Bq {sink} 0 {sink} 0 {sink} 0 1e-4");
+    let _ = writeln!(d, "Rl {sink} 0 1k");
+    let _ = writeln!(d, ".op");
+    let _ = writeln!(d, ".print op v({sink})");
+    if opts.ac {
+        let _ = writeln!(d, ".ac dec 3 10 10k");
+        let _ = writeln!(d, ".print ac v({sink})");
+    }
+    if opts.tran {
+        let _ = writeln!(d, ".tran 0.2m 4m");
+        let _ = writeln!(d, ".print tran v({sink})");
+    }
+    if opts.step_points > 1 {
+        let (lo, hi) = (800usize, 1200usize);
+        let step = (hi - lo) / (opts.step_points - 1);
+        let _ = writeln!(
+            d,
+            ".step param rcell {lo} {} {}",
+            lo + step * (opts.step_points - 1),
+            step.max(1)
+        );
+    }
+    if !opts.options.is_empty() {
+        let _ = writeln!(d, ".options {}", opts.options);
+    }
+    let _ = writeln!(d, ".end");
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +333,51 @@ mod tests {
         let elab = crate::Elaborator::new(&deck).unwrap();
         let (mut ckt, _) = elab.build(&Default::default(), None).unwrap();
         assert_eq!(ckt.layout().n_unknowns, grid_unknowns(4, 5));
+    }
+
+    #[test]
+    fn grid3d_deck_parses_solves_and_counts() {
+        let src = grid3d_deck_with(3, 3, 2, &GridDeckOptions::default());
+        let deck = Deck::parse(&src).expect("3-D grid deck parses");
+        let elab = crate::Elaborator::new(&deck).unwrap();
+        let (mut ckt, _) = elab.build(&Default::default(), None).unwrap();
+        assert_eq!(ckt.layout().n_unknowns, grid3d_unknowns(3, 3, 2));
+        let run = run_deck(&deck).expect("3-D grid deck solves");
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                let v = op.by_label("v(n2_2_1)").expect("corner trace");
+                assert!(v.is_finite() && v > 0.0 && v < 5.0, "v(corner) = {v}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mesh_deck_from_edge_list_solves() {
+        // A 5-node wheel: hub 0 spoked to a 4-cycle rim.
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+        ];
+        let src = mesh_deck_with(5, &edges, &GridDeckOptions::default());
+        let deck = Deck::parse(&src).expect("mesh deck parses");
+        let elab = crate::Elaborator::new(&deck).unwrap();
+        let (mut ckt, _) = elab.build(&Default::default(), None).unwrap();
+        assert_eq!(ckt.layout().n_unknowns, mesh_unknowns(5, edges.len()));
+        let run = run_deck(&deck).expect("mesh deck solves");
+        match &run.outcomes[0].1 {
+            AnalysisOutcome::Op(op) => {
+                let v = op.by_label("v(m4)").expect("sink trace");
+                assert!(v.is_finite() && v > 0.0 && v < 5.0, "v(m4) = {v}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -120,4 +120,5 @@ pub use elab::{
     DeckRun, Elaborator, ParamEnv, RunCtx, RunStats,
 };
 pub use error::{NetlistError, Result};
+pub use mems_spice::system::SolverStats;
 pub use parser::{FsResolver, IncludeResolver, NoIncludes};

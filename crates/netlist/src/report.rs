@@ -636,18 +636,53 @@ pub fn outcome_json(deck: &Deck, outcome: &AnalysisOutcome) -> String {
     }
 }
 
+/// Renders one [`SolverStats`](mems_spice::system::SolverStats)
+/// snapshot as a JSON object. Shared by `mems run --json` and the
+/// `mems serve` job metadata so both report the linear solver the same
+/// way.
+pub fn solver_stats_json(st: &mems_spice::system::SolverStats) -> String {
+    format!(
+        "{{\"backend\":\"{}\",\"factor_path\":\"{}\",\"ordering\":\"{}\",\
+         \"n\":{},\"pattern_nnz\":{},\"factor_nnz\":{},\"fill_ratio\":{},\
+         \"supernodes\":{},\"levels\":{},\"threads\":{},\
+         \"factors\":{},\"refactors\":{},\"fallbacks\":{},\
+         \"last_factor_us\":{},\"last_refactor_us\":{}}}",
+        json_escape(st.backend),
+        json_escape(st.factor_path),
+        json_escape(st.ordering),
+        st.n,
+        st.pattern_nnz,
+        st.factor_nnz,
+        json_num(st.fill_ratio()),
+        st.supernodes,
+        st.levels,
+        st.threads,
+        st.factors,
+        st.refactors,
+        st.fallbacks,
+        st.last_factor_us,
+        st.last_refactor_us
+    )
+}
+
 /// Renders a whole deck run as a JSON document:
-/// `{"deck": …, "analyses": […]}`.
+/// `{"deck": …, "analyses": […], "solver": {…}}`.
 pub fn run_json(deck: &Deck, run: &DeckRun) -> String {
     let analyses: Vec<String> = run
         .outcomes
         .iter()
         .map(|(_, outcome)| outcome_json(deck, outcome))
         .collect();
+    let solver: Vec<String> = run
+        .solver
+        .iter()
+        .map(|(name, st)| format!("\"{}\":{}", json_escape(name), solver_stats_json(st)))
+        .collect();
     format!(
-        "{{\"deck\":\"{}\",\"analyses\":[{}]}}\n",
+        "{{\"deck\":\"{}\",\"analyses\":[{}],\"solver\":{{{}}}}}\n",
         json_escape(&run.title),
-        analyses.join(",")
+        analyses.join(","),
+        solver.join(",")
     )
 }
 

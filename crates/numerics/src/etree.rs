@@ -1,0 +1,457 @@
+//! Elimination-tree symbolic analysis for the supernodal LU.
+//!
+//! The scalar [`crate::sparse_lu`] discovers each column's fill
+//! pattern by depth-first reachability at numeric time — simple and
+//! exact, but the DFS is re-run per column and goes quadratic-ish on
+//! meshed patterns past n ≈ 10⁴. This module provides the classic
+//! one-shot alternative used by supernodal codes
+//! ([`crate::supernodal`]):
+//!
+//! 1. [`max_transversal`] — a maximum bipartite matching (MC21-style
+//!    augmenting paths) that row-permutes the matrix so every diagonal
+//!    entry is structurally nonzero, making static (diagonal) pivoting
+//!    possible on MNA saddle matrices whose raw diagonals contain
+//!    structural zeros (source branch rows, gyrator couplings);
+//! 2. [`symmetrize`] — the pattern of `A + Aᵀ` (sorted adjacency, no
+//!    diagonal), the graph every downstream step works on;
+//! 3. [`etree`] — Liu's elimination-tree construction with path
+//!    compression, `O(nnz·α(n))`;
+//! 4. [`postorder`] — a deterministic depth-first postorder of the
+//!    tree; relabeling columns by it makes every supernode a
+//!    contiguous column range;
+//! 5. [`col_counts`] — per-column factor nonzero counts via
+//!    row-subtree traversal (the COLAMD/GNP-style counting pass),
+//!    `O(nnz(L))` total, replacing the per-column DFS.
+//!
+//! All functions are purely structural: values never enter, so the
+//! results are reusable across every numeric (re)factorization of the
+//! same pattern.
+
+/// Sentinel for "no parent" / "unmatched".
+pub const NONE: usize = usize::MAX;
+
+/// Maximum transversal (MC21): a row permutation placing a structural
+/// nonzero on every diagonal position.
+///
+/// Returns `m` with `m[j]` = the original row matched to column `j`
+/// (so row `m[j]` of `A` becomes row `j` of the permuted matrix), or
+/// `None` when the pattern is structurally singular (no perfect
+/// matching exists). Deterministic: columns are processed in order and
+/// augmenting paths explore rows in storage order.
+pub fn max_transversal(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> Option<Vec<usize>> {
+    let mut imatch = vec![NONE; n]; // col -> row
+    let mut jmatch = vec![NONE; n]; // row -> col
+                                    // Cheap-assignment pointer per column (rows skipped by it are
+                                    // permanently matched: augmentation never unmatches a row).
+    let mut cheap: Vec<usize> = col_ptr[..n].to_vec();
+    let mut mark = vec![NONE; n]; // column visited in the current augmentation
+    let mut col_stack = vec![0usize; n];
+    let mut pos_stack = vec![0usize; n];
+    let mut row_stack = vec![0usize; n];
+    for root in 0..n {
+        let mut head: usize = 0;
+        col_stack[0] = root;
+        let mut found = false;
+        'dfs: loop {
+            let j = col_stack[head];
+            if mark[j] != root {
+                mark[j] = root;
+                // Cheap assignment: first still-unmatched row of j.
+                let mut p = cheap[j];
+                while p < col_ptr[j + 1] {
+                    let i = row_idx[p];
+                    p += 1;
+                    if i < n && jmatch[i] == NONE {
+                        cheap[j] = p;
+                        row_stack[head] = i;
+                        found = true;
+                        break 'dfs;
+                    }
+                }
+                cheap[j] = p;
+                pos_stack[head] = col_ptr[j];
+            }
+            // Depth step: descend into the matched column of an
+            // unvisited row.
+            let mut p = pos_stack[head];
+            let mut descended = false;
+            while p < col_ptr[j + 1] {
+                let i = row_idx[p];
+                p += 1;
+                if i >= n {
+                    continue;
+                }
+                let jm = jmatch[i];
+                if mark[jm] == root {
+                    continue;
+                }
+                pos_stack[head] = p;
+                row_stack[head] = i;
+                head += 1;
+                col_stack[head] = jm;
+                descended = true;
+                break;
+            }
+            if descended {
+                continue;
+            }
+            pos_stack[head] = p;
+            if head == 0 {
+                break; // no augmenting path from this root
+            }
+            head -= 1;
+        }
+        if found {
+            // Flip the alternating path: each column on the stack
+            // takes the row recorded beside it.
+            for h in (0..=head).rev() {
+                jmatch[row_stack[h]] = col_stack[h];
+                imatch[col_stack[h]] = row_stack[h];
+            }
+        }
+    }
+    if imatch.contains(&NONE) {
+        None
+    } else {
+        Some(imatch)
+    }
+}
+
+/// Sorted adjacency of `A + Aᵀ` without the diagonal, with rows
+/// relabeled through `row_of` (`row_of[i]` = new label of original row
+/// `i`; pass `None` for the identity). Returns `(ptr, idx)` in CSC
+/// form (columns keep their original labels).
+pub fn symmetrize(
+    n: usize,
+    col_ptr: &[usize],
+    row_idx: &[usize],
+    row_of: Option<&[usize]>,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        for p in col_ptr[j]..col_ptr[j + 1] {
+            let mut i = row_idx[p];
+            if i >= n {
+                continue;
+            }
+            if let Some(map) = row_of {
+                i = map[i];
+            }
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut ptr = Vec::with_capacity(n + 1);
+    ptr.push(0usize);
+    let mut idx = Vec::new();
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+        idx.extend_from_slice(list);
+        ptr.push(idx.len());
+    }
+    (ptr, idx)
+}
+
+/// Relabels a symmetric adjacency (`ptr`/`idx` from [`symmetrize`])
+/// through the permutation `perm` (`perm[k]` = old label at new
+/// position `k`), keeping each list sorted.
+pub fn permute_sym(
+    n: usize,
+    ptr: &[usize],
+    idx: &[usize],
+    perm: &[usize],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut inv = vec![0usize; n];
+    for (k, &p) in perm.iter().enumerate() {
+        inv[p] = k;
+    }
+    let mut out_ptr = Vec::with_capacity(n + 1);
+    out_ptr.push(0usize);
+    let mut out_idx = Vec::with_capacity(idx.len());
+    let mut buf: Vec<usize> = Vec::new();
+    for k in 0..n {
+        let old = perm[k];
+        buf.clear();
+        buf.extend(idx[ptr[old]..ptr[old + 1]].iter().map(|&i| inv[i]));
+        buf.sort_unstable();
+        out_idx.extend_from_slice(&buf);
+        out_ptr.push(out_idx.len());
+    }
+    (out_ptr, out_idx)
+}
+
+/// Liu's elimination tree of a symmetric pattern (sorted adjacency
+/// from [`symmetrize`]): `parent[j]` is the etree parent of column
+/// `j`, [`NONE`] for roots. Uses path compression (`ancestor`), so the
+/// whole pass is effectively `O(nnz·α(n))`.
+pub fn etree(n: usize, ptr: &[usize], idx: &[usize]) -> Vec<usize> {
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for j in 0..n {
+        for &i in &idx[ptr[j]..ptr[j + 1]] {
+            if i >= j {
+                break; // sorted lists: only the lower part matters
+            }
+            // Climb from i to the root of its current subtree,
+            // compressing the path to j.
+            let mut k = i;
+            while ancestor[k] != NONE && ancestor[k] != j {
+                let next = ancestor[k];
+                ancestor[k] = j;
+                k = next;
+            }
+            if ancestor[k] == NONE {
+                ancestor[k] = j;
+                parent[k] = j;
+            }
+        }
+    }
+    parent
+}
+
+/// Deterministic depth-first postorder of a forest given as a parent
+/// array: returns `post` with `post[k]` = the node visited at position
+/// `k`. Children are visited in increasing node order, so equal trees
+/// always produce equal postorders.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Child lists, built in reverse so popping yields ascending order.
+    let mut head = vec![NONE; n];
+    let mut next = vec![NONE; n];
+    let mut roots: Vec<usize> = Vec::new();
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p == NONE {
+            roots.push(j);
+        } else {
+            next[j] = head[p];
+            head[p] = j;
+        }
+    }
+    roots.reverse(); // ascending root order after the reverse push
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for &r in roots.iter().rev() {
+        stack.push((r, false));
+    }
+    while let Some((node, expanded)) = stack.pop() {
+        if expanded {
+            post.push(node);
+            continue;
+        }
+        stack.push((node, true));
+        // Push children in reverse-ascending order so the smallest is
+        // processed first.
+        let mut kids = Vec::new();
+        let mut c = head[node];
+        while c != NONE {
+            kids.push(c);
+            c = next[c];
+        }
+        for &k in kids.iter().rev() {
+            stack.push((k, false));
+        }
+    }
+    post
+}
+
+/// Per-column nonzero counts of the Cholesky-symbolic factor `L`
+/// (including the diagonal) of a symmetric pattern with elimination
+/// tree `parent`: for each row `i`, every column on the walk from a
+/// below-diagonal entry up the tree to `i` gains one stored entry.
+/// `O(nnz(L))` total — this is the counting pass that replaces the
+/// scalar LU's per-column reachability DFS.
+pub fn col_counts(n: usize, ptr: &[usize], idx: &[usize], parent: &[usize]) -> Vec<usize> {
+    let mut counts = vec![1usize; n]; // diagonal
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        mark[i] = i;
+        for &j0 in &idx[ptr[i]..ptr[i + 1]] {
+            if j0 >= i {
+                break;
+            }
+            let mut j = j0;
+            while j != NONE && j < i && mark[j] != i {
+                counts[j] += 1;
+                mark[j] = i;
+                j = parent[j];
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 11-node pattern from Davis' "Direct Methods" Fig. 4.2
+    /// (0-based): a standard etree reference.
+    fn davis_pattern() -> (usize, Vec<usize>, Vec<usize>) {
+        let n = 11;
+        let lower: &[(usize, usize)] = &[
+            (5, 0),
+            (6, 0),
+            (2, 1),
+            (7, 1),
+            (8, 2),
+            (9, 2),
+            (5, 3),
+            (9, 3),
+            (7, 4),
+            (10, 4),
+            (6, 5),
+            (8, 5),
+            (7, 6),
+            (9, 6),
+            (10, 7),
+            (9, 8),
+            (10, 9),
+        ];
+        let mut triplets: Vec<(usize, usize)> = Vec::new();
+        for &(i, j) in lower {
+            triplets.push((i, j));
+            triplets.push((j, i));
+        }
+        triplets.sort_unstable_by_key(|&(i, j)| (j, i));
+        let mut ptr = vec![0usize; n + 1];
+        let mut idx = Vec::new();
+        for &(i, j) in &triplets {
+            ptr[j + 1] += 1;
+            idx.push(i);
+        }
+        for j in 0..n {
+            ptr[j + 1] += ptr[j];
+        }
+        (n, ptr, idx)
+    }
+
+    #[test]
+    fn etree_matches_reference() {
+        let (n, ptr, idx) = davis_pattern();
+        let parent = etree(n, &ptr, &idx);
+        // Reference parents for this pattern (computed by hand via
+        // the defining rule: parent[j] = min{i > j : L[i,j] ≠ 0}).
+        assert_eq!(parent[0], 5);
+        assert_eq!(parent[1], 2);
+        assert_eq!(parent[2], 7);
+        assert_eq!(parent[3], 5);
+        assert_eq!(parent[4], 7);
+        assert_eq!(parent[5], 6);
+        assert_eq!(parent[6], 7);
+        assert_eq!(parent[7], 8);
+        assert_eq!(parent[8], 9);
+        assert_eq!(parent[9], 10);
+        assert_eq!(parent[10], NONE);
+    }
+
+    #[test]
+    fn postorder_is_a_permutation_with_children_first() {
+        let (n, ptr, idx) = davis_pattern();
+        let parent = etree(n, &ptr, &idx);
+        let post = postorder(&parent);
+        assert!(crate::ordering::is_permutation(&post, n));
+        // Every node appears after all of its children.
+        let mut pos = vec![0usize; n];
+        for (k, &j) in post.iter().enumerate() {
+            pos[j] = k;
+        }
+        for j in 0..n {
+            if parent[j] != NONE {
+                assert!(pos[j] < pos[parent[j]], "child {j} after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn col_counts_match_brute_force_symbolic() {
+        let (n, ptr, idx) = davis_pattern();
+        let parent = etree(n, &ptr, &idx);
+        let counts = col_counts(n, &ptr, &idx, &parent);
+        // Brute-force symbolic Cholesky: struct(j) = adj(j) ∪
+        // (children structs minus their diagonal).
+        let mut structs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for j in 0..n {
+            let mut s: Vec<usize> = idx[ptr[j]..ptr[j + 1]]
+                .iter()
+                .copied()
+                .filter(|&i| i > j)
+                .collect();
+            s.push(j);
+            for c in 0..j {
+                if parent[c] == j {
+                    s.extend(structs[c].iter().copied().filter(|&i| i > j));
+                }
+            }
+            s.sort_unstable();
+            s.dedup();
+            structs[j] = s;
+        }
+        for j in 0..n {
+            assert_eq!(counts[j], structs[j].len(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn transversal_fixes_zero_diagonals() {
+        // MNA-ish saddle: node 2 is a branch row with no diagonal.
+        //   [ x . x ]
+        //   [ . x x ]
+        //   [ x x . ]
+        let col_ptr = vec![0, 2, 4, 6];
+        let row_idx = vec![0, 2, 1, 2, 0, 1];
+        let m = max_transversal(3, &col_ptr, &row_idx).expect("structurally nonsingular");
+        // Every column matched to a distinct row with an entry there.
+        let mut seen = [false; 3];
+        for j in 0..3 {
+            let r = m[j];
+            assert!(!seen[r]);
+            seen[r] = true;
+            assert!(
+                (col_ptr[j]..col_ptr[j + 1]).any(|p| row_idx[p] == r),
+                "column {j} matched to structurally-zero row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn transversal_reports_structural_singularity() {
+        // Column 1 is empty: no perfect matching.
+        let col_ptr = vec![0, 2, 2];
+        let row_idx = vec![0, 1];
+        assert!(max_transversal(2, &col_ptr, &row_idx).is_none());
+        // Two columns sharing a single row: also singular.
+        let col_ptr = vec![0, 1, 2];
+        let row_idx = vec![0, 0];
+        assert!(max_transversal(2, &col_ptr, &row_idx).is_none());
+    }
+
+    #[test]
+    fn transversal_is_identity_when_diagonal_is_full() {
+        let n = 6;
+        let mut ptr = vec![0usize];
+        let mut idx = Vec::new();
+        for j in 0..n {
+            idx.push(j);
+            if j + 1 < n {
+                idx.push(j + 1);
+            }
+            ptr.push(idx.len());
+        }
+        let m = max_transversal(n, &ptr, &idx).unwrap();
+        assert_eq!(m, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permute_sym_round_trips() {
+        let (n, ptr, idx) = davis_pattern();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let (p2, i2) = permute_sym(n, &ptr, &idx, &perm);
+        let (p3, i3) = permute_sym(n, &p2, &i2, &perm);
+        assert_eq!(p3, ptr);
+        assert_eq!(i3, idx);
+    }
+}

@@ -20,6 +20,12 @@
 //!   reference integrator used by the test suites;
 //! - [`ordering`] — AMD-style fill-reducing elimination orderings for
 //!   the sparse LU;
+//! - [`etree`] — elimination-tree symbolic analysis (maximum
+//!   transversal, postorder, column counts) for the supernodal path;
+//! - [`supernodal`] — supernodal, level-scheduled parallel sparse LU
+//!   for meshed systems beyond n ≈ 10³;
+//! - [`par`] — the thread budget shared between parallel numeric
+//!   kernels and outer sweep engines;
 //! - [`stats`] — trace statistics shared by the experiment harness.
 //!
 //! # Example
@@ -45,9 +51,11 @@ pub mod cg;
 pub mod complex;
 pub mod dense;
 pub mod dual;
+pub mod etree;
 pub mod lu;
 pub mod ode;
 pub mod ordering;
+pub mod par;
 pub mod poly;
 pub mod pwl;
 pub mod qr;
@@ -57,6 +65,7 @@ pub mod scalar;
 pub mod sparse;
 pub mod sparse_lu;
 pub mod stats;
+pub mod supernodal;
 
 pub use complex::Complex64;
 pub use dense::DenseMatrix;

@@ -1,0 +1,85 @@
+//! Shared thread budget for parallel numeric kernels.
+//!
+//! Two layers of this workspace want threads: the elaborate-once batch
+//! engine (`mems_netlist::batch`) fans `.STEP`/`.MC` points across a
+//! hand-rolled `std::thread` worker pool, and the supernodal
+//! factorization ([`crate::supernodal`]) level-schedules independent
+//! elimination subtrees. Running both at full width oversubscribes the
+//! machine, so they share one budget:
+//!
+//! - the batch engine, before spawning `w` sweep workers, calls
+//!   [`set_factor_thread_cap`]`(max(1, cores / w))` and clears it
+//!   afterwards — each sweep worker's factorizations then stay inside
+//!   its share of the machine;
+//! - [`resolve_factor_threads`] is what the factorization actually
+//!   consults. Precedence: the `MEMS_FACTOR_THREADS` environment
+//!   variable (for deterministic CI runs) beats an explicit
+//!   per-solver request, which beats the batch-engine cap, which
+//!   beats [`std::thread::available_parallelism`].
+//!
+//! Thread count never changes results — the level scheduler is
+//! deterministic by construction — so the env override exists for
+//! reproducible *timing*, not reproducible answers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global cap set by outer parallel layers (0 = unset).
+static FACTOR_THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps factorization parallelism machine-wide; `0` clears the cap.
+/// Returns the previous cap so callers can restore it.
+pub fn set_factor_thread_cap(cap: usize) -> usize {
+    FACTOR_THREAD_CAP.swap(cap, Ordering::SeqCst)
+}
+
+/// The currently active cap (0 = none).
+pub fn factor_thread_cap() -> usize {
+    FACTOR_THREAD_CAP.load(Ordering::SeqCst)
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Resolves how many worker threads a factorization should use.
+///
+/// `requested` is the per-solver setting (0 = auto). See the module
+/// docs for the precedence chain.
+pub fn resolve_factor_threads(requested: usize) -> usize {
+    if let Ok(v) = std::env::var("MEMS_FACTOR_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            return t.max(1);
+        }
+    }
+    if requested > 0 {
+        return requested;
+    }
+    let hw = hardware_threads();
+    let cap = factor_thread_cap();
+    if cap > 0 {
+        cap.min(hw).max(1)
+    } else {
+        hw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_set_and_restore() {
+        let prev = set_factor_thread_cap(2);
+        assert_eq!(factor_thread_cap(), 2);
+        // Explicit request wins over the cap (absent the env var this
+        // test can't control reliably, which is exercised in CI).
+        if std::env::var("MEMS_FACTOR_THREADS").is_err() {
+            assert_eq!(resolve_factor_threads(5), 5);
+            let r = resolve_factor_threads(0);
+            assert!(r >= 1 && r <= 2.min(hardware_threads()).max(1));
+        }
+        set_factor_thread_cap(prev);
+    }
+}

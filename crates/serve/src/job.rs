@@ -3,8 +3,8 @@
 //! and the cache/timing metadata the HTTP API reports.
 
 use crate::cache::{DeckEntry, Lookup};
-use mems_netlist::report::{json_escape, point_json};
-use mems_netlist::{BatchPoint, CancelToken, PointResult, RunStats, CANCELLED_POINT};
+use mems_netlist::report::{json_escape, point_json, solver_stats_json};
+use mems_netlist::{BatchPoint, CancelToken, PointResult, RunStats, SolverStats, CANCELLED_POINT};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -51,6 +51,11 @@ pub struct JobMeta {
     /// Whether any chunk checked out a context that already carried
     /// artifacts (circuits / symbolic factorization).
     pub warm_checkout: bool,
+    /// Linear-solver snapshot from the busiest chunk (the one whose
+    /// context had performed the most factor + refactor calls) —
+    /// reports which backend/ordering/factorization path served the
+    /// job and what it cost.
+    pub solver: Option<SolverStats>,
     /// Completion stamp from the server's monotonic sequence (0 while
     /// unfinished) — lets tests assert finish *order* without racing
     /// on wall-clock.
@@ -154,6 +159,14 @@ impl Job {
             meta.stats.circuits_built += chunk_meta.stats.circuits_built;
             meta.stats.circuits_patched += chunk_meta.stats.circuits_patched;
             meta.warm_checkout |= chunk_meta.warm_checkout;
+            if let Some(s) = chunk_meta.solver {
+                let busier = meta
+                    .solver
+                    .is_none_or(|cur| s.factors + s.refactors > cur.factors + cur.refactors);
+                if busier {
+                    meta.solver = Some(s);
+                }
+            }
         }
         let last = self.chunks_left.fetch_sub(1, Ordering::SeqCst) == 1;
         if last {
@@ -223,6 +236,7 @@ impl Job {
                 "\"points\":{},\"completed\":{},\"skipped\":{},",
                 "\"cache\":{{\"hit\":{},\"fingerprint\":\"{:016x}\",",
                 "\"circuits_built\":{},\"circuits_patched\":{},\"warm_checkout\":{}}},",
+                "\"solver\":{},",
                 "\"timing\":{{\"parse_us\":{},\"first_result_us\":{},\"finished_us\":{}}},",
                 "\"finish_seq\":{}}}"
             ),
@@ -237,6 +251,9 @@ impl Job {
             meta.stats.circuits_built,
             meta.stats.circuits_patched,
             meta.warm_checkout,
+            meta.solver
+                .as_ref()
+                .map_or_else(|| "null".to_string(), solver_stats_json),
             self.parse_us,
             first,
             finished,

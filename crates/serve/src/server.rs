@@ -237,7 +237,19 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
                     .and_then(|g| g.get(index).cloned().flatten());
                 let env: ParamEnv = point.overrides.iter().cloned().collect();
                 let outcome = match run_elaborated_ctx(&elab, &env, &mut ctx) {
-                    Ok(run) => Ok(extract_metrics(&entry.deck, &run)),
+                    Ok(run) => {
+                        // Keep the busiest system's snapshot (stats
+                        // accumulate over the pooled context, so the
+                        // last point's view covers the whole chunk).
+                        if let Some((_, st)) = run
+                            .solver
+                            .iter()
+                            .max_by_key(|(_, st)| st.factors + st.refactors)
+                        {
+                            meta.solver = Some(*st);
+                        }
+                        Ok(extract_metrics(&entry.deck, &run))
+                    }
                     Err(e) => Err(e.to_string()),
                 };
                 job.record(

@@ -6,7 +6,7 @@ use crate::device::AcLoadCtx;
 use crate::error::{Result, SpiceError};
 use crate::output::{AcResult, OpSolution};
 use crate::solver::SimOptions;
-use crate::system::{new_system_with, FillOrdering, MatrixBackend, SystemMatrix};
+use crate::system::{new_system_solver, FactorKind, FillOrdering, MatrixBackend, SystemMatrix};
 use mems_numerics::Complex64;
 
 /// Frequency sweep specification.
@@ -102,7 +102,15 @@ impl FreqSweep {
 pub fn run(circuit: &mut Circuit, sweep: &FreqSweep, sim: &SimOptions) -> Result<AcResult> {
     let freqs = sweep.frequencies()?;
     let op = super::dcop::solve(circuit, sim)?;
-    run_with_op_ordered(circuit, &freqs, &op, sim.matrix, sim.ordering)
+    run_with_op_solver(
+        circuit,
+        &freqs,
+        &op,
+        sim.matrix,
+        sim.ordering,
+        sim.factor,
+        sim.factor_threads,
+    )
 }
 
 /// Runs the sweep against an already-solved operating point (automatic
@@ -146,8 +154,40 @@ pub fn run_with_op_ordered(
     backend: MatrixBackend,
     ordering: FillOrdering,
 ) -> Result<AcResult> {
-    let mut sys: Box<dyn SystemMatrix<Complex64>> =
-        new_system_with(op.layout.n_unknowns, backend, ordering);
+    run_with_op_solver(
+        circuit,
+        freqs,
+        op,
+        backend,
+        ordering,
+        FactorKind::default(),
+        0,
+    )
+}
+
+/// [`run_with_op_ordered`] with the full solver policy: the complex
+/// systems ride the same numeric factorization path (scalar or
+/// supernodal) as the real analyses.
+///
+/// # Errors
+///
+/// As [`run_with_op`].
+pub fn run_with_op_solver(
+    circuit: &mut Circuit,
+    freqs: &[f64],
+    op: &OpSolution,
+    backend: MatrixBackend,
+    ordering: FillOrdering,
+    factor: FactorKind,
+    factor_threads: usize,
+) -> Result<AcResult> {
+    let mut sys: Box<dyn SystemMatrix<Complex64>> = new_system_solver(
+        op.layout.n_unknowns,
+        backend,
+        ordering,
+        factor,
+        factor_threads,
+    );
     run_with_op_in(circuit, freqs, op, sys.as_mut())
 }
 

@@ -32,7 +32,13 @@ pub fn solve_from(
     opts: &SimOptions,
     guess: Option<&[f64]>,
 ) -> Result<OpSolution> {
-    let mut ws = Workspace::with_policy(0, opts.matrix, opts.ordering);
+    let mut ws = Workspace::with_solver(
+        0,
+        opts.matrix,
+        opts.ordering,
+        opts.factor,
+        opts.factor_threads,
+    );
     solve_in(circuit, opts, guess, &mut ws)
 }
 
@@ -53,7 +59,13 @@ pub fn solve_in(
     ws: &mut Workspace,
 ) -> Result<OpSolution> {
     let layout = circuit.layout();
-    ws.ensure(layout.n_unknowns, opts.matrix, opts.ordering);
+    ws.ensure_solver(
+        layout.n_unknowns,
+        opts.matrix,
+        opts.ordering,
+        opts.factor,
+        opts.factor_threads,
+    );
     let x0 = match guess {
         Some(g) if g.len() == layout.n_unknowns => g.to_vec(),
         _ => vec![0.0; layout.n_unknowns],

@@ -42,7 +42,8 @@ pub fn dc_sweep(
     values: &[f64],
     sim: &SimOptions,
 ) -> Result<SweepResult> {
-    let mut ws = Workspace::with_policy(0, sim.matrix, sim.ordering);
+    let mut ws =
+        Workspace::with_solver(0, sim.matrix, sim.ordering, sim.factor, sim.factor_threads);
     dc_sweep_in(build, values, sim, &mut ws)
 }
 

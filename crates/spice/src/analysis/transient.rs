@@ -85,7 +85,8 @@ pub fn run_from(
     sim: &SimOptions,
     op_guess: Option<&[f64]>,
 ) -> Result<TranResult> {
-    let mut ws = Workspace::with_policy(0, sim.matrix, sim.ordering);
+    let mut ws =
+        Workspace::with_solver(0, sim.matrix, sim.ordering, sim.factor, sim.factor_threads);
     run_in(circuit, opts, sim, op_guess, &mut ws)
 }
 

@@ -9,7 +9,7 @@
 use crate::circuit::{Circuit, UnknownKind, UnknownLayout};
 use crate::device::{LoadCtx, LoadKind};
 use crate::error::{Result, SpiceError};
-use crate::system::{new_system_with, FillOrdering, MatrixBackend, SystemMatrix};
+use crate::system::{new_system_solver, FactorKind, FillOrdering, MatrixBackend, SystemMatrix};
 use mems_hdl::Nature;
 
 /// Global simulator options (tolerances, iteration budgets).
@@ -40,6 +40,16 @@ pub struct SimOptions {
     /// option `order=amd|natural`; `Amd` by default). Ignored by the
     /// dense backend.
     pub ordering: FillOrdering,
+    /// Numeric factorization path for the sparse backend (deck option
+    /// `factor=auto|scalar|super`; `Auto` switches to the supernodal
+    /// engine at
+    /// [`SUPERNODAL_AUTO_THRESHOLD`](crate::system::SUPERNODAL_AUTO_THRESHOLD)
+    /// unknowns). Ignored by the dense backend.
+    pub factor: FactorKind,
+    /// Worker threads for the supernodal factorization (deck option
+    /// `factor_threads=<n>`; `0` = auto, see
+    /// [`mems_numerics::par::resolve_factor_threads`]).
+    pub factor_threads: usize,
 }
 
 impl Default for SimOptions {
@@ -54,6 +64,8 @@ impl Default for SimOptions {
             max_step: 0.0,
             matrix: MatrixBackend::Auto,
             ordering: FillOrdering::default(),
+            factor: FactorKind::default(),
+            factor_threads: 0,
         }
     }
 }
@@ -82,6 +94,8 @@ pub struct Workspace {
     pub row_scale: Vec<f64>,
     backend: MatrixBackend,
     ordering: FillOrdering,
+    factor: FactorKind,
+    factor_threads: usize,
 }
 
 impl Workspace {
@@ -101,12 +115,28 @@ impl Workspace {
     /// policies (the [`SimOptions::matrix`]/[`SimOptions::ordering`]
     /// pair).
     pub fn with_policy(n: usize, backend: MatrixBackend, ordering: FillOrdering) -> Self {
+        Self::with_solver(n, backend, ordering, FactorKind::default(), 0)
+    }
+
+    /// Allocates a workspace with the full solver policy: backend,
+    /// sparse ordering, numeric factorization path, and thread budget
+    /// (the [`SimOptions::matrix`]/[`SimOptions::ordering`]/
+    /// [`SimOptions::factor`]/[`SimOptions::factor_threads`] tuple).
+    pub fn with_solver(
+        n: usize,
+        backend: MatrixBackend,
+        ordering: FillOrdering,
+        factor: FactorKind,
+        factor_threads: usize,
+    ) -> Self {
         Workspace {
-            sys: new_system_with(n, backend, ordering),
+            sys: new_system_solver(n, backend, ordering, factor, factor_threads),
             resid: vec![0.0; n],
             row_scale: vec![0.0; n],
             backend,
             ordering,
+            factor,
+            factor_threads,
         }
     }
 
@@ -122,13 +152,32 @@ impl Workspace {
     /// `.STEP`/`.MC` batches: same topology → same layout → the
     /// expensive analysis happens once.
     pub fn ensure(&mut self, n: usize, backend: MatrixBackend, ordering: FillOrdering) {
+        self.ensure_solver(n, backend, ordering, self.factor, self.factor_threads);
+    }
+
+    /// [`Workspace::ensure`] with the full solver policy — rebuilds only
+    /// when the resolved backend, ordering, or factorization policy
+    /// actually changes.
+    pub fn ensure_solver(
+        &mut self,
+        n: usize,
+        backend: MatrixBackend,
+        ordering: FillOrdering,
+        factor: FactorKind,
+        factor_threads: usize,
+    ) {
         let same_backend = self.sys.n() == n && self.backend.resolve(n) == backend.resolve(n);
-        // The ordering only matters on the sparse path.
-        let same_ordering = self.ordering == ordering || backend.resolve(n) == MatrixBackend::Dense;
-        if same_backend && same_ordering {
+        // Ordering and factorization policy only matter on the sparse
+        // path.
+        let dense = backend.resolve(n) == MatrixBackend::Dense;
+        let same_ordering = self.ordering == ordering || dense;
+        let same_factor = dense
+            || (self.factor.resolve(n) == factor.resolve(n)
+                && self.factor_threads == factor_threads);
+        if same_backend && same_ordering && same_factor {
             return;
         }
-        *self = Workspace::with_policy(n, backend, ordering);
+        *self = Workspace::with_solver(n, backend, ordering, factor, factor_threads);
     }
 }
 

@@ -31,14 +31,29 @@
 //! minimum-degree column order once, and every factorization — first
 //! and replayed — eliminates in that order. Deck option
 //! `order=amd|natural` (default `amd`) selects it.
+//!
+//! Above the scalar sparse LU sits a second policy axis,
+//! [`FactorKind`]: at [`SUPERNODAL_AUTO_THRESHOLD`] unknowns (deck
+//! option `factor=auto|scalar|super`) the sparse backend switches its
+//! numeric engine to the supernodal, level-scheduled parallel
+//! factorization ([`mems_numerics::supernodal::SupernodalLu`]). The
+//! supernodal engine uses static (matched-diagonal) pivots guarded by
+//! the same drift threshold as the scalar refactor; any rejected
+//! pivot makes the system fall back — stickily, until the pattern
+//! changes — to the scalar re-pivoting path, so enabling it can only
+//! cost speed, never correctness. [`SolverStats`] snapshots what the
+//! backend actually did (engine, counts, fill, timings) for
+//! `mems run --json` and the serve job metadata.
 
 use mems_numerics::dense::DenseMatrix;
 use mems_numerics::lu::LuFactors;
 use mems_numerics::ordering::amd_order;
 use mems_numerics::scalar::Scalar;
 use mems_numerics::sparse_lu::{CscView, SparseLu};
+use mems_numerics::supernodal::SupernodalLu;
 use mems_numerics::{NumericsError, Result};
 use std::collections::HashMap;
+use std::time::Instant;
 
 pub use mems_numerics::ordering::FillOrdering;
 
@@ -73,6 +88,111 @@ impl MatrixBackend {
                 }
             }
             other => other,
+        }
+    }
+}
+
+/// Unknown count at which [`FactorKind::Auto`] engages the supernodal
+/// parallel factorization on the sparse path.
+///
+/// Below this the scalar Gilbert–Peierls refactor is already a few
+/// tens of microseconds and the supernodal machinery (panel assembly,
+/// level scheduling) would only add overhead; above it the DFS
+/// symbolic analysis and scattered CSC updates start to dominate.
+pub const SUPERNODAL_AUTO_THRESHOLD: usize = 2000;
+
+/// Which numeric engine the sparse backend factors with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorKind {
+    /// Pick by unknown count ([`SUPERNODAL_AUTO_THRESHOLD`]).
+    #[default]
+    Auto,
+    /// Force the scalar column-by-column LU (always available).
+    Scalar,
+    /// Force the supernodal, level-scheduled parallel LU.
+    Supernodal,
+}
+
+impl FactorKind {
+    /// Resolves `Auto` against an unknown count.
+    pub fn resolve(self, n: usize) -> FactorKind {
+        match self {
+            FactorKind::Auto => {
+                if n >= SUPERNODAL_AUTO_THRESHOLD {
+                    FactorKind::Supernodal
+                } else {
+                    FactorKind::Scalar
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// What the solver actually did: a copyable snapshot for reports
+/// (`mems run --json`, serve job metadata) and regressions tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// `"dense"` or `"sparse"`.
+    pub backend: &'static str,
+    /// `"dense"`, `"scalar"`, `"supernodal"`, or `"none"` before the
+    /// first successful factor.
+    pub factor_path: &'static str,
+    /// `"amd"` or `"natural"` (sparse only).
+    pub ordering: &'static str,
+    /// Matrix order.
+    pub n: usize,
+    /// Structural nonzeros of the assembled pattern.
+    pub pattern_nnz: usize,
+    /// Stored factor entries (L + U) of the last factorization.
+    pub factor_nnz: usize,
+    /// Supernode count (supernodal path only).
+    pub supernodes: usize,
+    /// Level-schedule depth (supernodal path only).
+    pub levels: usize,
+    /// Worker threads the last factorization used.
+    pub threads: usize,
+    /// Fresh (symbolic + numeric) factorizations performed.
+    pub factors: u64,
+    /// Numeric-only refactorizations performed.
+    pub refactors: u64,
+    /// Times a fast path gave up (supernodal → scalar, or scalar
+    /// refactor → fresh re-pivoting factor).
+    pub fallbacks: u64,
+    /// Wall time of the last fresh factorization, microseconds.
+    pub last_factor_us: u64,
+    /// Wall time of the last refactorization, microseconds.
+    pub last_refactor_us: u64,
+}
+
+impl Default for SolverStats {
+    fn default() -> Self {
+        SolverStats {
+            backend: "none",
+            factor_path: "none",
+            ordering: "natural",
+            n: 0,
+            pattern_nnz: 0,
+            factor_nnz: 0,
+            supernodes: 0,
+            levels: 0,
+            threads: 0,
+            factors: 0,
+            refactors: 0,
+            fallbacks: 0,
+            last_factor_us: 0,
+            last_refactor_us: 0,
+        }
+    }
+}
+
+impl SolverStats {
+    /// Factor fill ratio `factor_nnz / pattern_nnz` (0 when unknown).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.pattern_nnz == 0 {
+            0.0
+        } else {
+            self.factor_nnz as f64 / self.pattern_nnz as f64
         }
     }
 }
@@ -117,11 +237,17 @@ pub trait SystemMatrix<S: Scalar>: Send {
     /// Value at `(row, col)` — diagnostic/test accessor, zero when
     /// unstamped.
     fn get(&self, row: usize, col: usize) -> S;
+
+    /// Snapshot of solver counters and last timings; backends that
+    /// don't track them return the empty default.
+    fn solver_stats(&self) -> SolverStats {
+        SolverStats::default()
+    }
 }
 
 /// Builds a system matrix of order `n` for the (resolved) backend,
 /// with the default [`FillOrdering`] on the sparse path.
-pub fn new_system<S: Scalar + Send + 'static>(
+pub fn new_system<S: Scalar + Send + Sync + 'static>(
     n: usize,
     backend: MatrixBackend,
 ) -> Box<dyn SystemMatrix<S>> {
@@ -130,13 +256,32 @@ pub fn new_system<S: Scalar + Send + 'static>(
 
 /// [`new_system`] with an explicit sparse fill-reducing ordering
 /// (ignored by the dense backend).
-pub fn new_system_with<S: Scalar + Send + 'static>(
+pub fn new_system_with<S: Scalar + Send + Sync + 'static>(
     n: usize,
     backend: MatrixBackend,
     ordering: FillOrdering,
 ) -> Box<dyn SystemMatrix<S>> {
+    new_system_solver(n, backend, ordering, FactorKind::default(), 0)
+}
+
+/// [`new_system`] with the full sparse solver policy: fill ordering,
+/// numeric engine ([`FactorKind`]), and a worker-thread request for
+/// the supernodal path (0 = auto, see `mems_numerics::par`). The
+/// dense backend ignores all three.
+pub fn new_system_solver<S: Scalar + Send + Sync + 'static>(
+    n: usize,
+    backend: MatrixBackend,
+    ordering: FillOrdering,
+    factor: FactorKind,
+    factor_threads: usize,
+) -> Box<dyn SystemMatrix<S>> {
     match backend.resolve(n) {
-        MatrixBackend::Sparse => Box::new(SparseSystem::with_ordering(n, ordering)),
+        MatrixBackend::Sparse => Box::new(SparseSystem::with_solver(
+            n,
+            ordering,
+            factor,
+            factor_threads,
+        )),
         _ => Box::new(DenseSystem::new(n)),
     }
 }
@@ -145,6 +290,8 @@ pub fn new_system_with<S: Scalar + Send + 'static>(
 pub struct DenseSystem<S: Scalar> {
     m: DenseMatrix<S>,
     lu: Option<LuFactors<S>>,
+    factors: u64,
+    last_factor_us: u64,
 }
 
 impl<S: Scalar> DenseSystem<S> {
@@ -153,6 +300,8 @@ impl<S: Scalar> DenseSystem<S> {
         DenseSystem {
             m: DenseMatrix::zeros(n, n),
             lu: None,
+            factors: 0,
+            last_factor_us: 0,
         }
     }
 }
@@ -176,7 +325,10 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for DenseSystem<S> {
     }
 
     fn factor(&mut self) -> Result<()> {
+        let t0 = Instant::now();
         self.lu = Some(LuFactors::factor(&self.m)?);
+        self.factors += 1;
+        self.last_factor_us = t0.elapsed().as_micros() as u64;
         Ok(())
     }
 
@@ -195,6 +347,21 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for DenseSystem<S> {
 
     fn get(&self, row: usize, col: usize) -> S {
         self.m[(row, col)]
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        let n = self.m.rows();
+        SolverStats {
+            backend: "dense",
+            factor_path: if self.lu.is_some() { "dense" } else { "none" },
+            n,
+            pattern_nnz: n * n,
+            factor_nnz: if self.lu.is_some() { n * n } else { 0 },
+            threads: 1,
+            factors: self.factors,
+            last_factor_us: self.last_factor_us,
+            ..SolverStats::default()
+        }
     }
 }
 
@@ -221,6 +388,24 @@ pub struct SparseSystem<S: Scalar> {
     /// Column elimination order computed from the current pattern
     /// (`None` under [`FillOrdering::Natural`]).
     col_order: Option<Vec<usize>>,
+    /// Numeric-engine policy ([`FactorKind::Auto`] switches on size).
+    factor_kind: FactorKind,
+    /// Requested supernodal worker threads (0 = auto).
+    factor_threads: usize,
+    /// Supernodal engine for the current pattern, when engaged.
+    snl: Option<SupernodalLu<S>>,
+    /// Sticky per-pattern opt-out: set when the supernodal engine
+    /// rejected a pivot, cleared when the pattern changes. Keeps a
+    /// drifting Newton/transient run from paying a failed supernodal
+    /// attempt on every factor.
+    snl_dead: bool,
+    /// `true` when the last successful factor was supernodal.
+    active_supernodal: bool,
+    stat_factors: u64,
+    stat_refactors: u64,
+    stat_fallbacks: u64,
+    stat_last_factor_us: u64,
+    stat_last_refactor_us: u64,
 }
 
 impl<S: Scalar> SparseSystem<S> {
@@ -232,6 +417,17 @@ impl<S: Scalar> SparseSystem<S> {
 
     /// [`new`](Self::new) with an explicit ordering policy.
     pub fn with_ordering(n: usize, ordering: FillOrdering) -> Self {
+        Self::with_solver(n, ordering, FactorKind::default(), 0)
+    }
+
+    /// [`new`](Self::new) with the full solver policy: ordering,
+    /// numeric engine, and supernodal thread request (0 = auto).
+    pub fn with_solver(
+        n: usize,
+        ordering: FillOrdering,
+        factor: FactorKind,
+        factor_threads: usize,
+    ) -> Self {
         SparseSystem {
             n,
             slots: HashMap::new(),
@@ -246,6 +442,16 @@ impl<S: Scalar> SparseSystem<S> {
             factored: false,
             ordering,
             col_order: None,
+            factor_kind: factor,
+            factor_threads,
+            snl: None,
+            snl_dead: false,
+            active_supernodal: false,
+            stat_factors: 0,
+            stat_refactors: 0,
+            stat_fallbacks: 0,
+            stat_last_factor_us: 0,
+            stat_last_refactor_us: 0,
         }
     }
 
@@ -259,17 +465,27 @@ impl<S: Scalar> SparseSystem<S> {
         self.ordering
     }
 
+    /// The numeric-engine policy this system factors with.
+    pub fn factor_kind(&self) -> FactorKind {
+        self.factor_kind
+    }
+
     /// Nonzeros `(nnz(L), nnz(U))` of the last factorization, `None`
     /// before the first successful factor — the fill diagnostic the
-    /// ordering benches report.
+    /// ordering benches report. For the supernodal engine this is the
+    /// dense panel storage (including amalgamation padding).
     pub fn factor_nnz(&self) -> Option<(usize, usize)> {
-        self.lu.as_ref().map(SparseLu::nnz)
+        if self.active_supernodal {
+            self.snl.as_ref().map(SupernodalLu::nnz)
+        } else {
+            self.lu.as_ref().map(SparseLu::nnz)
+        }
     }
 
     /// `true` when the next factor can replay the recorded symbolic
     /// factorization (pattern stable and analyzed).
     pub fn has_symbolic(&self) -> bool {
-        !self.pattern_dirty && self.lu.is_some()
+        !self.pattern_dirty && (self.lu.is_some() || self.snl.is_some())
     }
 
     fn rebuild_csc(&mut self) {
@@ -300,10 +516,13 @@ impl<S: Scalar> SparseSystem<S> {
         };
         self.pattern_dirty = false;
         self.lu = None;
+        self.snl = None;
+        self.snl_dead = false;
+        self.active_supernodal = false;
     }
 }
 
-impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
+impl<S: Scalar + Send + Sync + 'static> SystemMatrix<S> for SparseSystem<S> {
     fn n(&self) -> usize {
         self.n
     }
@@ -351,11 +570,52 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
             row_idx: &self.row_idx,
             values: &self.csc_vals,
         };
+        // Supernodal engine first when the policy selects it: a
+        // numeric-only replay when the symbolic analysis exists, a
+        // fresh analysis + factor otherwise. Any failure (a static
+        // pivot past the drift guard, or a structurally unmatched
+        // pattern) drops to the scalar re-pivoting path below and
+        // stays there until the pattern changes.
+        if !self.snl_dead && self.factor_kind.resolve(self.n) == FactorKind::Supernodal {
+            let t0 = Instant::now();
+            let replay = self.snl.is_some();
+            let res = match &mut self.snl {
+                Some(snl) => snl.refactor(&view),
+                None => SupernodalLu::factor(&view, self.ordering, self.factor_threads)
+                    .map(|snl| self.snl = Some(snl)),
+            };
+            match res {
+                Ok(()) => {
+                    let us = t0.elapsed().as_micros() as u64;
+                    if replay {
+                        self.stat_refactors += 1;
+                        self.stat_last_refactor_us = us;
+                    } else {
+                        self.stat_factors += 1;
+                        self.stat_last_factor_us = us;
+                    }
+                    self.active_supernodal = true;
+                    self.factored = true;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if std::env::var_os("MEMS_SNL_DEBUG").is_some() {
+                        eprintln!("supernodal fallback: {e:?}");
+                    }
+                    self.snl = None;
+                    self.snl_dead = true;
+                    self.stat_fallbacks += 1;
+                }
+            }
+        }
+        self.active_supernodal = false;
+        let t0 = Instant::now();
         let order = self.col_order.as_deref();
         let fresh = |view: &CscView<'_, S>| match order {
             Some(q) => SparseLu::factor_ordered(view, q),
             None => SparseLu::factor(view),
         };
+        let mut replayed = true;
         match &mut self.lu {
             Some(lu) => {
                 // Numeric-only replay; a dead pivot means the values
@@ -364,20 +624,41 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
                 // column order: the fallback re-picks rows only).
                 if lu.refactor(&view).is_err() {
                     self.lu = Some(fresh(&view)?);
+                    self.stat_fallbacks += 1;
+                    replayed = false;
                 }
             }
             None => {
                 self.lu = Some(fresh(&view)?);
+                replayed = false;
             }
+        }
+        let us = t0.elapsed().as_micros() as u64;
+        if replayed {
+            self.stat_refactors += 1;
+            self.stat_last_refactor_us = us;
+        } else {
+            self.stat_factors += 1;
+            self.stat_last_factor_us = us;
         }
         self.factored = true;
         Ok(())
     }
 
     fn solve(&self, b: &[S]) -> Result<Vec<S>> {
-        match (&self.lu, self.factored) {
-            (Some(lu), true) => lu.solve(b),
-            _ => Err(NumericsError::InvalidInput(
+        if !self.factored {
+            return Err(NumericsError::InvalidInput(
+                "solve called before factor".into(),
+            ));
+        }
+        if self.active_supernodal {
+            if let Some(snl) = &self.snl {
+                return snl.solve(b);
+            }
+        }
+        match &self.lu {
+            Some(lu) => lu.solve(b),
+            None => Err(NumericsError::InvalidInput(
                 "solve called before factor".into(),
             )),
         }
@@ -392,6 +673,44 @@ impl<S: Scalar + Send + 'static> SystemMatrix<S> for SparseSystem<S> {
         self.slots
             .get(&key)
             .map_or_else(S::zero, |&slot| self.vals[slot])
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        let (factor_path, factor_nnz, supernodes, levels, threads) =
+            if let (true, Some(snl)) = (self.active_supernodal, self.snl.as_ref()) {
+                let (l, u) = snl.nnz();
+                (
+                    "supernodal",
+                    l + u,
+                    snl.supernodes(),
+                    snl.levels(),
+                    snl.threads_used(),
+                )
+            } else if let Some(lu) = &self.lu {
+                let (l, u) = lu.nnz();
+                ("scalar", l + u, 0, 0, 1)
+            } else {
+                ("none", 0, 0, 0, 0)
+            };
+        SolverStats {
+            backend: "sparse",
+            factor_path,
+            ordering: match self.ordering {
+                FillOrdering::Amd => "amd",
+                FillOrdering::Natural => "natural",
+            },
+            n: self.n,
+            pattern_nnz: self.vals.len(),
+            factor_nnz,
+            supernodes,
+            levels,
+            threads,
+            factors: self.stat_factors,
+            refactors: self.stat_refactors,
+            fallbacks: self.stat_fallbacks,
+            last_factor_us: self.stat_last_factor_us,
+            last_refactor_us: self.stat_last_refactor_us,
+        }
     }
 }
 
@@ -566,6 +885,114 @@ mod tests {
         assert!((x[0] + 1.0).abs() < 1e-12, "{x:?}");
         assert!((x[1] - 2.0).abs() < 1e-12, "{x:?}");
         assert!((x[2] - 1.0).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn forced_supernodal_agrees_with_scalar_and_reports_stats() {
+        // 10×10 grid MNA-ish pattern: small enough that Auto would
+        // stay scalar, so force the supernodal engine on one copy.
+        let (r, c) = (10usize, 10usize);
+        let n = r * c;
+        let idx = |i: usize, j: usize| i * c + j;
+        let mut entries = Vec::new();
+        for i in 0..r {
+            for j in 0..c {
+                entries.push((idx(i, j), idx(i, j), 4.0 + (i * c + j) as f64 * 0.01));
+                if i + 1 < r {
+                    entries.push((idx(i, j), idx(i + 1, j), -1.0));
+                    entries.push((idx(i + 1, j), idx(i, j), -0.8));
+                }
+                if j + 1 < c {
+                    entries.push((idx(i, j), idx(i, j + 1), -1.1));
+                    entries.push((idx(i, j + 1), idx(i, j), -0.9));
+                }
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut snl =
+            SparseSystem::<f64>::with_solver(n, FillOrdering::Amd, FactorKind::Supernodal, 2);
+        let mut sca = SparseSystem::<f64>::with_solver(n, FillOrdering::Amd, FactorKind::Scalar, 0);
+        stamp_all(&mut snl, &entries);
+        stamp_all(&mut sca, &entries);
+        snl.factor().unwrap();
+        sca.factor().unwrap();
+        let xs = snl.solve(&b).unwrap();
+        let xc = sca.solve(&b).unwrap();
+        for (a, bb) in xs.iter().zip(&xc) {
+            assert!((a - bb).abs() < 1e-10, "{xs:?} vs {xc:?}");
+        }
+        let st = snl.solver_stats();
+        assert_eq!(st.backend, "sparse");
+        assert_eq!(st.factor_path, "supernodal");
+        assert_eq!(st.ordering, "amd");
+        assert_eq!(st.factors, 1);
+        assert!(st.supernodes >= 1 && st.levels >= 1);
+        assert!(st.factor_nnz >= st.pattern_nnz / 2);
+        assert_eq!(sca.solver_stats().factor_path, "scalar");
+        // Value-only change: the supernodal symbolic is replayed.
+        snl.clear();
+        stamp_all(&mut snl, &entries);
+        snl.factor().unwrap();
+        let st = snl.solver_stats();
+        assert_eq!(st.refactors, 1);
+        let xs2 = snl.solve(&b).unwrap();
+        assert_eq!(xs, xs2);
+    }
+
+    #[test]
+    fn supernodal_pivot_failure_falls_back_to_scalar() {
+        // The value-aware matching dodges pivots that are bad *in A*,
+        // but nothing static can dodge a pivot that cancels to zero
+        // *during* elimination. First factor: strongly diagonal values
+        // (off-diagonals below the match filter pin the transversal to
+        // the identity). Then refactor the same pattern with values
+        // whose second diagonal pivot cancels exactly — the drift
+        // guard must reject and the system must fall back to the
+        // scalar re-pivoting engine and still produce the right
+        // answer.
+        let pattern: &[(usize, usize)] = &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 1), (1, 2), (2, 2)];
+        let mut sys =
+            SparseSystem::<f64>::with_solver(3, FillOrdering::Natural, FactorKind::Supernodal, 1);
+        for &(r, c) in pattern {
+            sys.add(r, c, if r == c { 4.0 } else { 1e-6 });
+        }
+        sys.factor().unwrap();
+        assert_eq!(sys.solver_stats().factor_path, "supernodal");
+        // Cancellation values: eliminating column 0 sends the (1,1)
+        // pivot to 1 − 1·1 = 0 while |(2,1)| stays 1. Partial pivoting
+        // swaps rows and survives; the static replay cannot.
+        let refill = |sys: &mut SparseSystem<f64>| {
+            sys.clear();
+            for &(r, c) in pattern {
+                sys.add(r, c, 1.0);
+            }
+        };
+        refill(&mut sys);
+        sys.factor().unwrap();
+        let st = sys.solver_stats();
+        assert_eq!(st.factor_path, "scalar", "fell back");
+        assert!(st.fallbacks >= 1);
+        let x = sys.solve(&[2.0, 3.0, 2.0]).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            assert!((xi - 1.0).abs() < 1e-12, "x[{i}] = {xi}");
+        }
+        // The opt-out is sticky for this pattern: the next factor goes
+        // straight to the scalar path without a second failed attempt.
+        let fallbacks = st.fallbacks;
+        refill(&mut sys);
+        sys.factor().unwrap();
+        assert_eq!(sys.solver_stats().fallbacks, fallbacks);
+    }
+
+    #[test]
+    fn factor_kind_resolves_by_size() {
+        assert_eq!(FactorKind::Auto.resolve(100), FactorKind::Scalar);
+        assert_eq!(
+            FactorKind::Auto.resolve(SUPERNODAL_AUTO_THRESHOLD),
+            FactorKind::Supernodal
+        );
+        assert_eq!(FactorKind::Scalar.resolve(1 << 20), FactorKind::Scalar);
+        assert_eq!(FactorKind::Supernodal.resolve(2), FactorKind::Supernodal);
     }
 
     #[test]

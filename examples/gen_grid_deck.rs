@@ -1,28 +1,37 @@
-//! Regenerates `examples/decks/grid_cells.cir` (or any other size of
-//! the meshed scale-tier deck) from the grid generator:
+//! Regenerates `examples/decks/grid_cells.cir` /
+//! `examples/decks/grid3d_cells.cir` (or any other size of the meshed
+//! scale-tier decks) from the grid generators:
 //!
 //! ```sh
 //! cargo run --example gen_grid_deck -- 4 4 > examples/decks/grid_cells.cir
-//! cargo run --example gen_grid_deck -- 18 19   # the ~1600-unknown tier
+//! cargo run --example gen_grid_deck -- 18 19       # the ~1600-unknown tier
+//! cargo run --example gen_grid_deck -- --3d 3 3 3 > examples/decks/grid3d_cells.cir
+//! cargo run --example gen_grid_deck -- --3d 10    # cube, the ~7000-unknown tier
 //! ```
 
-use mems::netlist::gen::{grid_deck_with, GridDeckOptions};
+use mems::netlist::gen::{grid3d_deck_with, grid_deck_with, GridDeckOptions};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4).max(1);
-    let cols: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4).max(2);
-    print!(
-        "{}",
-        grid_deck_with(
-            rows,
-            cols,
-            &GridDeckOptions {
-                options: "sparse=1".into(),
-                ac: true,
-                tran: false,
-                step_points: 5,
-            },
-        )
-    );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let three_d = args.first().is_some_and(|a| a == "--3d");
+    if three_d {
+        args.remove(0);
+    }
+    let dims: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let opts = GridDeckOptions {
+        options: "sparse=1".into(),
+        ac: true,
+        tran: false,
+        step_points: 5,
+    };
+    if three_d {
+        let nx = dims.first().copied().unwrap_or(3).max(1);
+        let ny = dims.get(1).copied().unwrap_or(nx).max(1);
+        let nz = dims.get(2).copied().unwrap_or(ny).max(2);
+        print!("{}", grid3d_deck_with(nx, ny, nz, &opts));
+    } else {
+        let rows = dims.first().copied().unwrap_or(4).max(1);
+        let cols = dims.get(1).copied().unwrap_or(4).max(2);
+        print!("{}", grid_deck_with(rows, cols, &opts));
+    }
 }

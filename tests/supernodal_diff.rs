@@ -1,0 +1,295 @@
+//! Differential properties for the supernodal engine: on random
+//! sparse patterns the supernodal factorization must agree with the
+//! scalar left-looking LU and the dense backend to ≤ 1e-10, the
+//! answer must be bit-identical across worker-thread counts, the
+//! Complex64 (AC) instantiation must agree the same way, and the
+//! drift-guard → scalar-re-pivot fallback inside [`SparseSystem`]
+//! must keep working when the supernodal engine is forced on.
+
+use mems::numerics::ordering::FillOrdering;
+use mems::numerics::sparse_lu::{CscMatrix, SparseLu};
+use mems::numerics::supernodal::SupernodalLu;
+use mems::numerics::Complex64;
+use mems::spice::system::{DenseSystem, FactorKind, SparseSystem, SystemMatrix};
+use proptest::prelude::*;
+
+/// Deterministic pattern + values from a seed: `n`-node matrix with
+/// full diagonal and ~`density` off-diagonal fill (same family the
+/// ordering property tests use, so a 1e-10 tolerance is meaningful).
+fn random_matrix(seed: u64, n: usize, density: f64, symmetric: bool) -> Vec<(usize, usize, f64)> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, i, 6.0 + 2.0 * next()));
+        for j in 0..n {
+            if i != j && next() < density {
+                let v = 2.0 * next() - 1.0;
+                t.push((i, j, v));
+                if symmetric {
+                    t.push((j, i, v));
+                }
+            }
+        }
+    }
+    t
+}
+
+fn dense_solve(triplets: &[(usize, usize, f64)], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut sys = DenseSystem::<f64>::new(n);
+    for &(i, j, v) in triplets {
+        sys.add(i, j, v);
+    }
+    sys.factor().unwrap();
+    sys.solve(b).unwrap()
+}
+
+fn assert_close(label: &str, a: &[f64], b: &[f64], rel: f64) {
+    let scale = a.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= rel * scale,
+            "{label}[{i}]: {x:e} vs {y:e} (scale {scale:e})"
+        );
+    }
+}
+
+proptest! {
+    /// Supernodal ≡ scalar ≡ dense on random patterns, symmetric and
+    /// unsymmetric, across explicit worker-thread requests.
+    #[test]
+    fn supernodal_matches_scalar_and_dense(
+        seed in 0i64..1_000_000,
+        n in 5usize..70,
+        density in 0.02f64..0.3,
+        threads in 1usize..9,
+        sym in 0usize..2,
+    ) {
+        let t = random_matrix(seed as u64, n, density, sym == 1);
+        let csc = CscMatrix::from_triplets(n, &t);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let snl = SupernodalLu::<f64>::factor(&csc.view(), FillOrdering::Amd, threads).unwrap();
+        let x_snl = snl.solve(&b).unwrap();
+        let x_scalar = SparseLu::factor(&csc.view()).unwrap().solve(&b).unwrap();
+        let x_dense = dense_solve(&t, n, &b);
+        let scale = x_dense.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            prop_assert!((x_snl[i] - x_scalar[i]).abs() <= 1e-10 * scale,
+                "vs scalar: {} vs {}", x_snl[i], x_scalar[i]);
+            prop_assert!((x_snl[i] - x_dense[i]).abs() <= 1e-10 * scale,
+                "vs dense: {} vs {}", x_snl[i], x_dense[i]);
+        }
+    }
+
+    /// The level scheduler is deterministic by construction: updater
+    /// supernodes are applied in ascending order regardless of which
+    /// worker owns a panel, so the factorization — and therefore the
+    /// solve — is bit-identical across thread counts.
+    #[test]
+    fn thread_count_is_bitwise_invariant(
+        seed in 0i64..1_000_000,
+        n in 5usize..60,
+        density in 0.05f64..0.25,
+    ) {
+        let t = random_matrix(seed as u64 ^ 0x7ead, n, density, false);
+        let csc = CscMatrix::from_triplets(n, &t);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x1 = SupernodalLu::<f64>::factor(&csc.view(), FillOrdering::Amd, 1)
+            .unwrap().solve(&b).unwrap();
+        for threads in [2usize, 8] {
+            let xt = SupernodalLu::<f64>::factor(&csc.view(), FillOrdering::Amd, threads)
+                .unwrap().solve(&b).unwrap();
+            for i in 0..n {
+                prop_assert!(x1[i].to_bits() == xt[i].to_bits(),
+                    "threads={threads}: {} vs {}", x1[i], xt[i]);
+            }
+        }
+    }
+
+    /// Complex64 instantiation (the AC path): supernodal ≡ scalar ≡
+    /// dense on random complex systems.
+    #[test]
+    fn complex_supernodal_matches_scalar_and_dense(
+        seed in 0i64..1_000_000,
+        n in 5usize..50,
+        density in 0.05f64..0.25,
+    ) {
+        let tre = random_matrix(seed as u64, n, density, false);
+        let t: Vec<(usize, usize, Complex64)> = tre
+            .iter()
+            .map(|&(i, j, v)| {
+                let im = if i == j { 0.5 } else { -0.3 * v };
+                (i, j, Complex64::new(v, im))
+            })
+            .collect();
+        let csc = CscMatrix::from_triplets(n, &t);
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.31).cos(), (i as f64 * 0.17).sin()))
+            .collect();
+        let x_snl = SupernodalLu::<Complex64>::factor(&csc.view(), FillOrdering::Amd, 2)
+            .unwrap().solve(&b).unwrap();
+        let x_scalar = SparseLu::factor(&csc.view()).unwrap().solve(&b).unwrap();
+        let mut dense = DenseSystem::<Complex64>::new(n);
+        for &(i, j, v) in &t {
+            dense.add(i, j, v);
+        }
+        dense.factor().unwrap();
+        let x_dense = dense.solve(&b).unwrap();
+        let scale = x_dense.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            prop_assert!((x_snl[i] - x_scalar[i]).abs() <= 1e-10 * scale,
+                "vs scalar: {:?} vs {:?}", x_snl[i], x_scalar[i]);
+            prop_assert!((x_snl[i] - x_dense[i]).abs() <= 1e-10 * scale,
+                "vs dense: {:?} vs {:?}", x_snl[i], x_dense[i]);
+        }
+    }
+
+    /// Refactor on the same pattern with perturbed-but-stable values
+    /// agrees with the scalar engine on the new values.
+    #[test]
+    fn supernodal_refactor_matches_scalar(
+        seed in 0i64..1_000_000,
+        n in 5usize..50,
+    ) {
+        let t_a = random_matrix(seed as u64 ^ 0xf00d, n, 0.15, false);
+        let t_b: Vec<(usize, usize, f64)> = t_a
+            .iter()
+            .map(|&(i, j, v)| (i, j, v * 1.25 + if i == j { 0.5 } else { 0.0 }))
+            .collect();
+        let csc_a = CscMatrix::from_triplets(n, &t_a);
+        let csc_b = CscMatrix::from_triplets(n, &t_b);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut snl = SupernodalLu::<f64>::factor(&csc_a.view(), FillOrdering::Amd, 2).unwrap();
+        snl.refactor(&csc_b.view()).unwrap();
+        let x_re = snl.solve(&b).unwrap();
+        let x_scalar = SparseLu::factor(&csc_b.view()).unwrap().solve(&b).unwrap();
+        let scale = x_scalar.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            prop_assert!((x_re[i] - x_scalar[i]).abs() <= 1e-10 * scale,
+                "{} vs {}", x_re[i], x_scalar[i]);
+        }
+    }
+
+    /// The dead-pivot/drift fallback with the supernodal engine forced
+    /// on: zeroing a diagonal entry after the first factorization must
+    /// trip the static-pivot drift guard, fall back to the scalar
+    /// re-pivoting path inside [`SparseSystem`], and still agree with
+    /// a plain scalar-natural backend.
+    #[test]
+    fn drift_fallback_survives_forced_supernodal(
+        seed in 0i64..1_000_000,
+        n in 6usize..30,
+        kill in 0usize..6,
+    ) {
+        let t = random_matrix(seed as u64 ^ 0x5eed, n, 0.2, false);
+        let kill = kill % n;
+        let mut snl_sys =
+            SparseSystem::<f64>::with_solver(n, FillOrdering::Amd, FactorKind::Supernodal, 2);
+        let mut nat_sys =
+            SparseSystem::<f64>::with_solver(n, FillOrdering::Natural, FactorKind::Scalar, 0);
+        for &(i, j, v) in &t {
+            snl_sys.add(i, j, v);
+            nat_sys.add(i, j, v);
+        }
+        snl_sys.factor().unwrap();
+        nat_sys.factor().unwrap();
+        snl_sys.clear();
+        nat_sys.clear();
+        for &(i, j, v) in &t {
+            let v = if i == kill && j == kill { 0.0 } else { v };
+            snl_sys.add(i, j, v);
+            nat_sys.add(i, j, v);
+        }
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.5).collect();
+        // A zeroed diagonal is (almost surely) still nonsingular via
+        // the off-diagonals; if either path calls it singular, both
+        // must agree on that verdict.
+        match (snl_sys.factor(), nat_sys.factor()) {
+            (Ok(()), Ok(())) => {
+                let xs = snl_sys.solve(&b).unwrap();
+                let xn = nat_sys.solve(&b).unwrap();
+                let scale = xn.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+                for (a, c) in xs.iter().zip(&xn) {
+                    prop_assert!((a - c).abs() <= 1e-10 * scale, "{a} vs {c}");
+                }
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "fallback asymmetry: {other:?}"),
+        }
+    }
+}
+
+/// The MNA structure of the meshed tier at a size where upper levels
+/// cross the parallel work threshold, so an explicit `threads = 8`
+/// request genuinely spawns workers: the answer must still be
+/// bit-identical to the inline single-thread run.
+#[test]
+fn thread_count_invariant_at_parallel_scale() {
+    let (rows, cols) = (51usize, 51usize);
+    let nn = rows * cols;
+    let node = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((node(r, c), node(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((node(r, c), node(r + 1, c)));
+            }
+        }
+    }
+    let n = nn + 2 * edges.len();
+    let (g, gm, alpha, m_h, k_h) = (1e-3, 2e-4, 2e-3, 1e-2, 5e-2);
+    let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(12 * edges.len());
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        let vel = nn + 2 * e;
+        let fb = nn + 2 * e + 1;
+        t.extend_from_slice(&[
+            (a, a, g),
+            (b, b, g),
+            (a, b, -g),
+            (b, a, -g),
+            (vel, a, gm),
+            (vel, b, -gm),
+            (a, vel, -gm),
+            (b, vel, gm),
+            (vel, vel, alpha + m_h),
+            (vel, fb, 1.0),
+            (fb, vel, -k_h),
+            (fb, fb, 1.0),
+        ]);
+    }
+    t.push((0, 0, 1.0));
+    t.push((nn - 1, nn - 1, 1e-3));
+    let csc = CscMatrix::from_triplets(n, &t);
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
+    let lu1 = SupernodalLu::<f64>::factor(&csc.view(), FillOrdering::Amd, 1).unwrap();
+    let lu8 = SupernodalLu::<f64>::factor(&csc.view(), FillOrdering::Amd, 8).unwrap();
+    assert_eq!(lu1.threads_used(), 1);
+    assert_eq!(lu8.threads_used(), 8);
+    let x1 = lu1.solve(&b).unwrap();
+    let x8 = lu8.solve(&b).unwrap();
+    for i in 0..n {
+        assert_eq!(
+            x1[i].to_bits(),
+            x8[i].to_bits(),
+            "x[{i}]: {} vs {}",
+            x1[i],
+            x8[i]
+        );
+    }
+    // Sanity against the scalar engine — AMD-ordered: natural order at
+    // this size has catastrophic fill and would dominate the test.
+    let order = mems::numerics::ordering::amd_order(n, &csc.col_ptr, &csc.row_idx);
+    let x_scalar = SparseLu::factor_ordered(&csc.view(), &order)
+        .unwrap()
+        .solve(&b)
+        .unwrap();
+    assert_close("sanity vs scalar", &x1, &x_scalar, 1e-10);
+}
