@@ -56,8 +56,11 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     String::from_utf8(body).expect("utf8")
 }
 
-/// Submits a deck and spins until the first point record streams
-/// back; returns once it has.
+/// Submits a deck and blocks on the chunked results stream until the
+/// first point record arrives; returns once it has. One streaming
+/// GET replaces the old poll loop — the server pushes each record the
+/// moment it exists, so this measures true submit→first-result
+/// latency, not a poll interval.
 fn submit_to_first_result(addr: SocketAddr, deck: &str) {
     let created = http(addr, "POST", "/v1/jobs", deck);
     let id: u64 = created
@@ -65,13 +68,35 @@ fn submit_to_first_result(addr: SocketAddr, deck: &str) {
         .and_then(|(_, rest)| rest.split(',').next())
         .and_then(|n| n.parse().ok())
         .expect("job id");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "GET /v1/jobs/{id}/results HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status");
+    assert!(line.contains("200"), "{line}");
     loop {
-        let body = http(addr, "GET", &format!("/v1/jobs/{id}/results?from=0"), "");
-        if !body.contains("\"points\":[]") {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        if line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+    }
+    // Prelude chunk, then record chunks; the first record carries an
+    // `"index"` member.
+    while let Some(chunk) = mems_serve::http::read_chunk(&mut reader).expect("chunk") {
+        if String::from_utf8_lossy(&chunk).contains("\"index\"") {
             return;
         }
-        std::thread::yield_now();
     }
+    panic!("stream ended without a record");
 }
 
 fn bench_roundtrip(c: &mut Criterion) {

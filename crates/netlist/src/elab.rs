@@ -1091,6 +1091,24 @@ impl RunCtx {
         }
     }
 
+    /// Linear-solver statistics of the context's live systems (real
+    /// workspace + AC system), labeled by domain. Cumulative over the
+    /// context's lifetime — callers that want per-chunk attribution
+    /// (e.g. `mems serve`'s `/v1/metrics`) snapshot before and after
+    /// and diff. Exposed here because consumers of pooled contexts
+    /// need the numbers without depending on the solver crate's
+    /// `SystemMatrix` trait.
+    pub fn solver_snapshot(&self) -> Vec<(&'static str, SolverStats)> {
+        let mut out = Vec::new();
+        if let Some(ws) = &self.ws {
+            out.push(("real", ws.sys.solver_stats()));
+        }
+        if let Some((sys, ..)) = &self.ac_sys {
+            out.push(("ac", sys.solver_stats()));
+        }
+        out
+    }
+
     /// The shared complex (AC) system matrix, re-targeted to `n`
     /// unknowns under `backend`. Cached structure survives between
     /// calls with matching order and backend — the batch-point reuse

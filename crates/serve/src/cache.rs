@@ -99,10 +99,13 @@ pub enum Lookup {
 /// The fingerprint-keyed deck cache (LRU over submitted sources).
 pub struct ArtifactCache {
     inner: Mutex<CacheState>,
-    /// Lifetime hit/miss counters, exported on `/v1/health`.
+    /// Lifetime hit/miss counters, exported on `/v1/health` and
+    /// `/v1/metrics`.
     pub hits: AtomicU64,
     /// Lifetime miss counter.
     pub misses: AtomicU64,
+    /// Lifetime LRU evictions.
+    pub evictions: AtomicU64,
     /// Max resident entries.
     cap: usize,
 }
@@ -128,6 +131,7 @@ impl ArtifactCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             cap: cap.max(1),
         }
     }
@@ -217,6 +221,7 @@ impl ArtifactCache {
         state.touch(key);
         if state.by_hash.values().map(Vec::len).sum::<usize>() > self.cap {
             state.evict_oldest();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         drop(state);
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -297,6 +302,7 @@ mod tests {
             cache.resolve(&deck, &mut NoIncludes).unwrap();
         }
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions.load(Ordering::Relaxed), 1);
         // The oldest ("1k") was evicted: resubmitting it misses.
         let (_, what) = cache
             .resolve(&DECK.replace("2k", "1k"), &mut NoIncludes)

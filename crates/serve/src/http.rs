@@ -2,15 +2,55 @@
 //!
 //! Enough of RFC 9112 for a JSON job API consumed by `curl` and test
 //! harnesses: request line + headers + `Content-Length` bodies in,
-//! fixed-length responses out, per-connection keep-alive. No chunked
-//! transfer coding, no TLS — the daemon is an intranet tool, like the
-//! simulation farms the paper's methodology feeds.
+//! fixed-length *or* chunked transfer-coded responses out,
+//! per-connection keep-alive with version-aware close semantics. The
+//! reader is bounded everywhere a client controls a length — request
+//! line, header lines, header count, body — so a hostile peer can
+//! cost at most a few KiB before being answered with the right 4xx.
+//! No TLS — the daemon is an intranet tool, like the simulation farms
+//! the paper's methodology feeds.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// Largest accepted request body (decks are text; 4 MiB is roomy).
 pub const MAX_BODY: usize = 4 << 20;
+
+/// Longest accepted request line or header line, bytes (terminator
+/// included). Overflow answers 414 (request line) or 431 (header).
+pub const MAX_LINE: usize = 8 << 10;
+
+/// Most header fields accepted on one request; overflow answers 431.
+pub const MAX_HEADERS: usize = 100;
+
+/// How reading a request can fail.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The client violated the protocol: the caller answers `status`
+    /// with `message` and hangs up (the framing can no longer be
+    /// trusted, so the connection is not reusable).
+    Protocol {
+        /// Response status to answer with (400/413/414/431/501).
+        status: u16,
+        /// Human-readable violation, sent as the error body.
+        message: String,
+    },
+    /// Socket-level failure (timeouts included): hang up silently.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn bad(msg: &str) -> ReadError {
+    ReadError::Protocol {
+        status: 400,
+        message: msg.to_string(),
+    }
+}
 
 /// A parsed request.
 #[derive(Debug)]
@@ -25,6 +65,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when the request carries none).
     pub body: Vec<u8>,
+    /// `true` for HTTP/1.1 requests, `false` for HTTP/1.0.
+    pub http11: bool,
 }
 
 impl Request {
@@ -44,11 +86,19 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to drop the connection after this
-    /// exchange (HTTP/1.1 defaults to keep-alive).
+    /// Whether the connection drops after this exchange. HTTP/1.1
+    /// defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the
+    /// client opts in with `Connection: keep-alive`.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        let has_token = |t: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|p| p.trim().eq_ignore_ascii_case(t)))
+        };
+        if has_token("close") {
+            return true;
+        }
+        !self.http11 && !has_token("keep-alive")
     }
 
     /// The body as UTF-8 text.
@@ -61,20 +111,57 @@ impl Request {
     }
 }
 
+/// Reads one line (up to `\n`) without ever buffering more than
+/// `cap` bytes; an over-long line is a protocol violation answered
+/// with `overflow_status`. `Ok(None)` is EOF before any byte.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+    overflow_status: u16,
+) -> Result<Option<String>, ReadError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("EOF inside a line"));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |p| p + 1);
+        if line.len() + take > cap {
+            // Drain what we peeked so the 4xx response is not mixed
+            // into the tail of the over-long line, then refuse.
+            reader.consume(take);
+            return Err(ReadError::Protocol {
+                status: overflow_status,
+                message: format!("line exceeds {cap} bytes"),
+            });
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Some(text.trim_end_matches(['\r', '\n']).to_string()));
+        }
+    }
+}
+
 /// Reads one request off the connection. `Ok(None)` is a clean EOF
-/// (client closed between requests); errors are protocol violations
-/// the caller answers with 400 and a hangup.
+/// (client closed between requests); [`ReadError::Protocol`] carries
+/// the status the caller answers before hanging up.
 ///
 /// # Errors
 ///
-/// Malformed request line/headers, bodies over [`MAX_BODY`], or I/O
-/// failures (timeouts included).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+/// Malformed or over-long request line/headers (400/414/431),
+/// conflicting `Content-Length` values (400), chunked request bodies
+/// (501), bodies over [`MAX_BODY`] (413), or I/O failures (timeouts
+/// included).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
+    let Some(line) = read_line_limited(reader, MAX_LINE, 414)? else {
         return Ok(None);
-    }
+    };
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
@@ -83,16 +170,20 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
     if !version.starts_with("HTTP/1.") {
         return Err(bad("unsupported HTTP version"));
     }
+    let http11 = version != "HTTP/1.0";
 
     let mut headers = Vec::new();
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(bad("EOF inside headers"));
-        }
-        let line = line.trim_end_matches(['\r', '\n']);
+        let line =
+            read_line_limited(reader, MAX_LINE, 431)?.ok_or_else(|| bad("EOF inside headers"))?;
         if line.is_empty() {
             break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Protocol {
+                status: 431,
+                message: format!("more than {MAX_HEADERS} header fields"),
+            });
         }
         let (name, value) = line
             .split_once(':')
@@ -100,15 +191,33 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| bad("bad Content-Length"))?
-        .unwrap_or(0);
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ReadError::Protocol {
+            status: 501,
+            message: "transfer-coded request bodies are not supported".to_string(),
+        });
+    }
+    // Every Content-Length must parse and agree — silently taking the
+    // first of conflicting values is the request-smuggling classic.
+    let mut content_length: Option<usize> = None;
+    for (name, value) in &headers {
+        if name != "content-length" {
+            continue;
+        }
+        let n: usize = value.parse().map_err(|_| bad("bad Content-Length"))?;
+        match content_length {
+            Some(prev) if prev != n => {
+                return Err(bad("conflicting Content-Length headers"));
+            }
+            _ => content_length = Some(n),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(bad("request body too large"));
+        return Err(ReadError::Protocol {
+            status: 413,
+            message: "request body too large".to_string(),
+        });
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -119,10 +228,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option
     };
     Ok(Some(Request {
         method,
-        path: percent_decode(path),
+        // `+` means space only inside query strings; a path keeps it.
+        path: percent_decode(path, false),
         query,
         headers,
         body,
+        http11,
     }))
 }
 
@@ -132,19 +243,20 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
         .filter(|pair| !pair.is_empty())
         .map(|pair| {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            (percent_decode(k), percent_decode(v))
+            (percent_decode(k, true), percent_decode(v, true))
         })
         .collect()
 }
 
-/// `%XX` + `+`-as-space decoding; bad escapes pass through verbatim.
-fn percent_decode(s: &str) -> String {
+/// `%XX` decoding; `+` maps to space only when `plus_is_space` (query
+/// components). Bad escapes pass through verbatim.
+fn percent_decode(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -184,26 +296,30 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        414 => "URI Too Long",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes a JSON response with fixed length and optional extra
-/// headers (e.g. `Retry-After`).
+/// Writes a complete response with fixed length, the given content
+/// type, and optional extra headers (e.g. `Retry-After`).
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
-pub fn respond(
+pub fn respond_typed(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
@@ -219,6 +335,146 @@ pub fn respond(
     stream.flush()
 }
 
+/// Writes a JSON response with fixed length and optional extra
+/// headers.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    respond_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// An in-flight streaming response body.
+///
+/// In `framed` mode (HTTP/1.1 clients) the body uses chunked transfer
+/// coding, every [`write_chunk`](ChunkedWriter::write_chunk) lands on
+/// the wire immediately, and the connection stays reusable after
+/// [`finish`](ChunkedWriter::finish). For HTTP/1.0 clients — which
+/// predate chunked coding — the body is raw and delimited by
+/// connection close, so the caller must hang up after `finish`.
+pub struct ChunkedWriter<'a, W: Write + ?Sized = TcpStream> {
+    sink: &'a mut W,
+    framed: bool,
+}
+
+/// Starts a streaming JSON response: writes the head (with
+/// `Transfer-Encoding: chunked` when `framed`, `Connection: close`
+/// otherwise) and returns the body writer.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn respond_chunked<'a, W: Write + ?Sized>(
+    sink: &'a mut W,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    framed: bool,
+) -> std::io::Result<ChunkedWriter<'a, W>> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n",
+        reason(status)
+    );
+    head.push_str(if framed {
+        "Transfer-Encoding: chunked\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    sink.write_all(head.as_bytes())?;
+    sink.flush()?;
+    Ok(ChunkedWriter { sink, framed })
+}
+
+impl<W: Write + ?Sized> ChunkedWriter<'_, W> {
+    /// Writes one body chunk and flushes it onto the wire — the unit
+    /// of streaming progress. Empty payloads are skipped: an empty
+    /// chunk would terminate the chunked body early.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if self.framed {
+            write!(self.sink, "{:x}\r\n", data.len())?;
+            self.sink.write_all(data)?;
+            self.sink.write_all(b"\r\n")?;
+        } else {
+            self.sink.write_all(data)?;
+        }
+        self.sink.flush()
+    }
+
+    /// Terminates the body (the zero-length chunk in framed mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        if self.framed {
+            self.sink.write_all(b"0\r\n\r\n")?;
+        }
+        self.sink.flush()
+    }
+}
+
+/// Reads one chunk of a chunked-coded body; `Ok(None)` is the
+/// zero-length terminator (trailer consumed). Client-side helper for
+/// the tests, the `serve_roundtrip` bench, and any consumer that
+/// wants records as they stream rather than the whole body.
+///
+/// # Errors
+///
+/// Malformed chunk framing or socket failures.
+pub fn read_chunk(reader: &mut impl BufRead) -> std::io::Result<Option<Vec<u8>>> {
+    let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(invalid("EOF before chunk size"));
+    }
+    let size = usize::from_str_radix(line.trim(), 16).map_err(|_| invalid("bad chunk size"))?;
+    if size == 0 {
+        let mut end = String::new();
+        reader.read_line(&mut end)?;
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(invalid("chunk data not CRLF-terminated"));
+    }
+    Ok(Some(data))
+}
+
+/// De-chunks a whole chunked-coded body.
+///
+/// # Errors
+///
+/// Malformed chunk framing or socket failures.
+pub fn read_chunked_body(reader: &mut impl BufRead) -> std::io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Some(chunk) = read_chunk(reader)? {
+        out.extend_from_slice(&chunk);
+    }
+    Ok(out)
+}
+
 /// The uniform error body: `{"error":"..."}`.
 pub fn error_body(msg: &str) -> String {
     format!(
@@ -230,6 +486,31 @@ pub fn error_body(msg: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Feeds `raw` through a real socket pair and returns what
+    /// `read_request` makes of it.
+    fn parse_raw(raw: &[u8]) -> Result<Option<Request>, ReadError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let out = read_request(&mut reader);
+        writer.join().unwrap();
+        out
+    }
+
+    fn protocol_status(result: Result<Option<Request>, ReadError>) -> u16 {
+        match result {
+            Err(ReadError::Protocol { status, .. }) => status,
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
 
     #[test]
     fn query_strings_decode() {
@@ -242,9 +523,20 @@ mod tests {
 
     #[test]
     fn percent_decoding_tolerates_bad_escapes() {
-        assert_eq!(percent_decode("a%2Fb"), "a/b");
-        assert_eq!(percent_decode("100%"), "100%");
-        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("a%2Fb", false), "a/b");
+        assert_eq!(percent_decode("100%", false), "100%");
+        assert_eq!(percent_decode("%zz", false), "%zz");
+    }
+
+    #[test]
+    fn plus_is_space_only_in_query_strings() {
+        // Regression: `+` in a *path* used to decode to a space and
+        // mis-route; only query components give `+` that meaning.
+        let req = parse_raw(b"GET /v1/jobs/a+b?client=ci+box HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/jobs/a+b");
+        assert_eq!(req.query("client"), Some("ci box"));
     }
 
     #[test]
@@ -265,7 +557,143 @@ mod tests {
         assert_eq!(req.path, "/v1/jobs");
         assert_eq!(req.query("client"), Some("t"));
         assert_eq!(req.body_text().unwrap(), "deck");
+        assert!(req.http11 && !req.wants_close());
         assert!(read_request(&mut reader).unwrap().is_none());
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_keep_alive_opts_in() {
+        // Regression: HTTP/1.0 requests without a Connection header
+        // used to be treated as keep-alive, hanging 1.0 clients that
+        // wait for EOF until the read timeout.
+        let plain = parse_raw(b"GET /v1/health HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!plain.http11);
+        assert!(plain.wants_close());
+
+        let opted = parse_raw(b"GET /v1/health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!opted.wants_close());
+
+        let multi = parse_raw(b"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(multi.wants_close());
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Regression: the first of several Content-Length headers
+        // used to win silently (request-smuggling class).
+        let status = protocol_status(parse_raw(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\ndeck!",
+        ));
+        assert_eq!(status, 400);
+
+        // Identical duplicates are harmless and accepted.
+        let req = parse_raw(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\ndeck",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body_text().unwrap(), "deck");
+
+        let status = protocol_status(parse_raw(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn oversized_lines_and_header_floods_are_bounded() {
+        // Regression: header reads used to be unbounded — a client
+        // streaming headers forever exhausted memory.
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        assert_eq!(protocol_status(parse_raw(long_target.as_bytes())), 414);
+
+        let long_header = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "b".repeat(MAX_LINE));
+        assert_eq!(protocol_status(parse_raw(long_header.as_bytes())), 431);
+
+        let mut flood = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            flood.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        flood.push_str("\r\n");
+        assert_eq!(protocol_status(parse_raw(flood.as_bytes())), 431);
+    }
+
+    #[test]
+    fn transfer_coded_request_bodies_are_refused() {
+        let status = protocol_status(parse_raw(
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        ));
+        assert_eq!(status, 501);
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_dechunks() {
+        let mut wire: Vec<u8> = Vec::new();
+        let mut w = respond_chunked(&mut wire, 200, &[("X-Job", "7")], true).unwrap();
+        w.write_chunk(b"{\"points\":[").unwrap();
+        w.write_chunk(b"").unwrap(); // skipped, not a terminator
+        w.write_chunk("0123456789abcdef+".as_bytes()).unwrap(); // 17 bytes: 2-digit hex size
+        w.write_chunk(b"]}").unwrap();
+        w.finish().unwrap();
+
+        let text = String::from_utf8(wire.clone()).unwrap();
+        let head_end = text.find("\r\n\r\n").expect("head terminator") + 4;
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Job: 7\r\n"));
+        assert!(text.contains("\r\n11\r\n0123456789abcdef+\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+
+        let mut body = &wire[head_end..];
+        let out = read_chunked_body(&mut body).unwrap();
+        assert_eq!(out, b"{\"points\":[0123456789abcdef+]}");
+    }
+
+    #[test]
+    fn unframed_mode_streams_raw_bytes_for_http10() {
+        let mut wire: Vec<u8> = Vec::new();
+        let mut w = respond_chunked(&mut wire, 200, &[], false).unwrap();
+        w.write_chunk(b"abc").unwrap();
+        w.write_chunk(b"def").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nabcdef"));
+    }
+
+    proptest! {
+        /// Any payload, cut into arbitrary chunk sizes, de-chunks to
+        /// exactly the original bytes.
+        #[test]
+        fn chunk_coding_round_trips(
+            len in 0usize..600,
+            bytes in proptest::collection::vec(0usize..256, 600),
+            cuts in proptest::collection::vec(1usize..48, 24),
+        ) {
+            let payload: Vec<u8> = bytes[..len].iter().map(|&b| b as u8).collect();
+            let mut wire: Vec<u8> = Vec::new();
+            {
+                let mut w = respond_chunked(&mut wire, 200, &[], true).unwrap();
+                let mut at = 0;
+                let mut cut = cuts.iter().cycle();
+                while at < payload.len() {
+                    let take = (*cut.next().unwrap()).min(payload.len() - at);
+                    w.write_chunk(&payload[at..at + take]).unwrap();
+                    at += take;
+                }
+                w.finish().unwrap();
+            }
+            let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+            let mut body = &wire[head_end..];
+            let out = read_chunked_body(&mut body).unwrap();
+            prop_assert_eq!(out, payload);
+        }
     }
 }

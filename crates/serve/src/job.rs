@@ -6,8 +6,8 @@ use crate::cache::{DeckEntry, Lookup};
 use mems_netlist::report::{json_escape, point_json, solver_stats_json};
 use mems_netlist::{BatchPoint, CancelToken, PointResult, RunStats, SolverStats, CANCELLED_POINT};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Where a job is in its life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,9 @@ pub struct Job {
     pub cancel: CancelToken,
     /// Rendered per-point JSON records, filled as points finish.
     results: Mutex<Vec<Option<String>>>,
+    /// Signalled whenever a result lands or the job turns terminal —
+    /// streaming readers block here instead of polling.
+    results_cv: Condvar,
     /// Simulated-point count (monotonic, lock-free readers).
     completed: AtomicUsize,
     /// Points cancellation skipped (recorded as [`CANCELLED_POINT`]
@@ -127,6 +130,7 @@ impl Job {
                 v.resize_with(n, || None);
                 v
             }),
+            results_cv: Condvar::new(),
             completed: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
             chunks_left: AtomicUsize::new(chunks),
@@ -144,6 +148,7 @@ impl Job {
     pub fn record(&self, index: usize, result: &PointResult) {
         let rendered = point_json(result);
         self.results.lock().expect("no poisoned results lock")[index] = Some(rendered);
+        self.results_cv.notify_all();
         self.completed.fetch_add(1, Ordering::SeqCst);
         let us = self.submitted.elapsed().as_micros() as u64;
         let _ =
@@ -176,6 +181,10 @@ impl Job {
             );
             let seq = finish_seq.fetch_add(1, Ordering::SeqCst) + 1;
             self.meta.lock().expect("no poisoned meta lock").finish_seq = seq;
+            // Wake streamers blocked in `wait_result` so they can
+            // observe the terminal state and emit their tail.
+            let _guard = self.results.lock().expect("no poisoned results lock");
+            self.results_cv.notify_all();
         }
         last
     }
@@ -203,6 +212,45 @@ impl Job {
     /// Finished-point count.
     pub fn completed(&self) -> usize {
         self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Cancellation-skipped point count.
+    pub fn skipped(&self) -> usize {
+        self.skipped.load(Ordering::SeqCst)
+    }
+
+    /// The rendered record at `index`, if that point has finished.
+    pub fn result_at(&self, index: usize) -> Option<String> {
+        self.results
+            .lock()
+            .expect("no poisoned results lock")
+            .get(index)
+            .and_then(|r| r.clone())
+    }
+
+    /// Blocks until the record at `index` exists, then returns it.
+    /// Returns `None` once the job is terminal with no record there
+    /// (out-of-range index) — in-range gaps are always filled with
+    /// [`CANCELLED_POINT`] markers before the last chunk retires, so
+    /// a terminal job has a record at every valid index.
+    pub fn wait_result(&self, index: usize) -> Option<String> {
+        let mut results = self.results.lock().expect("no poisoned results lock");
+        loop {
+            if let Some(Some(r)) = results.get(index) {
+                return Some(r.clone());
+            }
+            // Re-check terminality *while holding the lock*: the
+            // finisher notifies under this lock, so a terminal state
+            // observed here is final and no record can still arrive.
+            if self.chunks_left.load(Ordering::SeqCst) == 0 {
+                return results.get(index).and_then(|r| r.clone());
+            }
+            let (guard, _timeout) = self
+                .results_cv
+                .wait_timeout(results, Duration::from_millis(50))
+                .expect("no poisoned results lock");
+            results = guard;
+        }
     }
 
     /// Metadata snapshot.
@@ -264,8 +312,8 @@ impl Job {
     /// Fills every unvisited point of the range with the cancelled
     /// marker — called by the worker that retires a cancelled chunk,
     /// so `results_from` streams a complete (if partly failed) point
-    /// list.
-    pub fn mark_cancelled_gaps(&self, range: std::ops::Range<usize>) {
+    /// list. Returns how many gaps it filled.
+    pub fn mark_cancelled_gaps(&self, range: std::ops::Range<usize>) -> usize {
         let mut filled = 0usize;
         let mut results = self.results.lock().expect("no poisoned results lock");
         for index in range {
@@ -277,7 +325,11 @@ impl Job {
                 filled += 1;
             }
         }
+        if filled > 0 {
+            self.results_cv.notify_all();
+        }
         drop(results);
         self.skipped.fetch_add(filled, Ordering::SeqCst);
+        filled
     }
 }

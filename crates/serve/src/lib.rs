@@ -29,16 +29,33 @@
 //! `Retry-After`; `POST /v1/shutdown` (and the CLI's Ctrl-C) drains
 //! queued chunks before the process exits.
 //!
+//! ## Streaming, observability, connection hygiene
+//!
+//! `GET /v1/jobs/:id/results` answers with **chunked transfer
+//! coding** and flushes each point record as it finishes — results
+//! begin arriving while the job is still running, and a 100k-point
+//! job's body never buffers whole (`?wait=0` restores the
+//! non-blocking poll with a `next` cursor; HTTP/1.0 clients get a raw
+//! close-delimited body). `GET /v1/metrics` exposes Prometheus text
+//! format: jobs by terminal state, rejections by reason, cache
+//! hit/miss/eviction counters, scheduler queue depth, a per-chunk
+//! latency histogram, and linear-solver rollups (supernodal vs scalar
+//! factors, fallbacks). Connections are bounded: a `--max-conns` cap
+//! answers `503` at the accept loop, per-connection read timeouts
+//! drop stalled peers, and the request reader bounds every
+//! client-controlled length (request line, header size/count, body).
+//!
 //! ## Endpoints
 //!
 //! | method + path | effect |
 //! |---|---|
 //! | `POST /v1/jobs` | submit a deck (raw text, or JSON `{"deck": …, "client": …}`) |
 //! | `GET /v1/jobs/:id` | job status + cache/timing metadata |
-//! | `GET /v1/jobs/:id/results?from=K` | stream per-point records (byte-identical to `mems sweep --json` points) |
+//! | `GET /v1/jobs/:id/results?from=K[&wait=0]` | chunked stream of per-point records (byte-identical to `mems sweep --json` points), live until the job finishes |
 //! | `DELETE /v1/jobs/:id` | cooperative cancellation |
 //! | `POST /v1/check` | parse/elaborate only; machine-readable diagnostics |
 //! | `GET /v1/health` | liveness + cache counters |
+//! | `GET /v1/metrics` | Prometheus text-format counters/gauges/histograms |
 //! | `POST /v1/shutdown` | graceful drain |
 //!
 //! [`CancelToken`]: mems_netlist::CancelToken
@@ -47,11 +64,13 @@ pub mod cache;
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod metrics;
 pub mod sched;
 pub mod server;
 
 pub use cache::{ArtifactCache, DeckEntry, Lookup};
 pub use job::{Job, JobState};
 pub use json::Json;
+pub use metrics::{Gauges, Metrics};
 pub use sched::Scheduler;
 pub use server::{ServeConfig, Server, ServerHandle};

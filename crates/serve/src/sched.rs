@@ -156,6 +156,26 @@ impl Scheduler {
     pub fn is_draining(&self) -> bool {
         self.state.lock().expect("no poisoned sched lock").draining
     }
+
+    /// Chunks queued across every client, not yet drawn by a worker
+    /// (running chunks are not counted).
+    pub fn queue_depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("no poisoned sched lock")
+            .clients
+            .iter()
+            .map(|(_, queue)| queue.len())
+            .sum()
+    }
+
+    /// Jobs admitted and not yet retired.
+    pub fn active_jobs(&self) -> usize {
+        self.state
+            .lock()
+            .expect("no poisoned sched lock")
+            .active_jobs
+    }
 }
 
 #[cfg(test)]

@@ -2,20 +2,23 @@
 //! and the worker pool that retires scheduler chunks.
 
 use crate::cache::ArtifactCache;
-use crate::http::{error_body, read_request, respond, Request};
+use crate::http::{
+    error_body, read_request, respond, respond_chunked, respond_typed, ReadError, Request,
+};
 use crate::job::{Job, JobMeta};
 use crate::json::Json;
+use crate::metrics::{Gauges, Metrics};
 use crate::sched::{Chunk, Refusal, Scheduler};
 use mems_netlist::report::{diagnostics_json, Diagnostic};
 use mems_netlist::{
     extract_metrics, run_elaborated_ctx, warm_start_chain, Elaborator, FsResolver, IncludeResolver,
-    NoIncludes, ParamEnv, PointResult,
+    NoIncludes, ParamEnv, PointResult, SolverStats,
 };
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -38,6 +41,12 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Max decks resident in the artifact cache.
     pub cache_cap: usize,
+    /// Max simultaneous connections; excess connections are answered
+    /// `503` and dropped (`--max-conns`).
+    pub max_conns: usize,
+    /// Per-connection socket read timeout — an idle or stalled peer is
+    /// dropped after this long (`--read-timeout`).
+    pub read_timeout: Duration,
     /// Base directory for `.INCLUDE` resolution; `None` rejects
     /// includes (the safe default for a network-facing daemon).
     pub include_dir: Option<PathBuf>,
@@ -55,6 +64,8 @@ impl Default for ServeConfig {
             chunk_size: 8,
             queue_cap: 64,
             cache_cap: 32,
+            max_conns: 256,
+            read_timeout: Duration::from_secs(30),
             include_dir: None,
             check_only: false,
         }
@@ -71,6 +82,12 @@ struct Shared {
     finish_seq: AtomicU64,
     /// Cleared when shutdown begins; submissions then answer 503.
     accepting: AtomicBool,
+    /// Monotonic counters for `/v1/metrics`.
+    metrics: Metrics,
+    /// Connections currently being served (the `max_conns` gauge).
+    conns: AtomicUsize,
+    max_conns: usize,
+    read_timeout: Duration,
     include_dir: Option<PathBuf>,
     check_only: bool,
     started: Instant,
@@ -119,6 +136,10 @@ impl Server {
             next_id: AtomicU64::new(0),
             finish_seq: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
+            metrics: Metrics::default(),
+            conns: AtomicUsize::new(0),
+            max_conns: config.max_conns.max(1),
+            read_timeout: config.read_timeout,
             include_dir: config.include_dir.clone(),
             check_only: config.check_only,
             started: Instant::now(),
@@ -142,9 +163,35 @@ impl Server {
                     if !shared.accepting.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    // Connection cap: refuse loudly rather than let a
+                    // connection flood pile up threads. The count is
+                    // reserved here (not in the handler) so a burst
+                    // cannot overshoot the cap before handlers start.
+                    let admitted = shared
+                        .conns
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                            (n < shared.max_conns).then_some(n + 1)
+                        })
+                        .is_ok();
+                    if !admitted {
+                        shared
+                            .metrics
+                            .rejected_over_capacity
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ = respond(
+                            &mut stream,
+                            503,
+                            &[("Connection", "close"), ("Retry-After", "1")],
+                            &error_body("connection limit reached"),
+                        );
+                        continue;
+                    }
                     let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || handle_connection(&shared, stream));
+                    std::thread::spawn(move || {
+                        handle_connection(&shared, stream);
+                        shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
                 }
             })
         };
@@ -210,9 +257,37 @@ fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
+/// Folds the factor/refactor/fallback deltas between two
+/// [`RunCtx::solver_snapshot`](mems_netlist::RunCtx::solver_snapshot)
+/// calls into the metrics counters, attributed to each system's
+/// current factor path. Saturating: a rebuilt system restarts its
+/// counters at zero, and a negative delta must not wrap.
+fn record_solver_deltas(
+    metrics: &Metrics,
+    before: &[(&'static str, SolverStats)],
+    after: &[(&'static str, SolverStats)],
+) {
+    for (domain, now) in after {
+        let past = before
+            .iter()
+            .find(|(d, _)| d == domain)
+            .map_or((0, 0, 0), |(_, s)| (s.factors, s.refactors, s.fallbacks));
+        metrics
+            .solver_factors
+            .add(now.factor_path, now.factors.saturating_sub(past.0));
+        metrics
+            .solver_refactors
+            .add(now.factor_path, now.refactors.saturating_sub(past.1));
+        metrics
+            .solver_fallbacks
+            .fetch_add(now.fallbacks.saturating_sub(past.2), Ordering::Relaxed);
+    }
+}
+
 /// Runs one scheduler chunk on a checked-out cache context.
 fn run_chunk(shared: &Shared, chunk: &Chunk) {
     let job = &chunk.job;
+    let chunk_t0 = Instant::now();
     let mut meta = JobMeta::default();
     if !job.cancel.is_cancelled() {
         let entry = &job.entry;
@@ -227,6 +302,7 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
                 warm_start_chain(&entry.deck, &elab, &job.points, false, &job.cancel)
             });
             let before = ctx.stats;
+            let solver_before = ctx.solver_snapshot();
             for index in chunk.start..chunk.end {
                 if job.cancel.is_cancelled() {
                     break;
@@ -259,23 +335,43 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
                         outcome,
                     },
                 );
+                shared
+                    .metrics
+                    .points_completed
+                    .fetch_add(1, Ordering::Relaxed);
             }
             meta.stats.circuits_built = ctx.stats.circuits_built - before.circuits_built;
             meta.stats.circuits_patched = ctx.stats.circuits_patched - before.circuits_patched;
+            record_solver_deltas(&shared.metrics, &solver_before, &ctx.solver_snapshot());
         }
         entry.checkin(ctx);
     }
     if job.cancel.is_cancelled() {
-        job.mark_cancelled_gaps(chunk.start..chunk.end);
+        let skipped = job.mark_cancelled_gaps(chunk.start..chunk.end);
+        shared
+            .metrics
+            .points_skipped
+            .fetch_add(skipped as u64, Ordering::Relaxed);
     }
+    shared
+        .metrics
+        .chunk_seconds
+        .observe_us(chunk_t0.elapsed().as_micros() as u64);
     if job.finish_chunk(meta, &shared.finish_seq) {
+        let terminal = if job.skipped() > 0 {
+            &shared.metrics.jobs_cancelled
+        } else {
+            &shared.metrics.jobs_done
+        };
+        terminal.fetch_add(1, Ordering::Relaxed);
         shared.sched.job_retired();
     }
 }
 
-/// Serves one connection (HTTP/1.1 keep-alive loop).
+/// Serves one connection (HTTP/1.1 keep-alive loop with a read
+/// timeout — an idle or stalled peer is dropped, not held forever).
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -284,63 +380,126 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     loop {
         match read_request(&mut reader) {
             Ok(Some(req)) => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 let close = req.wants_close();
-                if route(shared, &mut stream, &req).is_err() || close {
-                    break;
+                match route(shared, &mut stream, &req) {
+                    Ok(force_close) => {
+                        if force_close || close {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
                 }
             }
             Ok(None) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                let _ = respond(&mut stream, 400, &[], &error_body(&e.to_string()));
+            Err(ReadError::Protocol { status, message }) => {
+                // The framing can no longer be trusted; answer the
+                // violation and hang up.
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = respond(
+                    &mut stream,
+                    status,
+                    &[("Connection", "close")],
+                    &error_body(&message),
+                );
                 break;
             }
-            Err(_) => break,
+            // Timeouts and resets: hang up silently.
+            Err(ReadError::Io(_)) => break,
         }
     }
 }
 
-/// Dispatches one request.
-fn route(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+/// Dispatches one request. Returns `true` when the connection must
+/// close even though the client asked keep-alive (an unframed
+/// HTTP/1.0 stream is delimited by EOF).
+fn route(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Result<bool> {
     let path = req.path.trim_matches('/').to_string();
     let segments: Vec<&str> = path.split('/').collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "health"]) => health(shared, stream),
-        ("POST", ["v1", "check"]) => check(shared, stream, req),
-        ("POST", ["v1", "jobs"]) => submit(shared, stream, req),
+        ("GET", ["v1", "health"]) => health(shared, stream)?,
+        ("GET", ["v1", "metrics"]) => metrics(shared, stream)?,
+        ("POST", ["v1", "check"]) => check(shared, stream, req)?,
+        ("POST", ["v1", "jobs"]) => submit(shared, stream, req)?,
         ("GET", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
             (200, job.status_json(), Vec::new())
-        }),
+        })?,
         ("GET", ["v1", "jobs", id, "results"]) => {
-            let from = req
-                .query("from")
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(0);
-            with_job(shared, stream, id, move |job| {
-                let (points, next) = job.results_from(from);
-                let body = format!(
-                    "{{\"id\":{},\"state\":\"{}\",\"from\":{},\"next\":{},\"total\":{},\"points\":[{}]}}",
-                    job.id,
-                    job.state().name(),
-                    from,
-                    next,
-                    job.points.len(),
-                    points.join(",")
-                );
-                (200, body, Vec::new())
-            })
+            return stream_results(shared, stream, id, req);
         }
         ("DELETE", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
             job.cancel.cancel();
             (202, job.status_json(), Vec::new())
-        }),
+        })?,
         ("POST", ["v1", "shutdown"]) => {
             let addr = stream.local_addr()?;
             respond(stream, 202, &[], "{\"ok\":true,\"draining\":true}")?;
             initiate_shutdown(shared, addr);
-            Ok(())
         }
-        _ => respond(stream, 404, &[], &error_body("no such endpoint")),
+        _ => respond(stream, 404, &[], &error_body("no such endpoint"))?,
     }
+    Ok(false)
+}
+
+/// `GET /v1/jobs/:id/results[?from=K][&wait=0]`: streams the result
+/// records from `from` as a chunked transfer-coded body, each record
+/// flushed as its point finishes — a 100k-point job's results never
+/// buffer whole, and a watcher sees records live. With `wait=0` the
+/// response is the old non-blocking poll: only records already
+/// finished, plus a `next` cursor to resume from. HTTP/1.0 clients
+/// predate chunked coding and get a raw close-delimited body instead
+/// (the returned `true` forces the close).
+fn stream_results(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    id: &str,
+    req: &Request,
+) -> std::io::Result<bool> {
+    let Some(job) = id.parse::<u64>().ok().and_then(|id| shared.job(id)) else {
+        respond(stream, 404, &[], &error_body("no such job"))?;
+        return Ok(false);
+    };
+    let from = req
+        .query("from")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let wait = req.query("wait") != Some("0");
+    let framed = req.http11;
+
+    let mut w = respond_chunked(stream, 200, &[], framed)?;
+    w.write_chunk(
+        format!(
+            "{{\"id\":{},\"from\":{},\"total\":{},\"points\":[",
+            job.id,
+            from,
+            job.points.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut next = from;
+    loop {
+        let record = if wait {
+            job.wait_result(next)
+        } else {
+            job.result_at(next)
+        };
+        let Some(record) = record else { break };
+        let mut chunk = Vec::with_capacity(record.len() + 1);
+        if next > from {
+            chunk.push(b',');
+        }
+        chunk.extend_from_slice(record.as_bytes());
+        w.write_chunk(&chunk)?;
+        next += 1;
+    }
+    // The tail carries the cursor and the state — which is only
+    // honest *after* the records: a blocking stream outlives the
+    // submit-time state.
+    w.write_chunk(
+        format!("],\"next\":{},\"state\":\"{}\"}}", next, job.state().name()).as_bytes(),
+    )?;
+    w.finish()?;
+    Ok(!framed)
 }
 
 /// Looks a job up by its path segment and answers with `f`'s
@@ -386,6 +545,23 @@ fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
     respond(stream, 200, &[], &body)
 }
 
+/// `GET /v1/metrics`: the Prometheus text-format scrape.
+fn metrics(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
+    let gauges = Gauges {
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        draining: shared.sched.is_draining(),
+        connections_active: shared.conns.load(Ordering::SeqCst),
+        queue_depth_chunks: shared.sched.queue_depth(),
+        jobs_active: shared.sched.active_jobs(),
+        cache_entries: shared.cache.len(),
+        cache_hits: shared.cache.hits.load(Ordering::Relaxed),
+        cache_misses: shared.cache.misses.load(Ordering::Relaxed),
+        cache_evictions: shared.cache.evictions.load(Ordering::Relaxed),
+    };
+    let body = shared.metrics.render(&gauges);
+    respond_typed(stream, 200, "text/plain; version=0.0.4", &[], &body)
+}
+
 /// `POST /v1/check`: parse + elaborate, answer the shared
 /// machine-readable diagnostics format (also emitted by
 /// `mems check --json`).
@@ -412,6 +588,10 @@ fn submit(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Re
         return respond(stream, 403, &[], &error_body("server is check-only"));
     }
     if !shared.accepting.load(Ordering::SeqCst) {
+        shared
+            .metrics
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
         return respond(stream, 503, &[], &error_body("server is shutting down"));
     }
     let (source, client) = match submission(req) {
@@ -445,19 +625,32 @@ fn submit(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Re
     match shared.sched.submit(&job) {
         Ok(()) => {
             shared
+                .metrics
+                .jobs_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            shared
                 .jobs
                 .lock()
                 .expect("no poisoned registry lock")
                 .insert(id, Arc::clone(&job));
             respond(stream, 201, &[], &job.status_json())
         }
-        Err(Refusal::Busy) => respond(
-            stream,
-            429,
-            &[("Retry-After", "1")],
-            &error_body("job queue is full"),
-        ),
-        Err(Refusal::Draining) => respond(stream, 503, &[], &error_body("server is shutting down")),
+        Err(Refusal::Busy) => {
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            respond(
+                stream,
+                429,
+                &[("Retry-After", "1")],
+                &error_body("job queue is full"),
+            )
+        }
+        Err(Refusal::Draining) => {
+            shared
+                .metrics
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            respond(stream, 503, &[], &error_body("server is shutting down"))
+        }
     }
 }
 

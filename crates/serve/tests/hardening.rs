@@ -1,0 +1,580 @@
+//! Hardening tests against a live server: streaming results (first
+//! chunk before the job finishes), `/v1/metrics` movement, connection
+//! caps and read timeouts, HTTP/1.0 close semantics, malformed
+//! requests, and the drain × streaming interaction.
+
+use mems_serve::http::{read_chunk, read_chunked_body};
+use mems_serve::{Json, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const SWEEP_DECK: &str = "divider sweep\n\
+    .param rload=1k\n\
+    Vs in 0 6\n\
+    R1 in out 1k\n\
+    R2 out 0 {rload}\n\
+    .op\n\
+    .print op v(out)\n\
+    .step param rload 1k 5k 1k\n";
+
+/// A `.MC` transient batch slow enough to watch mid-flight.
+const MC_TRAN_DECK: &str = "mc resonator\n\
+    .param k=200 m=1e-4 alpha=40e-3\n\
+    Is 0 vel PWL(0 0 0.1m 1u)\n\
+    Mm1 vel 0 {m}\n\
+    Kk1 vel 0 {k}\n\
+    Dd1 vel 0 {alpha}\n\
+    .tran 0.02m 100m\n\
+    .print tran v(vel)\n\
+    .mc 60 seed=7 k tol=0.05 dist=gauss\n";
+
+/// One-shot request on a fresh connection; de-chunks chunked bodies.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader);
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(&mut reader).expect("chunked body")
+    } else {
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("body");
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().expect("numeric length"))
+            .unwrap_or(rest.len());
+        rest.truncate(length);
+        rest
+    };
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status in `{line}`"))
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').expect("header colon");
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    (status, headers)
+}
+
+fn parsed(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON `{body}`: {e}"))
+}
+
+fn job_id(body: &str) -> u64 {
+    parsed(body).get("id").and_then(Json::as_u64).expect("id")
+}
+
+fn job_state(addr: SocketAddr, id: u64) -> String {
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    parsed(&body)
+        .get("state")
+        .and_then(Json::as_str)
+        .expect("state")
+        .to_string()
+}
+
+/// Value of the (fully labeled) Prometheus series in `body`.
+fn metric(body: &str, series: &str) -> f64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{series} ")))
+        .unwrap_or_else(|| panic!("no series `{series}`"))
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn results_stream_before_the_job_finishes() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/jobs", MC_TRAN_DECK);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+
+    // Open the blocking stream and read the prelude + first record.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(format!("GET /v1/jobs/{id}/results HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let (status, headers) = read_head(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v == "chunked"),
+        "stream must be chunked transfer-coded: {headers:?}"
+    );
+    let prelude = read_chunk(&mut reader).unwrap().expect("prelude chunk");
+    let prelude = String::from_utf8(prelude).unwrap();
+    assert!(prelude.ends_with("\"points\":["), "{prelude}");
+    let first = read_chunk(&mut reader).unwrap().expect("first record");
+    assert!(String::from_utf8_lossy(&first).contains("\"index\":0"));
+
+    // The first record arrived while the job was still running: the
+    // 60-point batch cannot be terminal after one record.
+    let state = job_state(addr, id);
+    assert!(
+        state != "done" && state != "cancelled",
+        "job already terminal ({state}) — stream did not beat the finish"
+    );
+
+    // Cancel; the stream must still run to completion, with the
+    // cancelled tail state and every remaining index accounted for.
+    let (status, _) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 202);
+    let mut rest = Vec::new();
+    while let Some(chunk) = read_chunk(&mut reader).unwrap() {
+        rest.extend_from_slice(&chunk);
+    }
+    let tail = String::from_utf8(rest).unwrap();
+    assert!(
+        tail.ends_with("\"next\":60,\"state\":\"cancelled\"}"),
+        "{tail}"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn nonblocking_poll_returns_a_cursor_midway() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/jobs", MC_TRAN_DECK);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+
+    // Wait for some progress, then poll without blocking.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/v1/jobs/{id}/results?wait=0"), "");
+        let doc = parsed(&body);
+        let next = doc.get("next").and_then(Json::as_u64).expect("next");
+        let state = doc.get("state").and_then(Json::as_str).expect("state");
+        if next > 0 {
+            assert!(
+                state != "done" && state != "cancelled" || next == 60,
+                "{body}"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "no progress: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, _) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 202);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn http10_responses_close_the_connection() {
+    // Regression (server level): HTTP/1.0 requests without
+    // `Connection: keep-alive` used to hold the socket open until the
+    // read timeout; now the server hangs up after answering.
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /v1/health HTTP/1.0\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    // read_to_end only returns promptly because the server closes.
+    stream.read_to_end(&mut response).expect("EOF, not timeout");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("\"ok\":true"));
+
+    // An HTTP/1.0 results stream is unframed (no chunk sizes) and
+    // close-delimited.
+    let (status, body) = http(addr, "POST", "/v1/jobs", SWEEP_DECK);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("GET /v1/jobs/{id}/results?wait=0 HTTP/1.0\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("EOF, not timeout");
+    let text = String::from_utf8_lossy(&response);
+    assert!(!text.contains("Transfer-Encoding"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    let body_at = text.find("\r\n\r\n").unwrap() + 4;
+    parsed(&text[body_at..]); // raw body is one complete JSON document
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_requests_get_the_right_status() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+    let long_header = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "b".repeat(9000));
+    let mut flood = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..=100 {
+        flood.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    flood.push_str("\r\n");
+    let table: &[(&[u8], u16)] = &[
+        (b"BOGUS\r\n\r\n", 400),
+        (b"GET / HTTP/2.0\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nno-colon\r\n\r\n", 400),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd",
+            400,
+        ),
+        (b"POST /v1/jobs HTTP/1.1\r\nContent-Length: zz\r\n\r\n", 400),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            413,
+        ),
+        (long_path.as_bytes(), 414),
+        (long_header.as_bytes(), 431),
+        (flood.as_bytes(), 431),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+            501,
+        ),
+    ];
+    for (raw, expected) in table {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(raw).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _) = read_head(&mut reader);
+        assert_eq!(
+            status,
+            *expected,
+            "request {:?}",
+            String::from_utf8_lossy(&raw[..raw.len().min(60)])
+        );
+        // The framing is untrusted after a violation: the server
+        // hangs up rather than resynchronizing.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("EOF, not timeout");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn connection_cap_answers_503() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        max_conns: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // First connection occupies the only slot (a completed request
+    // proves its handler is live and counted).
+    let mut first = TcpStream::connect(addr).unwrap();
+    first
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    first.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+    let mut first_reader = BufReader::new(first.try_clone().unwrap());
+    let (status, headers) = read_head(&mut first_reader);
+    assert_eq!(status, 200);
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap();
+    let mut body = vec![0u8; length];
+    first_reader.read_exact(&mut body).unwrap();
+
+    // Second connection bounces off the cap with a Retry-After.
+    let second = TcpStream::connect(addr).unwrap();
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut second_reader = BufReader::new(second.try_clone().unwrap());
+    let (status, headers) = read_head(&mut second_reader);
+    assert_eq!(status, 503);
+    assert!(headers.iter().any(|(k, v)| k == "retry-after" && v == "1"));
+
+    // Releasing the first slot readmits new connections.
+    drop(first_reader);
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut retry = TcpStream::connect(addr).unwrap();
+        retry
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        retry.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(retry);
+        let (status, _) = read_head(&mut reader);
+        if status == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never released");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn idle_connections_are_dropped_after_the_read_timeout() {
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        read_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Write nothing; the server must hang up on its own.
+    let t0 = Instant::now();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("server-side close");
+    assert!(buf.is_empty());
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "idle drop took {:?}",
+        t0.elapsed()
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_counters_move_with_the_workload() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(metric(&body, "mems_serve_jobs_submitted_total"), 0.0);
+    assert_eq!(metric(&body, "mems_serve_jobs_total{state=\"done\"}"), 0.0);
+
+    // Submit (miss), resubmit (hit), run both to completion.
+    let (s1, b1) = http(addr, "POST", "/v1/jobs", SWEEP_DECK);
+    assert_eq!(s1, 201, "{b1}");
+    let (s2, b2) = http(addr, "POST", "/v1/jobs", SWEEP_DECK);
+    assert_eq!(s2, 201, "{b2}");
+    // The blocking stream doubles as a completion wait.
+    for body in [&b1, &b2] {
+        let id = job_id(body);
+        let (_, stream_body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+        assert!(
+            stream_body.ends_with("\"state\":\"done\"}"),
+            "{stream_body}"
+        );
+    }
+
+    // Submit a slow batch and cancel it.
+    let (status, body) = http(addr, "POST", "/v1/jobs", MC_TRAN_DECK);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+    let (status, _) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 202);
+    let (_, stream_body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert!(
+        stream_body.ends_with("\"state\":\"cancelled\"}"),
+        "{stream_body}"
+    );
+
+    let (status, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(metric(&body, "mems_serve_jobs_submitted_total"), 3.0);
+    assert_eq!(metric(&body, "mems_serve_jobs_total{state=\"done\"}"), 2.0);
+    assert_eq!(
+        metric(&body, "mems_serve_jobs_total{state=\"cancelled\"}"),
+        1.0
+    );
+    assert_eq!(
+        metric(&body, "mems_serve_cache_events_total{event=\"hit\"}"),
+        1.0
+    );
+    assert_eq!(
+        metric(&body, "mems_serve_cache_events_total{event=\"miss\"}"),
+        2.0
+    );
+    // 2 × 5 sweep points completed, plus whatever the cancelled batch
+    // managed before the token tripped.
+    assert!(metric(&body, "mems_serve_points_total{outcome=\"completed\"}") >= 10.0);
+    assert!(metric(&body, "mems_serve_points_total{outcome=\"skipped\"}") >= 1.0);
+    assert!(metric(&body, "mems_serve_chunk_seconds_count") >= 3.0);
+    assert!(metric(&body, "mems_serve_chunk_seconds_bucket{le=\"+Inf\"}") >= 3.0);
+    assert!(metric(&body, "mems_serve_requests_total") >= 8.0);
+    assert_eq!(metric(&body, "mems_serve_jobs_active"), 0.0);
+
+    // Solver rollups saw real factorizations (the divider sweep is
+    // dense-path, the resonator transient scalar-path — either way
+    // the totals move).
+    let factor_total: f64 = ["dense", "scalar", "supernodal", "other"]
+        .iter()
+        .map(|p| {
+            metric(
+                &body,
+                &format!("mems_serve_solver_factors_total{{path=\"{p}\"}}"),
+            )
+        })
+        .sum();
+    assert!(factor_total >= 1.0, "{body}");
+
+    // Protocol violations land in bad_requests_total.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, _) = read_head(&mut reader);
+    assert_eq!(status, 400);
+    let (_, body) = http(addr, "GET", "/v1/metrics", "");
+    assert!(metric(&body, "mems_serve_bad_requests_total") >= 1.0);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn draining_still_completes_open_streams() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/jobs", MC_TRAN_DECK);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+
+    // Open the blocking stream, then start the drain mid-job.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(format!("GET /v1/jobs/{id}/results HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let (status, _) = read_head(&mut reader);
+    assert_eq!(status, 200);
+    let _prelude = read_chunk(&mut reader).unwrap().expect("prelude");
+    let _first = read_chunk(&mut reader).unwrap().expect("first record");
+
+    // The accept loop dies with the drain, so the shutdown + cancel
+    // requests ride one keep-alive control connection opened first.
+    let mut control = TcpStream::connect(addr).unwrap();
+    control
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut control_reader = BufReader::new(control.try_clone().unwrap());
+    for (request, expected) in [
+        (
+            "POST /v1/shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n".to_string(),
+            202,
+        ),
+        // Cancel so the drain needn't run all 60 transients.
+        (
+            format!("DELETE /v1/jobs/{id} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"),
+            202,
+        ),
+    ] {
+        control.write_all(request.as_bytes()).unwrap();
+        let (status, headers) = read_head(&mut control_reader);
+        assert_eq!(status, expected);
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        let mut body = vec![0u8; length];
+        control_reader.read_exact(&mut body).unwrap();
+    }
+
+    // The already-open stream survives the drain and completes.
+    let mut rest = Vec::new();
+    while let Some(chunk) = read_chunk(&mut reader).unwrap() {
+        rest.extend_from_slice(&chunk);
+    }
+    let tail = String::from_utf8(rest).unwrap();
+    assert!(tail.ends_with("\"state\":\"cancelled\"}"), "{tail}");
+
+    server.join();
+}

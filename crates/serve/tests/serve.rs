@@ -56,13 +56,21 @@ impl Conn {
             let (k, v) = line.split_once(':').expect("header colon");
             headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
         }
-        let length: usize = headers
+        let chunked = headers
             .iter()
-            .find(|(k, _)| k == "content-length")
-            .map(|(_, v)| v.parse().expect("numeric length"))
-            .unwrap_or(0);
-        let mut body = vec![0u8; length];
-        self.reader.read_exact(&mut body).expect("body");
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            mems_serve::http::read_chunked_body(&mut self.reader).expect("chunked body")
+        } else {
+            let length: usize = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .map(|(_, v)| v.parse().expect("numeric length"))
+                .unwrap_or(0);
+            let mut body = vec![0u8; length];
+            self.reader.read_exact(&mut body).expect("body");
+            body
+        };
         (status, headers, String::from_utf8(body).expect("utf8 body"))
     }
 }
@@ -180,7 +188,8 @@ fn second_submission_hits_the_fingerprint_cache() {
         let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/results?from=0"), "");
         assert_eq!(status, 200);
         let array_at = body.find("\"points\":").expect("points member") + "\"points\":".len();
-        let served = &body[array_at..body.len() - 1];
+        let array_end = body.rfind("],\"next\":").expect("stream tail") + 1;
+        let served = &body[array_at..array_end];
         assert_eq!(served, format!("[{}]", expected.join(",")));
     }
 

@@ -61,6 +61,10 @@ SERVE OPTIONS:
     --chunk N        Points per scheduler chunk (default 8)
     --queue-cap N    Max active jobs before submissions answer 429 (default 64)
     --cache-cap N    Max decks resident in the artifact cache (default 32)
+    --max-conns N    Max simultaneous connections; excess answers 503
+                     (default 256)
+    --read-timeout S Per-connection socket read timeout in seconds;
+                     idle/stalled peers are dropped (default 30)
     --include-dir D  Resolve deck .INCLUDEs under D (default: refuse includes)
     --check-only     Lint service: only /v1/check and /v1/health answer
     -h, --help       Show this help
@@ -204,6 +208,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--chunk" => serve.chunk_size = count(&mut it, "--chunk")?,
             "--queue-cap" => serve.queue_cap = count(&mut it, "--queue-cap")?,
             "--cache-cap" => serve.cache_cap = count(&mut it, "--cache-cap")?,
+            "--max-conns" => serve.max_conns = count(&mut it, "--max-conns")?,
+            "--read-timeout" => {
+                serve.read_timeout =
+                    std::time::Duration::from_secs(count(&mut it, "--read-timeout")? as u64);
+            }
             "--include-dir" => {
                 let v = it
                     .next()

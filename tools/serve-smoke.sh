@@ -5,10 +5,14 @@
 # load-bearing promises with curl + jq:
 #   1. a deck submission runs to completion and its streamed points
 #      match `mems sweep --json` byte-for-byte;
-#   2. the second identical submission hits the fingerprint cache
+#   2. results arrive as a chunked transfer-coded stream, and the
+#      de-chunked body matches the CLI byte-for-byte;
+#   3. the second identical submission hits the fingerprint cache
 #      (cache.hit, parse_us == 0, circuits_built == 0, warm checkout);
-#   3. cancellation stops a running .MC batch short of completion;
-#   4. POST /v1/shutdown drains gracefully and the process exits 0.
+#   4. cancellation stops a running .MC batch short of completion;
+#   5. /v1/metrics serves Prometheus text format whose counters
+#      reflect the traffic above;
+#   6. POST /v1/shutdown drains gracefully and the process exits 0.
 #
 # Usage: tools/serve-smoke.sh [path-to-mems-binary]
 set -euo pipefail
@@ -63,13 +67,16 @@ SWEEP1=$(curl -sf -X POST --data-binary @examples/decks/resonator_step.cir "$BAS
 ID1=$(jq -r .id <<<"$SWEEP1")
 wait_done "$ID1" | jq -e '.state == "done"' >/dev/null
 
-echo "== 2. streamed results match mems sweep --json byte-for-byte"
+echo "== 2. streamed results are chunked and match mems sweep --json byte-for-byte"
+# The stream is chunked transfer-coded (curl de-chunks transparently).
+curl -sfi "$BASE/v1/jobs/$ID1/results?from=0" -o "$WORK/results.http"
+grep -qi '^transfer-encoding: chunked' "$WORK/results.http"
 curl -sf "$BASE/v1/jobs/$ID1/results?from=0" | jq -c .points[] >"$WORK/served.jsonl"
 "$MEMS" sweep examples/decks/resonator_step.cir --threads 2 --json - \
   | jq -c .points[] >"$WORK/cli.jsonl"
 cmp "$WORK/served.jsonl" "$WORK/cli.jsonl"
 
-echo "== 3. second identical submission hits the fingerprint cache"
+echo "== 2b. second identical submission hits the fingerprint cache"
 SWEEP2=$(curl -sf -X POST --data-binary @examples/decks/resonator_step.cir "$BASE/v1/jobs")
 jq -e '.cache.hit == true and .timing.parse_us == 0' <<<"$SWEEP2" >/dev/null
 DONE2=$(wait_done "$(jq -r .id <<<"$SWEEP2")")
@@ -77,7 +84,7 @@ jq -e '.cache.circuits_built == 0 and .cache.warm_checkout == true' <<<"$DONE2" 
 curl -sf "$BASE/v1/jobs/$(jq -r .id <<<"$SWEEP2")/results?from=0" \
   | jq -c .points[] | cmp - "$WORK/cli.jsonl"
 
-echo "== 4. cancellation stops a running .MC batch"
+echo "== 3. cancellation stops a running .MC batch"
 cat >"$WORK/mc.cir" <<'EOF'
 smoke mc resonator
 .param k=200 m=1e-4 alpha=40e-3
@@ -98,6 +105,26 @@ done
 curl -sf -X DELETE "$BASE/v1/jobs/$MCID" >/dev/null
 wait_done "$MCID" \
   | jq -e '.state == "cancelled" and .completed < 400 and (.completed + .skipped) == 400' >/dev/null
+
+echo "== 4. /v1/metrics serves Prometheus text format with live counters"
+curl -sfi "$BASE/v1/metrics" -o "$WORK/metrics.http"
+grep -qi '^content-type: text/plain; version=0.0.4' "$WORK/metrics.http"
+curl -sf "$BASE/v1/metrics" >"$WORK/metrics.txt"
+metric() { # fully-labeled series name -> value
+  awk -v s="$1" '$1 == s { print $2 }' "$WORK/metrics.txt"
+}
+grep -q '^# TYPE mems_serve_jobs_total counter' "$WORK/metrics.txt"
+grep -q '^# TYPE mems_serve_chunk_seconds histogram' "$WORK/metrics.txt"
+# 4 submissions: eletran, sweep ×2, the cancelled .MC batch.
+[ "$(metric mems_serve_jobs_submitted_total)" = 4 ]
+[ "$(metric 'mems_serve_jobs_total{state="done"}')" = 3 ]
+[ "$(metric 'mems_serve_jobs_total{state="cancelled"}')" = 1 ]
+[ "$(metric 'mems_serve_cache_events_total{event="hit"}')" = 1 ]
+[ "$(metric 'mems_serve_cache_events_total{event="miss"}')" = 3 ]
+[ "$(metric 'mems_serve_points_total{outcome="skipped"}')" -gt 0 ]
+[ "$(metric mems_serve_chunk_seconds_count)" -gt 0 ]
+# The solver rollups saw real factorizations.
+awk '/^mems_serve_solver_factors_total/ { sum += $2 } END { exit !(sum > 0) }' "$WORK/metrics.txt"
 
 echo "== 5. graceful shutdown drains"
 curl -sf "$BASE/v1/health" | jq -e '.ok and .cache.hits >= 1' >/dev/null
