@@ -13,15 +13,24 @@
 //!
 //! A deck-level group runs the generated grid deck end-to-end
 //! (`.OP` through the netlist frontend) with `order=natural` vs
-//! `order=amd` on the forced-sparse backend.
+//! `order=amd` vs `order=nd` on the forced-sparse backend.
+//!
+//! The supernodal tiers carry three cold-factor series per mesh: the
+//! true-cold AMD and ND paths (ordering + symbolic caches cleared
+//! every iteration — what a never-seen pattern costs end to end) and
+//! the cached path (both caches warm — what a resubmitted pattern
+//! costs, which should land near the numeric-only refactor). The
+//! scale group adds the n ≈ 2·10⁵ 3-D tier; the ~10⁶ tier runs its
+//! ordering series always and its (multi-minute) factor only outside
+//! `MEMS_BENCH_QUICK`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mems_fem::mesh::StructuredQuadMesh;
 use mems_netlist::gen::{grid_deck_with, GridDeckOptions};
 use mems_netlist::{run_deck, Deck};
-use mems_numerics::ordering::{amd_order, FillOrdering};
+use mems_numerics::ordering::{amd_order, clear_cache, nd_order, FillOrdering};
 use mems_numerics::sparse_lu::{CscMatrix, SparseLu};
-use mems_numerics::supernodal::SupernodalLu;
+use mems_numerics::supernodal::{clear_symbolic_cache, SupernodalLu};
 
 /// Assembles the DC/transient-style MNA matrix of an
 /// electromechanical cell graph over `nn` electrical nodes and the
@@ -224,6 +233,112 @@ fn bench_supernodal(c: &mut Criterion) {
         group.bench_function("snl_refactor", |b| {
             b.iter(|| warm.refactor(&view).expect("refactors"))
         });
+        group.bench_function("nd_order_symbolic", |b| {
+            b.iter(|| nd_order(n, &csc.col_ptr, &csc.row_idx))
+        });
+        // True-cold paths: both machine-wide caches dropped every
+        // iteration, so the series is ordering + analysis + numeric —
+        // what a never-seen pattern costs on first contact.
+        group.bench_function("snl_amd_cold_factor", |b| {
+            b.iter(|| {
+                clear_cache();
+                clear_symbolic_cache();
+                SupernodalLu::<f64>::factor(&view, FillOrdering::Amd, 0).expect("factors")
+            })
+        });
+        group.bench_function("snl_nd_cold_factor", |b| {
+            b.iter(|| {
+                clear_cache();
+                clear_symbolic_cache();
+                SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors")
+            })
+        });
+        // Cached path: a cold factor of a *seen* pattern — the
+        // symbolic cache replays the whole analysis, so this should
+        // land near the numeric-only refactor.
+        let mut nd_warm = SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors");
+        let (nl, nu) = nd_warm.nnz();
+        eprintln!("    supernodal-ND fill L+U = {}", nl + nu);
+        group.bench_function("snl_nd_cached_factor", |b| {
+            b.iter(|| SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors"))
+        });
+        group.bench_function("snl_nd_refactor", |b| {
+            b.iter(|| nd_warm.refactor(&view).expect("refactors"))
+        });
+        group.finish();
+    }
+}
+
+/// The tiers the ND ordering exists for: 3-D meshes at n ≈ 2·10⁵ and
+/// ~10⁶, where minimum degree's ordering time and separator-tree fill
+/// both fall behind nested dissection. Scalar LU and the AMD ordering
+/// are out of reach here (AMD alone takes ~24 s at n ≈ 2·10⁵ on one
+/// core), so the series are ND + cached + refactor only; the ~10⁶
+/// tier times its ordering always and its multi-minute factor only
+/// outside `MEMS_BENCH_QUICK` (`examples/nd_scale.rs` in
+/// `mems-numerics` exercises the full 10⁶ factor standalone).
+fn bench_scale_tiers(c: &mut Criterion) {
+    mems_bench::print_banner(
+        "ND scale tiers",
+        "nested-dissection cold/cached supernodal LU on 3-D meshes at n = 2e5 and 1e6",
+    );
+    let quick = std::env::var_os("MEMS_BENCH_QUICK").is_some();
+    {
+        let (nn, edges) = grid3d_edges(31, 31, 31);
+        let (n, csc) = edges_mna(nn, &edges);
+        let view = csc.view();
+        let mut group = c.benchmark_group(&format!("ordering_lu_n{n}_grid3d_31"));
+        group.sample_size(10);
+        group.bench_function("nd_order_symbolic", |b| {
+            b.iter(|| nd_order(n, &csc.col_ptr, &csc.row_idx))
+        });
+        group.bench_function("snl_nd_cold_factor", |b| {
+            b.iter(|| {
+                clear_cache();
+                clear_symbolic_cache();
+                SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors")
+            })
+        });
+        let mut warm = SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors");
+        let (lnz, unz) = warm.nnz();
+        eprintln!(
+            "  n={n} (grid3d_31): supernodal-ND fill L+U = {} | {} supernodes, {} levels",
+            lnz + unz,
+            warm.supernodes(),
+            warm.levels(),
+        );
+        group.bench_function("snl_nd_cached_factor", |b| {
+            b.iter(|| SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors"))
+        });
+        group.bench_function("snl_nd_refactor", |b| {
+            b.iter(|| warm.refactor(&view).expect("refactors"))
+        });
+        group.finish();
+    }
+    {
+        let (nn, edges) = grid3d_edges(52, 52, 52);
+        let (n, csc) = edges_mna(nn, &edges);
+        let mut group = c.benchmark_group(&format!("ordering_lu_n{n}_grid3d_52"));
+        group.sample_size(10);
+        group.bench_function("nd_order_symbolic", |b| {
+            b.iter(|| nd_order(n, &csc.col_ptr, &csc.row_idx))
+        });
+        if quick {
+            eprintln!(
+                "  n={n} (grid3d_52): factor series skipped under MEMS_BENCH_QUICK \
+                 (single cold factor runs ~7 min serial; see mems-numerics \
+                 examples/nd_scale.rs with ND_SCALE_ALL=1)"
+            );
+        } else {
+            let view = csc.view();
+            group.bench_function("snl_nd_cold_factor", |b| {
+                b.iter(|| {
+                    clear_cache();
+                    clear_symbolic_cache();
+                    SupernodalLu::<f64>::factor(&view, FillOrdering::Nd, 0).expect("factors")
+                })
+            });
+        }
         group.finish();
     }
 }
@@ -231,9 +346,9 @@ fn bench_supernodal(c: &mut Criterion) {
 fn bench_grid_deck(c: &mut Criterion) {
     mems_bench::print_banner(
         "grid deck .OP",
-        "end-to-end generated grid deck, sparse backend, order=natural vs order=amd",
+        "end-to-end generated grid deck, sparse backend, order=natural vs amd vs nd",
     );
-    for order in ["natural", "amd"] {
+    for order in ["natural", "amd", "nd"] {
         let src = grid_deck_with(
             18,
             19,
@@ -255,5 +370,11 @@ fn bench_grid_deck(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_kernels, bench_supernodal, bench_grid_deck);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_supernodal,
+    bench_scale_tiers,
+    bench_grid_deck
+);
 criterion_main!(benches);

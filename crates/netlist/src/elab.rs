@@ -881,8 +881,8 @@ pub struct DeckRun {
 pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
     let mut sim = SimOptions::default();
     for (name, value) in &deck.options {
-        // `order=amd|natural` is a keyword option: the value is a bare
-        // word, not a numeric expression.
+        // `order=nd|amd|natural|auto` is a keyword option: the value
+        // is a bare word, not a numeric expression.
         if name == "order" {
             sim.ordering = fill_ordering(value)?;
             continue;
@@ -924,13 +924,18 @@ pub fn sim_options(deck: &Deck, env: &ParamEnv) -> Result<SimOptions> {
     Ok(sim)
 }
 
-/// Parses the `order=` option value (`amd` or `natural`).
+/// Parses the `order=` option value (`nd`, `amd`, `natural`, or
+/// `auto` — the default, which picks ND above
+/// [`mems_numerics::ordering::ND_AUTO_THRESHOLD`] unknowns and AMD
+/// below).
 fn fill_ordering(value: &NumExpr) -> Result<FillOrdering> {
     match &value.node {
         crate::expr::ExprNode::Ident(w) if w == "amd" => Ok(FillOrdering::Amd),
+        crate::expr::ExprNode::Ident(w) if w == "nd" => Ok(FillOrdering::Nd),
         crate::expr::ExprNode::Ident(w) if w == "natural" => Ok(FillOrdering::Natural),
+        crate::expr::ExprNode::Ident(w) if w == "auto" => Ok(FillOrdering::Auto),
         _ => Err(NetlistError::elab_at(
-            "option `order` takes `amd` or `natural`",
+            "option `order` takes `nd`, `amd`, `natural`, or `auto`",
             value.span,
         )),
     }

@@ -643,6 +643,7 @@ pub fn outcome_json(deck: &Deck, outcome: &AnalysisOutcome) -> String {
 pub fn solver_stats_json(st: &mems_spice::system::SolverStats) -> String {
     format!(
         "{{\"backend\":\"{}\",\"factor_path\":\"{}\",\"ordering\":\"{}\",\
+         \"order_source\":\"{}\",\"order_us\":{},\
          \"n\":{},\"pattern_nnz\":{},\"factor_nnz\":{},\"fill_ratio\":{},\
          \"supernodes\":{},\"levels\":{},\"threads\":{},\
          \"factors\":{},\"refactors\":{},\"fallbacks\":{},\
@@ -650,6 +651,8 @@ pub fn solver_stats_json(st: &mems_spice::system::SolverStats) -> String {
         json_escape(st.backend),
         json_escape(st.factor_path),
         json_escape(st.ordering),
+        json_escape(st.order_source),
+        st.order_us,
         st.n,
         st.pattern_nnz,
         st.factor_nnz,

@@ -1,0 +1,172 @@
+//! Scale check: ordering cost, supernodal fill parity, and cold-factor
+//! time under AMD vs ND vs the ordering cache on grid MNA patterns.
+use mems_numerics::ordering::{amd_order, clear_cache, nd_order, FillOrdering};
+use mems_numerics::sparse_lu::{CscView, SparseLu};
+use mems_numerics::supernodal::{clear_symbolic_cache, SupernodalLu};
+use std::time::Instant;
+
+fn edges_mna(nn: usize, edges: &[(usize, usize)]) -> (usize, Vec<usize>, Vec<usize>, Vec<f64>) {
+    let n = nn + 2 * edges.len();
+    let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut add = |r: usize, c: usize| cols[c].push(r);
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        let vel = nn + 2 * e;
+        let fb = nn + 2 * e + 1;
+        add(a, a);
+        add(b, b);
+        add(a, b);
+        add(b, a);
+        add(vel, a);
+        add(vel, b);
+        add(a, vel);
+        add(b, vel);
+        add(vel, vel);
+        add(vel, fb);
+        add(fb, vel);
+        add(fb, fb);
+    }
+    add(0, 0);
+    add(nn - 1, nn - 1);
+    let mut col_ptr = vec![0usize; n + 1];
+    let mut row_idx = Vec::new();
+    let mut values = Vec::new();
+    for (c, mut rows) in cols.into_iter().enumerate() {
+        rows.sort_unstable();
+        rows.dedup();
+        col_ptr[c + 1] = col_ptr[c] + rows.len();
+        for &r in &rows {
+            values.push(if r == c { 8.0 } else { -1.0 });
+        }
+        row_idx.extend(rows);
+    }
+    (n, col_ptr, row_idx, values)
+}
+
+fn grid_edges(rows: usize, cols: usize) -> (usize, Vec<(usize, usize)>) {
+    let node = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((node(r, c), node(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((node(r, c), node(r + 1, c)));
+            }
+        }
+    }
+    (rows * cols, edges)
+}
+
+fn grid3d_edges(q: usize) -> (usize, Vec<(usize, usize)>) {
+    let node = |x: usize, y: usize, z: usize| (z * q + y) * q + x;
+    let mut edges = Vec::new();
+    for z in 0..q {
+        for y in 0..q {
+            for x in 0..q {
+                if x + 1 < q {
+                    edges.push((node(x, y, z), node(x + 1, y, z)));
+                }
+                if y + 1 < q {
+                    edges.push((node(x, y, z), node(x, y + 1, z)));
+                }
+                if z + 1 < q {
+                    edges.push((node(x, y, z), node(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    (q * q * q, edges)
+}
+
+fn snl_report(tag: &str, a: &CscView<'_, f64>, ordering: FillOrdering, scalar_fill: usize) {
+    let t = Instant::now();
+    let lu = SupernodalLu::factor(a, ordering, 0).expect("factor");
+    let cold = t.elapsed().as_secs_f64() * 1e3;
+    let (l, u) = lu.nnz();
+    let (el, eu) = lu.exact_nnz();
+    println!(
+        "  {tag:<12} cold {cold:8.1} ms  order {:6.1} ms ({})  stored {:>9}  exact {:>9}  pad {:.3}  vs-scalar {:.3}",
+        lu.order_us() as f64 / 1e3,
+        lu.order_source(),
+        l + u,
+        el + eu,
+        (l + u) as f64 / (el + eu) as f64,
+        if scalar_fill > 0 {
+            (l + u) as f64 / scalar_fill as f64
+        } else {
+            f64::NAN
+        },
+    );
+}
+
+fn main() {
+    let all = std::env::var_os("ND_SCALE_ALL").is_some();
+    let mut tiers = vec![(
+        "grid_101",
+        grid_edges(101, 101).0,
+        grid_edges(101, 101).1,
+        true,
+    )];
+    if all {
+        tiers.push(("grid3d_31", grid3d_edges(31).0, grid3d_edges(31).1, false));
+    }
+    for (tag, nn, edges, scalar) in tiers {
+        let (n, cp, ri, vals) = edges_mna(nn, &edges);
+        let a = CscView {
+            n,
+            col_ptr: &cp,
+            row_idx: &ri,
+            values: &vals,
+        };
+        let t0 = Instant::now();
+        let amd = amd_order(n, &cp, &ri);
+        let t_amd = t0.elapsed();
+        let t1 = Instant::now();
+        let nd = nd_order(n, &cp, &ri);
+        let t_nd = t1.elapsed();
+        drop((amd, nd));
+        let scalar_fill = if scalar {
+            let t = Instant::now();
+            let order = amd_order(n, &cp, &ri);
+            let slu = SparseLu::factor_ordered(&a, &order).expect("scalar factor");
+            let (sl, su) = slu.nnz();
+            println!(
+                "{tag}: n={n} | raw amd {:.1} ms nd {:.1} ms | scalar cold {:.1} ms fill {}",
+                t_amd.as_secs_f64() * 1e3,
+                t_nd.as_secs_f64() * 1e3,
+                t.elapsed().as_secs_f64() * 1e3,
+                sl + su,
+            );
+            sl + su
+        } else {
+            println!(
+                "{tag}: n={n} | raw amd {:.1} ms nd {:.1} ms | scalar skipped",
+                t_amd.as_secs_f64() * 1e3,
+                t_nd.as_secs_f64() * 1e3,
+            );
+            0
+        };
+        clear_cache();
+        clear_symbolic_cache();
+        snl_report("snl amd", &a, FillOrdering::Amd, scalar_fill);
+        snl_report("snl nd", &a, FillOrdering::Nd, scalar_fill);
+        snl_report("snl nd(hit)", &a, FillOrdering::Nd, scalar_fill);
+    }
+    if !all {
+        return;
+    }
+    // The 10⁶-class tier: ND + supernodal only (AMD is impractical).
+    let (nn, edges) = grid3d_edges(52);
+    let (n, cp, ri, vals) = edges_mna(nn, &edges);
+    let a = CscView {
+        n,
+        col_ptr: &cp,
+        row_idx: &ri,
+        values: &vals,
+    };
+    println!("grid3d_52: n={n}");
+    clear_cache();
+    clear_symbolic_cache();
+    snl_report("snl nd", &a, FillOrdering::Nd, 0);
+}

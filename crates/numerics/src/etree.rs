@@ -284,6 +284,124 @@ pub fn col_counts(n: usize, ptr: &[usize], idx: &[usize], parent: &[usize]) -> V
     counts
 }
 
+/// Exact per-column nonzero counts of the LU factors under static
+/// diagonal pivoting of an unsymmetric pattern (typically the
+/// row-matched, fill-ordered permutation of `A`): returns
+/// `(lcnt, ucnt)`, both including the diagonal, so the exact factor
+/// size is `Σ lcnt + Σ ucnt − n`.
+///
+/// This is a symbolic Gilbert–Peierls pass with Eisenstat–Liu
+/// symmetric pruning: column `j`'s structure is the reachability of
+/// `A(:,j)` through the graph of already-computed `L` columns, and a
+/// column whose `(L(j,k), U(k,j))` pair is structurally symmetric has
+/// its search list truncated at `j` (anything deeper is reachable
+/// through `j`). On (near-)symmetric patterns the pruned lists
+/// collapse toward the elimination tree, so the whole pass runs in
+/// `O(nnz(L)+nnz(U))` with working memory near `O(nnz(A))` — cheap
+/// enough to run inside every supernodal analysis, where it replaces
+/// the `A+Aᵀ` overestimate in amalgamation decisions and gives the
+/// exact fill the stats report.
+///
+/// Rows out of range are ignored; a structurally-zero diagonal is
+/// tolerated (it still counts as stored — the numeric phase decides
+/// singularity).
+pub fn lu_col_counts(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut lcnt = vec![1usize; n];
+    let mut ucnt = vec![1usize; n];
+    // Pruned search list per computed column: its L rows (> column),
+    // in DFS discovery order, truncated by symmetric pruning. One flat
+    // arena instead of per-column Vecs — truncation just shrinks
+    // `llen`, and the hot DFS loop never allocates.
+    let mut arena: Vec<u32> = Vec::with_capacity(row_idx.len().max(16));
+    let mut lstart = vec![0usize; n];
+    let mut llen = vec![0u32; n];
+    let mut pruned = vec![false; n];
+    let mut mark = vec![NONE; n];
+    let mut snode: Vec<u32> = Vec::new();
+    let mut spos: Vec<u32> = Vec::new();
+    let mut ureach: Vec<u32> = Vec::new();
+    let mut lrows: Vec<u32> = Vec::new();
+    for j in 0..n {
+        mark[j] = j;
+        lrows.clear();
+        ureach.clear();
+        for p in col_ptr[j]..col_ptr[j + 1].min(row_idx.len()) {
+            let i0 = row_idx[p];
+            if i0 >= n || mark[i0] == j {
+                continue;
+            }
+            mark[i0] = j;
+            if i0 > j {
+                lrows.push(i0 as u32);
+                continue;
+            }
+            ureach.push(i0 as u32);
+            snode.push(i0 as u32);
+            spos.push(0);
+            while let Some(&i) = snode.last() {
+                let i = i as usize;
+                let pos = *spos.last().expect("stacks in sync") as usize;
+                let list = &arena[lstart[i]..lstart[i] + llen[i] as usize];
+                let mut q = pos;
+                let mut descended = false;
+                while q < list.len() {
+                    let c = list[q] as usize;
+                    q += 1;
+                    if mark[c] == j {
+                        continue;
+                    }
+                    mark[c] = j;
+                    if c > j {
+                        lrows.push(c as u32);
+                        continue;
+                    }
+                    if c < j {
+                        ureach.push(c as u32);
+                        *spos.last_mut().expect("stacks in sync") = q as u32;
+                        snode.push(c as u32);
+                        spos.push(0);
+                        descended = true;
+                        break;
+                    }
+                }
+                if !descended {
+                    snode.pop();
+                    spos.pop();
+                }
+            }
+        }
+        lcnt[j] += lrows.len();
+        ucnt[j] += ureach.len();
+        // Symmetric pruning: for each U entry (k, j), if column k also
+        // holds row j (a symmetric L partner), everything in k's list
+        // beyond j is reachable through j — truncate. One scan per
+        // still-unpruned k.
+        for &ku in ureach.iter() {
+            let k = ku as usize;
+            if pruned[k] {
+                continue;
+            }
+            let list = &mut arena[lstart[k]..lstart[k] + llen[k] as usize];
+            if list.iter().any(|&r| r as usize == j) {
+                let mut keep = 0usize;
+                for q in 0..list.len() {
+                    let r = list[q];
+                    if (r as usize) <= j {
+                        list[keep] = r;
+                        keep += 1;
+                    }
+                }
+                llen[k] = keep as u32;
+                pruned[k] = true;
+            }
+        }
+        lstart[j] = arena.len();
+        llen[j] = lrows.len() as u32;
+        arena.extend_from_slice(&lrows);
+    }
+    (lcnt, ucnt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +571,117 @@ mod tests {
         let (p3, i3) = permute_sym(n, &p2, &i2, &perm);
         assert_eq!(p3, ptr);
         assert_eq!(i3, idx);
+    }
+
+    /// Brute-force dense symbolic LU with static diagonal pivots: the
+    /// oracle for `lu_col_counts`.
+    fn dense_lu_counts(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let mut m = vec![vec![false; n]; n];
+        for j in 0..n {
+            m[j][j] = true;
+            for p in col_ptr[j]..col_ptr[j + 1] {
+                m[row_idx[p]][j] = true;
+            }
+        }
+        for k in 0..n {
+            for i in k + 1..n {
+                if m[i][k] {
+                    for l in k + 1..n {
+                        if m[k][l] {
+                            m[i][l] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut lcnt = vec![0usize; n];
+        let mut ucnt = vec![0usize; n];
+        for j in 0..n {
+            for i in 0..n {
+                if m[i][j] {
+                    if i >= j {
+                        lcnt[j] += 1;
+                    }
+                    if i <= j {
+                        ucnt[j] += 1;
+                    }
+                }
+            }
+        }
+        (lcnt, ucnt)
+    }
+
+    fn with_diagonal(n: usize, ptr: &[usize], idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let mut cp = vec![0usize];
+        let mut ri = Vec::new();
+        for j in 0..n {
+            let mut rows: Vec<usize> = idx[ptr[j]..ptr[j + 1]].to_vec();
+            rows.push(j);
+            rows.sort_unstable();
+            rows.dedup();
+            ri.extend(rows);
+            cp.push(ri.len());
+        }
+        (cp, ri)
+    }
+
+    #[test]
+    fn lu_counts_match_dense_oracle_on_davis() {
+        let (n, ptr, idx) = davis_pattern();
+        let (cp, ri) = with_diagonal(n, &ptr, &idx);
+        let (lcnt, ucnt) = lu_col_counts(n, &cp, &ri);
+        let (dl, du) = dense_lu_counts(n, &cp, &ri);
+        assert_eq!(lcnt, dl);
+        assert_eq!(ucnt, du);
+        // The pattern is symmetric, so U = Lᵀ structurally: the column
+        // counts of L equal the Cholesky counts from the etree
+        // pipeline, and U holds the same total (per-column counts
+        // differ — U's columns are L's rows).
+        let parent = etree(n, &ptr, &idx);
+        let counts = col_counts(n, &ptr, &idx, &parent);
+        assert_eq!(lcnt, counts);
+        assert_eq!(lcnt.iter().sum::<usize>(), ucnt.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn lu_counts_match_dense_oracle_on_random_unsymmetric() {
+        // Deterministic LCG patterns, full diagonal, deliberately
+        // unsymmetric: the exact counts must match brute force.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for &n in &[1usize, 7, 19, 41] {
+            let mut cp = vec![0usize];
+            let mut ri = Vec::new();
+            for j in 0..n {
+                let mut rows = vec![j];
+                for _ in 0..3 {
+                    rows.push(rng() % n);
+                }
+                rows.sort_unstable();
+                rows.dedup();
+                ri.extend(rows);
+                cp.push(ri.len());
+            }
+            let (lcnt, ucnt) = lu_col_counts(n, &cp, &ri);
+            let (dl, du) = dense_lu_counts(n, &cp, &ri);
+            assert_eq!(lcnt, dl, "L counts diverge at n={n}");
+            assert_eq!(ucnt, du, "U counts diverge at n={n}");
+        }
+    }
+
+    #[test]
+    fn lu_counts_tolerate_missing_diagonal_and_out_of_range_rows() {
+        // Column 1 has no diagonal; column 0 carries an out-of-range
+        // row. Counts still include the (implicit) diagonal slot.
+        let cp = vec![0usize, 3, 4];
+        let ri = vec![0, 1, 9, 0];
+        let (lcnt, ucnt) = lu_col_counts(2, &cp, &ri);
+        assert_eq!(lcnt, vec![2, 1]);
+        assert_eq!(ucnt, vec![1, 2]);
     }
 }

@@ -20,15 +20,61 @@
 
 use std::collections::BinaryHeap;
 
+pub mod cache;
+pub mod nd;
+
+pub use cache::{cache_stats, clear_cache, order_cached, OrderLookup};
+pub use nd::nd_order;
+
+/// Dimension at which [`FillOrdering::Auto`] switches from minimum
+/// degree to nested dissection: below this AMD's quotient-graph
+/// elimination is cheap and usually slightly better on irregular
+/// blocks; above it the separator tree wins on both ordering cost and
+/// fill for the meshed patterns this stack factors.
+pub const ND_AUTO_THRESHOLD: usize = 10_000;
+
 /// Which column pre-ordering the sparse backend eliminates with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FillOrdering {
     /// Eliminate columns in their natural (stamp/index) order.
     Natural,
-    /// Minimum-degree order of the symmetrized pattern (the default
-    /// for the sparse backend: deck option `order=natural` opts out).
-    #[default]
+    /// Minimum-degree order of the symmetrized pattern.
     Amd,
+    /// Multilevel nested dissection of the symmetrized pattern
+    /// ([`nd_order`]): separator-tree fill, O(|E| log n) to compute.
+    Nd,
+    /// Pick per matrix: [`FillOrdering::Nd`] at
+    /// n ≥ [`ND_AUTO_THRESHOLD`], [`FillOrdering::Amd`] below (the
+    /// default; deck option `order=` opts into a fixed choice).
+    #[default]
+    Auto,
+}
+
+impl FillOrdering {
+    /// The concrete ordering `Auto` stands for at dimension `n`
+    /// (fixed choices return themselves).
+    pub fn resolve(self, n: usize) -> FillOrdering {
+        match self {
+            FillOrdering::Auto => {
+                if n >= ND_AUTO_THRESHOLD {
+                    FillOrdering::Nd
+                } else {
+                    FillOrdering::Amd
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Wire/report name of the (possibly unresolved) policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FillOrdering::Natural => "natural",
+            FillOrdering::Amd => "amd",
+            FillOrdering::Nd => "nd",
+            FillOrdering::Auto => "auto",
+        }
+    }
 }
 
 /// Node state in the quotient graph.

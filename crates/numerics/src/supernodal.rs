@@ -47,7 +47,7 @@
 //! with the same pivots, exactly like the scalar split.
 
 use crate::etree::{self, NONE};
-use crate::ordering::{amd_order, FillOrdering};
+use crate::ordering::{order_cached, FillOrdering};
 use crate::par::resolve_factor_threads;
 use crate::scalar::Scalar;
 use crate::sparse_lu::{CscView, PIVOT_TAU};
@@ -69,6 +69,20 @@ pub const RELAX_SUBTREE: usize = 8;
 
 /// High bit of an assembly-plan entry: destination is the U store.
 const UBIT: u64 = 1 << 63;
+
+/// Amalgamation padding budget, as a fraction `PAD_NUM/PAD_DEN` of a
+/// candidate supernode's *exact* fill (from
+/// [`etree::lu_col_counts`]): a merge is accepted only while the dense
+/// panels stay within 10% of the exact factor cells, which is what
+/// keeps total supernodal storage at parity with the scalar engine
+/// instead of the 1.4–1.5× the old `zest` estimate allowed.
+const PAD_NUM: usize = 11;
+const PAD_DEN: usize = 10;
+/// Small absolute slack on top: lets near-empty leaf columns (MNA
+/// velocity/force legs, exact fill of a handful of cells) amalgamate
+/// at all. Bounded by `PAD_SLACK × nsuper` in total, which is noise
+/// next to the fill of any matrix large enough to route here.
+const PAD_SLACK: usize = 2;
 
 /// A level is worth spawning workers for only past this many panels…
 const PAR_MIN_ITEMS: usize = 2;
@@ -111,6 +125,11 @@ struct Symbolic {
     plan: Vec<u64>,
     l_size: usize,
     u_size: usize,
+    /// Exact factor entries `(L incl. diagonal, strict U)` from
+    /// [`etree::lu_col_counts`] — the padding-free figure the panel
+    /// stores are measured against.
+    exact_l: usize,
+    exact_u: usize,
 }
 
 impl Symbolic {
@@ -121,13 +140,32 @@ impl Symbolic {
         let m = self.rows_ptr[s + 1] - self.rows_ptr[s];
         (c0, w, m, w + m)
     }
+
+    /// Approximate heap footprint, for the symbolic-cache budget.
+    fn approx_bytes(&self) -> usize {
+        8 * (self.colperm.len()
+            + self.rowperm.len()
+            + self.first_col.len()
+            + self.rows_ptr.len()
+            + self.l_off.len()
+            + self.u_off.len()
+            + self.l_lvl.len()
+            + self.u_lvl.len()
+            + self.level_ptr.len()
+            + self.upd_ptr.len()
+            + self.plan.len())
+            + 4 * (self.rows.len() + self.level_items.len())
+            + 12 * self.updaters.len()
+    }
 }
 
 /// Supernodal LU factorization (see module docs). Generic over
 /// [`Scalar`] so transient (f64) and AC (Complex64) systems ride the
 /// same kernels.
 pub struct SupernodalLu<S: Scalar> {
-    sym: Symbolic,
+    /// Shared with the machine-wide symbolic cache — immutable after
+    /// analysis; the numeric phase only reads it.
+    sym: std::sync::Arc<Symbolic>,
     lstore: Vec<S>,
     ustore: Vec<S>,
     /// Row-equilibration scales, *original* row labels: the factor is
@@ -135,6 +173,11 @@ pub struct SupernodalLu<S: Scalar> {
     row_scale: Vec<f64>,
     threads_req: usize,
     threads_used: usize,
+    /// Microseconds the analysis spent computing the fill order (0
+    /// when the order — or the whole analysis — came from a cache).
+    order_us: u64,
+    /// `"cached"` / `"amd"` / `"nd"` / `"natural"`.
+    order_source: &'static str,
 }
 
 /// A level-schedule work item: supernode id plus exclusive mutable
@@ -158,6 +201,147 @@ impl<S: Scalar> Scratch<S> {
             lidx: Vec::new(),
         }
     }
+}
+
+/// Byte budget for the machine-wide symbolic cache. A symbolic
+/// analysis is a pure function of (pattern, row matching, resolved
+/// ordering), and real workloads — a serve daemon re-running decks,
+/// `.STEP`/`.MC` batches, AC after OP — present the same MNA pattern
+/// over and over. Caching the whole [`Symbolic`] (not just the
+/// permutation) is what puts a known pattern's cold factor near
+/// refactor cost: ordering, etree, exact counts, grouping, schedule,
+/// and assembly plan are all skipped. Entries larger than half the
+/// budget are not cached (a 10⁶-unknown analysis is ~200 MB; pinning
+/// two of those would evict everything else for little gain).
+const SYM_CACHE_BYTES: usize = 192 << 20;
+
+struct SymEntry {
+    sym: std::sync::Arc<Symbolic>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct SymCache {
+    map: std::collections::HashMap<(u64, u64), SymEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+fn sym_cache() -> &'static Mutex<SymCache> {
+    static CACHE: std::sync::OnceLock<Mutex<SymCache>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(SymCache {
+            map: std::collections::HashMap::new(),
+            bytes: 0,
+            tick: 0,
+        })
+    })
+}
+
+static SYM_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SYM_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Dual-FNV-1a fingerprint of everything [`analyze`] depends on: the
+/// resolved ordering, the pattern, and the (value-aware) row matching.
+/// A collision could only replay a valid analysis of a different
+/// pattern, which the assembly plan's length check and the numeric
+/// drift guard would reject — but at 128 bits it simply doesn't
+/// happen.
+fn sym_fingerprint(
+    kind: FillOrdering,
+    n: usize,
+    col_ptr: &[usize],
+    row_idx: &[usize],
+    imatch: &[usize],
+) -> (u64, u64) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    let mut eat = |x: u64| {
+        a = (a ^ x).wrapping_mul(PRIME);
+        b = (b ^ x.rotate_left(32)).wrapping_mul(PRIME);
+    };
+    eat(kind as u64);
+    eat(n as u64);
+    eat(col_ptr.len() as u64);
+    eat(row_idx.len() as u64);
+    for &w in col_ptr {
+        eat(w as u64);
+    }
+    for &w in row_idx {
+        eat(w as u64);
+    }
+    for &w in imatch {
+        eat(w as u64);
+    }
+    (a, b)
+}
+
+fn sym_cache_get(key: (u64, u64)) -> Option<std::sync::Arc<Symbolic>> {
+    let mut c = sym_cache().lock().expect("symbolic cache lock");
+    c.tick += 1;
+    let tick = c.tick;
+    if let Some(e) = c.map.get_mut(&key) {
+        e.last_used = tick;
+        SYM_HITS.fetch_add(1, AtomicOrdering::Relaxed);
+        Some(std::sync::Arc::clone(&e.sym))
+    } else {
+        SYM_MISSES.fetch_add(1, AtomicOrdering::Relaxed);
+        None
+    }
+}
+
+fn sym_cache_put(key: (u64, u64), sym: &std::sync::Arc<Symbolic>) {
+    let bytes = sym.approx_bytes();
+    if bytes > SYM_CACHE_BYTES / 2 {
+        return;
+    }
+    let mut c = sym_cache().lock().expect("symbolic cache lock");
+    c.tick += 1;
+    let tick = c.tick;
+    if c.map.contains_key(&key) {
+        return;
+    }
+    c.map.insert(
+        key,
+        SymEntry {
+            sym: std::sync::Arc::clone(sym),
+            bytes,
+            last_used: tick,
+        },
+    );
+    c.bytes += bytes;
+    while c.bytes > SYM_CACHE_BYTES {
+        let victim = c
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&k, _)| k);
+        match victim {
+            Some(k) => {
+                if let Some(e) = c.map.remove(&k) {
+                    c.bytes -= e.bytes;
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Lifetime (hits, misses) of the machine-wide symbolic cache.
+pub fn symbolic_cache_stats() -> (u64, u64) {
+    (
+        SYM_HITS.load(AtomicOrdering::Relaxed),
+        SYM_MISSES.load(AtomicOrdering::Relaxed),
+    )
+}
+
+/// Empties the symbolic cache (counters keep running) — for tests
+/// that need a cold start.
+pub fn clear_symbolic_cache() {
+    let mut c = sym_cache().lock().expect("symbolic cache lock");
+    c.map.clear();
+    c.bytes = 0;
 }
 
 fn validate<S: Scalar>(a: &CscView<'_, S>) -> Result<()> {
@@ -246,24 +430,41 @@ fn weighted_transversal<S: Scalar>(a: &CscView<'_, S>) -> Option<Vec<usize>> {
 /// One-shot structural analysis: ordering, etree, supernode grouping,
 /// level schedule, and the assembly plan for this exact pattern (the
 /// row matching is computed by the caller from the values).
+/// Returns the analysis plus `(order_us, order_from_cache)` for the
+/// caller's stats.
 fn analyze(
     n: usize,
     col_ptr: &[usize],
     row_idx: &[usize],
     imatch: Vec<usize>,
     ordering: FillOrdering,
-) -> Result<Symbolic> {
+) -> Result<(Symbolic, u64, bool)> {
     let internal = || NumericsError::InvalidInput("supernodal symbolic invariant violated".into());
+    let debug = std::env::var_os("MEMS_SNL_DEBUG").is_some();
+    let mut t_stage = std::time::Instant::now();
+    let mut stage = |label: &str| {
+        if debug {
+            eprintln!(
+                "supernodal analyze: {label} {:.1} ms",
+                t_stage.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        t_stage = std::time::Instant::now();
+    };
     let mut rinv0 = vec![0usize; n];
     for j in 0..n {
         rinv0[imatch[j]] = j;
     }
     let (sp, si) = etree::symmetrize(n, col_ptr, row_idx, Some(&rinv0));
-    let q: Vec<usize> = match ordering {
-        FillOrdering::Amd if n > 1 => amd_order(n, &sp, &si),
-        _ => (0..n).collect(),
-    };
-    let (bp, bi) = etree::permute_sym(n, &sp, &si, &q);
+    // Fill ordering through the machine-wide cache: `Auto` resolves to
+    // ND past [`crate::ordering::ND_AUTO_THRESHOLD`], and a pattern
+    // seen before skips ordering entirely (`order_us == 0`).
+    stage("symmetrize");
+    let resolved = ordering.resolve(n);
+    let lookup = order_cached(resolved, n, &sp, &si);
+    let q: &[usize] = &lookup.perm;
+    stage("order");
+    let (bp, bi) = etree::permute_sym(n, &sp, &si, q);
     let parent = etree::etree(n, &bp, &bi);
     let post = etree::postorder(&parent);
     let (cp, ci) = etree::permute_sym(n, &bp, &bi, &post);
@@ -293,6 +494,34 @@ fn analyze(
         rinv[rowperm[k]] = k;
     }
 
+    // Exact unsymmetric LU column counts on the row-matched, permuted
+    // pattern ([`etree::lu_col_counts`]). `counts` above is the
+    // Cholesky count of the *symmetrized* pattern — an overestimate on
+    // unsymmetric inputs and blind to amalgamation padding either way.
+    // The exact counts are what the padding test below and the fill
+    // stats report are measured against.
+    let mut pcp = vec![0usize; n + 1];
+    for k in 0..n {
+        let j = colperm[k];
+        pcp[k + 1] = pcp[k] + (col_ptr[j + 1] - col_ptr[j]);
+    }
+    let mut pri = vec![0usize; col_ptr[n]];
+    for k in 0..n {
+        let j = colperm[k];
+        for (w, p) in (pcp[k]..).zip(col_ptr[j]..col_ptr[j + 1]) {
+            pri[w] = rinv[row_idx[p]];
+        }
+    }
+    stage("etree+counts");
+    let (lcnt, ucnt) = etree::lu_col_counts(n, &pcp, &pri);
+    stage("lu_col_counts");
+    // Prefix sums of exact stored cells per column (L + U, diagonal
+    // once), so any column range's exact fill is O(1).
+    let mut tpre = vec![0usize; n + 1];
+    for j in 0..n {
+        tpre[j + 1] = tpre[j] + lcnt[j] + ucnt[j] - 1;
+    }
+
     // Supernode grouping, two rules — both keep every group a
     // contiguous postorder range whose last column is an etree
     // ancestor of all the others, which is what the level schedule
@@ -306,7 +535,22 @@ fn analyze(
     //    on meshed MNA, where each cell's velocity/force legs are tiny
     //    subtrees dangling off the electrical grid.
     // 2. *Chain merges* above them: `parent2[j-1] == j` extends a
-    //    group while the estimated zero-padding stays modest.
+    //    group while the padding stays within budget.
+    //
+    // Both rules share one *exact* padding test. For any candidate
+    // range `[a, b)` whose last column is an ancestor of the rest, the
+    // union of member structures below row `b-1` is exactly column
+    // `b-1`'s symbolic structure (the etree path theorem), so the
+    // panel costs `w·(w + 2m)` cells with `m = counts[b-1] - 1` — no
+    // union needs materializing to price a merge. That is compared
+    // against the exact unsymmetric fill `tpre[b] - tpre[a]`.
+    let pad_ok = |a: usize, b: usize| -> bool {
+        let w = b - a;
+        let m = counts[b - 1] - 1;
+        let stored = w * (w + 2 * m);
+        let exact = tpre[b] - tpre[a];
+        stored * PAD_DEN <= exact * PAD_NUM + PAD_SLACK * PAD_DEN
+    };
     let mut subtree = vec![1usize; n];
     for j in 0..n {
         if parent2[j] != NONE {
@@ -326,28 +570,25 @@ fn analyze(
     if n > 0 {
         let mut j = 0usize;
         while j < n {
-            let mut end = if relaxed_start[j] != NONE {
+            // A relaxed subtree merges as one supernode only if its
+            // padding clears the budget; otherwise its columns fall
+            // through to chain merging (relaxed_start is only set at
+            // the subtree's first column, so the chain rule is free to
+            // regroup the interior).
+            let mut end = if relaxed_start[j] != NONE && pad_ok(j, relaxed_start[j] + 1) {
                 relaxed_start[j] + 1
             } else {
                 j + 1
             };
             // Chain-extend past single-column steps (a relaxed group
             // only extends through its own root's parent link).
-            let mut zest: i64 = 0;
             while end < n
                 && parent2[end - 1] == end
                 && relaxed_start[end] == NONE
                 && end - j < MAX_SUPER
+                && pad_ok(j, end + 1)
             {
-                let w = end - j;
-                let d = (counts[j] as i64 - w as i64 - counts[end] as i64).abs();
-                let zn = zest + d;
-                if d == 0 || w < 4 || (zn as f64) <= 0.25 * counts[j] as f64 * (w + 1) as f64 {
-                    zest = zn;
-                    end += 1;
-                } else {
-                    break;
-                }
+                end += 1;
             }
             first_col.push(end);
             j = end;
@@ -412,6 +653,7 @@ fn analyze(
         rows.extend_from_slice(&buf);
         rows_ptr[s + 1] = rows.len();
     }
+    stage("grouping+rows");
 
     // Level = height above the leaves in the supernode tree; children
     // always precede parents, so one ascending pass settles it.
@@ -529,7 +771,8 @@ fn analyze(
         }
     }
 
-    Ok(Symbolic {
+    stage("schedule+plan");
+    let sym = Symbolic {
         n,
         colperm,
         rowperm,
@@ -549,7 +792,10 @@ fn analyze(
         plan,
         l_size: lacc,
         u_size: uacc,
-    })
+        exact_l: lcnt.iter().sum(),
+        exact_u: ucnt.iter().sum::<usize>() - n,
+    };
+    Ok((sym, lookup.order_us, lookup.hit))
 }
 
 /// Dense in-place LU of one panel (`h×w`, column-major, leading
@@ -734,13 +980,35 @@ impl<S: Scalar + Send + Sync> SupernodalLu<S> {
                 "structurally singular pattern (no full transversal)".into(),
             )
         })?;
-        let sym = analyze(a.n, a.col_ptr, a.row_idx, imatch, ordering)?;
+        // Machine-wide symbolic cache: the analysis is a pure function
+        // of (resolved ordering, pattern, matching), so a known
+        // fingerprint skips ordering, etree, exact counts, grouping,
+        // and the assembly plan — cold factors of a seen pattern run
+        // at allocate + numeric, i.e. near refactor cost.
+        let resolved = ordering.resolve(a.n);
+        let key = sym_fingerprint(resolved, a.n, a.col_ptr, a.row_idx, &imatch);
+        let (sym, order_us, from_cache) = match sym_cache_get(key) {
+            Some(sym) => (sym, 0, true),
+            None => {
+                let (sym, order_us, order_hit) =
+                    analyze(a.n, a.col_ptr, a.row_idx, imatch, ordering)?;
+                let sym = std::sync::Arc::new(sym);
+                sym_cache_put(key, &sym);
+                (sym, order_us, order_hit)
+            }
+        };
         let mut lu = SupernodalLu {
             lstore: vec![S::zero(); sym.l_size],
             ustore: vec![S::zero(); sym.u_size],
             row_scale: vec![1.0; a.n],
             threads_req: threads,
             threads_used: 1,
+            order_us,
+            order_source: if from_cache {
+                "cached"
+            } else {
+                resolved.name()
+            },
             sym,
         };
         lu.numeric(a.values, a.row_idx)?;
@@ -963,6 +1231,28 @@ impl<S: Scalar> SupernodalLu<S> {
     /// under L.
     pub fn nnz(&self) -> (usize, usize) {
         (self.lstore.len(), self.ustore.len())
+    }
+
+    /// Exact factor entries `(L, U)` — the padding-free fill from the
+    /// exact unsymmetric column counts, same diagonal convention as
+    /// [`nnz`](Self::nnz). `nnz() ≥ exact_nnz()` always; the ratio is
+    /// the amalgamation padding the analysis accepted.
+    pub fn exact_nnz(&self) -> (usize, usize) {
+        (self.sym.exact_l, self.sym.exact_u)
+    }
+
+    /// Microseconds the analysis spent computing the fill order — 0
+    /// when the permutation (or the entire symbolic analysis) came
+    /// from a machine-wide cache.
+    pub fn order_us(&self) -> u64 {
+        self.order_us
+    }
+
+    /// Where the fill order came from: `"cached"` on an ordering- or
+    /// symbolic-cache hit, else the resolved ordering's name
+    /// (`"amd"`, `"nd"`, `"natural"`).
+    pub fn order_source(&self) -> &'static str {
+        self.order_source
     }
 
     /// Number of supernodes (dense panels).

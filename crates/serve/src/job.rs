@@ -89,6 +89,13 @@ pub struct Job {
     skipped: AtomicUsize,
     /// Chunks remaining (queued or running).
     chunks_left: AtomicUsize,
+    /// Set by [`Job::publish_terminal`] once the last chunk has
+    /// retired *and* the server has finished its end-of-job
+    /// accounting. Readers treat the job as terminal only once this
+    /// is up, so anything sequenced before `publish_terminal` (metric
+    /// counters, eviction bookkeeping) is visible to whoever observed
+    /// the terminal state.
+    terminal: std::sync::atomic::AtomicBool,
     /// Sequential `.TRAN` warm-start guesses, computed once by the
     /// first worker to touch the job (exactly the CLI pre-chain, so
     /// served results stay bit-identical to `mems sweep`).
@@ -134,6 +141,7 @@ impl Job {
             completed: AtomicUsize::new(0),
             skipped: AtomicUsize::new(0),
             chunks_left: AtomicUsize::new(chunks),
+            terminal: std::sync::atomic::AtomicBool::new(false),
             guesses: OnceLock::new(),
             meta: Mutex::new(JobMeta::default()),
             submitted: Instant::now(),
@@ -156,9 +164,12 @@ impl Job {
                 .compare_exchange(0, us.max(1), Ordering::SeqCst, Ordering::SeqCst);
     }
 
-    /// Marks one chunk finished; returns `true` when it was the last
-    /// (the job just reached a terminal state).
-    pub fn finish_chunk(&self, chunk_meta: JobMeta, finish_seq: &AtomicU64) -> bool {
+    /// Marks one chunk finished; returns `true` when it was the last.
+    /// The caller that drew `true` owns the job's retirement: it must
+    /// finish any end-of-job accounting (terminal-state counters,
+    /// registry bookkeeping) and then call [`Job::publish_terminal`],
+    /// which is what actually makes the job observable as terminal.
+    pub fn finish_chunk(&self, chunk_meta: JobMeta) -> bool {
         {
             let mut meta = self.meta.lock().expect("no poisoned meta lock");
             meta.stats.circuits_built += chunk_meta.stats.circuits_built;
@@ -173,26 +184,34 @@ impl Job {
                 }
             }
         }
-        let last = self.chunks_left.fetch_sub(1, Ordering::SeqCst) == 1;
-        if last {
-            self.finished_us.store(
-                (self.submitted.elapsed().as_micros() as u64).max(1),
-                Ordering::SeqCst,
-            );
-            let seq = finish_seq.fetch_add(1, Ordering::SeqCst) + 1;
-            self.meta.lock().expect("no poisoned meta lock").finish_seq = seq;
-            // Wake streamers blocked in `wait_result` so they can
-            // observe the terminal state and emit their tail.
-            let _guard = self.results.lock().expect("no poisoned results lock");
-            self.results_cv.notify_all();
-        }
-        last
+        self.chunks_left.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    /// Publishes the terminal state: stamps the finish time and
+    /// sequence number, flips the terminal flag, and wakes streamers
+    /// blocked in [`Job::wait_result`] so they can emit their tail.
+    /// Called exactly once, by whoever [`Job::finish_chunk`] told they
+    /// retired the last chunk — *after* that caller's accounting, so
+    /// an observer of the terminal state never reads counters that
+    /// haven't moved yet.
+    pub fn publish_terminal(&self, finish_seq: &AtomicU64) {
+        self.finished_us.store(
+            (self.submitted.elapsed().as_micros() as u64).max(1),
+            Ordering::SeqCst,
+        );
+        let seq = finish_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        self.meta.lock().expect("no poisoned meta lock").finish_seq = seq;
+        // Flip the flag under the results lock: `wait_result` checks
+        // it under the same lock, so a streamer either sees the flag
+        // or blocks until the notify below.
+        let _guard = self.results.lock().expect("no poisoned results lock");
+        self.terminal.store(true, Ordering::SeqCst);
+        self.results_cv.notify_all();
     }
 
     /// Current lifecycle state.
     pub fn state(&self) -> JobState {
-        let left = self.chunks_left.load(Ordering::SeqCst);
-        if left == 0 {
+        if self.terminal.load(Ordering::SeqCst) {
             // A job cancelled only after every point simulated is
             // simply done.
             if self.skipped.load(Ordering::SeqCst) > 0 {
@@ -240,9 +259,10 @@ impl Job {
                 return Some(r.clone());
             }
             // Re-check terminality *while holding the lock*: the
-            // finisher notifies under this lock, so a terminal state
-            // observed here is final and no record can still arrive.
-            if self.chunks_left.load(Ordering::SeqCst) == 0 {
+            // finisher flips the flag and notifies under this lock,
+            // so a terminal state observed here is final and no
+            // record can still arrive.
+            if self.terminal.load(Ordering::SeqCst) {
                 return results.get(index).and_then(|r| r.clone());
             }
             let (guard, _timeout) = self

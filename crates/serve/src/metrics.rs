@@ -119,6 +119,9 @@ pub struct Metrics {
     pub jobs_done: AtomicU64,
     /// Jobs that reached the `cancelled` terminal state.
     pub jobs_cancelled: AtomicU64,
+    /// Terminal jobs evicted from the registry at the `--job-cap`
+    /// bound.
+    pub jobs_evicted: AtomicU64,
     /// Submissions bounced off the active-job bound (429).
     pub rejected_busy: AtomicU64,
     /// Submissions refused during the shutdown drain (503).
@@ -137,6 +140,10 @@ pub struct Metrics {
     pub solver_refactors: PathCounters,
     /// Fast-path give-ups (supernodal → scalar, refactor → factor).
     pub solver_fallbacks: AtomicU64,
+    /// Microseconds spent computing fill-reducing orders (0-cost on
+    /// ordering/symbolic cache hits — a warm machine stops moving
+    /// this counter).
+    pub solver_order_us: AtomicU64,
 }
 
 /// Point-in-time gauges the server derives at scrape time.
@@ -160,6 +167,16 @@ pub struct Gauges {
     pub cache_misses: u64,
     /// Lifetime cache evictions.
     pub cache_evictions: u64,
+    /// Process-wide fill-ordering cache hits
+    /// ([`mems_numerics::ordering::cache_stats`]).
+    pub ordering_cache_hits: u64,
+    /// Process-wide fill-ordering cache misses.
+    pub ordering_cache_misses: u64,
+    /// Process-wide supernodal symbolic-analysis cache hits
+    /// ([`mems_numerics::supernodal::symbolic_cache_stats`]).
+    pub symbolic_cache_hits: u64,
+    /// Process-wide supernodal symbolic-analysis cache misses.
+    pub symbolic_cache_misses: u64,
 }
 
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -259,6 +276,16 @@ impl Metrics {
             "mems_serve_jobs_total{{state=\"cancelled\"}} {}\n",
             load(&self.jobs_cancelled)
         ));
+        family(
+            &mut out,
+            "mems_serve_jobs_evicted_total",
+            "counter",
+            "Terminal jobs evicted from the registry at the --job-cap bound.",
+        );
+        out.push_str(&format!(
+            "mems_serve_jobs_evicted_total {}\n",
+            load(&self.jobs_evicted)
+        ));
 
         family(
             &mut out,
@@ -319,6 +346,23 @@ impl Metrics {
             "mems_serve_cache_events_total{{event=\"eviction\"}} {}\n",
             g.cache_evictions
         ));
+        family(
+            &mut out,
+            "mems_serve_ordering_cache_events_total",
+            "counter",
+            "Process-wide fill-ordering and symbolic-analysis cache lookups.",
+        );
+        for (cache, hits, misses) in [
+            ("ordering", g.ordering_cache_hits, g.ordering_cache_misses),
+            ("symbolic", g.symbolic_cache_hits, g.symbolic_cache_misses),
+        ] {
+            out.push_str(&format!(
+                "mems_serve_ordering_cache_events_total{{cache=\"{cache}\",event=\"hit\"}} {hits}\n"
+            ));
+            out.push_str(&format!(
+                "mems_serve_ordering_cache_events_total{{cache=\"{cache}\",event=\"miss\"}} {misses}\n"
+            ));
+        }
 
         self.chunk_seconds.render_into(
             &mut out,
@@ -357,6 +401,16 @@ impl Metrics {
         out.push_str(&format!(
             "mems_serve_solver_fallbacks_total {}\n",
             load(&self.solver_fallbacks)
+        ));
+        family(
+            &mut out,
+            "mems_serve_solver_order_seconds_total",
+            "counter",
+            "Wall time spent computing fill-reducing orders (cache hits cost 0).",
+        );
+        out.push_str(&format!(
+            "mems_serve_solver_order_seconds_total {}\n",
+            load(&self.solver_order_us) as f64 / 1e6
         ));
         out
     }

@@ -39,6 +39,11 @@ pub struct ServeConfig {
     pub chunk_size: usize,
     /// Max active jobs before `POST /v1/jobs` answers 429.
     pub queue_cap: usize,
+    /// Max *terminal* jobs kept resident in the registry
+    /// (`--job-cap`). Every job retirement evicts the
+    /// oldest-finished jobs over the cap, so a long-lived daemon's
+    /// registry stays bounded; an evicted job's id answers 404.
+    pub job_cap: usize,
     /// Max decks resident in the artifact cache.
     pub cache_cap: usize,
     /// Max simultaneous connections; excess connections are answered
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             chunk_size: 8,
             queue_cap: 64,
+            job_cap: 256,
             cache_cap: 32,
             max_conns: 256,
             read_timeout: Duration::from_secs(30),
@@ -77,6 +83,7 @@ struct Shared {
     cache: ArtifactCache,
     sched: Scheduler,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    job_cap: usize,
     next_id: AtomicU64,
     /// Global completion sequence (see [`JobMeta::finish_seq`]).
     finish_seq: AtomicU64,
@@ -133,6 +140,7 @@ impl Server {
             cache: ArtifactCache::new(config.cache_cap),
             sched: Scheduler::new(config.chunk_size, config.queue_cap),
             jobs: Mutex::new(HashMap::new()),
+            job_cap: config.job_cap.max(1),
             next_id: AtomicU64::new(0),
             finish_seq: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
@@ -281,7 +289,40 @@ fn record_solver_deltas(
         metrics
             .solver_fallbacks
             .fetch_add(now.fallbacks.saturating_sub(past.2), Ordering::Relaxed);
+        // A fresh factorization is the only event that can have paid
+        // for an ordering; `order_us` is already 0 when it came from
+        // the machine-wide ordering or symbolic cache.
+        if now.factors > past.0 {
+            metrics
+                .solver_order_us
+                .fetch_add(now.order_us, Ordering::Relaxed);
+        }
     }
+}
+
+/// Evicts oldest-finished terminal jobs over the `--job-cap` bound,
+/// keeping a long-lived daemon's registry from growing without limit.
+/// Streams already holding an `Arc<Job>` keep working; later lookups
+/// of an evicted id answer 404 like any unknown job.
+fn retire_jobs(shared: &Shared) {
+    let mut jobs = shared.jobs.lock().expect("no poisoned registry lock");
+    let mut terminal: Vec<(u64, u64)> = jobs
+        .values()
+        .filter(|j| j.state().is_terminal())
+        .map(|j| (j.meta().finish_seq, j.id))
+        .collect();
+    if terminal.len() <= shared.job_cap {
+        return;
+    }
+    terminal.sort_unstable();
+    let excess = terminal.len() - shared.job_cap;
+    for &(_, id) in &terminal[..excess] {
+        jobs.remove(&id);
+    }
+    shared
+        .metrics
+        .jobs_evicted
+        .fetch_add(excess as u64, Ordering::Relaxed);
 }
 
 /// Runs one scheduler chunk on a checked-out cache context.
@@ -357,14 +398,19 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
         .metrics
         .chunk_seconds
         .observe_us(chunk_t0.elapsed().as_micros() as u64);
-    if job.finish_chunk(meta, &shared.finish_seq) {
+    if job.finish_chunk(meta) {
+        // End-of-job accounting happens *before* `publish_terminal`:
+        // a client that has seen the terminal state (stream tail,
+        // status poll) must also see the counters it implies.
         let terminal = if job.skipped() > 0 {
             &shared.metrics.jobs_cancelled
         } else {
             &shared.metrics.jobs_done
         };
         terminal.fetch_add(1, Ordering::Relaxed);
+        job.publish_terminal(&shared.finish_seq);
         shared.sched.job_retired();
+        retire_jobs(shared);
     }
 }
 
@@ -547,6 +593,9 @@ fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
 
 /// `GET /v1/metrics`: the Prometheus text-format scrape.
 fn metrics(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
+    let (ordering_cache_hits, ordering_cache_misses) = mems_numerics::ordering::cache_stats();
+    let (symbolic_cache_hits, symbolic_cache_misses) =
+        mems_numerics::supernodal::symbolic_cache_stats();
     let gauges = Gauges {
         uptime_seconds: shared.started.elapsed().as_secs_f64(),
         draining: shared.sched.is_draining(),
@@ -557,6 +606,10 @@ fn metrics(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
         cache_hits: shared.cache.hits.load(Ordering::Relaxed),
         cache_misses: shared.cache.misses.load(Ordering::Relaxed),
         cache_evictions: shared.cache.evictions.load(Ordering::Relaxed),
+        ordering_cache_hits,
+        ordering_cache_misses,
+        symbolic_cache_hits,
+        symbolic_cache_misses,
     };
     let body = shared.metrics.render(&gauges);
     respond_typed(stream, 200, "text/plain; version=0.0.4", &[], &body)

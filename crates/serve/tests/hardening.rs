@@ -578,3 +578,129 @@ fn draining_still_completes_open_streams() {
 
     server.join();
 }
+
+/// A 60-section resistive ladder: ~61 unknowns, comfortably past the
+/// sparse-backend threshold, so the job's solver stats report a real
+/// fill-ordering cost. The source voltage is a parameter so two
+/// submissions can share the MNA *pattern* while hashing to different
+/// artifact-cache fingerprints.
+fn ladder_deck(volts: u32) -> String {
+    use std::fmt::Write as _;
+    let mut src = format!("serve ladder\nVs n0 0 {volts}\n");
+    for i in 1..=60 {
+        let _ = writeln!(src, "R{i} n{} n{i} 100", i - 1);
+    }
+    src.push_str("Rl n60 0 1k\n.op\n.print op v(n60)\n");
+    src
+}
+
+/// Runs a deck to completion and returns the job id.
+fn run_to_done(addr: SocketAddr, deck: &str) -> u64 {
+    let (status, body) = http(addr, "POST", "/v1/jobs", deck);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+    let (_, stream_body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert!(
+        stream_body.ends_with("\"state\":\"done\"}"),
+        "{stream_body}"
+    );
+    id
+}
+
+/// Terminal jobs evict at the `--job-cap` bound: a long-lived daemon's
+/// registry stays bounded, evictions are counted, and evicted ids
+/// answer 404 while resident ones keep answering.
+#[test]
+fn terminal_job_registry_stays_bounded() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 4,
+        job_cap: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let ids: Vec<u64> = (0..5).map(|_| run_to_done(addr, SWEEP_DECK)).collect();
+
+    // The last job's eviction pass races its stream tail by a hair;
+    // poll the counter to its settled value.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, body) = http(addr, "GET", "/v1/metrics", "");
+        if metric(&body, "mems_serve_jobs_evicted_total") == 3.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "evictions never reached 3: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Registry holds exactly the two newest-finished jobs.
+    let (status, body) = http(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    let total = parsed(&body)
+        .get("jobs")
+        .and_then(|j| j.get("total"))
+        .and_then(Json::as_u64)
+        .expect("jobs.total");
+    assert_eq!(total, 2, "{body}");
+    for &old in &ids[..3] {
+        let (status, _) = http(addr, "GET", &format!("/v1/jobs/{old}"), "");
+        assert_eq!(status, 404, "job {old} should have been evicted");
+    }
+    for &new in &ids[3..] {
+        let (status, _) = http(addr, "GET", &format!("/v1/jobs/{new}"), "");
+        assert_eq!(status, 200, "job {new} should still answer");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+/// The machine-wide ordering cache, proven end to end: a second deck
+/// with the same MNA pattern (different values, so the artifact cache
+/// misses and the system is rebuilt from scratch) reports
+/// `order_us == 0` / `order_source == "cached"` in its job metadata.
+#[test]
+fn resubmitted_pattern_skips_ordering() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        chunk_size: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let solver = |id: u64| {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let doc = parsed(&body);
+        let solver = doc.get("solver").expect("solver metadata");
+        let us = solver
+            .get("order_us")
+            .and_then(Json::as_u64)
+            .expect("order_us");
+        let source = solver
+            .get("order_source")
+            .and_then(Json::as_str)
+            .expect("order_source")
+            .to_string();
+        (us, source)
+    };
+
+    let cold = run_to_done(addr, &ladder_deck(5));
+    let (cold_us, cold_source) = solver(cold);
+    assert_eq!(cold_source, "amd", "first submission computes the order");
+    assert!(cold_us >= 1, "a computed order costs time, got {cold_us}");
+
+    let warm = run_to_done(addr, &ladder_deck(6));
+    let (warm_us, warm_source) = solver(warm);
+    assert_eq!(warm_source, "cached", "same pattern must hit the cache");
+    assert_eq!(warm_us, 0, "a cache hit costs no ordering time");
+
+    server.shutdown();
+    server.join();
+}

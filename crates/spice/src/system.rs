@@ -27,10 +27,14 @@
 //!
 //! The sparse backend additionally applies a fill-reducing
 //! [`FillOrdering`] at symbolic time: when the (re)discovered pattern
-//! stabilizes, [`mems_numerics::ordering::amd_order`] computes a
-//! minimum-degree column order once, and every factorization — first
-//! and replayed — eliminates in that order. Deck option
-//! `order=amd|natural` (default `amd`) selects it.
+//! stabilizes, a column order is computed once — AMD
+//! ([`mems_numerics::ordering::amd_order`]) for moderate systems,
+//! multilevel nested dissection ([`mems_numerics::ordering::nd_order`])
+//! at scale — through the machine-wide ordering cache
+//! ([`mems_numerics::ordering::order_cached`]), and every
+//! factorization — first and replayed — eliminates in that order.
+//! Deck option `order=nd|amd|natural|auto` (default `auto`) selects
+//! the policy.
 //!
 //! Above the scalar sparse LU sits a second policy axis,
 //! [`FactorKind`]: at [`SUPERNODAL_AUTO_THRESHOLD`] unknowns (deck
@@ -47,12 +51,13 @@
 
 use mems_numerics::dense::DenseMatrix;
 use mems_numerics::lu::LuFactors;
-use mems_numerics::ordering::amd_order;
+use mems_numerics::ordering::order_cached;
 use mems_numerics::scalar::Scalar;
 use mems_numerics::sparse_lu::{CscView, SparseLu};
 use mems_numerics::supernodal::SupernodalLu;
 use mems_numerics::{NumericsError, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub use mems_numerics::ordering::FillOrdering;
@@ -138,8 +143,18 @@ pub struct SolverStats {
     /// `"dense"`, `"scalar"`, `"supernodal"`, or `"none"` before the
     /// first successful factor.
     pub factor_path: &'static str,
-    /// `"amd"` or `"natural"` (sparse only).
+    /// Ordering *policy* name: `"amd"`, `"nd"`, `"natural"`, or
+    /// `"auto"` (sparse only).
     pub ordering: &'static str,
+    /// Where the active engine's fill order actually came from:
+    /// `"amd"` / `"nd"` / `"natural"` when computed, `"cached"` on a
+    /// machine-wide ordering-cache hit, `"none"` before the first
+    /// factor.
+    pub order_source: &'static str,
+    /// Microseconds the last symbolic analysis spent computing the
+    /// fill order — 0 on a cache hit, which is how a warm ordering
+    /// cache is proven end to end.
+    pub order_us: u64,
     /// Matrix order.
     pub n: usize,
     /// Structural nonzeros of the assembled pattern.
@@ -171,6 +186,8 @@ impl Default for SolverStats {
             backend: "none",
             factor_path: "none",
             ordering: "natural",
+            order_source: "none",
+            order_us: 0,
             n: 0,
             pattern_nnz: 0,
             factor_nnz: 0,
@@ -385,9 +402,16 @@ pub struct SparseSystem<S: Scalar> {
     factored: bool,
     /// Fill-reducing ordering policy for this system.
     ordering: FillOrdering,
-    /// Column elimination order computed from the current pattern
-    /// (`None` under [`FillOrdering::Natural`]).
-    col_order: Option<Vec<usize>>,
+    /// Column elimination order for the *scalar* engine, computed
+    /// lazily from the current pattern the first time the scalar path
+    /// actually factors (`None` under a natural resolution, or while
+    /// the supernodal engine — which orders its own symmetrized
+    /// pattern — is carrying the load). Shared with the machine-wide
+    /// ordering cache.
+    col_order: Option<Arc<Vec<usize>>>,
+    /// `col_order` reflects the current pattern (distinguishes "not
+    /// computed yet" from "natural → none").
+    col_order_ready: bool,
     /// Numeric-engine policy ([`FactorKind::Auto`] switches on size).
     factor_kind: FactorKind,
     /// Requested supernodal worker threads (0 = auto).
@@ -406,6 +430,10 @@ pub struct SparseSystem<S: Scalar> {
     stat_fallbacks: u64,
     stat_last_factor_us: u64,
     stat_last_refactor_us: u64,
+    /// Ordering cost/source of the scalar path's last analysis (the
+    /// supernodal engine reports its own).
+    stat_order_us: u64,
+    stat_order_source: &'static str,
 }
 
 impl<S: Scalar> SparseSystem<S> {
@@ -442,6 +470,7 @@ impl<S: Scalar> SparseSystem<S> {
             factored: false,
             ordering,
             col_order: None,
+            col_order_ready: false,
             factor_kind: factor,
             factor_threads,
             snl: None,
@@ -452,6 +481,8 @@ impl<S: Scalar> SparseSystem<S> {
             stat_fallbacks: 0,
             stat_last_factor_us: 0,
             stat_last_refactor_us: 0,
+            stat_order_us: 0,
+            stat_order_source: "none",
         }
     }
 
@@ -506,19 +537,46 @@ impl<S: Scalar> SparseSystem<S> {
         for c in 0..self.n {
             self.col_ptr[c + 1] += self.col_ptr[c];
         }
-        // Symbolic-time ordering: computed once per (stable) pattern
-        // and reused by every subsequent factor/refactor.
-        self.col_order = match self.ordering {
-            FillOrdering::Amd if self.n > 1 => {
-                Some(amd_order(self.n, &self.col_ptr, &self.row_idx))
-            }
-            _ => None,
-        };
+        // The scalar engine's fill order is computed lazily (see
+        // `ensure_col_order`): when the supernodal engine carries this
+        // pattern it orders its own symmetrized image through the
+        // ordering cache, and paying a second ordering of the raw
+        // pattern up front would double the cold-start cost.
+        self.col_order = None;
+        self.col_order_ready = false;
         self.pattern_dirty = false;
         self.lu = None;
         self.snl = None;
         self.snl_dead = false;
         self.active_supernodal = false;
+    }
+
+    /// Symbolic-time ordering for the scalar path: computed once per
+    /// (stable) pattern through the machine-wide ordering cache and
+    /// reused by every subsequent factor/refactor.
+    fn ensure_col_order(&mut self) {
+        if self.col_order_ready {
+            return;
+        }
+        let resolved = self.ordering.resolve(self.n);
+        self.col_order = match resolved {
+            FillOrdering::Amd | FillOrdering::Nd if self.n > 1 => {
+                let lookup = order_cached(resolved, self.n, &self.col_ptr, &self.row_idx);
+                self.stat_order_us = lookup.order_us;
+                self.stat_order_source = if lookup.hit {
+                    "cached"
+                } else {
+                    resolved.name()
+                };
+                Some(lookup.perm)
+            }
+            _ => {
+                self.stat_order_us = 0;
+                self.stat_order_source = "natural";
+                None
+            }
+        };
+        self.col_order_ready = true;
     }
 }
 
@@ -564,7 +622,14 @@ impl<S: Scalar + Send + Sync + 'static> SystemMatrix<S> for SparseSystem<S> {
         for (slot, &pos) in self.slot_to_pos.iter().enumerate() {
             self.csc_vals[pos] = self.vals[slot];
         }
-        let view = CscView {
+        // Scalar-path ordering is resolved lazily here rather than in
+        // `rebuild_csc`: when the supernodal engine is active it orders
+        // its own (symmetrized, matched) pattern and the scalar order
+        // would be dead weight on the cold path.
+        if self.snl_dead || self.factor_kind.resolve(self.n) != FactorKind::Supernodal {
+            self.ensure_col_order();
+        }
+        let mut view = CscView {
             n: self.n,
             col_ptr: &self.col_ptr,
             row_idx: &self.row_idx,
@@ -609,8 +674,21 @@ impl<S: Scalar + Send + Sync + 'static> SystemMatrix<S> for SparseSystem<S> {
             }
         }
         self.active_supernodal = false;
+        if !self.col_order_ready {
+            // First scalar factor after a supernodal fallback: the
+            // ordering was skipped above while the supernodal engine
+            // looked viable, so pattern and values are re-borrowed
+            // here (cheaply — `view` is rebuilt from the same slices).
+            self.ensure_col_order();
+            view = CscView {
+                n: self.n,
+                col_ptr: &self.col_ptr,
+                row_idx: &self.row_idx,
+                values: &self.csc_vals,
+            };
+        }
         let t0 = Instant::now();
-        let order = self.col_order.as_deref();
+        let order = self.col_order.as_deref().map(Vec::as_slice);
         let fresh = |view: &CscView<'_, S>| match order {
             Some(q) => SparseLu::factor_ordered(view, q),
             None => SparseLu::factor(view),
@@ -676,7 +754,7 @@ impl<S: Scalar + Send + Sync + 'static> SystemMatrix<S> for SparseSystem<S> {
     }
 
     fn solver_stats(&self) -> SolverStats {
-        let (factor_path, factor_nnz, supernodes, levels, threads) =
+        let (factor_path, factor_nnz, supernodes, levels, threads, order_source, order_us) =
             if let (true, Some(snl)) = (self.active_supernodal, self.snl.as_ref()) {
                 let (l, u) = snl.nnz();
                 (
@@ -685,20 +763,29 @@ impl<S: Scalar + Send + Sync + 'static> SystemMatrix<S> for SparseSystem<S> {
                     snl.supernodes(),
                     snl.levels(),
                     snl.threads_used(),
+                    snl.order_source(),
+                    snl.order_us(),
                 )
             } else if let Some(lu) = &self.lu {
                 let (l, u) = lu.nnz();
-                ("scalar", l + u, 0, 0, 1)
+                (
+                    "scalar",
+                    l + u,
+                    0,
+                    0,
+                    1,
+                    self.stat_order_source,
+                    self.stat_order_us,
+                )
             } else {
-                ("none", 0, 0, 0, 0)
+                ("none", 0, 0, 0, 0, "none", 0)
             };
         SolverStats {
             backend: "sparse",
             factor_path,
-            ordering: match self.ordering {
-                FillOrdering::Amd => "amd",
-                FillOrdering::Natural => "natural",
-            },
+            ordering: self.ordering.name(),
+            order_source,
+            order_us,
             n: self.n,
             pattern_nnz: self.vals.len(),
             factor_nnz,

@@ -42,8 +42,10 @@ OPTIONS:
     --rows N         Plot height in rows (default 16)
     --cols N         Plot width in columns (default 72)
     --threads N      Worker threads for `sweep` (default: all cores)
-    --order KIND     Sparse fill-reducing ordering: `amd` (default) or
-                     `natural`; overrides the deck's `.options order=`
+    --order KIND     Sparse fill-reducing ordering: `auto` (default;
+                     nested dissection at scale, AMD below), `nd`,
+                     `amd`, or `natural`; overrides the deck's
+                     `.options order=`
     --factor KIND    Sparse numeric factorization: `auto` (default;
                      supernodal at scale), `scalar`, or `super`;
                      overrides the deck's `.options factor=`
@@ -60,6 +62,8 @@ SERVE OPTIONS:
     --workers N      Simulation worker threads (default: all cores)
     --chunk N        Points per scheduler chunk (default 8)
     --queue-cap N    Max active jobs before submissions answer 429 (default 64)
+    --job-cap N      Max terminal jobs kept queryable in the registry;
+                     oldest-finished evict beyond this (default 256)
     --cache-cap N    Max decks resident in the artifact cache (default 32)
     --max-conns N    Max simultaneous connections; excess answers 503
                      (default 256)
@@ -143,10 +147,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--order" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--order needs `amd` or `natural`".to_string())?
+                    .ok_or_else(|| "--order needs `nd`, `amd`, `natural`, or `auto`".to_string())?
                     .to_ascii_lowercase();
-                if v != "amd" && v != "natural" {
-                    return Err(format!("bad --order value `{v}` (amd or natural)"));
+                if !matches!(v.as_str(), "nd" | "amd" | "natural" | "auto") {
+                    return Err(format!(
+                        "bad --order value `{v}` (nd, amd, natural, or auto)"
+                    ));
                 }
                 order = Some(v);
             }
@@ -207,6 +213,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--chunk" => serve.chunk_size = count(&mut it, "--chunk")?,
             "--queue-cap" => serve.queue_cap = count(&mut it, "--queue-cap")?,
+            "--job-cap" => serve.job_cap = count(&mut it, "--job-cap")?,
             "--cache-cap" => serve.cache_cap = count(&mut it, "--cache-cap")?,
             "--max-conns" => serve.max_conns = count(&mut it, "--max-conns")?,
             "--read-timeout" => {

@@ -308,9 +308,10 @@ fn assert_outcomes_agree(
     }
 }
 
-/// Every shipped deck: forced-sparse AMD ≡ forced-sparse natural ≡
-/// dense to ≤ 1e-10. Adaptive `.TRAN` cards are pinned to fixed
-/// stepping so all variants walk the identical time grid.
+/// Every shipped deck: forced-sparse AMD ≡ forced-sparse ND ≡
+/// forced-sparse natural ≡ dense to ≤ 1e-10. Adaptive `.TRAN` cards
+/// are pinned to fixed stepping so all variants walk the identical
+/// time grid.
 #[test]
 fn shipped_decks_agree_across_orderings_and_dense() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/decks");
@@ -338,9 +339,11 @@ fn shipped_decks_agree_across_orderings_and_dense() {
             .join("\n");
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let amd = run_ordered(&src, "sparse=1 order=amd");
+        let nd = run_ordered(&src, "sparse=1 order=nd");
         let natural = run_ordered(&src, "sparse=1 order=natural");
         let dense = run_ordered(&src, "sparse=0");
         assert_outcomes_agree(&format!("{name}: amd vs natural"), &amd, &natural, 1e-10);
+        assert_outcomes_agree(&format!("{name}: nd vs natural"), &nd, &natural, 1e-10);
         assert_outcomes_agree(&format!("{name}: amd vs dense"), &amd, &dense, 1e-10);
     }
     assert!(seen >= 6, "expected the shipped decks, found {seen}");
@@ -386,8 +389,8 @@ fn shipped_decks_agree_supernodal_vs_scalar() {
 }
 
 /// The meshed scale tier: a generated grid deck (~340 unknowns, well
-/// past the dense comfort zone) through dense, sparse-natural, and
-/// sparse-AMD — `.OP` and `.AC` agree to 1e-10.
+/// past the dense comfort zone) through dense, sparse-natural,
+/// sparse-AMD, and sparse-ND — `.OP` and `.AC` agree to 1e-10.
 #[test]
 fn grid_deck_orderings_agree() {
     let src = mems::netlist::gen::grid_deck_with(
@@ -401,9 +404,11 @@ fn grid_deck_orderings_agree() {
         },
     );
     let amd = run_ordered(&src, "sparse=1 order=amd");
+    let nd = run_ordered(&src, "sparse=1 order=nd");
     let natural = run_ordered(&src, "sparse=1 order=natural");
     let dense = run_ordered(&src, "sparse=0");
     assert_outcomes_agree("grid: amd vs natural", &amd, &natural, 1e-10);
+    assert_outcomes_agree("grid: nd vs natural", &nd, &natural, 1e-10);
     assert_outcomes_agree("grid: amd vs dense", &amd, &dense, 1e-10);
 }
 

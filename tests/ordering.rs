@@ -1,11 +1,11 @@
-//! Property tests for the fill-reducing ordering: on random sparse
+//! Property tests for the fill-reducing orderings: on random sparse
 //! patterns — diagonally-dominant SPD-ish and plainly unsymmetric —
-//! the AMD permutation must always be a valid bijection, AMD-permuted
-//! factor/refactor solves must agree with natural-order solves to
-//! ≤ 1e-12, and the dead-pivot → full re-pivot fallback must keep
-//! working under a permutation.
+//! the AMD and nested-dissection permutations must always be valid
+//! bijections, permuted factor/refactor solves must agree with
+//! natural-order solves to ≤ 1e-12, and the dead-pivot → full
+//! re-pivot fallback must keep working under a permutation.
 
-use mems::numerics::ordering::{amd_order, is_permutation, FillOrdering};
+use mems::numerics::ordering::{amd_order, is_permutation, nd_order, FillOrdering};
 use mems::numerics::sparse_lu::{CscMatrix, SparseLu};
 use mems::spice::system::{SparseSystem, SystemMatrix};
 use proptest::prelude::*;
@@ -114,6 +114,84 @@ proptest! {
         for i in 0..n {
             prop_assert!((x_re[i] - x_fresh[i]).abs() <= 1e-12 * scale);
             prop_assert!((x_re[i] - x_nat[i]).abs() <= 1e-12 * scale);
+        }
+    }
+
+    /// Nested dissection on random sym/unsym patterns: the permutation
+    /// is always a valid bijection, and ND-permuted solves agree with
+    /// natural order and AMD to ≤ 1e-12.
+    #[test]
+    fn nd_is_a_valid_permutation_and_matches_natural_and_amd(
+        seed in 0i64..1_000_000,
+        n in 5usize..60,
+        density in 0.02f64..0.3,
+        symmetric in 0usize..2,
+    ) {
+        let t = random_matrix(seed as u64 ^ 0x4e44, n, density, symmetric == 1);
+        let csc = CscMatrix::from_triplets(n, &t);
+        let nd = nd_order(n, &csc.col_ptr, &csc.row_idx);
+        prop_assert!(is_permutation(&nd, n), "invalid ND permutation");
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 + 2) % 13) as f64 - 6.0).collect();
+        let x_nat = SparseLu::factor(&csc.view()).unwrap().solve(&b).unwrap();
+        let x_nd = SparseLu::factor_ordered(&csc.view(), &nd)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let amd = amd_order(n, &csc.col_ptr, &csc.row_idx);
+        let x_amd = SparseLu::factor_ordered(&csc.view(), &amd)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let scale = x_nat.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for i in 0..n {
+            prop_assert!((x_nat[i] - x_nd[i]).abs() <= 1e-12 * scale,
+                "nd {} vs natural {}", x_nd[i], x_nat[i]);
+            prop_assert!((x_amd[i] - x_nd[i]).abs() <= 1e-12 * scale,
+                "nd {} vs amd {}", x_nd[i], x_amd[i]);
+        }
+    }
+
+    /// Full-backend agreement under ND: factor + refactor through
+    /// `SparseSystem` with `order=nd` matches the natural-order
+    /// backend on the same stamps (exercises the lazy ordering path
+    /// and the machine-wide ordering cache end to end).
+    #[test]
+    fn nd_system_factor_and_refactor_match_natural(
+        seed in 0i64..1_000_000,
+        n in 5usize..40,
+    ) {
+        let t = random_matrix(seed as u64 ^ 0x0d15_5ec7, n, 0.15, false);
+        let mut nd_sys = SparseSystem::<f64>::with_ordering(n, FillOrdering::Nd);
+        let mut nat_sys = SparseSystem::<f64>::with_ordering(n, FillOrdering::Natural);
+        for &(i, j, v) in &t {
+            nd_sys.add(i, j, v);
+            nat_sys.add(i, j, v);
+        }
+        nd_sys.factor().unwrap();
+        nat_sys.factor().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let x_nd = nd_sys.solve(&b).unwrap();
+        let x_nat = nat_sys.solve(&b).unwrap();
+        let scale = x_nat.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for (a, c) in x_nd.iter().zip(&x_nat) {
+            prop_assert!((a - c).abs() <= 1e-12 * scale, "{a} vs {c}");
+        }
+        // Same pattern, perturbed values: the numeric-only refactor
+        // replay under ND must track natural order too.
+        nd_sys.clear();
+        nat_sys.clear();
+        for &(i, j, v) in &t {
+            let v = v * 1.5 + if i == j { 0.25 } else { 0.0 };
+            nd_sys.add(i, j, v);
+            nat_sys.add(i, j, v);
+        }
+        nd_sys.factor().unwrap();
+        nat_sys.factor().unwrap();
+        let x_nd = nd_sys.solve(&b).unwrap();
+        let x_nat = nat_sys.solve(&b).unwrap();
+        let scale = x_nat.iter().fold(1e-300f64, |m, v| m.max(v.abs()));
+        for (a, c) in x_nd.iter().zip(&x_nat) {
+            prop_assert!((a - c).abs() <= 1e-12 * scale, "{a} vs {c}");
         }
     }
 
