@@ -14,6 +14,14 @@
 //! context handed to the wrong entry would rebuild rather than
 //! mis-patch — the pool keeps that from ever happening, the guard
 //! keeps it from ever mattering.
+//!
+//! The cache is deliberately **memory-only**: its artifacts (warm
+//! contexts, symbolic factorizations) are process-lifetime objects
+//! that are cheap to rebuild on a cache miss. Durability of *results*
+//! lives in [`crate::store`], which spills finished jobs to
+//! `--data-dir`; the two never overlap — a restarted server serves
+//! stored results from disk while rebuilding simulation artifacts
+//! from scratch on first touch.
 
 use mems_netlist::{deck_fingerprint, BatchPoint, Deck, IncludeResolver, NetlistError, RunCtx};
 use std::collections::hash_map::DefaultHasher;

@@ -1,9 +1,10 @@
 //! Hand-rolled HTTP/1.1 plumbing for the serve protocol.
 //!
 //! Enough of RFC 9112 for a JSON job API consumed by `curl` and test
-//! harnesses: request line + headers + `Content-Length` bodies in,
-//! fixed-length *or* chunked transfer-coded responses out,
-//! per-connection keep-alive with version-aware close semantics. The
+//! harnesses: request line + headers + `Content-Length` *or* chunked
+//! transfer-coded bodies in, fixed-length or chunked transfer-coded
+//! responses out, per-connection keep-alive with version-aware close
+//! semantics. The
 //! reader is bounded everywhere a client controls a length — request
 //! line, header lines, header count, body — so a hostile peer can
 //! cost at most a few KiB before being answered with the right 4xx.
@@ -155,9 +156,10 @@ fn read_line_limited(
 /// # Errors
 ///
 /// Malformed or over-long request line/headers (400/414/431),
-/// conflicting `Content-Length` values (400), chunked request bodies
-/// (501), bodies over [`MAX_BODY`] (413), or I/O failures (timeouts
-/// included).
+/// conflicting `Content-Length` values or `Transfer-Encoding`
+/// alongside `Content-Length` (400 — the request-smuggling combos),
+/// transfer codings other than `chunked` (501), bodies over
+/// [`MAX_BODY`] (413), or I/O failures (timeouts included).
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, ReadError> {
     let Some(line) = read_line_limited(reader, MAX_LINE, 414)? else {
         return Ok(None);
@@ -191,36 +193,53 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
-        return Err(ReadError::Protocol {
-            status: 501,
-            message: "transfer-coded request bodies are not supported".to_string(),
-        });
-    }
-    // Every Content-Length must parse and agree — silently taking the
-    // first of conflicting values is the request-smuggling classic.
-    let mut content_length: Option<usize> = None;
-    for (name, value) in &headers {
-        if name != "content-length" {
-            continue;
-        }
-        let n: usize = value.parse().map_err(|_| bad("bad Content-Length"))?;
-        match content_length {
-            Some(prev) if prev != n => {
-                return Err(bad("conflicting Content-Length headers"));
+    let te_tokens: Vec<String> = headers
+        .iter()
+        .filter(|(k, _)| k == "transfer-encoding")
+        .flat_map(|(_, v)| v.split(','))
+        .map(|t| t.trim().to_ascii_lowercase())
+        .collect();
+    let body = if te_tokens.is_empty() {
+        // Every Content-Length must parse and agree — silently taking
+        // the first of conflicting values is the request-smuggling
+        // classic.
+        let mut content_length: Option<usize> = None;
+        for (name, value) in &headers {
+            if name != "content-length" {
+                continue;
             }
-            _ => content_length = Some(n),
+            let n: usize = value.parse().map_err(|_| bad("bad Content-Length"))?;
+            match content_length {
+                Some(prev) if prev != n => {
+                    return Err(bad("conflicting Content-Length headers"));
+                }
+                _ => content_length = Some(n),
+            }
         }
-    }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(ReadError::Protocol {
-            status: 413,
-            message: "request body too large".to_string(),
-        });
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+        let content_length = content_length.unwrap_or(0);
+        if content_length > MAX_BODY {
+            return Err(ReadError::Protocol {
+                status: 413,
+                message: "request body too large".to_string(),
+            });
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        body
+    } else {
+        // Both framings on one request is the other smuggling classic:
+        // two parsers in a chain can disagree on where the body ends.
+        if headers.iter().any(|(k, _)| k == "content-length") {
+            return Err(bad("Transfer-Encoding alongside Content-Length"));
+        }
+        if te_tokens != ["chunked"] {
+            return Err(ReadError::Protocol {
+                status: 501,
+                message: "only the chunked transfer coding is supported".to_string(),
+            });
+        }
+        read_chunked_request_body(reader)?
+    };
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, parse_query(q)),
@@ -235,6 +254,52 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
         body,
         http11,
     }))
+}
+
+/// Decodes a chunked transfer-coded request body. Bounded like the
+/// fixed-length path: [`MAX_BODY`] cumulative payload bytes (413
+/// past it), [`MAX_LINE`] per size line, [`MAX_HEADERS`] trailer
+/// fields — a hostile peer cannot stream chunks forever.
+fn read_chunked_request_body(reader: &mut BufReader<TcpStream>) -> Result<Vec<u8>, ReadError> {
+    let mut body = Vec::new();
+    loop {
+        let line = read_line_limited(reader, MAX_LINE, 400)?
+            .ok_or_else(|| bad("EOF before chunk size"))?;
+        // Chunk extensions (`;name=value`) are legal; ignore them.
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16).map_err(|_| bad("bad chunk size"))?;
+        if size == 0 {
+            break;
+        }
+        if size > MAX_BODY - body.len() {
+            return Err(ReadError::Protocol {
+                status: 413,
+                message: "request body too large".to_string(),
+            });
+        }
+        let at = body.len();
+        body.resize(at + size, 0);
+        reader.read_exact(&mut body[at..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk data not CRLF-terminated"));
+        }
+    }
+    // Trailer section: header-like lines up to the blank terminator.
+    // We accept and discard them (nothing in the job API uses
+    // trailers), but still bound the count.
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line_limited(reader, MAX_LINE, 431)?
+            .ok_or_else(|| bad("EOF inside chunked trailers"))?;
+        if line.is_empty() {
+            return Ok(body);
+        }
+    }
+    Err(ReadError::Protocol {
+        status: 431,
+        message: format!("more than {MAX_HEADERS} trailer fields"),
+    })
 }
 
 /// Splits and percent-decodes a query string.
@@ -626,11 +691,60 @@ mod tests {
     }
 
     #[test]
-    fn transfer_coded_request_bodies_are_refused() {
-        let status = protocol_status(parse_raw(
-            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
-        ));
-        assert_eq!(status, 501);
+    fn chunked_request_bodies_decode() {
+        // Chunk extensions and trailer fields are consumed; the body
+        // is the concatenated chunk payloads.
+        let req = parse_raw(
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              4;ext=1\r\ndeck\r\n6\r\n-works\r\n0\r\nX-Trailer: ok\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body_text().unwrap(), "deck-works");
+
+        // An empty chunked body is a valid empty body.
+        let req =
+            parse_raw(b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_chunked_requests_are_refused() {
+        // Regression: chunked request bodies used to be a blanket 501;
+        // now each malformation gets the precise refusal.
+        let te = "POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n";
+        // Bad hex in the chunk size.
+        assert_eq!(
+            protocol_status(parse_raw(format!("{te}\r\nzz\r\n\r\n").as_bytes())),
+            400
+        );
+        // Chunk data missing its CRLF terminator.
+        assert_eq!(
+            protocol_status(parse_raw(
+                format!("{te}\r\n4\r\ndeckXX0\r\n\r\n").as_bytes()
+            )),
+            400
+        );
+        // Transfer-Encoding alongside Content-Length (smuggling).
+        assert_eq!(
+            protocol_status(parse_raw(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\n0\r\n\r\n",
+            )),
+            400
+        );
+        // A coding we don't implement.
+        assert_eq!(
+            protocol_status(parse_raw(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n",
+            )),
+            501
+        );
+        // A single chunk past the body cap is refused from its size
+        // line alone — no bytes are buffered first.
+        let over = format!("{te}\r\n{:x}\r\n", MAX_BODY + 1);
+        assert_eq!(protocol_status(parse_raw(over.as_bytes())), 413);
     }
 
     #[test]
@@ -694,6 +808,32 @@ mod tests {
             let mut body = &wire[head_end..];
             let out = read_chunked_body(&mut body).unwrap();
             prop_assert_eq!(out, payload);
+        }
+
+        /// Any payload, framed as a chunked *request* body with
+        /// arbitrary cut points, decodes to exactly the original
+        /// bytes through `read_request`.
+        #[test]
+        fn chunked_request_decode_round_trips(
+            len in 0usize..600,
+            bytes in proptest::collection::vec(0usize..256, 600),
+            cuts in proptest::collection::vec(1usize..48, 24),
+        ) {
+            let payload: Vec<u8> = bytes[..len].iter().map(|&b| b as u8).collect();
+            let mut raw: Vec<u8> =
+                b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+            let mut at = 0;
+            let mut cut = cuts.iter().cycle();
+            while at < payload.len() {
+                let take = (*cut.next().unwrap()).min(payload.len() - at);
+                raw.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+                raw.extend_from_slice(&payload[at..at + take]);
+                raw.extend_from_slice(b"\r\n");
+                at += take;
+            }
+            raw.extend_from_slice(b"0\r\n\r\n");
+            let req = parse_raw(&raw).unwrap().unwrap();
+            prop_assert_eq!(req.body, payload);
         }
     }
 }

@@ -153,15 +153,18 @@ impl Job {
 
     /// Records one finished point (rendered with the same writer as
     /// `mems sweep --json`, so streams compare byte-for-byte).
-    pub fn record(&self, index: usize, result: &PointResult) {
+    /// Returns the rendered record so the caller can spill it to the
+    /// durable store without rendering twice.
+    pub fn record(&self, index: usize, result: &PointResult) -> String {
         let rendered = point_json(result);
-        self.results.lock().expect("no poisoned results lock")[index] = Some(rendered);
+        self.results.lock().expect("no poisoned results lock")[index] = Some(rendered.clone());
         self.results_cv.notify_all();
         self.completed.fetch_add(1, Ordering::SeqCst);
         let us = self.submitted.elapsed().as_micros() as u64;
         let _ =
             self.first_result_us
                 .compare_exchange(0, us.max(1), Ordering::SeqCst, Ordering::SeqCst);
+        rendered
     }
 
     /// Marks one chunk finished; returns `true` when it was the last.
@@ -332,24 +335,26 @@ impl Job {
     /// Fills every unvisited point of the range with the cancelled
     /// marker — called by the worker that retires a cancelled chunk,
     /// so `results_from` streams a complete (if partly failed) point
-    /// list. Returns how many gaps it filled.
-    pub fn mark_cancelled_gaps(&self, range: std::ops::Range<usize>) -> usize {
-        let mut filled = 0usize;
+    /// list. Returns the `(index, rendered)` markers it filled, so
+    /// the caller can spill them to the durable store.
+    pub fn mark_cancelled_gaps(&self, range: std::ops::Range<usize>) -> Vec<(usize, String)> {
+        let mut filled = Vec::new();
         let mut results = self.results.lock().expect("no poisoned results lock");
         for index in range {
             if results[index].is_none() {
-                results[index] = Some(point_json(&PointResult {
+                let rendered = point_json(&PointResult {
                     point: self.points[index].clone(),
                     outcome: Err(CANCELLED_POINT.to_string()),
-                }));
-                filled += 1;
+                });
+                results[index] = Some(rendered.clone());
+                filled.push((index, rendered));
             }
         }
-        if filled > 0 {
+        if !filled.is_empty() {
             self.results_cv.notify_all();
         }
         drop(results);
-        self.skipped.fetch_add(filled, Ordering::SeqCst);
+        self.skipped.fetch_add(filled.len(), Ordering::SeqCst);
         filled
     }
 }

@@ -24,10 +24,12 @@
 //! Jobs are chunked and scheduled round-robin **per client**, so a
 //! 10k-point Monte Carlo cannot starve a two-point sanity sweep.
 //! `DELETE /v1/jobs/:id` trips a cooperative [`CancelToken`] checked
-//! between points — a running batch stops within one chunk boundary.
-//! Past `queue_cap` active jobs, submissions answer `429` with
-//! `Retry-After`; `POST /v1/shutdown` (and the CLI's Ctrl-C) drains
-//! queued chunks before the process exits.
+//! between points — a running batch stops within one chunk boundary
+//! (cancelling an already-terminal job is an idempotent `200` no-op).
+//! Past `queue_cap` active jobs — or past `--client-quota` active
+//! jobs for one client — submissions answer `429` with `Retry-After`;
+//! `POST /v1/shutdown` (and the CLI's Ctrl-C) drains queued chunks
+//! before the process exits.
 //!
 //! ## Streaming, observability, connection hygiene
 //!
@@ -43,16 +45,33 @@
 //! factors, fallbacks). Connections are bounded: a `--max-conns` cap
 //! answers `503` at the accept loop, per-connection read timeouts
 //! drop stalled peers, and the request reader bounds every
-//! client-controlled length (request line, header size/count, body).
+//! client-controlled length (request line, header size/count, body —
+//! including `Transfer-Encoding: chunked` request bodies, which are
+//! decoded under the same body cap).
+//!
+//! ## Durability
+//!
+//! With `--data-dir`, finished point records spill to an append-only,
+//! checksummed per-job file and job metadata is journaled with
+//! write-temp + fsync + atomic-rename (see [`store`]). A restarted
+//! server replays the directory: completed jobs stay queryable and
+//! their results serve from disk **byte-identical** to the live
+//! stream; a job that was mid-run when the process died recovers as
+//! `failed`/`interrupted` with its durably written prefix
+//! retrievable. Torn tail writes are detected by the length/checksum
+//! framing and dropped, never served. On real disk errors the store
+//! degrades to memory-only mode (warn once, flip the
+//! `mems_serve_store_degraded` gauge) — job APIs never answer `5xx`
+//! because a disk died.
 //!
 //! ## Endpoints
 //!
 //! | method + path | effect |
 //! |---|---|
 //! | `POST /v1/jobs` | submit a deck (raw text, or JSON `{"deck": …, "client": …}`) |
-//! | `GET /v1/jobs/:id` | job status + cache/timing metadata |
-//! | `GET /v1/jobs/:id/results?from=K[&wait=0]` | chunked stream of per-point records (byte-identical to `mems sweep --json` points), live until the job finishes |
-//! | `DELETE /v1/jobs/:id` | cooperative cancellation |
+//! | `GET /v1/jobs/:id` | job status + cache/timing metadata; with `--data-dir`, terminal jobs evicted by `--job-cap` or left by a previous process answer from spill with `"stored":true` |
+//! | `GET /v1/jobs/:id/results?from=K[&wait=0]` | chunked stream of per-point records (byte-identical to `mems sweep --json` points), live until the job finishes; stored jobs stream their spilled records in the same frame |
+//! | `DELETE /v1/jobs/:id` | cooperative cancellation (idempotent `200` no-op on terminal jobs) |
 //! | `POST /v1/check` | parse/elaborate only; machine-readable diagnostics |
 //! | `GET /v1/health` | liveness + cache counters |
 //! | `GET /v1/metrics` | Prometheus text-format counters/gauges/histograms |
@@ -67,6 +86,7 @@ pub mod json;
 pub mod metrics;
 pub mod sched;
 pub mod server;
+pub mod store;
 
 pub use cache::{ArtifactCache, DeckEntry, Lookup};
 pub use job::{Job, JobState};
@@ -74,3 +94,4 @@ pub use json::Json;
 pub use metrics::{Gauges, Metrics};
 pub use sched::Scheduler;
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use store::{FaultIo, JobStore, RealIo, StoreFile, StoreIo, StoredMeta};

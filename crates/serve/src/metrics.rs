@@ -124,6 +124,8 @@ pub struct Metrics {
     pub jobs_evicted: AtomicU64,
     /// Submissions bounced off the active-job bound (429).
     pub rejected_busy: AtomicU64,
+    /// Submissions bounced off a client's `--client-quota` (429).
+    pub rejected_quota: AtomicU64,
     /// Submissions refused during the shutdown drain (503).
     pub rejected_draining: AtomicU64,
     /// Connections refused at the `--max-conns` cap (503).
@@ -177,6 +179,9 @@ pub struct Gauges {
     pub symbolic_cache_hits: u64,
     /// Process-wide supernodal symbolic-analysis cache misses.
     pub symbolic_cache_misses: u64,
+    /// Durable-store snapshot; `None` when running memory-only
+    /// (no `--data-dir`).
+    pub store: Option<crate::store::StoreStats>,
 }
 
 fn family(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -298,6 +303,10 @@ impl Metrics {
             load(&self.rejected_busy)
         ));
         out.push_str(&format!(
+            "mems_serve_rejected_total{{reason=\"quota\"}} {}\n",
+            load(&self.rejected_quota)
+        ));
+        out.push_str(&format!(
             "mems_serve_rejected_total{{reason=\"draining\"}} {}\n",
             load(&self.rejected_draining)
         ));
@@ -412,6 +421,73 @@ impl Metrics {
             "mems_serve_solver_order_seconds_total {}\n",
             load(&self.solver_order_us) as f64 / 1e6
         ));
+
+        if let Some(s) = &g.store {
+            family(
+                &mut out,
+                "mems_serve_store_jobs",
+                "gauge",
+                "Terminal jobs queryable from the durable spill.",
+            );
+            out.push_str(&format!("mems_serve_store_jobs {}\n", s.jobs));
+            family(
+                &mut out,
+                "mems_serve_store_degraded",
+                "gauge",
+                "1 once a store I/O error dropped the server to memory-only mode.",
+            );
+            out.push_str(&format!(
+                "mems_serve_store_degraded {}\n",
+                u8::from(s.degraded)
+            ));
+            family(
+                &mut out,
+                "mems_serve_store_bytes_written_total",
+                "counter",
+                "Result-record bytes appended to the spill (framing included).",
+            );
+            out.push_str(&format!(
+                "mems_serve_store_bytes_written_total {}\n",
+                s.bytes_written
+            ));
+            family(
+                &mut out,
+                "mems_serve_store_writes_total",
+                "counter",
+                "Result records appended to the spill.",
+            );
+            out.push_str(&format!("mems_serve_store_writes_total {}\n", s.writes));
+            family(
+                &mut out,
+                "mems_serve_store_replayed_jobs_total",
+                "counter",
+                "Jobs recovered from the data dir at startup.",
+            );
+            out.push_str(&format!(
+                "mems_serve_store_replayed_jobs_total {}\n",
+                s.replayed_jobs
+            ));
+            family(
+                &mut out,
+                "mems_serve_store_corrupt_records_total",
+                "counter",
+                "Torn or corrupt spill tails dropped on replay, never served.",
+            );
+            out.push_str(&format!(
+                "mems_serve_store_corrupt_records_total {}\n",
+                s.corrupt_records
+            ));
+            family(
+                &mut out,
+                "mems_serve_store_evicted_jobs_total",
+                "counter",
+                "Stored jobs evicted to enforce --spill-cap-bytes.",
+            );
+            out.push_str(&format!(
+                "mems_serve_store_evicted_jobs_total {}\n",
+                s.evicted_jobs
+            ));
+        }
         out
     }
 }
@@ -515,5 +591,29 @@ mod tests {
             Some(5.0)
         );
         assert_eq!(sample(&body, "mems_serve_chunk_seconds_count"), Some(1.0));
+    }
+
+    #[test]
+    fn store_families_render_only_when_enabled() {
+        let m = Metrics::default();
+        let g = Gauges {
+            store: Some(crate::store::StoreStats {
+                jobs: 3,
+                degraded: true,
+                corrupt_records: 1,
+                ..Default::default()
+            }),
+            ..Gauges::default()
+        };
+        let body = m.render(&g);
+        assert_eq!(sample(&body, "mems_serve_store_jobs"), Some(3.0));
+        assert_eq!(sample(&body, "mems_serve_store_degraded"), Some(1.0));
+        assert_eq!(
+            sample(&body, "mems_serve_store_corrupt_records_total"),
+            Some(1.0)
+        );
+        // Memory-only servers don't announce store families at all.
+        let memory_only = m.render(&Gauges::default());
+        assert!(!memory_only.contains("mems_serve_store_"));
     }
 }

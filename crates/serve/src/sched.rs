@@ -4,9 +4,10 @@
 //! client; workers draw chunks round-robin **across clients**, so a
 //! client streaming a 10k-point `.MC` batch cannot starve another
 //! client's two-point sanity sweep — the small job's chunks interleave
-//! with the big one's. Admission is bounded: past `queue_cap` active
-//! jobs the submit path answers 429 with `Retry-After` instead of
-//! queueing unboundedly.
+//! with the big one's. Admission is bounded two ways: past
+//! `queue_cap` active jobs overall — or past `client_quota` active
+//! jobs for one client — the submit path answers 429 with
+//! `Retry-After` instead of queueing unboundedly.
 
 use crate::job::Job;
 use std::collections::VecDeque;
@@ -29,6 +30,9 @@ pub struct Chunk {
 pub enum Refusal {
     /// The active-job bound is reached — retry later (429).
     Busy,
+    /// The submitting client is at its per-client active-job quota
+    /// (`--client-quota`) — retry later (429).
+    OverQuota,
     /// The scheduler is draining for shutdown (503).
     Draining,
 }
@@ -40,6 +44,8 @@ struct State {
     cursor: usize,
     /// Jobs admitted but not yet retired (queued chunks + running).
     active_jobs: usize,
+    /// Active jobs per client, for the `--client-quota` bound.
+    active_per_client: std::collections::HashMap<String, usize>,
     /// Set once: no further admissions, workers exit when drained.
     draining: bool,
 }
@@ -52,22 +58,27 @@ pub struct Scheduler {
     pub chunk_size: usize,
     /// Max active jobs before refusing admissions.
     pub queue_cap: usize,
+    /// Max active jobs per client (`0` = unlimited).
+    pub client_quota: usize,
 }
 
 impl Scheduler {
-    /// A scheduler chunking jobs into `chunk_size`-point slices and
-    /// admitting at most `queue_cap` active jobs.
-    pub fn new(chunk_size: usize, queue_cap: usize) -> Self {
+    /// A scheduler chunking jobs into `chunk_size`-point slices,
+    /// admitting at most `queue_cap` active jobs overall and
+    /// `client_quota` per client (`0` = unlimited).
+    pub fn new(chunk_size: usize, queue_cap: usize, client_quota: usize) -> Self {
         Scheduler {
             state: Mutex::new(State {
                 clients: Vec::new(),
                 cursor: 0,
                 active_jobs: 0,
+                active_per_client: std::collections::HashMap::new(),
                 draining: false,
             }),
             ready: Condvar::new(),
             chunk_size: chunk_size.max(1),
             queue_cap: queue_cap.max(1),
+            client_quota,
         }
     }
 
@@ -81,8 +92,9 @@ impl Scheduler {
     ///
     /// # Errors
     ///
-    /// [`Refusal::Busy`] at the admission bound, [`Refusal::Draining`]
-    /// during shutdown.
+    /// [`Refusal::Busy`] at the admission bound,
+    /// [`Refusal::OverQuota`] at the submitting client's quota,
+    /// [`Refusal::Draining`] during shutdown.
     pub fn submit(&self, job: &Arc<Job>) -> Result<(), Refusal> {
         let mut state = self.state.lock().expect("no poisoned sched lock");
         if state.draining {
@@ -91,7 +103,19 @@ impl Scheduler {
         if state.active_jobs >= self.queue_cap {
             return Err(Refusal::Busy);
         }
+        if self.client_quota > 0
+            && state
+                .active_per_client
+                .get(&job.client)
+                .is_some_and(|&n| n >= self.client_quota)
+        {
+            return Err(Refusal::OverQuota);
+        }
         state.active_jobs += 1;
+        *state
+            .active_per_client
+            .entry(job.client.clone())
+            .or_insert(0) += 1;
         let queue = match state
             .clients
             .iter_mut()
@@ -139,10 +163,16 @@ impl Scheduler {
         }
     }
 
-    /// Marks one job retired (its last chunk finished).
-    pub fn job_retired(&self) {
+    /// Marks one of `client`'s jobs retired (its last chunk finished).
+    pub fn job_retired(&self, client: &str) {
         let mut state = self.state.lock().expect("no poisoned sched lock");
         state.active_jobs = state.active_jobs.saturating_sub(1);
+        if let Some(n) = state.active_per_client.get_mut(client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                state.active_per_client.remove(client);
+            }
+        }
     }
 
     /// Starts the drain: no further admissions; queued chunks still
@@ -201,7 +231,7 @@ mod tests {
 
     #[test]
     fn chunks_interleave_across_clients() {
-        let sched = Scheduler::new(2, 16);
+        let sched = Scheduler::new(2, 16, 0);
         sched.submit(&stub_job(1, "big", 8)).unwrap();
         sched.submit(&stub_job(2, "small", 2)).unwrap();
         let order: Vec<u64> = (0..5).map(|_| sched.next_chunk().unwrap().job.id).collect();
@@ -212,7 +242,7 @@ mod tests {
 
     #[test]
     fn same_client_chunks_stay_fifo() {
-        let sched = Scheduler::new(4, 16);
+        let sched = Scheduler::new(4, 16, 0);
         sched.submit(&stub_job(1, "c", 4)).unwrap();
         sched.submit(&stub_job(2, "c", 4)).unwrap();
         assert_eq!(sched.next_chunk().unwrap().job.id, 1);
@@ -221,19 +251,35 @@ mod tests {
 
     #[test]
     fn admission_is_bounded_and_drain_refuses() {
-        let sched = Scheduler::new(4, 2);
+        let sched = Scheduler::new(4, 2, 0);
         sched.submit(&stub_job(1, "a", 1)).unwrap();
         sched.submit(&stub_job(2, "a", 1)).unwrap();
         assert_eq!(sched.submit(&stub_job(3, "a", 1)), Err(Refusal::Busy));
-        sched.job_retired();
+        sched.job_retired("a");
         sched.submit(&stub_job(4, "a", 1)).unwrap();
         sched.drain();
         assert_eq!(sched.submit(&stub_job(5, "a", 1)), Err(Refusal::Draining));
     }
 
     #[test]
+    fn client_quota_bounds_one_client_without_starving_others() {
+        let sched = Scheduler::new(4, 16, 2);
+        sched.submit(&stub_job(1, "greedy", 1)).unwrap();
+        sched.submit(&stub_job(2, "greedy", 1)).unwrap();
+        assert_eq!(
+            sched.submit(&stub_job(3, "greedy", 1)),
+            Err(Refusal::OverQuota)
+        );
+        // Another client is unaffected by greedy's quota.
+        sched.submit(&stub_job(4, "modest", 1)).unwrap();
+        // Retiring one of greedy's jobs frees a quota slot.
+        sched.job_retired("greedy");
+        sched.submit(&stub_job(5, "greedy", 1)).unwrap();
+    }
+
+    #[test]
     fn drained_empty_scheduler_releases_workers() {
-        let sched = Arc::new(Scheduler::new(4, 4));
+        let sched = Arc::new(Scheduler::new(4, 4, 0));
         let worker = {
             let sched = Arc::clone(&sched);
             std::thread::spawn(move || {

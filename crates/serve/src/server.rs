@@ -9,6 +9,7 @@ use crate::job::{Job, JobMeta};
 use crate::json::Json;
 use crate::metrics::{Gauges, Metrics};
 use crate::sched::{Chunk, Refusal, Scheduler};
+use crate::store::{JobStore, RealIo, StoreIo, StoredMeta};
 use mems_netlist::report::{diagnostics_json, Diagnostic};
 use mems_netlist::{
     extract_metrics, run_elaborated_ctx, warm_start_chain, Elaborator, FsResolver, IncludeResolver,
@@ -24,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server configuration (the `mems serve` flags).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Bind address.
     pub host: String,
@@ -58,6 +59,42 @@ pub struct ServeConfig {
     /// Lint service mode: only `/v1/check` and `/v1/health` answer;
     /// job submission is refused.
     pub check_only: bool,
+    /// Durable job store directory (`--data-dir`): finished results
+    /// spill here and survive restarts and `--job-cap` eviction.
+    /// `None` keeps every job memory-only (the pre-store behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Max bytes of spilled results kept on disk
+    /// (`--spill-cap-bytes`); oldest stored jobs evict past this.
+    pub spill_cap_bytes: u64,
+    /// Max active jobs per client (`--client-quota`); `0` = unlimited.
+    /// Over-quota submissions answer 429.
+    pub client_quota: usize,
+    /// Store I/O implementation. `None` uses the real filesystem;
+    /// tests inject [`crate::store::FaultIo`] here to drive the
+    /// degraded-mode paths against a live server.
+    pub store_io: Option<Arc<dyn StoreIo>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("host", &self.host)
+            .field("port", &self.port)
+            .field("workers", &self.workers)
+            .field("chunk_size", &self.chunk_size)
+            .field("queue_cap", &self.queue_cap)
+            .field("job_cap", &self.job_cap)
+            .field("cache_cap", &self.cache_cap)
+            .field("max_conns", &self.max_conns)
+            .field("read_timeout", &self.read_timeout)
+            .field("include_dir", &self.include_dir)
+            .field("check_only", &self.check_only)
+            .field("data_dir", &self.data_dir)
+            .field("spill_cap_bytes", &self.spill_cap_bytes)
+            .field("client_quota", &self.client_quota)
+            .field("store_io", &self.store_io.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -74,6 +111,10 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             include_dir: None,
             check_only: false,
+            data_dir: None,
+            spill_cap_bytes: 256 << 20,
+            client_quota: 0,
+            store_io: None,
         }
     }
 }
@@ -98,6 +139,10 @@ struct Shared {
     include_dir: Option<PathBuf>,
     check_only: bool,
     started: Instant,
+    /// The durable job store (`--data-dir`), absent in memory-only
+    /// mode. Terminal jobs evicted from the registry — or left by a
+    /// previous process — stay queryable through it.
+    store: Option<Arc<JobStore>>,
 }
 
 impl Shared {
@@ -136,12 +181,22 @@ impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
+        let store = config.data_dir.as_ref().map(|dir| {
+            let io = config
+                .store_io
+                .clone()
+                .unwrap_or_else(|| Arc::new(RealIo) as Arc<dyn StoreIo>);
+            Arc::new(JobStore::open(dir, config.spill_cap_bytes, io))
+        });
+        // Resume the id counter above everything on disk so restarted
+        // ids never collide with stored jobs.
+        let first_id = store.as_ref().map_or(0, |s| s.max_id());
         let shared = Arc::new(Shared {
             cache: ArtifactCache::new(config.cache_cap),
-            sched: Scheduler::new(config.chunk_size, config.queue_cap),
+            sched: Scheduler::new(config.chunk_size, config.queue_cap, config.client_quota),
             jobs: Mutex::new(HashMap::new()),
             job_cap: config.job_cap.max(1),
-            next_id: AtomicU64::new(0),
+            next_id: AtomicU64::new(first_id),
             finish_seq: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             metrics: Metrics::default(),
@@ -151,6 +206,7 @@ impl Server {
             include_dir: config.include_dir.clone(),
             check_only: config.check_only,
             started: Instant::now(),
+            store,
         });
 
         let workers = (0..if config.check_only { 0 } else { config.workers })
@@ -302,8 +358,10 @@ fn record_solver_deltas(
 
 /// Evicts oldest-finished terminal jobs over the `--job-cap` bound,
 /// keeping a long-lived daemon's registry from growing without limit.
-/// Streams already holding an `Arc<Job>` keep working; later lookups
-/// of an evicted id answer 404 like any unknown job.
+/// Streams already holding an `Arc<Job>` keep working. With a durable
+/// store the eviction is a *demotion*: the job stays queryable from
+/// its spill (status + results); memory-only servers answer 404 for
+/// evicted ids like any unknown job.
 fn retire_jobs(shared: &Shared) {
     let mut jobs = shared.jobs.lock().expect("no poisoned registry lock");
     let mut terminal: Vec<(u64, u64)> = jobs
@@ -369,13 +427,19 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
                     }
                     Err(e) => Err(e.to_string()),
                 };
-                job.record(
+                let rendered = job.record(
                     index,
                     &PointResult {
                         point: point.clone(),
                         outcome,
                     },
                 );
+                // Spill the finished record (plain append, no fsync —
+                // off the hot path; durability against machine crash
+                // comes from the finalize-time fsync).
+                if let Some(store) = &shared.store {
+                    store.append(job.id, index as u32, rendered.as_bytes());
+                }
                 shared
                     .metrics
                     .points_completed
@@ -388,11 +452,18 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
         entry.checkin(ctx);
     }
     if job.cancel.is_cancelled() {
-        let skipped = job.mark_cancelled_gaps(chunk.start..chunk.end);
+        let gaps = job.mark_cancelled_gaps(chunk.start..chunk.end);
+        // Spill the cancelled markers too, so a stored cancelled job
+        // streams the same complete point list as a live one.
+        if let Some(store) = &shared.store {
+            for (index, rendered) in &gaps {
+                store.append(job.id, *index as u32, rendered.as_bytes());
+            }
+        }
         shared
             .metrics
             .points_skipped
-            .fetch_add(skipped as u64, Ordering::Relaxed);
+            .fetch_add(gaps.len() as u64, Ordering::Relaxed);
     }
     shared
         .metrics
@@ -402,14 +473,26 @@ fn run_chunk(shared: &Shared, chunk: &Chunk) {
         // End-of-job accounting happens *before* `publish_terminal`:
         // a client that has seen the terminal state (stream tail,
         // status poll) must also see the counters it implies.
-        let terminal = if job.skipped() > 0 {
+        let cancelled = job.skipped() > 0;
+        let terminal = if cancelled {
             &shared.metrics.jobs_cancelled
         } else {
             &shared.metrics.jobs_done
         };
         terminal.fetch_add(1, Ordering::Relaxed);
+        // Seal the spill *before* the terminal state is observable:
+        // whoever sees `done` may immediately be evicted-and-served
+        // from disk, so the disk copy must already be complete.
+        if let Some(store) = &shared.store {
+            store.finalize(
+                job.id,
+                if cancelled { "cancelled" } else { "done" },
+                job.completed(),
+                job.skipped(),
+            );
+        }
         job.publish_terminal(&shared.finish_seq);
-        shared.sched.job_retired();
+        shared.sched.job_retired(&job.client);
         retire_jobs(shared);
     }
 }
@@ -467,16 +550,31 @@ fn route(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Res
         ("GET", ["v1", "metrics"]) => metrics(shared, stream)?,
         ("POST", ["v1", "check"]) => check(shared, stream, req)?,
         ("POST", ["v1", "jobs"]) => submit(shared, stream, req)?,
-        ("GET", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
-            (200, job.status_json(), Vec::new())
-        })?,
+        ("GET", ["v1", "jobs", id]) => match find_job(shared, id) {
+            Some(JobRef::Live(job)) => respond(stream, 200, &[], &job.status_json())?,
+            Some(JobRef::Stored(meta)) => respond(stream, 200, &[], &meta.status_json())?,
+            None => respond(stream, 404, &[], &error_body("no such job"))?,
+        },
         ("GET", ["v1", "jobs", id, "results"]) => {
             return stream_results(shared, stream, id, req);
         }
-        ("DELETE", ["v1", "jobs", id]) => with_job(shared, stream, id, |job| {
-            job.cancel.cancel();
-            (202, job.status_json(), Vec::new())
-        })?,
+        ("DELETE", ["v1", "jobs", id]) => match find_job(shared, id) {
+            // Cancelling a job that already reached a terminal state
+            // is an idempotent no-op: 200 with the status, without
+            // tripping the cancel token — tripping it would race the
+            // terminal publication and could flip a `done` job's
+            // state string mid-flight.
+            Some(JobRef::Live(job)) => {
+                if job.state().is_terminal() {
+                    respond(stream, 200, &[], &job.status_json())?;
+                } else {
+                    job.cancel.cancel();
+                    respond(stream, 202, &[], &job.status_json())?;
+                }
+            }
+            Some(JobRef::Stored(meta)) => respond(stream, 200, &[], &meta.status_json())?,
+            None => respond(stream, 404, &[], &error_body("no such job"))?,
+        },
         ("POST", ["v1", "shutdown"]) => {
             let addr = stream.local_addr()?;
             respond(stream, 202, &[], "{\"ok\":true,\"draining\":true}")?;
@@ -501,16 +599,22 @@ fn stream_results(
     id: &str,
     req: &Request,
 ) -> std::io::Result<bool> {
-    let Some(job) = id.parse::<u64>().ok().and_then(|id| shared.job(id)) else {
-        respond(stream, 404, &[], &error_body("no such job"))?;
-        return Ok(false);
-    };
     let from = req
         .query("from")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(0);
     let wait = req.query("wait") != Some("0");
     let framed = req.http11;
+    let job = match find_job(shared, id) {
+        Some(JobRef::Live(job)) => job,
+        Some(JobRef::Stored(meta)) => {
+            return stream_stored_results(shared, stream, &meta, from, framed);
+        }
+        None => {
+            respond(stream, 404, &[], &error_body("no such job"))?;
+            return Ok(false);
+        }
+    };
 
     let mut w = respond_chunked(stream, 200, &[], framed)?;
     w.write_chunk(
@@ -548,23 +652,64 @@ fn stream_results(
     Ok(!framed)
 }
 
-/// Looks a job up by its path segment and answers with `f`'s
-/// `(status, body, extra_headers)`.
-fn with_job(
+/// Streams a disk-backed job's results from its spill, in the same
+/// frame as the live stream — for a `done` job the body is
+/// byte-identical to what the live server sent. Records stream from
+/// `from` while contiguous (a crash-recovered job serves its durable
+/// prefix; the `next` cursor is honest about where it ends).
+fn stream_stored_results(
     shared: &Shared,
     stream: &mut TcpStream,
-    id: &str,
-    f: impl FnOnce(&Arc<Job>) -> (u16, String, Vec<(&'static str, String)>),
-) -> std::io::Result<()> {
-    let job = id.parse::<u64>().ok().and_then(|id| shared.job(id));
-    match job {
-        Some(job) => {
-            let (status, body, extra) = f(&job);
-            let borrowed: Vec<(&str, &str)> = extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
-            respond(stream, status, &borrowed, &body)
+    meta: &StoredMeta,
+    from: usize,
+    framed: bool,
+) -> std::io::Result<bool> {
+    let mut by_index: Vec<Option<String>> = vec![None; meta.points];
+    if let Some(store) = &shared.store {
+        for (index, record) in store.read_results(meta.id).unwrap_or_default() {
+            if let Some(slot) = by_index.get_mut(index as usize) {
+                *slot = Some(record);
+            }
         }
-        None => respond(stream, 404, &[], &error_body("no such job")),
     }
+    let mut w = respond_chunked(stream, 200, &[], framed)?;
+    w.write_chunk(
+        format!(
+            "{{\"id\":{},\"from\":{},\"total\":{},\"points\":[",
+            meta.id, from, meta.points
+        )
+        .as_bytes(),
+    )?;
+    let mut next = from;
+    while let Some(Some(record)) = by_index.get(next) {
+        let mut chunk = Vec::with_capacity(record.len() + 1);
+        if next > from {
+            chunk.push(b',');
+        }
+        chunk.extend_from_slice(record.as_bytes());
+        w.write_chunk(&chunk)?;
+        next += 1;
+    }
+    w.write_chunk(format!("],\"next\":{},\"state\":\"{}\"}}", next, meta.state).as_bytes())?;
+    w.finish()?;
+    Ok(!framed)
+}
+
+/// Where a job id resolved: the live registry, or the durable store
+/// (a job evicted by `--job-cap` or left by a previous process).
+enum JobRef {
+    Live(Arc<Job>),
+    Stored(StoredMeta),
+}
+
+/// Resolves a job id: live registry first, then the durable store.
+fn find_job(shared: &Shared, id: &str) -> Option<JobRef> {
+    let id = id.parse::<u64>().ok()?;
+    if let Some(job) = shared.job(id) {
+        return Some(JobRef::Live(job));
+    }
+    let meta = shared.store.as_ref()?.lookup(id)?;
+    Some(JobRef::Stored(meta))
 }
 
 fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
@@ -573,11 +718,13 @@ fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
         let active = jobs.values().filter(|j| !j.state().is_terminal()).count();
         (active, jobs.len())
     };
+    let store = shared.store.as_ref().map(|s| s.stats());
     let body = format!(
         concat!(
             "{{\"ok\":true,\"check_only\":{},\"draining\":{},\"uptime_us\":{},",
             "\"jobs\":{{\"active\":{},\"total\":{}}},",
-            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}}}"
+            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},",
+            "\"store\":{{\"enabled\":{},\"jobs\":{},\"degraded\":{}}}}}"
         ),
         shared.check_only,
         shared.sched.is_draining(),
@@ -587,6 +734,9 @@ fn health(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
         shared.cache.len(),
         shared.cache.hits.load(Ordering::Relaxed),
         shared.cache.misses.load(Ordering::Relaxed),
+        store.is_some(),
+        store.as_ref().map_or(0, |s| s.jobs),
+        store.as_ref().is_some_and(|s| s.degraded),
     );
     respond(stream, 200, &[], &body)
 }
@@ -610,6 +760,7 @@ fn metrics(shared: &Shared, stream: &mut TcpStream) -> std::io::Result<()> {
         ordering_cache_misses,
         symbolic_cache_hits,
         symbolic_cache_misses,
+        store: shared.store.as_ref().map(|s| s.stats()),
     };
     let body = shared.metrics.render(&gauges);
     respond_typed(stream, 200, "text/plain; version=0.0.4", &[], &body)
@@ -675,6 +826,12 @@ fn submit(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Re
     let job = Arc::new(Job::new(
         id, client, entry, lookup, points, chunks, parse_us,
     ));
+    // Open the spill *before* admission: a worker may draw the job's
+    // first chunk the instant `submit` returns, and its records must
+    // find the writer already registered.
+    if let Some(store) = &shared.store {
+        store.begin(job.id, &job.client, job.points.len(), job.entry.fingerprint);
+    }
     match shared.sched.submit(&job) {
         Ok(()) => {
             shared
@@ -688,21 +845,40 @@ fn submit(shared: &Shared, stream: &mut TcpStream, req: &Request) -> std::io::Re
                 .insert(id, Arc::clone(&job));
             respond(stream, 201, &[], &job.status_json())
         }
-        Err(Refusal::Busy) => {
-            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            respond(
-                stream,
-                429,
-                &[("Retry-After", "1")],
-                &error_body("job queue is full"),
-            )
-        }
-        Err(Refusal::Draining) => {
-            shared
-                .metrics
-                .rejected_draining
-                .fetch_add(1, Ordering::Relaxed);
-            respond(stream, 503, &[], &error_body("server is shutting down"))
+        Err(refusal) => {
+            if let Some(store) = &shared.store {
+                store.discard(job.id);
+            }
+            match refusal {
+                Refusal::Busy => {
+                    shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        stream,
+                        429,
+                        &[("Retry-After", "1")],
+                        &error_body("job queue is full"),
+                    )
+                }
+                Refusal::OverQuota => {
+                    shared
+                        .metrics
+                        .rejected_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        stream,
+                        429,
+                        &[("Retry-After", "1")],
+                        &error_body("client active-job quota reached"),
+                    )
+                }
+                Refusal::Draining => {
+                    shared
+                        .metrics
+                        .rejected_draining
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond(stream, 503, &[], &error_body("server is shutting down"))
+                }
+            }
         }
     }
 }

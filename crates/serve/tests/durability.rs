@@ -1,0 +1,381 @@
+//! Durability tests against live servers: restart recovery from a
+//! `--data-dir` spill, `--job-cap` demotion to disk-backed serving,
+//! crash-interrupted jobs recovering their durable prefix, torn-tail
+//! detection, and fault-injected degradation to memory-only mode.
+
+use mems_serve::http::read_chunked_body;
+use mems_serve::{FaultIo, JobStore, Json, RealIo, ServeConfig, Server, StoreIo};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A 5-point `.step` sweep — small enough to finish in milliseconds,
+/// big enough that a durable prefix is distinguishable from the whole.
+const SWEEP_DECK: &str = "divider sweep\n\
+    .param rload=1k\n\
+    Vs in 0 6\n\
+    R1 in out 1k\n\
+    R2 out 0 {rload}\n\
+    .op\n\
+    .print op v(out)\n\
+    .step param rload 1k 5k 1k\n";
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mems-durability-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A config with the durable store enabled on `dir`.
+fn durable_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        data_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+/// One-shot request on a fresh connection; de-chunks chunked bodies.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader);
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(&mut reader).expect("chunked body")
+    } else {
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("body");
+        let length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().expect("numeric length"))
+            .unwrap_or(rest.len());
+        rest.truncate(length);
+        rest
+    };
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status in `{line}`"))
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').expect("header colon");
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    (status, headers)
+}
+
+fn parsed(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON `{body}`: {e}"))
+}
+
+fn job_id(body: &str) -> u64 {
+    parsed(body).get("id").and_then(Json::as_u64).expect("id")
+}
+
+/// Submits `deck` and polls until the job is terminal; returns its id.
+fn run_to_done(addr: SocketAddr, deck: &str) -> u64 {
+    let (status, body) = http(addr, "POST", "/v1/jobs", deck);
+    assert_eq!(status, 201, "{body}");
+    let id = job_id(&body);
+    let state = wait_terminal(addr, id);
+    assert_eq!(state.get("state").and_then(Json::as_str), Some("done"));
+    id
+}
+
+fn wait_terminal(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let doc = parsed(&body);
+        let state = doc.get("state").and_then(Json::as_str).expect("state");
+        if state == "done" || state == "cancelled" || state == "failed" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Length of a results body's `points` array.
+fn points_len(doc: &Json) -> usize {
+    match doc.get("points") {
+        Some(Json::Arr(a)) => a.len(),
+        other => panic!("no points array: {other:?}"),
+    }
+}
+
+/// Value of the (fully labeled) Prometheus series in `body`.
+fn metric(body: &str, series: &str) -> f64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{series} ")))
+        .unwrap_or_else(|| panic!("no series `{series}`"))
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn completed_jobs_survive_restart_byte_identical() {
+    let tmp = TempDir::new("restart");
+
+    // First server lifetime: run a sweep to completion and capture the
+    // exact results body the live stream serves.
+    let (id, live_body, live_completed) = {
+        let server = Server::start(durable_config(&tmp.0)).unwrap();
+        let addr = server.addr();
+        let id = run_to_done(addr, SWEEP_DECK);
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+        assert_eq!(status, 200, "{body}");
+        let completed = parsed(&http(addr, "GET", &format!("/v1/jobs/{id}"), "").1)
+            .get("completed")
+            .and_then(Json::as_u64)
+            .expect("completed");
+        server.shutdown();
+        server.join();
+        (id, body, completed)
+    };
+    assert_eq!(live_completed, 5);
+
+    // Second lifetime on the same data-dir: the job must be queryable
+    // and its results byte-identical to what the live stream sent.
+    let server = Server::start(durable_config(&tmp.0)).unwrap();
+    let addr = server.addr();
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    let doc = parsed(&body);
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("stored").and_then(Json::as_bool), Some(true));
+
+    let (status, stored_body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        stored_body, live_body,
+        "disk-served results must be byte-identical to the live stream"
+    );
+
+    let (_, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert!(metric(&metrics, "mems_serve_store_replayed_jobs_total") >= 1.0);
+    assert_eq!(metric(&metrics, "mems_serve_store_degraded"), 0.0);
+
+    // Cancelling a stored (already terminal) job is an idempotent
+    // no-op: 200 with the stored status, not 404/409.
+    let (status, body) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        parsed(&body).get("state").and_then(Json::as_str),
+        Some("done")
+    );
+
+    // Ids keep growing across restarts: a new submission must not
+    // collide with (or shadow) the stored job.
+    let new_id = run_to_done(addr, SWEEP_DECK);
+    assert!(new_id > id, "id {new_id} reused at or below stored id {id}");
+}
+
+#[test]
+fn evicted_terminal_jobs_demote_to_disk() {
+    let tmp = TempDir::new("demote");
+    let server = Server::start(ServeConfig {
+        job_cap: 1,
+        ..durable_config(&tmp.0)
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let first = run_to_done(addr, SWEEP_DECK);
+    // A second terminal job pushes the first over `--job-cap`; the
+    // eviction happens on the retiring worker, so poll briefly.
+    let second = run_to_done(
+        addr,
+        "other deck\nVs a 0 2\nR1 a 0 1k\n.op\n.print op v(a)\n",
+    );
+    assert_ne!(first, second);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let doc = loop {
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{first}"), "");
+        assert_eq!(status, 200, "evicted job must stay queryable: {body}");
+        let doc = parsed(&body);
+        if doc.get("stored").and_then(Json::as_bool) == Some(true) {
+            break doc;
+        }
+        assert!(Instant::now() < deadline, "job {first} never demoted");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("done"));
+
+    // And its results still serve, complete, from the spill.
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{first}/results"), "");
+    assert_eq!(status, 200);
+    let doc = parsed(&body);
+    assert_eq!(doc.get("next").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(points_len(&doc), 5);
+}
+
+#[test]
+fn interrupted_jobs_recover_with_their_durable_prefix() {
+    let tmp = TempDir::new("interrupted");
+
+    // Emulate a SIGKILL mid-job: a store with a begun job and two
+    // appended records, dropped without finalize — exactly the on-disk
+    // state a killed server leaves behind.
+    {
+        let store = JobStore::open(&tmp.0, u64::MAX, Arc::new(RealIo) as Arc<dyn StoreIo>);
+        store.begin(42, "crashed-client", 5, 0xfeed);
+        store.append(42, 0, b"{\"index\":0}");
+        store.append(42, 1, b"{\"index\":1}");
+        drop(store);
+    }
+
+    let server = Server::start(durable_config(&tmp.0)).unwrap();
+    let addr = server.addr();
+    let (status, body) = http(addr, "GET", "/v1/jobs/42", "");
+    assert_eq!(status, 200, "{body}");
+    let doc = parsed(&body);
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("failed"));
+    assert_eq!(
+        doc.get("reason").and_then(Json::as_str),
+        Some("interrupted")
+    );
+    assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("points").and_then(Json::as_u64), Some(5));
+
+    // The durable prefix serves; the `next` cursor is honest about
+    // where it ends.
+    let (status, body) = http(addr, "GET", "/v1/jobs/42/results", "");
+    assert_eq!(status, 200);
+    let doc = parsed(&body);
+    assert_eq!(doc.get("next").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("failed"));
+    assert!(body.contains("{\"index\":0}") && body.contains("{\"index\":1}"));
+
+    // New ids start above the recovered job's.
+    let new_id = run_to_done(addr, SWEEP_DECK);
+    assert!(new_id > 42);
+}
+
+#[test]
+fn truncated_tail_records_are_dropped_not_served() {
+    let tmp = TempDir::new("torn");
+    let id = {
+        let server = Server::start(durable_config(&tmp.0)).unwrap();
+        let id = run_to_done(server.addr(), SWEEP_DECK);
+        server.shutdown();
+        server.join();
+        id
+    };
+
+    // Tear the spill's tail, as a crash mid-append would.
+    let spill = tmp.0.join(format!("{id}.results"));
+    let full = std::fs::read(&spill).expect("spill bytes");
+    std::fs::write(&spill, &full[..full.len() - 5]).expect("truncate");
+
+    let server = Server::start(durable_config(&tmp.0)).unwrap();
+    let addr = server.addr();
+    let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+    assert_eq!(status, 200, "{body}");
+    let doc = parsed(&body);
+    // Four whole records survive; the torn fifth is dropped, never
+    // served as garbage.
+    assert_eq!(doc.get("next").and_then(Json::as_u64), Some(4));
+    assert_eq!(points_len(&doc), 4);
+    assert!(!body.contains("\"index\":4"), "torn record served: {body}");
+
+    let (_, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert!(metric(&metrics, "mems_serve_store_corrupt_records_total") >= 1.0);
+}
+
+#[test]
+fn store_faults_degrade_to_memory_only_without_5xx() {
+    // Two distinct disk-death modes: the append path erroring, and
+    // fsync erroring. Both must leave every job API fully functional.
+    type Plan = fn() -> FaultIo;
+    let plans: [(&str, Plan); 2] = [
+        ("write", || FaultIo::fail_after_writes(1)),
+        ("fsync", FaultIo::fail_fsync),
+    ];
+    for (tag, plan) in plans {
+        let tmp = TempDir::new(tag);
+        let server = Server::start(ServeConfig {
+            store_io: Some(Arc::new(plan()) as Arc<dyn StoreIo>),
+            ..durable_config(&tmp.0)
+        })
+        .unwrap();
+        let addr = server.addr();
+
+        // Submission, status, and the full result stream all answer
+        // 2xx from memory even though the store is dying underneath.
+        let id = run_to_done(addr, SWEEP_DECK);
+        let (status, body) = http(addr, "GET", &format!("/v1/jobs/{id}/results"), "");
+        assert_eq!(status, 200, "[{tag}] {body}");
+        let doc = parsed(&body);
+        assert_eq!(doc.get("next").and_then(Json::as_u64), Some(5), "[{tag}]");
+        assert_eq!(
+            doc.get("state").and_then(Json::as_str),
+            Some("done"),
+            "[{tag}]"
+        );
+
+        // A second submission also sails through (store calls are
+        // silent no-ops once degraded).
+        run_to_done(addr, SWEEP_DECK);
+
+        let (_, metrics) = http(addr, "GET", "/v1/metrics", "");
+        assert_eq!(
+            metric(&metrics, "mems_serve_store_degraded"),
+            1.0,
+            "[{tag}]"
+        );
+        let (status, health) = http(addr, "GET", "/v1/health", "");
+        assert_eq!(status, 200);
+        assert!(
+            health.contains("\"degraded\":true"),
+            "[{tag}] health must surface the degradation: {health}"
+        );
+    }
+}

@@ -295,7 +295,13 @@ fn malformed_requests_get_the_right_status() {
         (long_header.as_bytes(), 431),
         (flood.as_bytes(), 431),
         (
-            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+            // A chunked body is fine now, but stacking it on a
+            // Content-Length is still the smuggling combo.
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\n0\r\n\r\n",
+            400,
+        ),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
             501,
         ),
     ];
@@ -658,6 +664,133 @@ fn terminal_job_registry_stays_bounded() {
 
     server.shutdown();
     server.join();
+}
+
+/// `--client-quota` bounds one client's active jobs: the over-quota
+/// submission answers 429 with `Retry-After` and moves the
+/// `rejected_total{reason="quota"}` counter, while other clients (and
+/// the same client once a job retires) keep submitting freely.
+#[test]
+fn client_quota_answers_429_with_retry_after() {
+    // No workers: admitted jobs stay active forever, pinning the
+    // quota accounting in place.
+    let server = Server::start(ServeConfig {
+        workers: 0,
+        client_quota: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "POST", "/v1/jobs?client=greedy", SWEEP_DECK);
+    assert_eq!(status, 201, "{body}");
+
+    // Second submission from the same client: 429 + Retry-After.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /v1/jobs?client=greedy HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{SWEEP_DECK}",
+                SWEEP_DECK.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader);
+    assert_eq!(status, 429);
+    assert!(
+        headers.iter().any(|(k, _)| k == "retry-after"),
+        "over-quota refusal must carry Retry-After: {headers:?}"
+    );
+
+    // Another client is unaffected by greedy's quota.
+    let (status, body) = http(addr, "POST", "/v1/jobs?client=modest", SWEEP_DECK);
+    assert_eq!(status, 201, "{body}");
+
+    let (_, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(
+        metric(&body, "mems_serve_rejected_total{reason=\"quota\"}"),
+        1.0
+    );
+}
+
+/// Request bodies may arrive `Transfer-Encoding: chunked` (satellite
+/// of the durability PR): a chunk-framed deck submission decodes,
+/// admits, and runs to completion like a Content-Length one.
+#[test]
+fn chunked_submissions_decode_and_run() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Frame the deck as two chunks to exercise reassembly.
+    let (head, tail) = SWEEP_DECK.split_at(SWEEP_DECK.len() / 2);
+    let request = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         Transfer-Encoding: chunked\r\n\r\n\
+         {:x}\r\n{head}\r\n{:x}\r\n{tail}\r\n0\r\n\r\n",
+        head.len(),
+        tail.len()
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_head(&mut reader);
+    assert_eq!(status, 201, "{headers:?}");
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().unwrap())
+        .expect("content-length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).unwrap();
+    let id = job_id(&String::from_utf8(body).unwrap());
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while job_state(addr, id) != "done" {
+        assert!(Instant::now() < deadline, "chunk-submitted job never ran");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Cancelling a job that already reached a terminal state is an
+/// idempotent no-op: 200 with the status, repeatably, and the job's
+/// `done` state never flips to `cancelled`.
+#[test]
+fn deleting_a_terminal_job_is_an_idempotent_no_op() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let id = run_to_done(addr, SWEEP_DECK);
+
+    for _ in 0..2 {
+        let (status, body) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            parsed(&body).get("state").and_then(Json::as_str),
+            Some("done"),
+            "{body}"
+        );
+    }
+    let (_, body) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(
+        metric(&body, "mems_serve_jobs_total{state=\"cancelled\"}"),
+        0.0
+    );
 }
 
 /// The machine-wide ordering cache, proven end to end: a second deck

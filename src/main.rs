@@ -70,6 +70,13 @@ SERVE OPTIONS:
     --read-timeout S Per-connection socket read timeout in seconds;
                      idle/stalled peers are dropped (default 30)
     --include-dir D  Resolve deck .INCLUDEs under D (default: refuse includes)
+    --data-dir D     Durable job store: journal job metadata and spill
+                     finished results under D so jobs survive restarts
+                     and --job-cap eviction (default: memory only)
+    --spill-cap-bytes N  Max bytes of spilled results kept on disk;
+                     oldest stored jobs evict beyond this (default 256 MiB)
+    --client-quota N Max active jobs per client; over-quota submissions
+                     answer 429 (default: unlimited)
     --check-only     Lint service: only /v1/check and /v1/health answer
     -h, --help       Show this help
     -V, --version    Show the version
@@ -226,6 +233,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .ok_or_else(|| "--include-dir needs a directory".to_string())?;
                 serve.include_dir = Some(PathBuf::from(v));
             }
+            "--data-dir" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--data-dir needs a directory".to_string())?;
+                serve.data_dir = Some(PathBuf::from(v));
+            }
+            "--spill-cap-bytes" => {
+                serve.spill_cap_bytes = count(&mut it, "--spill-cap-bytes")? as u64;
+            }
+            "--client-quota" => serve.client_quota = count(&mut it, "--client-quota")?,
             "--check-only" => serve.check_only = true,
             other if other.starts_with('-') && other != "-" => {
                 return Err(format!("unknown option `{other}`"));

@@ -12,7 +12,11 @@
 #   4. cancellation stops a running .MC batch short of completion;
 #   5. /v1/metrics serves Prometheus text format whose counters
 #      reflect the traffic above;
-#   6. POST /v1/shutdown drains gracefully and the process exits 0.
+#   6. POST /v1/shutdown drains gracefully and the process exits 0;
+#   7. a server SIGKILLed with --data-dir set, restarted on the same
+#      directory, still serves the finished sweep's results
+#      byte-for-byte and recovers the mid-flight batch as
+#      failed/interrupted with its durable prefix intact.
 #
 # Usage: tools/serve-smoke.sh [path-to-mems-binary]
 set -euo pipefail
@@ -132,5 +136,56 @@ curl -sf -X POST "$BASE/v1/shutdown" | jq -e .draining >/dev/null
 wait "$SERVE_PID"
 SERVE_PID=
 grep -q "mems serve drained" "$WORK/serve.log"
+
+echo "== 6. restart recovery: --data-dir survives SIGKILL"
+# A fresh instance (fresh data-dir, fresh counters) so sections 1-5's
+# exact metric assertions stay untouched.
+DATA="$WORK/data"
+start_durable() { # logfile -> sets SERVE_PID and BASE
+  "$MEMS" serve --port 0 --workers 2 --data-dir "$DATA" >"$1" 2>&1 &
+  SERVE_PID=$!
+  local port=
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's|.*listening on http://[0-9.]*:\([0-9]*\).*|\1|p' "$1")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "error: durable serve did not bind"; cat "$1"; exit 1; }
+  BASE="http://127.0.0.1:$port"
+}
+start_durable "$WORK/serve-durable.log"
+
+# One sweep run to completion, one big .MC batch killed mid-flight.
+DS=$(curl -sf -X POST --data-binary @examples/decks/resonator_step.cir "$BASE/v1/jobs")
+DSID=$(jq -r .id <<<"$DS")
+wait_done "$DSID" | jq -e '.state == "done"' >/dev/null
+DMC=$(curl -sf -X POST --data-binary @"$WORK/mc.cir" "$BASE/v1/jobs")
+DMCID=$(jq -r .id <<<"$DMC")
+for _ in $(seq 1 300); do
+  [ "$(curl -sf "$BASE/v1/jobs/$DMCID" | jq .completed)" -gt 0 ] && break
+  sleep 0.05
+done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+
+start_durable "$WORK/serve-recovered.log"
+# The finished sweep is queryable from spill and its de-chunked
+# results still match the CLI byte-for-byte.
+curl -sf "$BASE/v1/jobs/$DSID" \
+  | jq -e '.state == "done" and .stored == true and .completed == 5' >/dev/null
+curl -sf "$BASE/v1/jobs/$DSID/results?from=0" \
+  | jq -c .points[] | cmp - "$WORK/cli.jsonl"
+# The killed-mid-flight batch recovered as failed/interrupted, its
+# durably written prefix retrievable.
+curl -sf "$BASE/v1/jobs/$DMCID" \
+  | jq -e '.state == "failed" and .reason == "interrupted" and .completed >= 1' >/dev/null
+curl -sf "$BASE/v1/jobs/$DMCID/results" | jq -e '.state == "failed"' >/dev/null
+curl -sf "$BASE/v1/metrics" \
+  | awk '$1 == "mems_serve_store_replayed_jobs_total" { ok = ($2 >= 2) } END { exit !ok }'
+curl -sf "$BASE/v1/health" | jq -e '.store.enabled and (.store.degraded | not)' >/dev/null
+curl -sf -X POST "$BASE/v1/shutdown" | jq -e .draining >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
 
 echo "== serve smoke OK"
